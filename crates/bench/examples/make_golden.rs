@@ -1,0 +1,25 @@
+//! Regenerates the golden answer fingerprints used by the
+//! `golden_answers` integration test:
+//!
+//! ```sh
+//! cargo run --release -p tpcds-bench --example make_golden > tests/golden_answers_sf001.txt
+//! ```
+
+use tpcds_core::runner::validation::fingerprint;
+use tpcds_core::TpcDs;
+
+fn main() {
+    let tpcds = TpcDs::builder()
+        .scale_factor(0.01)
+        .reporting_aux(true)
+        .build()
+        .expect("load");
+    println!("# query rows hash — SF 0.01, seed 19620718, stream 0");
+    for id in 1..=99u32 {
+        let r = tpcds
+            .run_benchmark_query(id, 0)
+            .unwrap_or_else(|e| panic!("q{id}: {e}"));
+        let fp = fingerprint(&r);
+        println!("{id} {} {:016x}", fp.rows, fp.hash);
+    }
+}

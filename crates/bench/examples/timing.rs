@@ -1,0 +1,58 @@
+//! Per-query timing survey: executes all 99 benchmark queries once
+//! (stream 0) and prints the slowest queries, per-class totals, and the
+//! overall elapsed time — handy for engine-optimization work.
+//!
+//! ```sh
+//! cargo run --release -p tpcds-bench --example timing [scale_factor]
+//! ```
+
+use std::collections::HashMap;
+use std::time::Duration;
+use tpcds_core::{QueryClass, TpcDs};
+
+fn main() {
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale factor"))
+        .unwrap_or(0.01);
+    let tpcds = TpcDs::builder()
+        .scale_factor(sf)
+        .reporting_aux(true)
+        .build()
+        .expect("generate + load");
+
+    let mut times: Vec<(u32, Duration, usize)> = Vec::new();
+    for id in 1..=99u32 {
+        let start = std::time::Instant::now();
+        match tpcds.run_benchmark_query(id, 0) {
+            Ok(r) => times.push((id, start.elapsed(), r.rows.len())),
+            Err(e) => {
+                eprintln!("q{id} ERROR: {e}");
+                times.push((id, start.elapsed(), 0));
+            }
+        }
+    }
+
+    let total: Duration = times.iter().map(|x| x.1).sum();
+    println!("total for 99 queries at SF {sf}: {total:?}\n");
+
+    println!("slowest queries:");
+    let mut by_time = times.clone();
+    by_time.sort_by_key(|x| std::cmp::Reverse(x.1));
+    for (id, elapsed, rows) in by_time.iter().take(10) {
+        println!("  q{id:<3} {elapsed:>12.3?}  ({rows} rows)");
+    }
+
+    let mut per_class: HashMap<QueryClass, Duration> = HashMap::new();
+    for t in tpcds.workload().templates() {
+        if let Some((_, elapsed, _)) = times.iter().find(|(id, _, _)| *id == t.id) {
+            *per_class.entry(t.class).or_default() += *elapsed;
+        }
+    }
+    println!("\nelapsed by query class:");
+    let mut entries: Vec<_> = per_class.into_iter().collect();
+    entries.sort_by_key(|x| std::cmp::Reverse(x.1));
+    for (class, elapsed) in entries {
+        println!("  {class:<16?} {elapsed:>12.3?}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates the paper's figures.
+//!
+//! ```sh
+//! cargo run --release -p tpcds-bench --bin paper_figures            # everything
+//! cargo run --release -p tpcds-bench --bin paper_figures -- figure2 # one figure
+//! ```
+
+use tpcds_bench::figures as fig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+
+    if want("figure1") {
+        println!("{}", fig::figure1());
+    }
+    if want("figure2") {
+        println!("{}", fig::figure2(0.1));
+    }
+    if want("figure3") {
+        println!("{}", fig::figure3());
+    }
+    if want("figure4") {
+        println!("{}", fig::figure4(0.1, 24));
+    }
+    if want("figure5") {
+        println!("{}", fig::figure5(0.05));
+    }
+    if want("figure6") || want("figure7") {
+        println!("{}", fig::figure6_7(0.01));
+    }
+    if want("figure8") || want("figure9") || want("figure10") {
+        println!("{}", fig::figure8_9_10(0.01));
+    }
+    if want("figure11") {
+        println!("{}", fig::figure11(0.01, 2, 12));
+    }
+    if want("figure12") {
+        println!("{}", fig::figure12());
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates the paper's tables and metric/ablation experiments.
+//!
+//! ```sh
+//! cargo run --release -p tpcds-bench --bin paper_tables           # everything
+//! cargo run --release -p tpcds-bench --bin paper_tables -- table1 # one experiment
+//! ```
+
+use tpcds_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+    let (sf, streams, qps) = (0.01, 2, 12);
+
+    if want("table1") {
+        println!("{}", exp::table1());
+    }
+    if want("table2") {
+        println!("{}", exp::table2());
+    }
+    if want("rowlen") {
+        println!("{}", exp::measured_row_lengths(0.01));
+    }
+    if want("metric") {
+        let report = exp::metric_experiment(sf, streams, qps);
+        println!("{report}");
+        // Feed the measured QphDS into the price experiment.
+        if let Some(q) = report
+            .lines()
+            .find(|l| l.starts_with("QphDS@"))
+            .and_then(|l| l.split('=').nth(1))
+            .and_then(|v| v.trim().parse::<f64>().ok())
+        {
+            println!("{}", exp::price_experiment(sf, streams, q));
+        }
+    }
+    if want("ablation-power") {
+        println!("{}", exp::ablation_power());
+    }
+    if want("ablation-aux") {
+        println!("{}", exp::ablation_aux(sf, streams, qps));
+    }
+    if want("ablation-load") {
+        println!("{}", exp::ablation_load_coefficient(sf, streams, qps));
+    }
+    if want("ablation-optimizer") {
+        println!("{}", exp::ablation_optimizer(2_000));
+    }
+}

@@ -1,0 +1,303 @@
+//! Subcommand implementations for the `tpcds` binary.
+
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use tpcds_core::dgen::flatfile;
+use tpcds_core::runner::{self, AuxLevel, BenchmarkConfig, PriceModel};
+use tpcds_core::schema::{graph, Schema, SchemaStats};
+use tpcds_core::{Generator, TpcDs, Workload};
+
+type Result<T> = std::result::Result<T, String>;
+
+/// Minimal flag parser: `--name value` pairs and `--flag` booleans.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Flags { args }
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for {name}: {v:?}")),
+        }
+    }
+}
+
+/// `tpcds dsdgen` — write flat files.
+pub fn dsdgen(args: &[String]) -> Result<()> {
+    let flags = Flags::new(args);
+    let sf: f64 = flags.parse("--scale", 0.01)?;
+    let dir = PathBuf::from(flags.value("--dir").unwrap_or("tpcds_data"));
+    let parallel: usize = flags.parse("--parallel", 4)?;
+    let only = flags.value("--table");
+
+    let generator = Generator::new(sf);
+    let schema = Schema::tpcds();
+    let started = std::time::Instant::now();
+    let mut total = 0u64;
+    for t in schema.tables() {
+        if let Some(name) = only {
+            if t.name != name {
+                continue;
+            }
+        }
+        let rows = generator.generate_parallel(t.name, parallel);
+        flatfile::write_table(&dir, t.name, &rows).map_err(|e| e.to_string())?;
+        println!("{:<24} {:>10} rows", t.name, rows.len());
+        total += rows.len() as u64;
+    }
+    println!(
+        "\n{total} rows at SF {sf} written to {} in {:.2?}",
+        dir.display(),
+        started.elapsed()
+    );
+    Ok(())
+}
+
+/// `tpcds dsqgen` — write query streams.
+pub fn dsqgen(args: &[String]) -> Result<()> {
+    let flags = Flags::new(args);
+    let sf: f64 = flags.parse("--scale", 0.01)?;
+    let streams: u64 = flags.parse("--streams", 1u64)?;
+    let workload = Workload::tpcds().map_err(|e| e.to_string())?;
+    let seed = tpcds_types::rng::DEFAULT_SEED;
+    let _ = sf;
+
+    if let Some(id) = flags.value("--query") {
+        let id: u32 = id.parse().map_err(|_| format!("bad query id {id:?}"))?;
+        for stream in 0..streams {
+            println!("-- query {id}, stream {stream}");
+            println!(
+                "{};\n",
+                workload.instantiate(id, seed, stream).map_err(|e| e.to_string())?
+            );
+        }
+        return Ok(());
+    }
+
+    match flags.value("--dir") {
+        None => {
+            // Print stream 0 to stdout.
+            for (id, sql) in workload.stream_queries(seed, 0).map_err(|e| e.to_string())? {
+                println!("-- query {id}\n{sql};\n");
+            }
+        }
+        Some(dir) => {
+            let dir = PathBuf::from(dir);
+            std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+            for stream in 0..streams {
+                let path = dir.join(format!("query_{stream}.sql"));
+                let mut f = std::fs::File::create(&path).map_err(|e| e.to_string())?;
+                for (id, sql) in workload
+                    .stream_queries(seed, stream)
+                    .map_err(|e| e.to_string())?
+                {
+                    writeln!(f, "-- query {id}\n{sql};\n").map_err(|e| e.to_string())?;
+                }
+                println!("wrote {}", path.display());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `tpcds run` — the full benchmark.
+pub fn run(args: &[String]) -> Result<()> {
+    let flags = Flags::new(args);
+    let sf: f64 = flags.parse("--scale", 0.01)?;
+    let streams: usize = flags.parse("--streams", 0usize)?;
+    let queries: usize = flags.parse("--queries", 99usize)?;
+    let config = BenchmarkConfig {
+        scale_factor: sf,
+        seed: tpcds_types::rng::DEFAULT_SEED,
+        streams: if streams == 0 { None } else { Some(streams) },
+        queries_per_stream: Some(queries),
+        aux: if flags.has("--no-aux") { AuxLevel::None } else { AuxLevel::Reporting },
+    };
+    println!("running benchmark at SF {sf}...");
+    let result = runner::run_benchmark(config).map_err(|e| e.to_string())?;
+    println!("load test          {:?}", result.t_load);
+    println!("query run 1        {:?}", result.t_qr1);
+    println!("data maintenance   {:?}", result.t_dm);
+    println!("query run 2        {:?}", result.t_qr2);
+    let q = result.qphds();
+    println!("\nQphDS@{sf} = {q:.2}");
+    let price = PriceModel::default();
+    println!(
+        "$/QphDS@{sf} = {:.4}  (3-year TCO ${:.0}, synthetic model)",
+        runner::price_performance(&price, sf, result.streams, q),
+        price.tco(sf, result.streams)
+    );
+    Ok(())
+}
+
+/// `tpcds query` — one query against a freshly loaded instance.
+pub fn query(args: &[String]) -> Result<()> {
+    let flags = Flags::new(args);
+    let sf: f64 = flags.parse("--scale", 0.01)?;
+    let tpcds = TpcDs::builder()
+        .scale_factor(sf)
+        .reporting_aux(true)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let sql = if let Some(id) = flags.value("--id") {
+        let id: u32 = id.parse().map_err(|_| format!("bad query id {id:?}"))?;
+        tpcds.benchmark_sql(id, 0).map_err(|e| e.to_string())?
+    } else if let Some(sql) = flags.value("--sql") {
+        sql.to_string()
+    } else {
+        return Err("need --id N or --sql '...'".to_string());
+    };
+    if flags.has("--explain") {
+        println!("{}", tpcds.explain(&sql).map_err(|e| e.to_string())?);
+    }
+    let started = std::time::Instant::now();
+    let result = tpcds.query(&sql).map_err(|e| e.to_string())?;
+    println!("{}", result.to_table(40));
+    println!("({} rows in {:.2?})", result.rows.len(), started.elapsed());
+    Ok(())
+}
+
+/// `tpcds shell` — interactive SQL.
+pub fn shell(args: &[String]) -> Result<()> {
+    let flags = Flags::new(args);
+    let sf: f64 = flags.parse("--scale", 0.01)?;
+    eprintln!("loading TPC-DS at SF {sf}...");
+    let tpcds = TpcDs::builder()
+        .scale_factor(sf)
+        .reporting_aux(true)
+        .build()
+        .map_err(|e| e.to_string())?;
+    eprintln!("ready. Commands: \\q quit, \\d tables, \\explain SQL, qNN for benchmark queries.");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            eprint!("tpcds> ");
+        } else {
+            eprint!("  ...> ");
+        }
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            return Ok(()); // EOF
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            match trimmed {
+                "\\q" | "quit" | "exit" => return Ok(()),
+                "\\d" => {
+                    for t in tpcds.database().table_names() {
+                        println!("{t:<24} {:>9} rows", tpcds.database().row_count(&t));
+                    }
+                    continue;
+                }
+                "" => continue,
+                _ => {}
+            }
+            // qNN shortcut for benchmark queries.
+            if let Some(id) = trimmed
+                .strip_prefix('q')
+                .and_then(|n| n.parse::<u32>().ok())
+            {
+                match tpcds.run_benchmark_query(id, 0) {
+                    Ok(r) => println!("{}", r.to_table(25)),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+                continue;
+            }
+            if let Some(sql) = trimmed.strip_prefix("\\explain ") {
+                match tpcds.explain(sql) {
+                    Ok(p) => println!("{p}"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+                continue;
+            }
+        }
+        buffer.push_str(&line);
+        if buffer.trim_end().ends_with(';') {
+            let sql = std::mem::take(&mut buffer);
+            let started = std::time::Instant::now();
+            match tpcds.query(&sql) {
+                Ok(r) => {
+                    println!("{}", r.to_table(25));
+                    println!("({} rows in {:.2?})", r.rows.len(), started.elapsed());
+                }
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+    }
+}
+
+/// `tpcds profile` — per-column data statistics.
+pub fn profile(args: &[String]) -> Result<()> {
+    let flags = Flags::new(args);
+    let sf: f64 = flags.parse("--scale", 0.01)?;
+    let limit: u64 = flags.parse("--limit", 10_000u64)?;
+    let generator = Generator::new(sf);
+    let tables: Vec<&str> = match flags.value("--table") {
+        Some(t) => vec![Box::leak(t.to_string().into_boxed_str())],
+        None => tpcds_core::schema::tables::TABLE_NAMES.to_vec(),
+    };
+    for t in tables {
+        let p = tpcds_core::dgen::TableProfile::collect(&generator, t, limit);
+        println!("{}", p.to_report());
+    }
+    Ok(())
+}
+
+/// `tpcds schema` — schema info.
+pub fn schema(args: &[String]) -> Result<()> {
+    let flags = Flags::new(args);
+    let schema = Schema::tpcds();
+    if flags.has("--ddl") {
+        println!("{}", tpcds_core::schema::ddl::full_ddl(&schema));
+        return Ok(());
+    }
+    if flags.has("--dot") {
+        println!("{}", graph::to_dot(&schema, None));
+        return Ok(());
+    }
+    if flags.has("--stats") {
+        let s = SchemaStats::compute(&schema);
+        println!("fact tables       {}", s.fact_tables);
+        println!("dimension tables  {}", s.dimension_tables);
+        println!("columns min/max/avg  {}/{}/{}", s.min_columns, s.max_columns, s.avg_columns);
+        println!("foreign keys      {}", s.foreign_keys);
+        println!(
+            "est. row bytes min/max/avg  {}/{}/{}",
+            s.min_row_bytes, s.max_row_bytes, s.avg_row_bytes
+        );
+        return Ok(());
+    }
+    for t in schema.tables() {
+        println!(
+            "{} ({:?}, {:?}, {:?})",
+            t.name, t.kind, t.scd, t.part
+        );
+        for c in &t.columns {
+            let null = if c.nullable { "" } else { " not null" };
+            println!("    {:<28} {:?}{null}", c.name, c.ctype);
+        }
+        println!();
+    }
+    Ok(())
+}

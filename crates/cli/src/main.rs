@@ -1,0 +1,61 @@
+//! The `tpcds` command-line toolkit — the ergonomic equivalents of the
+//! TPC-DS kit's tools, built on this repository's crates:
+//!
+//! * `tpcds dsdgen`  — generate flat files (dsdgen)
+//! * `tpcds dsqgen`  — generate query streams (dsqgen)
+//! * `tpcds run`     — run the full benchmark and print the metric
+//! * `tpcds query`   — load a data set and execute one query or SQL file
+//! * `tpcds shell`   — interactive SQL shell over a generated data set
+//! * `tpcds schema`  — print the schema (DDL-ish) and statistics
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "dsdgen" => commands::dsdgen(rest),
+        "dsqgen" => commands::dsqgen(rest),
+        "run" => commands::run(rest),
+        "query" => commands::query(rest),
+        "shell" => commands::shell(rest),
+        "schema" => commands::schema(rest),
+        "profile" => commands::profile(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "tpcds — TPC-DS reproduction toolkit
+
+USAGE:
+    tpcds dsdgen  [--scale SF] [--dir DIR] [--table NAME] [--parallel N]
+    tpcds dsqgen  [--scale SF] [--streams N] [--query ID] [--dir DIR]
+    tpcds run     [--scale SF] [--streams N] [--queries N] [--no-aux]
+    tpcds query   [--scale SF] (--id QUERY_ID | --sql 'SELECT ...') [--explain]
+    tpcds shell   [--scale SF]
+    tpcds schema  [--stats | --dot | --ddl]
+    tpcds profile [--scale SF] [--table NAME] [--limit N]
+
+Scale factors are GB of raw data; fractional values (default 0.01)
+generate laptop-sized miniatures with the same shape."
+}

@@ -1,0 +1,330 @@
+//! Statistical distributions of the data set (paper §3.2, Figures 2 & 3).
+//!
+//! The headline construction is the *comparability zone*: a set of domain
+//! values guaranteed to occur with identical likelihood, so that the query
+//! generator can substitute any value of a zone without changing the number
+//! of qualifying rows. The sales-date distribution mimics the US census
+//! 2001 monthly retail shape with three zones — January–July (low),
+//! August–October (medium), November–December (high) — uniform within each
+//! zone.
+
+use tpcds_types::{ColumnRng, Date};
+
+/// The three comparability zones of the sales-date distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SalesZone {
+    /// January through July: low likelihood.
+    Low,
+    /// August through October: medium likelihood.
+    Medium,
+    /// November and December: high likelihood.
+    High,
+}
+
+impl SalesZone {
+    /// Zone of a calendar month (1-12).
+    pub fn of_month(month: u32) -> SalesZone {
+        match month {
+            1..=7 => SalesZone::Low,
+            8..=10 => SalesZone::Medium,
+            11 | 12 => SalesZone::High,
+            _ => panic!("invalid month {month}"),
+        }
+    }
+
+    /// The calendar months of this zone.
+    pub fn months(&self) -> std::ops::RangeInclusive<u32> {
+        match self {
+            SalesZone::Low => 1..=7,
+            SalesZone::Medium => 8..=10,
+            SalesZone::High => 11..=12,
+        }
+    }
+
+    /// Per-day relative likelihood of this zone. Chosen so the implied
+    /// monthly series mimics the census shape (December ≈ 14% of the year).
+    pub fn day_weight(&self) -> f64 {
+        match self {
+            SalesZone::Low => 1.0,
+            SalesZone::Medium => 1.4,
+            SalesZone::High => 2.2,
+        }
+    }
+
+    /// All zones.
+    pub fn all() -> [SalesZone; 3] {
+        [SalesZone::Low, SalesZone::Medium, SalesZone::High]
+    }
+}
+
+/// Approximation of the US Census Bureau's 2001 monthly department-store
+/// retail sales (reference \[12\] of the paper), in millions of dollars.
+/// Only the *shape* matters: it defines the three comparability zones.
+pub const CENSUS_2001_MONTHLY: [f64; 12] = [
+    4545.0, 4789.0, 5418.0, 5007.0, 5555.0, 5261.0, 5059.0, // Jan-Jul: low
+    5743.0, 5170.0, 5470.0, // Aug-Oct: medium
+    6395.0, 9747.0, // Nov-Dec: high
+];
+
+/// The sales-date distribution over the multi-year sales window.
+///
+/// The window is 1998-01-01 ..= 2002-12-31 (five years), matching the
+/// "58 million items sold per year" arithmetic of paper §3.1.
+#[derive(Clone, Debug)]
+pub struct SalesDateDistribution {
+    first: Date,
+    days: Vec<Date>,
+    weights: Vec<f64>,
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+/// First day of the sales window.
+pub const SALES_WINDOW_START: (i32, u32, u32) = (1998, 1, 1);
+/// Last day of the sales window.
+pub const SALES_WINDOW_END: (i32, u32, u32) = (2002, 12, 31);
+
+impl SalesDateDistribution {
+    /// Builds the canonical 5-year distribution.
+    pub fn tpcds() -> Self {
+        let first = Date::from_ymd(SALES_WINDOW_START.0, SALES_WINDOW_START.1, SALES_WINDOW_START.2);
+        let last = Date::from_ymd(SALES_WINDOW_END.0, SALES_WINDOW_END.1, SALES_WINDOW_END.2);
+        let n = last.days_since(&first) as usize + 1;
+        let mut days = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            let d = first.add_days(i as i32);
+            let w = SalesZone::of_month(d.month()).day_weight();
+            days.push(d);
+            weights.push(w);
+            total += w;
+            cumulative.push(total);
+        }
+        SalesDateDistribution { first, days, weights, cumulative, total }
+    }
+
+    /// Number of days in the window.
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// True when the window is empty (never, for the canonical build).
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// First day of the window.
+    pub fn first_day(&self) -> Date {
+        self.first
+    }
+
+    /// Last day of the window.
+    pub fn last_day(&self) -> Date {
+        *self.days.last().expect("non-empty window")
+    }
+
+    /// Draws a sale date with the zone-weighted likelihood.
+    pub fn sample(&self, rng: &mut ColumnRng) -> Date {
+        let x = rng.uniform_f64() * self.total;
+        // Binary search the cumulative weights.
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("weights are finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        self.days[idx.min(self.days.len() - 1)]
+    }
+
+    /// The probability of one specific day.
+    pub fn day_probability(&self, d: Date) -> f64 {
+        let i = d.days_since(&self.first);
+        if i < 0 || i as usize >= self.days.len() {
+            return 0.0;
+        }
+        self.weights[i as usize] / self.total
+    }
+
+    /// Expected share of a calendar year's sales falling in each month —
+    /// the square-marker series of Figure 2.
+    pub fn monthly_shares(&self) -> [f64; 12] {
+        let mut per_month = [0.0f64; 12];
+        for d in &self.days {
+            if d.year() == SALES_WINDOW_START.0 {
+                per_month[(d.month() - 1) as usize] +=
+                    SalesZone::of_month(d.month()).day_weight();
+            }
+        }
+        let total: f64 = per_month.iter().sum();
+        per_month.map(|w| w / total)
+    }
+
+    /// The census shape normalized to shares — the diamond-marker series of
+    /// Figure 2.
+    pub fn census_monthly_shares() -> [f64; 12] {
+        let total: f64 = CENSUS_2001_MONTHLY.iter().sum();
+        CENSUS_2001_MONTHLY.map(|v| v / total)
+    }
+
+    /// All days of one zone within one calendar year of the window — the
+    /// comparability domain the query generator substitutes from.
+    pub fn zone_days(&self, year: i32, zone: SalesZone) -> Vec<Date> {
+        self.days
+            .iter()
+            .filter(|d| d.year() == year && SalesZone::of_month(d.month()) == zone)
+            .copied()
+            .collect()
+    }
+}
+
+/// The purely synthetic Gaussian weekly sales distribution of Figure 3:
+/// `N(mu=200, sigma=50)` over day-of-year, interpreted per the paper as a
+/// sales ramp peaking in week 28.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticSalesDistribution {
+    /// Mean day-of-year of the Gaussian (paper: 200).
+    pub mu: f64,
+    /// Standard deviation in days (paper: 50).
+    pub sigma: f64,
+}
+
+impl SyntheticSalesDistribution {
+    /// The paper's parameters.
+    pub fn figure3() -> Self {
+        SyntheticSalesDistribution { mu: 200.0, sigma: 50.0 }
+    }
+
+    /// Density at day-of-year `x` (the formula printed under Figure 3).
+    pub fn density(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Draws a day-of-year clamped to 1..=365.
+    pub fn sample(&self, rng: &mut ColumnRng) -> u32 {
+        let v = rng.gaussian_with(self.mu, self.sigma).round();
+        v.clamp(1.0, 365.0) as u32
+    }
+
+    /// Histogram over ISO-ish weeks 1..=52 from `n` samples, normalized to
+    /// shares — the series plotted in Figure 3.
+    pub fn weekly_histogram(&self, seed: u64, n: usize) -> [f64; 52] {
+        let mut hist = [0.0f64; 52];
+        for i in 0..n {
+            let mut rng = ColumnRng::at(seed, 0xF163, i as u64);
+            let day = self.sample(&mut rng);
+            let week = ((day - 1) / 7).min(51) as usize;
+            hist[week] += 1.0;
+        }
+        hist.map(|c| c / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcds_types::rng::DEFAULT_SEED;
+
+    #[test]
+    fn window_is_five_years() {
+        let d = SalesDateDistribution::tpcds();
+        assert_eq!(d.len(), 365 * 5 + 1); // 2000 is a leap year
+        assert_eq!(d.first_day().to_string(), "1998-01-01");
+        assert_eq!(d.last_day().to_string(), "2002-12-31");
+    }
+
+    #[test]
+    fn zones_partition_the_year() {
+        let mut count = 0;
+        for z in SalesZone::all() {
+            count += z.months().count();
+        }
+        assert_eq!(count, 12);
+        assert_eq!(SalesZone::of_month(7), SalesZone::Low);
+        assert_eq!(SalesZone::of_month(8), SalesZone::Medium);
+        assert_eq!(SalesZone::of_month(12), SalesZone::High);
+    }
+
+    #[test]
+    fn uniform_within_zone() {
+        // Paper: "the data generator guarantees that all domain values in
+        // one domain have the same likelihood".
+        let d = SalesDateDistribution::tpcds();
+        let jan1 = Date::from_ymd(1999, 1, 15);
+        let jul4 = Date::from_ymd(1999, 7, 4);
+        assert!((d.day_probability(jan1) - d.day_probability(jul4)).abs() < 1e-15);
+        let nov = Date::from_ymd(2000, 11, 3);
+        let dec = Date::from_ymd(2000, 12, 24);
+        assert!((d.day_probability(nov) - d.day_probability(dec)).abs() < 1e-15);
+        assert!(d.day_probability(dec) > 2.0 * d.day_probability(jan1));
+    }
+
+    #[test]
+    fn december_share_census_like() {
+        let shares = SalesDateDistribution::tpcds().monthly_shares();
+        let census = SalesDateDistribution::census_monthly_shares();
+        // December is the peak in both series and roughly matches.
+        assert!(shares[11] > shares[10]);
+        assert!(census[11] > census[10]);
+        assert!((shares[11] - census[11]).abs() < 0.02, "dec {} vs {}", shares[11], census[11]);
+        // Zone ordering: any high month > any medium month > any low month.
+        assert!(shares[11] > shares[8] && shares[8] > shares[1]);
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let d = SalesDateDistribution::tpcds();
+        let n = 200_000;
+        let mut dec = 0usize;
+        let mut mar = 0usize;
+        for i in 0..n {
+            let mut rng = ColumnRng::at(DEFAULT_SEED, 99, i as u64);
+            let day = d.sample(&mut rng);
+            if day.month() == 12 {
+                dec += 1;
+            }
+            if day.month() == 3 {
+                mar += 1;
+            }
+        }
+        let dec_share = dec as f64 / n as f64;
+        let mar_share = mar as f64 / n as f64;
+        // Expected monthly share across 5 years mirrors monthly_shares().
+        let expect = d.monthly_shares();
+        assert!((dec_share - expect[11]).abs() < 0.01, "dec {dec_share} vs {}", expect[11]);
+        assert!((mar_share - expect[2]).abs() < 0.01, "mar {mar_share} vs {}", expect[2]);
+    }
+
+    #[test]
+    fn zone_days_belong_to_zone() {
+        let d = SalesDateDistribution::tpcds();
+        let days = d.zone_days(2000, SalesZone::Medium);
+        assert_eq!(days.len(), 31 + 30 + 31); // Aug + Sep + Oct
+        assert!(days.iter().all(|day| (8..=10).contains(&day.month())));
+    }
+
+    #[test]
+    fn figure3_density_peaks_week_28plus() {
+        let g = SyntheticSalesDistribution::figure3();
+        // Density at the mean is the max.
+        assert!(g.density(200.0) > g.density(150.0));
+        assert!(g.density(200.0) > g.density(250.0));
+        // Week of day 200 is ~28-29.
+        assert_eq!((200 - 1) / 7 + 1, 29);
+    }
+
+    #[test]
+    fn figure3_histogram_shape() {
+        let g = SyntheticSalesDistribution::figure3();
+        let h = g.weekly_histogram(DEFAULT_SEED, 50_000);
+        let peak = h.iter().cloned().fold(0.0, f64::max);
+        let peak_week = h.iter().position(|&v| v == peak).unwrap() + 1;
+        assert!((26..=31).contains(&peak_week), "peak at week {peak_week}");
+        // Ramp up, slow down: early and late weeks are tiny.
+        assert!(h[3] < peak / 10.0);
+        assert!(h[49] < peak / 10.0);
+    }
+}

@@ -1,0 +1,648 @@
+//! Fact-table row synthesis: the sales, returns and inventory tables.
+//!
+//! Sales rows are grouped into tickets/orders whose sizes cycle through a
+//! fixed pattern averaging 10.5 items (the paper's "on average each
+//! shopping cart contains 10.5 items"), giving an O(1) arithmetic mapping
+//! from row index to (ticket, line number). Returns rows re-derive the
+//! sold row they return in O(1) and copy its keys — the fact-to-fact
+//! relationship of paper §2.2.
+
+use crate::generator::Generator;
+use tpcds_types::{ColumnRng, Date, Decimal, Row, Value};
+
+/// Ticket-size pattern: sums to 105 over 10 tickets, i.e. an average cart
+/// of 10.5 items.
+pub const TICKET_PATTERN: [u64; 10] = [8, 13, 10, 11, 9, 12, 10, 11, 10, 11];
+const TICKET_BLOCK: u64 = 105;
+
+/// Prefix sums of [`TICKET_PATTERN`].
+const fn prefix() -> [u64; 11] {
+    let mut p = [0u64; 11];
+    let mut i = 0;
+    while i < 10 {
+        p[i + 1] = p[i] + TICKET_PATTERN[i];
+        i += 1;
+    }
+    p
+}
+const PREFIX: [u64; 11] = prefix();
+
+/// Maps a fact-row index to `(ticket id, line number, items in ticket)`.
+pub fn ticket_of_row(row: u64) -> (u64, u64, u64) {
+    let block = row / TICKET_BLOCK;
+    let off = row % TICKET_BLOCK;
+    let mut pos = 0;
+    while PREFIX[pos + 1] <= off {
+        pos += 1;
+    }
+    (block * 10 + pos as u64, off - PREFIX[pos], TICKET_PATTERN[pos])
+}
+
+/// The per-row money columns shared by all sales channels, in cents.
+struct Pricing {
+    quantity: i64,
+    wholesale: i64,
+    list: i64,
+    sales: i64,
+    ext_discount: i64,
+    ext_sales: i64,
+    ext_wholesale: i64,
+    ext_list: i64,
+    ext_tax: i64,
+    coupon: i64,
+    net_paid: i64,
+    net_paid_inc_tax: i64,
+    net_profit: i64,
+}
+
+fn pricing(rng: &mut ColumnRng) -> Pricing {
+    let quantity = rng.uniform_i64(1, 100);
+    let wholesale = rng.uniform_i64(100, 10_000);
+    let markup = rng.uniform_i64(100, 300);
+    let list = wholesale * (100 + markup) / 100;
+    let discount = rng.uniform_i64(0, 70);
+    let sales = list * (100 - discount) / 100;
+    let ext_discount = (list - sales) * quantity;
+    let ext_sales = sales * quantity;
+    let ext_wholesale = wholesale * quantity;
+    let ext_list = list * quantity;
+    let tax_rate = rng.uniform_i64(0, 9);
+    let ext_tax = ext_sales * tax_rate / 100;
+    let coupon = if rng.chance(0.1) {
+        rng.uniform_i64(0, ext_sales.max(1) / 2)
+    } else {
+        0
+    };
+    let net_paid = ext_sales - coupon;
+    Pricing {
+        quantity,
+        wholesale,
+        list,
+        sales,
+        ext_discount,
+        ext_sales,
+        ext_wholesale,
+        ext_list,
+        ext_tax,
+        coupon,
+        net_paid,
+        net_paid_inc_tax: net_paid + ext_tax,
+        net_profit: net_paid - ext_wholesale,
+    }
+}
+
+fn cents(v: i64) -> Value {
+    Value::Decimal(Decimal::from_cents(v))
+}
+
+impl Generator {
+    /// Picks an item surrogate key for `line` of a ticket such that lines
+    /// of one ticket never collide (the (item_sk, ticket) PK).
+    fn ticket_item(&self, rng: &mut ColumnRng, line: u64) -> i64 {
+        let n = self.row_count("item") as i64;
+        let base = rng.uniform_i64(0, n - 1);
+        let step = rng.uniform_i64(1, (n / 16).max(1));
+        (base + line as i64 * step) % n + 1
+    }
+
+    pub(crate) fn store_sales_row(&self, r: u64) -> Row {
+        let (ticket, line, _) = ticket_of_row(r);
+        // Per-ticket draws: every line of the ticket shares these.
+        let mut trng = self.rng("store_sales", 1, ticket);
+        let sold_date = self.sales_dates.sample(&mut trng);
+        let sold_time = trng.uniform_i64(8 * 3600, 21 * 3600); // store hours
+        let customer = self.fk(&mut trng, "customer");
+        let cdemo = self.fk(&mut trng, "customer_demographics");
+        let hdemo = self.fk(&mut trng, "household_demographics");
+        let addr = self.fk(&mut trng, "customer_address");
+        let store = self.fk(&mut trng, "store");
+        let null_date = trng.chance(0.02);
+        let null_cust = trng.chance(0.035);
+        // Per-line draws.
+        let mut rng = self.rng("store_sales", 2, r);
+        let item = self.ticket_item(&mut trng, line);
+        let promo = self.fk(&mut rng, "promotion");
+        let p = pricing(&mut rng);
+        let null_promo = rng.chance(0.035);
+        vec![
+            if null_date { Value::Null } else { Value::Int(sold_date.date_sk()) },
+            if null_date { Value::Null } else { Value::Int(sold_time) },
+            Value::Int(item),
+            if null_cust { Value::Null } else { Value::Int(customer) },
+            if null_cust { Value::Null } else { Value::Int(cdemo) },
+            if null_cust { Value::Null } else { Value::Int(hdemo) },
+            if null_cust { Value::Null } else { Value::Int(addr) },
+            Value::Int(store),
+            if null_promo { Value::Null } else { Value::Int(promo) },
+            Value::Int(ticket as i64 + 1),
+            Value::Int(p.quantity),
+            cents(p.wholesale),
+            cents(p.list),
+            cents(p.sales),
+            cents(p.ext_discount),
+            cents(p.ext_sales),
+            cents(p.ext_wholesale),
+            cents(p.ext_list),
+            cents(p.ext_tax),
+            cents(p.coupon),
+            cents(p.net_paid),
+            cents(p.net_paid_inc_tax),
+            cents(p.net_profit),
+        ]
+    }
+
+    pub(crate) fn store_returns_row(&self, r: u64) -> Row {
+        // Spread returns evenly over the sold rows and copy the sale's keys.
+        let sales = self.row_count("store_sales");
+        let returns = self.row_count("store_returns");
+        let sale_row = (r as u128 * sales as u128 / returns.max(1) as u128) as u64;
+        let sale = self.store_sales_row(sale_row);
+        let mut rng = self.rng("store_returns", 1, r);
+        let sold_date = sale[0]
+            .as_int()
+            .map(Date::from_date_sk)
+            .unwrap_or_else(|| self.sales_dates.first_day());
+        let returned = sold_date.add_days(rng.uniform_i64(1, 90) as i32);
+        let ret_time = rng.uniform_i64(8 * 3600, 21 * 3600);
+        let sold_qty = sale[10].as_int().unwrap_or(1);
+        let qty = rng.uniform_i64(1, sold_qty);
+        let sales_price = sale[13]
+            .as_decimal()
+            .map(|d| d.mantissa() as i64)
+            .unwrap_or(0);
+        let amt = sales_price * qty;
+        let tax_rate = rng.uniform_i64(0, 9);
+        let tax = amt * tax_rate / 100;
+        let fee = rng.uniform_i64(50, 10_000);
+        let ship = rng.uniform_i64(0, amt.max(1) / 2);
+        // Split the refund across cash / reversed charge / store credit.
+        let cash_share = rng.uniform_i64(0, 100);
+        let charge_share = rng.uniform_i64(0, 100 - cash_share);
+        let cash = amt * cash_share / 100;
+        let charge = amt * charge_share / 100;
+        let credit = amt - cash - charge;
+        vec![
+            Value::Int(returned.date_sk()),
+            Value::Int(ret_time),
+            sale[2].clone(),
+            sale[3].clone(),
+            sale[4].clone(),
+            sale[5].clone(),
+            sale[6].clone(),
+            sale[7].clone(),
+            Value::Int(self.fk(&mut rng, "reason")),
+            sale[9].clone(),
+            Value::Int(qty),
+            cents(amt),
+            cents(tax),
+            cents(amt + tax),
+            cents(fee),
+            cents(ship),
+            cents(cash),
+            cents(charge),
+            cents(credit),
+            cents(amt + tax + fee + ship - cash),
+        ]
+    }
+
+    pub(crate) fn catalog_sales_row(&self, r: u64) -> Row {
+        let (order, line, _) = ticket_of_row(r);
+        let mut orng = self.rng("catalog_sales", 1, order);
+        let sold_date = self.sales_dates.sample(&mut orng);
+        let sold_time = orng.uniform_i64(0, 86_399);
+        let ship_date = sold_date.add_days(orng.uniform_i64(2, 60) as i32);
+        let bill_customer = self.fk(&mut orng, "customer");
+        let bill_cdemo = self.fk(&mut orng, "customer_demographics");
+        let bill_hdemo = self.fk(&mut orng, "household_demographics");
+        let bill_addr = self.fk(&mut orng, "customer_address");
+        // 85% of orders ship to the billing customer.
+        let same = orng.chance(0.85);
+        let ship_customer = if same { bill_customer } else { self.fk(&mut orng, "customer") };
+        let ship_cdemo = if same { bill_cdemo } else { self.fk(&mut orng, "customer_demographics") };
+        let ship_hdemo = if same { bill_hdemo } else { self.fk(&mut orng, "household_demographics") };
+        let ship_addr = if same { bill_addr } else { self.fk(&mut orng, "customer_address") };
+        let call_center = self.fk(&mut orng, "call_center");
+        let catalog_page = self.fk(&mut orng, "catalog_page");
+        let ship_mode = self.fk(&mut orng, "ship_mode");
+        let warehouse = self.fk(&mut orng, "warehouse");
+        let null_date = orng.chance(0.02);
+        let null_cust = orng.chance(0.02);
+        let item = self.ticket_item(&mut orng, line);
+
+        let mut rng = self.rng("catalog_sales", 2, r);
+        let promo = self.fk(&mut rng, "promotion");
+        let p = pricing(&mut rng);
+        let ship_cost = rng.uniform_i64(0, p.ext_sales.max(1) / 4);
+        vec![
+            if null_date { Value::Null } else { Value::Int(sold_date.date_sk()) },
+            if null_date { Value::Null } else { Value::Int(sold_time) },
+            Value::Int(ship_date.date_sk()),
+            if null_cust { Value::Null } else { Value::Int(bill_customer) },
+            if null_cust { Value::Null } else { Value::Int(bill_cdemo) },
+            if null_cust { Value::Null } else { Value::Int(bill_hdemo) },
+            if null_cust { Value::Null } else { Value::Int(bill_addr) },
+            Value::Int(ship_customer),
+            Value::Int(ship_cdemo),
+            Value::Int(ship_hdemo),
+            Value::Int(ship_addr),
+            Value::Int(call_center),
+            Value::Int(catalog_page),
+            Value::Int(ship_mode),
+            Value::Int(warehouse),
+            Value::Int(item),
+            Value::Int(promo),
+            Value::Int(order as i64 + 1),
+            Value::Int(p.quantity),
+            cents(p.wholesale),
+            cents(p.list),
+            cents(p.sales),
+            cents(p.ext_discount),
+            cents(p.ext_sales),
+            cents(p.ext_wholesale),
+            cents(p.ext_list),
+            cents(p.ext_tax),
+            cents(p.coupon),
+            cents(ship_cost),
+            cents(p.net_paid),
+            cents(p.net_paid_inc_tax),
+            cents(p.net_paid + ship_cost),
+            cents(p.net_paid_inc_tax + ship_cost),
+            cents(p.net_profit),
+        ]
+    }
+
+    pub(crate) fn catalog_returns_row(&self, r: u64) -> Row {
+        let sales = self.row_count("catalog_sales");
+        let returns = self.row_count("catalog_returns");
+        let sale_row = (r as u128 * sales as u128 / returns.max(1) as u128) as u64;
+        let sale = self.catalog_sales_row(sale_row);
+        let mut rng = self.rng("catalog_returns", 1, r);
+        let sold_date = sale[0]
+            .as_int()
+            .map(Date::from_date_sk)
+            .unwrap_or_else(|| self.sales_dates.first_day());
+        let returned = sold_date.add_days(rng.uniform_i64(5, 120) as i32);
+        let sold_qty = sale[18].as_int().unwrap_or(1);
+        let qty = rng.uniform_i64(1, sold_qty);
+        let sales_price = sale[21]
+            .as_decimal()
+            .map(|d| d.mantissa() as i64)
+            .unwrap_or(0);
+        let amt = sales_price * qty;
+        let tax = amt * rng.uniform_i64(0, 9) / 100;
+        let fee = rng.uniform_i64(50, 10_000);
+        let ship = rng.uniform_i64(0, amt.max(1) / 2);
+        let cash_share = rng.uniform_i64(0, 100);
+        let charge_share = rng.uniform_i64(0, 100 - cash_share);
+        let cash = amt * cash_share / 100;
+        let charge = amt * charge_share / 100;
+        let credit = amt - cash - charge;
+        vec![
+            Value::Int(returned.date_sk()),
+            Value::Int(rng.uniform_i64(0, 86_399)),
+            sale[15].clone(),
+            sale[3].clone(),
+            sale[4].clone(),
+            sale[5].clone(),
+            sale[6].clone(),
+            sale[7].clone(),
+            sale[8].clone(),
+            sale[9].clone(),
+            sale[10].clone(),
+            sale[11].clone(),
+            sale[12].clone(),
+            sale[13].clone(),
+            sale[14].clone(),
+            Value::Int(self.fk(&mut rng, "reason")),
+            sale[17].clone(),
+            Value::Int(qty),
+            cents(amt),
+            cents(tax),
+            cents(amt + tax),
+            cents(fee),
+            cents(ship),
+            cents(cash),
+            cents(charge),
+            cents(credit),
+            cents(amt + tax + fee + ship - cash),
+        ]
+    }
+
+    pub(crate) fn web_sales_row(&self, r: u64) -> Row {
+        let (order, line, _) = ticket_of_row(r);
+        let mut orng = self.rng("web_sales", 1, order);
+        let sold_date = self.sales_dates.sample(&mut orng);
+        let sold_time = orng.uniform_i64(0, 86_399);
+        let ship_date = sold_date.add_days(orng.uniform_i64(1, 30) as i32);
+        let bill_customer = self.fk(&mut orng, "customer");
+        let bill_cdemo = self.fk(&mut orng, "customer_demographics");
+        let bill_hdemo = self.fk(&mut orng, "household_demographics");
+        let bill_addr = self.fk(&mut orng, "customer_address");
+        let same = orng.chance(0.8);
+        let ship_customer = if same { bill_customer } else { self.fk(&mut orng, "customer") };
+        let ship_cdemo = if same { bill_cdemo } else { self.fk(&mut orng, "customer_demographics") };
+        let ship_hdemo = if same { bill_hdemo } else { self.fk(&mut orng, "household_demographics") };
+        let ship_addr = if same { bill_addr } else { self.fk(&mut orng, "customer_address") };
+        let web_page = self.fk(&mut orng, "web_page");
+        let web_site = self.fk(&mut orng, "web_site");
+        let ship_mode = self.fk(&mut orng, "ship_mode");
+        let warehouse = self.fk(&mut orng, "warehouse");
+        let null_date = orng.chance(0.02);
+        let item = self.ticket_item(&mut orng, line);
+
+        let mut rng = self.rng("web_sales", 2, r);
+        let promo = self.fk(&mut rng, "promotion");
+        let p = pricing(&mut rng);
+        let ship_cost = rng.uniform_i64(0, p.ext_sales.max(1) / 4);
+        vec![
+            if null_date { Value::Null } else { Value::Int(sold_date.date_sk()) },
+            if null_date { Value::Null } else { Value::Int(sold_time) },
+            Value::Int(ship_date.date_sk()),
+            Value::Int(item),
+            Value::Int(bill_customer),
+            Value::Int(bill_cdemo),
+            Value::Int(bill_hdemo),
+            Value::Int(bill_addr),
+            Value::Int(ship_customer),
+            Value::Int(ship_cdemo),
+            Value::Int(ship_hdemo),
+            Value::Int(ship_addr),
+            Value::Int(web_page),
+            Value::Int(web_site),
+            Value::Int(ship_mode),
+            Value::Int(warehouse),
+            Value::Int(promo),
+            Value::Int(order as i64 + 1),
+            Value::Int(p.quantity),
+            cents(p.wholesale),
+            cents(p.list),
+            cents(p.sales),
+            cents(p.ext_discount),
+            cents(p.ext_sales),
+            cents(p.ext_wholesale),
+            cents(p.ext_list),
+            cents(p.ext_tax),
+            cents(p.coupon),
+            cents(ship_cost),
+            cents(p.net_paid),
+            cents(p.net_paid_inc_tax),
+            cents(p.net_paid + ship_cost),
+            cents(p.net_paid_inc_tax + ship_cost),
+            cents(p.net_profit),
+        ]
+    }
+
+    pub(crate) fn web_returns_row(&self, r: u64) -> Row {
+        let sales = self.row_count("web_sales");
+        let returns = self.row_count("web_returns");
+        let sale_row = (r as u128 * sales as u128 / returns.max(1) as u128) as u64;
+        let sale = self.web_sales_row(sale_row);
+        let mut rng = self.rng("web_returns", 1, r);
+        let sold_date = sale[0]
+            .as_int()
+            .map(Date::from_date_sk)
+            .unwrap_or_else(|| self.sales_dates.first_day());
+        let returned = sold_date.add_days(rng.uniform_i64(3, 100) as i32);
+        let sold_qty = sale[18].as_int().unwrap_or(1);
+        let qty = rng.uniform_i64(1, sold_qty);
+        let sales_price = sale[21]
+            .as_decimal()
+            .map(|d| d.mantissa() as i64)
+            .unwrap_or(0);
+        let amt = sales_price * qty;
+        let tax = amt * rng.uniform_i64(0, 9) / 100;
+        let fee = rng.uniform_i64(50, 10_000);
+        let ship = rng.uniform_i64(0, amt.max(1) / 2);
+        let cash_share = rng.uniform_i64(0, 100);
+        let charge_share = rng.uniform_i64(0, 100 - cash_share);
+        let cash = amt * cash_share / 100;
+        let charge = amt * charge_share / 100;
+        let credit = amt - cash - charge;
+        vec![
+            Value::Int(returned.date_sk()),
+            Value::Int(rng.uniform_i64(0, 86_399)),
+            sale[3].clone(),
+            sale[4].clone(),
+            sale[5].clone(),
+            sale[6].clone(),
+            sale[7].clone(),
+            sale[8].clone(),
+            sale[9].clone(),
+            sale[10].clone(),
+            sale[11].clone(),
+            sale[12].clone(),
+            Value::Int(self.fk(&mut rng, "reason")),
+            sale[17].clone(),
+            Value::Int(qty),
+            cents(amt),
+            cents(tax),
+            cents(amt + tax),
+            cents(fee),
+            cents(ship),
+            cents(cash),
+            cents(charge),
+            cents(credit),
+            cents(amt + tax + fee + ship - cash),
+        ]
+    }
+
+    pub(crate) fn inventory_row(&self, r: u64) -> Row {
+        let (_weeks, warehouses, per_cell) = self.inventory_layout();
+        let week = r / (warehouses * per_cell);
+        let rem = r % (warehouses * per_cell);
+        let warehouse = rem / per_cell;
+        let slot = rem % per_cell;
+        // Snapshot date: consecutive Mondays from the window start.
+        let first_monday = self.sales_dates.first_day().add_days(4); // 1998-01-05
+        let date = first_monday.add_days(week as i32 * 7);
+        // Deterministic stride over items so each cell samples a stable,
+        // collision-free subset.
+        let items = self.row_count("item");
+        let item = (slot * (items / per_cell).max(1)) % items + 1;
+        let mut rng = self.rng("inventory", 1, r);
+        let qty = if rng.chance(0.05) {
+            Value::Null
+        } else {
+            Value::Int(rng.uniform_i64(0, 1000))
+        };
+        vec![
+            Value::Int(date.date_sk()),
+            Value::Int(item as i64),
+            Value::Int(warehouse as i64 + 1),
+            qty,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ticket_pattern_averages_ten_and_a_half() {
+        let total: u64 = TICKET_PATTERN.iter().sum();
+        assert_eq!(total, 105);
+        assert_eq!(TICKET_PATTERN.len(), 10);
+    }
+
+    #[test]
+    fn ticket_mapping_is_consistent() {
+        // Walking rows sequentially must walk tickets sequentially with the
+        // right sizes.
+        let mut expect_ticket = 0;
+        let mut expect_line = 0;
+        for r in 0..2 * TICKET_BLOCK {
+            let (t, l, n) = ticket_of_row(r);
+            assert_eq!((t, l), (expect_ticket, expect_line), "row {r}");
+            expect_line += 1;
+            if expect_line == n {
+                expect_line = 0;
+                expect_ticket += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn store_sales_pk_unique() {
+        let g = Generator::new(0.01);
+        let rows = g.generate("store_sales");
+        let mut seen = HashSet::new();
+        for row in &rows {
+            let key = (row[2].as_int().unwrap(), row[9].as_int().unwrap());
+            assert!(seen.insert(key), "duplicate (item, ticket) {key:?}");
+        }
+    }
+
+    #[test]
+    fn lines_of_a_ticket_share_customer_and_date() {
+        let g = Generator::new(0.01);
+        let rows = g.generate_range("store_sales", 0, 105);
+        for w in rows.windows(2) {
+            let same_ticket = w[0][9] == w[1][9];
+            if same_ticket {
+                assert_eq!(w[0][3], w[1][3], "customer differs within ticket");
+                assert_eq!(w[0][0], w[1][0], "date differs within ticket");
+                assert_eq!(w[0][7], w[1][7], "store differs within ticket");
+            }
+        }
+    }
+
+    #[test]
+    fn pricing_identities_hold() {
+        let g = Generator::new(0.01);
+        for row in g.generate_range("store_sales", 0, 500) {
+            let qty = row[10].as_int().unwrap();
+            let sales = row[13].as_decimal().unwrap().mantissa() as i64;
+            let ext_sales = row[15].as_decimal().unwrap().mantissa() as i64;
+            assert_eq!(ext_sales, sales * qty, "ext_sales = sales * qty");
+            let coupon = row[19].as_decimal().unwrap().mantissa() as i64;
+            let net_paid = row[20].as_decimal().unwrap().mantissa() as i64;
+            assert_eq!(net_paid, ext_sales - coupon);
+            let tax = row[18].as_decimal().unwrap().mantissa() as i64;
+            let inc_tax = row[21].as_decimal().unwrap().mantissa() as i64;
+            assert_eq!(inc_tax, net_paid + tax);
+            let ext_wholesale = row[16].as_decimal().unwrap().mantissa() as i64;
+            let profit = row[22].as_decimal().unwrap().mantissa() as i64;
+            assert_eq!(profit, net_paid - ext_wholesale);
+        }
+    }
+
+    #[test]
+    fn returns_reference_real_sales() {
+        let g = Generator::new(0.01);
+        let sales = g.generate("store_sales");
+        let mut sold: HashSet<(i64, i64)> = HashSet::new();
+        for row in &sales {
+            sold.insert((row[2].as_int().unwrap(), row[9].as_int().unwrap()));
+        }
+        let returns = g.generate("store_returns");
+        assert!(!returns.is_empty());
+        for row in &returns {
+            let key = (row[2].as_int().unwrap(), row[9].as_int().unwrap());
+            assert!(sold.contains(&key), "return for unsold {key:?}");
+        }
+    }
+
+    #[test]
+    fn return_quantity_bounded_by_sale() {
+        let g = Generator::new(0.01);
+        let sales = g.generate("store_sales");
+        let mut qty: std::collections::HashMap<(i64, i64), i64> = Default::default();
+        for row in &sales {
+            qty.insert((row[2].as_int().unwrap(), row[9].as_int().unwrap()), row[10].as_int().unwrap());
+        }
+        for row in g.generate("store_returns") {
+            let key = (row[2].as_int().unwrap(), row[9].as_int().unwrap());
+            let rq = row[10].as_int().unwrap();
+            assert!(rq >= 1 && rq <= qty[&key], "return qty {rq} > sold {}", qty[&key]);
+        }
+    }
+
+    #[test]
+    fn returned_after_sold() {
+        let g = Generator::new(0.01);
+        let sales = g.generate("store_sales");
+        let mut sold_date: std::collections::HashMap<(i64, i64), i64> = Default::default();
+        for row in &sales {
+            if let Some(d) = row[0].as_int() {
+                sold_date.insert((row[2].as_int().unwrap(), row[9].as_int().unwrap()), d);
+            }
+        }
+        for row in g.generate("store_returns") {
+            let key = (row[2].as_int().unwrap(), row[9].as_int().unwrap());
+            if let Some(&sd) = sold_date.get(&key) {
+                let rd = row[0].as_int().unwrap();
+                assert!(rd > sd, "returned on/before sale date");
+            }
+        }
+    }
+
+    #[test]
+    fn inventory_pk_unique_and_weekly() {
+        let g = Generator::new(0.01);
+        let rows = g.generate("inventory");
+        let mut seen = HashSet::new();
+        for row in &rows {
+            let key: Vec<i64> = row[..3].iter().map(|v| v.as_int().unwrap()).collect();
+            assert!(seen.insert(key.clone()), "duplicate inventory key {key:?}");
+            // Snapshot dates are Mondays.
+            let d = Date::from_date_sk(key[0]);
+            assert_eq!(d.day_of_week(), 1, "inventory date {d} not a Monday");
+        }
+    }
+
+    #[test]
+    fn fact_dates_inside_sales_window() {
+        let g = Generator::new(0.01);
+        let dist = g.sales_dates();
+        for t in ["store_sales", "catalog_sales", "web_sales"] {
+            for row in g.generate_range(t, 0, 300) {
+                if let Some(sk) = row[0].as_int() {
+                    let d = Date::from_date_sk(sk);
+                    assert!(d >= dist.first_day() && d <= dist.last_day(), "{t}: {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn december_heavier_than_february() {
+        let g = Generator::new(0.02);
+        let mut dec = 0;
+        let mut feb = 0;
+        for row in g.generate("store_sales") {
+            if let Some(sk) = row[0].as_int() {
+                match Date::from_date_sk(sk).month() {
+                    12 => dec += 1,
+                    2 => feb += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(
+            dec as f64 > 1.5 * feb as f64,
+            "comparability zones missing: dec {dec} vs feb {feb}"
+        );
+    }
+}

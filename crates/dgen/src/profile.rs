@@ -1,0 +1,164 @@
+//! Data-set profiling: per-column statistics over generated data —
+//! the "statistic collection" the paper says the data set must challenge
+//! (§3: "challenge the statistic gathering algorithms and the query
+//! optimizer").
+
+use crate::generator::Generator;
+use std::collections::HashSet;
+use tpcds_types::Value;
+
+/// Statistics of one column over a generated sample.
+#[derive(Debug, Clone)]
+pub struct ColumnProfile {
+    /// Column name.
+    pub name: String,
+    /// Fraction of NULL values.
+    pub null_rate: f64,
+    /// Number of distinct non-null values in the sample.
+    pub distinct: usize,
+    /// Smallest non-null value (by SQL ordering).
+    pub min: Option<Value>,
+    /// Largest non-null value.
+    pub max: Option<Value>,
+}
+
+/// Statistics of one table.
+#[derive(Debug, Clone)]
+pub struct TableProfile {
+    /// Table name.
+    pub table: String,
+    /// Rows profiled.
+    pub rows: usize,
+    /// Per-column statistics.
+    pub columns: Vec<ColumnProfile>,
+}
+
+impl TableProfile {
+    /// Profiles up to `limit` rows of `table`.
+    pub fn collect(generator: &Generator, table: &str, limit: u64) -> TableProfile {
+        let def = generator
+            .schema()
+            .table(table)
+            .unwrap_or_else(|| panic!("unknown table {table}"));
+        let n = generator.row_count(table).min(limit);
+        let rows = generator.generate_range(table, 0, n);
+        let mut columns = Vec::with_capacity(def.width());
+        for (i, col) in def.columns.iter().enumerate() {
+            let mut nulls = 0usize;
+            let mut distinct: HashSet<Value> = HashSet::new();
+            let mut min: Option<Value> = None;
+            let mut max: Option<Value> = None;
+            for row in &rows {
+                let v = &row[i];
+                if v.is_null() {
+                    nulls += 1;
+                    continue;
+                }
+                distinct.insert(v.clone());
+                let smaller = min
+                    .as_ref()
+                    .map(|m| v.sort_cmp(m) == std::cmp::Ordering::Less)
+                    .unwrap_or(true);
+                if smaller {
+                    min = Some(v.clone());
+                }
+                let larger = max
+                    .as_ref()
+                    .map(|m| v.sort_cmp(m) == std::cmp::Ordering::Greater)
+                    .unwrap_or(true);
+                if larger {
+                    max = Some(v.clone());
+                }
+            }
+            columns.push(ColumnProfile {
+                name: col.name.to_string(),
+                null_rate: if rows.is_empty() { 0.0 } else { nulls as f64 / rows.len() as f64 },
+                distinct: distinct.len(),
+                min,
+                max,
+            });
+        }
+        TableProfile { table: table.to_string(), rows: rows.len(), columns }
+    }
+
+    /// Renders the profile as an aligned text report.
+    pub fn to_report(&self) -> String {
+        let mut out = format!("table {} ({} rows profiled)\n", self.table, self.rows);
+        let w = self.columns.iter().map(|c| c.name.len()).max().unwrap_or(6);
+        out.push_str(&format!(
+            "{:<w$}  {:>7}  {:>9}  {:<12}  {:<12}\n",
+            "column", "null%", "distinct", "min", "max"
+        ));
+        for c in &self.columns {
+            let fmt = |v: &Option<Value>| {
+                v.as_ref()
+                    .map(|x| {
+                        let s = x.to_flat();
+                        if s.chars().count() > 12 {
+                            let head: String = s.chars().take(11).collect();
+                            format!("{head}…")
+                        } else {
+                            s
+                        }
+                    })
+                    .unwrap_or_default()
+            };
+            out.push_str(&format!(
+                "{:<w$}  {:>6.1}%  {:>9}  {:<12}  {:<12}\n",
+                c.name,
+                100.0 * c.null_rate,
+                c.distinct,
+                fmt(&c.min),
+                fmt(&c.max)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surrogate_keys_profile_dense_and_non_null() {
+        let g = Generator::new(0.01);
+        let p = TableProfile::collect(&g, "customer", 10_000);
+        let sk = &p.columns[0];
+        assert_eq!(sk.name, "c_customer_sk");
+        assert_eq!(sk.null_rate, 0.0);
+        assert_eq!(sk.distinct, p.rows, "surrogate keys unique");
+        assert_eq!(sk.min, Some(Value::Int(1)));
+        assert_eq!(sk.max, Some(Value::Int(p.rows as i64)));
+    }
+
+    #[test]
+    fn nullable_fact_columns_have_nulls() {
+        let g = Generator::new(0.02);
+        let p = TableProfile::collect(&g, "store_sales", 10_000);
+        let cust = p.columns.iter().find(|c| c.name == "ss_customer_sk").expect("col");
+        assert!(cust.null_rate > 0.0, "fact FK columns carry NULLs");
+        assert!(cust.null_rate < 0.2, "but only a few percent");
+        let item = p.columns.iter().find(|c| c.name == "ss_item_sk").expect("col");
+        assert_eq!(item.null_rate, 0.0, "PK parts are never NULL");
+    }
+
+    #[test]
+    fn low_cardinality_domains_profile_small() {
+        let g = Generator::new(0.01);
+        let p = TableProfile::collect(&g, "customer_demographics", 5_000);
+        let gender = p.columns.iter().find(|c| c.name == "cd_gender").expect("col");
+        assert_eq!(gender.distinct, 2);
+        let rating = p.columns.iter().find(|c| c.name == "cd_credit_rating").expect("col");
+        assert_eq!(rating.distinct, 4);
+    }
+
+    #[test]
+    fn report_renders() {
+        let g = Generator::new(0.005);
+        let p = TableProfile::collect(&g, "income_band", 100);
+        let r = p.to_report();
+        assert!(r.contains("ib_lower_bound"), "{r}");
+        assert!(r.contains("distinct"));
+    }
+}

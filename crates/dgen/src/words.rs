@@ -1,0 +1,267 @@
+//! Embedded word lists — the "real world based data domains" of paper §3.2.
+//!
+//! dsdgen ships these as `.dst` distribution files; we embed equivalents.
+//! First names carry census-style frequency weights ("frequent names" skew);
+//! the remaining lists are drawn uniformly or with simple weights.
+
+/// (name, relative frequency) — approximates US census first-name skew.
+pub const FIRST_NAMES: &[(&str, f64)] = &[
+    ("James", 3.3), ("John", 3.3), ("Robert", 3.1), ("Michael", 2.6), ("William", 2.5),
+    ("David", 2.4), ("Richard", 1.7), ("Charles", 1.5), ("Joseph", 1.4), ("Thomas", 1.4),
+    ("Mary", 2.6), ("Patricia", 1.1), ("Linda", 1.0), ("Barbara", 1.0), ("Elizabeth", 0.9),
+    ("Jennifer", 0.9), ("Maria", 0.8), ("Susan", 0.8), ("Margaret", 0.8), ("Dorothy", 0.7),
+    ("Christopher", 1.3), ("Daniel", 1.3), ("Paul", 1.2), ("Mark", 1.2), ("Donald", 1.1),
+    ("George", 1.1), ("Kenneth", 1.0), ("Steven", 1.0), ("Edward", 1.0), ("Brian", 0.9),
+    ("Ronald", 0.9), ("Anthony", 0.9), ("Kevin", 0.8), ("Jason", 0.8), ("Matthew", 0.8),
+    ("Gary", 0.7), ("Timothy", 0.7), ("Jose", 0.7), ("Larry", 0.7), ("Jeffrey", 0.7),
+    ("Lisa", 0.7), ("Nancy", 0.7), ("Karen", 0.6), ("Betty", 0.6), ("Helen", 0.6),
+    ("Sandra", 0.6), ("Donna", 0.6), ("Carol", 0.6), ("Ruth", 0.5), ("Sharon", 0.5),
+    ("Michelle", 0.5), ("Laura", 0.5), ("Sarah", 0.5), ("Kimberly", 0.5), ("Deborah", 0.5),
+    ("Jessica", 0.5), ("Shirley", 0.5), ("Cynthia", 0.4), ("Angela", 0.4), ("Melissa", 0.4),
+    ("Frank", 0.6), ("Scott", 0.6), ("Eric", 0.6), ("Stephen", 0.6), ("Andrew", 0.5),
+    ("Raymond", 0.5), ("Gregory", 0.5), ("Joshua", 0.5), ("Jerry", 0.5), ("Dennis", 0.5),
+    ("Walter", 0.4), ("Patrick", 0.4), ("Peter", 0.4), ("Harold", 0.4), ("Douglas", 0.4),
+    ("Henry", 0.4), ("Carl", 0.4), ("Arthur", 0.4), ("Ryan", 0.4), ("Roger", 0.4),
+    ("Brenda", 0.4), ("Amy", 0.4), ("Anna", 0.4), ("Rebecca", 0.4), ("Virginia", 0.4),
+    ("Kathleen", 0.4), ("Pamela", 0.4), ("Martha", 0.4), ("Debra", 0.4), ("Amanda", 0.4),
+    ("Stephanie", 0.3), ("Carolyn", 0.3), ("Christine", 0.3), ("Marie", 0.3), ("Janet", 0.3),
+    ("Catherine", 0.3), ("Frances", 0.3), ("Ann", 0.3), ("Joyce", 0.3), ("Diane", 0.3),
+    ("Joe", 0.3), ("Juan", 0.3), ("Jack", 0.3), ("Albert", 0.3), ("Jonathan", 0.3),
+    ("Justin", 0.3), ("Terry", 0.3), ("Gerald", 0.3), ("Keith", 0.3), ("Samuel", 0.3),
+    ("Willie", 0.3), ("Ralph", 0.3), ("Lawrence", 0.3), ("Nicholas", 0.3), ("Roy", 0.3),
+    ("Benjamin", 0.3), ("Bruce", 0.3), ("Brandon", 0.3), ("Adam", 0.3), ("Harry", 0.3),
+    ("Fred", 0.3), ("Wayne", 0.3), ("Billy", 0.3), ("Steve", 0.3), ("Louis", 0.3),
+    ("Jeremy", 0.3), ("Aaron", 0.3), ("Randy", 0.3), ("Howard", 0.3), ("Eugene", 0.3),
+];
+
+/// Common US surnames (uniform draw).
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Jones", "Brown", "Davis", "Miller", "Wilson",
+    "Moore", "Taylor", "Anderson", "Thomas", "Jackson", "White", "Harris", "Martin",
+    "Thompson", "Garcia", "Martinez", "Robinson", "Clark", "Rodriguez", "Lewis", "Lee",
+    "Walker", "Hall", "Allen", "Young", "Hernandez", "King", "Wright", "Lopez",
+    "Hill", "Scott", "Green", "Adams", "Baker", "Gonzalez", "Nelson", "Carter",
+    "Mitchell", "Perez", "Roberts", "Turner", "Phillips", "Campbell", "Parker", "Evans",
+    "Edwards", "Collins", "Stewart", "Sanchez", "Morris", "Rogers", "Reed", "Cook",
+    "Morgan", "Bell", "Murphy", "Bailey", "Rivera", "Cooper", "Richardson", "Cox",
+    "Howard", "Ward", "Torres", "Peterson", "Gray", "Ramirez", "James", "Watson",
+    "Brooks", "Kelly", "Sanders", "Price", "Bennett", "Wood", "Barnes", "Ross",
+    "Henderson", "Coleman", "Jenkins", "Perry", "Powell", "Long", "Patterson", "Hughes",
+    "Flores", "Washington", "Butler", "Simmons", "Foster", "Gonzales", "Bryant", "Alexander",
+    "Russell", "Griffin", "Diaz", "Hayes", "Myers", "Ford", "Hamilton", "Graham",
+    "Sullivan", "Wallace", "Woods", "Cole", "West", "Jordan", "Owens", "Reynolds",
+    "Fisher", "Ellis", "Harrison", "Gibson", "Mcdonald", "Cruz", "Marshall", "Ortiz",
+    "Gomez", "Murray", "Freeman", "Wells", "Webb", "Simpson", "Stevens", "Tucker",
+];
+
+/// Salutations with gender hints (M, F, or either).
+pub const SALUTATIONS: &[(&str, char)] = &[
+    ("Mr.", 'M'), ("Sir", 'M'),
+    ("Mrs.", 'F'), ("Ms.", 'F'), ("Miss", 'F'),
+    ("Dr.", 'B'),
+];
+
+/// US cities (a subset of dsdgen's list; drawn uniformly).
+pub const CITIES: &[&str] = &[
+    "Fairview", "Midway", "Oak Grove", "Five Points", "Oakland", "Riverside", "Bethel",
+    "Pleasant Hill", "Centerville", "Liberty", "Salem", "Mount Pleasant", "Georgetown",
+    "Union", "Greenville", "Franklin", "Marion", "Springfield", "Clinton", "Jackson",
+    "Lakeside", "Glendale", "Farmington", "Shady Grove", "Sunnyside", "Mount Zion",
+    "Antioch", "Friendship", "Concord", "Highland", "Lakeview", "Pine Grove", "Hamilton",
+    "Red Hill", "Summit", "Bridgeport", "Lincoln", "Arlington", "Ashland", "Belmont",
+    "Buena Vista", "Cedar Grove", "Deerfield", "Edgewood", "Enterprise", "Florence",
+    "Glenwood", "Greenfield", "Harmony", "Hillcrest", "Hopewell", "Kingston", "Lebanon",
+    "Macedonia", "Maple Grove", "Newport", "Newtown", "Plainview", "Pleasant Valley",
+    "Providence", "Riverdale", "Stringtown", "Walnut Grove", "Waterloo", "Woodville",
+];
+
+/// US counties — dsdgen's county domain is about 1800 entries and is scaled
+/// down for small tables (paper §3.1). We embed a sample; the generator
+/// derives additional synthetic counties when a wider domain is needed.
+pub const COUNTIES: &[&str] = &[
+    "Williamson County", "Walker County", "Ziebach County", "Barrow County",
+    "Daviess County", "Franklin Parish", "Luce County", "Richland County",
+    "Bronx County", "Maverick County", "Mesa County", "Raleigh County",
+    "Oglethorpe County", "Mobile County", "Huron County", "Kittitas County",
+    "San Miguel County", "Fairfield County", "Cherokee County", "Jackson County",
+    "Marshall County", "Lincoln County", "Madison County", "Washington County",
+    "Union County", "Clay County", "Montgomery County", "Greene County",
+    "Wayne County", "Monroe County", "Perry County", "Warren County",
+    "Lake County", "Brown County", "Carroll County", "Douglas County",
+    "Grant County", "Henry County", "Johnson County", "Lawrence County",
+    "Lee County", "Logan County", "Morgan County", "Orange County",
+    "Polk County", "Pulaski County", "Scott County", "Shelby County",
+    "Calhoun County", "Crawford County", "Fayette County", "Hamilton County",
+    "Hancock County", "Hardin County", "Knox County", "Marion County",
+    "Mercer County", "Owen County", "Pierce County", "Putnam County",
+];
+
+/// US state abbreviations.
+pub const STATES: &[&str] = &[
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN",
+    "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV",
+    "NH", "NJ", "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN",
+    "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+];
+
+/// Street name stems.
+pub const STREET_NAMES: &[&str] = &[
+    "Main", "Oak", "Elm", "Park", "Maple", "Washington", "Lake", "Hill", "Walnut",
+    "Spring", "North", "Ridge", "Lincoln", "Church", "Willow", "Mill", "Sunset",
+    "Railroad", "Jackson", "River", "Highland", "Johnson", "Dogwood", "Chestnut",
+    "Spruce", "Wilson", "Meadow", "Forest", "Second", "Third", "Fourth", "Fifth",
+    "Sixth", "Seventh", "Eighth", "Ninth", "Tenth", "Cedar", "Pine", "Poplar",
+    "Adams", "Franklin", "Green", "Valley", "College", "Broadway", "Locust", "Smith",
+    "Davis", "Lakeview", "Birch", "Hickory", "View", "Woodland", "Center", "Laurel",
+];
+
+/// Street types.
+pub const STREET_TYPES: &[&str] = &[
+    "Street", "Avenue", "Boulevard", "Circle", "Court", "Drive", "Lane", "Parkway",
+    "Pkwy", "Road", "Way", "Blvd", "Ave", "Dr", "Ct", "RD", "ST", "Ln", "Cir", "Wy",
+];
+
+/// Countries for `c_birth_country` (uniform).
+pub const COUNTRIES: &[&str] = &[
+    "UNITED STATES", "CANADA", "MEXICO", "BRAZIL", "GERMANY", "FRANCE", "ITALY",
+    "UNITED KINGDOM", "SPAIN", "PORTUGAL", "NETHERLANDS", "BELGIUM", "SWITZERLAND",
+    "AUSTRIA", "POLAND", "RUSSIA", "CHINA", "JAPAN", "INDIA", "AUSTRALIA",
+    "NEW ZEALAND", "ARGENTINA", "CHILE", "PERU", "COLOMBIA", "VENEZUELA", "EGYPT",
+    "NIGERIA", "KENYA", "SOUTH AFRICA", "MOROCCO", "TURKEY", "GREECE", "SWEDEN",
+    "NORWAY", "DENMARK", "FINLAND", "IRELAND", "ISRAEL", "SAUDI ARABIA", "THAILAND",
+    "VIETNAM", "INDONESIA", "MALAYSIA", "PHILIPPINES", "SOUTH KOREA", "PAKISTAN",
+    "BANGLADESH", "UKRAINE", "ROMANIA",
+];
+
+/// Item colors (subset of dsdgen's 92-entry list).
+pub const COLORS: &[&str] = &[
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
+    "blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate",
+    "coral", "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger",
+    "drab", "firebrick", "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+    "green", "grey", "honeydew", "hot", "indian", "ivory", "khaki", "lace", "lavender",
+    "lawn", "lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange", "orchid",
+    "pale", "papaya", "peach", "peru", "pink", "plum", "powder", "puff", "purple", "red",
+    "rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell", "sienna", "sky",
+    "slate", "smoke", "snow", "spring", "steel", "tan", "thistle", "tomato", "turquoise",
+    "violet", "wheat", "white", "yellow",
+];
+
+/// Item size domain.
+pub const SIZES: &[&str] = &["small", "medium", "large", "extra large", "economy", "petite", "N/A"];
+
+/// Item units domain.
+pub const UNITS: &[&str] = &[
+    "Unknown", "Each", "Case", "Pallet", "Gross", "Dozen", "Box", "Bundle", "Tsp",
+    "Oz", "Lb", "Ton", "Gram", "Dram", "Carton", "Cup", "Pound", "Bunch", "N/A",
+];
+
+/// Item container domain.
+pub const CONTAINERS: &[&str] = &["Unknown", "LARGE BOX", "SMALL BOX", "PALLET", "CASE", "N/A"];
+
+/// The 10 TPC-DS item categories with their classes (single-inheritance
+/// hierarchy of Figure 5: each class belongs to exactly one category).
+pub const CATEGORIES: &[(&str, &[&str])] = &[
+    ("Books", &["arts", "business", "computers", "cooking", "entertainments", "fiction",
+        "history", "home repair", "mystery", "parenting", "reference", "romance",
+        "science", "self-help", "sports", "travel"]),
+    ("Children", &["infants", "newborn", "school-uniforms", "toddlers"]),
+    ("Electronics", &["audio", "automotive", "camcorders", "cameras", "disk drives",
+        "dvd/vcr players", "karoke", "memory", "monitors", "musical", "personal",
+        "portable", "scanners", "stereo", "televisions", "wireless"]),
+    ("Home", &["accent", "bathroom", "bedding", "blinds/shades", "curtains/drapes",
+        "decor", "flatware", "furniture", "glassware", "kids", "lighting",
+        "mattresses", "paint", "rugs", "tables", "wallpaper"]),
+    ("Jewelry", &["birdal", "bracelets", "consignment", "costume", "custom", "diamonds",
+        "earings", "estate", "gold", "jewelry boxes", "loose stones", "mens watch",
+        "pendants", "rings", "semi-precious", "womens watch"]),
+    ("Men", &["accessories", "pants", "shirts", "sports-apparel"]),
+    ("Music", &["classical", "country", "pop", "rock"]),
+    ("Shoes", &["athletic", "kids", "mens", "womens"]),
+    ("Sports", &["archery", "athletic shoes", "baseball", "basketball", "camping",
+        "fishing", "fitness", "football", "golf", "guns", "hockey", "optics",
+        "outdoor", "pools", "sailing", "tennis"]),
+    ("Women", &["dresses", "fragrances", "maternity", "swimwear"]),
+];
+
+/// Corporation-style syllables used to synthesize brand and manufacturer
+/// names ("scholaramalgamalg #14" in dsdgen).
+pub const CORP_SYLLABLES: &[&str] = &[
+    "amalg", "importo", "edu pack", "exporti", "scholar", "corp", "brand", "univ",
+    "nameless", "maxi",
+];
+
+/// Return reasons (dsdgen's reason descriptions, sampled).
+pub const RETURN_REASONS: &[&str] = &[
+    "Package was damaged", "Stopped working", "Did not fit", "Found a better price in a store",
+    "Not the product that was ordred", "Parts missing", "Does not work with a product that I have",
+    "Gift exchange", "Did not like the color", "Did not like the model", "Did not like the make",
+    "Did not like the warranty", "No service location in my area", "Unauthorized purchase",
+    "Duplicate purchase", "Lost my job", "Found a better extended warranty",
+    "Wrong size", "Changed my mind", "Arrived too late", "Ordered twice by mistake",
+    "Quality not as expected", "Better price online", "Item was recalled",
+    "Allergic reaction", "Did not like the fabric", "Packaging was open",
+    "Missing instructions", "Incompatible accessory", "Too heavy",
+    "Too difficult to assemble", "Defective on arrival", "Expired product",
+    "Wrong color shipped", "Wrong model shipped", "Late delivery", "Found cheaper elsewhere",
+    "No longer needed", "Warranty concerns", "Product review was misleading",
+    "Safety concerns", "Shipping box damaged", "Could not install", "Poor performance",
+    "Battery life too short", "Screen was scratched", "Fabric tore", "Seams failed",
+    "Zipper broke", "Buttons missing", "Stitching came apart", "Faded after wash",
+    "Shrunk after wash", "Smelled odd", "Did not match description",
+];
+
+/// Ship-mode types and carriers.
+pub const SHIP_MODE_TYPES: &[&str] = &["EXPRESS", "NEXT DAY", "OVERNIGHT", "REGULAR", "TWO DAY"];
+/// Carriers for [`SHIP_MODE_TYPES`].
+pub const SHIP_MODE_CARRIERS: &[&str] = &[
+    "AIRBORNE", "ALLIANCE", "BARIAN", "BOXBUNDLES", "CARGO", "DHL", "DIAMOND", "FEDEX",
+    "GERMA", "GREAT EASTERN", "HARMSTORF", "LATVIAN", "MSC", "ORIENTAL", "PRIVATECARRIER",
+    "RUPEKSA", "TBS", "UPS", "USPS", "ZHOU", "ZOUROS",
+];
+
+/// `hd_buy_potential` domain.
+pub const BUY_POTENTIALS: &[&str] =
+    &[">10000", "5001-10000", "1001-5000", "501-1000", "0-500", "Unknown"];
+
+/// `cd_education_status` domain.
+pub const EDUCATION_STATUSES: &[&str] = &[
+    "Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree", "Advanced Degree",
+    "Unknown",
+];
+
+/// `cd_credit_rating` domain.
+pub const CREDIT_RATINGS: &[&str] = &["Good", "High Risk", "Low Risk", "Unknown"];
+
+/// `cd_marital_status` domain.
+pub const MARITAL_STATUSES: &[&str] = &["M", "S", "D", "W", "U"];
+
+/// `p_purpose` domain for promotions.
+pub const PROMO_PURPOSES: &[&str] = &["Unknown", "ad", "birthday", "anniversary", "holiday"];
+
+/// Department names for catalog pages.
+pub const DEPARTMENTS: &[&str] = &["DEPARTMENT"];
+
+/// Web page types.
+pub const WEB_PAGE_TYPES: &[&str] =
+    &["ad", "dynamic", "feedback", "general", "order", "protected", "welcome"];
+
+/// Nouns used to synthesize item descriptions and market descriptions.
+pub const DESC_WORDS: &[&str] = &[
+    "considerations", "systems", "engineers", "things", "processes", "values", "figures",
+    "areas", "models", "sources", "activities", "conditions", "examples", "problems",
+    "services", "methods", "workers", "leaders", "members", "children", "students",
+    "managers", "owners", "years", "weeks", "hours", "minutes", "words", "books",
+    "rates", "prices", "costs", "goods", "sales", "plans", "rules", "roles", "ideas",
+    "images", "trees", "rivers", "mountains", "markets", "futures", "options", "shares",
+    "regions", "nations", "cities", "towns", "homes", "rooms", "tables", "chairs",
+];
+
+/// Adjectives for synthesized text.
+pub const DESC_ADJECTIVES: &[&str] = &[
+    "sorry", "large", "small", "high", "low", "early", "late", "young", "old", "major",
+    "minor", "good", "great", "new", "important", "different", "social", "national",
+    "available", "difficult", "necessary", "similar", "actual", "general", "special",
+    "recent", "quiet", "bright", "simple", "sharp", "broad", "flat", "deep", "warm",
+];

@@ -1,0 +1,332 @@
+//! In-memory storage: tables, secondary indexes, and the database catalog.
+//!
+//! Tables are row-major `Vec<Row>` guarded by `parking_lot::RwLock`, so
+//! concurrent query streams read in parallel while the data-maintenance run
+//! takes short write locks — the concurrency model of the paper's execution
+//! rules (§5.2).
+
+use crate::error::{EngineError, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tpcds_types::{DataType, Row, Value};
+
+/// Schema of one stored column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnMeta {
+    /// Column name (lower-case).
+    pub name: String,
+    /// Runtime type of values stored.
+    pub dtype: DataType,
+}
+
+/// A hash index over one column: value → row positions.
+#[derive(Debug, Default)]
+pub struct Index {
+    map: HashMap<Value, Vec<usize>>,
+}
+
+impl Index {
+    fn build(rows: &[Row], col: usize) -> Index {
+        let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (i, row) in rows.iter().enumerate() {
+            map.entry(row[col].clone()).or_default().push(i);
+        }
+        Index { map }
+    }
+
+    /// Row positions with the given key value.
+    pub fn lookup(&self, key: &Value) -> &[usize] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// One stored table.
+#[derive(Debug)]
+pub struct Table {
+    /// Column metadata, in order.
+    pub columns: Vec<ColumnMeta>,
+    /// The rows.
+    pub rows: Vec<Row>,
+    /// Secondary hash indexes, keyed by column position.
+    pub indexes: HashMap<usize, Index>,
+}
+
+impl Table {
+    /// Creates an empty table with the given columns.
+    pub fn new(columns: Vec<ColumnMeta>) -> Table {
+        Table { columns, rows: Vec::new(), indexes: HashMap::new() }
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Appends rows, maintaining indexes.
+    pub fn insert(&mut self, rows: Vec<Row>) -> Result<()> {
+        for row in &rows {
+            if row.len() != self.columns.len() {
+                return Err(EngineError::Catalog(format!(
+                    "arity mismatch: row has {} values, table has {} columns",
+                    row.len(),
+                    self.columns.len()
+                )));
+            }
+        }
+        let base = self.rows.len();
+        for (col, idx) in self.indexes.iter_mut() {
+            for (i, row) in rows.iter().enumerate() {
+                idx.map.entry(row[*col].clone()).or_default().push(base + i);
+            }
+        }
+        self.rows.extend(rows);
+        Ok(())
+    }
+
+    /// Deletes every row for which `pred` returns true; returns the number
+    /// deleted. Indexes are rebuilt (bulk deletes are rare and batched in
+    /// the maintenance workload).
+    pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|r| !pred(r));
+        let deleted = before - self.rows.len();
+        if deleted > 0 {
+            self.rebuild_indexes();
+        }
+        deleted
+    }
+
+    /// Applies `f` to every row in place (dimension updates); returns the
+    /// number of rows for which `f` returned true (i.e. reported a change).
+    pub fn update_each(&mut self, mut f: impl FnMut(&mut Row) -> bool) -> usize {
+        let mut changed = 0;
+        for row in &mut self.rows {
+            if f(row) {
+                changed += 1;
+            }
+        }
+        if changed > 0 {
+            self.rebuild_indexes();
+        }
+        changed
+    }
+
+    /// Builds (or rebuilds) a hash index on `column`.
+    pub fn create_index(&mut self, column: usize) {
+        self.indexes.insert(column, Index::build(&self.rows, column));
+    }
+
+    /// Drops the index on `column`.
+    pub fn drop_index(&mut self, column: usize) {
+        self.indexes.remove(&column);
+    }
+
+    fn rebuild_indexes(&mut self) {
+        let cols: Vec<usize> = self.indexes.keys().copied().collect();
+        for c in cols {
+            self.create_index(c);
+        }
+    }
+}
+
+/// The database: a named collection of tables.
+#[derive(Default)]
+pub struct Database {
+    tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let t = self.tables.read();
+        write!(f, "Database({} tables, {} rows)", t.len(),
+            t.values().map(|x| x.read().rows.len()).sum::<usize>())
+    }
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Creates an empty table. Errors if the name exists.
+    pub fn create_table(&self, name: &str, columns: Vec<ColumnMeta>) -> Result<()> {
+        let mut t = self.tables.write();
+        if t.contains_key(name) {
+            return Err(EngineError::Catalog(format!("table {name} already exists")));
+        }
+        t.insert(name.to_string(), Arc::new(RwLock::new(Table::new(columns))));
+        Ok(())
+    }
+
+    /// Creates a table pre-populated with rows.
+    pub fn create_table_with_rows(
+        &self,
+        name: &str,
+        columns: Vec<ColumnMeta>,
+        rows: Vec<Row>,
+    ) -> Result<()> {
+        self.create_table(name, columns)?;
+        self.insert(name, rows)
+    }
+
+    /// Drops a table. Errors if missing.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.tables
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| EngineError::Catalog(format!("unknown table {name}")))
+    }
+
+    /// Handle to a table.
+    pub fn table(&self, name: &str) -> Result<Arc<RwLock<Table>>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::Catalog(format!("unknown table {name}")))
+    }
+
+    /// True when the table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.read().contains_key(name)
+    }
+
+    /// All table names.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Appends rows to a table.
+    pub fn insert(&self, name: &str, rows: Vec<Row>) -> Result<()> {
+        self.table(name)?.write().insert(rows)
+    }
+
+    /// Row count of a table (0 when missing — used by the planner for
+    /// cardinality estimates only).
+    pub fn row_count(&self, name: &str) -> usize {
+        self.table(name).map(|t| t.read().rows.len()).unwrap_or(0)
+    }
+
+    /// Column metadata of a table.
+    pub fn columns(&self, name: &str) -> Result<Vec<ColumnMeta>> {
+        Ok(self.table(name)?.read().columns.clone())
+    }
+
+    /// Builds a hash index on `table.column`.
+    pub fn create_index(&self, table: &str, column: &str) -> Result<()> {
+        let t = self.table(table)?;
+        let mut t = t.write();
+        let col = t
+            .column_index(column)
+            .ok_or_else(|| EngineError::Catalog(format!("unknown column {table}.{column}")))?;
+        t.create_index(col);
+        Ok(())
+    }
+
+    /// Drops the hash index on `table.column`, if any.
+    pub fn drop_index(&self, table: &str, column: &str) -> Result<()> {
+        let t = self.table(table)?;
+        let mut t = t.write();
+        let col = t
+            .column_index(column)
+            .ok_or_else(|| EngineError::Catalog(format!("unknown column {table}.{column}")))?;
+        t.drop_index(col);
+        Ok(())
+    }
+
+    /// Total number of stored rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables
+            .read()
+            .values()
+            .map(|t| t.read().rows.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols(names: &[&str]) -> Vec<ColumnMeta> {
+        names
+            .iter()
+            .map(|n| ColumnMeta { name: n.to_string(), dtype: DataType::Int })
+            .collect()
+    }
+
+    #[test]
+    fn create_insert_and_count() {
+        let db = Database::new();
+        db.create_table("t", cols(&["a", "b"])).unwrap();
+        db.insert("t", vec![vec![Value::Int(1), Value::Int(2)]]).unwrap();
+        assert_eq!(db.row_count("t"), 1);
+        assert!(db.has_table("t"));
+        assert!(!db.has_table("u"));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let db = Database::new();
+        db.create_table("t", cols(&["a"])).unwrap();
+        assert!(db.create_table("t", cols(&["a"])).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let db = Database::new();
+        db.create_table("t", cols(&["a", "b"])).unwrap();
+        assert!(db.insert("t", vec![vec![Value::Int(1)]]).is_err());
+    }
+
+    #[test]
+    fn index_follows_inserts_and_deletes() {
+        let db = Database::new();
+        db.create_table("t", cols(&["a"])).unwrap();
+        db.insert("t", vec![vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap();
+        db.create_index("t", "a").unwrap();
+        {
+            let t = db.table("t").unwrap();
+            let t = t.read();
+            assert_eq!(t.indexes[&0].lookup(&Value::Int(2)), &[1]);
+        }
+        db.insert("t", vec![vec![Value::Int(2)]]).unwrap();
+        {
+            let t = db.table("t").unwrap();
+            let t = t.read();
+            assert_eq!(t.indexes[&0].lookup(&Value::Int(2)), &[1, 2]);
+        }
+        let t = db.table("t").unwrap();
+        let deleted = t.write().delete_where(|r| r[0] == Value::Int(2));
+        assert_eq!(deleted, 2);
+        assert_eq!(t.read().indexes[&0].lookup(&Value::Int(2)), &[] as &[usize]);
+    }
+
+    #[test]
+    fn update_each_reports_changes() {
+        let db = Database::new();
+        db.create_table("t", cols(&["a"])).unwrap();
+        db.insert("t", vec![vec![Value::Int(1)], vec![Value::Int(5)]]).unwrap();
+        let t = db.table("t").unwrap();
+        let changed = t.write().update_each(|r| {
+            if r[0] == Value::Int(5) {
+                r[0] = Value::Int(50);
+                true
+            } else {
+                false
+            }
+        });
+        assert_eq!(changed, 1);
+        assert_eq!(t.read().rows[1][0], Value::Int(50));
+    }
+}

@@ -1,0 +1,51 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Any failure raised while parsing, planning or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Tokenizer failure with position.
+    Lex(String),
+    /// Grammar failure.
+    Parse(String),
+    /// Name resolution / type failure.
+    Bind(String),
+    /// Runtime failure (overflow, bad cast, ...).
+    Exec(String),
+    /// Catalog failure (unknown / duplicate table, arity mismatch, ...).
+    Catalog(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Lex(m) => write!(f, "lex error: {m}"),
+            EngineError::Parse(m) => write!(f, "parse error: {m}"),
+            EngineError::Bind(m) => write!(f, "bind error: {m}"),
+            EngineError::Exec(m) => write!(f, "execution error: {m}"),
+            EngineError::Catalog(m) => write!(f, "catalog error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Engine result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Shorthand constructors.
+impl EngineError {
+    /// Bind-time error.
+    pub fn bind(m: impl Into<String>) -> Self {
+        EngineError::Bind(m.into())
+    }
+    /// Execution-time error.
+    pub fn exec(m: impl Into<String>) -> Self {
+        EngineError::Exec(m.into())
+    }
+    /// Parse-time error.
+    pub fn parse(m: impl Into<String>) -> Self {
+        EngineError::Parse(m.into())
+    }
+}

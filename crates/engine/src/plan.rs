@@ -1,0 +1,324 @@
+//! The bound logical/physical plan. With full materialization between
+//! operators, logical and physical plans coincide.
+
+use crate::expr::BExpr;
+use std::sync::Arc;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `count(expr)` — non-null count.
+    Count,
+    /// `count(*)`.
+    CountStar,
+    /// `sum(expr)`.
+    Sum,
+    /// `min(expr)`.
+    Min,
+    /// `max(expr)`.
+    Max,
+    /// `avg(expr)`.
+    Avg,
+    /// `stddev_samp(expr)`.
+    StddevSamp,
+    /// `grouping(group_expr_index)` — 1 when the group column is rolled up
+    /// in the current grouping set, else 0.
+    Grouping(usize),
+}
+
+/// One aggregate call.
+#[derive(Debug, Clone)]
+pub struct AggCall {
+    /// Function.
+    pub func: AggFunc,
+    /// Argument (None for `count(*)` / `grouping`).
+    pub arg: Option<BExpr>,
+    /// DISTINCT aggregate.
+    pub distinct: bool,
+}
+
+/// Window functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WinFunc {
+    /// Running / partition-wide sum.
+    Sum,
+    /// Running / partition-wide average.
+    Avg,
+    /// Running / partition-wide count.
+    Count,
+    /// Running / partition-wide min.
+    Min,
+    /// Running / partition-wide max.
+    Max,
+    /// RANK().
+    Rank,
+    /// DENSE_RANK().
+    DenseRank,
+    /// ROW_NUMBER().
+    RowNumber,
+}
+
+/// One window-function call; the executor appends its result column.
+#[derive(Debug, Clone)]
+pub struct WindowCall {
+    /// Function.
+    pub func: WinFunc,
+    /// Argument (None for rank-family functions).
+    pub arg: Option<BExpr>,
+    /// PARTITION BY keys.
+    pub partition: Vec<BExpr>,
+    /// ORDER BY keys with descending flags. When non-empty, aggregate
+    /// window functions use the default frame (unbounded preceding through
+    /// current peer group); when empty, the whole partition.
+    pub order: Vec<(BExpr, bool)>,
+}
+
+/// Set operation kinds (bound form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOpKind {
+    /// UNION.
+    Union,
+    /// INTERSECT.
+    Intersect,
+    /// EXCEPT.
+    Except,
+}
+
+/// Join kinds (bound form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Inner join.
+    Inner,
+    /// Left outer join.
+    Left,
+}
+
+/// The plan tree.
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// Base-table scan with an optional pushed-down filter.
+    Scan {
+        /// Table name in the catalog.
+        table: String,
+        /// Number of columns (scan output width).
+        width: usize,
+        /// Filter applied during the scan.
+        filter: Option<BExpr>,
+    },
+    /// Row filter.
+    Filter {
+        /// Input.
+        input: Arc<Plan>,
+        /// Predicate.
+        predicate: BExpr,
+    },
+    /// Projection: computes `exprs` over each input row.
+    Project {
+        /// Input.
+        input: Arc<Plan>,
+        /// Output expressions.
+        exprs: Vec<BExpr>,
+    },
+    /// Hash equi-join. Output rows are `left ++ right`.
+    HashJoin {
+        /// Left (probe) input.
+        left: Arc<Plan>,
+        /// Right (build) input.
+        right: Arc<Plan>,
+        /// Join kind.
+        kind: JoinKind,
+        /// Equi-key expressions over the left input.
+        left_keys: Vec<BExpr>,
+        /// Equi-key expressions over the right input.
+        right_keys: Vec<BExpr>,
+        /// Residual predicate over the combined row.
+        residual: Option<BExpr>,
+    },
+    /// Nested-loop join for non-equi conditions (and cross joins).
+    NestedLoopJoin {
+        /// Left input.
+        left: Arc<Plan>,
+        /// Right input.
+        right: Arc<Plan>,
+        /// Join kind.
+        kind: JoinKind,
+        /// Join predicate over the combined row (None = cross join).
+        predicate: Option<BExpr>,
+    },
+    /// Hash aggregation with grouping sets (plain GROUP BY is one set).
+    Aggregate {
+        /// Input.
+        input: Arc<Plan>,
+        /// Group-key expressions.
+        groups: Vec<BExpr>,
+        /// Grouping sets as masks over `groups` (true = grouped). A plain
+        /// GROUP BY is a single all-true mask; ROLLUP(a,b) is
+        /// `[[t,t],[t,f],[f,f]]`.
+        sets: Vec<Vec<bool>>,
+        /// Aggregate calls; output row = group values ++ aggregate values.
+        aggs: Vec<AggCall>,
+    },
+    /// Window computation: appends one column per call.
+    Window {
+        /// Input.
+        input: Arc<Plan>,
+        /// The calls.
+        calls: Vec<WindowCall>,
+    },
+    /// Sort.
+    Sort {
+        /// Input.
+        input: Arc<Plan>,
+        /// (key, descending) pairs. NULLs sort first ascending, last
+        /// descending.
+        keys: Vec<(BExpr, bool)>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input.
+        input: Arc<Plan>,
+        /// Maximum rows.
+        n: u64,
+    },
+    /// Duplicate elimination over whole rows.
+    Distinct {
+        /// Input.
+        input: Arc<Plan>,
+    },
+    /// Set operation.
+    SetOp {
+        /// Left input.
+        left: Arc<Plan>,
+        /// Right input.
+        right: Arc<Plan>,
+        /// Kind.
+        op: SetOpKind,
+        /// Keep duplicates (UNION ALL; INTERSECT/EXCEPT ALL unsupported).
+        all: bool,
+    },
+    /// Reference to a shared CTE plan, executed once per statement and
+    /// cached in the execution context.
+    CteRef {
+        /// Cache slot.
+        id: usize,
+        /// The CTE's plan.
+        plan: Arc<Plan>,
+        /// Output width.
+        width: usize,
+    },
+    /// Keep only the first `keep` columns of each row (drops hidden sort
+    /// columns after an ORDER BY over non-projected expressions).
+    Prefix {
+        /// Input.
+        input: Arc<Plan>,
+        /// Visible column count.
+        keep: usize,
+    },
+}
+
+impl Plan {
+    /// Number of columns this plan produces. `db_width` resolves scan
+    /// widths eagerly, so this is exact.
+    pub fn width(&self) -> usize {
+        match self {
+            Plan::Scan { width, .. } => *width,
+            Plan::Filter { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Distinct { input } => input.width(),
+            Plan::Project { exprs, .. } => exprs.len(),
+            Plan::HashJoin { left, right, .. } | Plan::NestedLoopJoin { left, right, .. } => {
+                left.width() + right.width()
+            }
+            Plan::Aggregate { groups, aggs, .. } => groups.len() + aggs.len(),
+            Plan::Window { input, calls } => input.width() + calls.len(),
+            Plan::SetOp { left, .. } => left.width(),
+            Plan::CteRef { width, .. } => *width,
+            Plan::Prefix { keep, .. } => *keep,
+        }
+    }
+
+    /// Wraps in a filter unless the predicate is trivially absent.
+    pub fn filtered(self, predicate: Option<BExpr>) -> Plan {
+        match predicate {
+            None => self,
+            Some(p) => Plan::Filter { input: Arc::new(self), predicate: p },
+        }
+    }
+
+    /// Pretty-prints the plan tree (EXPLAIN output).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Scan { table, filter, .. } => {
+                let f = if filter.is_some() { " [filtered]" } else { "" };
+                writeln!(out, "{pad}Scan {table}{f}").unwrap();
+            }
+            Plan::Filter { input, .. } => {
+                writeln!(out, "{pad}Filter").unwrap();
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Project { input, exprs } => {
+                writeln!(out, "{pad}Project [{} cols]", exprs.len()).unwrap();
+                input.explain_into(out, depth + 1);
+            }
+            Plan::HashJoin { left, right, kind, left_keys, .. } => {
+                writeln!(out, "{pad}HashJoin {kind:?} on {} key(s)", left_keys.len()).unwrap();
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::NestedLoopJoin { left, right, kind, predicate } => {
+                let p = if predicate.is_some() { "" } else { " (cross)" };
+                writeln!(out, "{pad}NestedLoopJoin {kind:?}{p}").unwrap();
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::Aggregate { input, groups, sets, aggs } => {
+                writeln!(
+                    out,
+                    "{pad}Aggregate [{} group(s), {} set(s), {} agg(s)]",
+                    groups.len(),
+                    sets.len(),
+                    aggs.len()
+                )
+                .unwrap();
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Window { input, calls } => {
+                writeln!(out, "{pad}Window [{} call(s)]", calls.len()).unwrap();
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Sort { input, keys } => {
+                writeln!(out, "{pad}Sort [{} key(s)]", keys.len()).unwrap();
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Limit { input, n } => {
+                writeln!(out, "{pad}Limit {n}").unwrap();
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Distinct { input } => {
+                writeln!(out, "{pad}Distinct").unwrap();
+                input.explain_into(out, depth + 1);
+            }
+            Plan::SetOp { left, right, op, all } => {
+                writeln!(out, "{pad}SetOp {op:?} all={all}").unwrap();
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::CteRef { id, .. } => {
+                writeln!(out, "{pad}CteRef #{id}").unwrap();
+            }
+            Plan::Prefix { input, keep } => {
+                writeln!(out, "{pad}Prefix keep={keep}").unwrap();
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Parser robustness: arbitrary input must never panic — it either parses
+//! or returns a structured error.
+
+use proptest::prelude::*;
+use tpcds_engine::parser::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_strings_never_panic(s in "\\PC{0,120}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn sql_shaped_strings_never_panic(
+        s in "(select|from|where|group|order|by|and|or|not|in|between|case|when|then|end|join|on|union|all|with|as|sum|count|\\(|\\)|,|\\*|=|<|>|'x'|1|t|a|b| ){0,40}"
+    ) {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn valid_queries_round_trip_through_lexer(n in 1i64..1000, m in 1i64..1000) {
+        let sql = format!("select a + {n} from t where b < {m} order by 1 limit 10");
+        let q = parse(&sql).unwrap();
+        prop_assert_eq!(q.limit, Some(10));
+    }
+}
+
+#[test]
+fn deeply_nested_parens_error_instead_of_overflowing() {
+    // Recursive descent is depth-limited: pathological nesting must give a
+    // structured error, never a stack overflow.
+    let mut sql = String::from("select ");
+    for _ in 0..500 {
+        sql.push('(');
+    }
+    sql.push('1');
+    for _ in 0..500 {
+        sql.push(')');
+    }
+    let e = parse(&sql).unwrap_err();
+    assert!(e.to_string().contains("nests deeper"), "{e}");
+
+    // Reasonable nesting still parses.
+    let mut ok = String::from("select ");
+    for _ in 0..30 {
+        ok.push('(');
+    }
+    ok.push('1');
+    for _ in 0..30 {
+        ok.push(')');
+    }
+    assert!(parse(&ok).is_ok());
+}
+
+#[test]
+fn error_messages_name_the_problem() {
+    for (sql, needle) in [
+        ("select * from", "identifier"),
+        ("select 'unterminated", "unterminated string"),
+        ("select a from t where a in ()", "unexpected"),
+        ("select a from t limit x", "LIMIT"),
+    ] {
+        let e = parse(sql).unwrap_err().to_string();
+        assert!(
+            e.to_lowercase().contains(&needle.to_lowercase()),
+            "{sql:?} gave {e:?}, wanted {needle:?}"
+        );
+    }
+}

@@ -1,0 +1,537 @@
+//! # tpcds-maint
+//!
+//! The ETL data maintenance workload (paper §4.2): twelve operations —
+//! four non-history dimension updates (Figure 8), four history-keeping
+//! dimension updates (Figure 9), three channel fact-insert operations with
+//! business-key → surrogate-key resolution (Figure 10), and one logically
+//! clustered fact delete.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use tpcds_types::{Date, Value};
+use tpcds_dgen::Generator;
+use tpcds_engine::{Database, EngineError, Result};
+use tpcds_schema::ScdClass;
+
+/// The twelve maintenance operations, in execution order.
+pub const OPERATIONS: [&str; 12] = [
+    "update_customer",
+    "update_customer_address",
+    "update_warehouse",
+    "update_promotion",
+    "update_item",
+    "update_store",
+    "update_call_center",
+    "update_web_site",
+    "insert_store_channel",
+    "insert_catalog_channel",
+    "insert_web_channel",
+    "delete_fact_range",
+];
+
+/// Outcome of one maintenance operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpReport {
+    /// Operation name (see [`OPERATIONS`]).
+    pub name: &'static str,
+    /// Rows updated in place.
+    pub updated: usize,
+    /// Rows inserted.
+    pub inserted: usize,
+    /// Rows deleted.
+    pub deleted: usize,
+}
+
+/// Outcome of a whole data maintenance run.
+#[derive(Debug, Clone, Default)]
+pub struct MaintenanceReport {
+    /// Per-operation outcomes.
+    pub ops: Vec<OpReport>,
+}
+
+impl MaintenanceReport {
+    /// Total rows touched.
+    pub fn total_rows(&self) -> usize {
+        self.ops.iter().map(|o| o.updated + o.inserted + o.deleted).sum()
+    }
+}
+
+/// The date a refresh run is applied (rec_start_date of new revisions):
+/// one day past the sales window per refresh sequence.
+pub fn refresh_date(generator: &Generator, refresh_seq: u32) -> Date {
+    generator
+        .sales_dates()
+        .last_day()
+        .add_days(1 + refresh_seq as i32)
+}
+
+/// Runs the full 12-operation data maintenance workload against the
+/// database (refresh sequence `refresh_seq`).
+pub fn run_maintenance(
+    db: &Database,
+    generator: &Generator,
+    refresh_seq: u32,
+) -> Result<MaintenanceReport> {
+    let mut report = MaintenanceReport::default();
+    let when = refresh_date(generator, refresh_seq);
+
+    for table in ["customer", "customer_address", "warehouse", "promotion"] {
+        report
+            .ops
+            .push(update_non_history_dimension(db, generator, table, refresh_seq)?);
+    }
+    for table in ["item", "store", "call_center", "web_site"] {
+        report
+            .ops
+            .push(update_history_dimension(db, generator, table, refresh_seq, when)?);
+    }
+    report.ops.push(insert_channel(
+        db,
+        generator,
+        "insert_store_channel",
+        &["store_sales", "store_returns"],
+        refresh_seq,
+    )?);
+    report.ops.push(insert_channel(
+        db,
+        generator,
+        "insert_catalog_channel",
+        &["catalog_sales", "catalog_returns"],
+        refresh_seq,
+    )?);
+    report.ops.push(insert_channel(
+        db,
+        generator,
+        "insert_web_channel",
+        &["web_sales", "web_returns"],
+        refresh_seq,
+    )?);
+    report.ops.push(delete_fact_range(db, generator, refresh_seq)?);
+    Ok(report)
+}
+
+fn op_name(table: &str) -> &'static str {
+    match table {
+        "customer" => "update_customer",
+        "customer_address" => "update_customer_address",
+        "warehouse" => "update_warehouse",
+        "promotion" => "update_promotion",
+        "item" => "update_item",
+        "store" => "update_store",
+        "call_center" => "update_call_center",
+        "web_site" => "update_web_site",
+        other => panic!("no maintenance operation for {other}"),
+    }
+}
+
+/// Figure 8: for every row to be updated, find the row for the business
+/// key and update all changed fields.
+pub fn update_non_history_dimension(
+    db: &Database,
+    generator: &Generator,
+    table: &str,
+    refresh_seq: u32,
+) -> Result<OpReport> {
+    let def = generator
+        .schema()
+        .table(table)
+        .ok_or_else(|| EngineError::Catalog(format!("unknown table {table}")))?;
+    debug_assert_eq!(def.scd, ScdClass::NonHistory);
+    let bk_idx = def
+        .column_index(def.business_key.expect("non-history dims have business keys"))
+        .expect("bk col");
+    let updates = generator.refresh_dimension(table, refresh_seq);
+    let mut wanted: HashMap<String, tpcds_types::Row> = HashMap::new();
+    for u in updates {
+        wanted.insert(u.business_key.clone(), u.row);
+    }
+    let handle = db.table(table)?;
+    let mut t = handle.write();
+    let updated = t.update_each(|row| {
+        let bk = match row[bk_idx].as_str() {
+            Some(s) => s,
+            None => return false,
+        };
+        if let Some(new_row) = wanted.get(bk) {
+            // Update all changed fields, preserving the surrogate key and
+            // the business key.
+            let mut changed = false;
+            for (i, v) in new_row.iter().enumerate() {
+                if i == 0 || i == bk_idx {
+                    continue;
+                }
+                if row[i] != *v {
+                    row[i] = v.clone();
+                    changed = true;
+                }
+            }
+            changed
+        } else {
+            false
+        }
+    });
+    Ok(OpReport { name: op_name(table), updated, inserted: 0, deleted: 0 })
+}
+
+/// Figure 9: close the current revision (rec_end_date := update date - 1)
+/// and insert a new revision with an open rec_end_date.
+pub fn update_history_dimension(
+    db: &Database,
+    generator: &Generator,
+    table: &str,
+    refresh_seq: u32,
+    when: Date,
+) -> Result<OpReport> {
+    let def = generator
+        .schema()
+        .table(table)
+        .ok_or_else(|| EngineError::Catalog(format!("unknown table {table}")))?;
+    debug_assert_eq!(def.scd, ScdClass::History);
+    let bk_idx = def
+        .column_index(def.business_key.expect("history dims have business keys"))
+        .expect("bk col");
+    let end_idx = def
+        .columns
+        .iter()
+        .position(|c| c.name.ends_with("rec_end_date"))
+        .expect("history dims have rec_end_date");
+    let start_idx = def
+        .columns
+        .iter()
+        .position(|c| c.name.ends_with("rec_start_date"))
+        .expect("history dims have rec_start_date");
+
+    let updates = generator.refresh_dimension(table, refresh_seq);
+    let mut wanted: HashMap<String, tpcds_types::Row> = HashMap::new();
+    for u in updates {
+        wanted.insert(u.business_key.clone(), u.row);
+    }
+
+    let handle = db.table(table)?;
+    let mut t = handle.write();
+    let mut next_sk = t
+        .rows
+        .iter()
+        .filter_map(|r| r[0].as_int())
+        .max()
+        .unwrap_or(0)
+        + 1;
+    // Close current revisions and queue their replacements.
+    let mut to_insert = Vec::new();
+    let closed = t.update_each(|row| {
+        if !row[end_idx].is_null() {
+            return false;
+        }
+        let bk = match row[bk_idx].as_str() {
+            Some(s) => s.to_string(),
+            None => return false,
+        };
+        if let Some(new_row) = wanted.get(&bk) {
+            row[end_idx] = Value::Date(when.add_days(-1));
+            let mut rev = new_row.clone();
+            rev[0] = Value::Int(next_sk);
+            next_sk += 1;
+            rev[bk_idx] = Value::str(&bk);
+            rev[start_idx] = Value::Date(when);
+            rev[end_idx] = Value::Null;
+            to_insert.push(rev);
+            true
+        } else {
+            false
+        }
+    });
+    let inserted = to_insert.len();
+    t.insert(to_insert)?;
+    Ok(OpReport { name: op_name(table), updated: closed, inserted, deleted: 0 })
+}
+
+/// Figure 10: insert fact rows, resolving business keys to the most
+/// current surrogate key (rec_end_date IS NULL for history-keeping
+/// dimensions).
+pub fn insert_channel(
+    db: &Database,
+    generator: &Generator,
+    name: &'static str,
+    tables: &[&str],
+    refresh_seq: u32,
+) -> Result<OpReport> {
+    let mut inserted = 0;
+    for table in tables {
+        let def = generator
+            .schema()
+            .table(table)
+            .ok_or_else(|| EngineError::Catalog(format!("unknown table {table}")))?;
+        // Business-key → current-surrogate maps for the maintained
+        // dimensions this fact references.
+        let mut resolvers: HashMap<&str, HashMap<String, i64>> = HashMap::new();
+        for ref_table in ["item", "customer", "store"] {
+            if def.foreign_keys.iter().any(|f| f.ref_table == ref_table) {
+                resolvers.insert(ref_table, current_surrogates(db, generator, ref_table)?);
+            }
+        }
+        let conversions: Vec<(usize, &str)> = def
+            .foreign_keys
+            .iter()
+            .filter(|f| matches!(f.ref_table, "item" | "customer" | "store"))
+            .map(|f| (def.column_index(f.column).expect("fk col"), f.ref_table))
+            .collect();
+        let rows = generator.refresh_fact_inserts(table, refresh_seq);
+        let mut resolved = Vec::with_capacity(rows.len());
+        for mut row in rows {
+            let mut ok = true;
+            for (col, ref_table) in &conversions {
+                if let Some(bk) = row[*col].as_str() {
+                    match resolvers[ref_table].get(bk) {
+                        Some(sk) => row[*col] = Value::Int(*sk),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if ok {
+                resolved.push(row);
+            }
+        }
+        inserted += resolved.len();
+        db.insert(table, resolved)?;
+    }
+    Ok(OpReport { name, updated: 0, inserted, deleted: 0 })
+}
+
+/// Business key → current surrogate key. For history-keeping dimensions
+/// only open revisions (rec_end_date IS NULL) resolve; non-history
+/// dimensions have one row per key.
+pub fn current_surrogates(
+    db: &Database,
+    generator: &Generator,
+    table: &str,
+) -> Result<HashMap<String, i64>> {
+    let def = generator
+        .schema()
+        .table(table)
+        .ok_or_else(|| EngineError::Catalog(format!("unknown table {table}")))?;
+    let bk_idx = def
+        .column_index(def.business_key.expect("maintained dims have business keys"))
+        .expect("bk col");
+    let end_idx = def
+        .columns
+        .iter()
+        .position(|c| c.name.ends_with("rec_end_date"));
+    let handle = db.table(table)?;
+    let t = handle.read();
+    let mut map = HashMap::with_capacity(t.rows.len());
+    for row in &t.rows {
+        if let Some(end_idx) = end_idx {
+            if !row[end_idx].is_null() {
+                continue;
+            }
+        }
+        if let (Some(bk), Some(sk)) = (row[bk_idx].as_str(), row[0].as_int()) {
+            map.insert(bk.to_string(), sk);
+        }
+    }
+    Ok(map)
+}
+
+/// The logically clustered fact delete: removes all sales (and their
+/// returns) dated in the refresh run's two-week range, mirroring
+/// drop-partition-style maintenance.
+pub fn delete_fact_range(
+    db: &Database,
+    generator: &Generator,
+    refresh_seq: u32,
+) -> Result<OpReport> {
+    let (lo, hi) = generator.refresh_delete_range(refresh_seq);
+    let (lo_sk, hi_sk) = (lo.date_sk(), hi.date_sk());
+    let mut deleted = 0;
+    for (table, date_col) in [
+        ("store_sales", "ss_sold_date_sk"),
+        ("store_returns", "sr_returned_date_sk"),
+        ("catalog_sales", "cs_sold_date_sk"),
+        ("catalog_returns", "cr_returned_date_sk"),
+        ("web_sales", "ws_sold_date_sk"),
+        ("web_returns", "wr_returned_date_sk"),
+    ] {
+        let def = generator.schema().table(table).expect("fact table");
+        let col = def.column_index(date_col).expect("date column");
+        let handle = db.table(table)?;
+        deleted += handle.write().delete_where(|row| {
+            row[col]
+                .as_int()
+                .map(|sk| sk >= lo_sk && sk <= hi_sk)
+                .unwrap_or(false)
+        });
+    }
+    Ok(OpReport { name: "delete_fact_range", updated: 0, inserted: 0, deleted })
+}
+
+/// Loads the initial population of every table into the database
+/// (creating the tables first), then builds the *basic* auxiliary
+/// structures the implementation rules allow on every part of the schema:
+/// single-column hash indexes on surrogate keys and the most-probed
+/// foreign keys (the richer reporting-only structures are opt-in via
+/// `tpcds_runner::build_reporting_aux`).
+pub fn load_initial_population(db: &Database, generator: &Generator) -> Result<()> {
+    tpcds_engine::create_tpcds_tables(db, generator.schema())?;
+    for t in generator.schema().tables() {
+        db.insert(t.name, generator.generate_parallel(t.name, 4))?;
+    }
+    build_basic_indexes(db, generator)
+}
+
+/// Single-column key indexes: dimension surrogate keys, the fact tables'
+/// customer / item / order columns (probed by correlated subqueries), and
+/// `d_year` (the most common dimension filter).
+pub fn build_basic_indexes(db: &Database, generator: &Generator) -> Result<()> {
+    for t in generator.schema().tables() {
+        if t.kind == tpcds_schema::TableKind::Dimension && t.primary_key.len() == 1 {
+            db.create_index(t.name, t.primary_key[0])?;
+        }
+    }
+    for (table, column) in [
+        ("store_sales", "ss_customer_sk"),
+        ("store_sales", "ss_item_sk"),
+        ("store_sales", "ss_ticket_number"),
+        ("store_returns", "sr_ticket_number"),
+        ("web_sales", "ws_bill_customer_sk"),
+        ("web_sales", "ws_order_number"),
+        ("web_returns", "wr_order_number"),
+        ("catalog_sales", "cs_ship_customer_sk"),
+        ("catalog_sales", "cs_order_number"),
+        ("catalog_returns", "cr_order_number"),
+        ("date_dim", "d_year"),
+    ] {
+        db.create_index(table, column)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loaded() -> (Database, Generator) {
+        let g = Generator::new(0.01);
+        let db = Database::new();
+        load_initial_population(&db, &g).unwrap();
+        (db, g)
+    }
+
+    #[test]
+    fn twelve_operations_run() {
+        let (db, g) = loaded();
+        let report = run_maintenance(&db, &g, 0).unwrap();
+        assert_eq!(report.ops.len(), 12);
+        let names: Vec<&str> = report.ops.iter().map(|o| o.name).collect();
+        assert_eq!(names, OPERATIONS.to_vec());
+        assert!(report.total_rows() > 0);
+    }
+
+    #[test]
+    fn non_history_update_changes_rows_in_place() {
+        let (db, g) = loaded();
+        let before = db.row_count("customer");
+        let rep = update_non_history_dimension(&db, &g, "customer", 0).unwrap();
+        assert!(rep.updated > 0, "no customers updated");
+        assert_eq!(rep.inserted, 0);
+        assert_eq!(db.row_count("customer"), before, "row count must not change");
+    }
+
+    #[test]
+    fn history_update_versions_rows() {
+        let (db, g) = loaded();
+        let before = db.row_count("item");
+        let when = refresh_date(&g, 0);
+        let rep = update_history_dimension(&db, &g, "item", 0, when).unwrap();
+        assert!(rep.updated > 0);
+        assert_eq!(rep.updated, rep.inserted, "one new revision per closed one");
+        assert_eq!(db.row_count("item"), before + rep.inserted);
+
+        // Exactly one open revision per business key, still.
+        let def = g.schema().table("item").unwrap();
+        let end_idx = def.column_index("i_rec_end_date").unwrap();
+        let handle = db.table("item").unwrap();
+        let t = handle.read();
+        let mut open: HashMap<String, u32> = HashMap::new();
+        for row in &t.rows {
+            if row[end_idx].is_null() {
+                *open.entry(row[1].as_str().unwrap().to_string()).or_default() += 1;
+            }
+        }
+        assert!(open.values().all(|&c| c == 1), "broken revision chains");
+        // New revisions carry the refresh date.
+        let start_idx = def.column_index("i_rec_start_date").unwrap();
+        assert!(t.rows.iter().any(|r| r[start_idx] == Value::Date(when)));
+    }
+
+    #[test]
+    fn fact_insert_resolves_to_current_surrogates() {
+        let (db, g) = loaded();
+        // First version some items so "current" differs from "any".
+        let when = refresh_date(&g, 0);
+        update_history_dimension(&db, &g, "item", 0, when).unwrap();
+        let ss_before = db.row_count("store_sales");
+        let rep = insert_channel(
+            &db,
+            &g,
+            "insert_store_channel",
+            &["store_sales", "store_returns"],
+            0,
+        )
+        .unwrap();
+        assert!(rep.inserted > 0);
+        // All inserted item keys resolve to open revisions.
+        let current = current_surrogates(&db, &g, "item").unwrap();
+        let valid: std::collections::HashSet<i64> = current.values().copied().collect();
+        let def = g.schema().table("store_sales").unwrap();
+        let item_col = def.column_index("ss_item_sk").unwrap();
+        let handle = db.table("store_sales").unwrap();
+        let t = handle.read();
+        assert!(t.rows.len() > ss_before, "no store_sales inserted");
+        for row in t.rows.iter().skip(ss_before) {
+            let sk = row[item_col].as_int().unwrap();
+            assert!(valid.contains(&sk), "inserted fact references closed revision {sk}");
+        }
+    }
+
+    #[test]
+    fn delete_removes_exactly_the_date_range() {
+        let (db, g) = loaded();
+        let (lo, hi) = g.refresh_delete_range(0);
+        let def = g.schema().table("store_sales").unwrap();
+        let col = def.column_index("ss_sold_date_sk").unwrap();
+        let in_range = |t: &tpcds_engine::Table| {
+            t.rows
+                .iter()
+                .filter(|r| {
+                    r[col]
+                        .as_int()
+                        .map(|sk| sk >= lo.date_sk() && sk <= hi.date_sk())
+                        .unwrap_or(false)
+                })
+                .count()
+        };
+        let before = {
+            let handle = db.table("store_sales").unwrap();
+            let t = handle.read();
+            in_range(&t)
+        };
+        let rep = delete_fact_range(&db, &g, 0).unwrap();
+        assert!(rep.deleted >= before);
+        let handle = db.table("store_sales").unwrap();
+        let t = handle.read();
+        assert_eq!(in_range(&t), 0, "rows in the deleted range survived");
+    }
+
+    #[test]
+    fn second_refresh_differs_and_still_works() {
+        let (db, g) = loaded();
+        let r1 = run_maintenance(&db, &g, 1).unwrap();
+        let r2 = run_maintenance(&db, &g, 2).unwrap();
+        assert_eq!(r1.ops.len(), r2.ops.len());
+        assert!(r1.total_rows() > 0 && r2.total_rows() > 0);
+    }
+}

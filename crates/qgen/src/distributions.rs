@@ -1,0 +1,106 @@
+//! Named substitution distributions: the word lists the query templates
+//! draw bind values from. These are the same domains the data generator
+//! populates the tables with, which is what guarantees substitutions
+//! qualify rows at all — the "tight coupling of the two tools" (paper §3).
+
+use tpcds_dgen::words;
+
+/// Months by comparability zone, as textual month numbers.
+pub const MONTHS_LOW: &[&str] = &["1", "2", "3", "4", "5", "6", "7"];
+/// Medium zone months.
+pub const MONTHS_MEDIUM: &[&str] = &["8", "9", "10"];
+/// High zone months.
+pub const MONTHS_HIGH: &[&str] = &["11", "12"];
+
+/// Gender codes.
+pub const GENDERS: &[&str] = &["M", "F"];
+
+/// Resolves a distribution name used by `pick(...)` / `list(...)`.
+pub fn named_list(name: &str) -> Option<&'static [&'static str]> {
+    Some(match name {
+        "categories" => CATEGORY_NAMES,
+        "classes" => CLASS_NAMES,
+        "colors" => words::COLORS,
+        "states" => words::STATES,
+        "counties" => words::COUNTIES,
+        "cities" => words::CITIES,
+        "education" => words::EDUCATION_STATUSES,
+        "marital" => words::MARITAL_STATUSES,
+        "buy_potential" => words::BUY_POTENTIALS,
+        "credit_rating" => words::CREDIT_RATINGS,
+        "genders" => GENDERS,
+        "months_low" => MONTHS_LOW,
+        "months_medium" => MONTHS_MEDIUM,
+        "months_high" => MONTHS_HIGH,
+        "sizes" => words::SIZES,
+        "units" => words::UNITS,
+        "containers" => words::CONTAINERS,
+        "countries" => words::COUNTRIES,
+        "ship_mode_types" => words::SHIP_MODE_TYPES,
+        "web_page_types" => words::WEB_PAGE_TYPES,
+        "zip_prefixes" => ZIP_PREFIXES,
+        _ => return None,
+    })
+}
+
+/// Two-digit zip prefixes (zips are generated uniformly in 00600-99998,
+/// so every prefix qualifies a comparable slice).
+pub const ZIP_PREFIXES: &[&str] = &[
+    "10", "13", "17", "21", "24", "28", "31", "35", "38", "42", "45", "49",
+    "52", "56", "59", "63", "66", "70", "73", "77", "80", "84", "87", "91",
+    "94", "98", "12", "23", "34", "47", "58", "69", "71", "82", "93", "19",
+    "27", "39", "44", "55",
+];
+
+/// The ten category names.
+pub const CATEGORY_NAMES: &[&str] = &[
+    "Books", "Children", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes",
+    "Sports", "Women",
+];
+
+/// A flattened sample of class names (for class-level predicates).
+pub const CLASS_NAMES: &[&str] = &[
+    "arts", "business", "computers", "cooking", "fiction", "history", "mystery",
+    "romance", "science", "travel", "infants", "toddlers", "audio", "cameras",
+    "monitors", "televisions", "wireless", "bedding", "decor", "furniture",
+    "lighting", "rugs", "bracelets", "diamonds", "gold", "rings", "pants",
+    "shirts", "classical", "country", "pop", "rock", "athletic", "mens", "womens",
+    "baseball", "basketball", "camping", "fishing", "fitness", "football", "golf",
+    "tennis", "dresses", "fragrances", "maternity", "swimwear",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_names_match_dgen_hierarchy() {
+        let from_dgen: Vec<&str> = words::CATEGORIES.iter().map(|(c, _)| *c).collect();
+        assert_eq!(CATEGORY_NAMES, from_dgen.as_slice());
+    }
+
+    #[test]
+    fn class_names_are_real_classes() {
+        for class in CLASS_NAMES {
+            assert!(
+                words::CATEGORIES.iter().any(|(_, cls)| cls.contains(class)),
+                "{class} is not a generated class"
+            );
+        }
+    }
+
+    #[test]
+    fn all_named_lists_resolve_nonempty() {
+        for name in [
+            "categories", "classes", "colors", "states", "counties", "cities",
+            "education", "marital", "buy_potential", "credit_rating", "genders",
+            "months_low", "months_medium", "months_high", "sizes", "units",
+            "containers", "countries", "ship_mode_types", "web_page_types",
+            "zip_prefixes",
+        ] {
+            let l = named_list(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(!l.is_empty());
+        }
+        assert!(named_list("bogus").is_none());
+    }
+}

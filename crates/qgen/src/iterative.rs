@@ -1,0 +1,165 @@
+//! Iterative OLAP sequences (paper §4.1): "Iterative OLAP queries are
+//! implemented as a sequence of syntactically independent, but logically
+//! affiliated queries." Each sequence drills from a coarse aggregate to a
+//! fine one, feeding a substitution of step *n+1* from the answer of step
+//! *n* — the interactive analysis pattern the benchmark models.
+
+use crate::template::TemplateError;
+use tpcds_engine::{Database, QueryResult};
+
+/// One drill step: renders SQL given the value selected from the previous
+/// step's answer (None for the first step).
+pub struct DrillStep {
+    /// Human-readable description.
+    pub description: &'static str,
+    /// SQL builder; the argument is the drill value from the prior step.
+    pub sql: fn(Option<&str>) -> String,
+    /// Which output column of this step's answer feeds the next step.
+    pub drill_column: usize,
+}
+
+/// A logically affiliated query sequence.
+pub struct IterativeSequence {
+    /// Sequence name.
+    pub name: &'static str,
+    /// The steps, coarse to fine.
+    pub steps: Vec<DrillStep>,
+}
+
+/// The result of executing one sequence.
+#[derive(Debug)]
+pub struct DrillTrace {
+    /// (description, chosen drill value, rows) per step.
+    pub steps: Vec<(String, Option<String>, QueryResult)>,
+}
+
+impl IterativeSequence {
+    /// The store-channel drill-down: year revenue by category → classes of
+    /// the top category → items of the top class.
+    pub fn store_drilldown() -> IterativeSequence {
+        IterativeSequence {
+            name: "store revenue drill-down (category -> class -> item)",
+            steps: vec![
+                DrillStep {
+                    description: "revenue by category",
+                    drill_column: 0,
+                    sql: |_| {
+                        "select i_category, sum(ss_ext_sales_price) rev \
+                         from store_sales, item where ss_item_sk = i_item_sk \
+                         group by i_category order by rev desc limit 10"
+                            .to_string()
+                    },
+                },
+                DrillStep {
+                    description: "revenue by class within the chosen category",
+                    drill_column: 0,
+                    sql: |v| {
+                        format!(
+                            "select i_class, sum(ss_ext_sales_price) rev \
+                             from store_sales, item where ss_item_sk = i_item_sk \
+                             and i_category = '{}' \
+                             group by i_class order by rev desc limit 10",
+                            v.unwrap_or("Books")
+                        )
+                    },
+                },
+                DrillStep {
+                    description: "top items within the chosen class",
+                    drill_column: 0,
+                    sql: |v| {
+                        format!(
+                            "select i_item_id, sum(ss_ext_sales_price) rev \
+                             from store_sales, item where ss_item_sk = i_item_sk \
+                             and i_class = '{}' \
+                             group by i_item_id order by rev desc limit 10",
+                            v.unwrap_or("fiction")
+                        )
+                    },
+                },
+            ],
+        }
+    }
+
+    /// The time drill: yearly web revenue → quarters of the top year →
+    /// months of the top quarter.
+    pub fn web_time_drill() -> IterativeSequence {
+        IterativeSequence {
+            name: "web revenue drill-down (year -> quarter -> month)",
+            steps: vec![
+                DrillStep {
+                    description: "revenue by year",
+                    drill_column: 0,
+                    sql: |_| {
+                        "select d_year, sum(ws_ext_sales_price) rev \
+                         from web_sales, date_dim where ws_sold_date_sk = d_date_sk \
+                         group by d_year order by rev desc limit 5"
+                            .to_string()
+                    },
+                },
+                DrillStep {
+                    description: "revenue by quarter of the chosen year",
+                    drill_column: 0,
+                    sql: |v| {
+                        format!(
+                            "select d_qoy, sum(ws_ext_sales_price) rev \
+                             from web_sales, date_dim where ws_sold_date_sk = d_date_sk \
+                             and d_year = {} group by d_qoy order by rev desc limit 4",
+                            v.unwrap_or("2000")
+                        )
+                    },
+                },
+                DrillStep {
+                    description: "revenue by month of the chosen quarter",
+                    drill_column: 0,
+                    sql: |v| {
+                        format!(
+                            "select d_moy, sum(ws_ext_sales_price) rev \
+                             from web_sales, date_dim where ws_sold_date_sk = d_date_sk \
+                             and d_qoy = {} group by d_moy order by rev desc limit 3",
+                            v.unwrap_or("4")
+                        )
+                    },
+                },
+            ],
+        }
+    }
+
+    /// Executes the sequence against a database, drilling on the first row
+    /// of each step's answer.
+    pub fn execute(&self, db: &Database) -> Result<DrillTrace, TemplateError> {
+        let mut trace = DrillTrace { steps: Vec::new() };
+        let mut drill: Option<String> = None;
+        for step in &self.steps {
+            let sql = (step.sql)(drill.as_deref());
+            let result = tpcds_engine::query(db, &sql)
+                .map_err(|e| TemplateError(format!("{}: {e}", step.description)))?;
+            drill = result
+                .rows
+                .first()
+                .and_then(|r| r.get(step.drill_column))
+                .map(|v| v.to_flat());
+            trace
+                .steps
+                .push((step.description.to_string(), drill.clone(), result));
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_have_multiple_affiliated_steps() {
+        assert!(IterativeSequence::store_drilldown().steps.len() >= 3);
+        assert!(IterativeSequence::web_time_drill().steps.len() >= 3);
+    }
+
+    #[test]
+    fn later_steps_embed_the_drill_value() {
+        let seq = IterativeSequence::store_drilldown();
+        let sql = (seq.steps[1].sql)(Some("Music"));
+        assert!(sql.contains("'Music'"));
+    }
+}

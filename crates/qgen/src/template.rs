@@ -1,0 +1,507 @@
+//! The query-template mini-language (our dsqgen, paper §4.1 and its
+//! reference \[10\]).
+//!
+//! A template is a text block of `define NAME = <generator>;` headers
+//! followed by SQL containing `[NAME]` substitution points. The generators
+//! are comparability-zone-aware: date substitutions draw from one zone so
+//! every generated instance of the template qualifies a near-identical
+//! number of rows (paper §3.2).
+
+use crate::distributions::named_list;
+use tpcds_types::rng::ColumnRng;
+use tpcds_types::Date;
+use tpcds_dgen::{SalesDateDistribution, SalesZone};
+
+/// Error raised while parsing or instantiating a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateError(pub String);
+
+impl std::fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "template error: {}", self.0)
+    }
+}
+impl std::error::Error for TemplateError {}
+
+type Result<T> = std::result::Result<T, TemplateError>;
+
+/// A substitution generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenExpr {
+    /// `uniform(lo, hi)` — integer in the inclusive range.
+    Uniform(i64, i64),
+    /// `pick(dist)` — one value from a named word list.
+    Pick(String),
+    /// `list(dist, n)` — n distinct values from a named word list, emitted
+    /// as a quoted SQL in-list body: `'a', 'b', 'c'`.
+    List(String, usize),
+    /// `date_in_zone(zone)` — a date from one comparability zone of the
+    /// sales window (zone ∈ low | medium | high), emitted as ISO text.
+    DateInZone(SalesZone),
+    /// `year()` — a year of the sales window.
+    Year,
+    /// `agg()` — one of the exchangeable aggregate function names
+    /// (paper: "exchanging aggregations, such as max, min").
+    Agg,
+    /// `text('a', 'b', ...)` — one of the literal options, verbatim.
+    Text(Vec<String>),
+}
+
+impl GenExpr {
+    /// Parses one generator expression.
+    pub fn parse(src: &str) -> Result<GenExpr> {
+        let src = src.trim();
+        let (name, args) = match src.find('(') {
+            Some(i) if src.ends_with(')') => (&src[..i], &src[i + 1..src.len() - 1]),
+            _ => return Err(TemplateError(format!("bad generator expression {src:?}"))),
+        };
+        let parts: Vec<&str> = if args.trim().is_empty() {
+            Vec::new()
+        } else {
+            split_args(args)
+        };
+        match name.trim() {
+            "uniform" => {
+                if parts.len() != 2 {
+                    return Err(TemplateError("uniform(lo, hi) takes 2 args".into()));
+                }
+                let lo = parse_int(parts[0])?;
+                let hi = parse_int(parts[1])?;
+                if lo > hi {
+                    return Err(TemplateError(format!("uniform range inverted: {lo} > {hi}")));
+                }
+                Ok(GenExpr::Uniform(lo, hi))
+            }
+            "pick" => {
+                if parts.len() != 1 {
+                    return Err(TemplateError("pick(dist) takes 1 arg".into()));
+                }
+                check_dist(parts[0])?;
+                Ok(GenExpr::Pick(parts[0].trim().to_string()))
+            }
+            "list" => {
+                if parts.len() != 2 {
+                    return Err(TemplateError("list(dist, n) takes 2 args".into()));
+                }
+                check_dist(parts[0])?;
+                let n = parse_int(parts[1])? as usize;
+                Ok(GenExpr::List(parts[0].trim().to_string(), n))
+            }
+            "date_in_zone" => {
+                if parts.len() != 1 {
+                    return Err(TemplateError("date_in_zone(zone) takes 1 arg".into()));
+                }
+                let zone = match parts[0].trim() {
+                    "low" => SalesZone::Low,
+                    "medium" => SalesZone::Medium,
+                    "high" => SalesZone::High,
+                    other => return Err(TemplateError(format!("unknown zone {other}"))),
+                };
+                Ok(GenExpr::DateInZone(zone))
+            }
+            "year" => Ok(GenExpr::Year),
+            "agg" => Ok(GenExpr::Agg),
+            "text" => {
+                if parts.is_empty() {
+                    return Err(TemplateError("text(...) needs options".into()));
+                }
+                let opts = parts
+                    .iter()
+                    .map(|p| {
+                        let p = p.trim();
+                        p.strip_prefix('\'')
+                            .and_then(|p| p.strip_suffix('\''))
+                            .map(str::to_string)
+                            .ok_or_else(|| TemplateError(format!("text option {p:?} not quoted")))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(GenExpr::Text(opts))
+            }
+            other => Err(TemplateError(format!("unknown generator {other}"))),
+        }
+    }
+
+    /// Draws one substitution value (as SQL text).
+    pub fn draw(&self, rng: &mut ColumnRng, dates: &SalesDateDistribution) -> String {
+        match self {
+            GenExpr::Uniform(lo, hi) => rng.uniform_i64(*lo, *hi).to_string(),
+            GenExpr::Pick(dist) => {
+                let list = named_list(dist).expect("checked at parse");
+                list[rng.uniform_i64(0, list.len() as i64 - 1) as usize].to_string()
+            }
+            GenExpr::List(dist, n) => {
+                let list = named_list(dist).expect("checked at parse");
+                let n = (*n).min(list.len());
+                let perm = rng.permutation(list.len());
+                let mut vals: Vec<&str> = perm[..n].iter().map(|&i| list[i]).collect();
+                vals.sort_unstable();
+                vals.iter()
+                    .map(|v| format!("'{}'", v.replace('\'', "''")))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }
+            GenExpr::DateInZone(zone) => {
+                // Pick a year, then a uniform day within the zone: all days
+                // of a zone have identical data likelihood.
+                let year = 1998 + rng.uniform_i64(0, 4) as i32;
+                let days = dates.zone_days(year, *zone);
+                days[rng.uniform_i64(0, days.len() as i64 - 1) as usize].to_string()
+            }
+            GenExpr::Year => (1998 + rng.uniform_i64(0, 4)).to_string(),
+            GenExpr::Agg => ["sum", "min", "max", "avg"][rng.uniform_i64(0, 3) as usize].to_string(),
+            GenExpr::Text(opts) => opts[rng.uniform_i64(0, opts.len() as i64 - 1) as usize].clone(),
+        }
+    }
+}
+
+fn parse_int(s: &str) -> Result<i64> {
+    s.trim()
+        .parse()
+        .map_err(|e| TemplateError(format!("bad integer {s:?}: {e}")))
+}
+
+fn check_dist(name: &str) -> Result<()> {
+    named_list(name.trim())
+        .map(|_| ())
+        .ok_or_else(|| TemplateError(format!("unknown distribution {name:?}")))
+}
+
+/// Splits generator arguments on commas not inside quotes.
+fn split_args(args: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth_quote = false;
+    let mut start = 0;
+    for (i, c) in args.char_indices() {
+        match c {
+            '\'' => depth_quote = !depth_quote,
+            ',' if !depth_quote => {
+                out.push(&args[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&args[start..]);
+    out
+}
+
+/// Query classification (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// References only the ad-hoc part (store / web channels).
+    AdHoc,
+    /// References only the reporting part (catalog channel).
+    Reporting,
+    /// References both parts.
+    Hybrid,
+    /// A sequence of logically affiliated drill queries.
+    IterativeOlap,
+    /// Large-output query feeding mining tools.
+    DataMining,
+}
+
+/// A parsed query template.
+#[derive(Debug, Clone)]
+pub struct Template {
+    /// Query number (1..=99).
+    pub id: u32,
+    /// Explicit classification.
+    pub class: QueryClass,
+    /// `define` headers in declaration order.
+    pub defines: Vec<(String, GenExpr)>,
+    /// The SQL body with `[NAME]` placeholders.
+    pub sql: String,
+}
+
+impl Template {
+    /// Parses a template source block. Format:
+    ///
+    /// ```text
+    /// -- class: adhoc
+    /// define YEAR = year();
+    /// select ... where d_year = [YEAR] ...
+    /// ```
+    pub fn parse(id: u32, src: &str) -> Result<Template> {
+        let mut class = None;
+        let mut defines = Vec::new();
+        let mut sql_lines = Vec::new();
+        let mut in_sql = false;
+        for line in src.lines() {
+            let trimmed = line.trim();
+            if !in_sql {
+                if trimmed.is_empty() {
+                    continue;
+                }
+                if let Some(c) = trimmed.strip_prefix("-- class:") {
+                    class = Some(match c.trim() {
+                        "adhoc" => QueryClass::AdHoc,
+                        "reporting" => QueryClass::Reporting,
+                        "hybrid" => QueryClass::Hybrid,
+                        "iterative" => QueryClass::IterativeOlap,
+                        "mining" => QueryClass::DataMining,
+                        other => return Err(TemplateError(format!("q{id}: bad class {other}"))),
+                    });
+                    continue;
+                }
+                if trimmed.starts_with("--") {
+                    continue;
+                }
+                if let Some(rest) = trimmed.strip_prefix("define ") {
+                    let (name, expr) = rest
+                        .split_once('=')
+                        .ok_or_else(|| TemplateError(format!("q{id}: bad define {trimmed:?}")))?;
+                    let expr = expr
+                        .trim()
+                        .strip_suffix(';')
+                        .ok_or_else(|| TemplateError(format!("q{id}: define must end with ;")))?;
+                    defines.push((name.trim().to_uppercase(), GenExpr::parse(expr)?));
+                    continue;
+                }
+                in_sql = true;
+            }
+            if in_sql {
+                sql_lines.push(line);
+            }
+        }
+        let sql = sql_lines.join("\n").trim().to_string();
+        if sql.is_empty() {
+            return Err(TemplateError(format!("q{id}: empty SQL body")));
+        }
+        let class = class.ok_or_else(|| TemplateError(format!("q{id}: missing -- class:")))?;
+        let t = Template { id, class, defines, sql };
+        t.check_placeholders()?;
+        Ok(t)
+    }
+
+    /// Every `[NAME]` placeholder must have a define; every define must be
+    /// used.
+    fn check_placeholders(&self) -> Result<()> {
+        let used = placeholder_names(&self.sql);
+        for (name, _) in &self.defines {
+            if !used.iter().any(|(u, _)| u == name) {
+                return Err(TemplateError(format!(
+                    "q{}: define {name} never used",
+                    self.id
+                )));
+            }
+        }
+        for (name, _) in &used {
+            if !self.defines.iter().any(|(d, _)| d == name) {
+                return Err(TemplateError(format!(
+                    "q{}: placeholder [{name}] has no define",
+                    self.id
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Instantiates the template for `(seed, stream)`, producing executable
+    /// SQL. Deterministic: the same coordinates give the same query.
+    pub fn instantiate(
+        &self,
+        seed: u64,
+        stream: u64,
+        dates: &SalesDateDistribution,
+    ) -> Result<String> {
+        let mut rng = ColumnRng::at(seed, qgen_stream(self.id), stream);
+        let mut values: Vec<(String, String)> = Vec::new();
+        for (name, gen) in &self.defines {
+            values.push((name.clone(), gen.draw(&mut rng, dates)));
+        }
+        substitute(&self.sql, &values, self.id)
+    }
+}
+
+/// Stream id for a template's substitution RNG (disjoint from the data
+/// generator's table streams).
+fn qgen_stream(id: u32) -> u64 {
+    (0x51_47 << 32) | id as u64
+}
+
+/// Finds `[NAME]` / `[NAME+n]` / `[NAME-n]` placeholders.
+fn placeholder_names(sql: &str) -> Vec<(String, i32)> {
+    let mut out = Vec::new();
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'[' {
+            if let Some(end) = sql[i + 1..].find(']') {
+                let inner = &sql[i + 1..i + 1 + end];
+                let (name, offset) = parse_placeholder(inner);
+                if !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    out.push((name, offset));
+                }
+                i += end + 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn parse_placeholder(inner: &str) -> (String, i32) {
+    if let Some((name, off)) = inner.split_once('+') {
+        if let Ok(n) = off.trim().parse::<i32>() {
+            return (name.trim().to_uppercase(), n);
+        }
+    }
+    if let Some((name, off)) = inner.split_once('-') {
+        if let Ok(n) = off.trim().parse::<i32>() {
+            return (name.trim().to_uppercase(), -n);
+        }
+    }
+    (inner.trim().to_uppercase(), 0)
+}
+
+/// Performs placeholder substitution. `[DATE+30]` on an ISO-date value adds
+/// days; on an integer value adds numerically.
+fn substitute(sql: &str, values: &[(String, String)], id: u32) -> Result<String> {
+    let mut out = String::with_capacity(sql.len());
+    let mut rest = sql;
+    while let Some(start) = rest.find('[') {
+        out.push_str(&rest[..start]);
+        let after = &rest[start + 1..];
+        let end = after
+            .find(']')
+            .ok_or_else(|| TemplateError(format!("q{id}: unterminated placeholder")))?;
+        let inner = &after[..end];
+        let (name, offset) = parse_placeholder(inner);
+        let value = values
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| TemplateError(format!("q{id}: no value for [{name}]")))?;
+        let rendered = if offset != 0 {
+            if let Ok(d) = value.parse::<Date>() {
+                d.add_days(offset).to_string()
+            } else if let Ok(n) = value.parse::<i64>() {
+                (n + offset as i64).to_string()
+            } else {
+                return Err(TemplateError(format!(
+                    "q{id}: cannot offset non-date, non-integer value {value:?}"
+                )));
+            }
+        } else {
+            value
+        };
+        out.push_str(&rendered);
+        rest = &after[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dates() -> SalesDateDistribution {
+        SalesDateDistribution::tpcds()
+    }
+
+    #[test]
+    fn parse_generators() {
+        assert_eq!(GenExpr::parse("uniform(1, 10)").unwrap(), GenExpr::Uniform(1, 10));
+        assert_eq!(GenExpr::parse("year()").unwrap(), GenExpr::Year);
+        assert_eq!(
+            GenExpr::parse("date_in_zone(high)").unwrap(),
+            GenExpr::DateInZone(SalesZone::High)
+        );
+        assert!(GenExpr::parse("uniform(10, 1)").is_err());
+        assert!(GenExpr::parse("nonsense(1)").is_err());
+        assert!(GenExpr::parse("pick(not_a_dist)").is_err());
+    }
+
+    #[test]
+    fn text_options() {
+        let g = GenExpr::parse("text('a', 'b, with comma', 'c')").unwrap();
+        match &g {
+            GenExpr::Text(opts) => assert_eq!(opts.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn template_round_trip() {
+        let t = Template::parse(
+            1,
+            "-- class: adhoc\n\
+             define YEAR = year();\n\
+             define MONTH = uniform(11, 12);\n\
+             select * from store_sales where d_year = [YEAR] and d_moy = [MONTH]",
+        )
+        .unwrap();
+        let sql = t.instantiate(7, 0, &dates()).unwrap();
+        assert!(!sql.contains('['), "{sql}");
+        assert!(sql.contains("d_year = 19") || sql.contains("d_year = 20"));
+    }
+
+    #[test]
+    fn instantiation_is_deterministic() {
+        let t = Template::parse(
+            2,
+            "-- class: adhoc\ndefine A = uniform(1, 1000000);\nselect [A]",
+        )
+        .unwrap();
+        let a = t.instantiate(42, 3, &dates()).unwrap();
+        let b = t.instantiate(42, 3, &dates()).unwrap();
+        let c = t.instantiate(42, 4, &dates()).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different streams draw different values");
+    }
+
+    #[test]
+    fn date_offsets() {
+        let t = Template::parse(
+            3,
+            "-- class: reporting\n\
+             define SDATE = date_in_zone(low);\n\
+             select * from x where d between '[SDATE]' and '[SDATE+30]'",
+        )
+        .unwrap();
+        let sql = t.instantiate(1, 0, &dates()).unwrap();
+        // Extract the two dates and verify the 30-day gap.
+        let parts: Vec<&str> = sql.split('\'').collect();
+        let d1: Date = parts[1].parse().unwrap();
+        let d2: Date = parts[3].parse().unwrap();
+        assert_eq!(d2.days_since(&d1), 30);
+    }
+
+    #[test]
+    fn unused_define_rejected() {
+        assert!(Template::parse(4, "-- class: adhoc\ndefine A = year();\nselect 1").is_err());
+    }
+
+    #[test]
+    fn unknown_placeholder_rejected() {
+        assert!(Template::parse(5, "-- class: adhoc\nselect [NOPE]").is_err());
+    }
+
+    #[test]
+    fn zone_substitutions_stay_in_zone() {
+        let t = Template::parse(
+            6,
+            "-- class: adhoc\ndefine D = date_in_zone(high);\nselect '[D]'",
+        )
+        .unwrap();
+        for stream in 0..50 {
+            let sql = t.instantiate(9, stream, &dates()).unwrap();
+            let date: Date = sql.split('\'').nth(1).unwrap().parse().unwrap();
+            assert!(date.month() >= 11, "{date} not in high zone");
+        }
+    }
+
+    #[test]
+    fn list_draws_distinct_sorted_values() {
+        let t = Template::parse(
+            7,
+            "-- class: adhoc\ndefine CATS = list(categories, 3);\nselect * from t where c in ([CATS])",
+        )
+        .unwrap();
+        let sql = t.instantiate(11, 0, &dates()).unwrap();
+        let n = sql.matches('\'').count();
+        assert_eq!(n, 6, "three quoted values: {sql}");
+    }
+}

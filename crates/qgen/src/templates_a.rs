@@ -1,0 +1,669 @@
+//! Query templates 1–25, re-created from the public TPC-DS query set in
+//! the engine's dialect (see DESIGN.md "Substitutions"). Each keeps the
+//! original's referenced tables, join structure, aggregation pattern and
+//! classification; literal text differs where our dialect requires.
+
+/// Template sources for queries 1–25.
+pub fn sources() -> Vec<(u32, &'static str)> {
+    vec![
+        (1, Q01),
+        (2, Q02),
+        (3, Q03),
+        (4, Q04),
+        (5, Q05),
+        (6, Q06),
+        (7, Q07),
+        (8, Q08),
+        (9, Q09),
+        (10, Q10),
+        (11, Q11),
+        (12, Q12),
+        (13, Q13),
+        (14, Q14),
+        (15, Q15),
+        (16, Q16),
+        (17, Q17),
+        (18, Q18),
+        (19, Q19),
+        (20, Q20),
+        (21, Q21),
+        (22, Q22),
+        (23, Q23),
+        (24, Q24),
+        (25, Q25),
+    ]
+}
+
+const Q01: &str = "\
+-- Customers who returned more than 20% above the average for their store.
+-- class: adhoc
+define YEAR = year();
+define STATE = pick(states);
+with customer_total_return as (
+  select sr_customer_sk ctr_customer_sk, sr_store_sk ctr_store_sk,
+         sum(sr_return_amt) ctr_total_return
+  from store_returns, date_dim
+  where sr_returned_date_sk = d_date_sk and d_year = [YEAR]
+  group by sr_customer_sk, sr_store_sk)
+select c_customer_id
+from customer_total_return ctr1, store, customer
+where ctr1.ctr_total_return >
+      (select avg(ctr_total_return) * 1.2 from customer_total_return ctr2
+       where ctr1.ctr_store_sk = ctr2.ctr_store_sk)
+  and s_store_sk = ctr1.ctr_store_sk
+  and s_state = '[STATE]'
+  and ctr1.ctr_customer_sk = c_customer_sk
+order by c_customer_id
+limit 100";
+
+const Q02: &str = "\
+-- Week-over-year ratio of weekend web+catalog sales.
+-- class: hybrid
+define YEAR = uniform(1998, 2001);
+with wscs as (
+  select sold_date_sk, sales_price from (
+    select ws_sold_date_sk sold_date_sk, ws_ext_sales_price sales_price
+    from web_sales
+    union all
+    select cs_sold_date_sk sold_date_sk, cs_ext_sales_price sales_price
+    from catalog_sales) u
+),
+wswscs as (
+  select d_week_seq,
+         sum(case when d_day_name = 'Sunday' then sales_price else null end) sun_sales,
+         sum(case when d_day_name = 'Monday' then sales_price else null end) mon_sales,
+         sum(case when d_day_name = 'Friday' then sales_price else null end) fri_sales,
+         sum(case when d_day_name = 'Saturday' then sales_price else null end) sat_sales
+  from wscs, date_dim
+  where d_date_sk = sold_date_sk
+  group by d_week_seq)
+select y.d_week_seq d_week_seq1,
+       round(y.sun_sales / z.sun_sales, 2) r_sun,
+       round(y.sat_sales / z.sat_sales, 2) r_sat
+from (select wswscs.d_week_seq, sun_sales, sat_sales
+      from wswscs, date_dim
+      where date_dim.d_week_seq = wswscs.d_week_seq and d_year = [YEAR]
+      group by wswscs.d_week_seq, sun_sales, sat_sales) y,
+     (select wswscs.d_week_seq, sun_sales, sat_sales
+      from wswscs, date_dim
+      where date_dim.d_week_seq = wswscs.d_week_seq and d_year = [YEAR] + 1
+      group by wswscs.d_week_seq, sun_sales, sat_sales) z
+where y.d_week_seq = z.d_week_seq - 53
+order by d_week_seq1
+limit 100";
+
+const Q03: &str = "\
+-- Brand revenue for one manufacturer in the holiday season (Figure 6 kin).
+-- class: adhoc
+define MANUFACT = uniform(1, 1000);
+define MONTH = pick(months_high);
+select d_year, i_brand_id brand_id, i_brand brand,
+       sum(ss_ext_sales_price) sum_agg
+from date_dim dt, store_sales, item
+where dt.d_date_sk = ss_sold_date_sk
+  and ss_item_sk = i_item_sk
+  and i_manufact_id = [MANUFACT]
+  and dt.d_moy = [MONTH]
+group by d_year, i_brand, i_brand_id
+order by d_year, sum_agg desc, brand_id
+limit 100";
+
+const Q04: &str = "\
+-- Customers whose catalog growth outpaces their store growth.
+-- class: hybrid
+define YEAR = uniform(1998, 2001);
+with year_total as (
+  select c_customer_id customer_id, c_first_name customer_first_name,
+         c_last_name customer_last_name, d_year dyear,
+         sum(ss_ext_list_price - ss_ext_discount_amt) year_total, 's' sale_type
+  from customer, store_sales, date_dim
+  where c_customer_sk = ss_customer_sk and ss_sold_date_sk = d_date_sk
+  group by c_customer_id, c_first_name, c_last_name, d_year
+  union all
+  select c_customer_id customer_id, c_first_name customer_first_name,
+         c_last_name customer_last_name, d_year dyear,
+         sum(cs_ext_list_price - cs_ext_discount_amt) year_total, 'c' sale_type
+  from customer, catalog_sales, date_dim
+  where c_customer_sk = cs_bill_customer_sk and cs_sold_date_sk = d_date_sk
+  group by c_customer_id, c_first_name, c_last_name, d_year)
+select t_s_secyear.customer_id, t_s_secyear.customer_first_name,
+       t_s_secyear.customer_last_name
+from year_total t_s_firstyear, year_total t_s_secyear,
+     year_total t_c_firstyear, year_total t_c_secyear
+where t_s_secyear.customer_id = t_s_firstyear.customer_id
+  and t_s_firstyear.customer_id = t_c_secyear.customer_id
+  and t_s_firstyear.customer_id = t_c_firstyear.customer_id
+  and t_s_firstyear.sale_type = 's' and t_c_firstyear.sale_type = 'c'
+  and t_s_secyear.sale_type = 's' and t_c_secyear.sale_type = 'c'
+  and t_s_firstyear.dyear = [YEAR] and t_s_secyear.dyear = [YEAR] + 1
+  and t_c_firstyear.dyear = [YEAR] and t_c_secyear.dyear = [YEAR] + 1
+  and t_s_firstyear.year_total > 0 and t_c_firstyear.year_total > 0
+  and t_c_secyear.year_total / t_c_firstyear.year_total >
+      t_s_secyear.year_total / t_s_firstyear.year_total
+order by t_s_secyear.customer_id, t_s_secyear.customer_first_name,
+         t_s_secyear.customer_last_name
+limit 100";
+
+const Q05: &str = "\
+-- Sales and returns by channel over a two-week window, rolled up.
+-- class: hybrid
+define SDATE = date_in_zone(medium);
+with ssr as (
+  select s_store_id channel_id, sum(ss_ext_sales_price) sales,
+         sum(ss_net_profit) profit
+  from store_sales, date_dim, store
+  where ss_sold_date_sk = d_date_sk
+    and d_date between '[SDATE]' and '[SDATE+14]'
+    and ss_store_sk = s_store_sk
+  group by s_store_id),
+ csr as (
+  select cp_catalog_page_id channel_id, sum(cs_ext_sales_price) sales,
+         sum(cs_net_profit) profit
+  from catalog_sales, date_dim, catalog_page
+  where cs_sold_date_sk = d_date_sk
+    and d_date between '[SDATE]' and '[SDATE+14]'
+    and cs_catalog_page_sk = cp_catalog_page_sk
+  group by cp_catalog_page_id),
+ wsr as (
+  select web_site_id channel_id, sum(ws_ext_sales_price) sales,
+         sum(ws_net_profit) profit
+  from web_sales, date_dim, web_site
+  where ws_sold_date_sk = d_date_sk
+    and d_date between '[SDATE]' and '[SDATE+14]'
+    and ws_web_site_sk = web_site_sk
+  group by web_site_id)
+select channel, id, sum(sales) sales, sum(profit) profit
+from (
+  select 'store channel' channel, channel_id id, sales, profit from ssr
+  union all
+  select 'catalog channel' channel, channel_id id, sales, profit from csr
+  union all
+  select 'web channel' channel, channel_id id, sales, profit from wsr) x
+group by rollup(channel, id)
+order by channel, id
+limit 100";
+
+const Q06: &str = "\
+-- States where customers buy items priced 20% above the category average.
+-- class: adhoc
+define YEAR = year();
+define MONTH = pick(months_low);
+select a.ca_state state, count(*) cnt
+from customer_address a, customer c, store_sales s, date_dim d, item i
+where a.ca_address_sk = c.c_current_addr_sk
+  and c.c_customer_sk = s.ss_customer_sk
+  and s.ss_sold_date_sk = d.d_date_sk
+  and s.ss_item_sk = i.i_item_sk
+  and d.d_year = [YEAR] and d.d_moy = [MONTH]
+  and i.i_current_price > 1.2 *
+      (select avg(j.i_current_price) from item j
+       where j.i_category = i.i_category)
+group by a.ca_state
+having count(*) >= 10
+order by cnt, state
+limit 100";
+
+const Q07: &str = "\
+-- Average store metrics for a demographic slice under promotion.
+-- class: adhoc
+define YEAR = year();
+define GEN = pick(genders);
+define MS = pick(marital);
+define ES = pick(education);
+select i_item_id,
+       avg(ss_quantity) agg1, avg(ss_list_price) agg2,
+       avg(ss_coupon_amt) agg3, avg(ss_sales_price) agg4
+from store_sales, customer_demographics, date_dim, item, promotion
+where ss_sold_date_sk = d_date_sk
+  and ss_item_sk = i_item_sk
+  and ss_cdemo_sk = cd_demo_sk
+  and ss_promo_sk = p_promo_sk
+  and cd_gender = '[GEN]'
+  and cd_marital_status = '[MS]'
+  and cd_education_status = '[ES]'
+  and (p_channel_email = 'N' or p_channel_event = 'N')
+  and d_year = [YEAR]
+group by i_item_id
+order by i_item_id
+limit 100";
+
+const Q08: &str = "\
+-- Store sales by store for customers near the store (zip prefixes).
+-- class: adhoc
+define YEAR = year();
+define QOY = uniform(1, 2);
+define ZIPS = list(zip_prefixes, 10);
+select s_store_name, sum(ss_net_profit) profit
+from store_sales, date_dim, store,
+     (select ca_zip from (
+        select substr(ca_zip, 1, 2) ca_zip from customer_address
+        where substr(ca_zip, 1, 2) in ([ZIPS])
+        intersect
+        select substr(ca_zip, 1, 2) ca_zip
+        from customer_address, customer
+        where ca_address_sk = c_current_addr_sk
+          and c_preferred_cust_flag = 'Y') x) v1
+where ss_store_sk = s_store_sk
+  and ss_sold_date_sk = d_date_sk
+  and d_qoy = [QOY] and d_year = [YEAR]
+  and substr(s_zip, 1, 2) = v1.ca_zip
+group by s_store_name
+order by s_store_name
+limit 100";
+
+const Q09: &str = "\
+-- Quantity-band statistics chosen by row counts (scalar subqueries).
+-- class: mining
+define AGG = agg();
+define RC = uniform(30, 100);
+select case when (select count(*) from store_sales
+                  where ss_quantity between 1 and 20) > [RC]
+            then (select [AGG](ss_ext_discount_amt) from store_sales
+                  where ss_quantity between 1 and 20)
+            else (select [AGG](ss_net_paid) from store_sales
+                  where ss_quantity between 1 and 20) end bucket1,
+       case when (select count(*) from store_sales
+                  where ss_quantity between 21 and 40) > [RC]
+            then (select [AGG](ss_ext_discount_amt) from store_sales
+                  where ss_quantity between 21 and 40)
+            else (select [AGG](ss_net_paid) from store_sales
+                  where ss_quantity between 21 and 40) end bucket2,
+       case when (select count(*) from store_sales
+                  where ss_quantity between 41 and 60) > [RC]
+            then (select [AGG](ss_ext_discount_amt) from store_sales
+                  where ss_quantity between 41 and 60)
+            else (select [AGG](ss_net_paid) from store_sales
+                  where ss_quantity between 41 and 60) end bucket3
+from reason
+where r_reason_sk = 1";
+
+const Q10: &str = "\
+-- Demographic counts for county residents active in multiple channels.
+-- class: hybrid
+define YEAR = year();
+define COUNTIES = list(counties, 5);
+select cd_gender, cd_marital_status, cd_education_status, count(*) cnt1,
+       cd_purchase_estimate, count(*) cnt2, cd_credit_rating, count(*) cnt3
+from customer c, customer_address ca, customer_demographics
+where c.c_current_addr_sk = ca.ca_address_sk
+  and ca_county in ([COUNTIES])
+  and cd_demo_sk = c.c_current_cdemo_sk
+  and exists (select ss_sold_date_sk from store_sales, date_dim
+              where c.c_customer_sk = ss_customer_sk
+                and ss_sold_date_sk = d_date_sk and d_year = [YEAR])
+  and (exists (select ws_sold_date_sk from web_sales, date_dim
+               where c.c_customer_sk = ws_bill_customer_sk
+                 and ws_sold_date_sk = d_date_sk and d_year = [YEAR])
+       or exists (select cs_sold_date_sk from catalog_sales, date_dim
+                  where c.c_customer_sk = cs_ship_customer_sk
+                    and cs_sold_date_sk = d_date_sk and d_year = [YEAR]))
+group by cd_gender, cd_marital_status, cd_education_status,
+         cd_purchase_estimate, cd_credit_rating
+order by cd_gender, cd_marital_status, cd_education_status
+limit 100";
+
+const Q11: &str = "\
+-- Customers whose web growth outpaces store growth (q4 for ad-hoc part).
+-- class: adhoc
+define YEAR = uniform(1998, 2001);
+with year_total as (
+  select c_customer_id customer_id, c_preferred_cust_flag customer_preferred_cust_flag,
+         d_year dyear, sum(ss_ext_list_price - ss_ext_discount_amt) year_total,
+         's' sale_type
+  from customer, store_sales, date_dim
+  where c_customer_sk = ss_customer_sk and ss_sold_date_sk = d_date_sk
+  group by c_customer_id, c_preferred_cust_flag, d_year
+  union all
+  select c_customer_id customer_id, c_preferred_cust_flag customer_preferred_cust_flag,
+         d_year dyear, sum(ws_ext_list_price - ws_ext_discount_amt) year_total,
+         'w' sale_type
+  from customer, web_sales, date_dim
+  where c_customer_sk = ws_bill_customer_sk and ws_sold_date_sk = d_date_sk
+  group by c_customer_id, c_preferred_cust_flag, d_year)
+select t_s_secyear.customer_id, t_s_secyear.customer_preferred_cust_flag
+from year_total t_s_firstyear, year_total t_s_secyear,
+     year_total t_w_firstyear, year_total t_w_secyear
+where t_s_secyear.customer_id = t_s_firstyear.customer_id
+  and t_s_firstyear.customer_id = t_w_secyear.customer_id
+  and t_s_firstyear.customer_id = t_w_firstyear.customer_id
+  and t_s_firstyear.sale_type = 's' and t_w_firstyear.sale_type = 'w'
+  and t_s_secyear.sale_type = 's' and t_w_secyear.sale_type = 'w'
+  and t_s_firstyear.dyear = [YEAR] and t_s_secyear.dyear = [YEAR] + 1
+  and t_w_firstyear.dyear = [YEAR] and t_w_secyear.dyear = [YEAR] + 1
+  and t_s_firstyear.year_total > 0 and t_w_firstyear.year_total > 0
+  and t_w_secyear.year_total / t_w_firstyear.year_total >
+      t_s_secyear.year_total / t_s_firstyear.year_total
+order by t_s_secyear.customer_id
+limit 100";
+
+const Q12: &str = "\
+-- Web revenue ratio of items within their class (q20 for the web channel).
+-- class: adhoc
+define CATS = list(categories, 3);
+define SDATE = date_in_zone(low);
+select i_item_desc, i_category, i_class, i_current_price,
+       sum(ws_ext_sales_price) as itemrevenue,
+       sum(ws_ext_sales_price) * 100 /
+         sum(sum(ws_ext_sales_price)) over (partition by i_class) as revenueratio
+from web_sales, item, date_dim
+where ws_item_sk = i_item_sk
+  and i_category in ([CATS])
+  and ws_sold_date_sk = d_date_sk
+  and d_date between '[SDATE]' and '[SDATE+30]'
+group by i_item_id, i_item_desc, i_category, i_class, i_current_price
+order by i_category, i_class, i_item_id, i_item_desc, revenueratio
+limit 100";
+
+const Q13: &str = "\
+-- Average store sales across demographic / address-band alternatives.
+-- class: adhoc
+define MS1 = pick(marital);
+define ES1 = pick(education);
+define STATES1 = list(states, 3);
+select avg(ss_quantity) q, avg(ss_ext_sales_price) esp,
+       avg(ss_ext_wholesale_cost) ewc, sum(ss_ext_wholesale_cost) sewc
+from store_sales, store, customer_demographics, household_demographics,
+     customer_address, date_dim
+where s_store_sk = ss_store_sk
+  and ss_sold_date_sk = d_date_sk
+  and ss_cdemo_sk = cd_demo_sk
+  and ss_hdemo_sk = hd_demo_sk
+  and ss_addr_sk = ca_address_sk
+  and ca_country = 'United States'
+  and ((cd_marital_status = '[MS1]' and cd_education_status = '[ES1]'
+        and ss_sales_price between 100.00 and 150.00 and hd_dep_count = 3)
+       or (cd_marital_status = 'S' and cd_education_status = 'College'
+           and ss_sales_price between 50.00 and 100.00 and hd_dep_count = 1))
+  and ca_state in ([STATES1])";
+
+const Q14: &str = "\
+-- Items selling in all three channels vs channel averages (intersect).
+-- class: hybrid
+define YEAR = uniform(1998, 2001);
+with cross_items as (
+  select i_item_sk ss_item_sk from item
+  where i_item_sk in (
+    select ss_item_sk from store_sales, date_dim
+    where ss_sold_date_sk = d_date_sk and d_year = [YEAR]
+    intersect
+    select cs_item_sk from catalog_sales, date_dim
+    where cs_sold_date_sk = d_date_sk and d_year = [YEAR]
+    intersect
+    select ws_item_sk from web_sales, date_dim
+    where ws_sold_date_sk = d_date_sk and d_year = [YEAR])),
+ avg_sales as (
+  select avg(quantity * list_price) average_sales from (
+    select ss_quantity quantity, ss_list_price list_price
+    from store_sales, date_dim
+    where ss_sold_date_sk = d_date_sk and d_year = [YEAR]
+    union all
+    select cs_quantity quantity, cs_list_price list_price
+    from catalog_sales, date_dim
+    where cs_sold_date_sk = d_date_sk and d_year = [YEAR]) x)
+select channel, i_brand_id, sum(sales) sum_sales
+from (
+  select 'store' channel, i_brand_id, sum(ss_quantity * ss_list_price) sales
+  from store_sales, item, date_dim
+  where ss_item_sk = i_item_sk and ss_sold_date_sk = d_date_sk
+    and d_year = [YEAR]
+    and ss_item_sk in (select ss_item_sk from cross_items)
+  group by i_brand_id
+  having sum(ss_quantity * ss_list_price) > (select average_sales from avg_sales)
+  union all
+  select 'catalog' channel, i_brand_id, sum(cs_quantity * cs_list_price) sales
+  from catalog_sales, item, date_dim
+  where cs_item_sk = i_item_sk and cs_sold_date_sk = d_date_sk
+    and d_year = [YEAR]
+    and cs_item_sk in (select ss_item_sk from cross_items)
+  group by i_brand_id
+  having sum(cs_quantity * cs_list_price) > (select average_sales from avg_sales)) y
+group by rollup(channel, i_brand_id)
+order by channel, i_brand_id
+limit 100";
+
+const Q15: &str = "\
+-- Catalog sales by customer zip for high-value or select-state buyers.
+-- class: reporting
+define YEAR = year();
+define QOY = uniform(1, 2);
+select ca_zip, sum(cs_sales_price) total
+from catalog_sales, customer, customer_address, date_dim
+where cs_bill_customer_sk = c_customer_sk
+  and c_current_addr_sk = ca_address_sk
+  and (substr(ca_zip, 1, 5) in ('85669', '86197', '88274', '83405', '86475')
+       or ca_state in ('CA', 'WA', 'GA')
+       or cs_sales_price > 500)
+  and cs_sold_date_sk = d_date_sk
+  and d_qoy = [QOY] and d_year = [YEAR]
+group by ca_zip
+order by ca_zip
+limit 100";
+
+const Q16: &str = "\
+-- Catalog orders shipped from multiple warehouses with no returns.
+-- class: reporting
+define SDATE = date_in_zone(low);
+define COUNTIES2 = list(counties, 5);
+select count(distinct cs_order_number) order_count,
+       sum(cs_ext_ship_cost) total_shipping_cost,
+       sum(cs_net_profit) total_net_profit
+from catalog_sales cs1, date_dim, customer_address, call_center
+where d_date between '[SDATE]' and '[SDATE+60]'
+  and cs1.cs_ship_date_sk = d_date_sk
+  and cs1.cs_ship_addr_sk = ca_address_sk
+  and ca_county in ([COUNTIES2])
+  and cs1.cs_call_center_sk = cc_call_center_sk
+  and exists (select cs2.cs_order_number from catalog_sales cs2
+              where cs1.cs_order_number = cs2.cs_order_number
+                and cs1.cs_warehouse_sk <> cs2.cs_warehouse_sk)
+  and not exists (select cr1.cr_order_number from catalog_returns cr1
+                  where cs1.cs_order_number = cr1.cr_order_number)
+limit 100";
+
+const Q17: &str = "\
+-- Quantity statistics for items sold then returned then re-bought.
+-- class: hybrid
+define YEAR = uniform(1998, 2001);
+select i_item_id, i_item_desc, s_state,
+       count(ss_quantity) store_sales_quantitycount,
+       avg(ss_quantity) store_sales_quantityave,
+       stddev_samp(ss_quantity) store_sales_quantitystdev,
+       count(sr_return_quantity) store_returns_quantitycount,
+       avg(sr_return_quantity) store_returns_quantityave,
+       count(cs_quantity) catalog_sales_quantitycount
+from store_sales, store_returns, catalog_sales, date_dim d1, date_dim d2,
+     date_dim d3, store, item
+where d1.d_year = [YEAR]
+  and d1.d_date_sk = ss_sold_date_sk
+  and i_item_sk = ss_item_sk
+  and s_store_sk = ss_store_sk
+  and ss_customer_sk = sr_customer_sk
+  and ss_item_sk = sr_item_sk
+  and ss_ticket_number = sr_ticket_number
+  and sr_returned_date_sk = d2.d_date_sk
+  and d2.d_year = [YEAR]
+  and sr_customer_sk = cs_bill_customer_sk
+  and sr_item_sk = cs_item_sk
+  and cs_sold_date_sk = d3.d_date_sk
+  and d3.d_year = [YEAR]
+group by i_item_id, i_item_desc, s_state
+order by i_item_id, i_item_desc, s_state
+limit 100";
+
+const Q18: &str = "\
+-- Catalog averages by customer geography with rollup.
+-- class: reporting
+define YEAR = year();
+define MONTHS = list(months_low, 3);
+select i_item_id, ca_country, ca_state, ca_county,
+       avg(cast(cs_quantity as decimal)) agg1,
+       avg(cast(cs_list_price as decimal)) agg2,
+       avg(cast(cs_coupon_amt as decimal)) agg3,
+       avg(cast(cs_sales_price as decimal)) agg4,
+       avg(cast(cs_net_profit as decimal)) agg5,
+       avg(cast(c_birth_year as decimal)) agg6,
+       avg(cast(cd1.cd_dep_count as decimal)) agg7
+from catalog_sales, customer_demographics cd1, customer_demographics cd2,
+     customer, customer_address, date_dim, item
+where cs_sold_date_sk = d_date_sk
+  and cs_item_sk = i_item_sk
+  and cs_bill_cdemo_sk = cd1.cd_demo_sk
+  and cs_bill_customer_sk = c_customer_sk
+  and cd1.cd_gender = 'F'
+  and cd1.cd_education_status = 'Unknown'
+  and c_current_cdemo_sk = cd2.cd_demo_sk
+  and c_current_addr_sk = ca_address_sk
+  and c_birth_month in ([MONTHS])
+  and d_year = [YEAR]
+group by rollup(i_item_id, ca_country, ca_state, ca_county)
+order by ca_country, ca_state, ca_county, i_item_id
+limit 100";
+
+const Q19: &str = "\
+-- Brand revenue where the customer and store zips differ.
+-- class: adhoc
+define YEAR = year();
+define MONTH = pick(months_high);
+define MANAGER = uniform(1, 100);
+select i_brand_id brand_id, i_brand brand, i_manufact_id, i_manufact,
+       sum(ss_ext_sales_price) ext_price
+from date_dim, store_sales, item, customer, customer_address, store
+where d_date_sk = ss_sold_date_sk
+  and ss_item_sk = i_item_sk
+  and i_manager_id = [MANAGER]
+  and d_moy = [MONTH] and d_year = [YEAR]
+  and ss_customer_sk = c_customer_sk
+  and c_current_addr_sk = ca_address_sk
+  and substr(ca_zip, 1, 5) <> substr(s_zip, 1, 5)
+  and ss_store_sk = s_store_sk
+group by i_brand, i_brand_id, i_manufact_id, i_manufact
+order by ext_price desc, i_brand, i_brand_id, i_manufact_id, i_manufact
+limit 100";
+
+const Q20: &str = "\
+-- Catalog revenue ratio of items within their class (paper Figure 7).
+-- class: reporting
+define CATS = list(categories, 3);
+define SDATE = date_in_zone(low);
+select i_item_desc, i_category, i_class, i_current_price,
+       sum(cs_ext_sales_price) as itemrevenue,
+       sum(cs_ext_sales_price) * 100 /
+         sum(sum(cs_ext_sales_price)) over (partition by i_class) as revenueratio
+from catalog_sales, item, date_dim
+where cs_item_sk = i_item_sk
+  and i_category in ([CATS])
+  and cs_sold_date_sk = d_date_sk
+  and d_date between '[SDATE]' and '[SDATE+30]'
+group by i_item_id, i_item_desc, i_category, i_class, i_current_price
+order by i_category, i_class, i_item_id, i_item_desc, revenueratio
+limit 100";
+
+const Q21: &str = "\
+-- Inventory shift around a date by warehouse and item.
+-- class: reporting
+define SDATE = date_in_zone(low);
+select w_warehouse_name, i_item_id,
+       sum(case when d_date < '[SDATE+30]' then inv_quantity_on_hand else 0 end)
+           inv_before,
+       sum(case when d_date >= '[SDATE+30]' then inv_quantity_on_hand else 0 end)
+           inv_after
+from inventory, warehouse, item, date_dim
+where i_current_price between 0.99 and 1500.49
+  and i_item_sk = inv_item_sk
+  and inv_warehouse_sk = w_warehouse_sk
+  and inv_date_sk = d_date_sk
+  and d_date between '[SDATE]' and '[SDATE+60]'
+group by w_warehouse_name, i_item_id
+having sum(case when d_date < '[SDATE+30]' then inv_quantity_on_hand else 0 end) > 0
+order by w_warehouse_name, i_item_id
+limit 100";
+
+const Q22: &str = "\
+-- Average inventory quantity rolled up the product hierarchy.
+-- class: reporting
+define YEAR = uniform(1998, 2001);
+select i_product_name, i_brand, i_class, i_category,
+       avg(inv_quantity_on_hand) qoh
+from inventory, date_dim, item
+where inv_date_sk = d_date_sk
+  and inv_item_sk = i_item_sk
+  and d_year = [YEAR]
+group by rollup(i_product_name, i_brand, i_class, i_category)
+order by qoh, i_product_name, i_brand, i_class, i_category
+limit 100";
+
+const Q23: &str = "\
+-- Best customers buying frequently-sold items (store + catalog).
+-- class: hybrid
+define YEAR = uniform(1998, 2001);
+with frequent_ss_items as (
+  select ss_item_sk item_sk, count(*) cnt
+  from store_sales, date_dim
+  where ss_sold_date_sk = d_date_sk and d_year = [YEAR]
+  group by ss_item_sk
+  having count(*) > 4),
+ best_ss_customer as (
+  select ss_customer_sk customer_sk, sum(ss_quantity * ss_sales_price) ssales
+  from store_sales
+  group by ss_customer_sk
+  having sum(ss_quantity * ss_sales_price) >
+         0.5 * (select max(csales) from (
+                  select sum(ss_quantity * ss_sales_price) csales
+                  from store_sales group by ss_customer_sk) t))
+select sum(sales) total
+from (
+  select cs_quantity * cs_list_price sales
+  from catalog_sales, date_dim
+  where d_year = [YEAR] and d_moy = 2 and cs_sold_date_sk = d_date_sk
+    and cs_item_sk in (select item_sk from frequent_ss_items)
+    and cs_bill_customer_sk in (select customer_sk from best_ss_customer)) x
+limit 100";
+
+const Q24: &str = "\
+-- Customers returning items of one color beyond a spend threshold.
+-- class: adhoc
+define COLOR = pick(colors);
+with ssales as (
+  select c_last_name, c_first_name, s_store_name, i_color, sum(ss_net_paid) netpaid
+  from store_sales, store_returns, store, item, customer
+  where ss_ticket_number = sr_ticket_number
+    and ss_item_sk = sr_item_sk
+    and ss_customer_sk = c_customer_sk
+    and ss_item_sk = i_item_sk
+    and ss_store_sk = s_store_sk
+  group by c_last_name, c_first_name, s_store_name, i_color)
+select sn.c_last_name, sn.c_first_name, sn.s_store_name, sum(sn.netpaid) paid
+from ssales sn
+where sn.i_color = '[COLOR]'
+group by sn.c_last_name, sn.c_first_name, sn.s_store_name
+having sum(sn.netpaid) > (select 0.05 * avg(netpaid) from ssales)
+order by sn.c_last_name, sn.c_first_name, sn.s_store_name
+limit 100";
+
+const Q25: &str = "\
+-- Items sold, returned and re-bought through the catalog ([AGG] exchange).
+-- class: hybrid
+define YEAR = uniform(1998, 2001);
+define AGG = agg();
+select i_item_id, i_item_desc, s_store_id, s_store_name,
+       [AGG](ss_net_profit) as store_sales_profit,
+       [AGG](sr_net_loss) as store_returns_loss,
+       [AGG](cs_net_profit) as catalog_sales_profit
+from store_sales, store_returns, catalog_sales, date_dim d1, date_dim d2,
+     date_dim d3, store, item
+where d1.d_moy = 4 and d1.d_year = [YEAR]
+  and d1.d_date_sk = ss_sold_date_sk
+  and i_item_sk = ss_item_sk
+  and s_store_sk = ss_store_sk
+  and ss_customer_sk = sr_customer_sk
+  and ss_item_sk = sr_item_sk
+  and ss_ticket_number = sr_ticket_number
+  and sr_returned_date_sk = d2.d_date_sk
+  and d2.d_moy between 4 and 10 and d2.d_year = [YEAR]
+  and sr_customer_sk = cs_bill_customer_sk
+  and sr_item_sk = cs_item_sk
+  and cs_sold_date_sk = d3.d_date_sk
+  and d3.d_moy between 4 and 10 and d3.d_year = [YEAR]
+group by i_item_id, i_item_desc, s_store_id, s_store_name
+order by i_item_id, i_item_desc, s_store_id, s_store_name
+limit 100";

@@ -1,0 +1,688 @@
+//! Query templates 26–50.
+
+/// Template sources for queries 26–50.
+pub fn sources() -> Vec<(u32, &'static str)> {
+    vec![
+        (26, Q26),
+        (27, Q27),
+        (28, Q28),
+        (29, Q29),
+        (30, Q30),
+        (31, Q31),
+        (32, Q32),
+        (33, Q33),
+        (34, Q34),
+        (35, Q35),
+        (36, Q36),
+        (37, Q37),
+        (38, Q38),
+        (39, Q39),
+        (40, Q40),
+        (41, Q41),
+        (42, Q42),
+        (43, Q43),
+        (44, Q44),
+        (45, Q45),
+        (46, Q46),
+        (47, Q47),
+        (48, Q48),
+        (49, Q49),
+        (50, Q50),
+    ]
+}
+
+const Q26: &str = "\
+-- Catalog averages for a demographic slice under promotion (q7 kin).
+-- class: reporting
+define YEAR = year();
+define GEN = pick(genders);
+define MS = pick(marital);
+define ES = pick(education);
+select i_item_id,
+       avg(cs_quantity) agg1, avg(cs_list_price) agg2,
+       avg(cs_coupon_amt) agg3, avg(cs_sales_price) agg4
+from catalog_sales, customer_demographics, date_dim, item, promotion
+where cs_sold_date_sk = d_date_sk
+  and cs_item_sk = i_item_sk
+  and cs_bill_cdemo_sk = cd_demo_sk
+  and cs_promo_sk = p_promo_sk
+  and cd_gender = '[GEN]'
+  and cd_marital_status = '[MS]'
+  and cd_education_status = '[ES]'
+  and (p_channel_email = 'N' or p_channel_event = 'N')
+  and d_year = [YEAR]
+group by i_item_id
+order by i_item_id
+limit 100";
+
+const Q27: &str = "\
+-- Store averages by item and state, rolled up.
+-- class: adhoc
+define YEAR = year();
+define GEN = pick(genders);
+define MS = pick(marital);
+define ES = pick(education);
+define STATES4 = list(states, 4);
+select i_item_id, s_state, grouping(s_state) g_state,
+       avg(ss_quantity) agg1, avg(ss_list_price) agg2,
+       avg(ss_coupon_amt) agg3, avg(ss_sales_price) agg4
+from store_sales, customer_demographics, date_dim, store, item
+where ss_sold_date_sk = d_date_sk
+  and ss_item_sk = i_item_sk
+  and ss_store_sk = s_store_sk
+  and ss_cdemo_sk = cd_demo_sk
+  and cd_gender = '[GEN]'
+  and cd_marital_status = '[MS]'
+  and cd_education_status = '[ES]'
+  and d_year = [YEAR]
+  and s_state in ([STATES4])
+group by rollup(i_item_id, s_state)
+order by i_item_id, s_state
+limit 100";
+
+const Q28: &str = "\
+-- List-price statistics in six price/discount/cost bands.
+-- class: mining
+define AGG = agg();
+select *
+from (select [AGG](ss_list_price) b1_lp, count(ss_list_price) b1_cnt,
+             count(distinct ss_list_price) b1_cntd
+      from store_sales
+      where ss_quantity between 0 and 5
+        and (ss_list_price between 8 and 18
+             or ss_coupon_amt between 459 and 1459
+             or ss_wholesale_cost between 57 and 77)) b1,
+     (select [AGG](ss_list_price) b2_lp, count(ss_list_price) b2_cnt,
+             count(distinct ss_list_price) b2_cntd
+      from store_sales
+      where ss_quantity between 6 and 10
+        and (ss_list_price between 90 and 100
+             or ss_coupon_amt between 2323 and 3323
+             or ss_wholesale_cost between 31 and 51)) b2,
+     (select [AGG](ss_list_price) b3_lp, count(ss_list_price) b3_cnt,
+             count(distinct ss_list_price) b3_cntd
+      from store_sales
+      where ss_quantity between 11 and 15
+        and (ss_list_price between 142 and 152
+             or ss_coupon_amt between 12214 and 13214
+             or ss_wholesale_cost between 79 and 99)) b3
+limit 100";
+
+const Q29: &str = "\
+-- Store items sold, returned, re-bought via catalog ([AGG] exchange, q25 kin).
+-- class: hybrid
+define YEAR = uniform(1998, 2000);
+define MONTH = pick(months_low);
+define AGG = agg();
+select i_item_id, i_item_desc, s_store_id, s_store_name,
+       [AGG](ss_quantity) as store_sales_quantity,
+       [AGG](sr_return_quantity) as store_returns_quantity,
+       [AGG](cs_quantity) as catalog_sales_quantity
+from store_sales, store_returns, catalog_sales, date_dim d1, date_dim d2,
+     date_dim d3, store, item
+where d1.d_moy = [MONTH] and d1.d_year = [YEAR]
+  and d1.d_date_sk = ss_sold_date_sk
+  and i_item_sk = ss_item_sk
+  and s_store_sk = ss_store_sk
+  and ss_customer_sk = sr_customer_sk
+  and ss_item_sk = sr_item_sk
+  and ss_ticket_number = sr_ticket_number
+  and sr_returned_date_sk = d2.d_date_sk
+  and d2.d_moy between [MONTH] and [MONTH] + 3 and d2.d_year = [YEAR]
+  and sr_customer_sk = cs_bill_customer_sk
+  and sr_item_sk = cs_item_sk
+  and cs_sold_date_sk = d3.d_date_sk
+  and d3.d_year in ([YEAR], [YEAR] + 1, [YEAR] + 2)
+group by i_item_id, i_item_desc, s_store_id, s_store_name
+order by i_item_id, i_item_desc, s_store_id, s_store_name
+limit 100";
+
+const Q30: &str = "\
+-- Web customers returning 20% above their state's average.
+-- class: adhoc
+define YEAR = year();
+define STATE = pick(states);
+with customer_total_return as (
+  select wr_returning_customer_sk ctr_customer_sk, ca_state ctr_state,
+         sum(wr_return_amt) ctr_total_return
+  from web_returns, date_dim, customer_address
+  where wr_returned_date_sk = d_date_sk and d_year = [YEAR]
+    and wr_returning_addr_sk = ca_address_sk
+  group by wr_returning_customer_sk, ca_state)
+select c_customer_id, c_salutation, c_first_name, c_last_name,
+       c_preferred_cust_flag, c_birth_day, c_birth_month, c_birth_year,
+       c_birth_country, c_email_address, ctr_total_return
+from customer_total_return ctr1, customer_address, customer
+where ctr1.ctr_total_return >
+      (select avg(ctr_total_return) * 1.2 from customer_total_return ctr2
+       where ctr1.ctr_state = ctr2.ctr_state)
+  and ca_address_sk = c_current_addr_sk
+  and ca_state = '[STATE]'
+  and ctr1.ctr_customer_sk = c_customer_sk
+order by c_customer_id, c_salutation, c_first_name, c_last_name, ctr_total_return
+limit 100";
+
+const Q31: &str = "\
+-- Counties whose web sales grow faster than store sales across quarters.
+-- class: adhoc
+define YEAR = uniform(1998, 2001);
+with ss as (
+  select ca_county, d_qoy, d_year, sum(ss_ext_sales_price) store_sales
+  from store_sales, date_dim, customer_address
+  where ss_sold_date_sk = d_date_sk and ss_addr_sk = ca_address_sk
+  group by ca_county, d_qoy, d_year),
+ ws as (
+  select ca_county, d_qoy, d_year, sum(ws_ext_sales_price) web_sales
+  from web_sales, date_dim, customer_address
+  where ws_sold_date_sk = d_date_sk and ws_bill_addr_sk = ca_address_sk
+  group by ca_county, d_qoy, d_year)
+select ss1.ca_county, ss1.d_year,
+       ws2.web_sales / ws1.web_sales web_q1_q2_increase,
+       ss2.store_sales / ss1.store_sales store_q1_q2_increase
+from ss ss1, ss ss2, ws ws1, ws ws2
+where ss1.d_qoy = 1 and ss1.d_year = [YEAR]
+  and ss1.ca_county = ss2.ca_county
+  and ss2.d_qoy = 2 and ss2.d_year = [YEAR]
+  and ss1.ca_county = ws1.ca_county
+  and ws1.d_qoy = 1 and ws1.d_year = [YEAR]
+  and ws1.ca_county = ws2.ca_county
+  and ws2.d_qoy = 2 and ws2.d_year = [YEAR]
+  and ws2.web_sales / ws1.web_sales > ss2.store_sales / ss1.store_sales
+order by ss1.ca_county
+limit 100";
+
+const Q32: &str = "\
+-- Catalog items with excess discounts (1.3x the item's average).
+-- class: reporting
+define SDATE = date_in_zone(low);
+define MANUFACT = uniform(1, 1000);
+select sum(cs_ext_discount_amt) as excess_discount_amount
+from catalog_sales cs0, item, date_dim
+where i_manufact_id = [MANUFACT]
+  and i_item_sk = cs0.cs_item_sk
+  and d_date between '[SDATE]' and '[SDATE+90]'
+  and d_date_sk = cs0.cs_sold_date_sk
+  and cs0.cs_ext_discount_amt >
+      (select 1.3 * avg(cs_ext_discount_amt)
+       from catalog_sales, date_dim
+       where cs_item_sk = cs0.cs_item_sk
+         and d_date between '[SDATE]' and '[SDATE+90]'
+         and d_date_sk = cs_sold_date_sk)
+limit 100";
+
+const Q33: &str = "\
+-- Manufacturer revenue for one category across all three channels.
+-- class: hybrid
+define CAT = pick(categories);
+define YEAR = year();
+define MONTH = pick(months_low);
+with ss as (
+  select i_manufact_id, sum(ss_ext_sales_price) total_sales
+  from store_sales, date_dim, item
+  where i_manufact_id in (select i_manufact_id from item
+                          where i_category in ('[CAT]'))
+    and ss_item_sk = i_item_sk
+    and ss_sold_date_sk = d_date_sk
+    and d_year = [YEAR] and d_moy = [MONTH]
+  group by i_manufact_id),
+ cs as (
+  select i_manufact_id, sum(cs_ext_sales_price) total_sales
+  from catalog_sales, date_dim, item
+  where i_manufact_id in (select i_manufact_id from item
+                          where i_category in ('[CAT]'))
+    and cs_item_sk = i_item_sk
+    and cs_sold_date_sk = d_date_sk
+    and d_year = [YEAR] and d_moy = [MONTH]
+  group by i_manufact_id),
+ ws as (
+  select i_manufact_id, sum(ws_ext_sales_price) total_sales
+  from web_sales, date_dim, item
+  where i_manufact_id in (select i_manufact_id from item
+                          where i_category in ('[CAT]'))
+    and ws_item_sk = i_item_sk
+    and ws_sold_date_sk = d_date_sk
+    and d_year = [YEAR] and d_moy = [MONTH]
+  group by i_manufact_id)
+select i_manufact_id, sum(total_sales) total_sales
+from (select * from ss union all select * from cs union all select * from ws) t
+group by i_manufact_id
+order by total_sales
+limit 100";
+
+const Q34: &str = "\
+-- Customers buying 15-20 item baskets on high-traffic days.
+-- class: adhoc
+define YEAR = uniform(1998, 2000);
+define BP = pick(buy_potential);
+select c_last_name, c_first_name, c_salutation, c_preferred_cust_flag,
+       ss_ticket_number, cnt
+from (select ss_ticket_number, ss_customer_sk, count(*) cnt
+      from store_sales, date_dim, store, household_demographics
+      where ss_sold_date_sk = d_date_sk
+        and ss_store_sk = s_store_sk
+        and ss_hdemo_sk = hd_demo_sk
+        and (d_dom between 1 and 3 or d_dom between 25 and 28)
+        and hd_buy_potential = '[BP]'
+        and hd_vehicle_count > 0
+        and d_year in ([YEAR], [YEAR] + 1, [YEAR] + 2)
+      group by ss_ticket_number, ss_customer_sk) dn, customer
+where ss_customer_sk = c_customer_sk
+  and cnt between 10 and 13
+order by c_last_name, c_first_name, c_salutation, c_preferred_cust_flag desc,
+         ss_ticket_number
+limit 100";
+
+const Q35: &str = "\
+-- Demographics of customers active in store plus web or catalog.
+-- class: hybrid
+define YEAR = year();
+define AGG = agg();
+select ca_state, cd_gender, cd_marital_status, cd_dep_count, count(*) cnt1,
+       [AGG](cd_dep_count) agg1, cd_dep_employed_count, count(*) cnt2,
+       [AGG](cd_dep_employed_count) agg2
+from customer c, customer_address ca, customer_demographics
+where c.c_current_addr_sk = ca.ca_address_sk
+  and cd_demo_sk = c.c_current_cdemo_sk
+  and exists (select ss_sold_date_sk from store_sales, date_dim
+              where c.c_customer_sk = ss_customer_sk
+                and ss_sold_date_sk = d_date_sk and d_year = [YEAR] and d_qoy < 4)
+  and (exists (select ws_sold_date_sk from web_sales, date_dim
+               where c.c_customer_sk = ws_bill_customer_sk
+                 and ws_sold_date_sk = d_date_sk and d_year = [YEAR] and d_qoy < 4)
+       or exists (select cs_sold_date_sk from catalog_sales, date_dim
+                  where c.c_customer_sk = cs_ship_customer_sk
+                    and cs_sold_date_sk = d_date_sk and d_year = [YEAR] and d_qoy < 4))
+group by ca_state, cd_gender, cd_marital_status, cd_dep_count,
+         cd_dep_employed_count
+order by ca_state, cd_gender, cd_marital_status, cd_dep_count
+limit 100";
+
+const Q36: &str = "\
+-- Gross-margin ranking across the category hierarchy (rollup + rank).
+-- class: adhoc
+define YEAR = year();
+define STATES8 = list(states, 8);
+select sum(ss_net_profit) / sum(ss_ext_sales_price) as gross_margin,
+       i_category, i_class,
+       grouping(i_category) + grouping(i_class) as lochierarchy,
+       rank() over (
+         partition by grouping(i_category) + grouping(i_class),
+                      case when grouping(i_class) = 0 then i_category end
+         order by sum(ss_net_profit) / sum(ss_ext_sales_price) asc) as rank_within_parent
+from store_sales, date_dim d1, item, store
+where d1.d_year = [YEAR]
+  and d1.d_date_sk = ss_sold_date_sk
+  and i_item_sk = ss_item_sk
+  and s_store_sk = ss_store_sk
+  and s_state in ([STATES8])
+group by rollup(i_category, i_class)
+order by lochierarchy desc, rank_within_parent
+limit 100";
+
+const Q37: &str = "\
+-- Catalog items in a price band with mid-level inventory.
+-- class: reporting
+define PRICE = uniform(10, 60);
+define SDATE = date_in_zone(low);
+define MANUFACTS = list(categories, 2);
+select i_item_id, i_item_desc, i_current_price
+from item, inventory, date_dim, catalog_sales
+where i_current_price between [PRICE] and [PRICE] + 30
+  and inv_item_sk = i_item_sk
+  and d_date_sk = inv_date_sk
+  and d_date between '[SDATE]' and '[SDATE+60]'
+  and i_category in ([MANUFACTS])
+  and inv_quantity_on_hand between 100 and 500
+  and cs_item_sk = i_item_sk
+group by i_item_id, i_item_desc, i_current_price
+order by i_item_id
+limit 100";
+
+const Q38: &str = "\
+-- Customers active in all three channels in one month (intersect).
+-- class: hybrid
+define YEAR = year();
+define MONTH = pick(months_medium);
+select count(*) from (
+  select distinct c_last_name, c_first_name, d_date
+  from store_sales, date_dim, customer
+  where store_sales.ss_sold_date_sk = date_dim.d_date_sk
+    and store_sales.ss_customer_sk = customer.c_customer_sk
+    and d_year = [YEAR] and d_moy = [MONTH]
+  intersect
+  select distinct c_last_name, c_first_name, d_date
+  from catalog_sales, date_dim, customer
+  where catalog_sales.cs_sold_date_sk = date_dim.d_date_sk
+    and catalog_sales.cs_bill_customer_sk = customer.c_customer_sk
+    and d_year = [YEAR] and d_moy = [MONTH]
+  intersect
+  select distinct c_last_name, c_first_name, d_date
+  from web_sales, date_dim, customer
+  where web_sales.ws_sold_date_sk = date_dim.d_date_sk
+    and web_sales.ws_bill_customer_sk = customer.c_customer_sk
+    and d_year = [YEAR] and d_moy = [MONTH]) hot_cust
+limit 100";
+
+const Q39: &str = "\
+-- Inventory variance outliers across two consecutive months (iterative).
+-- class: iterative
+define YEAR = uniform(1998, 2001);
+define MONTH = uniform(1, 4);
+with inv as (
+  select w_warehouse_name, w_warehouse_sk, i_item_sk, d_moy,
+         stddev_samp(inv_quantity_on_hand) stdev,
+         avg(inv_quantity_on_hand) mean
+  from inventory, item, warehouse, date_dim
+  where inv_item_sk = i_item_sk
+    and inv_warehouse_sk = w_warehouse_sk
+    and inv_date_sk = d_date_sk
+    and d_year = [YEAR]
+  group by w_warehouse_name, w_warehouse_sk, i_item_sk, d_moy)
+select inv1.w_warehouse_sk wsk1, inv1.i_item_sk isk1, inv1.d_moy moy1,
+       inv1.mean mean1, inv1.stdev stdev1,
+       inv2.mean mean2, inv2.stdev stdev2
+from inv inv1, inv inv2
+where inv1.i_item_sk = inv2.i_item_sk
+  and inv1.w_warehouse_sk = inv2.w_warehouse_sk
+  and inv1.d_moy = [MONTH]
+  and inv2.d_moy = [MONTH] + 1
+  and inv1.mean > 0
+  and inv1.stdev / inv1.mean > 1
+order by wsk1, isk1, moy1, mean1
+limit 100";
+
+const Q40: &str = "\
+-- Catalog sales netted against returns around a date, by warehouse.
+-- class: reporting
+define SDATE = date_in_zone(medium);
+select w_state, i_item_id,
+       sum(case when d_date < '[SDATE+30]'
+                then cs_sales_price - coalesce(cr_refunded_cash, 0) else 0 end)
+           sales_before,
+       sum(case when d_date >= '[SDATE+30]'
+                then cs_sales_price - coalesce(cr_refunded_cash, 0) else 0 end)
+           sales_after
+from catalog_sales
+     left join catalog_returns on cs_order_number = cr_order_number
+                               and cs_item_sk = cr_item_sk,
+     warehouse, item, date_dim
+where i_current_price between 0.99 and 1500.49
+  and i_item_sk = cs_item_sk
+  and cs_warehouse_sk = w_warehouse_sk
+  and cs_sold_date_sk = d_date_sk
+  and d_date between '[SDATE]' and '[SDATE+60]'
+group by w_state, i_item_id
+order by w_state, i_item_id
+limit 100";
+
+const Q41: &str = "\
+-- Distinct product names with specific attribute combinations.
+-- class: adhoc
+define MANUFACT = uniform(1, 970);
+define SIZES2 = list(sizes, 2);
+define UNITS2 = list(units, 2);
+select distinct i_product_name
+from item i1
+where i_manufact_id between [MANUFACT] and [MANUFACT] + 30
+  and (select count(*) as item_cnt from item
+       where (i_manufact = i1.i_manufact
+              and i_category = 'Women' and i_size in ([SIZES2]))
+          or (i_manufact = i1.i_manufact
+              and i_category = 'Men' and i_units in ([UNITS2]))) > 0
+order by i_product_name
+limit 100";
+
+const Q42: &str = "\
+-- Category revenue for one month and year.
+-- class: adhoc
+define YEAR = year();
+define MONTH = pick(months_high);
+select d_year, i_category_id, i_category, sum(ss_ext_sales_price) total
+from date_dim dt, store_sales, item
+where dt.d_date_sk = ss_sold_date_sk
+  and ss_item_sk = i_item_sk
+  and i_manager_id = 1
+  and dt.d_moy = [MONTH]
+  and dt.d_year = [YEAR]
+group by d_year, i_category_id, i_category
+order by total desc, d_year, i_category_id, i_category
+limit 100";
+
+const Q43: &str = "\
+-- Store sales by day of week per store.
+-- class: adhoc
+define YEAR = year();
+select s_store_name, s_store_id,
+       sum(case when d_day_name = 'Sunday' then ss_sales_price else null end) sun_sales,
+       sum(case when d_day_name = 'Monday' then ss_sales_price else null end) mon_sales,
+       sum(case when d_day_name = 'Tuesday' then ss_sales_price else null end) tue_sales,
+       sum(case when d_day_name = 'Wednesday' then ss_sales_price else null end) wed_sales,
+       sum(case when d_day_name = 'Thursday' then ss_sales_price else null end) thu_sales,
+       sum(case when d_day_name = 'Friday' then ss_sales_price else null end) fri_sales,
+       sum(case when d_day_name = 'Saturday' then ss_sales_price else null end) sat_sales
+from date_dim, store_sales, store
+where d_date_sk = ss_sold_date_sk
+  and s_store_sk = ss_store_sk
+  and d_year = [YEAR]
+group by s_store_name, s_store_id
+order by s_store_name, s_store_id
+limit 100";
+
+const Q44: &str = "\
+-- Best and worst items by average net profit at one store.
+-- class: adhoc
+define STORE = uniform(1, 10);
+select asceding.rnk, i1.i_product_name best_performing,
+       i2.i_product_name worst_performing
+from (select *
+      from (select item_sk, rank() over (order by rank_col asc) rnk
+            from (select ss_item_sk item_sk, avg(ss_net_profit) rank_col
+                  from store_sales
+                  where ss_store_sk = [STORE]
+                  group by ss_item_sk) v1) v11
+      where rnk < 11) asceding,
+     (select *
+      from (select item_sk, rank() over (order by rank_col desc) rnk
+            from (select ss_item_sk item_sk, avg(ss_net_profit) rank_col
+                  from store_sales
+                  where ss_store_sk = [STORE]
+                  group by ss_item_sk) v2) v21
+      where rnk < 11) descending,
+     item i1, item i2
+where asceding.rnk = descending.rnk
+  and i1.i_item_sk = asceding.item_sk
+  and i2.i_item_sk = descending.item_sk
+order by asceding.rnk
+limit 100";
+
+const Q45: &str = "\
+-- Web sales by customer zip and city for selected items.
+-- class: adhoc
+define YEAR = year();
+define QOY = uniform(1, 2);
+define ZIPS5 = list(zip_prefixes, 5);
+select ca_zip, ca_city, sum(ws_sales_price) total
+from web_sales, customer, customer_address, date_dim, item
+where ws_bill_customer_sk = c_customer_sk
+  and c_current_addr_sk = ca_address_sk
+  and ws_item_sk = i_item_sk
+  and (substr(ca_zip, 1, 2) in ([ZIPS5])
+       or i_item_id in (select i_item_id from item
+                        where i_item_sk in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29)))
+  and ws_sold_date_sk = d_date_sk
+  and d_qoy = [QOY] and d_year = [YEAR]
+group by ca_zip, ca_city
+order by ca_zip, ca_city
+limit 100";
+
+const Q46: &str = "\
+-- Out-of-town shoppers' baskets in selected cities.
+-- class: adhoc
+define YEAR = uniform(1998, 2000);
+define CITIES5 = list(cities, 5);
+define DEP = uniform(0, 9);
+select c_last_name, c_first_name, ca_city, bought_city, ss_ticket_number,
+       amt, profit
+from (select ss_ticket_number, ss_customer_sk, ca_city bought_city,
+             sum(ss_coupon_amt) amt, sum(ss_net_profit) profit
+      from store_sales, date_dim, store, household_demographics, customer_address
+      where ss_sold_date_sk = d_date_sk
+        and ss_store_sk = s_store_sk
+        and ss_hdemo_sk = hd_demo_sk
+        and ss_addr_sk = ca_address_sk
+        and (hd_dep_count = [DEP] or hd_vehicle_count = 3)
+        and d_dow in (6, 0)
+        and d_year in ([YEAR], [YEAR] + 1, [YEAR] + 2)
+        and s_city in ([CITIES5])
+      group by ss_ticket_number, ss_customer_sk, ss_addr_sk, ca_city) dn,
+     customer, customer_address current_addr
+where ss_customer_sk = c_customer_sk
+  and customer.c_current_addr_sk = current_addr.ca_address_sk
+  and current_addr.ca_city <> bought_city
+order by c_last_name, c_first_name, ca_city, bought_city, ss_ticket_number
+limit 100";
+
+const Q47: &str = "\
+-- Category/brand months deviating from the yearly average (window rank).
+-- class: adhoc
+define YEAR = uniform(1999, 2001);
+with v1 as (
+  select i_category, i_brand, s_store_name, s_company_name, d_year, d_moy,
+         sum(ss_sales_price) sum_sales,
+         avg(sum(ss_sales_price)) over
+           (partition by i_category, i_brand, s_store_name, s_company_name, d_year)
+           avg_monthly_sales,
+         rank() over
+           (partition by i_category, i_brand, s_store_name, s_company_name
+            order by d_year, d_moy) rn
+  from item, store_sales, date_dim, store
+  where ss_item_sk = i_item_sk
+    and ss_sold_date_sk = d_date_sk
+    and ss_store_sk = s_store_sk
+    and (d_year = [YEAR]
+         or (d_year = [YEAR] - 1 and d_moy = 12)
+         or (d_year = [YEAR] + 1 and d_moy = 1))
+  group by i_category, i_brand, s_store_name, s_company_name, d_year, d_moy)
+select v1.i_category, v1.i_brand, v1.d_year, v1.d_moy, v1.avg_monthly_sales,
+       v1.sum_sales, v1_lag.sum_sales psum, v1_lead.sum_sales nsum
+from v1, v1 v1_lag, v1 v1_lead
+where v1.i_category = v1_lag.i_category
+  and v1.i_category = v1_lead.i_category
+  and v1.i_brand = v1_lag.i_brand
+  and v1.i_brand = v1_lead.i_brand
+  and v1.s_store_name = v1_lag.s_store_name
+  and v1.s_store_name = v1_lead.s_store_name
+  and v1.rn = v1_lag.rn + 1
+  and v1.rn = v1_lead.rn - 1
+  and v1.d_year = [YEAR]
+  and v1.avg_monthly_sales > 0
+  and abs(v1.sum_sales - v1.avg_monthly_sales) / v1.avg_monthly_sales > 0.1
+order by v1.sum_sales - v1.avg_monthly_sales, v1.i_category, v1.i_brand
+limit 100";
+
+const Q48: &str = "\
+-- Store quantity for marital/education/state/price-band combinations.
+-- class: adhoc
+define YEAR = year();
+define MS = pick(marital);
+define ES = pick(education);
+define STATES3 = list(states, 3);
+select sum(ss_quantity) total_quantity
+from store_sales, store, customer_demographics, customer_address, date_dim
+where s_store_sk = ss_store_sk
+  and ss_sold_date_sk = d_date_sk
+  and d_year = [YEAR]
+  and ss_cdemo_sk = cd_demo_sk
+  and ss_addr_sk = ca_address_sk
+  and ca_country = 'United States'
+  and ((cd_marital_status = '[MS]' and cd_education_status = '[ES]'
+        and ss_sales_price between 100.00 and 150.00)
+       or (cd_marital_status = 'S' and cd_education_status = 'Secondary'
+           and ss_sales_price between 50.00 and 100.00))
+  and ca_state in ([STATES3])";
+
+const Q49: &str = "\
+-- Worst return ratios by channel (windowed ranks over derived tables).
+-- class: hybrid
+define YEAR = year();
+define MONTH = pick(months_high);
+select channel, item, return_ratio, return_rank
+from (select 'web' as channel, web.item, web.return_ratio,
+             rank() over (order by web.return_ratio) as return_rank
+      from (select ws.ws_item_sk as item,
+                   cast(sum(coalesce(wr.wr_return_quantity, 0)) as decimal) /
+                   cast(sum(coalesce(ws.ws_quantity, 1)) as decimal) as return_ratio
+            from web_sales ws
+                 left join web_returns wr on ws.ws_order_number = wr.wr_order_number
+                                          and ws.ws_item_sk = wr.wr_item_sk,
+                 date_dim
+            where wr.wr_return_amt > 100
+              and ws.ws_net_profit > 1
+              and ws.ws_sold_date_sk = d_date_sk
+              and d_year = [YEAR] and d_moy = [MONTH]
+            group by ws.ws_item_sk) web) w
+where return_rank <= 10
+union all
+select channel, item, return_ratio, return_rank
+from (select 'store' as channel, store.item, store.return_ratio,
+             rank() over (order by store.return_ratio) as return_rank
+      from (select sts.ss_item_sk as item,
+                   cast(sum(coalesce(sr.sr_return_quantity, 0)) as decimal) /
+                   cast(sum(coalesce(sts.ss_quantity, 1)) as decimal) as return_ratio
+            from store_sales sts
+                 left join store_returns sr on sts.ss_ticket_number = sr.sr_ticket_number
+                                            and sts.ss_item_sk = sr.sr_item_sk,
+                 date_dim
+            where sr.sr_return_amt > 100
+              and sts.ss_net_profit > 1
+              and sts.ss_sold_date_sk = d_date_sk
+              and d_year = [YEAR] and d_moy = [MONTH]
+            group by sts.ss_item_sk) store) s
+where return_rank <= 10
+union all
+select channel, item, return_ratio, return_rank
+from (select 'catalog' as channel, cat.item, cat.return_ratio,
+             rank() over (order by cat.return_ratio) as return_rank
+      from (select cs.cs_item_sk as item,
+                   cast(sum(coalesce(cr.cr_return_quantity, 0)) as decimal) /
+                   cast(sum(coalesce(cs.cs_quantity, 1)) as decimal) as return_ratio
+            from catalog_sales cs
+                 left join catalog_returns cr on cs.cs_order_number = cr.cr_order_number
+                                              and cs.cs_item_sk = cr.cr_item_sk,
+                 date_dim
+            where cr.cr_return_amount > 100
+              and cs.cs_net_profit > 1
+              and cs.cs_sold_date_sk = d_date_sk
+              and d_year = [YEAR] and d_moy = [MONTH]
+            group by cs.cs_item_sk) cat) c
+where return_rank <= 10
+order by 1, 4
+limit 100";
+
+const Q50: &str = "\
+-- Return-lag buckets per store (30/60/90/120 days).
+-- class: adhoc
+define YEAR = year();
+define MONTH = pick(months_medium);
+select s_store_name, s_company_id, s_street_number, s_street_name, s_city,
+       sum(case when sr_returned_date_sk - ss_sold_date_sk <= 30 then 1 else 0 end)
+           le30,
+       sum(case when sr_returned_date_sk - ss_sold_date_sk > 30
+                 and sr_returned_date_sk - ss_sold_date_sk <= 60 then 1 else 0 end)
+           d31_60,
+       sum(case when sr_returned_date_sk - ss_sold_date_sk > 60
+                 and sr_returned_date_sk - ss_sold_date_sk <= 90 then 1 else 0 end)
+           d61_90,
+       sum(case when sr_returned_date_sk - ss_sold_date_sk > 90 then 1 else 0 end)
+           gt90
+from store_sales, store_returns, store, date_dim d1, date_dim d2
+where d2.d_year = [YEAR] and d2.d_moy = [MONTH]
+  and ss_ticket_number = sr_ticket_number
+  and ss_item_sk = sr_item_sk
+  and ss_sold_date_sk = d1.d_date_sk
+  and sr_returned_date_sk = d2.d_date_sk
+  and ss_customer_sk = sr_customer_sk
+  and ss_store_sk = s_store_sk
+group by s_store_name, s_company_id, s_street_number, s_street_name, s_city
+order by s_store_name, s_company_id
+limit 100";

@@ -1,0 +1,803 @@
+//! Query templates 51–75.
+
+/// Template sources for queries 51–75.
+pub fn sources() -> Vec<(u32, &'static str)> {
+    vec![
+        (51, Q51),
+        (52, Q52),
+        (53, Q53),
+        (54, Q54),
+        (55, Q55),
+        (56, Q56),
+        (57, Q57),
+        (58, Q58),
+        (59, Q59),
+        (60, Q60),
+        (61, Q61),
+        (62, Q62),
+        (63, Q63),
+        (64, Q64),
+        (65, Q65),
+        (66, Q66),
+        (67, Q67),
+        (68, Q68),
+        (69, Q69),
+        (70, Q70),
+        (71, Q71),
+        (72, Q72),
+        (73, Q73),
+        (74, Q74),
+        (75, Q75),
+    ]
+}
+
+const Q51: &str = "\
+-- Day when web cumulative sales first overtake store cumulative sales.
+-- class: adhoc
+define YEAR = year();
+with web_v1 as (
+  select ws_item_sk item_sk, d_date,
+         sum(sum(ws_sales_price)) over
+           (partition by ws_item_sk order by d_date) cume_sales
+  from web_sales, date_dim
+  where ws_sold_date_sk = d_date_sk and d_year = [YEAR]
+    and ws_item_sk is not null
+  group by ws_item_sk, d_date),
+ store_v1 as (
+  select ss_item_sk item_sk, d_date,
+         sum(sum(ss_sales_price)) over
+           (partition by ss_item_sk order by d_date) cume_sales
+  from store_sales, date_dim
+  where ss_sold_date_sk = d_date_sk and d_year = [YEAR]
+    and ss_item_sk is not null
+  group by ss_item_sk, d_date)
+select item_sk, d_date, web_sales, store_sales
+from (select case when web.item_sk is not null then web.item_sk
+                  else store.item_sk end item_sk,
+             case when web.d_date is not null then web.d_date
+                  else store.d_date end d_date,
+             web.cume_sales web_sales, store.cume_sales store_sales
+      from web_v1 web
+           left join store_v1 store on web.item_sk = store.item_sk
+                                    and web.d_date = store.d_date) x
+where web_sales > store_sales
+order by item_sk, d_date
+limit 100";
+
+const Q52: &str = "\
+-- Brand extended price for one month (the paper's Figure 6).
+-- class: adhoc
+define YEAR = year();
+define MONTH = pick(months_high);
+select dt.d_year, item.i_brand_id brand_id, item.i_brand brand,
+       sum(ss_ext_sales_price) ext_price
+from date_dim dt, store_sales, item
+where dt.d_date_sk = store_sales.ss_sold_date_sk
+  and store_sales.ss_item_sk = item.i_item_sk
+  and item.i_manager_id = 1
+  and dt.d_moy = [MONTH]
+  and dt.d_year = [YEAR]
+group by dt.d_year, item.i_brand, item.i_brand_id
+order by dt.d_year, ext_price desc, brand_id
+limit 100";
+
+const Q53: &str = "\
+-- Manufacturers deviating from their own quarterly average.
+-- class: adhoc
+define YEAR = year();
+select * from (
+  select i_manufact_id,
+         sum(ss_sales_price) sum_sales,
+         avg(sum(ss_sales_price)) over (partition by i_manufact_id) avg_quarterly_sales
+  from item, store_sales, date_dim, store
+  where ss_item_sk = i_item_sk
+    and ss_sold_date_sk = d_date_sk
+    and ss_store_sk = s_store_sk
+    and d_year = [YEAR]
+    and ((i_category in ('Books', 'Children', 'Electronics')
+          and i_class in ('fiction', 'infants', 'audio'))
+         or (i_category in ('Women', 'Music', 'Men')
+             and i_class in ('dresses', 'pop', 'pants')))
+  group by i_manufact_id, d_qoy) tmp1
+where case when avg_quarterly_sales > 0
+           then abs(sum_sales - avg_quarterly_sales) / avg_quarterly_sales
+           else null end > 0.1
+order by avg_quarterly_sales, sum_sales, i_manufact_id
+limit 100";
+
+const Q54: &str = "\
+-- Customers who bought a category via catalog/web, then their store spend.
+-- class: hybrid
+define YEAR = uniform(1998, 2001);
+define MONTH = pick(months_medium);
+define CAT = pick(categories);
+with my_customers as (
+  select distinct c_customer_sk, c_current_addr_sk
+  from (select cs_sold_date_sk sold_date_sk, cs_bill_customer_sk customer_sk,
+               cs_item_sk item_sk
+        from catalog_sales
+        union all
+        select ws_sold_date_sk sold_date_sk, ws_bill_customer_sk customer_sk,
+               ws_item_sk item_sk
+        from web_sales) cs_or_ws_sales,
+       item, date_dim, customer
+  where sold_date_sk = d_date_sk
+    and item_sk = i_item_sk
+    and i_category = '[CAT]'
+    and c_customer_sk = cs_or_ws_sales.customer_sk
+    and d_moy = [MONTH] and d_year = [YEAR]),
+ my_revenue as (
+  select c_customer_sk, sum(ss_ext_sales_price) revenue
+  from my_customers, store_sales, date_dim
+  where c_customer_sk = ss_customer_sk
+    and ss_sold_date_sk = d_date_sk
+    and d_year = [YEAR]
+  group by c_customer_sk)
+select cast(revenue / 50 as integer) segment, count(*) num_customers
+from my_revenue
+group by cast(revenue / 50 as integer)
+order by segment, num_customers
+limit 100";
+
+const Q55: &str = "\
+-- Brand revenue for one manager and month (q52 kin).
+-- class: adhoc
+define YEAR = year();
+define MONTH = pick(months_high);
+define MANAGER = uniform(1, 100);
+select i_brand_id brand_id, i_brand brand, sum(ss_ext_sales_price) ext_price
+from date_dim, store_sales, item
+where d_date_sk = ss_sold_date_sk
+  and ss_item_sk = i_item_sk
+  and i_manager_id = [MANAGER]
+  and d_moy = [MONTH]
+  and d_year = [YEAR]
+group by i_brand, i_brand_id
+order by ext_price desc, brand_id
+limit 100";
+
+const Q56: &str = "\
+-- Item revenue by color across all three channels.
+-- class: hybrid
+define YEAR = year();
+define MONTH = pick(months_low);
+define COLORS3 = list(colors, 3);
+with ss as (
+  select i_item_id, sum(ss_ext_sales_price) total_sales
+  from store_sales, date_dim, item
+  where i_item_id in (select i_item_id from item where i_color in ([COLORS3]))
+    and ss_item_sk = i_item_sk
+    and ss_sold_date_sk = d_date_sk
+    and d_year = [YEAR] and d_moy = [MONTH]
+  group by i_item_id),
+ cs as (
+  select i_item_id, sum(cs_ext_sales_price) total_sales
+  from catalog_sales, date_dim, item
+  where i_item_id in (select i_item_id from item where i_color in ([COLORS3]))
+    and cs_item_sk = i_item_sk
+    and cs_sold_date_sk = d_date_sk
+    and d_year = [YEAR] and d_moy = [MONTH]
+  group by i_item_id),
+ ws as (
+  select i_item_id, sum(ws_ext_sales_price) total_sales
+  from web_sales, date_dim, item
+  where i_item_id in (select i_item_id from item where i_color in ([COLORS3]))
+    and ws_item_sk = i_item_sk
+    and ws_sold_date_sk = d_date_sk
+    and d_year = [YEAR] and d_moy = [MONTH]
+  group by i_item_id)
+select i_item_id, sum(total_sales) total_sales
+from (select * from ss union all select * from cs union all select * from ws) t
+group by i_item_id
+order by total_sales, i_item_id
+limit 100";
+
+const Q57: &str = "\
+-- Call-center catalog months deviating from the yearly average (q47 kin).
+-- class: reporting
+define YEAR = uniform(1999, 2001);
+with v1 as (
+  select i_category, i_brand, cc_name, d_year, d_moy,
+         sum(cs_sales_price) sum_sales,
+         avg(sum(cs_sales_price)) over
+           (partition by i_category, i_brand, cc_name, d_year) avg_monthly_sales,
+         rank() over
+           (partition by i_category, i_brand, cc_name
+            order by d_year, d_moy) rn
+  from item, catalog_sales, date_dim, call_center
+  where cs_item_sk = i_item_sk
+    and cs_sold_date_sk = d_date_sk
+    and cc_call_center_sk = cs_call_center_sk
+    and (d_year = [YEAR]
+         or (d_year = [YEAR] - 1 and d_moy = 12)
+         or (d_year = [YEAR] + 1 and d_moy = 1))
+  group by i_category, i_brand, cc_name, d_year, d_moy)
+select v1.i_category, v1.i_brand, v1.cc_name, v1.d_year, v1.d_moy,
+       v1.avg_monthly_sales, v1.sum_sales,
+       v1_lag.sum_sales psum, v1_lead.sum_sales nsum
+from v1, v1 v1_lag, v1 v1_lead
+where v1.i_category = v1_lag.i_category
+  and v1.i_category = v1_lead.i_category
+  and v1.i_brand = v1_lag.i_brand
+  and v1.i_brand = v1_lead.i_brand
+  and v1.cc_name = v1_lag.cc_name
+  and v1.cc_name = v1_lead.cc_name
+  and v1.rn = v1_lag.rn + 1
+  and v1.rn = v1_lead.rn - 1
+  and v1.d_year = [YEAR]
+  and v1.avg_monthly_sales > 0
+  and abs(v1.sum_sales - v1.avg_monthly_sales) / v1.avg_monthly_sales > 0.1
+order by v1.sum_sales - v1.avg_monthly_sales, v1.i_category, v1.i_brand
+limit 100";
+
+const Q58: &str = "\
+-- Items selling comparably across all three channels in one week.
+-- class: hybrid
+define SDATE = date_in_zone(low);
+with ss_items as (
+  select i_item_id item_id, sum(ss_ext_sales_price) ss_item_rev
+  from store_sales, item, date_dim
+  where ss_item_sk = i_item_sk
+    and d_date in (select d_date from date_dim
+                   where d_week_seq = (select d_week_seq from date_dim
+                                       where d_date = '[SDATE]'))
+    and ss_sold_date_sk = d_date_sk
+  group by i_item_id),
+ cs_items as (
+  select i_item_id item_id, sum(cs_ext_sales_price) cs_item_rev
+  from catalog_sales, item, date_dim
+  where cs_item_sk = i_item_sk
+    and d_date in (select d_date from date_dim
+                   where d_week_seq = (select d_week_seq from date_dim
+                                       where d_date = '[SDATE]'))
+    and cs_sold_date_sk = d_date_sk
+  group by i_item_id),
+ ws_items as (
+  select i_item_id item_id, sum(ws_ext_sales_price) ws_item_rev
+  from web_sales, item, date_dim
+  where ws_item_sk = i_item_sk
+    and d_date in (select d_date from date_dim
+                   where d_week_seq = (select d_week_seq from date_dim
+                                       where d_date = '[SDATE]'))
+    and ws_sold_date_sk = d_date_sk
+  group by i_item_id)
+select ss_items.item_id, ss_item_rev, cs_item_rev, ws_item_rev,
+       (ss_item_rev + cs_item_rev + ws_item_rev) / 3 average
+from ss_items, cs_items, ws_items
+where ss_items.item_id = cs_items.item_id
+  and ss_items.item_id = ws_items.item_id
+  and ss_item_rev between 0.9 * cs_item_rev and 1.1 * cs_item_rev
+  and ss_item_rev between 0.9 * ws_item_rev and 1.1 * ws_item_rev
+order by item_id, ss_item_rev
+limit 100";
+
+const Q59: &str = "\
+-- Week-over-week store sales ratios a year apart.
+-- class: adhoc
+define WSEQ = uniform(5100, 5200);
+with wss as (
+  select d_week_seq, ss_store_sk,
+         sum(case when d_day_name = 'Sunday' then ss_sales_price else null end) sun_sales,
+         sum(case when d_day_name = 'Monday' then ss_sales_price else null end) mon_sales,
+         sum(case when d_day_name = 'Friday' then ss_sales_price else null end) fri_sales
+  from store_sales, date_dim
+  where d_date_sk = ss_sold_date_sk
+  group by d_week_seq, ss_store_sk)
+select s_store_name1, s_store_id1, d_week_seq1,
+       sun_sales1 / sun_sales2 r_sun, mon_sales1 / mon_sales2 r_mon,
+       fri_sales1 / fri_sales2 r_fri
+from (select s_store_name s_store_name1, wss.d_week_seq d_week_seq1,
+             s_store_id s_store_id1, sun_sales sun_sales1,
+             mon_sales mon_sales1, fri_sales fri_sales1
+      from wss, store
+      where ss_store_sk = s_store_sk
+        and d_week_seq between [WSEQ] and [WSEQ] + 11) y,
+     (select s_store_name s_store_name2, wss.d_week_seq d_week_seq2,
+             s_store_id s_store_id2, sun_sales sun_sales2,
+             mon_sales mon_sales2, fri_sales fri_sales2
+      from wss, store
+      where ss_store_sk = s_store_sk
+        and d_week_seq between [WSEQ] + 52 and [WSEQ] + 63) x
+where s_store_id1 = s_store_id2
+  and d_week_seq1 = d_week_seq2 - 52
+order by s_store_name1, s_store_id1, d_week_seq1
+limit 100";
+
+const Q60: &str = "\
+-- Category revenue across channels for buyers in one timezone band.
+-- class: hybrid
+define YEAR = year();
+define MONTH = pick(months_medium);
+define CAT = pick(categories);
+with ss as (
+  select i_item_id, sum(ss_ext_sales_price) total_sales
+  from store_sales, date_dim, customer_address, item
+  where i_item_id in (select i_item_id from item where i_category = '[CAT]')
+    and ss_item_sk = i_item_sk
+    and ss_sold_date_sk = d_date_sk
+    and d_year = [YEAR] and d_moy = [MONTH]
+    and ss_addr_sk = ca_address_sk
+    and ca_gmt_offset = -5
+  group by i_item_id),
+ cs as (
+  select i_item_id, sum(cs_ext_sales_price) total_sales
+  from catalog_sales, date_dim, customer_address, item
+  where i_item_id in (select i_item_id from item where i_category = '[CAT]')
+    and cs_item_sk = i_item_sk
+    and cs_sold_date_sk = d_date_sk
+    and d_year = [YEAR] and d_moy = [MONTH]
+    and cs_bill_addr_sk = ca_address_sk
+    and ca_gmt_offset = -5
+  group by i_item_id),
+ ws as (
+  select i_item_id, sum(ws_ext_sales_price) total_sales
+  from web_sales, date_dim, customer_address, item
+  where i_item_id in (select i_item_id from item where i_category = '[CAT]')
+    and ws_item_sk = i_item_sk
+    and ws_sold_date_sk = d_date_sk
+    and d_year = [YEAR] and d_moy = [MONTH]
+    and ws_bill_addr_sk = ca_address_sk
+    and ca_gmt_offset = -5
+  group by i_item_id)
+select i_item_id, sum(total_sales) total_sales
+from (select * from ss union all select * from cs union all select * from ws) t
+group by i_item_id
+order by i_item_id, total_sales
+limit 100";
+
+const Q61: &str = "\
+-- Promotional share of store revenue for one category and month.
+-- class: adhoc
+define YEAR = year();
+define MONTH = pick(months_high);
+define CAT = pick(categories);
+select promotions, total,
+       cast(promotions as decimal) / cast(total as decimal) * 100 promo_pct
+from (select sum(ss_ext_sales_price) promotions
+      from store_sales, store, promotion, date_dim, customer, customer_address, item
+      where ss_sold_date_sk = d_date_sk
+        and ss_store_sk = s_store_sk
+        and ss_promo_sk = p_promo_sk
+        and ss_customer_sk = c_customer_sk
+        and ca_address_sk = c_current_addr_sk
+        and ss_item_sk = i_item_sk
+        and ca_gmt_offset = -5
+        and i_category = '[CAT]'
+        and (p_channel_dmail = 'Y' or p_channel_email = 'Y' or p_channel_tv = 'Y')
+        and d_year = [YEAR] and d_moy = [MONTH]) promotional_sales,
+     (select sum(ss_ext_sales_price) total
+      from store_sales, store, date_dim, customer, customer_address, item
+      where ss_sold_date_sk = d_date_sk
+        and ss_store_sk = s_store_sk
+        and ss_customer_sk = c_customer_sk
+        and ca_address_sk = c_current_addr_sk
+        and ss_item_sk = i_item_sk
+        and ca_gmt_offset = -5
+        and i_category = '[CAT]'
+        and d_year = [YEAR] and d_moy = [MONTH]) all_sales
+order by promotions, total
+limit 100";
+
+const Q62: &str = "\
+-- Web shipping-lag buckets by warehouse, ship mode and site.
+-- class: adhoc
+define MONTHSEQ = uniform(1176, 1224);
+select w_warehouse_name, sm_type, web_name,
+       sum(case when ws_ship_date_sk - ws_sold_date_sk <= 30 then 1 else 0 end)
+           d30,
+       sum(case when ws_ship_date_sk - ws_sold_date_sk > 30
+                 and ws_ship_date_sk - ws_sold_date_sk <= 60 then 1 else 0 end)
+           d60,
+       sum(case when ws_ship_date_sk - ws_sold_date_sk > 60 then 1 else 0 end)
+           d90
+from web_sales, warehouse, ship_mode, web_site, date_dim
+where d_month_seq between [MONTHSEQ] and [MONTHSEQ] + 11
+  and ws_ship_date_sk = d_date_sk
+  and ws_warehouse_sk = w_warehouse_sk
+  and ws_ship_mode_sk = sm_ship_mode_sk
+  and ws_web_site_sk = web_site_sk
+group by w_warehouse_name, sm_type, web_name
+order by w_warehouse_name, sm_type, web_name
+limit 100";
+
+const Q63: &str = "\
+-- Managers deviating from their own monthly average (q53 kin).
+-- class: adhoc
+define YEAR = year();
+select * from (
+  select i_manager_id,
+         sum(ss_sales_price) sum_sales,
+         avg(sum(ss_sales_price)) over (partition by i_manager_id) avg_monthly_sales
+  from item, store_sales, date_dim, store
+  where ss_item_sk = i_item_sk
+    and ss_sold_date_sk = d_date_sk
+    and ss_store_sk = s_store_sk
+    and d_year = [YEAR]
+    and ((i_category in ('Books', 'Children', 'Electronics')
+          and i_class in ('fiction', 'infants', 'audio'))
+         or (i_category in ('Women', 'Music', 'Men')
+             and i_class in ('dresses', 'pop', 'pants')))
+  group by i_manager_id, d_moy) tmp1
+where case when avg_monthly_sales > 0
+           then abs(sum_sales - avg_monthly_sales) / avg_monthly_sales
+           else null end > 0.1
+order by i_manager_id, avg_monthly_sales, sum_sales
+limit 100";
+
+const Q64: &str = "\
+-- Store item purchases with returns, compared across two years.
+-- class: adhoc
+define YEAR = uniform(1998, 2001);
+define PRICE = uniform(10, 60);
+with cross_sales as (
+  select i_product_name product_name, i_item_sk item_sk, d_year syear,
+         count(*) cnt, sum(ss_wholesale_cost) s1, sum(ss_list_price) s2,
+         sum(ss_coupon_amt) s3
+  from store_sales, store_returns, date_dim, item
+  where ss_item_sk = i_item_sk
+    and ss_item_sk = sr_item_sk
+    and ss_ticket_number = sr_ticket_number
+    and ss_sold_date_sk = d_date_sk
+    and i_current_price between [PRICE] and [PRICE] + 30
+  group by i_product_name, i_item_sk, d_year)
+select cs1.product_name, cs1.item_sk, cs1.syear, cs1.cnt, cs1.s1 s1_y1,
+       cs2.s1 s1_y2, cs2.cnt cnt_y2
+from cross_sales cs1, cross_sales cs2
+where cs1.item_sk = cs2.item_sk
+  and cs1.syear = [YEAR]
+  and cs2.syear = [YEAR] + 1
+  and cs2.cnt <= cs1.cnt
+  and cs1.product_name = cs2.product_name
+order by cs1.product_name, cs1.item_sk, cnt_y2
+limit 100";
+
+const Q65: &str = "\
+-- Store items with revenue at most 10% of the store's average revenue.
+-- class: adhoc
+define MONTHSEQ = uniform(1176, 1224);
+select s_store_name, i_item_desc, sc.revenue, i_current_price,
+       i_wholesale_cost, i_brand
+from store, item,
+     (select ss_store_sk, avg(revenue) as ave
+      from (select ss_store_sk, ss_item_sk, sum(ss_sales_price) as revenue
+            from store_sales, date_dim
+            where ss_sold_date_sk = d_date_sk
+              and d_month_seq between [MONTHSEQ] and [MONTHSEQ] + 11
+            group by ss_store_sk, ss_item_sk) sa
+      group by ss_store_sk) sb,
+     (select ss_store_sk, ss_item_sk, sum(ss_sales_price) as revenue
+      from store_sales, date_dim
+      where ss_sold_date_sk = d_date_sk
+        and d_month_seq between [MONTHSEQ] and [MONTHSEQ] + 11
+      group by ss_store_sk, ss_item_sk) sc
+where sb.ss_store_sk = sc.ss_store_sk
+  and sc.revenue <= 0.1 * sb.ave
+  and s_store_sk = sc.ss_store_sk
+  and i_item_sk = sc.ss_item_sk
+order by s_store_name, i_item_desc, sc.revenue
+limit 100";
+
+const Q66: &str = "\
+-- Warehouse shipping volumes by month and carrier time bands.
+-- class: hybrid
+define YEAR = year();
+define TIME = uniform(10000, 50000);
+select w_warehouse_name, w_warehouse_sq_ft, w_city, w_county, w_state,
+       ship_carriers, year_, sum(jan_sales) jan_sales, sum(dec_sales) dec_sales
+from (
+  select w_warehouse_name, w_warehouse_sq_ft, w_city, w_county, w_state,
+         'DHL,BARIAN' as ship_carriers, d_year as year_,
+         sum(case when d_moy = 1 then ws_ext_sales_price * ws_quantity
+                  else 0 end) as jan_sales,
+         sum(case when d_moy = 12 then ws_ext_sales_price * ws_quantity
+                  else 0 end) as dec_sales
+  from web_sales, warehouse, date_dim, time_dim, ship_mode
+  where ws_warehouse_sk = w_warehouse_sk
+    and ws_sold_date_sk = d_date_sk
+    and ws_sold_time_sk = t_time_sk
+    and ws_ship_mode_sk = sm_ship_mode_sk
+    and d_year = [YEAR]
+    and t_time between [TIME] and [TIME] + 28800
+    and sm_carrier in ('DHL', 'BARIAN')
+  group by w_warehouse_name, w_warehouse_sq_ft, w_city, w_county, w_state, d_year
+  union all
+  select w_warehouse_name, w_warehouse_sq_ft, w_city, w_county, w_state,
+         'DHL,BARIAN' as ship_carriers, d_year as year_,
+         sum(case when d_moy = 1 then cs_ext_sales_price * cs_quantity
+                  else 0 end) as jan_sales,
+         sum(case when d_moy = 12 then cs_ext_sales_price * cs_quantity
+                  else 0 end) as dec_sales
+  from catalog_sales, warehouse, date_dim, time_dim, ship_mode
+  where cs_warehouse_sk = w_warehouse_sk
+    and cs_sold_date_sk = d_date_sk
+    and cs_sold_time_sk = t_time_sk
+    and cs_ship_mode_sk = sm_ship_mode_sk
+    and d_year = [YEAR]
+    and t_time between [TIME] and [TIME] + 28800
+    and sm_carrier in ('DHL', 'BARIAN')
+  group by w_warehouse_name, w_warehouse_sq_ft, w_city, w_county, w_state, d_year) x
+group by w_warehouse_name, w_warehouse_sq_ft, w_city, w_county, w_state,
+         ship_carriers, year_
+order by w_warehouse_name
+limit 100";
+
+const Q67: &str = "\
+-- Top store items per category over the full rollup hierarchy.
+-- class: adhoc
+define MONTHSEQ = uniform(1176, 1224);
+select * from (
+  select i_category, i_class, i_brand, i_product_name, d_year, d_moy, s_store_id,
+         sumsales,
+         rank() over (partition by i_category order by sumsales desc) rk
+  from (select i_category, i_class, i_brand, i_product_name, d_year, d_moy,
+               s_store_id, sum(coalesce(ss_sales_price * ss_quantity, 0)) sumsales
+        from store_sales, date_dim, store, item
+        where ss_sold_date_sk = d_date_sk
+          and ss_item_sk = i_item_sk
+          and ss_store_sk = s_store_sk
+          and d_month_seq between [MONTHSEQ] and [MONTHSEQ] + 11
+        group by rollup(i_category, i_class, i_brand, i_product_name, d_year,
+                        d_moy, s_store_id)) dw1) dw2
+where rk <= 10
+order by i_category, i_class, i_brand, i_product_name, d_year, rk
+limit 100";
+
+const Q68: &str = "\
+-- High-value out-of-town baskets in two cities (q46 kin).
+-- class: adhoc
+define YEAR = uniform(1998, 2000);
+define CITIES2 = list(cities, 2);
+define DEP = uniform(0, 9);
+select c_last_name, c_first_name, ca_city, bought_city, ss_ticket_number,
+       extended_price, extended_tax, list_price
+from (select ss_ticket_number, ss_customer_sk, ca_city bought_city,
+             sum(ss_ext_sales_price) extended_price,
+             sum(ss_ext_list_price) list_price,
+             sum(ss_ext_tax) extended_tax
+      from store_sales, date_dim, store, household_demographics, customer_address
+      where ss_sold_date_sk = d_date_sk
+        and ss_store_sk = s_store_sk
+        and ss_hdemo_sk = hd_demo_sk
+        and ss_addr_sk = ca_address_sk
+        and d_dom between 1 and 2
+        and (hd_dep_count = [DEP] or hd_vehicle_count = 3)
+        and d_year in ([YEAR], [YEAR] + 1, [YEAR] + 2)
+        and s_city in ([CITIES2])
+      group by ss_ticket_number, ss_customer_sk, ss_addr_sk, ca_city) dn,
+     customer, customer_address current_addr
+where ss_customer_sk = c_customer_sk
+  and customer.c_current_addr_sk = current_addr.ca_address_sk
+  and current_addr.ca_city <> bought_city
+order by c_last_name, ss_ticket_number
+limit 100";
+
+const Q69: &str = "\
+-- Demographics of store-only customers in selected states.
+-- class: hybrid
+define YEAR = year();
+define STATES3B = list(states, 3);
+select cd_gender, cd_marital_status, cd_education_status, count(*) cnt1,
+       cd_purchase_estimate, count(*) cnt2, cd_credit_rating, count(*) cnt3
+from customer c, customer_address ca, customer_demographics
+where c.c_current_addr_sk = ca.ca_address_sk
+  and ca_state in ([STATES3B])
+  and cd_demo_sk = c.c_current_cdemo_sk
+  and exists (select ss_sold_date_sk from store_sales, date_dim
+              where c.c_customer_sk = ss_customer_sk
+                and ss_sold_date_sk = d_date_sk
+                and d_year = [YEAR] and d_moy between 1 and 3)
+  and not exists (select ws_sold_date_sk from web_sales, date_dim
+                  where c.c_customer_sk = ws_bill_customer_sk
+                    and ws_sold_date_sk = d_date_sk
+                    and d_year = [YEAR] and d_moy between 1 and 3)
+  and not exists (select cs_sold_date_sk from catalog_sales, date_dim
+                  where c.c_customer_sk = cs_ship_customer_sk
+                    and cs_sold_date_sk = d_date_sk
+                    and d_year = [YEAR] and d_moy between 1 and 3)
+group by cd_gender, cd_marital_status, cd_education_status,
+         cd_purchase_estimate, cd_credit_rating
+order by cd_gender, cd_marital_status, cd_education_status
+limit 100";
+
+const Q70: &str = "\
+-- Store profit rollup over the states ranked best by net profit.
+-- class: adhoc
+define MONTHSEQ = uniform(1176, 1224);
+select sum(ss_net_profit) as total_sum, s_state, s_county,
+       grouping(s_state) + grouping(s_county) as lochierarchy,
+       rank() over (
+         partition by grouping(s_state) + grouping(s_county),
+                      case when grouping(s_county) = 0 then s_state end
+         order by sum(ss_net_profit) desc) as rank_within_parent
+from store_sales, date_dim d1, store
+where d1.d_month_seq between [MONTHSEQ] and [MONTHSEQ] + 11
+  and d1.d_date_sk = ss_sold_date_sk
+  and s_store_sk = ss_store_sk
+  and s_state in (select s_state from (
+        select s_state as s_state,
+               rank() over (partition by s_state order by sum(ss_net_profit) desc) ranking
+        from store_sales, store, date_dim
+        where d_month_seq between [MONTHSEQ] and [MONTHSEQ] + 11
+          and d_date_sk = ss_sold_date_sk
+          and s_store_sk = ss_store_sk
+        group by s_state) tmp1
+      where ranking <= 5)
+group by rollup(s_state, s_county)
+order by lochierarchy desc, rank_within_parent
+limit 100";
+
+const Q71: &str = "\
+-- Brand revenue by meal-time hour across all three channels.
+-- class: hybrid
+define YEAR = year();
+define MONTH = pick(months_high);
+define MANAGER = uniform(1, 100);
+select i_brand_id brand_id, i_brand brand, t_hour, t_minute,
+       sum(ext_price) ext_price
+from item,
+     (select ws_ext_sales_price as ext_price, ws_sold_date_sk as sold_date_sk,
+             ws_item_sk as sold_item_sk, ws_sold_time_sk as time_sk
+      from web_sales, date_dim
+      where d_date_sk = ws_sold_date_sk and d_moy = [MONTH] and d_year = [YEAR]
+      union all
+      select cs_ext_sales_price as ext_price, cs_sold_date_sk as sold_date_sk,
+             cs_item_sk as sold_item_sk, cs_sold_time_sk as time_sk
+      from catalog_sales, date_dim
+      where d_date_sk = cs_sold_date_sk and d_moy = [MONTH] and d_year = [YEAR]
+      union all
+      select ss_ext_sales_price as ext_price, ss_sold_date_sk as sold_date_sk,
+             ss_item_sk as sold_item_sk, ss_sold_time_sk as time_sk
+      from store_sales, date_dim
+      where d_date_sk = ss_sold_date_sk and d_moy = [MONTH] and d_year = [YEAR]) tmp,
+     time_dim
+where sold_item_sk = i_item_sk
+  and i_manager_id = [MANAGER]
+  and time_sk = t_time_sk
+  and (t_meal_time = 'breakfast' or t_meal_time = 'dinner')
+group by i_brand, i_brand_id, t_hour, t_minute
+order by ext_price desc, brand_id
+limit 100";
+
+const Q72: &str = "\
+-- Catalog orders where inventory could not cover the ordered quantity.
+-- class: reporting
+define YEAR = uniform(1998, 2001);
+define BP = pick(buy_potential);
+select i_item_desc, w_warehouse_name, d1.d_week_seq,
+       sum(case when p_promo_sk is null then 1 else 0 end) no_promo,
+       sum(case when p_promo_sk is not null then 1 else 0 end) promo,
+       count(*) total_cnt
+from catalog_sales
+     join inventory on cs_item_sk = inv_item_sk
+     join warehouse on w_warehouse_sk = inv_warehouse_sk
+     join item on i_item_sk = cs_item_sk
+     join customer_demographics on cs_bill_cdemo_sk = cd_demo_sk
+     join household_demographics on cs_bill_hdemo_sk = hd_demo_sk
+     join date_dim d1 on cs_sold_date_sk = d1.d_date_sk
+     join date_dim d2 on inv_date_sk = d2.d_date_sk
+     join date_dim d3 on cs_ship_date_sk = d3.d_date_sk
+     left join promotion on cs_promo_sk = p_promo_sk
+     left join catalog_returns on cr_item_sk = cs_item_sk
+                               and cr_order_number = cs_order_number
+where d1.d_week_seq = d2.d_week_seq
+  and inv_quantity_on_hand < cs_quantity
+  and d3.d_date > d1.d_date + 3
+  and hd_buy_potential = '[BP]'
+  and d1.d_year = [YEAR]
+  and cd_marital_status = 'D'
+group by i_item_desc, w_warehouse_name, d1.d_week_seq
+order by total_cnt desc, i_item_desc, w_warehouse_name, d_week_seq
+limit 100";
+
+const Q73: &str = "\
+-- Customers with 1-5 item baskets on month-boundary days (q34 kin).
+-- class: adhoc
+define YEAR = uniform(1998, 2000);
+define BP2 = list(buy_potential, 2);
+select c_last_name, c_first_name, c_salutation, c_preferred_cust_flag,
+       ss_ticket_number, cnt
+from (select ss_ticket_number, ss_customer_sk, count(*) cnt
+      from store_sales, date_dim, store, household_demographics
+      where ss_sold_date_sk = d_date_sk
+        and ss_store_sk = s_store_sk
+        and ss_hdemo_sk = hd_demo_sk
+        and d_dom between 1 and 2
+        and hd_buy_potential in ([BP2])
+        and hd_vehicle_count > 0
+        and d_year in ([YEAR], [YEAR] + 1, [YEAR] + 2)
+      group by ss_ticket_number, ss_customer_sk) dj, customer
+where ss_customer_sk = c_customer_sk
+  and cnt between 1 and 5
+order by cnt desc, c_last_name asc
+limit 100";
+
+const Q74: &str = "\
+-- Customers whose web spend grew faster than store spend (q11 kin).
+-- class: adhoc
+define YEAR = uniform(1998, 2001);
+with year_total as (
+  select c_customer_id customer_id, c_first_name customer_first_name,
+         c_last_name customer_last_name, d_year year_,
+         sum(ss_net_paid) year_total, 's' sale_type
+  from customer, store_sales, date_dim
+  where c_customer_sk = ss_customer_sk and ss_sold_date_sk = d_date_sk
+    and d_year in ([YEAR], [YEAR] + 1)
+  group by c_customer_id, c_first_name, c_last_name, d_year
+  union all
+  select c_customer_id customer_id, c_first_name customer_first_name,
+         c_last_name customer_last_name, d_year year_,
+         sum(ws_net_paid) year_total, 'w' sale_type
+  from customer, web_sales, date_dim
+  where c_customer_sk = ws_bill_customer_sk and ws_sold_date_sk = d_date_sk
+    and d_year in ([YEAR], [YEAR] + 1)
+  group by c_customer_id, c_first_name, c_last_name, d_year)
+select t_s_secyear.customer_id, t_s_secyear.customer_first_name,
+       t_s_secyear.customer_last_name
+from year_total t_s_firstyear, year_total t_s_secyear,
+     year_total t_w_firstyear, year_total t_w_secyear
+where t_s_secyear.customer_id = t_s_firstyear.customer_id
+  and t_s_firstyear.customer_id = t_w_secyear.customer_id
+  and t_s_firstyear.customer_id = t_w_firstyear.customer_id
+  and t_s_firstyear.sale_type = 's' and t_w_firstyear.sale_type = 'w'
+  and t_s_secyear.sale_type = 's' and t_w_secyear.sale_type = 'w'
+  and t_s_firstyear.year_ = [YEAR] and t_s_secyear.year_ = [YEAR] + 1
+  and t_w_firstyear.year_ = [YEAR] and t_w_secyear.year_ = [YEAR] + 1
+  and t_s_firstyear.year_total > 0 and t_w_firstyear.year_total > 0
+  and t_w_secyear.year_total / t_w_firstyear.year_total >
+      t_s_secyear.year_total / t_s_firstyear.year_total
+order by 1, 1, 1
+limit 100";
+
+const Q75: &str = "\
+-- Manufacturer sales minus returns, current vs prior year, all channels.
+-- class: hybrid
+define YEAR = uniform(1999, 2001);
+define CAT = pick(categories);
+with all_sales as (
+  select d_year, i_brand_id, i_class_id, i_category_id, i_manufact_id,
+         sum(sales_cnt) sales_cnt, sum(sales_amt) sales_amt
+  from (
+    select d_year, i_brand_id, i_class_id, i_category_id, i_manufact_id,
+           cs_quantity - coalesce(cr_return_quantity, 0) sales_cnt,
+           cs_ext_sales_price - coalesce(cr_return_amount, 0.0) sales_amt
+    from catalog_sales
+         join item on i_item_sk = cs_item_sk
+         join date_dim on d_date_sk = cs_sold_date_sk
+         left join catalog_returns on cs_order_number = cr_order_number
+                                   and cs_item_sk = cr_item_sk
+    where i_category = '[CAT]'
+    union all
+    select d_year, i_brand_id, i_class_id, i_category_id, i_manufact_id,
+           ss_quantity - coalesce(sr_return_quantity, 0) sales_cnt,
+           ss_ext_sales_price - coalesce(sr_return_amt, 0.0) sales_amt
+    from store_sales
+         join item on i_item_sk = ss_item_sk
+         join date_dim on d_date_sk = ss_sold_date_sk
+         left join store_returns on ss_ticket_number = sr_ticket_number
+                                 and ss_item_sk = sr_item_sk
+    where i_category = '[CAT]'
+    union all
+    select d_year, i_brand_id, i_class_id, i_category_id, i_manufact_id,
+           ws_quantity - coalesce(wr_return_quantity, 0) sales_cnt,
+           ws_ext_sales_price - coalesce(wr_return_amt, 0.0) sales_amt
+    from web_sales
+         join item on i_item_sk = ws_item_sk
+         join date_dim on d_date_sk = ws_sold_date_sk
+         left join web_returns on ws_order_number = wr_order_number
+                               and ws_item_sk = wr_item_sk
+    where i_category = '[CAT]') sales_detail
+  group by d_year, i_brand_id, i_class_id, i_category_id, i_manufact_id)
+select prev_yr.d_year prev_year, curr_yr.d_year curr_year, curr_yr.i_brand_id,
+       curr_yr.i_class_id, curr_yr.i_category_id, curr_yr.i_manufact_id,
+       prev_yr.sales_cnt prev_yr_cnt, curr_yr.sales_cnt curr_yr_cnt,
+       curr_yr.sales_cnt - prev_yr.sales_cnt sales_cnt_diff
+from all_sales curr_yr, all_sales prev_yr
+where curr_yr.i_brand_id = prev_yr.i_brand_id
+  and curr_yr.i_class_id = prev_yr.i_class_id
+  and curr_yr.i_category_id = prev_yr.i_category_id
+  and curr_yr.i_manufact_id = prev_yr.i_manufact_id
+  and curr_yr.d_year = [YEAR]
+  and prev_yr.d_year = [YEAR] - 1
+  and cast(curr_yr.sales_cnt as decimal) / cast(prev_yr.sales_cnt as decimal) < 0.9
+order by sales_cnt_diff
+limit 100";

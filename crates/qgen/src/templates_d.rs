@@ -1,0 +1,690 @@
+//! Query templates 76–99.
+
+/// Template sources for queries 76–99.
+pub fn sources() -> Vec<(u32, &'static str)> {
+    vec![
+        (76, Q76),
+        (77, Q77),
+        (78, Q78),
+        (79, Q79),
+        (80, Q80),
+        (81, Q81),
+        (82, Q82),
+        (83, Q83),
+        (84, Q84),
+        (85, Q85),
+        (86, Q86),
+        (87, Q87),
+        (88, Q88),
+        (89, Q89),
+        (90, Q90),
+        (91, Q91),
+        (92, Q92),
+        (93, Q93),
+        (94, Q94),
+        (95, Q95),
+        (96, Q96),
+        (97, Q97),
+        (98, Q98),
+        (99, Q99),
+    ]
+}
+
+const Q76: &str = "\
+-- Sales rows with NULL dimension keys, by channel.
+-- class: hybrid
+select channel, col_name, d_year, d_qoy, i_category, count(*) sales_cnt,
+       sum(ext_sales_price) sales_amt
+from (
+  select 'store' as channel, 'ss_store_sk' col_name, d_year, d_qoy, i_category,
+         ss_ext_sales_price ext_sales_price
+  from store_sales, item, date_dim
+  where ss_store_sk is null
+    and ss_sold_date_sk = d_date_sk
+    and ss_item_sk = i_item_sk
+  union all
+  select 'web' as channel, 'ws_ship_customer_sk' col_name, d_year, d_qoy,
+         i_category, ws_ext_sales_price ext_sales_price
+  from web_sales, item, date_dim
+  where ws_ship_customer_sk is null
+    and ws_sold_date_sk = d_date_sk
+    and ws_item_sk = i_item_sk
+  union all
+  select 'catalog' as channel, 'cs_ship_addr_sk' col_name, d_year, d_qoy,
+         i_category, cs_ext_sales_price ext_sales_price
+  from catalog_sales, item, date_dim
+  where cs_ship_addr_sk is null
+    and cs_sold_date_sk = d_date_sk
+    and cs_item_sk = i_item_sk) foo
+group by channel, col_name, d_year, d_qoy, i_category
+order by channel, col_name, d_year, d_qoy, i_category
+limit 100";
+
+const Q77: &str = "\
+-- Profit and returns by channel over one month, rolled up.
+-- class: hybrid
+define SDATE = date_in_zone(medium);
+with ss as (
+  select s_store_sk, sum(ss_ext_sales_price) sales, sum(ss_net_profit) profit
+  from store_sales, date_dim, store
+  where ss_sold_date_sk = d_date_sk
+    and d_date between '[SDATE]' and '[SDATE+30]'
+    and ss_store_sk = s_store_sk
+  group by s_store_sk),
+ sr as (
+  select s_store_sk, sum(sr_return_amt) returns_, sum(sr_net_loss) profit_loss
+  from store_returns, date_dim, store
+  where sr_returned_date_sk = d_date_sk
+    and d_date between '[SDATE]' and '[SDATE+30]'
+    and sr_store_sk = s_store_sk
+  group by s_store_sk),
+ cs as (
+  select cs_call_center_sk, sum(cs_ext_sales_price) sales,
+         sum(cs_net_profit) profit
+  from catalog_sales, date_dim
+  where cs_sold_date_sk = d_date_sk
+    and d_date between '[SDATE]' and '[SDATE+30]'
+  group by cs_call_center_sk),
+ ws as (
+  select wp_web_page_sk, sum(ws_ext_sales_price) sales,
+         sum(ws_net_profit) profit
+  from web_sales, date_dim, web_page
+  where ws_sold_date_sk = d_date_sk
+    and d_date between '[SDATE]' and '[SDATE+30]'
+    and ws_web_page_sk = wp_web_page_sk
+  group by wp_web_page_sk)
+select channel, id, sum(sales) sales, sum(returns_) returns_, sum(profit) profit
+from (
+  select 'store channel' channel, ss.s_store_sk id, sales,
+         coalesce(returns_, 0) returns_,
+         profit - coalesce(profit_loss, 0) profit
+  from ss left join sr on ss.s_store_sk = sr.s_store_sk
+  union all
+  select 'catalog channel' channel, cs_call_center_sk id, sales, 0 returns_,
+         profit
+  from cs
+  union all
+  select 'web channel' channel, wp_web_page_sk id, sales, 0 returns_, profit
+  from ws) x
+group by rollup(channel, id)
+order by channel, id
+limit 100";
+
+const Q78: &str = "\
+-- Customer/item/year sums where store sales had no returns, vs the web.
+-- class: adhoc
+define YEAR = uniform(1999, 2001);
+with ws as (
+  select d_year ws_sold_year, ws_item_sk, ws_bill_customer_sk ws_customer_sk,
+         sum(ws_quantity) ws_qty, sum(ws_wholesale_cost) ws_wc,
+         sum(ws_sales_price) ws_sp
+  from web_sales
+       left join web_returns on wr_order_number = ws_order_number
+                             and ws_item_sk = wr_item_sk,
+       date_dim
+  where wr_order_number is null
+    and ws_sold_date_sk = d_date_sk
+  group by d_year, ws_item_sk, ws_bill_customer_sk),
+ ss as (
+  select d_year ss_sold_year, ss_item_sk, ss_customer_sk,
+         sum(ss_quantity) ss_qty, sum(ss_wholesale_cost) ss_wc,
+         sum(ss_sales_price) ss_sp
+  from store_sales
+       left join store_returns on sr_ticket_number = ss_ticket_number
+                               and ss_item_sk = sr_item_sk,
+       date_dim
+  where sr_ticket_number is null
+    and ss_sold_date_sk = d_date_sk
+  group by d_year, ss_item_sk, ss_customer_sk)
+select ss_sold_year, ss_item_sk, ss_customer_sk,
+       round(ss_qty / (coalesce(ws_qty, 0) + 1), 2) ratio,
+       ss_qty store_qty, ss_wc store_wholesale_cost, ss_sp store_sales_price
+from ss left join ws on ws_sold_year = ss_sold_year
+                     and ws_item_sk = ss_item_sk
+                     and ws_customer_sk = ss_customer_sk
+where ss_sold_year = [YEAR]
+order by ss_sold_year, ratio, ss_qty desc
+limit 100";
+
+const Q79: &str = "\
+-- Basket profit for customers of high-dependency households.
+-- class: adhoc
+define YEAR = uniform(1998, 2000);
+define DEP = uniform(0, 9);
+select c_last_name, c_first_name, substr(s_city, 1, 30) city, ss_ticket_number,
+       amt, profit
+from (select ss_ticket_number, ss_customer_sk, store.s_city,
+             sum(ss_coupon_amt) amt, sum(ss_net_profit) profit
+      from store_sales, date_dim, store, household_demographics
+      where ss_sold_date_sk = d_date_sk
+        and ss_store_sk = store.s_store_sk
+        and ss_hdemo_sk = hd_demo_sk
+        and (hd_dep_count = [DEP] or hd_vehicle_count > 2)
+        and d_dow = 1
+        and d_year in ([YEAR], [YEAR] + 1, [YEAR] + 2)
+        and store.s_number_employees between 200 and 295
+      group by ss_ticket_number, ss_customer_sk, ss_addr_sk, store.s_city) ms,
+     customer
+where ss_customer_sk = c_customer_sk
+order by c_last_name, c_first_name, city, profit
+limit 100";
+
+const Q80: &str = "\
+-- Sales net of returns by channel id over one month, rolled up.
+-- class: hybrid
+define SDATE = date_in_zone(medium);
+with ssr as (
+  select s_store_id,
+         sum(ss_ext_sales_price) sales,
+         sum(coalesce(sr_return_amt, 0)) returns_,
+         sum(ss_net_profit - coalesce(sr_net_loss, 0)) profit
+  from store_sales
+       left join store_returns on ss_item_sk = sr_item_sk
+                               and ss_ticket_number = sr_ticket_number,
+       date_dim, store, item, promotion
+  where ss_sold_date_sk = d_date_sk
+    and d_date between '[SDATE]' and '[SDATE+30]'
+    and ss_store_sk = s_store_sk
+    and ss_item_sk = i_item_sk
+    and i_current_price > 50
+    and ss_promo_sk = p_promo_sk
+    and p_channel_tv = 'N'
+  group by s_store_id),
+ csr as (
+  select cp_catalog_page_id,
+         sum(cs_ext_sales_price) sales,
+         sum(coalesce(cr_return_amount, 0)) returns_,
+         sum(cs_net_profit - coalesce(cr_net_loss, 0)) profit
+  from catalog_sales
+       left join catalog_returns on cs_item_sk = cr_item_sk
+                                 and cs_order_number = cr_order_number,
+       date_dim, catalog_page, item, promotion
+  where cs_sold_date_sk = d_date_sk
+    and d_date between '[SDATE]' and '[SDATE+30]'
+    and cs_catalog_page_sk = cp_catalog_page_sk
+    and cs_item_sk = i_item_sk
+    and i_current_price > 50
+    and cs_promo_sk = p_promo_sk
+    and p_channel_tv = 'N'
+  group by cp_catalog_page_id),
+ wsr as (
+  select web_site_id,
+         sum(ws_ext_sales_price) sales,
+         sum(coalesce(wr_return_amt, 0)) returns_,
+         sum(ws_net_profit - coalesce(wr_net_loss, 0)) profit
+  from web_sales
+       left join web_returns on ws_item_sk = wr_item_sk
+                             and ws_order_number = wr_order_number,
+       date_dim, web_site, item, promotion
+  where ws_sold_date_sk = d_date_sk
+    and d_date between '[SDATE]' and '[SDATE+30]'
+    and ws_web_site_sk = web_site_sk
+    and ws_item_sk = i_item_sk
+    and i_current_price > 50
+    and ws_promo_sk = p_promo_sk
+    and p_channel_tv = 'N'
+  group by web_site_id)
+select channel, id, sum(sales) sales, sum(returns_) returns_, sum(profit) profit
+from (
+  select 'store channel' channel, s_store_id id, sales, returns_, profit from ssr
+  union all
+  select 'catalog channel' channel, cp_catalog_page_id id, sales, returns_, profit
+  from csr
+  union all
+  select 'web channel' channel, web_site_id id, sales, returns_, profit from wsr) x
+group by rollup(channel, id)
+order by channel, id
+limit 100";
+
+const Q81: &str = "\
+-- Catalog customers returning 20% above their state average (q30 kin).
+-- class: reporting
+define YEAR = year();
+define STATE = pick(states);
+with customer_total_return as (
+  select cr_returning_customer_sk ctr_customer_sk, ca_state ctr_state,
+         sum(cr_return_amt_inc_tax) ctr_total_return
+  from catalog_returns, date_dim, customer_address
+  where cr_returned_date_sk = d_date_sk and d_year = [YEAR]
+    and cr_returning_addr_sk = ca_address_sk
+  group by cr_returning_customer_sk, ca_state)
+select c_customer_id, c_salutation, c_first_name, c_last_name,
+       ca_street_number, ca_street_name, ca_street_type, ca_suite_number,
+       ca_city, ca_county, ca_state, ca_zip, ca_country, ctr_total_return
+from customer_total_return ctr1, customer_address, customer
+where ctr1.ctr_total_return >
+      (select avg(ctr_total_return) * 1.2 from customer_total_return ctr2
+       where ctr1.ctr_state = ctr2.ctr_state)
+  and ca_address_sk = c_current_addr_sk
+  and ca_state = '[STATE]'
+  and ctr1.ctr_customer_sk = c_customer_sk
+order by c_customer_id, c_salutation, c_first_name, ctr_total_return
+limit 100";
+
+const Q82: &str = "\
+-- Store items in a price band with mid-level inventory (q37 kin).
+-- Touches the shared inventory fact, so it is a hybrid query.
+-- class: hybrid
+define PRICE = uniform(10, 60);
+define SDATE = date_in_zone(low);
+define CATS2 = list(categories, 2);
+select i_item_id, i_item_desc, i_current_price
+from item, inventory, date_dim, store_sales
+where i_current_price between [PRICE] and [PRICE] + 30
+  and inv_item_sk = i_item_sk
+  and d_date_sk = inv_date_sk
+  and d_date between '[SDATE]' and '[SDATE+60]'
+  and i_category in ([CATS2])
+  and inv_quantity_on_hand between 100 and 500
+  and ss_item_sk = i_item_sk
+group by i_item_id, i_item_desc, i_current_price
+order by i_item_id
+limit 100";
+
+const Q83: &str = "\
+-- Items returned in the same weeks across all three return channels.
+-- class: hybrid
+define SDATE = date_in_zone(medium);
+with sr_items as (
+  select i_item_id item_id, sum(sr_return_quantity) sr_item_qty
+  from store_returns, item, date_dim
+  where sr_item_sk = i_item_sk
+    and d_date in (select d_date from date_dim
+                   where d_week_seq in (select d_week_seq from date_dim
+                                        where d_date = '[SDATE]'))
+    and sr_returned_date_sk = d_date_sk
+  group by i_item_id),
+ cr_items as (
+  select i_item_id item_id, sum(cr_return_quantity) cr_item_qty
+  from catalog_returns, item, date_dim
+  where cr_item_sk = i_item_sk
+    and d_date in (select d_date from date_dim
+                   where d_week_seq in (select d_week_seq from date_dim
+                                        where d_date = '[SDATE]'))
+    and cr_returned_date_sk = d_date_sk
+  group by i_item_id),
+ wr_items as (
+  select i_item_id item_id, sum(wr_return_quantity) wr_item_qty
+  from web_returns, item, date_dim
+  where wr_item_sk = i_item_sk
+    and d_date in (select d_date from date_dim
+                   where d_week_seq in (select d_week_seq from date_dim
+                                        where d_date = '[SDATE]'))
+    and wr_returned_date_sk = d_date_sk
+  group by i_item_id)
+select sr_items.item_id, sr_item_qty,
+       sr_item_qty / (sr_item_qty + cr_item_qty + wr_item_qty) / 3.0 * 100 sr_dev,
+       cr_item_qty,
+       cr_item_qty / (sr_item_qty + cr_item_qty + wr_item_qty) / 3.0 * 100 cr_dev,
+       wr_item_qty,
+       wr_item_qty / (sr_item_qty + cr_item_qty + wr_item_qty) / 3.0 * 100 wr_dev,
+       (sr_item_qty + cr_item_qty + wr_item_qty) / 3.0 average
+from sr_items, cr_items, wr_items
+where sr_items.item_id = cr_items.item_id
+  and sr_items.item_id = wr_items.item_id
+order by sr_items.item_id, sr_item_qty
+limit 100";
+
+const Q84: &str = "\
+-- Store-return customers from one city in an income band.
+-- class: adhoc
+define CITY = pick(cities);
+define INCOME = uniform(10000, 50000);
+select c_customer_id customer_id,
+       coalesce(c_last_name, '') || ', ' || coalesce(c_first_name, '') customername
+from customer, customer_address, customer_demographics,
+     household_demographics, income_band, store_returns
+where ca_city = '[CITY]'
+  and c_current_addr_sk = ca_address_sk
+  and ib_lower_bound >= [INCOME]
+  and ib_upper_bound <= [INCOME] + 50000
+  and ib_income_band_sk = hd_income_band_sk
+  and cd_demo_sk = c_current_cdemo_sk
+  and hd_demo_sk = c_current_hdemo_sk
+  and sr_cdemo_sk = cd_demo_sk
+order by c_customer_id
+limit 100";
+
+const Q85: &str = "\
+-- Web returns by reason for demographic / address-band combinations.
+-- class: adhoc
+define YEAR = year();
+define MS = pick(marital);
+define ES = pick(education);
+select substr(r_reason_desc, 1, 20) reason_, avg(ws_quantity) avg_q,
+       avg(wr_refunded_cash) avg_cash, avg(wr_fee) avg_fee
+from web_sales, web_returns, web_page, customer_demographics cd1,
+     customer_demographics cd2, customer_address, date_dim, reason
+where ws_web_page_sk = wp_web_page_sk
+  and ws_item_sk = wr_item_sk
+  and ws_order_number = wr_order_number
+  and ws_sold_date_sk = d_date_sk
+  and d_year = [YEAR]
+  and cd1.cd_demo_sk = wr_refunded_cdemo_sk
+  and cd2.cd_demo_sk = wr_returning_cdemo_sk
+  and ca_address_sk = wr_refunded_addr_sk
+  and r_reason_sk = wr_reason_sk
+  and ((cd1.cd_marital_status = '[MS]'
+        and cd1.cd_marital_status = cd2.cd_marital_status
+        and cd1.cd_education_status = '[ES]'
+        and cd1.cd_education_status = cd2.cd_education_status
+        and ws_sales_price between 100.00 and 150.00)
+       or (cd1.cd_marital_status = 'S'
+           and cd1.cd_marital_status = cd2.cd_marital_status
+           and cd1.cd_education_status = 'College'
+           and cd1.cd_education_status = cd2.cd_education_status
+           and ws_sales_price between 50.00 and 100.00))
+  and ca_country = 'United States'
+group by r_reason_desc
+order by reason_, avg_q, avg_cash, avg_fee
+limit 100";
+
+const Q86: &str = "\
+-- Web revenue ranking across the category hierarchy (q36 kin).
+-- class: adhoc
+define MONTHSEQ = uniform(1176, 1224);
+select sum(ws_net_paid) as total_sum, i_category, i_class,
+       grouping(i_category) + grouping(i_class) as lochierarchy,
+       rank() over (
+         partition by grouping(i_category) + grouping(i_class),
+                      case when grouping(i_class) = 0 then i_category end
+         order by sum(ws_net_paid) desc) as rank_within_parent
+from web_sales, date_dim d1, item
+where d1.d_month_seq between [MONTHSEQ] and [MONTHSEQ] + 11
+  and d1.d_date_sk = ws_sold_date_sk
+  and i_item_sk = ws_item_sk
+group by rollup(i_category, i_class)
+order by lochierarchy desc, rank_within_parent
+limit 100";
+
+const Q87: &str = "\
+-- Customers in the store channel but missing from web or catalog (except).
+-- class: hybrid
+define YEAR = year();
+define MONTH = pick(months_medium);
+select count(*) from (
+  (select distinct c_last_name, c_first_name, d_date
+   from store_sales, date_dim, customer
+   where store_sales.ss_sold_date_sk = date_dim.d_date_sk
+     and store_sales.ss_customer_sk = customer.c_customer_sk
+     and d_year = [YEAR] and d_moy = [MONTH])
+  except
+  (select distinct c_last_name, c_first_name, d_date
+   from catalog_sales, date_dim, customer
+   where catalog_sales.cs_sold_date_sk = date_dim.d_date_sk
+     and catalog_sales.cs_bill_customer_sk = customer.c_customer_sk
+     and d_year = [YEAR] and d_moy = [MONTH])
+  except
+  (select distinct c_last_name, c_first_name, d_date
+   from web_sales, date_dim, customer
+   where web_sales.ws_sold_date_sk = date_dim.d_date_sk
+     and web_sales.ws_bill_customer_sk = customer.c_customer_sk
+     and d_year = [YEAR] and d_moy = [MONTH])) cool_cust
+limit 100";
+
+const Q88: &str = "\
+-- Store traffic in eight half-hour windows (cross-joined counts).
+-- class: mining
+define DEP = uniform(0, 9);
+select *
+from (select count(*) h8_30_to_9
+      from store_sales, household_demographics, time_dim, store
+      where ss_sold_time_sk = t_time_sk
+        and ss_hdemo_sk = hd_demo_sk
+        and ss_store_sk = s_store_sk
+        and t_hour = 8 and t_minute >= 30
+        and (hd_dep_count = [DEP] or hd_vehicle_count <= 2)
+        and s_store_name = 'Fairview') s1,
+     (select count(*) h9_to_9_30
+      from store_sales, household_demographics, time_dim, store
+      where ss_sold_time_sk = t_time_sk
+        and ss_hdemo_sk = hd_demo_sk
+        and ss_store_sk = s_store_sk
+        and t_hour = 9 and t_minute < 30
+        and (hd_dep_count = [DEP] or hd_vehicle_count <= 2)
+        and s_store_name = 'Fairview') s2,
+     (select count(*) h12_to_12_30
+      from store_sales, household_demographics, time_dim, store
+      where ss_sold_time_sk = t_time_sk
+        and ss_hdemo_sk = hd_demo_sk
+        and ss_store_sk = s_store_sk
+        and t_hour = 12 and t_minute < 30
+        and (hd_dep_count = [DEP] or hd_vehicle_count <= 2)
+        and s_store_name = 'Fairview') s3
+limit 100";
+
+const Q89: &str = "\
+-- Store/category months deviating from the yearly category average.
+-- class: adhoc
+define YEAR = year();
+define CATS3 = list(categories, 3);
+select * from (
+  select i_category, i_class, i_brand, s_store_name, s_company_name, d_moy,
+         sum(ss_sales_price) sum_sales,
+         avg(sum(ss_sales_price)) over
+           (partition by i_category, i_brand, s_store_name, s_company_name)
+           avg_monthly_sales
+  from item, store_sales, date_dim, store
+  where ss_item_sk = i_item_sk
+    and ss_sold_date_sk = d_date_sk
+    and ss_store_sk = s_store_sk
+    and d_year = [YEAR]
+    and i_category in ([CATS3])
+  group by i_category, i_class, i_brand, s_store_name, s_company_name, d_moy) tmp1
+where case when avg_monthly_sales <> 0
+           then abs(sum_sales - avg_monthly_sales) / avg_monthly_sales
+           else null end > 0.1
+order by sum_sales - avg_monthly_sales, s_store_name
+limit 100";
+
+const Q90: &str = "\
+-- Ratio of morning to evening web sales for a dependent-count band.
+-- class: adhoc
+define HOUR = uniform(6, 12);
+define DEP = uniform(0, 4);
+select cast(amc as decimal) / cast(pmc as decimal) am_pm_ratio
+from (select count(*) amc
+      from web_sales, household_demographics, time_dim, web_page
+      where ws_sold_time_sk = t_time_sk
+        and ws_ship_hdemo_sk = hd_demo_sk
+        and ws_web_page_sk = wp_web_page_sk
+        and t_hour between [HOUR] and [HOUR] + 1
+        and hd_dep_count = [DEP]
+        and wp_char_count between 2500 and 5200) at_,
+     (select count(*) pmc
+      from web_sales, household_demographics, time_dim, web_page
+      where ws_sold_time_sk = t_time_sk
+        and ws_ship_hdemo_sk = hd_demo_sk
+        and ws_web_page_sk = wp_web_page_sk
+        and t_hour between [HOUR] + 12 and [HOUR] + 13
+        and hd_dep_count = [DEP]
+        and wp_char_count between 2500 and 5200) pt
+order by am_pm_ratio
+limit 100";
+
+const Q91: &str = "\
+-- Call-center return losses by demographic for one month.
+-- class: reporting
+define YEAR = year();
+define MONTH = pick(months_high);
+select cc_call_center_id call_center, cc_name call_center_name,
+       cc_manager manager, sum(cr_net_loss) returns_loss
+from call_center, catalog_returns, date_dim, customer,
+     customer_demographics, household_demographics
+where cr_call_center_sk = cc_call_center_sk
+  and cr_returned_date_sk = d_date_sk
+  and cr_returning_customer_sk = c_customer_sk
+  and cd_demo_sk = c_current_cdemo_sk
+  and hd_demo_sk = c_current_hdemo_sk
+  and d_year = [YEAR] and d_moy = [MONTH]
+  and ((cd_marital_status = 'M' and cd_education_status = 'Unknown')
+       or (cd_marital_status = 'W' and cd_education_status = 'Advanced Degree'))
+  and hd_buy_potential like 'Unknown%'
+group by cc_call_center_id, cc_name, cc_manager, cd_marital_status,
+         cd_education_status
+order by returns_loss desc
+limit 100";
+
+const Q92: &str = "\
+-- Web items with excess discounts (q32 for the web channel).
+-- class: adhoc
+define SDATE = date_in_zone(low);
+define MANUFACT = uniform(1, 1000);
+select sum(ws_ext_discount_amt) as excess_discount_amount
+from web_sales ws0, item, date_dim
+where i_manufact_id = [MANUFACT]
+  and i_item_sk = ws0.ws_item_sk
+  and d_date between '[SDATE]' and '[SDATE+90]'
+  and d_date_sk = ws0.ws_sold_date_sk
+  and ws0.ws_ext_discount_amt >
+      (select 1.3 * avg(ws_ext_discount_amt)
+       from web_sales, date_dim
+       where ws_item_sk = ws0.ws_item_sk
+         and d_date between '[SDATE]' and '[SDATE+90]'
+         and d_date_sk = ws_sold_date_sk)
+order by excess_discount_amount
+limit 100";
+
+const Q93: &str = "\
+-- Customer spend net of returns for one return reason.
+-- class: adhoc
+define REASON = uniform(1, 20);
+select ss_customer_sk, sum(act_sales) sumsales
+from (select ss_customer_sk,
+             case when sr_return_quantity is not null
+                  then (ss_quantity - sr_return_quantity) * ss_sales_price
+                  else ss_quantity * ss_sales_price end act_sales
+      from store_sales
+           left join store_returns on sr_item_sk = ss_item_sk
+                                   and sr_ticket_number = ss_ticket_number,
+           reason
+      where sr_reason_sk = r_reason_sk
+        and r_reason_sk = [REASON]) t
+group by ss_customer_sk
+order by sumsales, ss_customer_sk
+limit 100";
+
+const Q94: &str = "\
+-- Web orders shipped from multiple warehouses with no returns (q16 kin).
+-- class: adhoc
+define SDATE = date_in_zone(low);
+define STATE = pick(states);
+select count(distinct ws1.ws_order_number) order_count,
+       sum(ws1.ws_ext_ship_cost) total_shipping_cost,
+       sum(ws1.ws_net_profit) total_net_profit
+from web_sales ws1, date_dim, customer_address, web_site
+where d_date between '[SDATE]' and '[SDATE+60]'
+  and ws1.ws_ship_date_sk = d_date_sk
+  and ws1.ws_ship_addr_sk = ca_address_sk
+  and ca_state = '[STATE]'
+  and ws1.ws_web_site_sk = web_site_sk
+  and exists (select ws2.ws_order_number from web_sales ws2
+              where ws1.ws_order_number = ws2.ws_order_number
+                and ws1.ws_warehouse_sk <> ws2.ws_warehouse_sk)
+  and not exists (select wr1.wr_order_number from web_returns wr1
+                  where ws1.ws_order_number = wr1.wr_order_number)
+limit 100";
+
+const Q95: &str = "\
+-- Web orders shipped from two warehouses that were also returned.
+-- class: adhoc
+define SDATE = date_in_zone(low);
+define STATE = pick(states);
+with ws_wh as (
+  select ws1.ws_order_number
+  from web_sales ws1, web_sales ws2
+  where ws1.ws_order_number = ws2.ws_order_number
+    and ws1.ws_warehouse_sk <> ws2.ws_warehouse_sk)
+select count(distinct ws1.ws_order_number) order_count,
+       sum(ws1.ws_ext_ship_cost) total_shipping_cost,
+       sum(ws1.ws_net_profit) total_net_profit
+from web_sales ws1, date_dim, customer_address, web_site
+where d_date between '[SDATE]' and '[SDATE+60]'
+  and ws1.ws_ship_date_sk = d_date_sk
+  and ws1.ws_ship_addr_sk = ca_address_sk
+  and ca_state = '[STATE]'
+  and ws1.ws_web_site_sk = web_site_sk
+  and ws1.ws_order_number in (select ws_order_number from ws_wh)
+  and ws1.ws_order_number in (select wr_order_number from web_returns, ws_wh
+                              where wr_order_number = ws_wh.ws_order_number)
+limit 100";
+
+const Q96: &str = "\
+-- Store traffic at one hour for a dependent-count band.
+-- class: adhoc
+define HOUR = uniform(8, 19);
+define DEP = uniform(0, 9);
+select count(*) cnt
+from store_sales, household_demographics, time_dim, store
+where ss_sold_time_sk = t_time_sk
+  and ss_hdemo_sk = hd_demo_sk
+  and ss_store_sk = s_store_sk
+  and t_hour = [HOUR] and t_minute >= 30
+  and hd_dep_count = [DEP]
+  and s_store_name = 'Fairview'
+order by cnt
+limit 100";
+
+const Q97: &str = "\
+-- Customer/item overlap between store and catalog channels.
+-- class: hybrid
+define MONTHSEQ = uniform(1176, 1224);
+with ssci as (
+  select ss_customer_sk customer_sk, ss_item_sk item_sk
+  from store_sales, date_dim
+  where ss_sold_date_sk = d_date_sk
+    and d_month_seq between [MONTHSEQ] and [MONTHSEQ] + 11
+  group by ss_customer_sk, ss_item_sk),
+ csci as (
+  select cs_bill_customer_sk customer_sk, cs_item_sk item_sk
+  from catalog_sales, date_dim
+  where cs_sold_date_sk = d_date_sk
+    and d_month_seq between [MONTHSEQ] and [MONTHSEQ] + 11
+  group by cs_bill_customer_sk, cs_item_sk)
+select sum(case when ssci.customer_sk is not null and csci.customer_sk is null
+                then 1 else 0 end) store_only,
+       sum(case when ssci.customer_sk is not null and csci.customer_sk is not null
+                then 1 else 0 end) store_and_catalog
+from ssci left join csci on ssci.customer_sk = csci.customer_sk
+                         and ssci.item_sk = csci.item_sk
+limit 100";
+
+const Q98: &str = "\
+-- Store revenue ratio of items within their class (q20 for the store part).
+-- class: adhoc
+define CATS = list(categories, 3);
+define SDATE = date_in_zone(low);
+select i_item_desc, i_category, i_class, i_current_price,
+       sum(ss_ext_sales_price) as itemrevenue,
+       sum(ss_ext_sales_price) * 100 /
+         sum(sum(ss_ext_sales_price)) over (partition by i_class) as revenueratio
+from store_sales, item, date_dim
+where ss_item_sk = i_item_sk
+  and i_category in ([CATS])
+  and ss_sold_date_sk = d_date_sk
+  and d_date between '[SDATE]' and '[SDATE+30]'
+group by i_item_id, i_item_desc, i_category, i_class, i_current_price
+order by i_category, i_class, i_item_id, i_item_desc, revenueratio
+limit 100";
+
+const Q99: &str = "\
+-- Catalog shipping-lag buckets by warehouse, call center and ship mode.
+-- class: reporting
+define MONTHSEQ = uniform(1176, 1224);
+select substr(w_warehouse_name, 1, 20) warehouse_, sm_type, cc_name,
+       sum(case when cs_ship_date_sk - cs_sold_date_sk <= 30 then 1 else 0 end)
+           d30,
+       sum(case when cs_ship_date_sk - cs_sold_date_sk > 30
+                 and cs_ship_date_sk - cs_sold_date_sk <= 60 then 1 else 0 end)
+           d60,
+       sum(case when cs_ship_date_sk - cs_sold_date_sk > 60 then 1 else 0 end)
+           d90
+from catalog_sales, warehouse, ship_mode, call_center, date_dim
+where d_month_seq between [MONTHSEQ] and [MONTHSEQ] + 11
+  and cs_ship_date_sk = d_date_sk
+  and cs_warehouse_sk = w_warehouse_sk
+  and cs_ship_mode_sk = sm_ship_mode_sk
+  and cs_call_center_sk = cc_call_center_sk
+group by substr(w_warehouse_name, 1, 20), sm_type, cc_name
+order by warehouse_, sm_type, cc_name
+limit 100";

@@ -1,0 +1,306 @@
+//! # tpcds-runner
+//!
+//! The TPC-DS execution rules and metrics (paper §5): the benchmark test
+//! is a database load test followed by a performance test of two
+//! multi-stream query runs around one data maintenance run (Figure 11);
+//! the primary metric is QphDS@SF with the 1%·S load-time term; companion
+//! metrics are $/QphDS under a documented synthetic price model and the
+//! legacy geometric-mean power metric used for the ablation study.
+
+#![warn(missing_docs)]
+
+pub mod metric;
+pub mod pricing;
+pub mod streams;
+pub mod validation;
+
+pub use metric::{power_metric, qphds, MetricInputs};
+pub use pricing::{price_performance, PriceModel};
+pub use streams::min_streams;
+pub use validation::{fingerprint, qualify, AnswerFingerprint};
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use tpcds_dgen::Generator;
+use tpcds_engine::Database;
+use tpcds_maint::MaintenanceReport;
+use tpcds_qgen::Workload;
+
+/// Which auxiliary data structures the load builds (paper §2.1: the
+/// reporting part may use rich structures, the ad-hoc part only basic
+/// ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuxLevel {
+    /// No secondary structures at all.
+    None,
+    /// Hash indexes on the reporting (catalog) part's join columns —
+    /// the configuration the execution rules intend.
+    Reporting,
+}
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct BenchmarkConfig {
+    /// Scale factor (GB of raw data; fractional "virtual" SFs supported).
+    pub scale_factor: f64,
+    /// RNG seed (dsdgen's default unless overridden).
+    pub seed: u64,
+    /// Number of concurrent query streams; `None` uses the Figure 12
+    /// minimum for the scale factor.
+    pub streams: Option<usize>,
+    /// Restrict each stream to the first `n` queries of its permutation
+    /// (full 99 when `None`) — useful for quick runs; the metric adjusts.
+    pub queries_per_stream: Option<usize>,
+    /// Auxiliary structures built during the load.
+    pub aux: AuxLevel,
+}
+
+impl BenchmarkConfig {
+    /// A small smoke-test configuration.
+    pub fn tiny() -> Self {
+        BenchmarkConfig {
+            scale_factor: 0.01,
+            seed: tpcds_types::rng::DEFAULT_SEED,
+            streams: Some(2),
+            queries_per_stream: Some(10),
+            aux: AuxLevel::Reporting,
+        }
+    }
+}
+
+/// Elapsed time of one executed query.
+#[derive(Debug, Clone)]
+pub struct QueryTiming {
+    /// Stream index (0-based).
+    pub stream: usize,
+    /// Query number (1..=99).
+    pub query: u32,
+    /// Wall-clock elapsed.
+    pub elapsed: Duration,
+    /// Result row count.
+    pub rows: usize,
+}
+
+/// Result of a full benchmark test.
+#[derive(Debug)]
+pub struct BenchmarkResult {
+    /// The configuration used.
+    pub config: BenchmarkConfig,
+    /// Streams actually run.
+    pub streams: usize,
+    /// Queries per stream actually run.
+    pub queries_per_stream: usize,
+    /// Elapsed database load (timed portion).
+    pub t_load: Duration,
+    /// Elapsed query run 1.
+    pub t_qr1: Duration,
+    /// Elapsed data maintenance run.
+    pub t_dm: Duration,
+    /// Elapsed query run 2.
+    pub t_qr2: Duration,
+    /// Per-query timings of both runs.
+    pub query_timings: Vec<QueryTiming>,
+    /// Data maintenance outcome.
+    pub maintenance: MaintenanceReport,
+    /// The loaded database (kept for inspection / follow-up queries).
+    pub db: Database,
+}
+
+impl BenchmarkResult {
+    /// The metric inputs this run produced.
+    pub fn metric_inputs(&self) -> MetricInputs {
+        MetricInputs {
+            scale_factor: self.config.scale_factor,
+            streams: self.streams,
+            queries_per_stream: self.queries_per_stream,
+            t_qr1: self.t_qr1,
+            t_dm: self.t_dm,
+            t_qr2: self.t_qr2,
+            t_load: self.t_load,
+        }
+    }
+
+    /// The primary performance metric.
+    pub fn qphds(&self) -> f64 {
+        qphds(&self.metric_inputs())
+    }
+}
+
+/// Error type for benchmark runs.
+#[derive(Debug)]
+pub enum RunError {
+    /// Engine failure, annotated with the query number (0 = load/DM).
+    Engine(u32, tpcds_engine::EngineError),
+    /// Query generation failure.
+    Template(tpcds_qgen::TemplateError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Engine(q, e) => write!(f, "query {q}: {e}"),
+            RunError::Template(e) => write!(f, "{e}"),
+        }
+    }
+}
+impl std::error::Error for RunError {}
+
+/// Runs the complete benchmark test: load test, query run 1, data
+/// maintenance, query run 2 (Figure 11).
+pub fn run_benchmark(config: BenchmarkConfig) -> Result<BenchmarkResult, RunError> {
+    let generator = Generator::with_seed(config.scale_factor, config.seed);
+    let workload = Workload::tpcds().map_err(RunError::Template)?;
+    let streams = config
+        .streams
+        .unwrap_or_else(|| min_streams(config.scale_factor) as usize)
+        .max(1);
+    let queries_per_stream = config.queries_per_stream.unwrap_or(99).clamp(1, 99);
+
+    // ---- Load test (timed) ----
+    let db = Database::new();
+    let load_start = Instant::now();
+    tpcds_maint::load_initial_population(&db, &generator)
+        .map_err(|e| RunError::Engine(0, e))?;
+    if config.aux == AuxLevel::Reporting {
+        build_reporting_aux(&db).map_err(|e| RunError::Engine(0, e))?;
+    }
+    let t_load = load_start.elapsed();
+
+    // ---- Query run 1 ----
+    let (t_qr1, mut query_timings) =
+        query_run(&db, &workload, &config, streams, queries_per_stream, 0)?;
+
+    // ---- Data maintenance run ----
+    let dm_start = Instant::now();
+    let maintenance =
+        tpcds_maint::run_maintenance(&db, &generator, 0).map_err(|e| RunError::Engine(0, e))?;
+    let t_dm = dm_start.elapsed();
+
+    // ---- Query run 2 ----
+    let (t_qr2, timings2) =
+        query_run(&db, &workload, &config, streams, queries_per_stream, streams as u64)?;
+    query_timings.extend(timings2);
+
+    Ok(BenchmarkResult {
+        config,
+        streams,
+        queries_per_stream,
+        t_load,
+        t_qr1,
+        t_dm,
+        t_qr2,
+        query_timings,
+        maintenance,
+        db,
+    })
+}
+
+/// Executes one query run: `streams` concurrent sessions, each running its
+/// own permutation of the workload with stream-specific substitutions.
+fn query_run(
+    db: &Database,
+    workload: &Workload,
+    config: &BenchmarkConfig,
+    streams: usize,
+    queries_per_stream: usize,
+    stream_base: u64,
+) -> Result<(Duration, Vec<QueryTiming>), RunError> {
+    let timings: Mutex<Vec<QueryTiming>> = Mutex::new(Vec::new());
+    let failure: Mutex<Option<RunError>> = Mutex::new(None);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for s in 0..streams {
+            let timings = &timings;
+            let failure = &failure;
+            scope.spawn(move || {
+                let stream_id = stream_base + s as u64;
+                let order = workload.stream_order(config.seed, stream_id);
+                for id in order.into_iter().take(queries_per_stream) {
+                    let sql = match workload.instantiate(id, config.seed, stream_id) {
+                        Ok(sql) => sql,
+                        Err(e) => {
+                            *failure.lock().expect("poisoned") = Some(RunError::Template(e));
+                            return;
+                        }
+                    };
+                    let q_start = Instant::now();
+                    match tpcds_engine::query(db, &sql) {
+                        Ok(result) => timings.lock().expect("poisoned").push(QueryTiming {
+                            stream: s,
+                            query: id,
+                            elapsed: q_start.elapsed(),
+                            rows: result.rows.len(),
+                        }),
+                        Err(e) => {
+                            *failure.lock().expect("poisoned") = Some(RunError::Engine(id, e));
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = failure.into_inner().expect("poisoned") {
+        return Err(e);
+    }
+    Ok((start.elapsed(), timings.into_inner().expect("poisoned")))
+}
+
+/// Builds the reporting part's auxiliary structures: hash indexes on the
+/// catalog channel's most selective join/filter columns, plus a
+/// pre-aggregated monthly revenue summary (the materialized-view-style
+/// structure the catalog channel is allowed; paper §2.1).
+pub fn build_reporting_aux(db: &Database) -> tpcds_engine::Result<()> {
+    for (table, column) in [
+        ("catalog_sales", "cs_sold_date_sk"),
+        ("catalog_sales", "cs_item_sk"),
+        ("catalog_sales", "cs_bill_customer_sk"),
+        ("catalog_returns", "cr_returned_date_sk"),
+        ("catalog_returns", "cr_order_number"),
+        ("catalog_page", "cp_catalog_page_sk"),
+        ("call_center", "cc_call_center_sk"),
+    ] {
+        db.create_index(table, column)?;
+    }
+    if !db.has_table("catalog_monthly_summary") {
+        tpcds_engine::create_table_as(
+            db,
+            "catalog_monthly_summary",
+            "select d_year, d_moy, sum(cs_ext_sales_price) net_sales,
+                    sum(cs_net_profit) net_profit, count(*) line_items
+             from catalog_sales, date_dim
+             where cs_sold_date_sk = d_date_sk
+             group by d_year, d_moy",
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_benchmark_completes_all_phases() {
+        let result = run_benchmark(BenchmarkConfig::tiny()).unwrap();
+        assert_eq!(result.streams, 2);
+        assert_eq!(result.queries_per_stream, 10);
+        // Two runs x streams x queries.
+        assert_eq!(result.query_timings.len(), 2 * 2 * 10);
+        assert!(result.t_load > Duration::ZERO);
+        assert!(result.t_qr1 > Duration::ZERO);
+        assert!(result.t_dm > Duration::ZERO);
+        assert!(result.t_qr2 > Duration::ZERO);
+        assert_eq!(result.maintenance.ops.len(), 12);
+        assert!(result.qphds() > 0.0);
+    }
+
+    #[test]
+    fn streams_use_different_orderings() {
+        let cfg = BenchmarkConfig::tiny();
+        let w = Workload::tpcds().unwrap();
+        let o0 = w.stream_order(cfg.seed, 0);
+        let o1 = w.stream_order(cfg.seed, 1);
+        assert_ne!(o0[..5], o1[..5]);
+    }
+}

@@ -1,0 +1,74 @@
+//! The price-performance metric `$/QphDS@SF` (paper §5.3) under a
+//! documented synthetic price model — the paper's 3-year total cost of
+//! ownership is replaced by a parameterized model so the *metric shape*
+//! is reproducible without real vendor price lists (see DESIGN.md,
+//! "Substitutions").
+
+/// A synthetic 3-year TCO model.
+#[derive(Debug, Clone)]
+pub struct PriceModel {
+    /// Base system price (chassis, CPUs, memory), USD.
+    pub base_system: f64,
+    /// Storage price per GB of raw data, USD.
+    pub per_gb: f64,
+    /// DBMS license per concurrent stream, USD.
+    pub per_stream_license: f64,
+    /// 3-year 24x7 maintenance with 4-hour response, USD.
+    pub maintenance: f64,
+}
+
+impl Default for PriceModel {
+    fn default() -> Self {
+        PriceModel {
+            base_system: 120_000.0,
+            per_gb: 350.0,
+            per_stream_license: 8_000.0,
+            maintenance: 45_000.0,
+        }
+    }
+}
+
+impl PriceModel {
+    /// The 3-year total cost of ownership for a configuration.
+    pub fn tco(&self, scale_factor: f64, streams: usize) -> f64 {
+        self.base_system
+            + self.per_gb * scale_factor
+            + self.per_stream_license * streams as f64
+            + self.maintenance
+    }
+}
+
+/// `$/QphDS@SF`: TCO divided by the primary metric.
+pub fn price_performance(model: &PriceModel, scale_factor: f64, streams: usize, qphds: f64) -> f64 {
+    if qphds <= 0.0 {
+        return f64::INFINITY;
+    }
+    model.tco(scale_factor, streams) / qphds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tco_composition() {
+        let m = PriceModel::default();
+        let tco = m.tco(100.0, 3);
+        assert_eq!(tco, 120_000.0 + 35_000.0 + 24_000.0 + 45_000.0);
+    }
+
+    #[test]
+    fn price_performance_inverts_metric() {
+        let m = PriceModel::default();
+        let cheap = price_performance(&m, 100.0, 3, 10_000.0);
+        let pricey = price_performance(&m, 100.0, 3, 1_000.0);
+        assert!(cheap < pricey);
+        assert!(price_performance(&m, 100.0, 3, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn bigger_configs_cost_more() {
+        let m = PriceModel::default();
+        assert!(m.tco(1000.0, 7) > m.tco(100.0, 3));
+    }
+}

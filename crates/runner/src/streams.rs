@@ -1,0 +1,50 @@
+//! Minimum required query streams per scale factor (paper Figure 12).
+
+/// The Figure 12 table: (scale factor, minimum streams).
+pub const MIN_STREAMS_TABLE: [(u32, u32); 7] = [
+    (100, 3),
+    (300, 5),
+    (1000, 7),
+    (3000, 9),
+    (10_000, 11),
+    (30_000, 13),
+    (100_000, 15),
+];
+
+/// Minimum number of concurrent query streams for a scale factor.
+/// Virtual scale factors below 100 take the smallest requirement (3);
+/// values between published points take the requirement of the next lower
+/// published scale factor.
+pub fn min_streams(sf: f64) -> u32 {
+    let mut best = 3;
+    for (limit, streams) in MIN_STREAMS_TABLE {
+        if sf >= limit as f64 {
+            best = streams;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure12_values() {
+        assert_eq!(min_streams(100.0), 3);
+        assert_eq!(min_streams(300.0), 5);
+        assert_eq!(min_streams(1000.0), 7);
+        assert_eq!(min_streams(3000.0), 9);
+        assert_eq!(min_streams(10_000.0), 11);
+        assert_eq!(min_streams(30_000.0), 13);
+        assert_eq!(min_streams(100_000.0), 15);
+    }
+
+    #[test]
+    fn interpolation_and_virtual_sfs() {
+        assert_eq!(min_streams(0.01), 3);
+        assert_eq!(min_streams(200.0), 3);
+        assert_eq!(min_streams(500.0), 5);
+        assert_eq!(min_streams(999_999.0), 15);
+    }
+}

@@ -1,0 +1,145 @@
+//! Answer-set qualification — the reproduction of TPC's validation run:
+//! a benchmark result is only comparable if the same seed produces the
+//! same data set and the same answers. We fingerprint each query's answer
+//! (order-insensitively, since only ORDER BY columns are pinned) and
+//! compare fingerprints across runs or implementations.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use tpcds_engine::{Database, QueryResult};
+use tpcds_qgen::Workload;
+
+/// A stable fingerprint of one query answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnswerFingerprint {
+    /// Number of result rows.
+    pub rows: usize,
+    /// Order-insensitive hash of all row contents.
+    pub hash: u64,
+}
+
+/// Fingerprints a query result. Rows are hashed individually and combined
+/// with an order-insensitive fold, so plans that produce different
+/// orderings of the same multiset agree.
+pub fn fingerprint(result: &QueryResult) -> AnswerFingerprint {
+    let mut combined: u64 = 0;
+    for row in &result.rows {
+        let mut h = DefaultHasher::new();
+        for v in row {
+            v.hash(&mut h);
+        }
+        // Wrapping addition is commutative: order does not matter.
+        combined = combined.wrapping_add(h.finish());
+    }
+    AnswerFingerprint { rows: result.rows.len(), hash: combined }
+}
+
+/// One query's qualification outcome.
+#[derive(Debug, Clone)]
+pub struct Qualification {
+    /// Query number.
+    pub query: u32,
+    /// The fingerprint.
+    pub answer: AnswerFingerprint,
+}
+
+/// Runs the given queries (stream 0 substitutions) and fingerprints each
+/// answer. Two runs over the same seed and scale factor must produce
+/// identical reports.
+pub fn qualify(
+    db: &Database,
+    workload: &Workload,
+    seed: u64,
+    queries: &[u32],
+) -> Result<Vec<Qualification>, crate::RunError> {
+    let mut out = Vec::with_capacity(queries.len());
+    for &id in queries {
+        let sql = workload
+            .instantiate(id, seed, 0)
+            .map_err(crate::RunError::Template)?;
+        let result =
+            tpcds_engine::query(db, &sql).map_err(|e| crate::RunError::Engine(id, e))?;
+        out.push(Qualification { query: id, answer: fingerprint(&result) });
+    }
+    Ok(out)
+}
+
+/// Compares two qualification reports; returns the queries that disagree.
+pub fn diff(a: &[Qualification], b: &[Qualification]) -> Vec<u32> {
+    a.iter()
+        .zip(b)
+        .filter(|(x, y)| x.query != y.query || x.answer != y.answer)
+        .map(|(x, _)| x.query)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcds_engine::QueryResult;
+    use tpcds_types::Value;
+
+    fn result(rows: Vec<Vec<i64>>) -> QueryResult {
+        QueryResult {
+            columns: vec!["a".into()],
+            rows: rows
+                .into_iter()
+                .map(|r| r.into_iter().map(Value::Int).collect())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive() {
+        let a = fingerprint(&result(vec![vec![1], vec![2], vec![3]]));
+        let b = fingerprint(&result(vec![vec![3], vec![1], vec![2]]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_detects_content_changes() {
+        let a = fingerprint(&result(vec![vec![1], vec![2]]));
+        let b = fingerprint(&result(vec![vec![1], vec![99]]));
+        assert_ne!(a, b);
+        let c = fingerprint(&result(vec![vec![1]]));
+        assert_ne!(a.rows, c.rows);
+    }
+
+    #[test]
+    fn qualification_repeats_identically() {
+        let g = tpcds_dgen::Generator::new(0.005);
+        let db = Database::new();
+        tpcds_maint::load_initial_population(&db, &g).unwrap();
+        let w = Workload::tpcds().unwrap();
+        let queries = [3u32, 42, 52, 55, 96];
+        let a = qualify(&db, &w, g.seed(), &queries).unwrap();
+        let b = qualify(&db, &w, g.seed(), &queries).unwrap();
+        assert!(diff(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn qualification_detects_data_drift() {
+        let g = tpcds_dgen::Generator::new(0.005);
+        let db = Database::new();
+        tpcds_maint::load_initial_population(&db, &g).unwrap();
+        let count_fp = || {
+            fingerprint(
+                &tpcds_engine::query(&db, "select count(*) from store_sales").unwrap(),
+            )
+        };
+        let before = count_fp();
+        // Mutate the data set: a fact insert always adds rows, so the
+        // fingerprint of a count query must move.
+        let rep = tpcds_maint::insert_channel(
+            &db,
+            &g,
+            "insert_store_channel",
+            &["store_sales", "store_returns"],
+            0,
+        )
+        .unwrap();
+        assert!(rep.inserted > 0);
+        let after = count_fp();
+        assert_ne!(before, after, "fingerprint blind to data drift");
+    }
+}

@@ -1,0 +1,175 @@
+//! Column and table metadata types for the TPC-DS snowstorm schema.
+
+use tpcds_types::DataType;
+
+/// Declared SQL type of a schema column (as in the TPC-DS DDL).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    /// Surrogate-key integer (`*_sk`) or other identifier.
+    Id,
+    /// Plain integer.
+    Int,
+    /// `decimal(p, s)`.
+    Dec(u8, u8),
+    /// Fixed-width character string of the given declared width.
+    Char(u16),
+    /// Variable-width character string up to the given width.
+    Varchar(u16),
+    /// Calendar date.
+    Date,
+}
+
+impl ColumnType {
+    /// The runtime [`DataType`] values of this column carry.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnType::Id | ColumnType::Int => DataType::Int,
+            ColumnType::Dec(_, _) => DataType::Decimal,
+            ColumnType::Char(_) | ColumnType::Varchar(_) => DataType::Str,
+            ColumnType::Date => DataType::Date,
+        }
+    }
+
+    /// Rough average width, in bytes, of this column in a dsdgen-style flat
+    /// file (content only, excluding the `|` separator). Used for the
+    /// analytic row-length model behind Table 1; the bench harness also
+    /// measures real generated files.
+    pub fn est_flat_width(&self) -> f64 {
+        match self {
+            ColumnType::Id => 6.0,
+            ColumnType::Int => 4.0,
+            ColumnType::Dec(_, s) => 5.0 + *s as f64,
+            // dsdgen fills short code columns completely, medium text
+            // columns to ~60% and wide free-text columns to ~35% of the
+            // declared width on average.
+            ColumnType::Char(n) | ColumnType::Varchar(n) => {
+                if *n <= 4 {
+                    *n as f64
+                } else if *n <= 30 {
+                    *n as f64 * 0.6
+                } else {
+                    *n as f64 * 0.35
+                }
+            }
+            ColumnType::Date => 10.0,
+        }
+    }
+}
+
+/// One column of a table.
+#[derive(Clone, Debug)]
+pub struct Column {
+    /// Column name, e.g. `ss_sold_date_sk`.
+    pub name: &'static str,
+    /// Declared type.
+    pub ctype: ColumnType,
+    /// Whether NULLs may appear (TPC-DS fact FK columns are nullable; keys
+    /// and identifiers are not).
+    pub nullable: bool,
+}
+
+/// A declared foreign-key relationship.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing column in this table.
+    pub column: &'static str,
+    /// Referenced table.
+    pub ref_table: &'static str,
+    /// Referenced column (always the surrogate key).
+    pub ref_column: &'static str,
+}
+
+/// Fact or dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TableKind {
+    /// Large, linearly scaling transaction table.
+    Fact,
+    /// Sub-linearly scaling lookup table.
+    Dimension,
+}
+
+/// How a dimension evolves during data maintenance (paper §3.3.2 / §4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScdClass {
+    /// Loaded once, never touched (date_dim, time_dim, reason, ...).
+    Static,
+    /// Updated in place by business key (Figure 8).
+    NonHistory,
+    /// Versioned with rec_start_date / rec_end_date (Figure 9); up to three
+    /// revisions per business key exist in the initial population.
+    History,
+    /// Fact tables are not dimensions; they take inserts and deletes.
+    NotApplicable,
+}
+
+/// Which side of the ad-hoc / reporting split a table belongs to
+/// (paper §2.1–2.2: store + web channels are ad-hoc, catalog is reporting,
+/// shared dimensions serve both).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemaPart {
+    /// Store & web channels: only basic auxiliary structures allowed.
+    AdHoc,
+    /// Catalog channel: rich auxiliary structures allowed.
+    Reporting,
+    /// Dimensions referenced from both parts.
+    Shared,
+}
+
+/// Complete definition of one table.
+#[derive(Clone, Debug)]
+pub struct TableDef {
+    /// Table name, e.g. `store_sales`.
+    pub name: &'static str,
+    /// Fact or dimension.
+    pub kind: TableKind,
+    /// SCD classification (dimensions) or `NotApplicable` (facts).
+    pub scd: ScdClass,
+    /// Ad-hoc / reporting / shared partition.
+    pub part: SchemaPart,
+    /// All columns, in DDL order.
+    pub columns: Vec<Column>,
+    /// Primary-key column names.
+    pub primary_key: Vec<&'static str>,
+    /// The OLTP-style business key (`*_id`) joined against during data
+    /// maintenance, when the table has one.
+    pub business_key: Option<&'static str>,
+    /// Declared foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableDef {
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The column definition by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Estimated average flat-file row length in bytes, including one `|`
+    /// separator per column (dsdgen terminates every field with `|`).
+    pub fn est_row_bytes(&self) -> f64 {
+        self.columns
+            .iter()
+            .map(|c| {
+                let w = c.ctype.est_flat_width();
+                // NULLs print as empty: assume a modest null rate on
+                // nullable columns.
+                let w = if c.nullable { w * 0.96 } else { w };
+                w + 1.0
+            })
+            .sum()
+    }
+
+    /// True when the dimension keeps history (has rec_start/end dates).
+    pub fn is_history_keeping(&self) -> bool {
+        self.scd == ScdClass::History
+    }
+}

@@ -1,0 +1,219 @@
+//! The schema as a foreign-key graph — used to regenerate Figure 1 (the
+//! store-sales snowflake excerpt) and to validate referential structure.
+
+use crate::column::{SchemaPart, TableKind};
+use crate::Schema;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write;
+
+/// Renders the foreign-key graph of the given tables as Graphviz DOT.
+/// With `tables = None`, the entire snowstorm schema is rendered; Figure 1
+/// of the paper corresponds to `store_sales_excerpt`.
+pub fn to_dot(schema: &Schema, tables: Option<&[&str]>) -> String {
+    let keep: Option<BTreeSet<&str>> = tables.map(|t| t.iter().copied().collect());
+    let mut out = String::from("digraph tpcds {\n  rankdir=LR;\n  node [shape=box];\n");
+    for t in schema.tables() {
+        if let Some(keep) = &keep {
+            if !keep.contains(t.name) {
+                continue;
+            }
+        }
+        let shape = match t.kind {
+            TableKind::Fact => "box3d",
+            TableKind::Dimension => "box",
+        };
+        writeln!(out, "  {} [shape={} label=\"{}\\n({} cols)\"];", t.name, shape, t.name, t.width())
+            .unwrap();
+    }
+    for t in schema.tables() {
+        if let Some(keep) = &keep {
+            if !keep.contains(t.name) {
+                continue;
+            }
+        }
+        let mut seen = BTreeSet::new();
+        for f in &t.foreign_keys {
+            if let Some(keep) = &keep {
+                if !keep.contains(f.ref_table) {
+                    continue;
+                }
+            }
+            // Collapse multiple FKs to the same table into one edge with a
+            // multiplicity label, as schema diagrams conventionally do.
+            if seen.insert(f.ref_table) {
+                let n = t.foreign_keys.iter().filter(|g| g.ref_table == f.ref_table).count();
+                if n > 1 {
+                    writeln!(out, "  {} -> {} [label=\"x{}\"];", t.name, f.ref_table, n).unwrap();
+                } else {
+                    writeln!(out, "  {} -> {};", t.name, f.ref_table).unwrap();
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// The tables shown in Figure 1 of the paper: the store sales channel.
+pub const STORE_CHANNEL_TABLES: [&str; 13] = [
+    "store_sales",
+    "store_returns",
+    "date_dim",
+    "time_dim",
+    "item",
+    "store",
+    "promotion",
+    "customer",
+    "customer_address",
+    "customer_demographics",
+    "household_demographics",
+    "income_band",
+    "reason",
+];
+
+/// Renders Figure 1 (the store-sales snowflake excerpt) as DOT.
+pub fn store_sales_excerpt(schema: &Schema) -> String {
+    to_dot(schema, Some(&STORE_CHANNEL_TABLES))
+}
+
+/// Structural validation of the FK graph. Returns human-readable problem
+/// descriptions; an empty vector means the graph is sound.
+pub fn validate(schema: &Schema) -> Vec<String> {
+    let mut problems = Vec::new();
+    let by_name: BTreeMap<&str, _> =
+        schema.tables().iter().map(|t| (t.name, t)).collect();
+    for t in schema.tables() {
+        for f in &t.foreign_keys {
+            if t.column_index(f.column).is_none() {
+                problems.push(format!("{}: FK column {} does not exist", t.name, f.column));
+            }
+            match by_name.get(f.ref_table) {
+                None => problems.push(format!(
+                    "{}: FK {} references unknown table {}",
+                    t.name, f.column, f.ref_table
+                )),
+                Some(rt) => {
+                    if rt.column_index(f.ref_column).is_none() {
+                        problems.push(format!(
+                            "{}: FK {} references unknown column {}.{}",
+                            t.name, f.column, f.ref_table, f.ref_column
+                        ));
+                    }
+                    if rt.primary_key != vec![f.ref_column] {
+                        problems.push(format!(
+                            "{}: FK {} does not reference {}'s primary key",
+                            t.name, f.column, f.ref_table
+                        ));
+                    }
+                }
+            }
+        }
+        for pk in &t.primary_key {
+            if t.column_index(pk).is_none() {
+                problems.push(format!("{}: PK column {} does not exist", t.name, pk));
+            }
+        }
+        if let Some(bk) = t.business_key {
+            if t.column_index(bk).is_none() {
+                problems.push(format!("{}: business key {} does not exist", t.name, bk));
+            }
+        }
+    }
+    problems
+}
+
+/// Summary of the ad-hoc / reporting partition of the schema (paper §2.1):
+/// the catalog channel is the reporting part; store and web are ad-hoc.
+pub fn partition_summary(schema: &Schema) -> BTreeMap<SchemaPart, Vec<&'static str>> {
+    let mut map: BTreeMap<SchemaPart, Vec<&'static str>> = BTreeMap::new();
+    for t in schema.tables() {
+        map.entry(t.part).or_default().push(t.name);
+    }
+    map
+}
+
+impl PartialOrd for SchemaPart {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SchemaPart {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        fn rank(p: &SchemaPart) -> u8 {
+            match p {
+                SchemaPart::AdHoc => 0,
+                SchemaPart::Reporting => 1,
+                SchemaPart::Shared => 2,
+            }
+        }
+        rank(self).cmp(&rank(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fk_graph_is_sound() {
+        let problems = validate(&Schema::tpcds());
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn figure1_excerpt_contains_the_snowflake() {
+        let dot = store_sales_excerpt(&Schema::tpcds());
+        // Fact-to-dimension edges of Figure 1.
+        for edge in [
+            "store_sales -> date_dim",
+            "store_sales -> item",
+            "store_sales -> store",
+            "store_sales -> customer",
+            "store_returns -> reason",
+            // The snowflake: dimensions with relations to other dimensions.
+            "customer -> customer_address",
+            "household_demographics -> income_band",
+        ] {
+            assert!(dot.contains(edge), "missing edge {edge} in:\n{dot}");
+        }
+        // Catalog tables are not part of the Figure 1 excerpt.
+        assert!(!dot.contains("catalog_sales"));
+    }
+
+    #[test]
+    fn circular_customer_address_relationship_present() {
+        // Paper §2.2: customer_address is referenced both from store_sales
+        // directly and from customer — the "current vs at-sale address"
+        // circular relationship.
+        let schema = Schema::tpcds();
+        let ss = schema.table("store_sales").unwrap();
+        assert!(ss.foreign_keys.iter().any(|f| f.ref_table == "customer_address"));
+        let cust = schema.table("customer").unwrap();
+        assert!(cust.foreign_keys.iter().any(|f| f.ref_table == "customer_address"));
+    }
+
+    #[test]
+    fn fact_to_fact_join_keys_exist() {
+        // Paper §2.2: store_sales and store_returns relate through
+        // (ticket_number, item_sk).
+        let schema = Schema::tpcds();
+        let ss = schema.table("store_sales").unwrap();
+        let sr = schema.table("store_returns").unwrap();
+        assert_eq!(ss.primary_key, vec!["ss_item_sk", "ss_ticket_number"]);
+        assert_eq!(sr.primary_key, vec!["sr_item_sk", "sr_ticket_number"]);
+    }
+
+    #[test]
+    fn partition_is_catalog_vs_store_web() {
+        let schema = Schema::tpcds();
+        let parts = partition_summary(&schema);
+        let reporting = &parts[&SchemaPart::Reporting];
+        assert!(reporting.contains(&"catalog_sales"));
+        assert!(reporting.contains(&"catalog_returns"));
+        assert!(reporting.contains(&"catalog_page"));
+        assert!(reporting.contains(&"call_center"));
+        let adhoc = &parts[&SchemaPart::AdHoc];
+        assert!(adhoc.contains(&"store_sales"));
+        assert!(adhoc.contains(&"web_sales"));
+    }
+}

@@ -1,0 +1,137 @@
+//! # tpcds-schema
+//!
+//! The complete TPC-DS "snowstorm" schema as described in §2 of *The Making
+//! of TPC-DS*: 24 tables (7 fact + 17 dimension), 104 foreign keys, the
+//! ad-hoc/reporting partition of the channels, slowly-changing-dimension
+//! classification, and the cardinality scaling model of §3.1 (Table 2).
+
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod ddl;
+pub mod graph;
+pub mod scaling;
+pub mod stats;
+pub mod tables;
+
+pub use column::{Column, ColumnType, ForeignKey, ScdClass, SchemaPart, TableDef, TableKind};
+pub use scaling::{ScalingLaw, ScalingModel, VALID_SCALE_FACTORS};
+pub use stats::SchemaStats;
+
+use std::collections::BTreeMap;
+
+/// The full snowstorm schema plus its scaling model.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    tables: Vec<TableDef>,
+    index: BTreeMap<&'static str, usize>,
+    scaling: ScalingModel,
+}
+
+impl Schema {
+    /// Builds the canonical TPC-DS schema.
+    pub fn tpcds() -> Schema {
+        let tables = tables::all_tables();
+        let index = tables.iter().enumerate().map(|(i, t)| (t.name, i)).collect();
+        Schema { tables, index, scaling: ScalingModel::tpcds() }
+    }
+
+    /// All table definitions, in dimension-before-fact load order.
+    pub fn tables(&self) -> &[TableDef] {
+        &self.tables
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Option<&TableDef> {
+        self.index.get(name).map(|&i| &self.tables[i])
+    }
+
+    /// Positional index of a table (also its RNG stream base).
+    pub fn table_index(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// The scaling model.
+    pub fn scaling(&self) -> &ScalingModel {
+        &self.scaling
+    }
+
+    /// Row count of `table` at scale factor `sf`.
+    pub fn rows(&self, table: &str, sf: f64) -> u64 {
+        self.scaling.rows(table, sf)
+    }
+}
+
+impl Default for Schema {
+    fn default() -> Self {
+        Schema::tpcds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_four_tables() {
+        let s = Schema::tpcds();
+        assert_eq!(s.tables().len(), 24);
+        assert_eq!(tables::TABLE_NAMES.len(), 24);
+        for name in tables::TABLE_NAMES {
+            assert!(s.table(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn load_order_puts_dimensions_first() {
+        let s = Schema::tpcds();
+        let first_fact = s.tables().iter().position(|t| t.kind == TableKind::Fact).unwrap();
+        assert!(s.tables()[..first_fact].iter().all(|t| t.kind == TableKind::Dimension));
+    }
+
+    #[test]
+    fn scd_classes_match_the_paper() {
+        let s = Schema::tpcds();
+        // Paper §4.2: static dimensions are loaded once, never maintained.
+        for name in ["date_dim", "time_dim", "reason", "ship_mode", "income_band"] {
+            assert_eq!(s.table(name).unwrap().scd, ScdClass::Static, "{name}");
+        }
+        // History-keeping dimensions carry rec_start/end dates.
+        for name in ["item", "store", "call_center", "web_site", "web_page"] {
+            let t = s.table(name).unwrap();
+            assert_eq!(t.scd, ScdClass::History, "{name}");
+            assert!(
+                t.columns.iter().any(|c| c.name.ends_with("rec_start_date")),
+                "{name} lacks rec_start_date"
+            );
+            assert!(
+                t.columns.iter().any(|c| c.name.ends_with("rec_end_date")),
+                "{name} lacks rec_end_date"
+            );
+        }
+        for name in ["customer", "customer_address", "warehouse", "promotion"] {
+            assert_eq!(s.table(name).unwrap().scd, ScdClass::NonHistory, "{name}");
+        }
+    }
+
+    #[test]
+    fn history_keepers_have_business_keys() {
+        let s = Schema::tpcds();
+        for t in s.tables() {
+            if t.scd == ScdClass::History || t.scd == ScdClass::NonHistory {
+                assert!(t.business_key.is_some(), "{} needs a business key", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn column_names_unique_within_table_and_prefixed() {
+        let s = Schema::tpcds();
+        for t in s.tables() {
+            let mut seen = std::collections::BTreeSet::new();
+            for c in &t.columns {
+                assert!(seen.insert(c.name), "{}.{} duplicated", t.name, c.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Deterministic, random-access pseudo-random streams.
+//!
+//! dsdgen assigns every table column its own 48-bit LCG stream and uses
+//! jump-ahead so chunks of a table can be generated in parallel. We get the
+//! same two properties — bit-for-bit determinism and O(1) random access —
+//! from a *counter-based* construction: each draw is `mix64` applied to a
+//! unique (seed, table, column, row, use) coordinate. See DESIGN.md,
+//! "Substitutions".
+
+/// The canonical benchmark seed; dsdgen's default RNG seed is 19620718
+/// (Jack Stephens' birthday). We keep it as a homage and a stable default.
+pub const DEFAULT_SEED: u64 = 19_620_718;
+
+/// SplitMix64 finalizer: a bijective 64-bit mixer with full avalanche.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combines two words into one well-mixed word (not commutative).
+#[inline]
+pub fn mix2(a: u64, b: u64) -> u64 {
+    mix64(a ^ b.rotate_left(32) ^ 0xD6E8_FEB8_6659_FD93)
+}
+
+/// A deterministic stream of pseudo-random values addressed by
+/// `(seed, stream_id, row, draw-counter)`.
+///
+/// `ColumnRng::at(seed, stream, row)` positions the stream at a row;
+/// successive draws within the row advance an internal counter, so a column
+/// generator may consume any fixed number of values per row without
+/// perturbing other columns — dsdgen's "uses per row" discipline, enforced
+/// structurally instead of by bookkeeping.
+#[derive(Clone, Debug)]
+pub struct ColumnRng {
+    base: u64,
+    counter: u64,
+}
+
+impl ColumnRng {
+    /// Positions the stream for `row` of logical stream `stream_id`.
+    pub fn at(seed: u64, stream_id: u64, row: u64) -> Self {
+        ColumnRng {
+            base: mix2(mix2(seed, stream_id), row),
+            counter: 0,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let v = mix2(self.base, self.counter);
+        self.counter += 1;
+        v
+    }
+
+    /// Uniform integer in `lo..=hi` (inclusive). Uses 128-bit multiply-shift
+    /// rejection-free mapping; the modulo bias is < 2^-64 and irrelevant for
+    /// benchmark data.
+    #[inline]
+    pub fn uniform_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64 as u128 + 1;
+        let draw = self.next_u64() as u128;
+        lo + ((draw * span) >> 64) as i64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn uniform_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Standard normal draw via Box–Muller (uses two raw draws).
+    pub fn gaussian(&mut self) -> f64 {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = (self.uniform_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.uniform_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn gaussian_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Bernoulli draw: true with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform_f64() < p
+    }
+
+    /// Picks an index in `0..weights.len()` proportionally to `weights`.
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weighted_index needs positive total weight");
+        let mut x = self.uniform_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates permutation of `0..n`, deterministic for the stream
+    /// position (used by the query runner for per-stream query orderings).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.uniform_i64(0, i as i64) as usize;
+            p.swap(i, j);
+        }
+        p
+    }
+}
+
+/// Well-known logical stream ids. Tables get `table_stream(table_idx)`;
+/// within a table, column `c` uses `table_stream(t) + c + 1`.
+pub fn table_stream(table_idx: usize) -> u64 {
+    (table_idx as u64 + 1) << 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_coordinate() {
+        let mut a = ColumnRng::at(DEFAULT_SEED, 7, 42);
+        let mut b = ColumnRng::at(DEFAULT_SEED, 7, 42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_rows_differ() {
+        let a = ColumnRng::at(DEFAULT_SEED, 7, 42).next_u64();
+        let b = ColumnRng::at(DEFAULT_SEED, 7, 43).next_u64();
+        let c = ColumnRng::at(DEFAULT_SEED, 8, 42).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_bounds_inclusive() {
+        let mut r = ColumnRng::at(1, 1, 1);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v = r.uniform_i64(3, 5);
+            assert!((3..=5).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 5;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut r = ColumnRng::at(2, 2, 2);
+        for _ in 0..10_000 {
+            let v = r.uniform_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = ColumnRng::at(3, 3, 0);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for i in 0..n {
+            let mut row = ColumnRng::at(3, 3, i);
+            let v = row.gaussian_with(200.0, 50.0);
+            sum += v;
+            sumsq += v * v;
+        }
+        let _ = r.next_u64();
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 200.0).abs() < 1.0, "mean {mean}");
+        assert!((var.sqrt() - 50.0).abs() < 1.0, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut counts = [0usize; 3];
+        for i in 0..30_000 {
+            let mut r = ColumnRng::at(4, 4, i);
+            counts[r.weighted_index(&[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let f2 = counts[2] as f64 / 30_000.0;
+        assert!((f2 - 0.7).abs() < 0.02, "{f2}");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut r = ColumnRng::at(5, 5, 5);
+        let p = r.permutation(99);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..99).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn permutations_differ_across_streams() {
+        let p1 = ColumnRng::at(5, 10, 0).permutation(99);
+        let p2 = ColumnRng::at(5, 11, 0).permutation(99);
+        assert_ne!(p1, p2);
+    }
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate for the TPC-DS reproduction workspace.
+//!
+//! Re-exports [`tpcds_core`] so the root package's examples and integration
+//! tests have a single import path. Library users should depend on
+//! `tpcds-core` directly.
+pub use tpcds_core::*;

@@ -1,0 +1,37 @@
+//! Integration: every one of the 99 benchmark queries must execute on a
+//! generated, loaded data set, with two different substitution streams.
+
+use tpcds_repro::TpcDs;
+
+#[test]
+fn all_99_queries_execute_on_generated_data() {
+    let tpcds = TpcDs::builder()
+        .scale_factor(0.01)
+        .reporting_aux(true)
+        .build()
+        .expect("generate + load");
+    let mut failures = Vec::new();
+    let mut empty = 0;
+    for id in 1..=99u32 {
+        match tpcds.run_benchmark_query(id, 0) {
+            Ok(r) => {
+                if r.rows.is_empty() {
+                    empty += 1;
+                }
+            }
+            Err(e) => {
+                let sql = tpcds.benchmark_sql(id, 0).unwrap_or_default();
+                failures.push(format!("q{id}: {e}\n{sql}"));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} queries failed:\n{}",
+        failures.len(),
+        failures.join("\n---\n")
+    );
+    // At a tiny scale factor many selective queries legitimately return
+    // nothing, but the majority should produce rows.
+    assert!(empty < 70, "{empty} of 99 queries returned no rows");
+}

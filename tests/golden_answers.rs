@@ -1,0 +1,56 @@
+//! Golden answer-set regression: the fingerprints of all 99 query answers
+//! at SF 0.01 / default seed / stream 0 are pinned. Any change to the data
+//! generator, the templates or the engine that alters an answer shows up
+//! here.
+//!
+//! Regenerate the golden file after an *intentional* change:
+//!
+//! ```sh
+//! cargo run --release -p tpcds-bench --example make_golden \
+//!     > tests/golden_answers_sf001.txt
+//! ```
+//!
+//! The hash component relies on `DefaultHasher`, which is stable for a
+//! given Rust release; if a toolchain upgrade shifts it, regenerate.
+
+use tpcds_repro::runner::validation::fingerprint;
+use tpcds_repro::TpcDs;
+
+#[test]
+fn answers_match_golden_fingerprints() {
+    let golden_src = include_str!("golden_answers_sf001.txt");
+    let mut golden = std::collections::BTreeMap::new();
+    for line in golden_src.lines().filter(|l| !l.starts_with('#')) {
+        let mut it = line.split_whitespace();
+        let id: u32 = it.next().unwrap().parse().unwrap();
+        let rows: usize = it.next().unwrap().parse().unwrap();
+        let hash = u64::from_str_radix(it.next().unwrap(), 16).unwrap();
+        golden.insert(id, (rows, hash));
+    }
+    assert_eq!(golden.len(), 99);
+
+    let tpcds = TpcDs::builder()
+        .scale_factor(0.01)
+        .reporting_aux(true)
+        .build()
+        .expect("load");
+    let mut mismatches = Vec::new();
+    for (&id, &(rows, hash)) in &golden {
+        let r = tpcds
+            .run_benchmark_query(id, 0)
+            .unwrap_or_else(|e| panic!("q{id}: {e}"));
+        let fp = fingerprint(&r);
+        if fp.rows != rows || fp.hash != hash {
+            mismatches.push(format!(
+                "q{id}: rows {} -> {}, hash {hash:016x} -> {:016x}",
+                rows, fp.rows, fp.hash
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} answers drifted from golden:\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}

@@ -1,0 +1,98 @@
+//! Property-based integration tests over the cross-crate invariants.
+
+use proptest::prelude::*;
+use tpcds_repro::types::{Date, Decimal, Value};
+
+proptest! {
+    #[test]
+    fn decimal_add_commutes(a in -1_000_000_000i64..1_000_000_000, sa in 0u8..6,
+                            b in -1_000_000_000i64..1_000_000_000, sb in 0u8..6) {
+        let x = Decimal::new(a as i128, sa);
+        let y = Decimal::new(b as i128, sb);
+        prop_assert_eq!(x.checked_add(&y), y.checked_add(&x));
+    }
+
+    #[test]
+    fn decimal_add_sub_round_trips(a in -1_000_000_000i64..1_000_000_000, sa in 0u8..6,
+                                   b in -1_000_000_000i64..1_000_000_000, sb in 0u8..6) {
+        let x = Decimal::new(a as i128, sa);
+        let y = Decimal::new(b as i128, sb);
+        let there = x.checked_add(&y).unwrap();
+        let back = there.checked_sub(&y).unwrap();
+        prop_assert_eq!(back, x);
+    }
+
+    #[test]
+    fn decimal_parse_display_round_trips(m in -10_000_000_000i64..10_000_000_000, s in 0u8..8) {
+        let d = Decimal::new(m as i128, s);
+        let parsed: Decimal = d.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn date_day_number_round_trips(days in 0i32..73_049) {
+        let d = Date::from_day_number(days);
+        let (y, m, dd) = d.ymd();
+        prop_assert_eq!(Date::from_ymd(y, m, dd), d);
+        prop_assert_eq!(d.date_sk(), Date::from_date_sk(d.date_sk()).date_sk());
+    }
+
+    #[test]
+    fn date_add_days_is_additive(start in 0i32..70_000, a in -500i32..500, b in -500i32..500) {
+        let d = Date::from_day_number(start);
+        prop_assert_eq!(d.add_days(a).add_days(b), d.add_days(a + b));
+    }
+
+    #[test]
+    fn value_sort_cmp_is_antisymmetric(a in any::<i64>(), b in any::<i64>()) {
+        let va = Value::Int(a);
+        let vb = Value::Int(b);
+        prop_assert_eq!(va.sort_cmp(&vb), vb.sort_cmp(&va).reverse());
+    }
+
+    #[test]
+    fn generator_chunks_compose(lo in 0u64..50, len in 1u64..50) {
+        let g = tpcds_repro::Generator::new(0.005);
+        let n = g.row_count("customer");
+        let lo = lo.min(n.saturating_sub(1));
+        let hi = (lo + len).min(n);
+        let full = g.generate("customer");
+        let chunk = g.generate_range("customer", lo, hi);
+        prop_assert_eq!(&full[lo as usize..hi as usize], chunk.as_slice());
+    }
+
+    #[test]
+    fn scd_position_inverts_consistently(sk in 0u64..100_000) {
+        let pos = tpcds_repro::Generator::scd_position(sk);
+        prop_assert!(pos.revision < pos.revision_count);
+        prop_assert!(pos.revision_count >= 1 && pos.revision_count <= 3);
+        // Consecutive surrogates never skip business keys.
+        let next = tpcds_repro::Generator::scd_position(sk + 1);
+        prop_assert!(next.business_key == pos.business_key
+                  || next.business_key == pos.business_key + 1);
+    }
+
+    #[test]
+    fn like_match_agrees_with_definition(s in "[a-c]{0,6}", p in "[a-c%_]{0,4}") {
+        // Reference implementation via recursive definition.
+        fn reference(s: &[char], p: &[char]) -> bool {
+            match (s, p) {
+                ([], []) => true,
+                ([], [f, rest @ ..]) => *f == '%' && reference(&[], rest),
+                (_, []) => false,
+                ([sc, srest @ ..], [pc, prest @ ..]) => match pc {
+                    '%' => reference(s, prest) || reference(srest, p),
+                    '_' => reference(srest, prest),
+                    c => *c == *sc && reference(srest, prest),
+                },
+            }
+        }
+        let sc: Vec<char> = s.chars().collect();
+        let pc: Vec<char> = p.chars().collect();
+        prop_assert_eq!(
+            tpcds_repro::engine::expr::like_match(&s, &p),
+            reference(&sc, &pc),
+            "s={:?} p={:?}", s, p
+        );
+    }
+}
