@@ -1,51 +1,32 @@
-//! Criterion microbenchmarks of the data generator: per-table row
-//! synthesis throughput, serial vs parallel generation, and flat-file
-//! serialization.
+//! Microbenchmarks of the data generator: per-table row synthesis
+//! throughput, serial vs parallel generation, and flat-file serialization.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tpcds_bench::harness::bench;
 use tpcds_core::Generator;
 
-fn bench_table_generation(c: &mut Criterion) {
+fn main() {
     let g = Generator::new(0.01);
-    let mut group = c.benchmark_group("datagen/table");
     for table in ["store_sales", "customer", "item", "date_dim", "inventory"] {
         let rows = g.row_count(table).min(5_000);
-        group.throughput(Throughput::Elements(rows));
-        group.bench_with_input(BenchmarkId::from_parameter(table), &table, |b, t| {
-            b.iter(|| g.generate_range(t, 0, rows));
+        bench(&format!("datagen/table/{table} ({rows} rows)"), 10, || {
+            g.generate_range(table, 0, rows);
         });
     }
-    group.finish();
-}
 
-fn bench_parallel_scaling(c: &mut Criterion) {
-    let g = Generator::new(0.02);
-    let mut group = c.benchmark_group("datagen/parallel_store_sales");
+    let g2 = Generator::new(0.02);
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &t| b.iter(|| g.generate_parallel("store_sales", t)),
+        bench(
+            &format!("datagen/parallel_store_sales/{threads}"),
+            10,
+            || {
+                g2.generate_parallel("store_sales", threads);
+            },
         );
     }
-    group.finish();
-}
 
-fn bench_flatfile(c: &mut Criterion) {
-    let g = Generator::new(0.01);
     let rows = g.generate("customer");
-    c.bench_function("datagen/flatfile_write_customer", |b| {
-        b.iter(|| {
-            let mut buf = Vec::new();
-            tpcds_core::dgen::flatfile::write_rows(&mut buf, &rows).unwrap();
-            buf
-        })
+    bench("datagen/flatfile_write_customer", 10, || {
+        let mut buf = Vec::new();
+        tpcds_core::dgen::flatfile::write_rows(&mut buf, &rows).unwrap();
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table_generation, bench_parallel_scaling, bench_flatfile
-}
-criterion_main!(benches);

@@ -1,56 +1,35 @@
-//! Criterion microbenchmarks of the data maintenance operations
-//! (Figures 8-10): dimension updates, fact inserts with surrogate
-//! resolution, and the clustered delete.
+//! Microbenchmarks of the data maintenance operations (Figures 8-10):
+//! dimension updates, fact inserts with surrogate resolution, and the
+//! clustered delete.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tpcds_bench::harness::bench_with_setup;
 use tpcds_core::{maint, TpcDs};
 
-fn bench_maintenance(c: &mut Criterion) {
-    c.bench_function("maint/fig8_non_history_update", |b| {
-        b.iter_with_setup(
-            || TpcDs::builder().scale_factor(0.01).build().expect("load"),
-            |t| {
-                maint::update_non_history_dimension(t.database(), t.generator(), "customer", 0)
-                    .expect("fig8")
-            },
-        )
-    });
-    c.bench_function("maint/fig9_history_update", |b| {
-        b.iter_with_setup(
-            || TpcDs::builder().scale_factor(0.01).build().expect("load"),
-            |t| {
-                let when = maint::refresh_date(t.generator(), 0);
-                maint::update_history_dimension(t.database(), t.generator(), "item", 0, when)
-                    .expect("fig9")
-            },
-        )
-    });
-    c.bench_function("maint/fig10_fact_insert", |b| {
-        b.iter_with_setup(
-            || TpcDs::builder().scale_factor(0.01).build().expect("load"),
-            |t| {
-                maint::insert_channel(
-                    t.database(),
-                    t.generator(),
-                    "insert_store_channel",
-                    &["store_sales", "store_returns"],
-                    0,
-                )
-                .expect("fig10")
-            },
-        )
-    });
-    c.bench_function("maint/clustered_delete", |b| {
-        b.iter_with_setup(
-            || TpcDs::builder().scale_factor(0.01).build().expect("load"),
-            |t| maint::delete_fact_range(t.database(), t.generator(), 0).expect("delete"),
-        )
-    });
+fn load() -> TpcDs {
+    TpcDs::builder().scale_factor(0.01).build().expect("load")
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_maintenance
+fn main() {
+    bench_with_setup("maint/fig8_non_history_update", 10, load, |t| {
+        maint::update_non_history_dimension(t.database(), t.generator(), "customer", 0)
+            .expect("fig8");
+    });
+    bench_with_setup("maint/fig9_history_update", 10, load, |t| {
+        let when = maint::refresh_date(t.generator(), 0);
+        maint::update_history_dimension(t.database(), t.generator(), "item", 0, when)
+            .expect("fig9");
+    });
+    bench_with_setup("maint/fig10_fact_insert", 10, load, |t| {
+        maint::insert_channel(
+            t.database(),
+            t.generator(),
+            "insert_store_channel",
+            &["store_sales", "store_returns"],
+            0,
+        )
+        .expect("fig10");
+    });
+    bench_with_setup("maint/clustered_delete", 10, load, |t| {
+        maint::delete_fact_range(t.database(), t.generator(), 0).expect("delete");
+    });
 }
-criterion_main!(benches);

@@ -1,47 +1,31 @@
-//! Criterion microbenchmarks of query execution: representative queries
-//! from each class (the paper's Figures 6 & 7 among them), plus the
-//! ad-hoc vs reporting index ablation on a point lookup.
+//! Microbenchmarks of query execution: representative queries from each
+//! class (the paper's Figures 6 & 7 among them), plus the ad-hoc vs
+//! reporting index ablation on a point lookup.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpcds_bench::harness::bench;
 use tpcds_core::TpcDs;
 
-fn bench_benchmark_queries(c: &mut Criterion) {
+fn main() {
     let tpcds = TpcDs::builder()
         .scale_factor(0.01)
         .reporting_aux(true)
         .build()
         .expect("load");
-    let mut group = c.benchmark_group("queries");
     // One per class: 52 ad-hoc (Fig 6), 20 reporting (Fig 7), 5 hybrid
     // rollup, 96 point-ish count, 98 windowed store report.
     for id in [52u32, 20, 5, 96, 98] {
         let sql = tpcds.benchmark_sql(id, 0).expect("template");
-        group.bench_with_input(BenchmarkId::new("q", id), &sql, |b, sql| {
-            b.iter(|| tpcds.query(sql).expect("query"));
+        bench(&format!("queries/q{id}"), 10, || {
+            tpcds.query(&sql).expect("query");
         });
     }
-    group.finish();
-}
 
-fn bench_index_ablation(c: &mut Criterion) {
     let plain = TpcDs::builder().scale_factor(0.01).build().expect("load");
-    let indexed = TpcDs::builder()
-        .scale_factor(0.01)
-        .reporting_aux(true)
-        .build()
-        .expect("load");
     let sql = "select count(*) c from catalog_sales where cs_item_sk = 17";
-    let mut group = c.benchmark_group("index_ablation/point_lookup");
-    group.bench_function("no_aux", |b| b.iter(|| plain.query(sql).expect("query")));
-    group.bench_function("reporting_aux", |b| {
-        b.iter(|| indexed.query(sql).expect("query"))
+    bench("index_ablation/point_lookup/no_aux", 10, || {
+        plain.query(sql).expect("query");
     });
-    group.finish();
+    bench("index_ablation/point_lookup/reporting_aux", 10, || {
+        tpcds.query(sql).expect("query");
+    });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_benchmark_queries, bench_index_ablation
-}
-criterion_main!(benches);

@@ -3,9 +3,7 @@
 
 use crate::{comparison, humanize};
 use std::time::Duration;
-use tpcds_core::runner::{
-    self, metric, price_performance, AuxLevel, BenchmarkConfig, PriceModel,
-};
+use tpcds_core::runner::{self, metric, price_performance, AuxLevel, BenchmarkConfig, PriceModel};
 use tpcds_core::schema::{Schema, SchemaStats};
 use tpcds_core::Generator;
 
@@ -16,15 +14,51 @@ pub fn table1() -> String {
     comparison(
         "Table 1: Schema Statistics",
         &[
-            ("fact tables".into(), "7".into(), stats.fact_tables.to_string()),
-            ("dimension tables".into(), "17".into(), stats.dimension_tables.to_string()),
-            ("columns (min)".into(), "3".into(), stats.min_columns.to_string()),
-            ("columns (max)".into(), "34".into(), stats.max_columns.to_string()),
-            ("columns (avg)".into(), "18".into(), stats.avg_columns.to_string()),
-            ("foreign keys".into(), "104".into(), stats.foreign_keys.to_string()),
-            ("row bytes (min)".into(), "16".into(), stats.min_row_bytes.to_string()),
-            ("row bytes (max)".into(), "317".into(), stats.max_row_bytes.to_string()),
-            ("row bytes (avg)".into(), "136".into(), stats.avg_row_bytes.to_string()),
+            (
+                "fact tables".into(),
+                "7".into(),
+                stats.fact_tables.to_string(),
+            ),
+            (
+                "dimension tables".into(),
+                "17".into(),
+                stats.dimension_tables.to_string(),
+            ),
+            (
+                "columns (min)".into(),
+                "3".into(),
+                stats.min_columns.to_string(),
+            ),
+            (
+                "columns (max)".into(),
+                "34".into(),
+                stats.max_columns.to_string(),
+            ),
+            (
+                "columns (avg)".into(),
+                "18".into(),
+                stats.avg_columns.to_string(),
+            ),
+            (
+                "foreign keys".into(),
+                "104".into(),
+                stats.foreign_keys.to_string(),
+            ),
+            (
+                "row bytes (min)".into(),
+                "16".into(),
+                stats.min_row_bytes.to_string(),
+            ),
+            (
+                "row bytes (max)".into(),
+                "317".into(),
+                stats.max_row_bytes.to_string(),
+            ),
+            (
+                "row bytes (avg)".into(),
+                "136".into(),
+                stats.avg_row_bytes.to_string(),
+            ),
         ],
     )
 }
@@ -69,7 +103,6 @@ pub fn metric_experiment(sf: f64, streams: usize, queries_per_stream: usize) -> 
         aux: AuxLevel::Reporting,
     };
     let result = runner::run_benchmark(config).expect("benchmark run");
-    let inputs = result.metric_inputs();
     let mut out = format!(
         "### M1: QphDS@SF on a miniature run (SF {sf}, {streams} streams, {queries_per_stream} queries/stream)\n\n"
     );
@@ -83,7 +116,7 @@ pub fn metric_experiment(sf: f64, streams: usize, queries_per_stream: usize) -> 
         streams,
         queries_per_stream
     ));
-    out.push_str(&format!("QphDS@{sf} = {:.2}\n", metric::qphds(&inputs)));
+    out.push_str(&format!("QphDS@{sf} = {:.2}\n", result.qphds()));
     out.push_str(
         "\nThe formula is the paper's: SF * 3600 * (2*Q*S) / (T_QR1 + T_DM + T_QR2 + 0.01*S*T_Load)\n",
     );
@@ -146,8 +179,8 @@ pub fn ablation_power() -> String {
             ),
         ],
     );
-    let equal = (power(&tuned_long) / power(&base) - power(&tuned_short) / power(&base)).abs()
-        < 1e-9;
+    let equal =
+        (power(&tuned_long) / power(&base) - power(&tuned_short) / power(&base)).abs() < 1e-9;
     out.push_str(&format!(
         "
 power metric treats both tunings identically: {equal}
@@ -217,7 +250,8 @@ pub fn ablation_load_coefficient(sf: f64, streams: usize, queries_per_stream: us
     let mut out = String::from("### A3: load-time coefficient sensitivity\n\n");
     out.push_str("coefficient  QphDS     load share of denominator\n");
     for coeff in [0.0, 0.005, 0.01, 0.02, 0.05, 0.1] {
-        let q = metric::qphds_with_load_coefficient(&inputs, coeff);
+        let q = metric::qphds_with_load_coefficient(&inputs, coeff)
+            .expect("measured run has positive elapsed time");
         let load = coeff * streams as f64 * inputs.t_load.as_secs_f64();
         let denom = inputs.t_qr1.as_secs_f64()
             + inputs.t_dm.as_secs_f64()
@@ -243,7 +277,10 @@ pub fn ablation_optimizer(fact_rows: usize) -> String {
     use tpcds_core::engine::{ColumnMeta, Database};
     use tpcds_core::types::{DataType, Value};
     let db = Database::new();
-    let col = |n: &str| ColumnMeta { name: n.to_string(), dtype: DataType::Int };
+    let col = |n: &str| ColumnMeta {
+        name: n.to_string(),
+        dtype: DataType::Int,
+    };
     db.create_table_with_rows(
         "fact",
         vec![col("f_d1"), col("f_d2"), col("f_v")],
@@ -255,13 +292,17 @@ pub fn ablation_optimizer(fact_rows: usize) -> String {
     db.create_table_with_rows(
         "dim1",
         vec![col("d1_id"), col("d1_attr")],
-        (0..40).map(|i| vec![Value::Int(i), Value::Int(i * 2)]).collect(),
+        (0..40)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 2)])
+            .collect(),
     )
     .expect("dim1");
     db.create_table_with_rows(
         "dim2",
         vec![col("d2_id"), col("d2_attr")],
-        (0..25).map(|i| vec![Value::Int(i), Value::Int(i * 3)]).collect(),
+        (0..25)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 3)])
+            .collect(),
     )
     .expect("dim2");
     let sql = "select d1_attr, sum(f_v) s
@@ -307,9 +348,16 @@ pub fn measured_row_lengths(sf: f64) -> String {
         max = max.max(avg);
         weighted += avg;
         n += 1;
-        rows_out.push((t.name.to_string(), format!("{:.0}", t.est_row_bytes()), format!("{avg:.0}")));
+        rows_out.push((
+            t.name.to_string(),
+            format!("{:.0}", t.est_row_bytes()),
+            format!("{avg:.0}"),
+        ));
     }
-    let mut out = comparison("Measured flat-file bytes/row (model vs generated)", &rows_out);
+    let mut out = comparison(
+        "Measured flat-file bytes/row (model vs generated)",
+        &rows_out,
+    );
     out.push_str(&format!(
         "\nmeasured min {:.0} / max {:.0} / avg {:.0}; paper: 16 / 317 / 136\n",
         min,
@@ -336,11 +384,7 @@ mod tests {
             ] {
                 if line.starts_with(name) {
                     let cols: Vec<&str> = line.split_whitespace().collect();
-                    assert_eq!(
-                        cols[cols.len() - 2],
-                        val,
-                        "paper value for {name}"
-                    );
+                    assert_eq!(cols[cols.len() - 2], val, "paper value for {name}");
                     assert_eq!(cols[cols.len() - 1], val, "our value for {name}");
                 }
             }
@@ -374,9 +418,6 @@ mod tests {
     #[test]
     fn power_ablation_shows_equal_gains() {
         let a = ablation_power();
-        assert!(
-            a.contains("treats both tunings identically: true"),
-            "{a}"
-        );
+        assert!(a.contains("treats both tunings identically: true"), "{a}");
     }
 }

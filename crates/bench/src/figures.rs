@@ -123,8 +123,7 @@ pub fn figure4(sf: f64, substitutions: usize) -> String {
             counts.push(r.rows[0][0].as_int().unwrap_or(0) as f64);
         }
         let mean = counts.iter().sum::<f64>() / counts.len() as f64;
-        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>()
-            / counts.len() as f64;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
         let cv = var.sqrt() / mean.max(1e-9);
         out.push_str(&format!(
             "zone {label:<16} {} substitutions: mean qualifying rows {mean:>8.1}, cv {cv:.3}\n",
@@ -205,8 +204,8 @@ pub fn figure8_9_10(sf: f64) -> String {
     let mut out = String::new();
 
     let t0 = std::time::Instant::now();
-    let rep = tpcds_core::maint::update_non_history_dimension(db, g, "customer", 0)
-        .expect("figure 8");
+    let rep =
+        tpcds_core::maint::update_non_history_dimension(db, g, "customer", 0).expect("figure 8");
     out.push_str(&format!(
         "### Figure 8: non-history dimension update (customer)\n\n\
          for every row to be updated: find row by business key, update changed fields\n\
@@ -217,8 +216,8 @@ pub fn figure8_9_10(sf: f64) -> String {
 
     let when = tpcds_core::maint::refresh_date(g, 0);
     let t0 = std::time::Instant::now();
-    let rep = tpcds_core::maint::update_history_dimension(db, g, "item", 0, when)
-        .expect("figure 9");
+    let rep =
+        tpcds_core::maint::update_history_dimension(db, g, "item", 0, when).expect("figure 9");
     out.push_str(&format!(
         "### Figure 9: history-keeping dimension update (item)\n\n\
          close current revision (rec_end_date := update date - 1),\n\

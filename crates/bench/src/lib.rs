@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod harness;
 
 /// Renders a two-column (paper vs ours) comparison block.
 pub fn comparison(title: &str, rows: &[(String, String, String)]) -> String {
@@ -19,8 +20,12 @@ pub fn comparison(title: &str, rows: &[(String, String, String)]) -> String {
     let w2 = rows.iter().map(|r| r.2.len()).max().unwrap_or(8).max(8);
     out.push_str(&format!(
         "{:<w0$}  {:>w1$}  {:>w2$}\n",
-        "quantity", "paper", "ours",
-        w0 = w0, w1 = w1, w2 = w2
+        "quantity",
+        "paper",
+        "ours",
+        w0 = w0,
+        w1 = w1,
+        w2 = w2
     ));
     out.push_str(&format!(
         "{}  {}  {}\n",
@@ -31,8 +36,12 @@ pub fn comparison(title: &str, rows: &[(String, String, String)]) -> String {
     for (name, paper, ours) in rows {
         out.push_str(&format!(
             "{:<w0$}  {:>w1$}  {:>w2$}\n",
-            name, paper, ours,
-            w0 = w0, w1 = w1, w2 = w2
+            name,
+            paper,
+            ours,
+            w0 = w0,
+            w1 = w1,
+            w2 = w2
         ));
     }
     out
@@ -41,7 +50,11 @@ pub fn comparison(title: &str, rows: &[(String, String, String)]) -> String {
 /// Renders a simple ASCII bar chart for a (label, value) series.
 pub fn bar_chart(title: &str, series: &[(String, f64)], width: usize) -> String {
     let mut out = format!("### {title}\n\n");
-    let max = series.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-12);
+    let max = series
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
     let wl = series.iter().map(|(l, _)| l.len()).max().unwrap_or(4);
     for (label, value) in series {
         let bar = "#".repeat(((value / max) * width as f64).round() as usize);

@@ -41,9 +41,26 @@ impl<'a> Flags<'a> {
     }
 }
 
+/// Installs the JSONL trace sink when `--trace FILE` was given. Returns
+/// whether tracing is on; the caller must [`tpcds_core::obs::flush`] before
+/// exiting so buffered events reach the file.
+fn maybe_trace(flags: &Flags) -> Result<bool> {
+    match flags.value("--trace") {
+        None if flags.has("--trace") => Err("--trace requires a file argument".to_string()),
+        None => Ok(false),
+        Some(path) if path.starts_with("--") => Err("--trace requires a file argument".to_string()),
+        Some(path) => {
+            tpcds_core::obs::install_jsonl(std::path::Path::new(path))
+                .map_err(|e| format!("cannot open trace file {path:?}: {e}"))?;
+            Ok(true)
+        }
+    }
+}
+
 /// `tpcds dsdgen` — write flat files.
 pub fn dsdgen(args: &[String]) -> Result<()> {
     let flags = Flags::new(args);
+    let traced = maybe_trace(&flags)?;
     let sf: f64 = flags.parse("--scale", 0.01)?;
     let dir = PathBuf::from(flags.value("--dir").unwrap_or("tpcds_data"));
     let parallel: usize = flags.parse("--parallel", 4)?;
@@ -69,6 +86,9 @@ pub fn dsdgen(args: &[String]) -> Result<()> {
         dir.display(),
         started.elapsed()
     );
+    if traced {
+        tpcds_core::obs::flush();
+    }
     Ok(())
 }
 
@@ -87,7 +107,9 @@ pub fn dsqgen(args: &[String]) -> Result<()> {
             println!("-- query {id}, stream {stream}");
             println!(
                 "{};\n",
-                workload.instantiate(id, seed, stream).map_err(|e| e.to_string())?
+                workload
+                    .instantiate(id, seed, stream)
+                    .map_err(|e| e.to_string())?
             );
         }
         return Ok(());
@@ -96,7 +118,10 @@ pub fn dsqgen(args: &[String]) -> Result<()> {
     match flags.value("--dir") {
         None => {
             // Print stream 0 to stdout.
-            for (id, sql) in workload.stream_queries(seed, 0).map_err(|e| e.to_string())? {
+            for (id, sql) in workload
+                .stream_queries(seed, 0)
+                .map_err(|e| e.to_string())?
+            {
                 println!("-- query {id}\n{sql};\n");
             }
         }
@@ -122,6 +147,7 @@ pub fn dsqgen(args: &[String]) -> Result<()> {
 /// `tpcds run` — the full benchmark.
 pub fn run(args: &[String]) -> Result<()> {
     let flags = Flags::new(args);
+    let traced = maybe_trace(&flags)?;
     let sf: f64 = flags.parse("--scale", 0.01)?;
     let streams: usize = flags.parse("--streams", 0usize)?;
     let queries: usize = flags.parse("--queries", 99usize)?;
@@ -130,10 +156,23 @@ pub fn run(args: &[String]) -> Result<()> {
         seed: tpcds_types::rng::DEFAULT_SEED,
         streams: if streams == 0 { None } else { Some(streams) },
         queries_per_stream: Some(queries),
-        aux: if flags.has("--no-aux") { AuxLevel::None } else { AuxLevel::Reporting },
+        aux: if flags.has("--no-aux") {
+            AuxLevel::None
+        } else {
+            AuxLevel::Reporting
+        },
     };
-    println!("running benchmark at SF {sf}...");
+    if !flags.has("--json") {
+        println!("running benchmark at SF {sf}...");
+    }
     let result = runner::run_benchmark(config).map_err(|e| e.to_string())?;
+    if traced {
+        tpcds_core::obs::flush();
+    }
+    if flags.has("--json") {
+        println!("{}", result.to_json());
+        return Ok(());
+    }
     println!("load test          {:?}", result.t_load);
     println!("query run 1        {:?}", result.t_qr1);
     println!("data maintenance   {:?}", result.t_dm);
@@ -146,12 +185,25 @@ pub fn run(args: &[String]) -> Result<()> {
         runner::price_performance(&price, sf, result.streams, q),
         price.tco(sf, result.streams)
     );
+    let latency = result.latency_summary();
+    if !latency.is_empty() {
+        println!("\nper-query latency      runs    p50(ms)    p95(ms)    max(ms)");
+        for (id, s) in latency {
+            println!(
+                "  q{id:<19} {:>5} {:>10.3} {:>10.3} {:>10.3}",
+                s.count,
+                s.p50_us as f64 / 1e3,
+                s.p95_us as f64 / 1e3,
+                s.max_us as f64 / 1e3,
+            );
+        }
+    }
     Ok(())
 }
 
-/// `tpcds query` — one query against a freshly loaded instance.
-pub fn query(args: &[String]) -> Result<()> {
-    let flags = Flags::new(args);
+/// Loads an instance and resolves `--id N` / `--sql '...'` into SQL text —
+/// shared by `query` and `explain`.
+fn load_and_resolve_sql(flags: &Flags) -> Result<(TpcDs, String)> {
     let sf: f64 = flags.parse("--scale", 0.01)?;
     let tpcds = TpcDs::builder()
         .scale_factor(sf)
@@ -166,13 +218,51 @@ pub fn query(args: &[String]) -> Result<()> {
     } else {
         return Err("need --id N or --sql '...'".to_string());
     };
+    Ok((tpcds, sql))
+}
+
+/// `tpcds query` — one query against a freshly loaded instance.
+pub fn query(args: &[String]) -> Result<()> {
+    let flags = Flags::new(args);
+    let traced = maybe_trace(&flags)?;
+    let (tpcds, sql) = load_and_resolve_sql(&flags)?;
     if flags.has("--explain") {
         println!("{}", tpcds.explain(&sql).map_err(|e| e.to_string())?);
     }
     let started = std::time::Instant::now();
     let result = tpcds.query(&sql).map_err(|e| e.to_string())?;
+    if traced {
+        tpcds_core::obs::flush();
+    }
     println!("{}", result.to_table(40));
     println!("({} rows in {:.2?})", result.rows.len(), started.elapsed());
+    Ok(())
+}
+
+/// `tpcds explain` — the plan tree; `--analyze` executes the statement and
+/// annotates every operator with `rows=`, `elapsed=` and `loops=` actuals.
+pub fn explain(args: &[String]) -> Result<()> {
+    let flags = Flags::new(args);
+    let (tpcds, sql) = load_and_resolve_sql(&flags)?;
+    if flags.has("--analyze") {
+        let analyzed = tpcds.explain_analyze(&sql).map_err(|e| e.to_string())?;
+        print!("{}", analyzed.plan_text);
+        println!("({} result rows)", analyzed.result.rows.len());
+    } else {
+        print!("{}", tpcds.explain(&sql).map_err(|e| e.to_string())?);
+    }
+    Ok(())
+}
+
+/// `tpcds report` — render a trace JSONL file as a phase timeline plus
+/// span/query latency summaries.
+pub fn report(args: &[String]) -> Result<()> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| "usage: tpcds report FILE.jsonl".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    print!("{}", tpcds_core::obs::report::summarize(&text)?);
     Ok(())
 }
 
@@ -197,7 +287,12 @@ pub fn shell(args: &[String]) -> Result<()> {
         }
         std::io::stderr().flush().ok();
         let mut line = String::new();
-        if stdin.lock().read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+        if stdin
+            .lock()
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?
+            == 0
+        {
             return Ok(()); // EOF
         }
         let trimmed = line.trim();
@@ -280,7 +375,10 @@ pub fn schema(args: &[String]) -> Result<()> {
         let s = SchemaStats::compute(&schema);
         println!("fact tables       {}", s.fact_tables);
         println!("dimension tables  {}", s.dimension_tables);
-        println!("columns min/max/avg  {}/{}/{}", s.min_columns, s.max_columns, s.avg_columns);
+        println!(
+            "columns min/max/avg  {}/{}/{}",
+            s.min_columns, s.max_columns, s.avg_columns
+        );
         println!("foreign keys      {}", s.foreign_keys);
         println!(
             "est. row bytes min/max/avg  {}/{}/{}",
@@ -289,10 +387,7 @@ pub fn schema(args: &[String]) -> Result<()> {
         return Ok(());
     }
     for t in schema.tables() {
-        println!(
-            "{} ({:?}, {:?}, {:?})",
-            t.name, t.kind, t.scd, t.part
-        );
+        println!("{} ({:?}, {:?}, {:?})", t.name, t.kind, t.scd, t.part);
         for c in &t.columns {
             let null = if c.nullable { "" } else { " not null" };
             println!("    {:<28} {:?}{null}", c.name, c.ctype);

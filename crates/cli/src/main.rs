@@ -5,6 +5,8 @@
 //! * `tpcds dsqgen`  — generate query streams (dsqgen)
 //! * `tpcds run`     — run the full benchmark and print the metric
 //! * `tpcds query`   — load a data set and execute one query or SQL file
+//! * `tpcds explain` — show a query's plan, optionally with actuals
+//! * `tpcds report`  — summarize a `--trace` JSONL file
 //! * `tpcds shell`   — interactive SQL shell over a generated data set
 //! * `tpcds schema`  — print the schema (DDL-ish) and statistics
 
@@ -26,6 +28,8 @@ fn main() -> ExitCode {
         "dsqgen" => commands::dsqgen(rest),
         "run" => commands::run(rest),
         "query" => commands::query(rest),
+        "explain" => commands::explain(rest),
+        "report" => commands::report(rest),
         "shell" => commands::shell(rest),
         "schema" => commands::schema(rest),
         "profile" => commands::profile(rest),
@@ -48,14 +52,20 @@ fn usage() -> &'static str {
     "tpcds — TPC-DS reproduction toolkit
 
 USAGE:
-    tpcds dsdgen  [--scale SF] [--dir DIR] [--table NAME] [--parallel N]
+    tpcds dsdgen  [--scale SF] [--dir DIR] [--table NAME] [--parallel N] [--trace FILE]
     tpcds dsqgen  [--scale SF] [--streams N] [--query ID] [--dir DIR]
-    tpcds run     [--scale SF] [--streams N] [--queries N] [--no-aux]
-    tpcds query   [--scale SF] (--id QUERY_ID | --sql 'SELECT ...') [--explain]
+    tpcds run     [--scale SF] [--streams N] [--queries N] [--no-aux] [--json] [--trace FILE]
+    tpcds query   [--scale SF] (--id QUERY_ID | --sql 'SELECT ...') [--explain] [--trace FILE]
+    tpcds explain [--scale SF] (--id QUERY_ID | --sql 'SELECT ...') [--analyze]
+    tpcds report  FILE.jsonl
     tpcds shell   [--scale SF]
     tpcds schema  [--stats | --dot | --ddl]
     tpcds profile [--scale SF] [--table NAME] [--limit N]
 
 Scale factors are GB of raw data; fractional values (default 0.01)
-generate laptop-sized miniatures with the same shape."
+generate laptop-sized miniatures with the same shape.
+
+--trace FILE records the run as one JSON event per line (spans,
+counters), replacing FILE; `tpcds report FILE` renders its phase
+timeline and latency summary."
 }

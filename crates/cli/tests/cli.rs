@@ -53,7 +53,11 @@ fn dsdgen_writes_flat_files() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let data = std::fs::read_to_string(dir.join("income_band.dat")).unwrap();
     assert_eq!(data.lines().count(), 20);
     std::fs::remove_dir_all(&dir).ok();
@@ -65,7 +69,11 @@ fn query_by_id_executes() {
         .args(["query", "--scale", "0.005", "--id", "96"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("rows in"), "{text}");
 }

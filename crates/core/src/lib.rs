@@ -20,6 +20,7 @@
 pub use tpcds_dgen as dgen;
 pub use tpcds_engine as engine;
 pub use tpcds_maint as maint;
+pub use tpcds_obs as obs;
 pub use tpcds_qgen as qgen;
 pub use tpcds_runner as runner;
 pub use tpcds_schema as schema;
@@ -85,14 +86,18 @@ impl TpcDsBuilder {
     /// Generates the data set and loads it into a fresh engine instance.
     pub fn build(self) -> Result<TpcDs> {
         let generator = Generator::with_seed(self.scale_factor, self.seed);
-        let workload = Workload::tpcds()
-            .map_err(|e| tpcds_engine::EngineError::Catalog(e.to_string()))?;
+        let workload =
+            Workload::tpcds().map_err(|e| tpcds_engine::EngineError::Catalog(e.to_string()))?;
         let db = Database::new();
         tpcds_maint::load_initial_population(&db, &generator)?;
         if self.reporting_aux {
             tpcds_runner::build_reporting_aux(&db)?;
         }
-        Ok(TpcDs { generator, workload, db })
+        Ok(TpcDs {
+            generator,
+            workload,
+            db,
+        })
     }
 }
 
@@ -147,6 +152,12 @@ impl TpcDs {
     pub fn explain(&self, sql: &str) -> Result<String> {
         Ok(tpcds_engine::plan_sql(&self.db, sql)?.plan.explain())
     }
+
+    /// EXPLAIN ANALYZE: executes the statement and returns the plan tree
+    /// annotated with per-operator actuals plus the result itself.
+    pub fn explain_analyze(&self, sql: &str) -> Result<tpcds_engine::AnalyzedResult> {
+        tpcds_engine::query_analyze(&self.db, sql)
+    }
 }
 
 #[cfg(test)]
@@ -157,7 +168,10 @@ mod tests {
     fn build_load_query() {
         let t = TpcDs::builder().scale_factor(0.005).build().unwrap();
         let r = t.query("select count(*) c from customer").unwrap();
-        assert_eq!(r.rows[0][0].as_int().unwrap() as u64, t.generator().row_count("customer"));
+        assert_eq!(
+            r.rows[0][0].as_int().unwrap() as u64,
+            t.generator().row_count("customer")
+        );
     }
 
     #[test]

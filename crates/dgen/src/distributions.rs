@@ -87,7 +87,11 @@ pub const SALES_WINDOW_END: (i32, u32, u32) = (2002, 12, 31);
 impl SalesDateDistribution {
     /// Builds the canonical 5-year distribution.
     pub fn tpcds() -> Self {
-        let first = Date::from_ymd(SALES_WINDOW_START.0, SALES_WINDOW_START.1, SALES_WINDOW_START.2);
+        let first = Date::from_ymd(
+            SALES_WINDOW_START.0,
+            SALES_WINDOW_START.1,
+            SALES_WINDOW_START.2,
+        );
         let last = Date::from_ymd(SALES_WINDOW_END.0, SALES_WINDOW_END.1, SALES_WINDOW_END.2);
         let n = last.days_since(&first) as usize + 1;
         let mut days = Vec::with_capacity(n);
@@ -102,7 +106,13 @@ impl SalesDateDistribution {
             total += w;
             cumulative.push(total);
         }
-        SalesDateDistribution { first, days, weights, cumulative, total }
+        SalesDateDistribution {
+            first,
+            days,
+            weights,
+            cumulative,
+            total,
+        }
     }
 
     /// Number of days in the window.
@@ -154,8 +164,7 @@ impl SalesDateDistribution {
         let mut per_month = [0.0f64; 12];
         for d in &self.days {
             if d.year() == SALES_WINDOW_START.0 {
-                per_month[(d.month() - 1) as usize] +=
-                    SalesZone::of_month(d.month()).day_weight();
+                per_month[(d.month() - 1) as usize] += SalesZone::of_month(d.month()).day_weight();
             }
         }
         let total: f64 = per_month.iter().sum();
@@ -194,7 +203,10 @@ pub struct SyntheticSalesDistribution {
 impl SyntheticSalesDistribution {
     /// The paper's parameters.
     pub fn figure3() -> Self {
-        SyntheticSalesDistribution { mu: 200.0, sigma: 50.0 }
+        SyntheticSalesDistribution {
+            mu: 200.0,
+            sigma: 50.0,
+        }
     }
 
     /// Density at day-of-year `x` (the formula printed under Figure 3).
@@ -269,7 +281,12 @@ mod tests {
         // December is the peak in both series and roughly matches.
         assert!(shares[11] > shares[10]);
         assert!(census[11] > census[10]);
-        assert!((shares[11] - census[11]).abs() < 0.02, "dec {} vs {}", shares[11], census[11]);
+        assert!(
+            (shares[11] - census[11]).abs() < 0.02,
+            "dec {} vs {}",
+            shares[11],
+            census[11]
+        );
         // Zone ordering: any high month > any medium month > any low month.
         assert!(shares[11] > shares[8] && shares[8] > shares[1]);
     }
@@ -294,8 +311,16 @@ mod tests {
         let mar_share = mar as f64 / n as f64;
         // Expected monthly share across 5 years mirrors monthly_shares().
         let expect = d.monthly_shares();
-        assert!((dec_share - expect[11]).abs() < 0.01, "dec {dec_share} vs {}", expect[11]);
-        assert!((mar_share - expect[2]).abs() < 0.01, "mar {mar_share} vs {}", expect[2]);
+        assert!(
+            (dec_share - expect[11]).abs() < 0.01,
+            "dec {dec_share} vs {}",
+            expect[11]
+        );
+        assert!(
+            (mar_share - expect[2]).abs() < 0.01,
+            "mar {mar_share} vs {}",
+            expect[2]
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub fn ticket_of_row(row: u64) -> (u64, u64, u64) {
     while PREFIX[pos + 1] <= off {
         pos += 1;
     }
-    (block * 10 + pos as u64, off - PREFIX[pos], TICKET_PATTERN[pos])
+    (
+        block * 10 + pos as u64,
+        off - PREFIX[pos],
+        TICKET_PATTERN[pos],
+    )
 }
 
 /// The per-row money columns shared by all sales channels, in cents.
@@ -125,15 +129,43 @@ impl Generator {
         let p = pricing(&mut rng);
         let null_promo = rng.chance(0.035);
         vec![
-            if null_date { Value::Null } else { Value::Int(sold_date.date_sk()) },
-            if null_date { Value::Null } else { Value::Int(sold_time) },
+            if null_date {
+                Value::Null
+            } else {
+                Value::Int(sold_date.date_sk())
+            },
+            if null_date {
+                Value::Null
+            } else {
+                Value::Int(sold_time)
+            },
             Value::Int(item),
-            if null_cust { Value::Null } else { Value::Int(customer) },
-            if null_cust { Value::Null } else { Value::Int(cdemo) },
-            if null_cust { Value::Null } else { Value::Int(hdemo) },
-            if null_cust { Value::Null } else { Value::Int(addr) },
+            if null_cust {
+                Value::Null
+            } else {
+                Value::Int(customer)
+            },
+            if null_cust {
+                Value::Null
+            } else {
+                Value::Int(cdemo)
+            },
+            if null_cust {
+                Value::Null
+            } else {
+                Value::Int(hdemo)
+            },
+            if null_cust {
+                Value::Null
+            } else {
+                Value::Int(addr)
+            },
             Value::Int(store),
-            if null_promo { Value::Null } else { Value::Int(promo) },
+            if null_promo {
+                Value::Null
+            } else {
+                Value::Int(promo)
+            },
             Value::Int(ticket as i64 + 1),
             Value::Int(p.quantity),
             cents(p.wholesale),
@@ -217,10 +249,26 @@ impl Generator {
         let bill_addr = self.fk(&mut orng, "customer_address");
         // 85% of orders ship to the billing customer.
         let same = orng.chance(0.85);
-        let ship_customer = if same { bill_customer } else { self.fk(&mut orng, "customer") };
-        let ship_cdemo = if same { bill_cdemo } else { self.fk(&mut orng, "customer_demographics") };
-        let ship_hdemo = if same { bill_hdemo } else { self.fk(&mut orng, "household_demographics") };
-        let ship_addr = if same { bill_addr } else { self.fk(&mut orng, "customer_address") };
+        let ship_customer = if same {
+            bill_customer
+        } else {
+            self.fk(&mut orng, "customer")
+        };
+        let ship_cdemo = if same {
+            bill_cdemo
+        } else {
+            self.fk(&mut orng, "customer_demographics")
+        };
+        let ship_hdemo = if same {
+            bill_hdemo
+        } else {
+            self.fk(&mut orng, "household_demographics")
+        };
+        let ship_addr = if same {
+            bill_addr
+        } else {
+            self.fk(&mut orng, "customer_address")
+        };
         let call_center = self.fk(&mut orng, "call_center");
         let catalog_page = self.fk(&mut orng, "catalog_page");
         let ship_mode = self.fk(&mut orng, "ship_mode");
@@ -234,13 +282,37 @@ impl Generator {
         let p = pricing(&mut rng);
         let ship_cost = rng.uniform_i64(0, p.ext_sales.max(1) / 4);
         vec![
-            if null_date { Value::Null } else { Value::Int(sold_date.date_sk()) },
-            if null_date { Value::Null } else { Value::Int(sold_time) },
+            if null_date {
+                Value::Null
+            } else {
+                Value::Int(sold_date.date_sk())
+            },
+            if null_date {
+                Value::Null
+            } else {
+                Value::Int(sold_time)
+            },
             Value::Int(ship_date.date_sk()),
-            if null_cust { Value::Null } else { Value::Int(bill_customer) },
-            if null_cust { Value::Null } else { Value::Int(bill_cdemo) },
-            if null_cust { Value::Null } else { Value::Int(bill_hdemo) },
-            if null_cust { Value::Null } else { Value::Int(bill_addr) },
+            if null_cust {
+                Value::Null
+            } else {
+                Value::Int(bill_customer)
+            },
+            if null_cust {
+                Value::Null
+            } else {
+                Value::Int(bill_cdemo)
+            },
+            if null_cust {
+                Value::Null
+            } else {
+                Value::Int(bill_hdemo)
+            },
+            if null_cust {
+                Value::Null
+            } else {
+                Value::Int(bill_addr)
+            },
             Value::Int(ship_customer),
             Value::Int(ship_cdemo),
             Value::Int(ship_hdemo),
@@ -339,10 +411,26 @@ impl Generator {
         let bill_hdemo = self.fk(&mut orng, "household_demographics");
         let bill_addr = self.fk(&mut orng, "customer_address");
         let same = orng.chance(0.8);
-        let ship_customer = if same { bill_customer } else { self.fk(&mut orng, "customer") };
-        let ship_cdemo = if same { bill_cdemo } else { self.fk(&mut orng, "customer_demographics") };
-        let ship_hdemo = if same { bill_hdemo } else { self.fk(&mut orng, "household_demographics") };
-        let ship_addr = if same { bill_addr } else { self.fk(&mut orng, "customer_address") };
+        let ship_customer = if same {
+            bill_customer
+        } else {
+            self.fk(&mut orng, "customer")
+        };
+        let ship_cdemo = if same {
+            bill_cdemo
+        } else {
+            self.fk(&mut orng, "customer_demographics")
+        };
+        let ship_hdemo = if same {
+            bill_hdemo
+        } else {
+            self.fk(&mut orng, "household_demographics")
+        };
+        let ship_addr = if same {
+            bill_addr
+        } else {
+            self.fk(&mut orng, "customer_address")
+        };
         let web_page = self.fk(&mut orng, "web_page");
         let web_site = self.fk(&mut orng, "web_site");
         let ship_mode = self.fk(&mut orng, "ship_mode");
@@ -355,8 +443,16 @@ impl Generator {
         let p = pricing(&mut rng);
         let ship_cost = rng.uniform_i64(0, p.ext_sales.max(1) / 4);
         vec![
-            if null_date { Value::Null } else { Value::Int(sold_date.date_sk()) },
-            if null_date { Value::Null } else { Value::Int(sold_time) },
+            if null_date {
+                Value::Null
+            } else {
+                Value::Int(sold_date.date_sk())
+            },
+            if null_date {
+                Value::Null
+            } else {
+                Value::Int(sold_time)
+            },
             Value::Int(ship_date.date_sk()),
             Value::Int(item),
             Value::Int(bill_customer),
@@ -570,12 +666,19 @@ mod tests {
         let sales = g.generate("store_sales");
         let mut qty: std::collections::HashMap<(i64, i64), i64> = Default::default();
         for row in &sales {
-            qty.insert((row[2].as_int().unwrap(), row[9].as_int().unwrap()), row[10].as_int().unwrap());
+            qty.insert(
+                (row[2].as_int().unwrap(), row[9].as_int().unwrap()),
+                row[10].as_int().unwrap(),
+            );
         }
         for row in g.generate("store_returns") {
             let key = (row[2].as_int().unwrap(), row[9].as_int().unwrap());
             let rq = row[10].as_int().unwrap();
-            assert!(rq >= 1 && rq <= qty[&key], "return qty {rq} > sold {}", qty[&key]);
+            assert!(
+                rq >= 1 && rq <= qty[&key],
+                "return qty {rq} > sold {}",
+                qty[&key]
+            );
         }
     }
 

@@ -4,27 +4,46 @@
 
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
-use tpcds_types::{DataType, Date, Row, Value};
 use tpcds_schema::TableDef;
+use tpcds_types::{DataType, Date, Row, Value};
 
 /// Writes rows in dsdgen's flat format: every field terminated by `|`.
-pub fn write_rows<W: Write>(w: &mut W, rows: &[Row]) -> io::Result<()> {
+/// Returns the number of bytes written.
+pub fn write_rows<W: Write>(w: &mut W, rows: &[Row]) -> io::Result<u64> {
     let mut out = BufWriter::new(w);
+    let mut bytes: u64 = 0;
     for row in rows {
         for v in row {
-            out.write_all(v.to_flat().as_bytes())?;
+            let field = v.to_flat();
+            out.write_all(field.as_bytes())?;
             out.write_all(b"|")?;
+            bytes += field.len() as u64 + 1;
         }
         out.write_all(b"\n")?;
+        bytes += 1;
     }
-    out.flush()
+    out.flush()?;
+    Ok(bytes)
 }
 
-/// Writes rows to `<dir>/<table>.dat`.
-pub fn write_table(dir: &Path, table: &str, rows: &[Row]) -> io::Result<()> {
+/// Writes rows to `<dir>/<table>.dat`. Returns the number of bytes written.
+pub fn write_table(dir: &Path, table: &str, rows: &[Row]) -> io::Result<u64> {
     std::fs::create_dir_all(dir)?;
+    let span = tpcds_obs::span("dgen", "write_table").field("table", table);
     let mut f = std::fs::File::create(dir.join(format!("{table}.dat")))?;
-    write_rows(&mut f, rows)
+    let bytes = write_rows(&mut f, rows)?;
+    span.field("rows", rows.len())
+        .field("bytes", bytes)
+        .finish();
+    if tpcds_obs::is_enabled() {
+        tpcds_obs::counter(
+            "dgen",
+            "bytes_written",
+            bytes as f64,
+            &[("table", table.into())],
+        );
+    }
+    Ok(bytes)
 }
 
 /// Parses one flat field into a typed [`Value`] according to the column's
@@ -124,7 +143,11 @@ mod tests {
     #[test]
     fn nulls_round_trip_as_empty_fields() {
         let mut buf = Vec::new();
-        write_rows(&mut buf, &[vec![Value::Int(1), Value::Null, Value::str("x")]]).unwrap();
+        write_rows(
+            &mut buf,
+            &[vec![Value::Int(1), Value::Null, Value::str("x")]],
+        )
+        .unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), "1||x|\n");
     }
 

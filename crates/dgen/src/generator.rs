@@ -9,9 +9,9 @@
 use crate::distributions::SalesDateDistribution;
 use crate::words;
 use std::sync::Arc;
+use tpcds_schema::Schema;
 use tpcds_types::rng::{table_stream, ColumnRng, DEFAULT_SEED};
 use tpcds_types::{Date, Decimal, Row, Value};
-use tpcds_schema::Schema;
 
 /// First calendar day covered by revision histories of slowly changing
 /// dimensions (rec_start_date of revision 0).
@@ -115,7 +115,30 @@ impl Generator {
 
     /// Generates every row of `table`.
     pub fn generate(&self, table: &str) -> Vec<Row> {
-        self.generate_range(table, 0, self.row_count(table))
+        let span = tpcds_obs::span("dgen", "generate").field("table", table);
+        let rows = self.generate_range(table, 0, self.row_count(table));
+        Self::record_rate(span, table, rows.len());
+        rows
+    }
+
+    /// Closes a generation span with row/throughput actuals and bumps the
+    /// per-table `rows_generated` counter.
+    fn record_rate(mut span: tpcds_obs::SpanGuard, table: &str, rows: usize) {
+        if !tpcds_obs::is_enabled() {
+            return;
+        }
+        let secs = span.elapsed().as_secs_f64();
+        span.add_field("rows", rows as i64);
+        if secs > 0.0 {
+            span.add_field("rows_per_s", rows as f64 / secs);
+        }
+        span.finish();
+        tpcds_obs::counter(
+            "dgen",
+            "rows_generated",
+            rows as f64,
+            &[("table", table.into())],
+        );
     }
 
     /// Generates rows `lo..hi` (0-based) of `table`. Chunks generated
@@ -130,23 +153,27 @@ impl Generator {
 
     /// Generates every row of `table` using `threads` worker threads.
     pub fn generate_parallel(&self, table: &str, threads: usize) -> Vec<Row> {
+        let span = tpcds_obs::span("dgen", "generate_parallel")
+            .field("table", table)
+            .field("threads", threads);
         let n = self.row_count(table);
         let threads = threads.max(1).min(n.max(1) as usize);
         let chunk = n.div_ceil(threads as u64);
         let mut out: Vec<Vec<Row>> = Vec::new();
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             let mut handles = Vec::new();
             for t in 0..threads as u64 {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(n);
-                handles.push(s.spawn(move |_| self.generate_range(table, lo, hi)));
+                handles.push(s.spawn(move || self.generate_range(table, lo, hi)));
             }
             for h in handles {
                 out.push(h.join().expect("generator worker panicked"));
             }
-        })
-        .expect("crossbeam scope");
-        out.into_iter().flatten().collect()
+        });
+        let rows: Vec<Row> = out.into_iter().flatten().collect();
+        Self::record_rate(span, table, rows.len());
+        rows
     }
 
     /// Generates one row of `table` (0-based index). The workhorse — pure
@@ -212,7 +239,11 @@ impl Generator {
             1 | 2 => (1, (r - 1) as u32, 2),
             _ => (2, (r - 3) as u32, 3),
         };
-        ScdPosition { business_key: 3 * block + which, revision, revision_count }
+        ScdPosition {
+            business_key: 3 * block + which,
+            revision,
+            revision_count,
+        }
     }
 
     /// rec_start_date / rec_end_date for an SCD position: the revision
@@ -285,14 +316,19 @@ impl Generator {
         let suite = if rng.chance(0.5) {
             Value::str(format!("Suite {}", rng.uniform_i64(0, 49) * 10))
         } else {
-            Value::str(format!("Suite {}", (b'A' + rng.uniform_i64(0, 25) as u8) as char))
+            Value::str(format!(
+                "Suite {}",
+                (b'A' + rng.uniform_i64(0, 25) as u8) as char
+            ))
         };
         (number, name, ty, suite)
     }
 
     /// Geographic fragment shared by stores/centers/sites/addresses:
     /// (city, county, state, zip, country, gmt offset).
-    pub(crate) fn geography(rng: &mut ColumnRng) -> (String, String, String, String, String, Decimal) {
+    pub(crate) fn geography(
+        rng: &mut ColumnRng,
+    ) -> (String, String, String, String, String, Decimal) {
         let city = Self::pick(rng, words::CITIES).to_string();
         let county = Self::pick(rng, words::COUNTIES).to_string();
         let state = Self::pick(rng, words::STATES).to_string();
@@ -329,8 +365,18 @@ impl Generator {
         let quarter_seq = (y - 1900) * 4 + d.quarter() as i32 - 1;
         let first_dom = Date::from_ymd(y, m, 1);
         let last_dom = first_dom.add_days(tpcds_types::date::days_in_month(y, m) - 1);
-        let day_names = ["Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday"];
-        let holiday = (m == 12 && dom >= 24) || (m == 1 && dom == 1) || (m == 7 && dom == 4)
+        let day_names = [
+            "Sunday",
+            "Monday",
+            "Tuesday",
+            "Wednesday",
+            "Thursday",
+            "Friday",
+            "Saturday",
+        ];
+        let holiday = (m == 12 && dom >= 24)
+            || (m == 1 && dom == 1)
+            || (m == 7 && dom == 4)
             || (m == 11 && (22..=28).contains(&dom) && dow == 4);
         let weekend = dow == 0 || dow == 6;
         let flag = |b: bool| Value::str(if b { "Y" } else { "N" });
@@ -401,7 +447,11 @@ impl Generator {
             Value::str(ty),
             Value::str(code),
             Value::str(carrier),
-            Value::str(format!("{}{}", (b'A' + (r % 26) as u8) as char, rng.uniform_i64(100_000, 999_999))),
+            Value::str(format!(
+                "{}{}",
+                (b'A' + (r % 26) as u8) as char,
+                rng.uniform_i64(100_000, 999_999)
+            )),
         ]
     }
 
@@ -495,11 +545,15 @@ impl Generator {
         let weights: Vec<f64> = words::FIRST_NAMES.iter().map(|(_, w)| *w).collect();
         let (first, _) = words::FIRST_NAMES[rng.weighted_index(&weights)];
         let last = Self::pick(&mut rng, words::LAST_NAMES);
-        let (salutation, _) = words::SALUTATIONS[rng.uniform_i64(0, words::SALUTATIONS.len() as i64 - 1) as usize];
+        let (salutation, _) =
+            words::SALUTATIONS[rng.uniform_i64(0, words::SALUTATIONS.len() as i64 - 1) as usize];
         let birth_year = rng.uniform_i64(1924, 1992);
         let birth_month = rng.uniform_i64(1, 12);
         let birth_day = rng.uniform_i64(1, 28);
-        let first_sales = self.sales_dates.first_day().add_days(rng.uniform_i64(0, 700) as i32);
+        let first_sales = self
+            .sales_dates
+            .first_day()
+            .add_days(rng.uniform_i64(0, 700) as i32);
         let first_shipto = first_sales.add_days(rng.uniform_i64(0, 60) as i32);
         let last_review = first_sales.add_days(rng.uniform_i64(0, 900) as i32);
         let email = format!(
@@ -560,7 +614,11 @@ impl Generator {
         let brand_id = (cat_idx as i64 + 1) * 1_000_000 + (class_idx as i64 + 1) * 1000 + brand_num;
         let brand = format!("{}{} #{}", brand_syl, brand_syl2, brand_num);
         let manufact_id = bk_rng.uniform_i64(1, 1000);
-        let manufact = format!("{}{}", Self::pick(&mut bk_rng, words::CORP_SYLLABLES), manufact_id);
+        let manufact = format!(
+            "{}{}",
+            Self::pick(&mut bk_rng, words::CORP_SYLLABLES),
+            manufact_id
+        );
 
         let wholesale_cents = rev_rng.uniform_i64(100, 8_800);
         let markup = rev_rng.uniform_i64(120, 300); // percent of wholesale
@@ -602,7 +660,10 @@ impl Generator {
 
     fn promotion_row(&self, r: u64) -> Row {
         let mut rng = self.rng("promotion", 1, r);
-        let start = self.sales_dates.first_day().add_days(rng.uniform_i64(0, 1700) as i32);
+        let start = self
+            .sales_dates
+            .first_day()
+            .add_days(rng.uniform_i64(0, 1700) as i32);
         let end = start.add_days(rng.uniform_i64(10, 120) as i32);
         let flag = |rng: &mut ColumnRng| Value::str(if rng.chance(0.5) { "Y" } else { "N" });
         vec![
@@ -613,7 +674,11 @@ impl Generator {
             Value::Int(self.fk(&mut rng, "item")),
             Value::Decimal(Decimal::from_int(1000)),
             Value::Int(1),
-            Value::str(format!("{}{}", Self::pick(&mut rng, words::CORP_SYLLABLES), r)),
+            Value::str(format!(
+                "{}{}",
+                Self::pick(&mut rng, words::CORP_SYLLABLES),
+                r
+            )),
             flag(&mut rng),
             flag(&mut rng),
             flag(&mut rng),
@@ -640,7 +705,9 @@ impl Generator {
         let (city, county, state, zip, country, gmt) = Self::geography(&mut bk_rng);
         let manager = format!(
             "{} {}",
-            words::FIRST_NAMES[rev_rng.uniform_i64(0, words::FIRST_NAMES.len() as i64 - 1) as usize].0,
+            words::FIRST_NAMES
+                [rev_rng.uniform_i64(0, words::FIRST_NAMES.len() as i64 - 1) as usize]
+                .0,
             Self::pick(&mut rev_rng, words::LAST_NAMES)
         );
         vec![
@@ -662,7 +729,9 @@ impl Generator {
             Value::str(Self::prose(&mut rev_rng, 6, 15)),
             Value::str(format!(
                 "{} {}",
-                words::FIRST_NAMES[rev_rng.uniform_i64(0, words::FIRST_NAMES.len() as i64 - 1) as usize].0,
+                words::FIRST_NAMES
+                    [rev_rng.uniform_i64(0, words::FIRST_NAMES.len() as i64 - 1) as usize]
+                    .0,
                 Self::pick(&mut rev_rng, words::LAST_NAMES)
             )),
             Value::Int(1),
@@ -698,11 +767,16 @@ impl Generator {
         let name = format!("{} {}", Self::pick(&mut bk_rng, words::CITIES), "center");
         let (number, sname, stype, suite) = Self::street(&mut bk_rng);
         let (city, county, state, zip, country, gmt) = Self::geography(&mut bk_rng);
-        let open = self.sales_dates.first_day().add_days(-bk_rng.uniform_i64(100, 3000) as i32);
+        let open = self
+            .sales_dates
+            .first_day()
+            .add_days(-bk_rng.uniform_i64(100, 3000) as i32);
         let person = |rng: &mut ColumnRng| {
             format!(
                 "{} {}",
-                words::FIRST_NAMES[rng.uniform_i64(0, words::FIRST_NAMES.len() as i64 - 1) as usize].0,
+                words::FIRST_NAMES
+                    [rng.uniform_i64(0, words::FIRST_NAMES.len() as i64 - 1) as usize]
+                    .0,
                 Self::pick(rng, words::LAST_NAMES)
             )
         };
@@ -749,11 +823,16 @@ impl Generator {
         let name = format!("site_{}", pos.business_key);
         let (number, sname, stype, suite) = Self::street(&mut bk_rng);
         let (city, county, state, zip, country, gmt) = Self::geography(&mut bk_rng);
-        let open = self.sales_dates.first_day().add_days(-bk_rng.uniform_i64(100, 2000) as i32);
+        let open = self
+            .sales_dates
+            .first_day()
+            .add_days(-bk_rng.uniform_i64(100, 2000) as i32);
         let person = |rng: &mut ColumnRng| {
             format!(
                 "{} {}",
-                words::FIRST_NAMES[rng.uniform_i64(0, words::FIRST_NAMES.len() as i64 - 1) as usize].0,
+                words::FIRST_NAMES
+                    [rng.uniform_i64(0, words::FIRST_NAMES.len() as i64 - 1) as usize]
+                    .0,
                 Self::pick(rng, words::LAST_NAMES)
             )
         };
@@ -772,7 +851,11 @@ impl Generator {
             Value::str(Self::prose(&mut rev_rng, 6, 15)),
             Value::str(person(&mut rev_rng)),
             Value::Int(rev_rng.uniform_i64(1, 6)),
-            Value::str(format!("{}{}", Self::pick(&mut rev_rng, words::CORP_SYLLABLES), "co")),
+            Value::str(format!(
+                "{}{}",
+                Self::pick(&mut rev_rng, words::CORP_SYLLABLES),
+                "co"
+            )),
             Value::str(number),
             Value::str(sname),
             Value::str(stype),
@@ -791,7 +874,10 @@ impl Generator {
         let pos = Self::scd_position(r);
         let (rec_start, rec_end) = self.scd_dates_clamped("web_page", r);
         let mut rng = self.rng("web_page", 2, r);
-        let creation = self.sales_dates.first_day().add_days(rng.uniform_i64(0, 1000) as i32);
+        let creation = self
+            .sales_dates
+            .first_day()
+            .add_days(rng.uniform_i64(0, 1000) as i32);
         let access = creation.add_days(rng.uniform_i64(0, 100) as i32);
         let autogen = rng.chance(0.3);
         vec![
@@ -881,11 +967,26 @@ mod tests {
     fn scd_position_pattern() {
         // sk 0..6 covers one [1,2,3] block.
         let p: Vec<_> = (0..6).map(Generator::scd_position).collect();
-        assert_eq!((p[0].business_key, p[0].revision, p[0].revision_count), (0, 0, 1));
-        assert_eq!((p[1].business_key, p[1].revision, p[1].revision_count), (1, 0, 2));
-        assert_eq!((p[2].business_key, p[2].revision, p[2].revision_count), (1, 1, 2));
-        assert_eq!((p[3].business_key, p[3].revision, p[3].revision_count), (2, 0, 3));
-        assert_eq!((p[5].business_key, p[5].revision, p[5].revision_count), (2, 2, 3));
+        assert_eq!(
+            (p[0].business_key, p[0].revision, p[0].revision_count),
+            (0, 0, 1)
+        );
+        assert_eq!(
+            (p[1].business_key, p[1].revision, p[1].revision_count),
+            (1, 0, 2)
+        );
+        assert_eq!(
+            (p[2].business_key, p[2].revision, p[2].revision_count),
+            (1, 1, 2)
+        );
+        assert_eq!(
+            (p[3].business_key, p[3].revision, p[3].revision_count),
+            (2, 0, 3)
+        );
+        assert_eq!(
+            (p[5].business_key, p[5].revision, p[5].revision_count),
+            (2, 2, 3)
+        );
         assert_eq!(Generator::scd_position(6).business_key, 3);
     }
 
@@ -955,7 +1056,10 @@ mod tests {
         let mut class_to_cat = std::collections::HashMap::new();
         let mut brand_to_class = std::collections::HashMap::new();
         for row in &rows {
-            let class_id = (row[9].as_int().unwrap(), row[12].as_str().unwrap().to_string());
+            let class_id = (
+                row[9].as_int().unwrap(),
+                row[12].as_str().unwrap().to_string(),
+            );
             let cat = row[12].as_str().unwrap().to_string();
             let prev = class_to_cat.insert(class_id.clone(), cat.clone());
             if let Some(p) = prev {
@@ -998,7 +1102,9 @@ mod tests {
         let rows = g.generate("store");
         let mut counts: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
         for row in &rows {
-            *counts.entry(row[1].as_str().unwrap().to_string()).or_default() += 1;
+            *counts
+                .entry(row[1].as_str().unwrap().to_string())
+                .or_default() += 1;
         }
         assert!(counts.values().all(|&c| (1..=3).contains(&c)));
         // And at least one business key with each multiplicity, given

@@ -72,13 +72,21 @@ impl TableProfile {
             }
             columns.push(ColumnProfile {
                 name: col.name.to_string(),
-                null_rate: if rows.is_empty() { 0.0 } else { nulls as f64 / rows.len() as f64 },
+                null_rate: if rows.is_empty() {
+                    0.0
+                } else {
+                    nulls as f64 / rows.len() as f64
+                },
                 distinct: distinct.len(),
                 min,
                 max,
             });
         }
-        TableProfile { table: table.to_string(), rows: rows.len(), columns }
+        TableProfile {
+            table: table.to_string(),
+            rows: rows.len(),
+            columns,
+        }
     }
 
     /// Renders the profile as an aligned text report.
@@ -136,10 +144,18 @@ mod tests {
     fn nullable_fact_columns_have_nulls() {
         let g = Generator::new(0.02);
         let p = TableProfile::collect(&g, "store_sales", 10_000);
-        let cust = p.columns.iter().find(|c| c.name == "ss_customer_sk").expect("col");
+        let cust = p
+            .columns
+            .iter()
+            .find(|c| c.name == "ss_customer_sk")
+            .expect("col");
         assert!(cust.null_rate > 0.0, "fact FK columns carry NULLs");
         assert!(cust.null_rate < 0.2, "but only a few percent");
-        let item = p.columns.iter().find(|c| c.name == "ss_item_sk").expect("col");
+        let item = p
+            .columns
+            .iter()
+            .find(|c| c.name == "ss_item_sk")
+            .expect("col");
         assert_eq!(item.null_rate, 0.0, "PK parts are never NULL");
     }
 
@@ -147,9 +163,17 @@ mod tests {
     fn low_cardinality_domains_profile_small() {
         let g = Generator::new(0.01);
         let p = TableProfile::collect(&g, "customer_demographics", 5_000);
-        let gender = p.columns.iter().find(|c| c.name == "cd_gender").expect("col");
+        let gender = p
+            .columns
+            .iter()
+            .find(|c| c.name == "cd_gender")
+            .expect("col");
         assert_eq!(gender.distinct, 2);
-        let rating = p.columns.iter().find(|c| c.name == "cd_credit_rating").expect("col");
+        let rating = p
+            .columns
+            .iter()
+            .find(|c| c.name == "cd_credit_rating")
+            .expect("col");
         assert_eq!(rating.distinct, 4);
     }
 

@@ -140,7 +140,11 @@ mod tests {
             .map(|r| r[1].as_str().unwrap().to_string())
             .collect();
         for u in g.refresh_dimension("customer", 0) {
-            assert!(existing.contains(&u.business_key), "{} unknown", u.business_key);
+            assert!(
+                existing.contains(&u.business_key),
+                "{} unknown",
+                u.business_key
+            );
             assert_eq!(u.row.len(), g.schema().table("customer").unwrap().width());
         }
     }
@@ -202,10 +206,21 @@ mod tests {
         // Primary-key pairs (item business key, ticket) must be disjoint
         // across refresh slices; bare tickets may straddle a boundary.
         let key = |r: &tpcds_types::Row| {
-            (r[item].as_str().unwrap().to_string(), r[ticket].as_int().unwrap())
+            (
+                r[item].as_str().unwrap().to_string(),
+                r[ticket].as_int().unwrap(),
+            )
         };
-        let a: HashSet<_> = g.refresh_fact_inserts("store_sales", 0).iter().map(key).collect();
-        let b: HashSet<_> = g.refresh_fact_inserts("store_sales", 1).iter().map(key).collect();
+        let a: HashSet<_> = g
+            .refresh_fact_inserts("store_sales", 0)
+            .iter()
+            .map(key)
+            .collect();
+        let b: HashSet<_> = g
+            .refresh_fact_inserts("store_sales", 1)
+            .iter()
+            .map(key)
+            .collect();
         assert!(a.is_disjoint(&b), "refresh slices overlap");
     }
 

@@ -11,7 +11,7 @@ use crate::catalog::Database;
 use crate::error::{EngineError, Result};
 use crate::expr::{ArithOp, BExpr, CmpOp, ScalarFunc, SubPlan};
 use crate::plan::{AggCall, AggFunc, JoinKind, Plan, SetOpKind, WinFunc, WindowCall};
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tpcds_types::DataType;
@@ -46,7 +46,10 @@ struct Scope {
 
 impl Scope {
     fn push(&mut self, qualifier: Option<String>, name: impl Into<String>) {
-        self.cols.push(ScopeCol { qualifier, name: name.into() });
+        self.cols.push(ScopeCol {
+            qualifier,
+            name: name.into(),
+        });
     }
 
     fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<Option<usize>> {
@@ -89,7 +92,12 @@ pub struct Binder<'a> {
 impl<'a> Binder<'a> {
     /// Creates a binder over the database catalog.
     pub fn new(db: &'a Database) -> Self {
-        Binder { db, ctes: vec![HashMap::new()], next_cte_id: 0, optimize: true }
+        Binder {
+            db,
+            ctes: vec![HashMap::new()],
+            next_cte_id: 0,
+            optimize: true,
+        }
     }
 
     /// Disables the join-reordering / predicate-pushdown pass, leaving the
@@ -103,7 +111,10 @@ impl<'a> Binder<'a> {
     /// Binds a full query (the public entry point).
     pub fn bind(&mut self, q: &ast::Query) -> Result<Bound> {
         let (plan, _scope, names) = self.bind_query(q, None, &mut Vec::new())?;
-        Ok(Bound { plan: Arc::new(plan), names })
+        Ok(Bound {
+            plan: Arc::new(plan),
+            names,
+        })
     }
 
     /// Binds a query, possibly correlated against `outer`. `outer_refs`
@@ -131,7 +142,11 @@ impl<'a> Binder<'a> {
             let (plan, _scope, names) = self.bind_query(cte_q, None, &mut Vec::new())?;
             let id = self.next_cte_id;
             self.next_cte_id += 1;
-            let entry = CteEntry { plan: Arc::new(plan), names, id };
+            let entry = CteEntry {
+                plan: Arc::new(plan),
+                names,
+                id,
+            };
             self.ctes
                 .last_mut()
                 .expect("cte layer")
@@ -160,10 +175,16 @@ impl<'a> Binder<'a> {
                         })?;
                         keys.push((BExpr::Col(idx), item.desc));
                     }
-                    plan = Plan::Sort { input: Arc::new(plan), keys };
+                    plan = Plan::Sort {
+                        input: Arc::new(plan),
+                        keys,
+                    };
                 }
                 if let Some(n) = q.limit {
-                    plan = Plan::Limit { input: Arc::new(plan), n };
+                    plan = Plan::Limit {
+                        input: Arc::new(plan),
+                        n,
+                    };
                 }
                 Ok((plan, scope, names))
             }
@@ -179,15 +200,19 @@ impl<'a> Binder<'a> {
     ) -> Result<(Plan, Vec<String>)> {
         match e {
             ast::SetExpr::Select(sel) => {
-                let (plan, _scope, names) =
-                    self.bind_select(sel, &[], None, outer, outer_refs)?;
+                let (plan, _scope, names) = self.bind_select(sel, &[], None, outer, outer_refs)?;
                 Ok((plan, names))
             }
             ast::SetExpr::Query(q) => {
                 let (plan, _scope, names) = self.bind_query(q, outer, outer_refs)?;
                 Ok((plan, names))
             }
-            ast::SetExpr::SetOp { op, all, left, right } => {
+            ast::SetExpr::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
                 let (l, lnames) = self.bind_set_expr(left, outer, outer_refs)?;
                 let (r, rnames) = self.bind_set_expr(right, outer, outer_refs)?;
                 if l.width() != r.width() {
@@ -204,7 +229,12 @@ impl<'a> Binder<'a> {
                     ast::SetOpKind::Except => SetOpKind::Except,
                 };
                 Ok((
-                    Plan::SetOp { left: Arc::new(l), right: Arc::new(r), op, all: *all },
+                    Plan::SetOp {
+                        left: Arc::new(l),
+                        right: Arc::new(r),
+                        op,
+                        all: *all,
+                    },
                     lnames,
                 ))
             }
@@ -246,7 +276,11 @@ impl<'a> Binder<'a> {
                     scope.push(Some(q.clone()), c.name.clone());
                 }
                 Ok((
-                    Plan::Scan { table: name.clone(), width: cols.len(), filter: None },
+                    Plan::Scan {
+                        table: name.clone(),
+                        width: cols.len(),
+                        filter: None,
+                    },
                     scope,
                 ))
             }
@@ -258,7 +292,12 @@ impl<'a> Binder<'a> {
                 }
                 Ok((plan, scope))
             }
-            ast::TableRef::Join { left, right, kind, on } => {
+            ast::TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
                 let (lp, ls) = self.bind_table_ref(left, outer, outer_refs)?;
                 let (rp, rs) = self.bind_table_ref(right, outer, outer_refs)?;
                 let scope = ls.merged(rs);
@@ -303,7 +342,10 @@ impl<'a> Binder<'a> {
                                     right: Arc::new(rp),
                                     kind: jk,
                                     left_keys: lk,
-                                    right_keys: rk.iter().map(|k| k.remap_columns(&|c| c - lw)).collect(),
+                                    right_keys: rk
+                                        .iter()
+                                        .map(|k| k.remap_columns(&|c| c - lw))
+                                        .collect(),
                                     residual,
                                 },
                                 scope,
@@ -355,7 +397,10 @@ impl<'a> Binder<'a> {
         // WHERE.
         if let Some(w) = &sel.where_clause {
             let pred = self.bind_expr(w, &scope, outer, outer_refs, None)?;
-            plan = Plan::Filter { input: Arc::new(plan), predicate: pred };
+            plan = Plan::Filter {
+                input: Arc::new(plan),
+                predicate: pred,
+            };
         }
 
         // Reorder joins & push predicates before aggregation.
@@ -412,14 +457,19 @@ impl<'a> Binder<'a> {
                         proj_exprs.push(BExpr::Col(i));
                         names.push(c.name.clone());
                         item_sources.push((
-                            ast::Expr::Column { qualifier: c.qualifier.clone(), name: c.name.clone() },
+                            ast::Expr::Column {
+                                qualifier: c.qualifier.clone(),
+                                name: c.name.clone(),
+                            },
                             None,
                         ));
                     }
                 }
                 ast::SelectItem::QualifiedWildcard(q) => {
                     if agg_env.is_some() {
-                        return Err(EngineError::bind("SELECT t.* with GROUP BY is not supported"));
+                        return Err(EngineError::bind(
+                            "SELECT t.* with GROUP BY is not supported",
+                        ));
                     }
                     let mut any = false;
                     for (i, c) in scope.cols.iter().enumerate() {
@@ -427,7 +477,10 @@ impl<'a> Binder<'a> {
                             proj_exprs.push(BExpr::Col(i));
                             names.push(c.name.clone());
                             item_sources.push((
-                                ast::Expr::Column { qualifier: c.qualifier.clone(), name: c.name.clone() },
+                                ast::Expr::Column {
+                                    qualifier: c.qualifier.clone(),
+                                    name: c.name.clone(),
+                                },
                                 None,
                             ));
                             any = true;
@@ -458,7 +511,14 @@ impl<'a> Binder<'a> {
             .having
             .as_ref()
             .map(|h| {
-                self.bind_projection(h, &scope, outer, outer_refs, &mut agg_env, &mut window_calls)
+                self.bind_projection(
+                    h,
+                    &scope,
+                    outer,
+                    outer_refs,
+                    &mut agg_env,
+                    &mut window_calls,
+                )
             })
             .transpose()?;
 
@@ -516,16 +576,27 @@ impl<'a> Binder<'a> {
         let having = having.map(|h| h.remap_columns(&patch));
         if let Some(h) = having {
             // HAVING may not reference window results.
-            plan = Plan::Filter { input: Arc::new(plan), predicate: h };
+            plan = Plan::Filter {
+                input: Arc::new(plan),
+                predicate: h,
+            };
         }
         if !window_calls.is_empty() {
-            plan = Plan::Window { input: Arc::new(plan), calls: window_calls };
+            plan = Plan::Window {
+                input: Arc::new(plan),
+                calls: window_calls,
+            };
         }
 
-        plan = Plan::Project { input: Arc::new(plan), exprs: all_exprs };
+        plan = Plan::Project {
+            input: Arc::new(plan),
+            exprs: all_exprs,
+        };
         if sel.distinct {
             if all_hidden_sorts_visible(&sort_keys, visible) {
-                plan = Plan::Distinct { input: Arc::new(plan) };
+                plan = Plan::Distinct {
+                    input: Arc::new(plan),
+                };
             } else {
                 return Err(EngineError::bind(
                     "SELECT DISTINCT with ORDER BY on non-projected expressions",
@@ -533,13 +604,22 @@ impl<'a> Binder<'a> {
             }
         }
         if !sort_keys.is_empty() {
-            plan = Plan::Sort { input: Arc::new(plan), keys: sort_keys };
+            plan = Plan::Sort {
+                input: Arc::new(plan),
+                keys: sort_keys,
+            };
         }
         if plan.width() != visible {
-            plan = Plan::Prefix { input: Arc::new(plan), keep: visible };
+            plan = Plan::Prefix {
+                input: Arc::new(plan),
+                keep: visible,
+            };
         }
         if let Some(n) = limit {
-            plan = Plan::Limit { input: Arc::new(plan), n };
+            plan = Plan::Limit {
+                input: Arc::new(plan),
+                n,
+            };
         }
 
         let mut out_scope = Scope::default();
@@ -555,13 +635,16 @@ impl<'a> Binder<'a> {
             ast::Expr::Literal(tpcds_types::Value::Int(n)) => {
                 let i = *n as usize;
                 if i == 0 || i > names.len() {
-                    return Err(EngineError::bind(format!("ORDER BY ordinal {n} out of range")));
+                    return Err(EngineError::bind(format!(
+                        "ORDER BY ordinal {n} out of range"
+                    )));
                 }
                 Ok(Some(i - 1))
             }
-            ast::Expr::Column { qualifier: None, name } => {
-                Ok(names.iter().position(|n| n == name))
-            }
+            ast::Expr::Column {
+                qualifier: None,
+                name,
+            } => Ok(names.iter().position(|n| n == name)),
             _ => Ok(None),
         }
     }
@@ -597,14 +680,17 @@ impl<'a> Binder<'a> {
         outer_refs: &mut Vec<usize>,
         windows: &mut Vec<WindowCall>,
     ) -> Result<BExpr> {
-        if let ast::Expr::Window { name, args, partition_by, order_by } = e {
-            let call = self.build_window_call(
-                name,
-                args,
-                partition_by,
-                order_by,
-                &mut |b, ast_e| b.bind_expr(ast_e, scope, outer, outer_refs, None),
-            )?;
+        if let ast::Expr::Window {
+            name,
+            args,
+            partition_by,
+            order_by,
+        } = e
+        {
+            let call =
+                self.build_window_call(name, args, partition_by, order_by, &mut |b, ast_e| {
+                    b.bind_expr(ast_e, scope, outer, outer_refs, None)
+                })?;
             let idx = WIN_SENTINEL + windows.len();
             windows.push(call);
             return Ok(BExpr::Col(idx));
@@ -635,7 +721,13 @@ impl<'a> Binder<'a> {
             }
         }
         // 2. Aggregate call?
-        if let ast::Expr::Function { name, args, star, distinct } = e {
+        if let ast::Expr::Function {
+            name,
+            args,
+            star,
+            distinct,
+        } = e
+        {
             if let Some(func) = agg_func(name, *star) {
                 let arg = match (func, args.first()) {
                     (AggFunc::CountStar, _) => None,
@@ -643,19 +735,20 @@ impl<'a> Binder<'a> {
                         // grouping(expr): locate the group expression.
                         let bound = self.bind_expr(a, scope, outer, outer_refs, None)?;
                         let key = format!("{bound:?}");
-                        let gi = env
-                            .group_keys
-                            .iter()
-                            .position(|k| *k == key)
-                            .ok_or_else(|| {
-                                EngineError::bind("GROUPING() argument is not a group column")
-                            })?;
+                        let gi =
+                            env.group_keys
+                                .iter()
+                                .position(|k| *k == key)
+                                .ok_or_else(|| {
+                                    EngineError::bind("GROUPING() argument is not a group column")
+                                })?;
                         return Ok(BExpr::Col(
-                            env.groups.len() + env.push(AggCall {
-                                func: AggFunc::Grouping(gi),
-                                arg: None,
-                                distinct: false,
-                            }),
+                            env.groups.len()
+                                + env.push(AggCall {
+                                    func: AggFunc::Grouping(gi),
+                                    arg: None,
+                                    distinct: false,
+                                }),
                         ));
                     }
                     (_, Some(a)) => Some(self.bind_expr(a, scope, outer, outer_refs, None)?),
@@ -663,22 +756,29 @@ impl<'a> Binder<'a> {
                         return Err(EngineError::bind(format!("{name} needs an argument")))
                     }
                 };
-                let idx = env.push(AggCall { func, arg, distinct: *distinct });
+                let idx = env.push(AggCall {
+                    func,
+                    arg,
+                    distinct: *distinct,
+                });
                 return Ok(BExpr::Col(env.groups.len() + idx));
             }
         }
         // 3. Window call: arguments/partitions are bound in the aggregate
         //    environment (so SUM(SUM(x)) OVER (...) works).
-        if let ast::Expr::Window { name, args, partition_by, order_by } = e {
+        if let ast::Expr::Window {
+            name,
+            args,
+            partition_by,
+            order_by,
+        } = e
+        {
             // Window binding may add aggregate calls to env, shifting the
             // aggregate width — record a sentinel and patch later.
-            let call = self.build_window_call(
-                name,
-                args,
-                partition_by,
-                order_by,
-                &mut |b, ast_e| b.bind_agg_expr(ast_e, scope, outer, outer_refs, env, &mut Vec::new()),
-            )?;
+            let call =
+                self.build_window_call(name, args, partition_by, order_by, &mut |b, ast_e| {
+                    b.bind_agg_expr(ast_e, scope, outer, outer_refs, env, &mut Vec::new())
+                })?;
             let idx = WIN_SENTINEL + windows.len();
             windows.push(call);
             return Ok(BExpr::Col(idx));
@@ -721,31 +821,63 @@ impl<'a> Binder<'a> {
             ast::Expr::Neg(x) => BExpr::Neg(f(self, x)?.boxed()),
             ast::Expr::Not(x) => BExpr::Not(f(self, x)?.boxed()),
             ast::Expr::IsNull { expr, negated } => BExpr::IsNull(f(self, expr)?.boxed(), *negated),
-            ast::Expr::Between { expr, low, high, negated } => BExpr::Between(
+            ast::Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => BExpr::Between(
                 f(self, expr)?.boxed(),
                 f(self, low)?.boxed(),
                 f(self, high)?.boxed(),
                 *negated,
             ),
-            ast::Expr::InList { expr, list, negated } => {
+            ast::Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let b = f(self, expr)?;
                 let items: Result<Vec<BExpr>> = list.iter().map(|i| f(self, i)).collect();
                 BExpr::InList(b.boxed(), items?, *negated)
             }
-            ast::Expr::Like { expr, pattern, negated } => {
-                BExpr::Like(f(self, expr)?.boxed(), f(self, pattern)?.boxed(), *negated)
-            }
-            ast::Expr::Case { operand, branches, else_branch } => {
-                let op = operand.as_ref().map(|o| f(self, o)).transpose()?.map(BExpr::boxed);
+            ast::Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => BExpr::Like(f(self, expr)?.boxed(), f(self, pattern)?.boxed(), *negated),
+            ast::Expr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => {
+                let op = operand
+                    .as_ref()
+                    .map(|o| f(self, o))
+                    .transpose()?
+                    .map(BExpr::boxed);
                 let mut bs = Vec::new();
                 for (c, r) in branches {
                     bs.push((f(self, c)?, f(self, r)?));
                 }
-                let el = else_branch.as_ref().map(|x| f(self, x)).transpose()?.map(BExpr::boxed);
-                BExpr::Case { operand: op, branches: bs, else_branch: el }
+                let el = else_branch
+                    .as_ref()
+                    .map(|x| f(self, x))
+                    .transpose()?
+                    .map(BExpr::boxed);
+                BExpr::Case {
+                    operand: op,
+                    branches: bs,
+                    else_branch: el,
+                }
             }
             ast::Expr::Cast { expr, ty } => BExpr::Cast(f(self, expr)?.boxed(), cast_type(ty)?),
-            ast::Expr::Function { name, args, star, distinct } => {
+            ast::Expr::Function {
+                name,
+                args,
+                star,
+                distinct,
+            } => {
                 if *star || *distinct || agg_func(name, *star).is_some() {
                     return Err(EngineError::bind(format!(
                         "aggregate {name} not valid in this context"
@@ -756,7 +888,9 @@ impl<'a> Binder<'a> {
                 BExpr::Func(func, bound?)
             }
             other => {
-                return Err(EngineError::bind(format!("cannot bind {other:?} in this context")))
+                return Err(EngineError::bind(format!(
+                    "cannot bind {other:?} in this context"
+                )))
             }
         })
     }
@@ -779,7 +913,11 @@ impl<'a> Binder<'a> {
             "rank" => WinFunc::Rank,
             "dense_rank" => WinFunc::DenseRank,
             "row_number" => WinFunc::RowNumber,
-            other => return Err(EngineError::bind(format!("unknown window function {other}"))),
+            other => {
+                return Err(EngineError::bind(format!(
+                    "unknown window function {other}"
+                )))
+            }
         };
         let arg = match args.first() {
             Some(a) => Some(bind(self, a)?),
@@ -793,12 +931,19 @@ impl<'a> Binder<'a> {
         for o in order_by {
             order.push((bind(self, &o.expr)?, o.desc));
         }
-        if matches!(func, WinFunc::Rank | WinFunc::DenseRank | WinFunc::RowNumber)
-            && order.is_empty()
+        if matches!(
+            func,
+            WinFunc::Rank | WinFunc::DenseRank | WinFunc::RowNumber
+        ) && order.is_empty()
         {
             return Err(EngineError::bind(format!("{name}() requires ORDER BY")));
         }
-        Ok(WindowCall { func, arg, partition, order })
+        Ok(WindowCall {
+            func,
+            arg,
+            partition,
+            order,
+        })
     }
 
     /// Binds a scalar expression over a scope. `env` is unused here but
@@ -826,7 +971,10 @@ impl<'a> Binder<'a> {
                 }
                 Err(EngineError::bind(format!(
                     "unknown column {}{}",
-                    qualifier.as_ref().map(|q| format!("{q}.")).unwrap_or_default(),
+                    qualifier
+                        .as_ref()
+                        .map(|q| format!("{q}."))
+                        .unwrap_or_default(),
                     name
                 )))
             }
@@ -837,11 +985,18 @@ impl<'a> Binder<'a> {
                     return Err(EngineError::bind("scalar subquery must return one column"));
                 }
                 Ok(BExpr::ScalarSubquery(
-                    SubPlan { plan: Arc::new(plan), outer_refs: refs },
+                    SubPlan {
+                        plan: Arc::new(plan),
+                        outer_refs: refs,
+                    },
                     Arc::new(Mutex::new(HashMap::new())),
                 ))
             }
-            ast::Expr::InSubquery { expr, query, negated } => {
+            ast::Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
                 let b = self.bind_expr(expr, scope, outer, outer_refs, None)?;
                 let mut refs = Vec::new();
                 let (plan, _s, _n) = self.bind_query(query, Some(scope), &mut refs)?;
@@ -850,7 +1005,10 @@ impl<'a> Binder<'a> {
                 }
                 Ok(BExpr::InSubquery(
                     b.boxed(),
-                    SubPlan { plan: Arc::new(plan), outer_refs: refs },
+                    SubPlan {
+                        plan: Arc::new(plan),
+                        outer_refs: refs,
+                    },
                     *negated,
                     Arc::new(Mutex::new(HashMap::new())),
                 ))
@@ -859,7 +1017,10 @@ impl<'a> Binder<'a> {
                 let mut refs = Vec::new();
                 let (plan, _s, _n) = self.bind_query(query, Some(scope), &mut refs)?;
                 Ok(BExpr::Exists(
-                    SubPlan { plan: Arc::new(plan), outer_refs: refs },
+                    SubPlan {
+                        plan: Arc::new(plan),
+                        outer_refs: refs,
+                    },
                     *negated,
                     Arc::new(Mutex::new(HashMap::new())),
                 ))
@@ -867,7 +1028,12 @@ impl<'a> Binder<'a> {
             ast::Expr::Window { .. } => Err(EngineError::bind(
                 "window function not allowed in this context",
             )),
-            ast::Expr::Function { name, args, star, distinct } => {
+            ast::Expr::Function {
+                name,
+                args,
+                star,
+                distinct,
+            } => {
                 if agg_func(name, *star).is_some() || *star || *distinct {
                     return Err(EngineError::bind(format!(
                         "aggregate {name} not allowed in this context"
@@ -913,22 +1079,36 @@ fn contains_aggregate(e: &ast::Expr) -> bool {
     match e {
         ast::Expr::Function { name, star, .. } => agg_func(name, *star).is_some(),
         ast::Expr::Window { .. } => false, // window args handled separately
-        ast::Expr::Binary { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
+        ast::Expr::Binary { left, right, .. } => {
+            contains_aggregate(left) || contains_aggregate(right)
+        }
         ast::Expr::Neg(x) | ast::Expr::Not(x) => contains_aggregate(x),
         ast::Expr::IsNull { expr, .. } => contains_aggregate(expr),
-        ast::Expr::Between { expr, low, high, .. } => {
-            contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high)
-        }
+        ast::Expr::Between {
+            expr, low, high, ..
+        } => contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high),
         ast::Expr::InList { expr, list, .. } => {
             contains_aggregate(expr) || list.iter().any(contains_aggregate)
         }
         ast::Expr::Like { expr, pattern, .. } => {
             contains_aggregate(expr) || contains_aggregate(pattern)
         }
-        ast::Expr::Case { operand, branches, else_branch } => {
-            operand.as_ref().map(|o| contains_aggregate(o)).unwrap_or(false)
-                || branches.iter().any(|(c, r)| contains_aggregate(c) || contains_aggregate(r))
-                || else_branch.as_ref().map(|x| contains_aggregate(x)).unwrap_or(false)
+        ast::Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
+            operand
+                .as_ref()
+                .map(|o| contains_aggregate(o))
+                .unwrap_or(false)
+                || branches
+                    .iter()
+                    .any(|(c, r)| contains_aggregate(c) || contains_aggregate(r))
+                || else_branch
+                    .as_ref()
+                    .map(|x| contains_aggregate(x))
+                    .unwrap_or(false)
         }
         ast::Expr::Cast { expr, .. } => contains_aggregate(expr),
         _ => false,

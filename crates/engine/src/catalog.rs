@@ -1,12 +1,12 @@
 //! In-memory storage: tables, secondary indexes, and the database catalog.
 //!
-//! Tables are row-major `Vec<Row>` guarded by `parking_lot::RwLock`, so
+//! Tables are row-major `Vec<Row>` guarded by `crate::sync::RwLock (std-backed)`, so
 //! concurrent query streams read in parallel while the data-maintenance run
 //! takes short write locks — the concurrency model of the paper's execution
 //! rules (§5.2).
 
 use crate::error::{EngineError, Result};
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tpcds_types::{DataType, Row, Value};
@@ -60,7 +60,11 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with the given columns.
     pub fn new(columns: Vec<ColumnMeta>) -> Table {
-        Table { columns, rows: Vec::new(), indexes: HashMap::new() }
+        Table {
+            columns,
+            rows: Vec::new(),
+            indexes: HashMap::new(),
+        }
     }
 
     /// Index of a column by name.
@@ -119,7 +123,8 @@ impl Table {
 
     /// Builds (or rebuilds) a hash index on `column`.
     pub fn create_index(&mut self, column: usize) {
-        self.indexes.insert(column, Index::build(&self.rows, column));
+        self.indexes
+            .insert(column, Index::build(&self.rows, column));
     }
 
     /// Drops the index on `column`.
@@ -144,8 +149,12 @@ pub struct Database {
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let t = self.tables.read();
-        write!(f, "Database({} tables, {} rows)", t.len(),
-            t.values().map(|x| x.read().rows.len()).sum::<usize>())
+        write!(
+            f,
+            "Database({} tables, {} rows)",
+            t.len(),
+            t.values().map(|x| x.read().rows.len()).sum::<usize>()
+        )
     }
 }
 
@@ -261,7 +270,10 @@ mod tests {
     fn cols(names: &[&str]) -> Vec<ColumnMeta> {
         names
             .iter()
-            .map(|n| ColumnMeta { name: n.to_string(), dtype: DataType::Int })
+            .map(|n| ColumnMeta {
+                name: n.to_string(),
+                dtype: DataType::Int,
+            })
             .collect()
     }
 
@@ -269,7 +281,8 @@ mod tests {
     fn create_insert_and_count() {
         let db = Database::new();
         db.create_table("t", cols(&["a", "b"])).unwrap();
-        db.insert("t", vec![vec![Value::Int(1), Value::Int(2)]]).unwrap();
+        db.insert("t", vec![vec![Value::Int(1), Value::Int(2)]])
+            .unwrap();
         assert_eq!(db.row_count("t"), 1);
         assert!(db.has_table("t"));
         assert!(!db.has_table("u"));
@@ -293,7 +306,8 @@ mod tests {
     fn index_follows_inserts_and_deletes() {
         let db = Database::new();
         db.create_table("t", cols(&["a"])).unwrap();
-        db.insert("t", vec![vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap();
+        db.insert("t", vec![vec![Value::Int(1)], vec![Value::Int(2)]])
+            .unwrap();
         db.create_index("t", "a").unwrap();
         {
             let t = db.table("t").unwrap();
@@ -316,7 +330,8 @@ mod tests {
     fn update_each_reports_changes() {
         let db = Database::new();
         db.create_table("t", cols(&["a"])).unwrap();
-        db.insert("t", vec![vec![Value::Int(1)], vec![Value::Int(5)]]).unwrap();
+        db.insert("t", vec![vec![Value::Int(1)], vec![Value::Int(5)]])
+            .unwrap();
         let t = db.table("t").unwrap();
         let changed = t.write().update_each(|r| {
             if r[0] == Value::Int(5) {

@@ -6,30 +6,87 @@ use crate::catalog::Database;
 use crate::error::{EngineError, Result};
 use crate::expr::BExpr;
 use crate::plan::{AggCall, AggFunc, JoinKind, Plan, SetOpKind, WinFunc, WindowCall};
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tpcds_types::{Decimal, Row, Value};
 
-/// Per-statement execution context: the database handle and the CTE result
-/// cache.
+/// Accumulated actuals for one plan node (EXPLAIN ANALYZE). Elapsed time
+/// is inclusive of the node's inputs, like `actual time` in other engines;
+/// `calls` counts executions (correlated subplans run once per outer row).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Times the node was executed.
+    pub calls: u64,
+    /// Total rows produced across all calls.
+    pub rows_out: u64,
+    /// Total wall-clock time across all calls (inclusive of inputs).
+    pub elapsed: Duration,
+}
+
+/// Per-node actuals keyed by plan-node address — stable for the lifetime
+/// of the `Bound` statement that owns the tree.
+pub type StatsMap = HashMap<usize, OpStats>;
+
+/// Per-statement execution context: the database handle, the CTE result
+/// cache, and (under EXPLAIN ANALYZE) the per-operator stats collector.
 pub struct ExecCtx<'a> {
     /// The database.
     pub db: &'a Database,
     /// CTE results by slot id (each CTE executes once per statement).
     pub cte_cache: Mutex<HashMap<usize, Arc<Vec<Row>>>>,
+    stats: Option<Mutex<StatsMap>>,
 }
 
 impl<'a> ExecCtx<'a> {
     /// Fresh context for one statement.
     pub fn new(db: &'a Database) -> Self {
-        ExecCtx { db, cte_cache: Mutex::new(HashMap::new()) }
+        ExecCtx {
+            db,
+            cte_cache: Mutex::new(HashMap::new()),
+            stats: None,
+        }
+    }
+
+    /// Fresh context that records per-operator actuals (EXPLAIN ANALYZE).
+    pub fn with_stats(db: &'a Database) -> Self {
+        ExecCtx {
+            db,
+            cte_cache: Mutex::new(HashMap::new()),
+            stats: Some(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Consumes the context, yielding the collected per-operator actuals
+    /// (empty if stats were not enabled).
+    pub fn take_stats(self) -> StatsMap {
+        self.stats.map(Mutex::into_inner).unwrap_or_default()
     }
 }
 
 /// Executes a plan, producing its rows. `outer` carries the enclosing row
-/// when this plan is a correlated subquery body.
+/// when this plan is a correlated subquery body. When the context was
+/// created with [`ExecCtx::with_stats`], each node's calls, output rows
+/// and inclusive elapsed time are accumulated for EXPLAIN ANALYZE.
 pub fn execute(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Result<Vec<Row>> {
+    let Some(stats) = &ctx.stats else {
+        return execute_node(plan, ctx, outer);
+    };
+    let start = Instant::now();
+    let result = execute_node(plan, ctx, outer);
+    if let Ok(rows) = &result {
+        let elapsed = start.elapsed();
+        let mut map = stats.lock();
+        let s = map.entry(plan as *const Plan as usize).or_default();
+        s.calls += 1;
+        s.rows_out += rows.len() as u64;
+        s.elapsed += elapsed;
+    }
+    result
+}
+
+fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Result<Vec<Row>> {
     match plan {
         Plan::Scan { table, filter, .. } => scan(table, filter.as_ref(), ctx, outer),
         Plan::Filter { input, predicate } => {
@@ -54,15 +111,35 @@ pub fn execute(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resul
             }
             Ok(out)
         }
-        Plan::HashJoin { left, right, kind, left_keys, right_keys, residual } => {
-            hash_join(left, right, *kind, left_keys, right_keys, residual.as_ref(), ctx, outer)
-        }
-        Plan::NestedLoopJoin { left, right, kind, predicate } => {
-            nested_loop_join(left, right, *kind, predicate.as_ref(), ctx, outer)
-        }
-        Plan::Aggregate { input, groups, sets, aggs } => {
-            aggregate(input, groups, sets, aggs, ctx, outer)
-        }
+        Plan::HashJoin {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+        } => hash_join(
+            left,
+            right,
+            *kind,
+            left_keys,
+            right_keys,
+            residual.as_ref(),
+            ctx,
+            outer,
+        ),
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            kind,
+            predicate,
+        } => nested_loop_join(left, right, *kind, predicate.as_ref(), ctx, outer),
+        Plan::Aggregate {
+            input,
+            groups,
+            sets,
+            aggs,
+        } => aggregate(input, groups, sets, aggs, ctx, outer),
         Plan::Window { input, calls } => window(input, calls, ctx, outer),
         Plan::Sort { input, keys } => {
             let rows = execute(input, ctx, outer)?;
@@ -84,7 +161,12 @@ pub fn execute(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resul
             }
             Ok(out)
         }
-        Plan::SetOp { left, right, op, all } => {
+        Plan::SetOp {
+            left,
+            right,
+            op,
+            all,
+        } => {
             let l = execute(left, ctx, outer)?;
             let r = execute(right, ctx, outer)?;
             if l.first().map(|x| x.len()) != r.first().map(|x| x.len())
@@ -320,10 +402,25 @@ type GroupState = (Vec<Acc>, Vec<Option<HashSet<Value>>>);
 /// Accumulator for one aggregate call in one group.
 enum Acc {
     Count(i64),
-    Sum { dec: Option<Decimal>, int: i128, any_dec: bool, seen: bool },
-    MinMax { best: Option<Value>, is_min: bool },
-    Avg { sum: Decimal, n: i64 },
-    Stddev { n: f64, mean: f64, m2: f64 },
+    Sum {
+        dec: Option<Decimal>,
+        int: i128,
+        any_dec: bool,
+        seen: bool,
+    },
+    MinMax {
+        best: Option<Value>,
+        is_min: bool,
+    },
+    Avg {
+        sum: Decimal,
+        n: i64,
+    },
+    Stddev {
+        n: f64,
+        mean: f64,
+        m2: f64,
+    },
     Grouping(i64),
 }
 
@@ -331,11 +428,29 @@ impl Acc {
     fn new(f: &AggFunc, grouping_val: i64) -> Acc {
         match f {
             AggFunc::Count | AggFunc::CountStar => Acc::Count(0),
-            AggFunc::Sum => Acc::Sum { dec: None, int: 0, any_dec: false, seen: false },
-            AggFunc::Min => Acc::MinMax { best: None, is_min: true },
-            AggFunc::Max => Acc::MinMax { best: None, is_min: false },
-            AggFunc::Avg => Acc::Avg { sum: Decimal::ZERO, n: 0 },
-            AggFunc::StddevSamp => Acc::Stddev { n: 0.0, mean: 0.0, m2: 0.0 },
+            AggFunc::Sum => Acc::Sum {
+                dec: None,
+                int: 0,
+                any_dec: false,
+                seen: false,
+            },
+            AggFunc::Min => Acc::MinMax {
+                best: None,
+                is_min: true,
+            },
+            AggFunc::Max => Acc::MinMax {
+                best: None,
+                is_min: false,
+            },
+            AggFunc::Avg => Acc::Avg {
+                sum: Decimal::ZERO,
+                n: 0,
+            },
+            AggFunc::StddevSamp => Acc::Stddev {
+                n: 0.0,
+                mean: 0.0,
+                m2: 0.0,
+            },
             AggFunc::Grouping(_) => Acc::Grouping(grouping_val),
         }
     }
@@ -349,7 +464,12 @@ impl Acc {
                     _ => {}
                 }
             }
-            Acc::Sum { dec, int, any_dec, seen } => {
+            Acc::Sum {
+                dec,
+                int,
+                any_dec,
+                seen,
+            } => {
                 if let Some(v) = v {
                     match v {
                         Value::Null => {}
@@ -359,9 +479,10 @@ impl Acc {
                         }
                         Value::Decimal(d) => {
                             let cur = dec.unwrap_or(Decimal::ZERO);
-                            *dec = Some(cur.checked_add(d).ok_or_else(|| {
-                                EngineError::exec("sum overflow")
-                            })?);
+                            *dec = Some(
+                                cur.checked_add(d)
+                                    .ok_or_else(|| EngineError::exec("sum overflow"))?,
+                            );
                             *any_dec = true;
                             *seen = true;
                         }
@@ -427,15 +548,18 @@ impl Acc {
     fn finish(self) -> Value {
         match self {
             Acc::Count(c) => Value::Int(c),
-            Acc::Sum { dec, int, any_dec, seen } => {
+            Acc::Sum {
+                dec,
+                int,
+                any_dec,
+                seen,
+            } => {
                 if !seen {
                     Value::Null
                 } else if any_dec {
                     let mut total = dec.unwrap_or(Decimal::ZERO);
                     if int != 0 {
-                        total = total
-                            .checked_add(&Decimal::new(int, 0))
-                            .unwrap_or(total);
+                        total = total.checked_add(&Decimal::new(int, 0)).unwrap_or(total);
                     }
                     Value::Decimal(total)
                 } else {
@@ -481,7 +605,11 @@ fn aggregate(
         for row in &rows {
             let mut key = Vec::with_capacity(groups.len());
             for (g, on) in groups.iter().zip(mask) {
-                key.push(if *on { g.eval(row, ctx, outer)? } else { Value::Null });
+                key.push(if *on {
+                    g.eval(row, ctx, outer)?
+                } else {
+                    Value::Null
+                });
             }
             let entry = map.entry(key).or_insert_with(|| {
                 let accs = aggs
@@ -502,7 +630,13 @@ fn aggregate(
                     .collect();
                 let dedup = aggs
                     .iter()
-                    .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+                    .map(|a| {
+                        if a.distinct {
+                            Some(HashSet::new())
+                        } else {
+                            None
+                        }
+                    })
                     .collect();
                 (accs, dedup)
             });
@@ -628,7 +762,11 @@ fn window_column(
                         rank = pos as i64 + 1;
                         dense += 1;
                     }
-                    result[i] = Value::Int(if call.func == WinFunc::Rank { rank } else { dense });
+                    result[i] = Value::Int(if call.func == WinFunc::Rank {
+                        rank
+                    } else {
+                        dense
+                    });
                 }
             }
             WinFunc::Sum | WinFunc::Avg | WinFunc::Count | WinFunc::Min | WinFunc::Max => {
@@ -636,8 +774,10 @@ fn window_column(
                     .arg
                     .as_ref()
                     .ok_or_else(|| EngineError::exec("window aggregate needs an argument"))?;
-                let vals: Result<Vec<Value>> =
-                    idxs.iter().map(|&i| arg.eval(&rows[i], ctx, outer)).collect();
+                let vals: Result<Vec<Value>> = idxs
+                    .iter()
+                    .map(|&i| arg.eval(&rows[i], ctx, outer))
+                    .collect();
                 let vals = vals?;
                 if call.order.is_empty() {
                     // Whole partition.
@@ -677,7 +817,9 @@ fn window_column(
 
 fn fold_window(f: WinFunc, vals: &[Value]) -> Result<Value> {
     match f {
-        WinFunc::Count => Ok(Value::Int(vals.iter().filter(|v| !v.is_null()).count() as i64)),
+        WinFunc::Count => Ok(Value::Int(
+            vals.iter().filter(|v| !v.is_null()).count() as i64
+        )),
         WinFunc::Sum | WinFunc::Avg => {
             let mut sum = Decimal::ZERO;
             let mut n = 0i64;
@@ -699,7 +841,9 @@ fn fold_window(f: WinFunc, vals: &[Value]) -> Result<Value> {
                         n += 1;
                     }
                     other => {
-                        return Err(EngineError::exec(format!("window sum of non-number {other}")))
+                        return Err(EngineError::exec(format!(
+                            "window sum of non-number {other}"
+                        )))
                     }
                 }
             }

@@ -7,7 +7,7 @@
 use crate::error::{EngineError, Result};
 use crate::exec::ExecCtx;
 use crate::plan::Plan;
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -265,7 +265,11 @@ impl BExpr {
                     _ => Ok(Value::Null),
                 }
             }
-            BExpr::Case { operand, branches, else_branch } => {
+            BExpr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => {
                 let op_val = operand
                     .as_ref()
                     .map(|o| o.eval(row, ctx, outer))
@@ -308,7 +312,9 @@ impl BExpr {
                 }
                 let rows = crate::exec::execute(&sub.plan, ctx, Some(row))?;
                 if rows.len() > 1 {
-                    return Err(EngineError::exec("scalar subquery returned more than one row"));
+                    return Err(EngineError::exec(
+                        "scalar subquery returned more than one row",
+                    ));
                 }
                 let v = rows
                     .into_iter()
@@ -333,8 +339,7 @@ impl BExpr {
                             let mut s = HashSet::new();
                             let mut has_null = false;
                             for r in rows {
-                                let val =
-                                    r.into_iter().next().unwrap_or(Value::Null);
+                                let val = r.into_iter().next().unwrap_or(Value::Null);
                                 if val.is_null() {
                                     has_null = true;
                                 } else {
@@ -369,7 +374,12 @@ impl BExpr {
     }
 
     /// True when the predicate admits the row (strict TRUE).
-    pub fn matches(&self, row: &[Value], ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Result<bool> {
+    pub fn matches(
+        &self,
+        row: &[Value],
+        ctx: &ExecCtx<'_>,
+        outer: Option<&[Value]>,
+    ) -> Result<bool> {
         Ok(self.eval(row, ctx, outer)? == Value::Bool(true))
     }
 
@@ -404,7 +414,11 @@ impl BExpr {
                 lo.visit_columns(f);
                 hi.visit_columns(f);
             }
-            BExpr::Case { operand, branches, else_branch } => {
+            BExpr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => {
                 if let Some(o) = operand {
                     o.visit_columns(f);
                 }
@@ -462,7 +476,11 @@ impl BExpr {
                 *n,
             ),
             BExpr::Between(a, lo, hi, n) => BExpr::Between(rm(a), rm(lo), rm(hi), *n),
-            BExpr::Case { operand, branches, else_branch } => BExpr::Case {
+            BExpr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => BExpr::Case {
                 operand: operand.as_ref().map(|o| rm(o)),
                 branches: branches
                     .iter()
@@ -521,10 +539,19 @@ impl BExpr {
             BExpr::Between(a, lo, hi, _) => {
                 a.has_subquery() || lo.has_subquery() || hi.has_subquery()
             }
-            BExpr::Case { operand, branches, else_branch } => {
+            BExpr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => {
                 operand.as_ref().map(|o| o.has_subquery()).unwrap_or(false)
-                    || branches.iter().any(|(c, r)| c.has_subquery() || r.has_subquery())
-                    || else_branch.as_ref().map(|e| e.has_subquery()).unwrap_or(false)
+                    || branches
+                        .iter()
+                        .any(|(c, r)| c.has_subquery() || r.has_subquery())
+                    || else_branch
+                        .as_ref()
+                        .map(|e| e.has_subquery())
+                        .unwrap_or(false)
             }
             BExpr::Func(_, args) => args.iter().any(|e| e.has_subquery()),
         }
@@ -765,13 +792,19 @@ mod tests {
     fn arith_widening() {
         let five = Value::Int(5);
         let half = Value::Decimal("0.5".parse().unwrap());
-        assert_eq!(arith(ArithOp::Add, &five, &half).unwrap(), Value::Decimal("5.5".parse().unwrap()));
+        assert_eq!(
+            arith(ArithOp::Add, &five, &half).unwrap(),
+            Value::Decimal("5.5".parse().unwrap())
+        );
         // int/int is exact decimal
         assert_eq!(
             arith(ArithOp::Div, &Value::Int(1), &Value::Int(4)).unwrap(),
             Value::Decimal("0.25".parse().unwrap())
         );
-        assert_eq!(arith(ArithOp::Div, &five, &Value::Int(0)).unwrap(), Value::Null);
+        assert_eq!(
+            arith(ArithOp::Div, &five, &Value::Int(0)).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
@@ -785,14 +818,22 @@ mod tests {
 
     #[test]
     fn null_propagation() {
-        assert_eq!(arith(ArithOp::Add, &Value::Null, &Value::Int(1)).unwrap(), Value::Null);
+        assert_eq!(
+            arith(ArithOp::Add, &Value::Null, &Value::Int(1)).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
     fn casts() {
-        assert_eq!(cast(Value::str("42"), DataType::Int).unwrap(), Value::Int(42));
         assert_eq!(
-            cast(Value::str("1999-01-02"), DataType::Date).unwrap().to_flat(),
+            cast(Value::str("42"), DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            cast(Value::str("1999-01-02"), DataType::Date)
+                .unwrap()
+                .to_flat(),
             "1999-01-02"
         );
         assert_eq!(
@@ -806,8 +847,11 @@ mod tests {
     #[test]
     fn scalar_functions() {
         assert_eq!(
-            scalar_func(ScalarFunc::Substr, &[Value::str("customer"), Value::Int(1), Value::Int(4)])
-                .unwrap(),
+            scalar_func(
+                ScalarFunc::Substr,
+                &[Value::str("customer"), Value::Int(1), Value::Int(4)]
+            )
+            .unwrap(),
             Value::str("cust")
         );
         assert_eq!(
@@ -819,8 +863,11 @@ mod tests {
             Value::Null
         );
         assert_eq!(
-            scalar_func(ScalarFunc::Round, &[Value::Decimal("2.675".parse().unwrap()), Value::Int(2)])
-                .unwrap(),
+            scalar_func(
+                ScalarFunc::Round,
+                &[Value::Decimal("2.675".parse().unwrap()), Value::Int(2)]
+            )
+            .unwrap(),
             Value::Decimal("2.68".parse().unwrap())
         );
         assert_eq!(

@@ -123,22 +123,20 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
                 out.push(Token::Symbol(Sym::Ne));
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'=') => {
-                        out.push(Token::Symbol(Sym::Le));
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        out.push(Token::Symbol(Sym::Ne));
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Symbol(Sym::Lt));
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token::Symbol(Sym::Le));
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    out.push(Token::Symbol(Sym::Ne));
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     out.push(Token::Symbol(Sym::Ge));
@@ -179,7 +177,9 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
                 i += 1;
                 loop {
                     match bytes.get(i) {
-                        None => return Err(EngineError::Lex("unterminated quoted identifier".into())),
+                        None => {
+                            return Err(EngineError::Lex("unterminated quoted identifier".into()))
+                        }
                         Some(b'"') => {
                             i += 1;
                             break;
@@ -192,7 +192,13 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
                 }
                 out.push(Token::QuotedIdent(s));
             }
-            c if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)) => {
+            c if c.is_ascii_digit()
+                || (c == '.'
+                    && bytes
+                        .get(i + 1)
+                        .map(|b| b.is_ascii_digit())
+                        .unwrap_or(false)) =>
+            {
                 let start = i;
                 let mut seen_dot = false;
                 while i < bytes.len() {
@@ -252,7 +258,10 @@ mod tests {
     fn operators() {
         let t = lex("a<=b <> c || d != e").unwrap();
         assert!(t.contains(&Token::Symbol(Sym::Le)));
-        assert_eq!(t.iter().filter(|x| **x == Token::Symbol(Sym::Ne)).count(), 2);
+        assert_eq!(
+            t.iter().filter(|x| **x == Token::Symbol(Sym::Ne)).count(),
+            2
+        );
         assert!(t.contains(&Token::Symbol(Sym::Concat)));
     }
 

@@ -20,6 +20,7 @@ pub mod lexer;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
+pub mod sync;
 
 pub use binder::{Binder, Bound};
 pub use catalog::{ColumnMeta, Database, Table};
@@ -73,10 +74,43 @@ impl QueryResult {
 
 /// Parses, binds, optimizes and executes one SQL statement.
 pub fn query(db: &Database, sql: &str) -> Result<QueryResult> {
+    let span = tpcds_obs::span("engine", "query");
     let bound = plan_sql(db, sql)?;
     let ctx = ExecCtx::new(db);
     let rows = exec::execute(&bound.plan, &ctx, None)?;
-    Ok(QueryResult { columns: bound.names, rows })
+    span.field("rows", rows.len() as i64).finish();
+    Ok(QueryResult {
+        columns: bound.names,
+        rows,
+    })
+}
+
+/// A query result paired with its EXPLAIN ANALYZE rendering.
+#[derive(Debug, Clone)]
+pub struct AnalyzedResult {
+    /// The executed result.
+    pub result: QueryResult,
+    /// The plan tree annotated with per-operator actuals
+    /// (`rows=`, `elapsed=`, `loops=`).
+    pub plan_text: String,
+}
+
+/// Executes one SQL statement with per-operator instrumentation and
+/// returns both the result and the annotated plan tree (EXPLAIN ANALYZE).
+pub fn query_analyze(db: &Database, sql: &str) -> Result<AnalyzedResult> {
+    let span = tpcds_obs::span("engine", "query_analyze");
+    let bound = plan_sql(db, sql)?;
+    let ctx = ExecCtx::with_stats(db);
+    let rows = exec::execute(&bound.plan, &ctx, None)?;
+    let stats = ctx.take_stats();
+    span.field("rows", rows.len() as i64).finish();
+    Ok(AnalyzedResult {
+        result: QueryResult {
+            columns: bound.names,
+            rows,
+        },
+        plan_text: bound.plan.explain_analyze(&stats),
+    })
 }
 
 /// Parses and binds one SQL statement without executing (EXPLAIN support).
@@ -97,7 +131,10 @@ pub fn query_unoptimized(db: &Database, sql: &str) -> Result<QueryResult> {
     let bound = plan_sql_unoptimized(db, sql)?;
     let ctx = ExecCtx::new(db);
     let rows = exec::execute(&bound.plan, &ctx, None)?;
-    Ok(QueryResult { columns: bound.names, rows })
+    Ok(QueryResult {
+        columns: bound.names,
+        rows,
+    })
 }
 
 /// Materializes a query's result as a new table — the engine's
@@ -116,7 +153,10 @@ pub fn create_table_as(db: &Database, name: &str, sql: &str) -> Result<QueryResu
         .columns
         .iter()
         .enumerate()
-        .map(|(i, c)| ColumnMeta { name: c.clone(), dtype: dtype_of(i) })
+        .map(|(i, c)| ColumnMeta {
+            name: c.clone(),
+            dtype: dtype_of(i),
+        })
         .collect();
     db.create_table_with_rows(name, columns, result.rows.clone())?;
     Ok(result)
@@ -129,7 +169,10 @@ pub fn create_tpcds_tables(db: &Database, schema: &tpcds_schema::Schema) -> Resu
         let cols = t
             .columns
             .iter()
-            .map(|c| ColumnMeta { name: c.name.to_string(), dtype: c.ctype.data_type() })
+            .map(|c| ColumnMeta {
+                name: c.name.to_string(),
+                dtype: c.ctype.data_type(),
+            })
             .collect();
         db.create_table(t.name, cols)?;
     }
@@ -145,7 +188,10 @@ mod tests {
         let db = Database::new();
         let meta = cols
             .iter()
-            .map(|c| ColumnMeta { name: c.to_string(), dtype: tpcds_types::DataType::Int })
+            .map(|c| ColumnMeta {
+                name: c.to_string(),
+                dtype: tpcds_types::DataType::Int,
+            })
             .collect();
         let rows = rows
             .into_iter()
@@ -165,7 +211,11 @@ mod tests {
 
     #[test]
     fn select_filter_project() {
-        let db = db_with("t", &["a", "b"], vec![vec![1, 10], vec![2, 20], vec![3, 30]]);
+        let db = db_with(
+            "t",
+            &["a", "b"],
+            vec![vec![1, 10], vec![2, 20], vec![3, 30]],
+        );
         let r = query(&db, "select b, a + 1 from t where a >= 2 order by b desc").unwrap();
         assert_eq!(ints(&r), vec![vec![30, 4], vec![20, 3]]);
     }
@@ -175,7 +225,13 @@ mod tests {
         let db = db_with(
             "t",
             &["g", "v"],
-            vec![vec![1, 10], vec![1, 20], vec![2, 5], vec![2, 6], vec![3, 100]],
+            vec![
+                vec![1, 10],
+                vec![1, 20],
+                vec![2, 5],
+                vec![2, 6],
+                vec![3, 100],
+            ],
         );
         let r = query(
             &db,
@@ -201,8 +257,14 @@ mod tests {
         db.create_table_with_rows(
             "fact",
             vec![
-                ColumnMeta { name: "f_dim".into(), dtype: tpcds_types::DataType::Int },
-                ColumnMeta { name: "f_val".into(), dtype: tpcds_types::DataType::Int },
+                ColumnMeta {
+                    name: "f_dim".into(),
+                    dtype: tpcds_types::DataType::Int,
+                },
+                ColumnMeta {
+                    name: "f_val".into(),
+                    dtype: tpcds_types::DataType::Int,
+                },
             ],
             (0..100)
                 .map(|i| vec![Value::Int(i % 10), Value::Int(i)])
@@ -212,10 +274,18 @@ mod tests {
         db.create_table_with_rows(
             "dim",
             vec![
-                ColumnMeta { name: "d_id".into(), dtype: tpcds_types::DataType::Int },
-                ColumnMeta { name: "d_tag".into(), dtype: tpcds_types::DataType::Int },
+                ColumnMeta {
+                    name: "d_id".into(),
+                    dtype: tpcds_types::DataType::Int,
+                },
+                ColumnMeta {
+                    name: "d_tag".into(),
+                    dtype: tpcds_types::DataType::Int,
+                },
             ],
-            (0..10).map(|i| vec![Value::Int(i), Value::Int(i * 100)]).collect(),
+            (0..10)
+                .map(|i| vec![Value::Int(i), Value::Int(i * 100)])
+                .collect(),
         )
         .unwrap();
         let r = query(
@@ -229,9 +299,17 @@ mod tests {
     #[test]
     fn left_join_pads_nulls() {
         let db = db_with("l", &["x"], vec![vec![1], vec![2]]);
-        let meta = vec![ColumnMeta { name: "y".into(), dtype: tpcds_types::DataType::Int }];
-        db.create_table_with_rows("r", meta, vec![vec![Value::Int(2)]]).unwrap();
-        let res = query(&db, "select x, y from l left join r on l.x = r.y order by x").unwrap();
+        let meta = vec![ColumnMeta {
+            name: "y".into(),
+            dtype: tpcds_types::DataType::Int,
+        }];
+        db.create_table_with_rows("r", meta, vec![vec![Value::Int(2)]])
+            .unwrap();
+        let res = query(
+            &db,
+            "select x, y from l left join r on l.x = r.y order by x",
+        )
+        .unwrap();
         assert_eq!(res.rows[0][1], Value::Null);
         assert_eq!(res.rows[1][1], Value::Int(2));
     }
@@ -239,12 +317,23 @@ mod tests {
     #[test]
     fn subqueries_scalar_in_exists() {
         let db = db_with("t", &["a"], vec![vec![1], vec![2], vec![3]]);
-        let r = query(&db, "select a from t where a > (select avg(a) from t) order by a").unwrap();
+        let r = query(
+            &db,
+            "select a from t where a > (select avg(a) from t) order by a",
+        )
+        .unwrap();
         assert_eq!(ints(&r), vec![vec![3]]);
-        let r = query(&db, "select a from t where a in (select a from t where a < 3) order by a")
-            .unwrap();
+        let r = query(
+            &db,
+            "select a from t where a in (select a from t where a < 3) order by a",
+        )
+        .unwrap();
         assert_eq!(ints(&r), vec![vec![1], vec![2]]);
-        let r = query(&db, "select a from t where exists (select a from t where a > 10)").unwrap();
+        let r = query(
+            &db,
+            "select a from t where exists (select a from t where a > 10)",
+        )
+        .unwrap();
         assert!(r.rows.is_empty());
     }
 
@@ -298,7 +387,12 @@ mod tests {
         let db = db_with(
             "t",
             &["cls", "item", "v"],
-            vec![vec![1, 1, 30], vec![1, 2, 70], vec![2, 3, 50], vec![2, 3, 50]],
+            vec![
+                vec![1, 1, 30],
+                vec![1, 2, 70],
+                vec![2, 3, 50],
+                vec![2, 3, 50],
+            ],
         );
         let r = query(
             &db,
@@ -307,9 +401,18 @@ mod tests {
              from t group by cls, item order by cls, item",
         )
         .unwrap();
-        assert_eq!(r.rows[0][3], Value::Decimal("30".parse::<Decimal>().unwrap()));
-        assert_eq!(r.rows[1][3], Value::Decimal("70".parse::<Decimal>().unwrap()));
-        assert_eq!(r.rows[2][3], Value::Decimal("100".parse::<Decimal>().unwrap()));
+        assert_eq!(
+            r.rows[0][3],
+            Value::Decimal("30".parse::<Decimal>().unwrap())
+        );
+        assert_eq!(
+            r.rows[1][3],
+            Value::Decimal("70".parse::<Decimal>().unwrap())
+        );
+        assert_eq!(
+            r.rows[2][3],
+            Value::Decimal("100".parse::<Decimal>().unwrap())
+        );
     }
 
     #[test]
@@ -381,7 +484,11 @@ mod tests {
 
     #[test]
     fn count_distinct() {
-        let db = db_with("t", &["a"], vec![vec![1], vec![1], vec![2], vec![3], vec![3]]);
+        let db = db_with(
+            "t",
+            &["a"],
+            vec![vec![1], vec![1], vec![2], vec![3], vec![3]],
+        );
         let r = query(&db, "select count(distinct a) from t").unwrap();
         assert_eq!(ints(&r), vec![vec![3]]);
     }
@@ -403,7 +510,10 @@ mod tests {
         let db = Database::new();
         db.create_table_with_rows(
             "t",
-            vec![ColumnMeta { name: "a".into(), dtype: tpcds_types::DataType::Int }],
+            vec![ColumnMeta {
+                name: "a".into(),
+                dtype: tpcds_types::DataType::Int,
+            }],
             vec![vec![Value::Int(1)], vec![Value::Null], vec![Value::Int(3)]],
         )
         .unwrap();
@@ -429,7 +539,10 @@ mod tests {
         assert!(query(&db, "select nope from t").is_err());
         assert!(query(&db, "select * from missing").is_err());
         assert!(query(&db, "select a from t where").is_err());
-        assert!(query(&db, "select sum(a), b from t").is_err(), "b not grouped");
+        assert!(
+            query(&db, "select sum(a), b from t").is_err(),
+            "b not grouped"
+        );
     }
 
     #[test]

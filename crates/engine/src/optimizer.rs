@@ -192,7 +192,10 @@ pub fn optimize(plan: Plan, db: &Database) -> Plan {
 
     // Residual predicates (original coordinates, incl. subquery filters).
     if !residual.is_empty() {
-        tree = Plan::Filter { input: Arc::new(tree), predicate: and_all(residual) };
+        tree = Plan::Filter {
+            input: Arc::new(tree),
+            predicate: and_all(residual),
+        };
     }
     tree
 }
@@ -200,7 +203,12 @@ pub fn optimize(plan: Plan, db: &Database) -> Plan {
 /// Flattens inner cross-join chains and filters.
 fn flatten(plan: Plan, relations: &mut Vec<Plan>, conjuncts: &mut Vec<BExpr>) {
     match plan {
-        Plan::NestedLoopJoin { left, right, kind: JoinKind::Inner, predicate: None } => {
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            kind: JoinKind::Inner,
+            predicate: None,
+        } => {
             let l = Arc::try_unwrap(left).unwrap_or_else(|a| a.as_ref().clone());
             let r = Arc::try_unwrap(right).unwrap_or_else(|a| a.as_ref().clone());
             flatten(l, relations, conjuncts);
@@ -259,14 +267,25 @@ fn referenced_relations(e: &BExpr, offsets: &[usize], widths: &[usize]) -> HashS
 /// Pushes a predicate into a scan filter when possible, else wraps.
 fn push_into(plan: Plan, pred: BExpr) -> Plan {
     match plan {
-        Plan::Scan { table, width, filter } => {
+        Plan::Scan {
+            table,
+            width,
+            filter,
+        } => {
             let combined = match filter {
                 None => pred,
                 Some(f) => BExpr::And(f.boxed(), pred.boxed()),
             };
-            Plan::Scan { table, width, filter: Some(combined) }
+            Plan::Scan {
+                table,
+                width,
+                filter: Some(combined),
+            }
         }
-        other => Plan::Filter { input: Arc::new(other), predicate: pred },
+        other => Plan::Filter {
+            input: Arc::new(other),
+            predicate: pred,
+        },
     }
 }
 

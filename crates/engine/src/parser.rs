@@ -9,7 +9,11 @@ use tpcds_types::{Date, Decimal, Value};
 /// Parses one SQL statement into a [`Query`].
 pub fn parse(sql: &str) -> Result<Query> {
     let tokens = lex(sql)?;
-    let mut p = Parser { tokens, pos: 0, depth: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let q = p.query()?;
     p.eat_sym(Sym::Semicolon);
     if !p.at_end() {
@@ -103,7 +107,9 @@ impl Parser {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
             Some(Token::QuotedIdent(s)) => Ok(s),
-            other => Err(EngineError::parse(format!("expected identifier, found {other:?}"))),
+            other => Err(EngineError::parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -146,11 +152,16 @@ impl Parser {
         if self.eat_kw("limit") {
             match self.next() {
                 Some(Token::Number(n)) => {
-                    limit = Some(n.parse::<u64>().map_err(|e| {
-                        EngineError::parse(format!("bad LIMIT {n:?}: {e}"))
-                    })?)
+                    limit = Some(
+                        n.parse::<u64>()
+                            .map_err(|e| EngineError::parse(format!("bad LIMIT {n:?}: {e}")))?,
+                    )
                 }
-                other => return Err(EngineError::parse(format!("expected LIMIT count, found {other:?}"))),
+                other => {
+                    return Err(EngineError::parse(format!(
+                        "expected LIMIT count, found {other:?}"
+                    )))
+                }
             }
         }
         // "fetch first N rows only" used by some TPC-DS variants.
@@ -158,16 +169,26 @@ impl Parser {
             self.expect_kw("first")?;
             match self.next() {
                 Some(Token::Number(n)) => {
-                    limit = Some(n.parse::<u64>().map_err(|e| {
-                        EngineError::parse(format!("bad FETCH FIRST {n:?}: {e}"))
-                    })?)
+                    limit =
+                        Some(n.parse::<u64>().map_err(|e| {
+                            EngineError::parse(format!("bad FETCH FIRST {n:?}: {e}"))
+                        })?)
                 }
-                other => return Err(EngineError::parse(format!("expected row count, found {other:?}"))),
+                other => {
+                    return Err(EngineError::parse(format!(
+                        "expected row count, found {other:?}"
+                    )))
+                }
             }
             self.expect_kw("rows")?;
             self.expect_kw("only")?;
         }
-        Ok(Query { ctes, body, order_by, limit })
+        Ok(Query {
+            ctes,
+            body,
+            order_by,
+            limit,
+        })
     }
 
     fn set_expr(&mut self) -> Result<SetExpr> {
@@ -185,7 +206,12 @@ impl Parser {
             self.pos += 1;
             let all = self.eat_kw("all");
             let right = self.set_primary()?;
-            left = SetExpr::SetOp { op, all, left: Box::new(left), right: Box::new(right) };
+            left = SetExpr::SetOp {
+                op,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -218,7 +244,11 @@ impl Parser {
                 }
             }
         }
-        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         let mut rollup = false;
         if self.eat_kw("group") {
@@ -242,8 +272,20 @@ impl Parser {
                 }
             }
         }
-        let having = if self.eat_kw("having") { Some(self.expr()?) } else { None };
-        Ok(Select { distinct, items, from, where_clause, group_by, rollup, having })
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            rollup,
+            having,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -251,7 +293,8 @@ impl Parser {
             return Ok(SelectItem::Wildcard);
         }
         // qualifier.*
-        if let (Some(Token::Ident(q)), Some(Token::Symbol(Sym::Dot))) = (self.peek(), self.peek2()) {
+        if let (Some(Token::Ident(q)), Some(Token::Symbol(Sym::Dot))) = (self.peek(), self.peek2())
+        {
             if self.tokens.get(self.pos + 2) == Some(&Token::Symbol(Sym::Star)) {
                 let q = q.clone();
                 self.pos += 3;
@@ -264,8 +307,19 @@ impl Parser {
         } else if let Some(Token::Ident(s)) = self.peek() {
             // Bare alias, unless it's a clause keyword.
             const CLAUSE_KEYWORDS: [&str; 13] = [
-                "from", "where", "group", "having", "order", "limit", "union",
-                "intersect", "except", "on", "join", "fetch", "as",
+                "from",
+                "where",
+                "group",
+                "having",
+                "order",
+                "limit",
+                "union",
+                "intersect",
+                "except",
+                "on",
+                "join",
+                "fetch",
+                "as",
             ];
             if CLAUSE_KEYWORDS.contains(&s.as_str()) {
                 None
@@ -306,7 +360,12 @@ impl Parser {
                 self.expect_kw("on")?;
                 Some(self.expr()?)
             };
-            t = TableRef::Join { left: Box::new(t), right: Box::new(right), kind, on };
+            t = TableRef::Join {
+                left: Box::new(t),
+                right: Box::new(right),
+                kind,
+                on,
+            };
         }
         Ok(t)
     }
@@ -317,15 +376,32 @@ impl Parser {
             self.expect_sym(Sym::RParen)?;
             self.eat_kw("as");
             let alias = self.ident()?;
-            return Ok(TableRef::Subquery { query: Box::new(q), alias });
+            return Ok(TableRef::Subquery {
+                query: Box::new(q),
+                alias,
+            });
         }
         let name = self.ident()?;
         let alias = if self.eat_kw("as") {
             Some(self.ident()?)
         } else if let Some(Token::Ident(s)) = self.peek() {
             const STOP: [&str; 16] = [
-                "where", "group", "having", "order", "limit", "union", "intersect",
-                "except", "on", "join", "inner", "left", "cross", "fetch", "as", "right",
+                "where",
+                "group",
+                "having",
+                "order",
+                "limit",
+                "union",
+                "intersect",
+                "except",
+                "on",
+                "join",
+                "inner",
+                "left",
+                "cross",
+                "fetch",
+                "as",
+                "right",
             ];
             if STOP.contains(&s.as_str()) {
                 None
@@ -360,7 +436,11 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_kw("or") {
             let right = self.and_expr()?;
-            left = Expr::Binary { op: BinOp::Or, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -369,7 +449,11 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_kw("and") {
             let right = self.not_expr()?;
-            left = Expr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -388,7 +472,10 @@ impl Parser {
         if self.eat_kw("is") {
             let negated = self.eat_kw("not");
             self.expect_kw("null")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         let negated = if self.peek_kw("not")
             && matches!(self.peek2(), Some(Token::Ident(s)) if s == "between" || s == "in" || s == "like")
@@ -414,7 +501,11 @@ impl Parser {
             if self.peek_kw("select") || self.peek_kw("with") {
                 let q = self.query()?;
                 self.expect_sym(Sym::RParen)?;
-                return Ok(Expr::InSubquery { expr: Box::new(left), query: Box::new(q), negated });
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(q),
+                    negated,
+                });
             }
             let mut list = Vec::new();
             loop {
@@ -424,11 +515,19 @@ impl Parser {
                 }
             }
             self.expect_sym(Sym::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_kw("like") {
             let pattern = self.additive()?;
-            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
         }
         if negated {
             return Err(EngineError::parse("dangling NOT"));
@@ -446,7 +545,11 @@ impl Parser {
         if let Some(op) = op {
             self.pos += 1;
             let right = self.additive()?;
-            return Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) });
+            return Ok(Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
         }
         Ok(left)
     }
@@ -462,7 +565,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.multiplicative()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -478,7 +585,11 @@ impl Parser {
             };
             self.pos += 1;
             let right = self.unary()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -527,7 +638,10 @@ impl Parser {
             Some(Token::Ident(id)) => self.ident_expr(id),
             Some(Token::QuotedIdent(id)) => {
                 self.pos += 1;
-                Ok(Expr::Column { qualifier: None, name: id })
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name: id,
+                })
             }
             other => Err(EngineError::parse(format!("unexpected token {other:?}"))),
         }
@@ -587,14 +701,20 @@ impl Parser {
                     }
                 }
                 self.expect_sym(Sym::RParen)?;
-                return Ok(Expr::Cast { expr: Box::new(e), ty });
+                return Ok(Expr::Cast {
+                    expr: Box::new(e),
+                    ty,
+                });
             }
             "exists" => {
                 self.pos += 1;
                 self.expect_sym(Sym::LParen)?;
                 let q = self.query()?;
                 self.expect_sym(Sym::RParen)?;
-                return Ok(Expr::Exists { query: Box::new(q), negated: false });
+                return Ok(Expr::Exists {
+                    query: Box::new(q),
+                    negated: false,
+                });
             }
             "not" => {
                 // handled at not_expr level; `NOT EXISTS` may also reach
@@ -604,7 +724,10 @@ impl Parser {
                 self.expect_sym(Sym::LParen)?;
                 let q = self.query()?;
                 self.expect_sym(Sym::RParen)?;
-                return Ok(Expr::Exists { query: Box::new(q), negated: true });
+                return Ok(Expr::Exists {
+                    query: Box::new(q),
+                    negated: true,
+                });
             }
             _ => {}
         }
@@ -617,9 +740,15 @@ impl Parser {
         self.pos += 1;
         if self.eat_sym(Sym::Dot) {
             let name = self.ident()?;
-            return Ok(Expr::Column { qualifier: Some(id), name });
+            return Ok(Expr::Column {
+                qualifier: Some(id),
+                name,
+            });
         }
-        Ok(Expr::Column { qualifier: None, name: id })
+        Ok(Expr::Column {
+            qualifier: None,
+            name: id,
+        })
     }
 
     fn function_call(&mut self, name: String) -> Result<Expr> {
@@ -683,15 +812,30 @@ impl Parser {
                 if star {
                     args.clear();
                 }
-                return Ok(Expr::Window { name, args, partition_by, order_by });
+                return Ok(Expr::Window {
+                    name,
+                    args,
+                    partition_by,
+                    order_by,
+                });
             }
             self.expect_sym(Sym::RParen)?;
             if star {
                 args.clear();
             }
-            return Ok(Expr::Window { name, args, partition_by, order_by });
+            return Ok(Expr::Window {
+                name,
+                args,
+                partition_by,
+                order_by,
+            });
         }
-        Ok(Expr::Function { name, args, star, distinct })
+        Ok(Expr::Function {
+            name,
+            args,
+            star,
+            distinct,
+        })
     }
 
     fn case_expr(&mut self) -> Result<Expr> {
@@ -713,7 +857,11 @@ impl Parser {
             None
         };
         self.expect_kw("end")?;
-        Ok(Expr::Case { operand, branches, else_branch })
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        })
     }
 }
 
@@ -813,17 +961,19 @@ mod tests {
         .unwrap();
         assert_eq!(q.ctes.len(), 1);
         match q.body {
-            SetExpr::SetOp { op: SetOpKind::Union, all: true, .. } => {}
+            SetExpr::SetOp {
+                op: SetOpKind::Union,
+                all: true,
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
     }
 
     #[test]
     fn between_in_like_null() {
-        let s = sel(
-            "select 1 from t where a between 1 and 10 and b in (1,2,3)
-             and c like 'x%' and d is not null and e not in (4)",
-        );
+        let s = sel("select 1 from t where a between 1 and 10 and b in (1,2,3)
+             and c like 'x%' and d is not null and e not in (4)");
         assert!(s.where_clause.is_some());
     }
 
@@ -834,7 +984,9 @@ mod tests {
             match e {
                 Expr::InSubquery { .. } => 1,
                 Expr::Subquery(_) => 1,
-                Expr::Binary { left, right, .. } => count_subqueries(left) + count_subqueries(right),
+                Expr::Binary { left, right, .. } => {
+                    count_subqueries(left) + count_subqueries(right)
+                }
                 _ => 0,
             }
         }
@@ -843,21 +995,20 @@ mod tests {
 
     #[test]
     fn case_and_cast() {
-        let s = sel(
-            "select case when a = 1 then 'one' else 'other' end,
-                    cast(b as decimal(15,4)), date '2000-01-01'",
-        );
+        let s = sel("select case when a = 1 then 'one' else 'other' end,
+                    cast(b as decimal(15,4)), date '2000-01-01'");
         assert_eq!(s.items.len(), 3);
     }
 
     #[test]
     fn explicit_joins() {
-        let s = sel(
-            "select * from a join b on a.x = b.x left join c on b.y = c.y cross join d",
-        );
+        let s = sel("select * from a join b on a.x = b.x left join c on b.y = c.y cross join d");
         assert_eq!(s.from.len(), 1);
         match &s.from[0] {
-            TableRef::Join { kind: JoinKind::Cross, .. } => {}
+            TableRef::Join {
+                kind: JoinKind::Cross,
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
     }
@@ -887,11 +1038,17 @@ mod tests {
     fn count_distinct() {
         let s = sel("select count(distinct a), count(*) from t");
         match &s.items[0] {
-            SelectItem::Expr { expr: Expr::Function { distinct, .. }, .. } => assert!(distinct),
+            SelectItem::Expr {
+                expr: Expr::Function { distinct, .. },
+                ..
+            } => assert!(distinct),
             other => panic!("{other:?}"),
         }
         match &s.items[1] {
-            SelectItem::Expr { expr: Expr::Function { star, .. }, .. } => assert!(star),
+            SelectItem::Expr {
+                expr: Expr::Function { star, .. },
+                ..
+            } => assert!(star),
             other => panic!("{other:?}"),
         }
     }

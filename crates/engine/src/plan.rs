@@ -242,83 +242,107 @@ impl Plan {
     pub fn filtered(self, predicate: Option<BExpr>) -> Plan {
         match predicate {
             None => self,
-            Some(p) => Plan::Filter { input: Arc::new(self), predicate: p },
+            Some(p) => Plan::Filter {
+                input: Arc::new(self),
+                predicate: p,
+            },
         }
     }
 
     /// Pretty-prints the plan tree (EXPLAIN output).
     pub fn explain(&self) -> String {
         let mut out = String::new();
-        self.explain_into(&mut out, 0);
+        self.explain_into(&mut out, 0, None);
         out
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize) {
-        use std::fmt::Write;
-        let pad = "  ".repeat(depth);
+    /// Pretty-prints the plan tree annotated with executed actuals
+    /// (EXPLAIN ANALYZE): every operator line carries `rows=` (total rows
+    /// produced), `elapsed=` (inclusive wall clock) and `loops=` (times
+    /// the node ran — correlated subplans run once per outer row). The
+    /// stats come from executing the same tree under
+    /// [`crate::exec::ExecCtx::with_stats`].
+    pub fn explain_analyze(&self, stats: &crate::exec::StatsMap) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0, Some(stats));
+        out
+    }
+
+    /// This node's one-line label, without annotations.
+    fn label(&self) -> String {
         match self {
             Plan::Scan { table, filter, .. } => {
                 let f = if filter.is_some() { " [filtered]" } else { "" };
-                writeln!(out, "{pad}Scan {table}{f}").unwrap();
+                format!("Scan {table}{f}")
             }
-            Plan::Filter { input, .. } => {
-                writeln!(out, "{pad}Filter").unwrap();
-                input.explain_into(out, depth + 1);
+            Plan::Filter { .. } => "Filter".to_string(),
+            Plan::Project { exprs, .. } => format!("Project [{} cols]", exprs.len()),
+            Plan::HashJoin {
+                kind, left_keys, ..
+            } => {
+                format!("HashJoin {kind:?} on {} key(s)", left_keys.len())
             }
-            Plan::Project { input, exprs } => {
-                writeln!(out, "{pad}Project [{} cols]", exprs.len()).unwrap();
-                input.explain_into(out, depth + 1);
-            }
-            Plan::HashJoin { left, right, kind, left_keys, .. } => {
-                writeln!(out, "{pad}HashJoin {kind:?} on {} key(s)", left_keys.len()).unwrap();
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
-            }
-            Plan::NestedLoopJoin { left, right, kind, predicate } => {
+            Plan::NestedLoopJoin {
+                kind, predicate, ..
+            } => {
                 let p = if predicate.is_some() { "" } else { " (cross)" };
-                writeln!(out, "{pad}NestedLoopJoin {kind:?}{p}").unwrap();
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
+                format!("NestedLoopJoin {kind:?}{p}")
             }
-            Plan::Aggregate { input, groups, sets, aggs } => {
-                writeln!(
-                    out,
-                    "{pad}Aggregate [{} group(s), {} set(s), {} agg(s)]",
-                    groups.len(),
-                    sets.len(),
-                    aggs.len()
-                )
-                .unwrap();
-                input.explain_into(out, depth + 1);
-            }
-            Plan::Window { input, calls } => {
-                writeln!(out, "{pad}Window [{} call(s)]", calls.len()).unwrap();
-                input.explain_into(out, depth + 1);
-            }
-            Plan::Sort { input, keys } => {
-                writeln!(out, "{pad}Sort [{} key(s)]", keys.len()).unwrap();
-                input.explain_into(out, depth + 1);
-            }
-            Plan::Limit { input, n } => {
-                writeln!(out, "{pad}Limit {n}").unwrap();
-                input.explain_into(out, depth + 1);
-            }
-            Plan::Distinct { input } => {
-                writeln!(out, "{pad}Distinct").unwrap();
-                input.explain_into(out, depth + 1);
-            }
-            Plan::SetOp { left, right, op, all } => {
-                writeln!(out, "{pad}SetOp {op:?} all={all}").unwrap();
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
-            }
-            Plan::CteRef { id, .. } => {
-                writeln!(out, "{pad}CteRef #{id}").unwrap();
-            }
-            Plan::Prefix { input, keep } => {
-                writeln!(out, "{pad}Prefix keep={keep}").unwrap();
-                input.explain_into(out, depth + 1);
-            }
+            Plan::Aggregate {
+                groups, sets, aggs, ..
+            } => format!(
+                "Aggregate [{} group(s), {} set(s), {} agg(s)]",
+                groups.len(),
+                sets.len(),
+                aggs.len()
+            ),
+            Plan::Window { calls, .. } => format!("Window [{} call(s)]", calls.len()),
+            Plan::Sort { keys, .. } => format!("Sort [{} key(s)]", keys.len()),
+            Plan::Limit { n, .. } => format!("Limit {n}"),
+            Plan::Distinct { .. } => "Distinct".to_string(),
+            Plan::SetOp { op, all, .. } => format!("SetOp {op:?} all={all}"),
+            Plan::CteRef { id, .. } => format!("CteRef #{id}"),
+            Plan::Prefix { keep, .. } => format!("Prefix keep={keep}"),
+        }
+    }
+
+    /// Children in display order (the CTE body renders under its ref).
+    fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan { .. } => vec![],
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Window { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Prefix { input, .. } => vec![input],
+            Plan::HashJoin { left, right, .. }
+            | Plan::NestedLoopJoin { left, right, .. }
+            | Plan::SetOp { left, right, .. } => vec![left, right],
+            Plan::CteRef { .. } => vec![],
+        }
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize, stats: Option<&crate::exec::StatsMap>) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        let suffix = match stats {
+            None => String::new(),
+            Some(map) => match map.get(&(self as *const Plan as usize)) {
+                Some(s) => format!(
+                    " (rows={} elapsed={:.3}ms loops={})",
+                    s.rows_out,
+                    s.elapsed.as_secs_f64() * 1e3,
+                    s.calls
+                ),
+                None => " (never executed)".to_string(),
+            },
+        };
+        writeln!(out, "{pad}{}{suffix}", self.label()).unwrap();
+        for child in self.children() {
+            child.explain_into(out, depth + 1, stats);
         }
     }
 }

@@ -10,7 +10,10 @@ fn db() -> Database {
 fn int_table(db: &Database, name: &str, cols: &[&str], rows: Vec<Vec<Option<i64>>>) {
     let meta = cols
         .iter()
-        .map(|c| ColumnMeta { name: c.to_string(), dtype: DataType::Int })
+        .map(|c| ColumnMeta {
+            name: c.to_string(),
+            dtype: DataType::Int,
+        })
         .collect();
     let rows = rows
         .into_iter()
@@ -35,7 +38,12 @@ fn join_on_null_keys_never_matches() {
 #[test]
 fn left_join_preserves_multiplicity() {
     let d = db();
-    int_table(&d, "l", &["a"], vec![vec![Some(1)], vec![Some(1)], vec![Some(2)]]);
+    int_table(
+        &d,
+        "l",
+        &["a"],
+        vec![vec![Some(1)], vec![Some(1)], vec![Some(2)]],
+    );
     int_table(&d, "r", &["b"], vec![vec![Some(1)], vec![Some(1)]]);
     let r = query(&d, "select count(*) from l left join r on a = b").unwrap();
     // 2 left rows x 2 matches + 1 unmatched = 5
@@ -55,7 +63,12 @@ fn left_join_null_left_key_pads() {
 #[test]
 fn aggregate_null_handling() {
     let d = db();
-    int_table(&d, "t", &["v"], vec![vec![Some(1)], vec![None], vec![Some(3)]]);
+    int_table(
+        &d,
+        "t",
+        &["v"],
+        vec![vec![Some(1)], vec![None], vec![Some(3)]],
+    );
     let r = query(
         &d,
         "select count(*), count(v), sum(v), avg(v), min(v), max(v) from t",
@@ -64,7 +77,10 @@ fn aggregate_null_handling() {
     assert_eq!(r.rows[0][0], Value::Int(3), "count(*) counts NULLs");
     assert_eq!(r.rows[0][1], Value::Int(2), "count(v) skips NULLs");
     assert_eq!(r.rows[0][2], Value::Int(4));
-    assert_eq!(r.rows[0][3], Value::Decimal("2".parse::<Decimal>().unwrap()));
+    assert_eq!(
+        r.rows[0][3],
+        Value::Decimal("2".parse::<Decimal>().unwrap())
+    );
     assert_eq!(r.rows[0][4], Value::Int(1));
     assert_eq!(r.rows[0][5], Value::Int(3));
 }
@@ -76,7 +92,11 @@ fn group_by_null_forms_its_own_group() {
         &d,
         "t",
         &["g", "v"],
-        vec![vec![None, Some(1)], vec![None, Some(2)], vec![Some(1), Some(5)]],
+        vec![
+            vec![None, Some(1)],
+            vec![None, Some(2)],
+            vec![Some(1), Some(5)],
+        ],
     );
     let r = query(&d, "select g, sum(v) from t group by g order by g").unwrap();
     assert_eq!(r.rows.len(), 2);
@@ -148,7 +168,11 @@ fn running_window_sum_includes_peers() {
         &d,
         "t",
         &["k", "v"],
-        vec![vec![Some(1), Some(10)], vec![Some(1), Some(20)], vec![Some(2), Some(30)]],
+        vec![
+            vec![Some(1), Some(10)],
+            vec![Some(1), Some(20)],
+            vec![Some(2), Some(30)],
+        ],
     );
     let r = query(
         &d,
@@ -197,7 +221,12 @@ fn union_deduplicates_including_nulls() {
 #[test]
 fn intersect_and_except_are_set_semantics() {
     let d = db();
-    int_table(&d, "t", &["a"], vec![vec![Some(1)], vec![Some(1)], vec![Some(2)]]);
+    int_table(
+        &d,
+        "t",
+        &["a"],
+        vec![vec![Some(1)], vec![Some(1)], vec![Some(2)]],
+    );
     let r = query(&d, "select a from t intersect select a from t").unwrap();
     assert_eq!(r.rows.len(), 2, "intersect deduplicates");
     let r = query(&d, "select a from t except select a from t where a = 99").unwrap();
@@ -208,14 +237,22 @@ fn intersect_and_except_are_set_semantics() {
 fn limit_zero_and_beyond() {
     let d = db();
     int_table(&d, "t", &["a"], vec![vec![Some(1)], vec![Some(2)]]);
-    assert!(query(&d, "select a from t limit 0").unwrap().rows.is_empty());
+    assert!(query(&d, "select a from t limit 0")
+        .unwrap()
+        .rows
+        .is_empty());
     assert_eq!(query(&d, "select a from t limit 99").unwrap().rows.len(), 2);
 }
 
 #[test]
 fn order_by_nulls_positioning() {
     let d = db();
-    int_table(&d, "t", &["a"], vec![vec![Some(2)], vec![None], vec![Some(1)]]);
+    int_table(
+        &d,
+        "t",
+        &["a"],
+        vec![vec![Some(2)], vec![None], vec![Some(1)]],
+    );
     let asc = query(&d, "select a from t order by a").unwrap();
     assert!(asc.rows[0][0].is_null(), "NULLs first ascending");
     let desc = query(&d, "select a from t order by a desc").unwrap();
@@ -226,7 +263,12 @@ fn order_by_nulls_positioning() {
 fn cross_join_counts() {
     let d = db();
     int_table(&d, "a", &["x"], vec![vec![Some(1)], vec![Some(2)]]);
-    int_table(&d, "b", &["y"], vec![vec![Some(1)], vec![Some(2)], vec![Some(3)]]);
+    int_table(
+        &d,
+        "b",
+        &["y"],
+        vec![vec![Some(1)], vec![Some(2)], vec![Some(3)]],
+    );
     let r = query(&d, "select count(*) from a, b").unwrap();
     assert_eq!(r.rows[0][0], Value::Int(6));
     let r = query(&d, "select count(*) from a cross join b").unwrap();
@@ -238,7 +280,10 @@ fn string_functions_compose() {
     let d = db();
     d.create_table_with_rows(
         "s",
-        vec![ColumnMeta { name: "v".into(), dtype: DataType::Str }],
+        vec![ColumnMeta {
+            name: "v".into(),
+            dtype: DataType::Str,
+        }],
         vec![vec![Value::str("Hello World")]],
     )
     .unwrap();
@@ -265,7 +310,12 @@ fn case_without_else_yields_null() {
 #[test]
 fn simple_case_with_operand() {
     let d = db();
-    int_table(&d, "t", &["a"], vec![vec![Some(1)], vec![Some(2)], vec![Some(3)]]);
+    int_table(
+        &d,
+        "t",
+        &["a"],
+        vec![vec![Some(1)], vec![Some(2)], vec![Some(3)]],
+    );
     let r = query(
         &d,
         "select a, case a when 1 then 10 when 2 then 20 else 0 end from t order by a",
@@ -278,14 +328,20 @@ fn simple_case_with_operand() {
 #[test]
 fn decimal_aggregation_is_exact() {
     let d = db();
-    let meta = vec![ColumnMeta { name: "v".into(), dtype: DataType::Decimal }];
+    let meta = vec![ColumnMeta {
+        name: "v".into(),
+        dtype: DataType::Decimal,
+    }];
     let rows: Vec<Vec<Value>> = (0..1000)
         .map(|_| vec![Value::Decimal(Decimal::from_cents(1))])
         .collect();
     d.create_table_with_rows("t", meta, rows).unwrap();
     let r = query(&d, "select sum(v) from t").unwrap();
     // 1000 cents = 10.00 exactly, no float drift.
-    assert_eq!(r.rows[0][0], Value::Decimal("10.00".parse::<Decimal>().unwrap()));
+    assert_eq!(
+        r.rows[0][0],
+        Value::Decimal("10.00".parse::<Decimal>().unwrap())
+    );
 }
 
 #[test]
@@ -328,7 +384,12 @@ fn derived_table_with_set_op_and_outer_aggregate() {
 #[test]
 fn deeply_nested_subqueries() {
     let d = db();
-    int_table(&d, "t", &["a"], vec![vec![Some(1)], vec![Some(2)], vec![Some(3)]]);
+    int_table(
+        &d,
+        "t",
+        &["a"],
+        vec![vec![Some(1)], vec![Some(2)], vec![Some(3)]],
+    );
     let r = query(
         &d,
         "select a from t where a in (
@@ -342,7 +403,12 @@ fn deeply_nested_subqueries() {
 #[test]
 fn index_survives_mutation_correctly() {
     let d = db();
-    int_table(&d, "t", &["k"], (0..100).map(|i| vec![Some(i % 10)]).collect());
+    int_table(
+        &d,
+        "t",
+        &["k"],
+        (0..100).map(|i| vec![Some(i % 10)]).collect(),
+    );
     d.create_index("t", "k").unwrap();
     // delete half, verify index-driven scan agrees with predicate scan
     let h = d.table("t").unwrap();

@@ -8,7 +8,10 @@ use tpcds_types::{DataType, Value};
 /// sizes, with selective predicates on the smallest.
 fn star_db() -> Database {
     let db = Database::new();
-    let col = |n: &str| ColumnMeta { name: n.to_string(), dtype: DataType::Int };
+    let col = |n: &str| ColumnMeta {
+        name: n.to_string(),
+        dtype: DataType::Int,
+    };
     db.create_table_with_rows(
         "fact",
         vec![col("f_d1"), col("f_d2"), col("f_d3"), col("f_v")],
@@ -27,19 +30,25 @@ fn star_db() -> Database {
     db.create_table_with_rows(
         "d1",
         vec![col("d1_id"), col("d1_attr")],
-        (0..100).map(|i| vec![Value::Int(i), Value::Int(i * 2)]).collect(),
+        (0..100)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 2)])
+            .collect(),
     )
     .unwrap();
     db.create_table_with_rows(
         "d2",
         vec![col("d2_id"), col("d2_attr")],
-        (0..10).map(|i| vec![Value::Int(i), Value::Int(i * 3)]).collect(),
+        (0..10)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 3)])
+            .collect(),
     )
     .unwrap();
     db.create_table_with_rows(
         "d3",
         vec![col("d3_id"), col("d3_attr")],
-        (0..500).map(|i| vec![Value::Int(i), Value::Int(i * 5)]).collect(),
+        (0..500)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 5)])
+            .collect(),
     )
     .unwrap();
     db
@@ -79,7 +88,12 @@ fn comma_joins_become_hash_joins() {
     let hash_joins = count_nodes(&bound.plan, &|p| matches!(p, Plan::HashJoin { .. }));
     let nl_joins = count_nodes(&bound.plan, &|p| matches!(p, Plan::NestedLoopJoin { .. }));
     assert_eq!(hash_joins, 3, "{}", bound.plan.explain());
-    assert_eq!(nl_joins, 0, "no cartesian products left:\n{}", bound.plan.explain());
+    assert_eq!(
+        nl_joins,
+        0,
+        "no cartesian products left:\n{}",
+        bound.plan.explain()
+    );
 }
 
 #[test]
@@ -91,7 +105,13 @@ fn local_predicates_are_pushed_into_scans() {
     )
     .unwrap();
     let filtered_scans = count_nodes(&bound.plan, &|p| {
-        matches!(p, Plan::Scan { filter: Some(_), .. })
+        matches!(
+            p,
+            Plan::Scan {
+                filter: Some(_),
+                ..
+            }
+        )
     });
     assert_eq!(filtered_scans, 2, "{}", bound.plan.explain());
 }
@@ -164,15 +184,14 @@ fn subquery_predicates_stay_above_joins() {
 #[test]
 fn explain_shows_fact_as_probe_side() {
     let db = star_db();
-    let bound = plan_sql(
-        &db,
-        "select count(*) from fact, d2 where f_d2 = d2_id",
-    )
-    .unwrap();
+    let bound = plan_sql(&db, "select count(*) from fact, d2 where f_d2 = d2_id").unwrap();
     let text = bound.plan.explain();
     // The first (left) input of the hash join should be the larger fact
     // table — the greedy order builds on the small side.
     let fact_pos = text.find("Scan fact").expect("fact scanned");
     let d2_pos = text.find("Scan d2").expect("d2 scanned");
-    assert!(fact_pos < d2_pos, "fact should be the probe (left) side:\n{text}");
+    assert!(
+        fact_pos < d2_pos,
+        "fact should be the probe (left) side:\n{text}"
+    );
 }

@@ -9,10 +9,10 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
-use tpcds_types::{Date, Value};
 use tpcds_dgen::Generator;
 use tpcds_engine::{Database, EngineError, Result};
 use tpcds_schema::ScdClass;
+use tpcds_types::{Date, Value};
 
 /// The twelve maintenance operations, in execution order.
 pub const OPERATIONS: [&str; 12] = [
@@ -53,7 +53,10 @@ pub struct MaintenanceReport {
 impl MaintenanceReport {
     /// Total rows touched.
     pub fn total_rows(&self) -> usize {
-        self.ops.iter().map(|o| o.updated + o.inserted + o.deleted).sum()
+        self.ops
+            .iter()
+            .map(|o| o.updated + o.inserted + o.deleted)
+            .sum()
     }
 }
 
@@ -73,18 +76,26 @@ pub fn run_maintenance(
     generator: &Generator,
     refresh_seq: u32,
 ) -> Result<MaintenanceReport> {
+    let span = tpcds_obs::span("maint", "run_maintenance").field("refresh_seq", refresh_seq);
     let mut report = MaintenanceReport::default();
     let when = refresh_date(generator, refresh_seq);
 
     for table in ["customer", "customer_address", "warehouse", "promotion"] {
-        report
-            .ops
-            .push(update_non_history_dimension(db, generator, table, refresh_seq)?);
+        report.ops.push(update_non_history_dimension(
+            db,
+            generator,
+            table,
+            refresh_seq,
+        )?);
     }
     for table in ["item", "store", "call_center", "web_site"] {
-        report
-            .ops
-            .push(update_history_dimension(db, generator, table, refresh_seq, when)?);
+        report.ops.push(update_history_dimension(
+            db,
+            generator,
+            table,
+            refresh_seq,
+            when,
+        )?);
     }
     report.ops.push(insert_channel(
         db,
@@ -107,8 +118,22 @@ pub fn run_maintenance(
         &["web_sales", "web_returns"],
         refresh_seq,
     )?);
-    report.ops.push(delete_fact_range(db, generator, refresh_seq)?);
+    report
+        .ops
+        .push(delete_fact_range(db, generator, refresh_seq)?);
+    span.field("rows", report.total_rows()).finish();
     Ok(report)
+}
+
+/// Records one finished operation as a `maint/op` span carrying the
+/// operation's row actuals, and returns the report unchanged.
+fn record_op(span: tpcds_obs::SpanGuard, report: OpReport) -> OpReport {
+    span.field("op", report.name)
+        .field("updated", report.updated)
+        .field("inserted", report.inserted)
+        .field("deleted", report.deleted)
+        .finish();
+    report
 }
 
 fn op_name(table: &str) -> &'static str {
@@ -133,13 +158,17 @@ pub fn update_non_history_dimension(
     table: &str,
     refresh_seq: u32,
 ) -> Result<OpReport> {
+    let span = tpcds_obs::span("maint", "op");
     let def = generator
         .schema()
         .table(table)
         .ok_or_else(|| EngineError::Catalog(format!("unknown table {table}")))?;
     debug_assert_eq!(def.scd, ScdClass::NonHistory);
     let bk_idx = def
-        .column_index(def.business_key.expect("non-history dims have business keys"))
+        .column_index(
+            def.business_key
+                .expect("non-history dims have business keys"),
+        )
         .expect("bk col");
     let updates = generator.refresh_dimension(table, refresh_seq);
     let mut wanted: HashMap<String, tpcds_types::Row> = HashMap::new();
@@ -171,7 +200,15 @@ pub fn update_non_history_dimension(
             false
         }
     });
-    Ok(OpReport { name: op_name(table), updated, inserted: 0, deleted: 0 })
+    Ok(record_op(
+        span,
+        OpReport {
+            name: op_name(table),
+            updated,
+            inserted: 0,
+            deleted: 0,
+        },
+    ))
 }
 
 /// Figure 9: close the current revision (rec_end_date := update date - 1)
@@ -183,6 +220,7 @@ pub fn update_history_dimension(
     refresh_seq: u32,
     when: Date,
 ) -> Result<OpReport> {
+    let span = tpcds_obs::span("maint", "op");
     let def = generator
         .schema()
         .table(table)
@@ -243,7 +281,15 @@ pub fn update_history_dimension(
     });
     let inserted = to_insert.len();
     t.insert(to_insert)?;
-    Ok(OpReport { name: op_name(table), updated: closed, inserted, deleted: 0 })
+    Ok(record_op(
+        span,
+        OpReport {
+            name: op_name(table),
+            updated: closed,
+            inserted,
+            deleted: 0,
+        },
+    ))
 }
 
 /// Figure 10: insert fact rows, resolving business keys to the most
@@ -256,6 +302,7 @@ pub fn insert_channel(
     tables: &[&str],
     refresh_seq: u32,
 ) -> Result<OpReport> {
+    let span = tpcds_obs::span("maint", "op");
     let mut inserted = 0;
     for table in tables {
         let def = generator
@@ -298,7 +345,15 @@ pub fn insert_channel(
         inserted += resolved.len();
         db.insert(table, resolved)?;
     }
-    Ok(OpReport { name, updated: 0, inserted, deleted: 0 })
+    Ok(record_op(
+        span,
+        OpReport {
+            name,
+            updated: 0,
+            inserted,
+            deleted: 0,
+        },
+    ))
 }
 
 /// Business key → current surrogate key. For history-keeping dimensions
@@ -314,7 +369,10 @@ pub fn current_surrogates(
         .table(table)
         .ok_or_else(|| EngineError::Catalog(format!("unknown table {table}")))?;
     let bk_idx = def
-        .column_index(def.business_key.expect("maintained dims have business keys"))
+        .column_index(
+            def.business_key
+                .expect("maintained dims have business keys"),
+        )
         .expect("bk col");
     let end_idx = def
         .columns
@@ -344,6 +402,7 @@ pub fn delete_fact_range(
     generator: &Generator,
     refresh_seq: u32,
 ) -> Result<OpReport> {
+    let span = tpcds_obs::span("maint", "op");
     let (lo, hi) = generator.refresh_delete_range(refresh_seq);
     let (lo_sk, hi_sk) = (lo.date_sk(), hi.date_sk());
     let mut deleted = 0;
@@ -365,7 +424,15 @@ pub fn delete_fact_range(
                 .unwrap_or(false)
         });
     }
-    Ok(OpReport { name: "delete_fact_range", updated: 0, inserted: 0, deleted })
+    Ok(record_op(
+        span,
+        OpReport {
+            name: "delete_fact_range",
+            updated: 0,
+            inserted: 0,
+            deleted,
+        },
+    ))
 }
 
 /// Loads the initial population of every table into the database
@@ -437,7 +504,11 @@ mod tests {
         let rep = update_non_history_dimension(&db, &g, "customer", 0).unwrap();
         assert!(rep.updated > 0, "no customers updated");
         assert_eq!(rep.inserted, 0);
-        assert_eq!(db.row_count("customer"), before, "row count must not change");
+        assert_eq!(
+            db.row_count("customer"),
+            before,
+            "row count must not change"
+        );
     }
 
     #[test]
@@ -458,7 +529,9 @@ mod tests {
         let mut open: HashMap<String, u32> = HashMap::new();
         for row in &t.rows {
             if row[end_idx].is_null() {
-                *open.entry(row[1].as_str().unwrap().to_string()).or_default() += 1;
+                *open
+                    .entry(row[1].as_str().unwrap().to_string())
+                    .or_default() += 1;
             }
         }
         assert!(open.values().all(|&c| c == 1), "broken revision chains");
@@ -493,7 +566,10 @@ mod tests {
         assert!(t.rows.len() > ss_before, "no store_sales inserted");
         for row in t.rows.iter().skip(ss_before) {
             let sk = row[item_col].as_int().unwrap();
-            assert!(valid.contains(&sk), "inserted fact references closed revision {sk}");
+            assert!(
+                valid.contains(&sk),
+                "inserted fact references closed revision {sk}"
+            );
         }
     }
 

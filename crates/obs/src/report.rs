@@ -1,0 +1,353 @@
+//! Trace analysis: parses a JSONL trace back into events and renders the
+//! phase timeline (Gantt), per-span latency statistics and counter totals
+//! as a text report — the audit trail DWEB-style benchmarking asks for.
+
+use crate::json::Json;
+use crate::{Event, EventKind};
+use std::collections::BTreeMap;
+
+/// Parses a JSONL trace (one event per line; blank lines ignored).
+pub fn parse_trace(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let j = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push(Event::from_json(&j).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(events)
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice. `pct` in 0..=100.
+pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Latency distribution summary of one span population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub count: u64,
+    /// Sum of durations, microseconds.
+    pub total_us: u64,
+    /// Median, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile, microseconds.
+    pub p95_us: u64,
+    /// Maximum, microseconds.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    /// Computes the summary from raw durations (order irrelevant).
+    pub fn from_durations_us(mut durs: Vec<u64>) -> LatencyStats {
+        durs.sort_unstable();
+        LatencyStats {
+            count: durs.len() as u64,
+            total_us: durs.iter().sum(),
+            p50_us: percentile(&durs, 50.0),
+            p95_us: percentile(&durs, 95.0),
+            max_us: *durs.last().unwrap_or(&0),
+        }
+    }
+}
+
+fn ms(us: u64) -> f64 {
+    us as f64 / 1e3
+}
+
+/// A parsed, aggregated trace ready to render.
+pub struct TraceReport {
+    /// The benchmark phases in start order: (phase name, start_us, dur_us).
+    pub phases: Vec<(String, u64, u64)>,
+    /// Per (layer, name) span latency stats.
+    pub spans: BTreeMap<(String, String), LatencyStats>,
+    /// Per query-id latency stats (from `runner/query` spans).
+    pub queries: BTreeMap<i64, LatencyStats>,
+    /// Per (layer, name) counter (count, sum).
+    pub counters: BTreeMap<(String, String), (u64, f64)>,
+    /// Total events in the trace.
+    pub events: usize,
+}
+
+impl TraceReport {
+    /// Aggregates a parsed event stream.
+    pub fn build(events: &[Event]) -> TraceReport {
+        let mut phases = Vec::new();
+        let mut span_durs: BTreeMap<(String, String), Vec<u64>> = BTreeMap::new();
+        let mut query_durs: BTreeMap<i64, Vec<u64>> = BTreeMap::new();
+        let mut counters: BTreeMap<(String, String), (u64, f64)> = BTreeMap::new();
+        for e in events {
+            match e.kind {
+                EventKind::Span => {
+                    let d = e.dur_us.unwrap_or(0);
+                    span_durs
+                        .entry((e.layer.clone(), e.name.clone()))
+                        .or_default()
+                        .push(d);
+                    if e.name == "phase" {
+                        let label = e.str_field("phase").unwrap_or("?").to_string();
+                        phases.push((label, e.ts_us, d));
+                    }
+                    if e.layer == "runner" && e.name == "query" {
+                        if let Some(q) = e.int_field("query") {
+                            query_durs.entry(q).or_default().push(d);
+                        }
+                    }
+                }
+                EventKind::Counter => {
+                    let c = counters
+                        .entry((e.layer.clone(), e.name.clone()))
+                        .or_insert((0, 0.0));
+                    c.0 += 1;
+                    c.1 += e.value.unwrap_or(0.0);
+                }
+                EventKind::Point => {}
+            }
+        }
+        phases.sort_by_key(|(_, start, _)| *start);
+        TraceReport {
+            phases,
+            spans: span_durs
+                .into_iter()
+                .map(|(k, v)| (k, LatencyStats::from_durations_us(v)))
+                .collect(),
+            queries: query_durs
+                .into_iter()
+                .map(|(k, v)| (k, LatencyStats::from_durations_us(v)))
+                .collect(),
+            counters,
+            events: events.len(),
+        }
+    }
+
+    /// Renders the full text report: Gantt-style phase timeline, span
+    /// stats, per-query latency and counter totals.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("trace report — {} events\n", self.events));
+
+        if !self.phases.is_empty() {
+            let origin = self.phases.iter().map(|(_, s, _)| *s).min().unwrap_or(0);
+            let end = self
+                .phases
+                .iter()
+                .map(|(_, s, d)| s + d)
+                .max()
+                .unwrap_or(origin)
+                .max(origin + 1);
+            let total = end - origin;
+            const WIDTH: usize = 50;
+            out.push_str(&format!(
+                "\nphase timeline (total {:.3}s)\n",
+                total as f64 / 1e6
+            ));
+            for (name, start, dur) in &self.phases {
+                let lo = ((start - origin) as f64 / total as f64 * WIDTH as f64) as usize;
+                let mut len = (*dur as f64 / total as f64 * WIDTH as f64).round() as usize;
+                len = len.max(1);
+                let lo = lo.min(WIDTH - 1);
+                let len = len.min(WIDTH - lo);
+                let bar: String = " ".repeat(lo) + &"#".repeat(len) + &" ".repeat(WIDTH - lo - len);
+                out.push_str(&format!(
+                    "  {name:<6} |{bar}| {:>9.3}s\n",
+                    *dur as f64 / 1e6
+                ));
+            }
+        }
+
+        if !self.spans.is_empty() {
+            out.push_str("\nspans                          count   total(ms)    p50(ms)    p95(ms)    max(ms)\n");
+            for ((layer, name), s) in &self.spans {
+                out.push_str(&format!(
+                    "  {:<28} {:>5} {:>11.3} {:>10.3} {:>10.3} {:>10.3}\n",
+                    format!("{layer}/{name}"),
+                    s.count,
+                    ms(s.total_us),
+                    ms(s.p50_us),
+                    ms(s.p95_us),
+                    ms(s.max_us),
+                ));
+            }
+        }
+
+        if !self.queries.is_empty() {
+            out.push_str(
+                "\nper-query latency              runs     p50(ms)    p95(ms)    max(ms)\n",
+            );
+            for (q, s) in &self.queries {
+                out.push_str(&format!(
+                    "  q{:<27} {:>5} {:>11.3} {:>10.3} {:>10.3}\n",
+                    q,
+                    s.count,
+                    ms(s.p50_us),
+                    ms(s.p95_us),
+                    ms(s.max_us),
+                ));
+            }
+        }
+
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters                       count         sum\n");
+            for ((layer, name), (n, sum)) in &self.counters {
+                out.push_str(&format!(
+                    "  {:<28} {:>5} {:>11.1}\n",
+                    format!("{layer}/{name}"),
+                    n,
+                    sum
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Parses a trace file's text and renders the report in one step.
+pub fn summarize(trace_text: &str) -> Result<String, String> {
+    let events = parse_trace(trace_text)?;
+    Ok(TraceReport::build(&events).render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FieldValue;
+
+    fn span_ev(
+        layer: &str,
+        name: &str,
+        ts: u64,
+        dur: u64,
+        fields: Vec<(&str, FieldValue)>,
+    ) -> Event {
+        Event {
+            ts_us: ts,
+            kind: EventKind::Span,
+            layer: layer.into(),
+            name: name.into(),
+            dur_us: Some(dur),
+            value: None,
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 95.0), 95);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn report_aggregates_phases_queries_and_counters() {
+        let events = vec![
+            span_ev(
+                "runner",
+                "phase",
+                0,
+                1_000_000,
+                vec![("phase", "load".into())],
+            ),
+            span_ev(
+                "runner",
+                "phase",
+                1_000_000,
+                2_000_000,
+                vec![("phase", "qr1".into())],
+            ),
+            span_ev(
+                "runner",
+                "phase",
+                3_000_000,
+                500_000,
+                vec![("phase", "dm".into())],
+            ),
+            span_ev(
+                "runner",
+                "phase",
+                3_500_000,
+                1_800_000,
+                vec![("phase", "qr2".into())],
+            ),
+            span_ev(
+                "runner",
+                "query",
+                1_100_000,
+                300,
+                vec![("query", FieldValue::Int(52))],
+            ),
+            span_ev(
+                "runner",
+                "query",
+                1_200_000,
+                700,
+                vec![("query", FieldValue::Int(52))],
+            ),
+            span_ev(
+                "runner",
+                "query",
+                1_300_000,
+                200,
+                vec![("query", FieldValue::Int(7))],
+            ),
+            Event {
+                ts_us: 10,
+                kind: EventKind::Counter,
+                layer: "dgen".into(),
+                name: "rows".into(),
+                dur_us: None,
+                value: Some(1000.0),
+                fields: vec![("table".into(), FieldValue::Str("item".into()))],
+            },
+        ];
+        let rep = TraceReport::build(&events);
+        assert_eq!(rep.phases.len(), 4);
+        assert_eq!(rep.phases[0].0, "load");
+        assert_eq!(rep.phases[3].0, "qr2");
+        assert_eq!(rep.queries[&52].count, 2);
+        assert_eq!(rep.queries[&52].p50_us, 300);
+        assert_eq!(rep.queries[&52].max_us, 700);
+        assert_eq!(rep.counters[&("dgen".into(), "rows".into())], (1, 1000.0));
+        let text = rep.render();
+        assert!(text.contains("phase timeline"), "{text}");
+        assert!(text.contains("load"), "{text}");
+        assert!(text.contains("q52"), "{text}");
+        assert!(text.contains("dgen/rows"), "{text}");
+    }
+
+    #[test]
+    fn summarize_round_trips_serialized_events() {
+        let events = [
+            span_ev("runner", "phase", 0, 1000, vec![("phase", "load".into())]),
+            span_ev(
+                "engine",
+                "query",
+                10,
+                50,
+                vec![("rows", FieldValue::Int(3))],
+            ),
+        ];
+        let text: String = events
+            .iter()
+            .map(|e| format!("{}\n", e.to_json()))
+            .collect();
+        let report = summarize(&text).unwrap();
+        assert!(report.contains("engine/query"), "{report}");
+    }
+
+    #[test]
+    fn summarize_rejects_malformed_lines() {
+        assert!(summarize("{not json").is_err());
+    }
+}

@@ -46,27 +46,74 @@ pub fn named_list(name: &str) -> Option<&'static [&'static str]> {
 /// Two-digit zip prefixes (zips are generated uniformly in 00600-99998,
 /// so every prefix qualifies a comparable slice).
 pub const ZIP_PREFIXES: &[&str] = &[
-    "10", "13", "17", "21", "24", "28", "31", "35", "38", "42", "45", "49",
-    "52", "56", "59", "63", "66", "70", "73", "77", "80", "84", "87", "91",
-    "94", "98", "12", "23", "34", "47", "58", "69", "71", "82", "93", "19",
-    "27", "39", "44", "55",
+    "10", "13", "17", "21", "24", "28", "31", "35", "38", "42", "45", "49", "52", "56", "59", "63",
+    "66", "70", "73", "77", "80", "84", "87", "91", "94", "98", "12", "23", "34", "47", "58", "69",
+    "71", "82", "93", "19", "27", "39", "44", "55",
 ];
 
 /// The ten category names.
 pub const CATEGORY_NAMES: &[&str] = &[
-    "Books", "Children", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes",
-    "Sports", "Women",
+    "Books",
+    "Children",
+    "Electronics",
+    "Home",
+    "Jewelry",
+    "Men",
+    "Music",
+    "Shoes",
+    "Sports",
+    "Women",
 ];
 
 /// A flattened sample of class names (for class-level predicates).
 pub const CLASS_NAMES: &[&str] = &[
-    "arts", "business", "computers", "cooking", "fiction", "history", "mystery",
-    "romance", "science", "travel", "infants", "toddlers", "audio", "cameras",
-    "monitors", "televisions", "wireless", "bedding", "decor", "furniture",
-    "lighting", "rugs", "bracelets", "diamonds", "gold", "rings", "pants",
-    "shirts", "classical", "country", "pop", "rock", "athletic", "mens", "womens",
-    "baseball", "basketball", "camping", "fishing", "fitness", "football", "golf",
-    "tennis", "dresses", "fragrances", "maternity", "swimwear",
+    "arts",
+    "business",
+    "computers",
+    "cooking",
+    "fiction",
+    "history",
+    "mystery",
+    "romance",
+    "science",
+    "travel",
+    "infants",
+    "toddlers",
+    "audio",
+    "cameras",
+    "monitors",
+    "televisions",
+    "wireless",
+    "bedding",
+    "decor",
+    "furniture",
+    "lighting",
+    "rugs",
+    "bracelets",
+    "diamonds",
+    "gold",
+    "rings",
+    "pants",
+    "shirts",
+    "classical",
+    "country",
+    "pop",
+    "rock",
+    "athletic",
+    "mens",
+    "womens",
+    "baseball",
+    "basketball",
+    "camping",
+    "fishing",
+    "fitness",
+    "football",
+    "golf",
+    "tennis",
+    "dresses",
+    "fragrances",
+    "maternity",
+    "swimwear",
 ];
 
 #[cfg(test)]
@@ -92,10 +139,26 @@ mod tests {
     #[test]
     fn all_named_lists_resolve_nonempty() {
         for name in [
-            "categories", "classes", "colors", "states", "counties", "cities",
-            "education", "marital", "buy_potential", "credit_rating", "genders",
-            "months_low", "months_medium", "months_high", "sizes", "units",
-            "containers", "countries", "ship_mode_types", "web_page_types",
+            "categories",
+            "classes",
+            "colors",
+            "states",
+            "counties",
+            "cities",
+            "education",
+            "marital",
+            "buy_potential",
+            "credit_rating",
+            "genders",
+            "months_low",
+            "months_medium",
+            "months_high",
+            "sizes",
+            "units",
+            "containers",
+            "countries",
+            "ship_mode_types",
+            "web_page_types",
             "zip_prefixes",
         ] {
             let l = named_list(name).unwrap_or_else(|| panic!("missing {name}"));

@@ -18,8 +18,8 @@ mod templates_d;
 pub use iterative::IterativeSequence;
 pub use template::{GenExpr, QueryClass, Template, TemplateError};
 
-use tpcds_types::rng::ColumnRng;
 use tpcds_dgen::SalesDateDistribution;
+use tpcds_types::rng::ColumnRng;
 
 /// The full 99-template TPC-DS workload.
 #[derive(Debug, Clone)]
@@ -41,7 +41,10 @@ impl Workload {
             templates.push(Template::parse(id, src)?);
         }
         templates.sort_by_key(|t| t.id);
-        Ok(Workload { templates, dates: SalesDateDistribution::tpcds() })
+        Ok(Workload {
+            templates,
+            dates: SalesDateDistribution::tpcds(),
+        })
     }
 
     /// All templates, ordered by query number.
@@ -198,10 +201,15 @@ mod classification_tests {
         // Inventory is shared between the catalog and web channels
         // (paper §2.2); the q21/q22-style pure-inventory reports are
         // classified with the reporting part here.
-        let reporting = ["catalog_sales", "catalog_returns", "catalog_page", "call_center",
-                         "inventory"]
-            .iter()
-            .any(|t| sql.contains(t));
+        let reporting = [
+            "catalog_sales",
+            "catalog_returns",
+            "catalog_page",
+            "call_center",
+            "inventory",
+        ]
+        .iter()
+        .any(|t| sql.contains(t));
         let adhoc = [
             "store_sales",
             "store_returns",
@@ -265,10 +273,7 @@ mod classification_tests {
             all_sql.push('\n');
         }
         for table in tpcds_schema::tables::TABLE_NAMES {
-            assert!(
-                all_sql.contains(table),
-                "no query references {table}"
-            );
+            assert!(all_sql.contains(table), "no query references {table}");
         }
     }
 
@@ -279,8 +284,15 @@ mod classification_tests {
         let w = Workload::tpcds().unwrap();
         let mut seen = std::collections::HashSet::new();
         for stream in 0..40 {
-            let sql = w.instantiate(25, tpcds_types::rng::DEFAULT_SEED, stream).unwrap();
-            for f in ["sum(ss_net_profit)", "min(ss_net_profit)", "max(ss_net_profit)", "avg(ss_net_profit)"] {
+            let sql = w
+                .instantiate(25, tpcds_types::rng::DEFAULT_SEED, stream)
+                .unwrap();
+            for f in [
+                "sum(ss_net_profit)",
+                "min(ss_net_profit)",
+                "max(ss_net_profit)",
+                "avg(ss_net_profit)",
+            ] {
                 if sql.contains(f) {
                     seen.insert(f);
                 }

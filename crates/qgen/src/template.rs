@@ -8,9 +8,9 @@
 //! number of rows (paper §3.2).
 
 use crate::distributions::named_list;
+use tpcds_dgen::{SalesDateDistribution, SalesZone};
 use tpcds_types::rng::ColumnRng;
 use tpcds_types::Date;
-use tpcds_dgen::{SalesDateDistribution, SalesZone};
 
 /// Error raised while parsing or instantiating a template.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,7 +68,9 @@ impl GenExpr {
                 let lo = parse_int(parts[0])?;
                 let hi = parse_int(parts[1])?;
                 if lo > hi {
-                    return Err(TemplateError(format!("uniform range inverted: {lo} > {hi}")));
+                    return Err(TemplateError(format!(
+                        "uniform range inverted: {lo} > {hi}"
+                    )));
                 }
                 Ok(GenExpr::Uniform(lo, hi))
             }
@@ -148,7 +150,9 @@ impl GenExpr {
                 days[rng.uniform_i64(0, days.len() as i64 - 1) as usize].to_string()
             }
             GenExpr::Year => (1998 + rng.uniform_i64(0, 4)).to_string(),
-            GenExpr::Agg => ["sum", "min", "max", "avg"][rng.uniform_i64(0, 3) as usize].to_string(),
+            GenExpr::Agg => {
+                ["sum", "min", "max", "avg"][rng.uniform_i64(0, 3) as usize].to_string()
+            }
             GenExpr::Text(opts) => opts[rng.uniform_i64(0, opts.len() as i64 - 1) as usize].clone(),
         }
     }
@@ -268,7 +272,12 @@ impl Template {
             return Err(TemplateError(format!("q{id}: empty SQL body")));
         }
         let class = class.ok_or_else(|| TemplateError(format!("q{id}: missing -- class:")))?;
-        let t = Template { id, class, defines, sql };
+        let t = Template {
+            id,
+            class,
+            defines,
+            sql,
+        };
         t.check_placeholders()?;
         Ok(t)
     }
@@ -403,7 +412,10 @@ mod tests {
 
     #[test]
     fn parse_generators() {
-        assert_eq!(GenExpr::parse("uniform(1, 10)").unwrap(), GenExpr::Uniform(1, 10));
+        assert_eq!(
+            GenExpr::parse("uniform(1, 10)").unwrap(),
+            GenExpr::Uniform(1, 10)
+        );
         assert_eq!(GenExpr::parse("year()").unwrap(), GenExpr::Year);
         assert_eq!(
             GenExpr::parse("date_in_zone(high)").unwrap(),

@@ -24,6 +24,8 @@ use std::time::{Duration, Instant};
 use tpcds_dgen::Generator;
 use tpcds_engine::Database;
 use tpcds_maint::MaintenanceReport;
+use tpcds_obs::json::Json;
+use tpcds_obs::report::LatencyStats;
 use tpcds_qgen::Workload;
 
 /// Which auxiliary data structures the load builds (paper §2.1: the
@@ -71,6 +73,8 @@ impl BenchmarkConfig {
 /// Elapsed time of one executed query.
 #[derive(Debug, Clone)]
 pub struct QueryTiming {
+    /// Query run (1 or 2; Figure 11 runs two).
+    pub run: u32,
     /// Stream index (0-based).
     pub stream: usize,
     /// Query number (1..=99).
@@ -120,9 +124,94 @@ impl BenchmarkResult {
         }
     }
 
-    /// The primary performance metric.
+    /// The primary performance metric. A completed run always measured
+    /// positive elapsed time, so the metric is defined.
     pub fn qphds(&self) -> f64 {
-        qphds(&self.metric_inputs())
+        qphds(&self.metric_inputs()).expect("completed run has positive elapsed time")
+    }
+
+    /// Per-query latency distributions (p50/p95/max over both runs and all
+    /// streams), keyed by query number.
+    pub fn latency_summary(&self) -> std::collections::BTreeMap<u32, LatencyStats> {
+        let mut durs: std::collections::BTreeMap<u32, Vec<u64>> = Default::default();
+        for t in &self.query_timings {
+            durs.entry(t.query)
+                .or_default()
+                .push(t.elapsed.as_micros() as u64);
+        }
+        durs.into_iter()
+            .map(|(q, d)| (q, LatencyStats::from_durations_us(d)))
+            .collect()
+    }
+
+    /// Serializes the whole result — config, phase timings, the metric,
+    /// per-query timings and latency summaries, and the maintenance
+    /// outcome — as one JSON object (the CLI's `--json` output).
+    pub fn to_json(&self) -> Json {
+        let us = |d: Duration| Json::Int(d.as_micros() as i64);
+        let timings: Vec<Json> = self
+            .query_timings
+            .iter()
+            .map(|t| {
+                Json::Obj(vec![
+                    ("run".into(), Json::Int(t.run as i64)),
+                    ("stream".into(), Json::Int(t.stream as i64)),
+                    ("query".into(), Json::Int(t.query as i64)),
+                    ("elapsed_us".into(), Json::Int(t.elapsed.as_micros() as i64)),
+                    ("rows".into(), Json::Int(t.rows as i64)),
+                ])
+            })
+            .collect();
+        let latency: Vec<(String, Json)> = self
+            .latency_summary()
+            .into_iter()
+            .map(|(q, s)| {
+                (
+                    format!("q{q}"),
+                    Json::Obj(vec![
+                        ("count".into(), Json::Int(s.count as i64)),
+                        ("p50_us".into(), Json::Int(s.p50_us as i64)),
+                        ("p95_us".into(), Json::Int(s.p95_us as i64)),
+                        ("max_us".into(), Json::Int(s.max_us as i64)),
+                    ]),
+                )
+            })
+            .collect();
+        let maintenance: Vec<Json> = self
+            .maintenance
+            .ops
+            .iter()
+            .map(|o| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(o.name.to_string())),
+                    ("updated".into(), Json::Int(o.updated as i64)),
+                    ("inserted".into(), Json::Int(o.inserted as i64)),
+                    ("deleted".into(), Json::Int(o.deleted as i64)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("scale_factor".into(), Json::Float(self.config.scale_factor)),
+            ("seed".into(), Json::Int(self.config.seed as i64)),
+            ("streams".into(), Json::Int(self.streams as i64)),
+            (
+                "queries_per_stream".into(),
+                Json::Int(self.queries_per_stream as i64),
+            ),
+            ("t_load_us".into(), us(self.t_load)),
+            ("t_qr1_us".into(), us(self.t_qr1)),
+            ("t_dm_us".into(), us(self.t_dm)),
+            ("t_qr2_us".into(), us(self.t_qr2)),
+            (
+                "qphds".into(),
+                qphds(&self.metric_inputs())
+                    .map(Json::Float)
+                    .unwrap_or(Json::Null),
+            ),
+            ("query_timings".into(), Json::Arr(timings)),
+            ("latency".into(), Json::Obj(latency)),
+            ("maintenance".into(), Json::Arr(maintenance)),
+        ])
     }
 }
 
@@ -158,28 +247,34 @@ pub fn run_benchmark(config: BenchmarkConfig) -> Result<BenchmarkResult, RunErro
 
     // ---- Load test (timed) ----
     let db = Database::new();
+    let phase = tpcds_obs::span("runner", "phase").field("phase", "load");
     let load_start = Instant::now();
-    tpcds_maint::load_initial_population(&db, &generator)
-        .map_err(|e| RunError::Engine(0, e))?;
+    tpcds_maint::load_initial_population(&db, &generator).map_err(|e| RunError::Engine(0, e))?;
     if config.aux == AuxLevel::Reporting {
         build_reporting_aux(&db).map_err(|e| RunError::Engine(0, e))?;
     }
     let t_load = load_start.elapsed();
+    phase.finish();
 
     // ---- Query run 1 ----
+    let phase = tpcds_obs::span("runner", "phase").field("phase", "qr1");
     let (t_qr1, mut query_timings) =
-        query_run(&db, &workload, &config, streams, queries_per_stream, 0)?;
+        query_run(&db, &workload, &config, streams, queries_per_stream, 1)?;
+    phase.finish();
 
     // ---- Data maintenance run ----
+    let phase = tpcds_obs::span("runner", "phase").field("phase", "dm");
     let dm_start = Instant::now();
     let maintenance =
         tpcds_maint::run_maintenance(&db, &generator, 0).map_err(|e| RunError::Engine(0, e))?;
     let t_dm = dm_start.elapsed();
+    phase.finish();
 
     // ---- Query run 2 ----
-    let (t_qr2, timings2) =
-        query_run(&db, &workload, &config, streams, queries_per_stream, streams as u64)?;
+    let phase = tpcds_obs::span("runner", "phase").field("phase", "qr2");
+    let (t_qr2, timings2) = query_run(&db, &workload, &config, streams, queries_per_stream, 2)?;
     query_timings.extend(timings2);
+    phase.finish();
 
     Ok(BenchmarkResult {
         config,
@@ -197,14 +292,17 @@ pub fn run_benchmark(config: BenchmarkConfig) -> Result<BenchmarkResult, RunErro
 
 /// Executes one query run: `streams` concurrent sessions, each running its
 /// own permutation of the workload with stream-specific substitutions.
+/// `run` is 1 or 2; run 2's sessions use fresh stream IDs so their
+/// permutations and substitutions differ from run 1's.
 fn query_run(
     db: &Database,
     workload: &Workload,
     config: &BenchmarkConfig,
     streams: usize,
     queries_per_stream: usize,
-    stream_base: u64,
+    run: u32,
 ) -> Result<(Duration, Vec<QueryTiming>), RunError> {
+    let stream_base = (run as u64 - 1) * streams as u64;
     let timings: Mutex<Vec<QueryTiming>> = Mutex::new(Vec::new());
     let failure: Mutex<Option<RunError>> = Mutex::new(None);
     let start = Instant::now();
@@ -223,14 +321,22 @@ fn query_run(
                             return;
                         }
                     };
+                    let span = tpcds_obs::span("runner", "query")
+                        .field("run", run)
+                        .field("stream", s)
+                        .field("query", id);
                     let q_start = Instant::now();
                     match tpcds_engine::query(db, &sql) {
-                        Ok(result) => timings.lock().expect("poisoned").push(QueryTiming {
-                            stream: s,
-                            query: id,
-                            elapsed: q_start.elapsed(),
-                            rows: result.rows.len(),
-                        }),
+                        Ok(result) => {
+                            span.field("rows", result.rows.len()).finish();
+                            timings.lock().expect("poisoned").push(QueryTiming {
+                                run,
+                                stream: s,
+                                query: id,
+                                elapsed: q_start.elapsed(),
+                                rows: result.rows.len(),
+                            })
+                        }
                         Err(e) => {
                             *failure.lock().expect("poisoned") = Some(RunError::Engine(id, e));
                             return;
@@ -293,6 +399,32 @@ mod tests {
         assert!(result.t_qr2 > Duration::ZERO);
         assert_eq!(result.maintenance.ops.len(), 12);
         assert!(result.qphds() > 0.0);
+        // Both query runs are represented, 20 timings each.
+        for run in [1u32, 2] {
+            assert_eq!(
+                result.query_timings.iter().filter(|t| t.run == run).count(),
+                20
+            );
+        }
+        // Latency summary covers every executed query with sane stats.
+        let latency = result.latency_summary();
+        let total: u64 = latency.values().map(|s| s.count).sum();
+        assert_eq!(total, 40);
+        for s in latency.values() {
+            assert!(s.p50_us <= s.p95_us && s.p95_us <= s.max_us);
+        }
+        // JSON export round-trips through the obs parser.
+        let json = result.to_json().to_string();
+        let parsed = tpcds_obs::json::Json::parse(&json).unwrap();
+        assert_eq!(parsed.get("streams").and_then(|j| j.as_i64()), Some(2));
+        assert!(parsed.get("qphds").and_then(|j| j.as_f64()).unwrap() > 0.0);
+        assert_eq!(
+            parsed
+                .get("query_timings")
+                .and_then(|j| j.as_arr())
+                .map(|a| a.len()),
+            Some(40)
+        );
     }
 
     #[test]

@@ -36,22 +36,26 @@ pub struct MetricInputs {
 pub const LOAD_COEFFICIENT: f64 = 0.01;
 
 /// Computes QphDS@SF. With `queries_per_stream = 99` the numerator is the
-/// paper's `198 * S`.
-pub fn qphds(m: &MetricInputs) -> f64 {
+/// paper's `198 * S`. Returns `None` when every measured interval is zero —
+/// the formula's denominator vanishes and no throughput is defined (the
+/// old behavior silently reported 0.0, indistinguishable from an
+/// infinitely slow system).
+pub fn qphds(m: &MetricInputs) -> Option<f64> {
     qphds_with_load_coefficient(m, LOAD_COEFFICIENT)
 }
 
 /// QphDS with an explicit load coefficient (the A3 ablation sweeps this).
-pub fn qphds_with_load_coefficient(m: &MetricInputs, coeff: f64) -> f64 {
+/// `None` when the denominator is non-positive (no time was measured).
+pub fn qphds_with_load_coefficient(m: &MetricInputs, coeff: f64) -> Option<f64> {
     let queries = 2.0 * m.queries_per_stream as f64 * m.streams as f64;
     let denom = m.t_qr1.as_secs_f64()
         + m.t_dm.as_secs_f64()
         + m.t_qr2.as_secs_f64()
         + coeff * m.streams as f64 * m.t_load.as_secs_f64();
     if denom <= 0.0 {
-        return 0.0;
+        return None;
     }
-    m.scale_factor * 3600.0 * queries / denom
+    Some(m.scale_factor * 3600.0 * queries / denom)
 }
 
 /// The legacy power metric: the geometric mean of single-query elapsed
@@ -95,7 +99,7 @@ mod tests {
         let m = inputs();
         // 1000 * 3600 * (198 * 7) / (4000 + 1000 + 4200 + 0.01*7*10000)
         let expect = 1000.0 * 3600.0 * (198.0 * 7.0) / (4000.0 + 1000.0 + 4200.0 + 700.0);
-        assert!((qphds(&m) - expect).abs() < 1e-6);
+        assert!((qphds(&m).unwrap() - expect).abs() < 1e-6);
     }
 
     #[test]
@@ -113,7 +117,7 @@ mod tests {
         // time added" — with 10 streams the charge is 10%.
         let mut m = inputs();
         m.streams = 10;
-        let with = qphds(&m);
+        let with = qphds(&m).unwrap();
         let manual = 1000.0 * 3600.0 * (198.0 * 10.0) / (4000.0 + 1000.0 + 4200.0 + 1000.0);
         assert!((with - manual).abs() < 1e-6);
     }
@@ -123,7 +127,7 @@ mod tests {
         let m1 = inputs();
         let mut m10 = inputs();
         m10.scale_factor = 10_000.0;
-        assert!((qphds(&m10) / qphds(&m1) - 10.0).abs() < 1e-9);
+        assert!((qphds(&m10).unwrap() / qphds(&m1).unwrap() - 10.0).abs() < 1e-9);
     }
 
     #[test]
@@ -151,8 +155,10 @@ mod tests {
         let p_long = power_metric(1.0, &tune_long);
         let p_short = power_metric(1.0, &tune_short);
         let p_base = power_metric(1.0, &base);
-        assert!((p_long / p_base - p_short / p_base).abs() < 1e-9,
-            "geometric mean treats both tunings identically");
+        assert!(
+            (p_long / p_base - p_short / p_base).abs() < 1e-9,
+            "geometric mean treats both tunings identically"
+        );
 
         // The throughput metric, in contrast, barely notices the short
         // query: total elapsed dominates.
@@ -160,7 +166,10 @@ mod tests {
         let thr_long = total(&base) / total(&tune_long);
         let thr_short = total(&base) / total(&tune_short);
         assert!(thr_long > 1.5, "tuning the long query matters: {thr_long}");
-        assert!(thr_short < 1.001, "tuning the short query is noise: {thr_short}");
+        assert!(
+            thr_short < 1.001,
+            "tuning the short query is noise: {thr_short}"
+        );
     }
 
     #[test]
@@ -171,6 +180,10 @@ mod tests {
         m.t_dm = Duration::ZERO;
         m.t_qr2 = Duration::ZERO;
         m.t_load = Duration::ZERO;
-        assert_eq!(qphds(&m), 0.0);
+        assert_eq!(
+            qphds(&m),
+            None,
+            "zero measured time is undefined, not 0 QphDS"
+        );
     }
 }

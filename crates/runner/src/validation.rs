@@ -31,7 +31,10 @@ pub fn fingerprint(result: &QueryResult) -> AnswerFingerprint {
         // Wrapping addition is commutative: order does not matter.
         combined = combined.wrapping_add(h.finish());
     }
-    AnswerFingerprint { rows: result.rows.len(), hash: combined }
+    AnswerFingerprint {
+        rows: result.rows.len(),
+        hash: combined,
+    }
 }
 
 /// One query's qualification outcome.
@@ -57,9 +60,11 @@ pub fn qualify(
         let sql = workload
             .instantiate(id, seed, 0)
             .map_err(crate::RunError::Template)?;
-        let result =
-            tpcds_engine::query(db, &sql).map_err(|e| crate::RunError::Engine(id, e))?;
-        out.push(Qualification { query: id, answer: fingerprint(&result) });
+        let result = tpcds_engine::query(db, &sql).map_err(|e| crate::RunError::Engine(id, e))?;
+        out.push(Qualification {
+            query: id,
+            answer: fingerprint(&result),
+        });
     }
     Ok(out)
 }
@@ -122,11 +127,8 @@ mod tests {
         let g = tpcds_dgen::Generator::new(0.005);
         let db = Database::new();
         tpcds_maint::load_initial_population(&db, &g).unwrap();
-        let count_fp = || {
-            fingerprint(
-                &tpcds_engine::query(&db, "select count(*) from store_sales").unwrap(),
-            )
-        };
+        let count_fp =
+            || fingerprint(&tpcds_engine::query(&db, "select count(*) from store_sales").unwrap());
         let before = count_fp();
         // Mutate the data set: a fact insert always adds rows, so the
         // fingerprint of a count query must move.

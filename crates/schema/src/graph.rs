@@ -22,8 +22,15 @@ pub fn to_dot(schema: &Schema, tables: Option<&[&str]>) -> String {
             TableKind::Fact => "box3d",
             TableKind::Dimension => "box",
         };
-        writeln!(out, "  {} [shape={} label=\"{}\\n({} cols)\"];", t.name, shape, t.name, t.width())
-            .unwrap();
+        writeln!(
+            out,
+            "  {} [shape={} label=\"{}\\n({} cols)\"];",
+            t.name,
+            shape,
+            t.name,
+            t.width()
+        )
+        .unwrap();
     }
     for t in schema.tables() {
         if let Some(keep) = &keep {
@@ -41,7 +48,11 @@ pub fn to_dot(schema: &Schema, tables: Option<&[&str]>) -> String {
             // Collapse multiple FKs to the same table into one edge with a
             // multiplicity label, as schema diagrams conventionally do.
             if seen.insert(f.ref_table) {
-                let n = t.foreign_keys.iter().filter(|g| g.ref_table == f.ref_table).count();
+                let n = t
+                    .foreign_keys
+                    .iter()
+                    .filter(|g| g.ref_table == f.ref_table)
+                    .count();
                 if n > 1 {
                     writeln!(out, "  {} -> {} [label=\"x{}\"];", t.name, f.ref_table, n).unwrap();
                 } else {
@@ -80,8 +91,7 @@ pub fn store_sales_excerpt(schema: &Schema) -> String {
 /// descriptions; an empty vector means the graph is sound.
 pub fn validate(schema: &Schema) -> Vec<String> {
     let mut problems = Vec::new();
-    let by_name: BTreeMap<&str, _> =
-        schema.tables().iter().map(|t| (t.name, t)).collect();
+    let by_name: BTreeMap<&str, _> = schema.tables().iter().map(|t| (t.name, t)).collect();
     for t in schema.tables() {
         for f in &t.foreign_keys {
             if t.column_index(f.column).is_none() {
@@ -187,9 +197,15 @@ mod tests {
         // circular relationship.
         let schema = Schema::tpcds();
         let ss = schema.table("store_sales").unwrap();
-        assert!(ss.foreign_keys.iter().any(|f| f.ref_table == "customer_address"));
+        assert!(ss
+            .foreign_keys
+            .iter()
+            .any(|f| f.ref_table == "customer_address"));
         let cust = schema.table("customer").unwrap();
-        assert!(cust.foreign_keys.iter().any(|f| f.ref_table == "customer_address"));
+        assert!(cust
+            .foreign_keys
+            .iter()
+            .any(|f| f.ref_table == "customer_address"));
     }
 
     #[test]

@@ -32,8 +32,16 @@ impl Schema {
     /// Builds the canonical TPC-DS schema.
     pub fn tpcds() -> Schema {
         let tables = tables::all_tables();
-        let index = tables.iter().enumerate().map(|(i, t)| (t.name, i)).collect();
-        Schema { tables, index, scaling: ScalingModel::tpcds() }
+        let index = tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name, i))
+            .collect();
+        Schema {
+            tables,
+            index,
+            scaling: ScalingModel::tpcds(),
+        }
     }
 
     /// All table definitions, in dimension-before-fact load order.
@@ -85,8 +93,14 @@ mod tests {
     #[test]
     fn load_order_puts_dimensions_first() {
         let s = Schema::tpcds();
-        let first_fact = s.tables().iter().position(|t| t.kind == TableKind::Fact).unwrap();
-        assert!(s.tables()[..first_fact].iter().all(|t| t.kind == TableKind::Dimension));
+        let first_fact = s
+            .tables()
+            .iter()
+            .position(|t| t.kind == TableKind::Fact)
+            .unwrap();
+        assert!(s.tables()[..first_fact]
+            .iter()
+            .all(|t| t.kind == TableKind::Dimension));
     }
 
     #[test]

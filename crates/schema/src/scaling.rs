@@ -36,7 +36,10 @@ pub enum ScalingLaw {
 impl ScalingLaw {
     fn anchored(anchors: &[(f64, f64)], min_rows: u64) -> Self {
         debug_assert!(anchors.windows(2).all(|w| w[0].0 < w[1].0));
-        ScalingLaw::Anchored { anchors: anchors.to_vec(), min_rows }
+        ScalingLaw::Anchored {
+            anchors: anchors.to_vec(),
+            min_rows,
+        }
     }
 
     /// Row count at the given (possibly fractional) scale factor.
@@ -101,35 +104,60 @@ impl ScalingModel {
         laws.insert(
             "store_sales",
             ScalingLaw::anchored(
-                &[(100.0, 288.0 * m), (1000.0, 2.9 * b), (10_000.0, 30.0 * b), (100_000.0, 297.0 * b)],
+                &[
+                    (100.0, 288.0 * m),
+                    (1000.0, 2.9 * b),
+                    (10_000.0, 30.0 * b),
+                    (100_000.0, 297.0 * b),
+                ],
                 100,
             ),
         );
         laws.insert(
             "store_returns",
             ScalingLaw::anchored(
-                &[(100.0, 14.0 * m), (1000.0, 147.0 * m), (10_000.0, 1.5 * b), (100_000.0, 15.0 * b)],
+                &[
+                    (100.0, 14.0 * m),
+                    (1000.0, 147.0 * m),
+                    (10_000.0, 1.5 * b),
+                    (100_000.0, 15.0 * b),
+                ],
                 10,
             ),
         );
         laws.insert(
             "store",
             ScalingLaw::anchored(
-                &[(100.0, 200.0), (1000.0, 500.0), (10_000.0, 750.0), (100_000.0, 1500.0)],
+                &[
+                    (100.0, 200.0),
+                    (1000.0, 500.0),
+                    (10_000.0, 750.0),
+                    (100_000.0, 1500.0),
+                ],
                 2,
             ),
         );
         laws.insert(
             "customer",
             ScalingLaw::anchored(
-                &[(100.0, 2.0 * m), (1000.0, 8.0 * m), (10_000.0, 20.0 * m), (100_000.0, 100.0 * m)],
+                &[
+                    (100.0, 2.0 * m),
+                    (1000.0, 8.0 * m),
+                    (10_000.0, 20.0 * m),
+                    (100_000.0, 100.0 * m),
+                ],
                 100,
             ),
         );
         laws.insert(
             "item",
             ScalingLaw::anchored(
-                &[(100.0, 200_000.0), (1000.0, 300_000.0), (10_000.0, 400_000.0), (100_000.0, 500_000.0)],
+                &[
+                    (100.0, 200_000.0),
+                    (1000.0, 300_000.0),
+                    (10_000.0, 400_000.0),
+                    (100_000.0, 500_000.0),
+                ],
                 100,
             ),
         );
@@ -149,45 +177,97 @@ impl ScalingModel {
         // --- Specification-aligned approximations ---
         laws.insert(
             "reason",
-            ScalingLaw::anchored(&[(100.0, 55.0), (1000.0, 65.0), (10_000.0, 70.0), (100_000.0, 75.0)], 5),
+            ScalingLaw::anchored(
+                &[
+                    (100.0, 55.0),
+                    (1000.0, 65.0),
+                    (10_000.0, 70.0),
+                    (100_000.0, 75.0),
+                ],
+                5,
+            ),
         );
         laws.insert(
             "customer_address",
             ScalingLaw::anchored(
-                &[(100.0, 1.0 * m), (1000.0, 4.0 * m), (10_000.0, 10.0 * m), (100_000.0, 50.0 * m)],
+                &[
+                    (100.0, 1.0 * m),
+                    (1000.0, 4.0 * m),
+                    (10_000.0, 10.0 * m),
+                    (100_000.0, 50.0 * m),
+                ],
                 50,
             ),
         );
         laws.insert(
             "call_center",
-            ScalingLaw::anchored(&[(100.0, 30.0), (1000.0, 42.0), (10_000.0, 54.0), (100_000.0, 60.0)], 2),
+            ScalingLaw::anchored(
+                &[
+                    (100.0, 30.0),
+                    (1000.0, 42.0),
+                    (10_000.0, 54.0),
+                    (100_000.0, 60.0),
+                ],
+                2,
+            ),
         );
         laws.insert(
             "web_site",
-            ScalingLaw::anchored(&[(100.0, 24.0), (1000.0, 54.0), (10_000.0, 78.0), (100_000.0, 96.0)], 2),
+            ScalingLaw::anchored(
+                &[
+                    (100.0, 24.0),
+                    (1000.0, 54.0),
+                    (10_000.0, 78.0),
+                    (100_000.0, 96.0),
+                ],
+                2,
+            ),
         );
         laws.insert(
             "web_page",
             ScalingLaw::anchored(
-                &[(100.0, 2040.0), (1000.0, 3000.0), (10_000.0, 4002.0), (100_000.0, 5004.0)],
+                &[
+                    (100.0, 2040.0),
+                    (1000.0, 3000.0),
+                    (10_000.0, 4002.0),
+                    (100_000.0, 5004.0),
+                ],
                 10,
             ),
         );
         laws.insert(
             "catalog_page",
             ScalingLaw::anchored(
-                &[(100.0, 20_400.0), (1000.0, 30_000.0), (10_000.0, 40_000.0), (100_000.0, 50_000.0)],
+                &[
+                    (100.0, 20_400.0),
+                    (1000.0, 30_000.0),
+                    (10_000.0, 40_000.0),
+                    (100_000.0, 50_000.0),
+                ],
                 100,
             ),
         );
         laws.insert(
             "warehouse",
-            ScalingLaw::anchored(&[(100.0, 15.0), (1000.0, 20.0), (10_000.0, 25.0), (100_000.0, 30.0)], 2),
+            ScalingLaw::anchored(
+                &[
+                    (100.0, 15.0),
+                    (1000.0, 20.0),
+                    (10_000.0, 25.0),
+                    (100_000.0, 30.0),
+                ],
+                2,
+            ),
         );
         laws.insert(
             "promotion",
             ScalingLaw::anchored(
-                &[(100.0, 1000.0), (1000.0, 1500.0), (10_000.0, 2000.0), (100_000.0, 2500.0)],
+                &[
+                    (100.0, 1000.0),
+                    (1000.0, 1500.0),
+                    (10_000.0, 2000.0),
+                    (100_000.0, 2500.0),
+                ],
                 20,
             ),
         );
@@ -198,28 +278,48 @@ impl ScalingModel {
         laws.insert(
             "catalog_sales",
             ScalingLaw::anchored(
-                &[(100.0, 144.0 * m), (1000.0, 1.45 * b), (10_000.0, 15.0 * b), (100_000.0, 148.0 * b)],
+                &[
+                    (100.0, 144.0 * m),
+                    (1000.0, 1.45 * b),
+                    (10_000.0, 15.0 * b),
+                    (100_000.0, 148.0 * b),
+                ],
                 50,
             ),
         );
         laws.insert(
             "catalog_returns",
             ScalingLaw::anchored(
-                &[(100.0, 14.4 * m), (1000.0, 145.0 * m), (10_000.0, 1.5 * b), (100_000.0, 14.8 * b)],
+                &[
+                    (100.0, 14.4 * m),
+                    (1000.0, 145.0 * m),
+                    (10_000.0, 1.5 * b),
+                    (100_000.0, 14.8 * b),
+                ],
                 5,
             ),
         );
         laws.insert(
             "web_sales",
             ScalingLaw::anchored(
-                &[(100.0, 72.0 * m), (1000.0, 725.0 * m), (10_000.0, 7.5 * b), (100_000.0, 74.0 * b)],
+                &[
+                    (100.0, 72.0 * m),
+                    (1000.0, 725.0 * m),
+                    (10_000.0, 7.5 * b),
+                    (100_000.0, 74.0 * b),
+                ],
                 25,
             ),
         );
         laws.insert(
             "web_returns",
             ScalingLaw::anchored(
-                &[(100.0, 7.2 * m), (1000.0, 72.0 * m), (10_000.0, 750.0 * m), (100_000.0, 7.4 * b)],
+                &[
+                    (100.0, 7.2 * m),
+                    (1000.0, 72.0 * m),
+                    (10_000.0, 750.0 * m),
+                    (100_000.0, 7.4 * b),
+                ],
                 3,
             ),
         );
@@ -227,7 +327,12 @@ impl ScalingModel {
         laws.insert(
             "inventory",
             ScalingLaw::anchored(
-                &[(100.0, 399.3 * m), (1000.0, 783.0 * m), (10_000.0, 1.31 * b), (100_000.0, 1.96 * b)],
+                &[
+                    (100.0, 399.3 * m),
+                    (1000.0, 783.0 * m),
+                    (10_000.0, 1.31 * b),
+                    (100_000.0, 1.96 * b),
+                ],
                 100,
             ),
         );
@@ -264,7 +369,9 @@ impl ScalingModel {
 
     /// True when `sf` is one of the publication scale factors.
     pub fn is_valid_publication_sf(sf: f64) -> bool {
-        VALID_SCALE_FACTORS.iter().any(|&v| (sf - v as f64).abs() < f64::EPSILON)
+        VALID_SCALE_FACTORS
+            .iter()
+            .any(|&v| (sf - v as f64).abs() < f64::EPSILON)
     }
 }
 
@@ -277,8 +384,14 @@ mod tests {
         let m = ScalingModel::tpcds();
         // (table, [rows at 100, 1000, 10000, 100000]) — paper Table 2.
         let expect: &[(&str, [u64; 4])] = &[
-            ("store_sales", [288_000_000, 2_900_000_000, 30_000_000_000, 297_000_000_000]),
-            ("store_returns", [14_000_000, 147_000_000, 1_500_000_000, 15_000_000_000]),
+            (
+                "store_sales",
+                [288_000_000, 2_900_000_000, 30_000_000_000, 297_000_000_000],
+            ),
+            (
+                "store_returns",
+                [14_000_000, 147_000_000, 1_500_000_000, 15_000_000_000],
+            ),
             ("store", [200, 500, 750, 1500]),
             ("customer", [2_000_000, 8_000_000, 20_000_000, 100_000_000]),
             ("item", [200_000, 300_000, 400_000, 500_000]),
@@ -295,7 +408,9 @@ mod tests {
         let m = ScalingModel::tpcds();
         for table in ["store_sales", "customer", "item", "store", "web_sales"] {
             let mut prev = 0;
-            for sf in [1.0, 10.0, 100.0, 300.0, 1000.0, 3000.0, 10_000.0, 30_000.0, 100_000.0] {
+            for sf in [
+                1.0, 10.0, 100.0, 300.0, 1000.0, 3000.0, 10_000.0, 30_000.0, 100_000.0,
+            ] {
                 let r = m.rows(table, sf);
                 assert!(r >= prev, "{table} not monotone at SF {sf}: {r} < {prev}");
                 prev = r;
@@ -317,7 +432,13 @@ mod tests {
     #[test]
     fn statics_do_not_scale() {
         let m = ScalingModel::tpcds();
-        for table in ["date_dim", "time_dim", "income_band", "ship_mode", "household_demographics"] {
+        for table in [
+            "date_dim",
+            "time_dim",
+            "income_band",
+            "ship_mode",
+            "household_demographics",
+        ] {
             assert_eq!(m.rows(table, 100.0), m.rows(table, 100_000.0), "{table}");
         }
     }

@@ -38,7 +38,10 @@ pub struct Decimal {
 
 impl Decimal {
     /// Zero with scale 0.
-    pub const ZERO: Decimal = Decimal { mantissa: 0, scale: 0 };
+    pub const ZERO: Decimal = Decimal {
+        mantissa: 0,
+        scale: 0,
+    };
 
     /// Builds a decimal from a raw mantissa and scale. `1234, 2` is `12.34`.
     pub fn new(mantissa: i128, scale: u8) -> Self {
@@ -84,14 +87,12 @@ impl Decimal {
     pub fn rescale(&self, scale: u8) -> Self {
         match scale.cmp(&self.scale) {
             Ordering::Equal => *self,
-            Ordering::Greater => Decimal::new(
-                self.mantissa * POW10[(scale - self.scale) as usize],
-                scale,
-            ),
-            Ordering::Less => Decimal::new(
-                self.mantissa / POW10[(self.scale - scale) as usize],
-                scale,
-            ),
+            Ordering::Greater => {
+                Decimal::new(self.mantissa * POW10[(scale - self.scale) as usize], scale)
+            }
+            Ordering::Less => {
+                Decimal::new(self.mantissa / POW10[(self.scale - scale) as usize], scale)
+            }
         }
     }
 
@@ -363,8 +364,8 @@ mod tests {
 
     #[test]
     fn f64_conversion_close() {
-        let d = Decimal::from_f64(2.71828, 4);
-        assert_eq!(d.to_string(), "2.7183");
+        let d = Decimal::from_f64(1.23456, 4);
+        assert_eq!(d.to_string(), "1.2346");
         assert!((dec("2.5").to_f64() - 2.5).abs() < 1e-12);
     }
 }

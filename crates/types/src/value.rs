@@ -318,11 +318,13 @@ mod tests {
 
     #[test]
     fn sort_cmp_total_with_null_first() {
-        let mut vals = [Value::str("b"),
+        let mut vals = [
+            Value::str("b"),
             Value::Null,
             Value::Int(3),
             Value::Decimal("2.5".parse().unwrap()),
-            Value::str("a")];
+            Value::str("a"),
+        ];
         vals.sort_by(|a, b| a.sort_cmp(b));
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Decimal("2.5".parse().unwrap()));
@@ -339,14 +341,20 @@ mod tests {
             v.hash(&mut s);
             s.finish()
         };
-        assert_eq!(h(&Value::Int(5)), h(&Value::Decimal("5.00".parse().unwrap())));
+        assert_eq!(
+            h(&Value::Int(5)),
+            h(&Value::Decimal("5.00".parse().unwrap()))
+        );
     }
 
     #[test]
     fn flat_rendering() {
         assert_eq!(Value::Null.to_flat(), "");
         assert_eq!(Value::Int(42).to_flat(), "42");
-        assert_eq!(Value::Date(Date::from_ymd(2000, 1, 2)).to_flat(), "2000-01-02");
+        assert_eq!(
+            Value::Date(Date::from_ymd(2000, 1, 2)).to_flat(),
+            "2000-01-02"
+        );
         assert_eq!(Value::from("x").to_flat(), "x");
     }
 

@@ -17,7 +17,8 @@ fn main() {
         .map(|s| s.parse().expect("scale factor"))
         .unwrap_or(0.01);
     let dir = std::path::PathBuf::from(
-        args.next().unwrap_or_else(|| "target/tpcds_data".to_string()),
+        args.next()
+            .unwrap_or_else(|| "target/tpcds_data".to_string()),
     );
 
     let generator = Generator::new(sf);

@@ -16,8 +16,12 @@ fn main() {
         queries_per_stream: Some(25),
         aux: AuxLevel::Reporting,
     };
-    println!("Running benchmark: SF {}, {} streams, {} queries/stream",
-        config.scale_factor, config.streams.unwrap(), config.queries_per_stream.unwrap());
+    println!(
+        "Running benchmark: SF {}, {} streams, {} queries/stream",
+        config.scale_factor,
+        config.streams.unwrap(),
+        config.queries_per_stream.unwrap()
+    );
 
     let result = runner::run_benchmark(config).expect("benchmark");
 
@@ -47,14 +51,12 @@ fn main() {
 
     let qphds = result.qphds();
     let price = PriceModel::default();
-    let dollars = runner::price_performance(
-        &price,
-        result.config.scale_factor,
-        result.streams,
-        qphds,
-    );
+    let dollars =
+        runner::price_performance(&price, result.config.scale_factor, result.streams, qphds);
     println!("\nQphDS@{}      = {:.1}", result.config.scale_factor, qphds);
     println!("$/QphDS@{}    = {:.4}", result.config.scale_factor, dollars);
-    println!("(3-year TCO under the synthetic price model: ${:.0})",
-        price.tco(result.config.scale_factor, result.streams));
+    println!(
+        "(3-year TCO under the synthetic price model: ${:.0})",
+        price.tco(result.config.scale_factor, result.streams)
+    );
 }

@@ -81,8 +81,14 @@ fn comparability_zones_hold_on_generated_data() {
     };
     // Within-zone spread is small; across zones the high zone draws
     // ~2.2x the low zone's density.
-    assert!(spread(&low) < 0.35, "low-zone counts too dispersed: {low:?}");
-    assert!(spread(&high) < 0.35, "high-zone counts too dispersed: {high:?}");
+    assert!(
+        spread(&low) < 0.35,
+        "low-zone counts too dispersed: {low:?}"
+    );
+    assert!(
+        spread(&high) < 0.35,
+        "high-zone counts too dispersed: {high:?}"
+    );
     let ratio = mean(&high) / mean(&low);
     assert!(
         (1.6..=3.0).contains(&ratio),

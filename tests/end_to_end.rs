@@ -16,7 +16,10 @@ fn benchmark_flow_produces_consistent_metrics() {
     let result = runner::run_benchmark(config).expect("benchmark");
     assert_eq!(result.query_timings.len(), 2 * 3 * 8);
     // Every query produced a timing with non-zero elapsed.
-    assert!(result.query_timings.iter().all(|t| t.elapsed.as_nanos() > 0));
+    assert!(result
+        .query_timings
+        .iter()
+        .all(|t| t.elapsed.as_nanos() > 0));
     let q = result.qphds();
     assert!(q.is_finite() && q > 0.0);
     // The database is usable after the benchmark (post-maintenance state).
@@ -52,7 +55,9 @@ fn queries_survive_data_maintenance() {
     assert_ne!(before, after, "maintenance must visibly change fact data");
 
     // Re-run a benchmark query; it must still execute.
-    let r = tpcds.run_benchmark_query(52, 3).expect("q52 after maintenance");
+    let r = tpcds
+        .run_benchmark_query(52, 3)
+        .expect("q52 after maintenance");
     let _ = r.rows.len();
 }
 
@@ -75,7 +80,9 @@ fn surrogate_keys_stay_unique_after_maintenance() {
 fn min_streams_enforced_shape() {
     // Larger scale factors must never require fewer streams.
     let mut prev = 0;
-    for sf in [0.01, 1.0, 100.0, 300.0, 1000.0, 3000.0, 10_000.0, 30_000.0, 100_000.0] {
+    for sf in [
+        0.01, 1.0, 100.0, 300.0, 1000.0, 3000.0, 10_000.0, 30_000.0, 100_000.0,
+    ] {
         let s = tpcds_repro::min_streams(sf);
         assert!(s >= prev, "min streams decreased at SF {sf}");
         prev = s;

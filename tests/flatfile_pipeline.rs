@@ -46,7 +46,10 @@ fn flat_file_load_equals_direct_load() {
 fn engine_results_are_deterministic_across_runs() {
     // The same query against the same data set twice gives identical
     // results — the repeatability the benchmark's comparability needs.
-    let t = tpcds_repro::TpcDs::builder().scale_factor(0.005).build().unwrap();
+    let t = tpcds_repro::TpcDs::builder()
+        .scale_factor(0.005)
+        .build()
+        .unwrap();
     for id in [3u32, 7, 20, 42, 52, 55, 96, 98] {
         let a = t.run_benchmark_query(id, 0).unwrap();
         let b = t.run_benchmark_query(id, 0).unwrap();

@@ -1,98 +1,162 @@
 //! Property-based integration tests over the cross-crate invariants.
+//!
+//! Cases are drawn from the repo's deterministic [`ColumnRng`] (no
+//! third-party property-testing crate: the build must resolve offline);
+//! each failure reproduces from its (property, case) coordinate.
 
-use proptest::prelude::*;
+use tpcds_repro::types::rng::ColumnRng;
 use tpcds_repro::types::{Date, Decimal, Value};
 
-proptest! {
-    #[test]
-    fn decimal_add_commutes(a in -1_000_000_000i64..1_000_000_000, sa in 0u8..6,
-                            b in -1_000_000_000i64..1_000_000_000, sb in 0u8..6) {
-        let x = Decimal::new(a as i128, sa);
-        let y = Decimal::new(b as i128, sb);
-        prop_assert_eq!(x.checked_add(&y), y.checked_add(&x));
-    }
+/// Per-case RNG: seed fixed, stream selects the property, row is the case.
+fn rng(property: u64, case: u64) -> ColumnRng {
+    ColumnRng::at(0xD1CE_F00D, property, case)
+}
 
-    #[test]
-    fn decimal_add_sub_round_trips(a in -1_000_000_000i64..1_000_000_000, sa in 0u8..6,
-                                   b in -1_000_000_000i64..1_000_000_000, sb in 0u8..6) {
-        let x = Decimal::new(a as i128, sa);
-        let y = Decimal::new(b as i128, sb);
+const CASES: u64 = 256;
+
+#[test]
+fn decimal_add_commutes() {
+    for case in 0..CASES {
+        let mut r = rng(1, case);
+        let x = Decimal::new(
+            r.uniform_i64(-1_000_000_000, 1_000_000_000) as i128,
+            r.uniform_i64(0, 5) as u8,
+        );
+        let y = Decimal::new(
+            r.uniform_i64(-1_000_000_000, 1_000_000_000) as i128,
+            r.uniform_i64(0, 5) as u8,
+        );
+        assert_eq!(x.checked_add(&y), y.checked_add(&x), "x={x} y={y}");
+    }
+}
+
+#[test]
+fn decimal_add_sub_round_trips() {
+    for case in 0..CASES {
+        let mut r = rng(2, case);
+        let x = Decimal::new(
+            r.uniform_i64(-1_000_000_000, 1_000_000_000) as i128,
+            r.uniform_i64(0, 5) as u8,
+        );
+        let y = Decimal::new(
+            r.uniform_i64(-1_000_000_000, 1_000_000_000) as i128,
+            r.uniform_i64(0, 5) as u8,
+        );
         let there = x.checked_add(&y).unwrap();
         let back = there.checked_sub(&y).unwrap();
-        prop_assert_eq!(back, x);
+        assert_eq!(back, x, "x={x} y={y}");
     }
+}
 
-    #[test]
-    fn decimal_parse_display_round_trips(m in -10_000_000_000i64..10_000_000_000, s in 0u8..8) {
-        let d = Decimal::new(m as i128, s);
+#[test]
+fn decimal_parse_display_round_trips() {
+    for case in 0..CASES {
+        let mut r = rng(3, case);
+        let d = Decimal::new(
+            r.uniform_i64(-10_000_000_000, 10_000_000_000) as i128,
+            r.uniform_i64(0, 7) as u8,
+        );
         let parsed: Decimal = d.to_string().parse().unwrap();
-        prop_assert_eq!(parsed, d);
+        assert_eq!(parsed, d);
     }
+}
 
-    #[test]
-    fn date_day_number_round_trips(days in 0i32..73_049) {
+#[test]
+fn date_day_number_round_trips() {
+    for case in 0..CASES {
+        let mut r = rng(4, case);
+        let days = r.uniform_i64(0, 73_048) as i32;
         let d = Date::from_day_number(days);
         let (y, m, dd) = d.ymd();
-        prop_assert_eq!(Date::from_ymd(y, m, dd), d);
-        prop_assert_eq!(d.date_sk(), Date::from_date_sk(d.date_sk()).date_sk());
+        assert_eq!(Date::from_ymd(y, m, dd), d);
+        assert_eq!(d.date_sk(), Date::from_date_sk(d.date_sk()).date_sk());
     }
+}
 
-    #[test]
-    fn date_add_days_is_additive(start in 0i32..70_000, a in -500i32..500, b in -500i32..500) {
-        let d = Date::from_day_number(start);
-        prop_assert_eq!(d.add_days(a).add_days(b), d.add_days(a + b));
+#[test]
+fn date_add_days_is_additive() {
+    for case in 0..CASES {
+        let mut r = rng(5, case);
+        let d = Date::from_day_number(r.uniform_i64(0, 69_999) as i32);
+        let a = r.uniform_i64(-500, 499) as i32;
+        let b = r.uniform_i64(-500, 499) as i32;
+        assert_eq!(d.add_days(a).add_days(b), d.add_days(a + b), "{d} {a} {b}");
     }
+}
 
-    #[test]
-    fn value_sort_cmp_is_antisymmetric(a in any::<i64>(), b in any::<i64>()) {
-        let va = Value::Int(a);
-        let vb = Value::Int(b);
-        prop_assert_eq!(va.sort_cmp(&vb), vb.sort_cmp(&va).reverse());
+#[test]
+fn value_sort_cmp_is_antisymmetric() {
+    for case in 0..CASES {
+        let mut r = rng(6, case);
+        let va = Value::Int(r.next_u64() as i64);
+        let vb = Value::Int(r.next_u64() as i64);
+        assert_eq!(va.sort_cmp(&vb), vb.sort_cmp(&va).reverse(), "{va} {vb}");
     }
+}
 
-    #[test]
-    fn generator_chunks_compose(lo in 0u64..50, len in 1u64..50) {
-        let g = tpcds_repro::Generator::new(0.005);
-        let n = g.row_count("customer");
-        let lo = lo.min(n.saturating_sub(1));
-        let hi = (lo + len).min(n);
-        let full = g.generate("customer");
+#[test]
+fn generator_chunks_compose() {
+    let g = tpcds_repro::Generator::new(0.005);
+    let n = g.row_count("customer");
+    let full = g.generate("customer");
+    for case in 0..48 {
+        let mut r = rng(7, case);
+        let lo = (r.uniform_i64(0, 49) as u64).min(n.saturating_sub(1));
+        let hi = (lo + r.uniform_i64(1, 49) as u64).min(n);
         let chunk = g.generate_range("customer", lo, hi);
-        prop_assert_eq!(&full[lo as usize..hi as usize], chunk.as_slice());
+        assert_eq!(
+            &full[lo as usize..hi as usize],
+            chunk.as_slice(),
+            "lo={lo} hi={hi}"
+        );
     }
+}
 
-    #[test]
-    fn scd_position_inverts_consistently(sk in 0u64..100_000) {
+#[test]
+fn scd_position_inverts_consistently() {
+    for case in 0..CASES {
+        let mut r = rng(8, case);
+        let sk = r.uniform_i64(0, 99_999) as u64;
         let pos = tpcds_repro::Generator::scd_position(sk);
-        prop_assert!(pos.revision < pos.revision_count);
-        prop_assert!(pos.revision_count >= 1 && pos.revision_count <= 3);
+        assert!(pos.revision < pos.revision_count);
+        assert!(pos.revision_count >= 1 && pos.revision_count <= 3);
         // Consecutive surrogates never skip business keys.
         let next = tpcds_repro::Generator::scd_position(sk + 1);
-        prop_assert!(next.business_key == pos.business_key
-                  || next.business_key == pos.business_key + 1);
+        assert!(next.business_key == pos.business_key || next.business_key == pos.business_key + 1);
     }
+}
 
-    #[test]
-    fn like_match_agrees_with_definition(s in "[a-c]{0,6}", p in "[a-c%_]{0,4}") {
-        // Reference implementation via recursive definition.
-        fn reference(s: &[char], p: &[char]) -> bool {
-            match (s, p) {
-                ([], []) => true,
-                ([], [f, rest @ ..]) => *f == '%' && reference(&[], rest),
-                (_, []) => false,
-                ([sc, srest @ ..], [pc, prest @ ..]) => match pc {
-                    '%' => reference(s, prest) || reference(srest, p),
-                    '_' => reference(srest, prest),
-                    c => *c == *sc && reference(srest, prest),
-                },
-            }
+#[test]
+fn like_match_agrees_with_definition() {
+    // Reference implementation via recursive definition.
+    fn reference(s: &[char], p: &[char]) -> bool {
+        match (s, p) {
+            ([], []) => true,
+            ([], [f, rest @ ..]) => *f == '%' && reference(&[], rest),
+            (_, []) => false,
+            ([sc, srest @ ..], [pc, prest @ ..]) => match pc {
+                '%' => reference(s, prest) || reference(srest, p),
+                '_' => reference(srest, prest),
+                c => *c == *sc && reference(srest, prest),
+            },
         }
+    }
+    let s_pool = ['a', 'b', 'c'];
+    let p_pool = ['a', 'b', 'c', '%', '_'];
+    for case in 0..2048 {
+        let mut r = rng(9, case);
+        let s: String = (0..r.uniform_i64(0, 6))
+            .map(|_| s_pool[r.uniform_i64(0, 2) as usize])
+            .collect();
+        let p: String = (0..r.uniform_i64(0, 4))
+            .map(|_| p_pool[r.uniform_i64(0, 4) as usize])
+            .collect();
         let sc: Vec<char> = s.chars().collect();
         let pc: Vec<char> = p.chars().collect();
-        prop_assert_eq!(
+        assert_eq!(
             tpcds_repro::engine::expr::like_match(&s, &p),
             reference(&sc, &pc),
-            "s={:?} p={:?}", s, p
+            "s={s:?} p={p:?}"
         );
     }
 }
