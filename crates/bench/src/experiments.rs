@@ -101,6 +101,7 @@ pub fn metric_experiment(sf: f64, streams: usize, queries_per_stream: usize) -> 
         streams: Some(streams),
         queries_per_stream: Some(queries_per_stream),
         aux: AuxLevel::Reporting,
+        threads: None,
     };
     let result = runner::run_benchmark(config).expect("benchmark run");
     let mut out = format!(
@@ -201,6 +202,7 @@ pub fn ablation_aux(sf: f64, streams: usize, queries_per_stream: usize) -> Strin
             streams: Some(streams),
             queries_per_stream: Some(queries_per_stream),
             aux,
+            threads: None,
         })
         .expect("benchmark run")
     };
@@ -244,6 +246,7 @@ pub fn ablation_load_coefficient(sf: f64, streams: usize, queries_per_stream: us
         streams: Some(streams),
         queries_per_stream: Some(queries_per_stream),
         aux: AuxLevel::Reporting,
+        threads: None,
     })
     .expect("benchmark run");
     let inputs = result.metric_inputs();

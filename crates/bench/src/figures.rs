@@ -257,6 +257,7 @@ pub fn figure11(sf: f64, streams: usize, queries_per_stream: usize) -> String {
         streams: Some(streams),
         queries_per_stream: Some(queries_per_stream),
         aux: tpcds_core::AuxLevel::Reporting,
+        threads: None,
     })
     .expect("benchmark run");
     let phases = [

@@ -151,6 +151,10 @@ pub fn run(args: &[String]) -> Result<()> {
     let sf: f64 = flags.parse("--scale", 0.01)?;
     let streams: usize = flags.parse("--streams", 0usize)?;
     let queries: usize = flags.parse("--queries", 99usize)?;
+    let threads = match flags.parse("--threads", 0usize)? {
+        0 => None, // fall through to TPCDS_THREADS / available_parallelism
+        n => Some(n),
+    };
     let config = BenchmarkConfig {
         scale_factor: sf,
         seed: tpcds_types::rng::DEFAULT_SEED,
@@ -161,6 +165,7 @@ pub fn run(args: &[String]) -> Result<()> {
         } else {
             AuxLevel::Reporting
         },
+        threads,
     };
     if !flags.has("--json") {
         println!("running benchmark at SF {sf}...");

@@ -54,7 +54,7 @@ fn usage() -> &'static str {
 USAGE:
     tpcds dsdgen  [--scale SF] [--dir DIR] [--table NAME] [--parallel N] [--trace FILE]
     tpcds dsqgen  [--scale SF] [--streams N] [--query ID] [--dir DIR]
-    tpcds run     [--scale SF] [--streams N] [--queries N] [--no-aux] [--json] [--trace FILE]
+    tpcds run     [--scale SF] [--streams N] [--queries N] [--threads N] [--no-aux] [--json] [--trace FILE]
     tpcds query   [--scale SF] (--id QUERY_ID | --sql 'SELECT ...') [--explain] [--trace FILE]
     tpcds explain [--scale SF] (--id QUERY_ID | --sql 'SELECT ...') [--analyze]
     tpcds report  FILE.jsonl
@@ -67,5 +67,10 @@ generate laptop-sized miniatures with the same shape.
 
 --trace FILE records the run as one JSON event per line (spans,
 counters), replacing FILE; `tpcds report FILE` renders its phase
-timeline and latency summary."
+timeline and latency summary.
+
+--threads N sets the morsel worker count for columnar scans (also via
+the TPCDS_THREADS environment variable; default available_parallelism).
+TPCDS_COLUMNAR=off|force overrides when the engine uses the columnar
+path."
 }

@@ -176,6 +176,69 @@ impl Generator {
         rows
     }
 
+    /// Generates every row of `table` with `threads` workers while
+    /// streaming the rows through a [`tpcds_storage::ColumnTableBuilder`],
+    /// returning both the row store and its columnar shadow. Generation
+    /// proceeds in segment-sized chunks so the builder sees rows as they
+    /// are produced instead of a second full pass at the end.
+    pub fn generate_table_columnar(
+        &self,
+        table: &str,
+        threads: usize,
+    ) -> (Vec<Row>, tpcds_storage::ColumnTable) {
+        let span = tpcds_obs::span("dgen", "generate_columnar")
+            .field("table", table)
+            .field("threads", threads);
+        let dtypes: Vec<tpcds_types::DataType> = self
+            .schema
+            .table(table)
+            .expect("known table")
+            .columns
+            .iter()
+            .map(|c| c.ctype.data_type())
+            .collect();
+        let mut builder = tpcds_storage::ColumnTableBuilder::new(dtypes);
+        let n = self.row_count(table);
+        let chunk = tpcds_storage::SEGMENT_ROWS as u64;
+        let mut rows: Vec<Row> = Vec::with_capacity(n as usize);
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            let piece = if threads > 1 && hi - lo > 4096 {
+                self.generate_chunk_parallel(table, lo, hi, threads)
+            } else {
+                self.generate_range(table, lo, hi)
+            };
+            for row in &piece {
+                builder.push_row(row);
+            }
+            rows.extend(piece);
+            lo = hi;
+        }
+        Self::record_rate(span, table, rows.len());
+        (rows, builder.finish())
+    }
+
+    /// Parallel generation of one chunk `lo..hi`, preserving row order.
+    fn generate_chunk_parallel(&self, table: &str, lo: u64, hi: u64, threads: usize) -> Vec<Row> {
+        let n = hi - lo;
+        let threads = threads.max(1).min(n.max(1) as usize);
+        let per = n.div_ceil(threads as u64);
+        let mut out: Vec<Vec<Row>> = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..threads as u64 {
+                let a = lo + t * per;
+                let b = (lo + (t + 1) * per).min(hi);
+                handles.push(s.spawn(move || self.generate_range(table, a, b)));
+            }
+            for h in handles {
+                out.push(h.join().expect("generator worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+
     /// Generates one row of `table` (0-based index). The workhorse — pure
     /// in `(seed, table, row)`.
     pub fn row(&self, table: &str, r: u64) -> Row {
@@ -1020,6 +1083,20 @@ mod tests {
         let serial = g.generate("item");
         let parallel = g.generate_parallel("item", 4);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn columnar_generation_matches_row_generation() {
+        let g = Generator::new(0.01);
+        for table in ["customer", "store_sales"] {
+            let serial = g.generate(table);
+            let (rows, shadow) = g.generate_table_columnar(table, 4);
+            assert_eq!(serial, rows, "{table} row store differs");
+            assert_eq!(shadow.rows, rows.len(), "{table} shadow row count");
+            for (i, row) in rows.iter().enumerate().step_by(97) {
+                assert_eq!(&shadow.row(i), row, "{table} shadow row {i}");
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::error::{EngineError, Result};
 use crate::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+use tpcds_storage::ColumnTable;
 use tpcds_types::{DataType, Row, Value};
 
 /// Schema of one stored column.
@@ -44,6 +45,36 @@ impl Index {
     pub fn distinct_keys(&self) -> usize {
         self.map.len()
     }
+
+    /// Rewrites row positions after a delete compaction. `remap[old]` is
+    /// the new position, or `usize::MAX` when the row was deleted. The
+    /// remap is monotonic over surviving rows, so position lists stay
+    /// sorted; keys whose every row was deleted drop out.
+    fn remap_positions(&mut self, remap: &[usize]) {
+        self.map.retain(|_, positions| {
+            positions.retain_mut(|p| {
+                let np = remap[*p];
+                if np == usize::MAX {
+                    false
+                } else {
+                    *p = np;
+                    true
+                }
+            });
+            !positions.is_empty()
+        });
+    }
+
+    /// Drops every posting at position `base` or later (insert rollback).
+    /// Positions are appended in increasing order, so the tail pops off.
+    fn truncate_from(&mut self, base: usize) {
+        self.map.retain(|_, positions| {
+            while matches!(positions.last(), Some(&p) if p >= base) {
+                positions.pop();
+            }
+            !positions.is_empty()
+        });
+    }
 }
 
 /// One stored table.
@@ -55,6 +86,11 @@ pub struct Table {
     pub rows: Vec<Row>,
     /// Secondary hash indexes, keyed by column position.
     pub indexes: HashMap<usize, Index>,
+    /// Columnar shadow of `rows`, when built and current. Any mutation
+    /// drops it; `columnar_enabled` remembers that it should come back on
+    /// the next [`Database::refresh_columnar`].
+    columnar: Option<Arc<ColumnTable>>,
+    columnar_enabled: bool,
 }
 
 impl Table {
@@ -64,6 +100,8 @@ impl Table {
             columns,
             rows: Vec::new(),
             indexes: HashMap::new(),
+            columnar: None,
+            columnar_enabled: false,
         }
     }
 
@@ -72,36 +110,70 @@ impl Table {
         self.columns.iter().position(|c| c.name == name)
     }
 
-    /// Appends rows, maintaining indexes.
+    /// Appends rows, validating arity and growing every index in the same
+    /// pass that lands the row (no separate validation sweep, no second
+    /// clone of the batch). A mid-batch arity error rolls the batch back,
+    /// leaving the table exactly as it was.
     pub fn insert(&mut self, rows: Vec<Row>) -> Result<()> {
-        for row in &rows {
-            if row.len() != self.columns.len() {
+        let width = self.columns.len();
+        let base = self.rows.len();
+        for row in rows {
+            if row.len() != width {
+                let bad = row.len();
+                self.rows.truncate(base);
+                for idx in self.indexes.values_mut() {
+                    idx.truncate_from(base);
+                }
                 return Err(EngineError::Catalog(format!(
-                    "arity mismatch: row has {} values, table has {} columns",
-                    row.len(),
-                    self.columns.len()
+                    "arity mismatch: row has {bad} values, table has {width} columns"
                 )));
             }
-        }
-        let base = self.rows.len();
-        for (col, idx) in self.indexes.iter_mut() {
-            for (i, row) in rows.iter().enumerate() {
-                idx.map.entry(row[*col].clone()).or_default().push(base + i);
+            let pos = self.rows.len();
+            for (col, idx) in self.indexes.iter_mut() {
+                idx.map.entry(row[*col].clone()).or_default().push(pos);
             }
+            self.rows.push(row);
         }
-        self.rows.extend(rows);
+        if self.rows.len() > base {
+            self.invalidate_columnar();
+        }
         Ok(())
     }
 
     /// Deletes every row for which `pred` returns true; returns the number
-    /// deleted. Indexes are rebuilt (bulk deletes are rare and batched in
-    /// the maintenance workload).
+    /// deleted. Rows compact in place (stable) and indexes are *remapped*
+    /// rather than rebuilt: only surviving postings are touched, and keys
+    /// whose rows all died drop out. The `engine/bulk_delete` counter
+    /// records how bulky deletes actually are, instead of asserting in a
+    /// comment that they are rare.
     pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> usize {
-        let before = self.rows.len();
-        self.rows.retain(|r| !pred(r));
-        let deleted = before - self.rows.len();
+        let n = self.rows.len();
+        let mut remap: Vec<usize> = Vec::with_capacity(n);
+        let mut write = 0usize;
+        for read in 0..n {
+            if pred(&self.rows[read]) {
+                remap.push(usize::MAX);
+            } else {
+                if write != read {
+                    self.rows.swap(write, read);
+                }
+                remap.push(write);
+                write += 1;
+            }
+        }
+        let deleted = n - write;
+        self.rows.truncate(write);
         if deleted > 0 {
-            self.rebuild_indexes();
+            for idx in self.indexes.values_mut() {
+                idx.remap_positions(&remap);
+            }
+            self.invalidate_columnar();
+            tpcds_obs::counter(
+                "engine",
+                "bulk_delete",
+                deleted as f64,
+                &[("remaining", tpcds_obs::FieldValue::Int(write as i64))],
+            );
         }
         deleted
     }
@@ -117,6 +189,7 @@ impl Table {
         }
         if changed > 0 {
             self.rebuild_indexes();
+            self.invalidate_columnar();
         }
         changed
     }
@@ -137,6 +210,53 @@ impl Table {
         for c in cols {
             self.create_index(c);
         }
+    }
+
+    /// The current columnar shadow, if built and not invalidated.
+    pub fn columnar(&self) -> Option<Arc<ColumnTable>> {
+        self.columnar.clone()
+    }
+
+    /// Whether this table keeps a columnar shadow across refreshes.
+    pub fn columnar_enabled(&self) -> bool {
+        self.columnar_enabled
+    }
+
+    /// Builds the columnar shadow from the current rows and enables
+    /// automatic rebuilds on refresh.
+    pub fn build_columnar(&mut self) -> Arc<ColumnTable> {
+        let dtypes: Vec<DataType> = self.columns.iter().map(|c| c.dtype).collect();
+        let ct = Arc::new(ColumnTable::from_rows(dtypes, &self.rows));
+        self.columnar = Some(Arc::clone(&ct));
+        self.columnar_enabled = true;
+        ct
+    }
+
+    /// Attaches a pre-built shadow (e.g. streamed out of the data
+    /// generator alongside the rows). Errors if shapes disagree.
+    pub fn attach_columnar(&mut self, ct: ColumnTable) -> Result<()> {
+        if ct.rows != self.rows.len() || ct.width() != self.columns.len() {
+            return Err(EngineError::Catalog(format!(
+                "columnar shadow shape mismatch: shadow {}x{}, table {}x{}",
+                ct.rows,
+                ct.width(),
+                self.rows.len(),
+                self.columns.len()
+            )));
+        }
+        self.columnar = Some(Arc::new(ct));
+        self.columnar_enabled = true;
+        Ok(())
+    }
+
+    /// Disables (and drops) the columnar shadow.
+    pub fn disable_columnar(&mut self) {
+        self.columnar = None;
+        self.columnar_enabled = false;
+    }
+
+    fn invalidate_columnar(&mut self) {
+        self.columnar = None;
     }
 }
 
@@ -261,6 +381,38 @@ impl Database {
             .map(|t| t.read().rows.len())
             .sum()
     }
+
+    /// Builds a columnar shadow for every table (the load path for data
+    /// that arrived as rows). Returns the number of tables shadowed.
+    pub fn build_columnar_shadows(&self) -> usize {
+        let tables: Vec<Arc<RwLock<Table>>> = self.tables.read().values().cloned().collect();
+        let mut built = 0;
+        for t in tables {
+            t.write().build_columnar();
+            built += 1;
+        }
+        built
+    }
+
+    /// Rebuilds the shadow of every table whose shadow was invalidated by
+    /// a mutation (insert/delete/update). Returns the number rebuilt.
+    pub fn refresh_columnar(&self) -> usize {
+        let tables: Vec<Arc<RwLock<Table>>> = self.tables.read().values().cloned().collect();
+        let mut rebuilt = 0;
+        for t in tables {
+            let mut t = t.write();
+            if t.columnar_enabled() && t.columnar().is_none() {
+                t.build_columnar();
+                rebuilt += 1;
+            }
+        }
+        rebuilt
+    }
+
+    /// Attaches a pre-built columnar shadow to one table.
+    pub fn attach_columnar(&self, name: &str, ct: ColumnTable) -> Result<()> {
+        self.table(name)?.write().attach_columnar(ct)
+    }
 }
 
 #[cfg(test)]
@@ -324,6 +476,88 @@ mod tests {
         let deleted = t.write().delete_where(|r| r[0] == Value::Int(2));
         assert_eq!(deleted, 2);
         assert_eq!(t.read().indexes[&0].lookup(&Value::Int(2)), &[] as &[usize]);
+    }
+
+    #[test]
+    fn failed_insert_rolls_back_batch_and_indexes() {
+        let db = Database::new();
+        db.create_table("t", cols(&["a"])).unwrap();
+        db.insert("t", vec![vec![Value::Int(1)]]).unwrap();
+        db.create_index("t", "a").unwrap();
+        // Second row has the wrong arity: the whole batch must vanish.
+        let err = db.insert(
+            "t",
+            vec![vec![Value::Int(2)], vec![Value::Int(3), Value::Int(4)]],
+        );
+        assert!(err.is_err());
+        let t = db.table("t").unwrap();
+        let t = t.read();
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.indexes[&0].lookup(&Value::Int(2)), &[] as &[usize]);
+        assert_eq!(t.indexes[&0].distinct_keys(), 1);
+    }
+
+    #[test]
+    fn delete_remaps_index_positions_in_order() {
+        let db = Database::new();
+        db.create_table("t", cols(&["a"])).unwrap();
+        let rows: Vec<Row> = (0..10).map(|i| vec![Value::Int(i % 3)]).collect();
+        db.insert("t", rows).unwrap();
+        db.create_index("t", "a").unwrap();
+        let t = db.table("t").unwrap();
+        // Delete the 1s: 0,2 keys survive with compacted, sorted positions.
+        let deleted = t.write().delete_where(|r| r[0] == Value::Int(1));
+        assert_eq!(deleted, 3);
+        let tr = t.read();
+        assert_eq!(tr.rows.len(), 7);
+        assert_eq!(tr.indexes[&0].lookup(&Value::Int(1)), &[] as &[usize]);
+        for key in [0i64, 2] {
+            let pos = tr.indexes[&0].lookup(&Value::Int(key));
+            assert!(pos.windows(2).all(|w| w[0] < w[1]));
+            for &p in pos {
+                assert_eq!(tr.rows[p][0], Value::Int(key));
+            }
+        }
+        // Surviving order is the original relative order.
+        let vals: Vec<i64> = tr.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(vals, vec![0, 2, 0, 2, 0, 2, 0]);
+    }
+
+    #[test]
+    fn mutations_invalidate_columnar_shadow() {
+        let db = Database::new();
+        db.create_table("t", cols(&["a"])).unwrap();
+        db.insert("t", vec![vec![Value::Int(1)], vec![Value::Int(2)]])
+            .unwrap();
+        let t = db.table("t").unwrap();
+        t.write().build_columnar();
+        assert!(t.read().columnar().is_some());
+        db.insert("t", vec![vec![Value::Int(3)]]).unwrap();
+        assert!(t.read().columnar().is_none(), "insert must invalidate");
+        assert_eq!(db.refresh_columnar(), 1);
+        assert_eq!(t.read().columnar().unwrap().rows, 3);
+        t.write().delete_where(|r| r[0] == Value::Int(1));
+        assert!(t.read().columnar().is_none(), "delete must invalidate");
+        db.refresh_columnar();
+        t.write().update_each(|r| {
+            r[0] = Value::Int(9);
+            true
+        });
+        assert!(t.read().columnar().is_none(), "update must invalidate");
+    }
+
+    #[test]
+    fn attach_columnar_validates_shape() {
+        let db = Database::new();
+        db.create_table("t", cols(&["a"])).unwrap();
+        db.insert("t", vec![vec![Value::Int(1)]]).unwrap();
+        let bad = tpcds_storage::ColumnTable::from_rows(vec![DataType::Int], &[]);
+        assert!(db.attach_columnar("t", bad).is_err());
+        let good =
+            tpcds_storage::ColumnTable::from_rows(vec![DataType::Int], &[vec![Value::Int(1)]]);
+        assert!(db.attach_columnar("t", good).is_ok());
+        let t = db.table("t").unwrap();
+        assert_eq!(t.read().columnar().unwrap().rows, 1);
     }
 
     #[test]

@@ -23,37 +23,104 @@ pub struct OpStats {
     pub rows_out: u64,
     /// Total wall-clock time across all calls (inclusive of inputs).
     pub elapsed: Duration,
+    /// Morsels scanned, when the node ran on the columnar path.
+    pub morsels: u64,
+    /// Peak worker count used by the columnar path (0 = row path).
+    pub workers: u64,
 }
 
 /// Per-node actuals keyed by plan-node address — stable for the lifetime
 /// of the `Bound` statement that owns the tree.
 pub type StatsMap = HashMap<usize, OpStats>;
 
+/// Whether scans/aggregates may route through the columnar shadow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnarMode {
+    /// Row path only, even when a shadow exists.
+    Off,
+    /// Columnar when a shadow exists and the plan shape compiles to the
+    /// kernel subset; row path (and index probes) otherwise. The default.
+    Auto,
+    /// Columnar wherever a shadow exists, even when the row path would
+    /// win (skips index probes on shadowed tables) — the setting the
+    /// equivalence tests use to force kernel coverage.
+    Force,
+}
+
+impl ColumnarMode {
+    /// The process default: `TPCDS_COLUMNAR=off|0` disables the columnar
+    /// path, `TPCDS_COLUMNAR=force` forces it, anything else means Auto.
+    pub fn from_env() -> ColumnarMode {
+        use std::sync::OnceLock;
+        static MODE: OnceLock<ColumnarMode> = OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("TPCDS_COLUMNAR").as_deref() {
+            Ok("off") | Ok("0") => ColumnarMode::Off,
+            Ok("force") => ColumnarMode::Force,
+            _ => ColumnarMode::Auto,
+        })
+    }
+}
+
+/// Per-statement execution knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Columnar routing policy.
+    pub columnar: ColumnarMode,
+    /// Worker count for morsel-driven scans; `None` defers to
+    /// [`tpcds_storage::effective_threads`] (`TPCDS_THREADS` /
+    /// `available_parallelism`).
+    pub threads: Option<usize>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            columnar: ColumnarMode::from_env(),
+            threads: None,
+        }
+    }
+}
+
 /// Per-statement execution context: the database handle, the CTE result
-/// cache, and (under EXPLAIN ANALYZE) the per-operator stats collector.
+/// cache, execution options, and (under EXPLAIN ANALYZE) the per-operator
+/// stats collector.
 pub struct ExecCtx<'a> {
     /// The database.
     pub db: &'a Database,
     /// CTE results by slot id (each CTE executes once per statement).
     pub cte_cache: Mutex<HashMap<usize, Arc<Vec<Row>>>>,
+    /// Execution options (columnar routing, worker count).
+    pub opts: ExecOptions,
     stats: Option<Mutex<StatsMap>>,
 }
 
 impl<'a> ExecCtx<'a> {
     /// Fresh context for one statement.
     pub fn new(db: &'a Database) -> Self {
+        Self::with_options(db, ExecOptions::default())
+    }
+
+    /// Fresh context with explicit execution options.
+    pub fn with_options(db: &'a Database, opts: ExecOptions) -> Self {
         ExecCtx {
             db,
             cte_cache: Mutex::new(HashMap::new()),
+            opts,
             stats: None,
         }
     }
 
     /// Fresh context that records per-operator actuals (EXPLAIN ANALYZE).
     pub fn with_stats(db: &'a Database) -> Self {
+        Self::with_stats_options(db, ExecOptions::default())
+    }
+
+    /// Stats-recording context with explicit execution options.
+    pub fn with_stats_options(db: &'a Database, opts: ExecOptions) -> Self {
         ExecCtx {
             db,
             cte_cache: Mutex::new(HashMap::new()),
+            opts,
             stats: Some(Mutex::new(HashMap::new())),
         }
     }
@@ -62,6 +129,24 @@ impl<'a> ExecCtx<'a> {
     /// (empty if stats were not enabled).
     pub fn take_stats(self) -> StatsMap {
         self.stats.map(Mutex::into_inner).unwrap_or_default()
+    }
+
+    /// The morsel worker count this statement runs with.
+    fn threads(&self) -> usize {
+        self.opts
+            .threads
+            .unwrap_or_else(tpcds_storage::effective_threads)
+    }
+
+    /// Folds a columnar scan's morsel/worker numbers into the node's
+    /// EXPLAIN ANALYZE entry.
+    fn record_columnar(&self, node: usize, cs: &tpcds_storage::ScanStats) {
+        if let Some(stats) = &self.stats {
+            let mut map = stats.lock();
+            let s = map.entry(node).or_default();
+            s.morsels += cs.morsels;
+            s.workers = s.workers.max(cs.workers);
+        }
     }
 }
 
@@ -88,7 +173,13 @@ pub fn execute(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resul
 
 fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Result<Vec<Row>> {
     match plan {
-        Plan::Scan { table, filter, .. } => scan(table, filter.as_ref(), ctx, outer),
+        Plan::Scan { table, filter, .. } => {
+            let (rows, cstats) = scan(table, filter.as_ref(), ctx, outer)?;
+            if let Some(cs) = cstats {
+                ctx.record_columnar(plan as *const Plan as usize, &cs);
+            }
+            Ok(rows)
+        }
         Plan::Filter { input, predicate } => {
             let rows = execute(input, ctx, outer)?;
             let mut out = Vec::new();
@@ -139,7 +230,13 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
             groups,
             sets,
             aggs,
-        } => aggregate(input, groups, sets, aggs, ctx, outer),
+        } => {
+            if let Some((rows, cs)) = try_columnar_aggregate(input, groups, sets, aggs, ctx)? {
+                ctx.record_columnar(plan as *const Plan as usize, &cs);
+                return Ok(rows);
+            }
+            aggregate(input, groups, sets, aggs, ctx, outer)
+        }
         Plan::Window { input, calls } => window(input, calls, ctx, outer),
         Plan::Sort { input, keys } => {
             let rows = execute(input, ctx, outer)?;
@@ -229,34 +326,49 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
     }
 }
 
-/// Scan with optional filter; uses a hash index when the filter contains a
-/// usable top-level equality conjunct on an indexed column.
+/// Scan with optional filter. Route order: hash-index probe (Auto mode,
+/// equality conjunct on an indexed column), then the columnar shadow
+/// (when present and the predicate compiles to the kernel subset), then
+/// the row path. Returns the morsel scan stats when the columnar path
+/// ran, for EXPLAIN ANALYZE.
 fn scan(
     table: &str,
     filter: Option<&BExpr>,
     ctx: &ExecCtx<'_>,
     outer: Option<&[Value]>,
-) -> Result<Vec<Row>> {
+) -> Result<(Vec<Row>, Option<tpcds_storage::ScanStats>)> {
     let t = ctx.db.table(table)?;
     let t = t.read();
+    let mode = ctx.opts.columnar;
     if let Some(f) = filter {
         // Index probe: find a `Col(i) = <row-independent expr>` conjunct
         // matching an index. The probe side may be a literal or a
         // correlated outer reference — the latter is what makes
-        // per-outer-row EXISTS/IN subplans cheap.
-        if let Some((col, key_expr)) = index_probe_key(f) {
-            if let Some(idx) = t.indexes.get(&col) {
-                let key = key_expr.eval(&[], ctx, outer)?;
-                let mut out = Vec::new();
-                if !key.is_null() {
-                    for &pos in idx.lookup(&key) {
-                        let row = &t.rows[pos];
-                        if f.matches(row, ctx, outer)? {
-                            out.push(row.clone());
+        // per-outer-row EXISTS/IN subplans cheap. Force mode skips the
+        // probe so tests exercise the kernels.
+        if mode != ColumnarMode::Force {
+            if let Some((col, key_expr)) = index_probe_key(f) {
+                if let Some(idx) = t.indexes.get(&col) {
+                    let key = key_expr.eval(&[], ctx, outer)?;
+                    let mut out = Vec::new();
+                    if !key.is_null() {
+                        for &pos in idx.lookup(&key) {
+                            let row = &t.rows[pos];
+                            if f.matches(row, ctx, outer)? {
+                                out.push(row.clone());
+                            }
                         }
                     }
+                    return Ok((out, None));
                 }
-                return Ok(out);
+            }
+        }
+        if mode != ColumnarMode::Off {
+            if let Some(ct) = t.columnar() {
+                if let Some(pred) = compile_pred(f) {
+                    let (rows, cs) = tpcds_storage::par_filter(&ct, Some(&pred), ctx.threads());
+                    return Ok((rows, Some(cs)));
+                }
             }
         }
         let mut out = Vec::new();
@@ -265,9 +377,189 @@ fn scan(
                 out.push(row.clone());
             }
         }
-        Ok(out)
+        Ok((out, None))
     } else {
-        Ok(t.rows.clone())
+        if mode == ColumnarMode::Force {
+            if let Some(ct) = t.columnar() {
+                let (rows, cs) = tpcds_storage::par_filter(&ct, None, ctx.threads());
+                return Ok((rows, Some(cs)));
+            }
+        }
+        // An unfiltered scan of row storage is a single clone — already
+        // cheaper than materializing from columns, so Auto keeps it.
+        Ok((t.rows.clone(), None))
+    }
+}
+
+/// Compiles a bound predicate to the columnar kernel subset: comparisons,
+/// BETWEEN/IN/LIKE/IS NULL of a *column against literals*, combined with
+/// AND/OR/NOT. Anything else (arithmetic, casts, functions, subqueries,
+/// outer references) returns `None` and stays on the row path.
+fn compile_pred(e: &BExpr) -> Option<tpcds_storage::Pred> {
+    use tpcds_storage::{CmpKind, Pred};
+    fn cmp_kind(op: crate::expr::CmpOp) -> CmpKind {
+        match op {
+            crate::expr::CmpOp::Eq => CmpKind::Eq,
+            crate::expr::CmpOp::Ne => CmpKind::Ne,
+            crate::expr::CmpOp::Lt => CmpKind::Lt,
+            crate::expr::CmpOp::Le => CmpKind::Le,
+            crate::expr::CmpOp::Gt => CmpKind::Gt,
+            crate::expr::CmpOp::Ge => CmpKind::Ge,
+        }
+    }
+    /// Mirror of `lit <op> col` as `col <flipped op> lit`.
+    fn flip(k: CmpKind) -> CmpKind {
+        match k {
+            CmpKind::Eq => CmpKind::Eq,
+            CmpKind::Ne => CmpKind::Ne,
+            CmpKind::Lt => CmpKind::Gt,
+            CmpKind::Le => CmpKind::Ge,
+            CmpKind::Gt => CmpKind::Lt,
+            CmpKind::Ge => CmpKind::Le,
+        }
+    }
+    match e {
+        BExpr::Cmp(op, l, r) => match (l.as_ref(), r.as_ref()) {
+            (BExpr::Col(i), BExpr::Lit(v)) => Some(Pred::Cmp(cmp_kind(*op), *i, v.clone())),
+            (BExpr::Lit(v), BExpr::Col(i)) => Some(Pred::Cmp(flip(cmp_kind(*op)), *i, v.clone())),
+            _ => None,
+        },
+        BExpr::And(l, r) => Some(Pred::And(
+            Box::new(compile_pred(l)?),
+            Box::new(compile_pred(r)?),
+        )),
+        BExpr::Or(l, r) => Some(Pred::Or(
+            Box::new(compile_pred(l)?),
+            Box::new(compile_pred(r)?),
+        )),
+        BExpr::Not(x) => Some(Pred::Not(Box::new(compile_pred(x)?))),
+        BExpr::IsNull(x, negated) => match x.as_ref() {
+            BExpr::Col(i) => Some(Pred::IsNull {
+                col: *i,
+                negated: *negated,
+            }),
+            _ => None,
+        },
+        BExpr::Like(x, p, negated) => match (x.as_ref(), p.as_ref()) {
+            (BExpr::Col(i), BExpr::Lit(pat)) => Some(Pred::Like {
+                col: *i,
+                pattern: pat.clone(),
+                negated: *negated,
+            }),
+            _ => None,
+        },
+        BExpr::InList(x, list, negated) => {
+            let BExpr::Col(i) = x.as_ref() else {
+                return None;
+            };
+            let mut lits = Vec::with_capacity(list.len());
+            for item in list {
+                match item {
+                    BExpr::Lit(v) => lits.push(v.clone()),
+                    _ => return None,
+                }
+            }
+            Some(Pred::InList {
+                col: *i,
+                list: lits,
+                negated: *negated,
+            })
+        }
+        BExpr::Between(x, lo, hi, negated) => match (x.as_ref(), lo.as_ref(), hi.as_ref()) {
+            (BExpr::Col(i), BExpr::Lit(l), BExpr::Lit(h)) => Some(Pred::Between {
+                col: *i,
+                lo: l.clone(),
+                hi: h.clone(),
+                negated: *negated,
+            }),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Routes `Aggregate` over a (possibly filtered) base-table scan through
+/// the fused columnar scan+aggregate kernel when the whole shape
+/// compiles: a single all-on grouping set, group keys that are plain
+/// columns, non-DISTINCT COUNT/COUNT(*)/SUM/MIN/MAX/AVG over plain
+/// columns, a shadowed table, and a compilable (or absent) predicate.
+/// Returns `Ok(None)` to fall back to the serial row path.
+fn try_columnar_aggregate(
+    input: &Plan,
+    groups: &[BExpr],
+    sets: &[Vec<bool>],
+    aggs: &[AggCall],
+    ctx: &ExecCtx<'_>,
+) -> Result<Option<(Vec<Row>, tpcds_storage::ScanStats)>> {
+    use tpcds_storage::{AggKind, AggSpec};
+    if ctx.opts.columnar == ColumnarMode::Off {
+        return Ok(None);
+    }
+    // Exactly one grouping set covering every group column (no ROLLUP).
+    if sets.len() != 1 || sets[0].iter().any(|on| !on) {
+        return Ok(None);
+    }
+    // Input must be a base-table scan, possibly under a residual Filter.
+    let (table, scan_filter, extra_filter) = match input {
+        Plan::Scan { table, filter, .. } => (table, filter.as_ref(), None),
+        Plan::Filter { input, predicate } => match input.as_ref() {
+            Plan::Scan { table, filter, .. } => (table, filter.as_ref(), Some(predicate)),
+            _ => return Ok(None),
+        },
+        _ => return Ok(None),
+    };
+    let mut group_cols = Vec::with_capacity(groups.len());
+    for g in groups {
+        match g {
+            BExpr::Col(i) => group_cols.push(*i),
+            _ => return Ok(None),
+        }
+    }
+    let mut specs = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        if a.distinct {
+            return Ok(None);
+        }
+        let kind = match a.func {
+            AggFunc::CountStar => AggKind::CountStar,
+            AggFunc::Count => AggKind::Count,
+            AggFunc::Sum => AggKind::Sum,
+            AggFunc::Min => AggKind::Min,
+            AggFunc::Max => AggKind::Max,
+            AggFunc::Avg => AggKind::Avg,
+            // STDDEV_SAMP's streaming f64 update is order-sensitive, and
+            // GROUPING() needs the sets machinery: row path.
+            AggFunc::StddevSamp | AggFunc::Grouping(_) => return Ok(None),
+        };
+        let col = match (&a.arg, kind) {
+            (None, AggKind::CountStar) => None,
+            (Some(BExpr::Col(i)), k) if k != AggKind::CountStar => Some(*i),
+            _ => return Ok(None),
+        };
+        specs.push(AggSpec { kind, col });
+    }
+    let t = ctx.db.table(table)?;
+    let t = t.read();
+    let Some(ct) = t.columnar() else {
+        return Ok(None);
+    };
+    let pred = match (scan_filter, extra_filter) {
+        (None, None) => None,
+        (Some(f), None) | (None, Some(f)) => match compile_pred(f) {
+            Some(p) => Some(p),
+            None => return Ok(None),
+        },
+        (Some(a), Some(b)) => match (compile_pred(a), compile_pred(b)) {
+            (Some(pa), Some(pb)) => Some(tpcds_storage::Pred::And(Box::new(pa), Box::new(pb))),
+            _ => return Ok(None),
+        },
+    };
+    // The shadow is an immutable Arc snapshot; no need to hold the table
+    // lock while the kernel runs.
+    drop(t);
+    match tpcds_storage::par_aggregate(&ct, pred.as_ref(), &group_cols, &specs, ctx.threads()) {
+        Ok((rows, cs)) => Ok(Some((rows, cs))),
+        Err(e) => Err(EngineError::exec(e.0)),
     }
 }
 

@@ -664,33 +664,10 @@ pub fn cast(v: Value, ty: DataType) -> Result<Value> {
     }
 }
 
-/// SQL LIKE with `%` and `_` wildcards.
-pub fn like_match(s: &str, pattern: &str) -> bool {
-    let s: Vec<char> = s.chars().collect();
-    let p: Vec<char> = pattern.chars().collect();
-    // Two-pointer with backtracking on the last '%'.
-    let (mut si, mut pi) = (0usize, 0usize);
-    let mut star: Option<(usize, usize)> = None;
-    while si < s.len() {
-        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
-            si += 1;
-            pi += 1;
-        } else if pi < p.len() && p[pi] == '%' {
-            star = Some((pi, si));
-            pi += 1;
-        } else if let Some((sp, ss)) = star {
-            pi = sp + 1;
-            si = ss + 1;
-            star = Some((sp, ss + 1));
-        } else {
-            return false;
-        }
-    }
-    while pi < p.len() && p[pi] == '%' {
-        pi += 1;
-    }
-    pi == p.len()
-}
+// SQL LIKE with `%` and `_` wildcards. The implementation lives in
+// `tpcds-types` so the columnar kernels share it; re-exported here for
+// existing callers.
+pub use tpcds_types::like_match;
 
 fn scalar_func(f: ScalarFunc, args: &[Value]) -> Result<Value> {
     match f {

@@ -25,7 +25,7 @@ pub mod sync;
 pub use binder::{Binder, Bound};
 pub use catalog::{ColumnMeta, Database, Table};
 pub use error::{EngineError, Result};
-pub use exec::ExecCtx;
+pub use exec::{ColumnarMode, ExecCtx, ExecOptions};
 pub use plan::Plan;
 
 use tpcds_types::Row;
@@ -74,9 +74,15 @@ impl QueryResult {
 
 /// Parses, binds, optimizes and executes one SQL statement.
 pub fn query(db: &Database, sql: &str) -> Result<QueryResult> {
+    query_with(db, sql, ExecOptions::default())
+}
+
+/// [`query`] with explicit execution options (columnar routing policy and
+/// morsel worker count).
+pub fn query_with(db: &Database, sql: &str, opts: ExecOptions) -> Result<QueryResult> {
     let span = tpcds_obs::span("engine", "query");
     let bound = plan_sql(db, sql)?;
-    let ctx = ExecCtx::new(db);
+    let ctx = ExecCtx::with_options(db, opts);
     let rows = exec::execute(&bound.plan, &ctx, None)?;
     span.field("rows", rows.len() as i64).finish();
     Ok(QueryResult {
@@ -98,9 +104,15 @@ pub struct AnalyzedResult {
 /// Executes one SQL statement with per-operator instrumentation and
 /// returns both the result and the annotated plan tree (EXPLAIN ANALYZE).
 pub fn query_analyze(db: &Database, sql: &str) -> Result<AnalyzedResult> {
+    query_analyze_with(db, sql, ExecOptions::default())
+}
+
+/// [`query_analyze`] with explicit execution options. Columnar scans add
+/// `morsels=`/`workers=` to their plan lines.
+pub fn query_analyze_with(db: &Database, sql: &str, opts: ExecOptions) -> Result<AnalyzedResult> {
     let span = tpcds_obs::span("engine", "query_analyze");
     let bound = plan_sql(db, sql)?;
-    let ctx = ExecCtx::with_stats(db);
+    let ctx = ExecCtx::with_stats_options(db, opts);
     let rows = exec::execute(&bound.plan, &ctx, None)?;
     let stats = ctx.take_stats();
     span.field("rows", rows.len() as i64).finish();

@@ -331,12 +331,19 @@ impl Plan {
         let suffix = match stats {
             None => String::new(),
             Some(map) => match map.get(&(self as *const Plan as usize)) {
-                Some(s) => format!(
-                    " (rows={} elapsed={:.3}ms loops={})",
-                    s.rows_out,
-                    s.elapsed.as_secs_f64() * 1e3,
-                    s.calls
-                ),
+                Some(s) => {
+                    let columnar = if s.morsels > 0 {
+                        format!(" morsels={} workers={}", s.morsels, s.workers)
+                    } else {
+                        String::new()
+                    };
+                    format!(
+                        " (rows={} elapsed={:.3}ms loops={}{columnar})",
+                        s.rows_out,
+                        s.elapsed.as_secs_f64() * 1e3,
+                        s.calls
+                    )
+                }
                 None => " (never executed)".to_string(),
             },
         };

@@ -1,10 +1,57 @@
 //! Engine integration tests: operator edge cases beyond the unit suite.
+//!
+//! Every test here runs twice: once on the row path (the correctness
+//! oracle) and once with the columnar path forced on over freshly built
+//! shadows, via the [`query`] wrapper below. A divergence fails the test.
 
-use tpcds_engine::{query, ColumnMeta, Database};
-use tpcds_types::{DataType, Decimal, Value};
+use tpcds_engine::{ColumnMeta, ColumnarMode, Database, ExecOptions, QueryResult};
+use tpcds_types::{DataType, Decimal, Row, Value};
 
 fn db() -> Database {
     Database::new()
+}
+
+/// Sorts rows lexicographically with the engine's total value order, so
+/// results from differently-ordered hash aggregations compare as multisets.
+fn canon(rows: &[Row]) -> Vec<Row> {
+    let mut v = rows.to_vec();
+    v.sort_by(|a, b| {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.sort_cmp(y))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    v
+}
+
+/// Runs `sql` on the row path, then again with the columnar path forced on
+/// (shadows rebuilt first), asserts both agree, and returns the row-path
+/// result so order-sensitive assertions check the oracle.
+fn query(db: &Database, sql: &str) -> tpcds_engine::Result<QueryResult> {
+    let row = tpcds_engine::query_with(
+        db,
+        sql,
+        ExecOptions {
+            columnar: ColumnarMode::Off,
+            threads: None,
+        },
+    )?;
+    db.build_columnar_shadows();
+    let col = tpcds_engine::query_with(
+        db,
+        sql,
+        ExecOptions {
+            columnar: ColumnarMode::Force,
+            threads: Some(3),
+        },
+    )?;
+    assert_eq!(
+        canon(&row.rows),
+        canon(&col.rows),
+        "columnar path diverges for: {sql}"
+    );
+    Ok(row)
 }
 
 fn int_table(db: &Database, name: &str, cols: &[&str], rows: Vec<Vec<Option<i64>>>) {

@@ -121,7 +121,12 @@ pub fn run_maintenance(
     report
         .ops
         .push(delete_fact_range(db, generator, refresh_seq)?);
-    span.field("rows", report.total_rows()).finish();
+    // Every operation above invalidated the touched tables' columnar
+    // shadows; rebuild them once at the end of the refresh run.
+    let rebuilt = db.refresh_columnar();
+    span.field("rows", report.total_rows())
+        .field("shadows_rebuilt", rebuilt as i64)
+        .finish();
     Ok(report)
 }
 
@@ -443,8 +448,14 @@ pub fn delete_fact_range(
 /// `tpcds_runner::build_reporting_aux`).
 pub fn load_initial_population(db: &Database, generator: &Generator) -> Result<()> {
     tpcds_engine::create_tpcds_tables(db, generator.schema())?;
+    let threads = tpcds_storage::effective_threads();
     for t in generator.schema().tables() {
-        db.insert(t.name, generator.generate_parallel(t.name, 4))?;
+        // One generation pass feeds both stores: rows stream through a
+        // segment builder on the way into the row table, so the columnar
+        // shadow is attached before the first query runs.
+        let (rows, shadow) = generator.generate_table_columnar(t.name, threads.max(4));
+        db.insert(t.name, rows)?;
+        db.attach_columnar(t.name, shadow)?;
     }
     build_basic_indexes(db, generator)
 }

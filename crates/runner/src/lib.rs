@@ -55,6 +55,9 @@ pub struct BenchmarkConfig {
     pub queries_per_stream: Option<usize>,
     /// Auxiliary structures built during the load.
     pub aux: AuxLevel,
+    /// Morsel worker count for columnar scans (`--threads N`); `None`
+    /// defers to `TPCDS_THREADS` and then `available_parallelism()`.
+    pub threads: Option<usize>,
 }
 
 impl BenchmarkConfig {
@@ -66,6 +69,7 @@ impl BenchmarkConfig {
             streams: Some(2),
             queries_per_stream: Some(10),
             aux: AuxLevel::Reporting,
+            threads: None,
         }
     }
 }
@@ -237,6 +241,7 @@ impl std::error::Error for RunError {}
 /// Runs the complete benchmark test: load test, query run 1, data
 /// maintenance, query run 2 (Figure 11).
 pub fn run_benchmark(config: BenchmarkConfig) -> Result<BenchmarkResult, RunError> {
+    tpcds_storage::set_threads(config.threads);
     let generator = Generator::with_seed(config.scale_factor, config.seed);
     let workload = Workload::tpcds().map_err(RunError::Template)?;
     let streams = config

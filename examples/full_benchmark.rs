@@ -15,6 +15,7 @@ fn main() {
         streams: Some(3), // the Figure 12 minimum for small scale factors
         queries_per_stream: Some(25),
         aux: AuxLevel::Reporting,
+        threads: None,
     };
     println!(
         "Running benchmark: SF {}, {} streams, {} queries/stream",

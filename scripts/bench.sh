@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Columnar storage benchmark: builds the release harness and emits
+# BENCH_2.json (scan/aggregate rows-per-second for the serial row path vs
+# the columnar path at 1 and N morsel workers, plus a 99-template answer
+# equivalence sweep). Exits non-zero on any answer mismatch.
+#
+# Knobs:
+#   TPCDS_THREADS     morsel worker count (default: available_parallelism)
+#   BENCH_SCALE       scale factor (default 0.02)
+#   BENCH_OUT         output path (default BENCH_2.json)
+set -eux
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release -p tpcds-bench --bin storage_bench
+./target/release/storage_bench \
+    --scale "${BENCH_SCALE:-0.02}" \
+    --out "${BENCH_OUT:-BENCH_2.json}"
