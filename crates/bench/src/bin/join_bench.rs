@@ -1,0 +1,153 @@
+//! Partitioned hash-join benchmark: the single-threaded row-store
+//! `hash_join` vs the morsel-driven columnar join, on the SF 0.01
+//! store_sales ⋈ date_dim microbench.
+//!
+//! Writes `BENCH_3.json` (override with `--out PATH`):
+//!
+//! ```json
+//! {"scale_factor": .., "threads": .., "build": {..rows/s..},
+//!  "join": {..rows/s..}, "join_agg": {..rows/s..}}
+//! ```
+//!
+//! Throughput is probe-side rows per second (the fact table drives the
+//! work); `build` isolates the partitioned build phase with a probe
+//! predicate that rejects every fact row. The process exits non-zero if
+//! the two paths disagree on any answer, or if the supposedly-columnar
+//! queries fall back to the row path — a benchmark of the wrong code
+//! path is worse than no benchmark.
+
+use std::time::Instant;
+use tpcds_core::engine::{self, ColumnarMode, ExecOptions};
+use tpcds_core::obs::json::Json;
+use tpcds_core::runner::fingerprint;
+use tpcds_core::TpcDs;
+
+/// Pure join: every matching (fact, dimension) pair is materialized.
+const JOIN_SQL: &str = "select ss_item_sk, ss_ticket_number, d_year \
+     from store_sales, date_dim where ss_sold_date_sk = d_date_sk and ss_quantity > 10";
+/// Fused aggregate-over-join: no join materialization on the columnar path.
+const JOIN_AGG_SQL: &str = "select d_year, count(*), sum(ss_ext_sales_price) \
+     from store_sales, date_dim where ss_sold_date_sk = d_date_sk group by d_year";
+/// Build-dominated: the probe predicate rejects every fact row, so the
+/// partitioned build of date_dim is the bulk of the work.
+const BUILD_SQL: &str = "select d_year from store_sales, date_dim \
+     where ss_sold_date_sk = d_date_sk and ss_sold_date_sk < 0";
+
+fn opts(columnar: ColumnarMode, threads: usize) -> ExecOptions {
+    ExecOptions {
+        columnar,
+        threads: Some(threads),
+    }
+}
+
+/// Median wall-clock of `iters` runs, in seconds.
+fn time_query(db: &tpcds_core::Database, sql: &str, o: ExecOptions, iters: usize) -> f64 {
+    let _ = engine::query_with(db, sql, o).expect("warmup"); // warmup
+    let mut secs: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            let r = engine::query_with(db, sql, o).expect("bench query");
+            std::hint::black_box(r.rows.len());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(|a, b| a.total_cmp(b));
+    secs[secs.len() / 2]
+}
+
+fn rate_obj(
+    name: &str,
+    db: &tpcds_core::Database,
+    sql: &str,
+    basis_rows: f64,
+    threads: usize,
+) -> (String, Json, f64) {
+    let iters = 5;
+    let serial = time_query(db, sql, opts(ColumnarMode::Off, 1), iters);
+    let col1 = time_query(db, sql, opts(ColumnarMode::Force, 1), iters);
+    let coln = time_query(db, sql, opts(ColumnarMode::Force, threads), iters);
+    let rps = |s: f64| basis_rows / s.max(1e-9);
+    let speedup = serial / coln.max(1e-9);
+    println!(
+        "{name:<9} row-serial {:>12.0} rows/s | columnar x1 {:>12.0} rows/s | columnar x{threads} {:>12.0} rows/s | speedup {speedup:.2}x",
+        rps(serial),
+        rps(col1),
+        rps(coln),
+    );
+    (
+        name.to_string(),
+        Json::Obj(vec![
+            ("serial_row_rows_per_s".into(), Json::Float(rps(serial))),
+            ("columnar_1t_rows_per_s".into(), Json::Float(rps(col1))),
+            ("columnar_nt_rows_per_s".into(), Json::Float(rps(coln))),
+            ("speedup_nt_vs_row".into(), Json::Float(speedup)),
+        ]),
+        speedup,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let sf: f64 = flag("--scale")
+        .map(|v| v.parse().expect("bad --scale"))
+        .unwrap_or(0.01);
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_3.json".to_string());
+    let threads = tpcds_core::storage::effective_threads();
+
+    eprintln!("loading TPC-DS at SF {sf} ({threads} morsel workers)...");
+    let tpcds = TpcDs::builder()
+        .scale_factor(sf)
+        .reporting_aux(true)
+        .build()
+        .expect("load");
+    let db = tpcds.database();
+    let fact_rows = db.row_count("store_sales") as f64;
+    let dim_rows = db.row_count("date_dim") as f64;
+
+    // ---- Guard 1: the benched queries must route through the columnar
+    // join under Force, and agree with the row path. ----
+    let mut broken = false;
+    for (name, sql) in [
+        ("join", JOIN_SQL),
+        ("join_agg", JOIN_AGG_SQL),
+        ("build", BUILD_SQL),
+    ] {
+        let analyzed =
+            engine::query_analyze_with(db, sql, opts(ColumnarMode::Force, threads)).expect(name);
+        if !analyzed.plan_text.contains("build_rows=") {
+            eprintln!("{name}: fell back to the row path:\n{}", analyzed.plan_text);
+            broken = true;
+        }
+        let row = engine::query_with(db, sql, opts(ColumnarMode::Off, 1)).expect(name);
+        if fingerprint(&row) != fingerprint(&analyzed.result) {
+            eprintln!("{name}: columnar answer diverges from row path");
+            broken = true;
+        }
+    }
+
+    // ---- Throughput ----
+    let build = rate_obj("build", db, BUILD_SQL, dim_rows, threads);
+    let join = rate_obj("join", db, JOIN_SQL, fact_rows, threads);
+    let join_agg = rate_obj("join_agg", db, JOIN_AGG_SQL, fact_rows, threads);
+
+    let report = Json::Obj(vec![
+        ("scale_factor".into(), Json::Float(sf)),
+        ("threads".into(), Json::Int(threads as i64)),
+        ("store_sales_rows".into(), Json::Int(fact_rows as i64)),
+        ("date_dim_rows".into(), Json::Int(dim_rows as i64)),
+        ("build".into(), build.1),
+        ("join".into(), join.1),
+        ("join_agg".into(), join_agg.1),
+    ]);
+    std::fs::write(&out_path, format!("{report}\n")).expect("write report");
+    println!("wrote {out_path}");
+    if broken {
+        std::process::exit(1);
+    }
+}

@@ -23,10 +23,17 @@ pub struct OpStats {
     pub rows_out: u64,
     /// Total wall-clock time across all calls (inclusive of inputs).
     pub elapsed: Duration,
-    /// Morsels scanned, when the node ran on the columnar path.
+    /// Morsels scanned, when the node ran on the columnar path (probe
+    /// morsels for a columnar join).
     pub morsels: u64,
     /// Peak worker count used by the columnar path (0 = row path).
     pub workers: u64,
+    /// Build rows kept in the hash tables, when the node ran on the
+    /// columnar join path.
+    pub build_rows: u64,
+    /// Hash-table partition count, when the node ran on the columnar join
+    /// path (0 = not a columnar join).
+    pub partitions: u64,
 }
 
 /// Per-node actuals keyed by plan-node address — stable for the lifetime
@@ -148,6 +155,19 @@ impl<'a> ExecCtx<'a> {
             s.workers = s.workers.max(cs.workers);
         }
     }
+
+    /// Folds a columnar join's build/probe/partition numbers into the
+    /// node's EXPLAIN ANALYZE entry.
+    fn record_join(&self, node: usize, js: &tpcds_storage::JoinStats) {
+        if let Some(stats) = &self.stats {
+            let mut map = stats.lock();
+            let s = map.entry(node).or_default();
+            s.morsels += js.probe_morsels;
+            s.workers = s.workers.max(js.workers);
+            s.build_rows += js.build_rows;
+            s.partitions = s.partitions.max(js.partitions);
+        }
+    }
 }
 
 /// Executes a plan, producing its rows. `outer` carries the enclosing row
@@ -209,16 +229,30 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
             left_keys,
             right_keys,
             residual,
-        } => hash_join(
-            left,
-            right,
-            *kind,
-            left_keys,
-            right_keys,
-            residual.as_ref(),
-            ctx,
-            outer,
-        ),
+        } => {
+            if let Some((rows, js)) = try_columnar_join(
+                left,
+                right,
+                *kind,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
+                ctx,
+            )? {
+                ctx.record_join(plan as *const Plan as usize, &js);
+                return Ok(rows);
+            }
+            hash_join(
+                left,
+                right,
+                *kind,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
+                ctx,
+                outer,
+            )
+        }
         Plan::NestedLoopJoin {
             left,
             right,
@@ -233,6 +267,10 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
         } => {
             if let Some((rows, cs)) = try_columnar_aggregate(input, groups, sets, aggs, ctx)? {
                 ctx.record_columnar(plan as *const Plan as usize, &cs);
+                return Ok(rows);
+            }
+            if let Some((rows, js)) = try_columnar_join_aggregate(input, groups, sets, aggs, ctx)? {
+                ctx.record_join(plan as *const Plan as usize, &js);
                 return Ok(rows);
             }
             aggregate(input, groups, sets, aggs, ctx, outer)
@@ -491,14 +529,12 @@ fn try_columnar_aggregate(
     aggs: &[AggCall],
     ctx: &ExecCtx<'_>,
 ) -> Result<Option<(Vec<Row>, tpcds_storage::ScanStats)>> {
-    use tpcds_storage::{AggKind, AggSpec};
     if ctx.opts.columnar == ColumnarMode::Off {
         return Ok(None);
     }
-    // Exactly one grouping set covering every group column (no ROLLUP).
-    if sets.len() != 1 || sets[0].iter().any(|on| !on) {
+    let Some((group_cols, specs)) = compile_agg_shape(groups, sets, aggs) else {
         return Ok(None);
-    }
+    };
     // Input must be a base-table scan, possibly under a residual Filter.
     let (table, scan_filter, extra_filter) = match input {
         Plan::Scan { table, filter, .. } => (table, filter.as_ref(), None),
@@ -508,17 +544,47 @@ fn try_columnar_aggregate(
         },
         _ => return Ok(None),
     };
+    let t = ctx.db.table(table)?;
+    let t = t.read();
+    let Some(ct) = t.columnar() else {
+        return Ok(None);
+    };
+    let Some(pred) = compile_side_pred(scan_filter, extra_filter) else {
+        return Ok(None);
+    };
+    // The shadow is an immutable Arc snapshot; no need to hold the table
+    // lock while the kernel runs.
+    drop(t);
+    match tpcds_storage::par_aggregate(&ct, pred.as_ref(), &group_cols, &specs, ctx.threads()) {
+        Ok((rows, cs)) => Ok(Some((rows, cs))),
+        Err(e) => Err(EngineError::exec(e.0)),
+    }
+}
+
+/// Compiles the aggregate shape shared by the fused scan-aggregate and
+/// join-aggregate routes: a single all-on grouping set (no ROLLUP),
+/// plain-column group keys, and non-DISTINCT
+/// COUNT/COUNT(*)/SUM/MIN/MAX/AVG over plain columns.
+fn compile_agg_shape(
+    groups: &[BExpr],
+    sets: &[Vec<bool>],
+    aggs: &[AggCall],
+) -> Option<(Vec<usize>, Vec<tpcds_storage::AggSpec>)> {
+    use tpcds_storage::{AggKind, AggSpec};
+    if sets.len() != 1 || sets[0].iter().any(|on| !on) {
+        return None;
+    }
     let mut group_cols = Vec::with_capacity(groups.len());
     for g in groups {
         match g {
             BExpr::Col(i) => group_cols.push(*i),
-            _ => return Ok(None),
+            _ => return None,
         }
     }
     let mut specs = Vec::with_capacity(aggs.len());
     for a in aggs {
         if a.distinct {
-            return Ok(None);
+            return None;
         }
         let kind = match a.func {
             AggFunc::CountStar => AggKind::CountStar,
@@ -529,36 +595,182 @@ fn try_columnar_aggregate(
             AggFunc::Avg => AggKind::Avg,
             // STDDEV_SAMP's streaming f64 update is order-sensitive, and
             // GROUPING() needs the sets machinery: row path.
-            AggFunc::StddevSamp | AggFunc::Grouping(_) => return Ok(None),
+            AggFunc::StddevSamp | AggFunc::Grouping(_) => return None,
         };
         let col = match (&a.arg, kind) {
             (None, AggKind::CountStar) => None,
             (Some(BExpr::Col(i)), k) if k != AggKind::CountStar => Some(*i),
-            _ => return Ok(None),
+            _ => return None,
         };
         specs.push(AggSpec { kind, col });
+    }
+    Some((group_cols, specs))
+}
+
+/// Combines a scan's pushed-down filter with a residual Filter predicate
+/// into one compiled columnar predicate. `Some(None)` = no filtering;
+/// `None` = at least one predicate is outside the kernel subset.
+#[allow(clippy::option_option)]
+fn compile_side_pred(
+    scan_filter: Option<&BExpr>,
+    extra_filter: Option<&BExpr>,
+) -> Option<Option<tpcds_storage::Pred>> {
+    match (scan_filter, extra_filter) {
+        (None, None) => Some(None),
+        (Some(f), None) | (None, Some(f)) => compile_pred(f).map(Some),
+        (Some(a), Some(b)) => match (compile_pred(a), compile_pred(b)) {
+            (Some(pa), Some(pb)) => {
+                Some(Some(tpcds_storage::Pred::And(Box::new(pa), Box::new(pb))))
+            }
+            _ => None,
+        },
+    }
+}
+
+/// One compiled side of a columnar join: the shadow snapshot, the
+/// combined compiled predicate, and the key column indexes.
+struct ColJoinSide {
+    table: Arc<tpcds_storage::ColumnTable>,
+    pred: Option<tpcds_storage::Pred>,
+    keys: Vec<usize>,
+}
+
+/// Compiles one join input for the columnar join kernel: a base-table
+/// scan (possibly under a residual Filter — the Filter-under-Join fusion)
+/// over a shadowed table, with compilable (or absent) predicates and
+/// plain-column equi-keys. Returns `Ok(None)` to fall back.
+fn compile_join_side(
+    plan: &Plan,
+    keys: &[BExpr],
+    ctx: &ExecCtx<'_>,
+) -> Result<Option<ColJoinSide>> {
+    let (table, scan_filter, extra_filter) = match plan {
+        Plan::Scan { table, filter, .. } => (table, filter.as_ref(), None),
+        Plan::Filter { input, predicate } => match input.as_ref() {
+            Plan::Scan { table, filter, .. } => (table, filter.as_ref(), Some(predicate)),
+            _ => return Ok(None),
+        },
+        _ => return Ok(None),
+    };
+    let mut key_cols = Vec::with_capacity(keys.len());
+    for k in keys {
+        match k {
+            BExpr::Col(i) => key_cols.push(*i),
+            _ => return Ok(None),
+        }
     }
     let t = ctx.db.table(table)?;
     let t = t.read();
     let Some(ct) = t.columnar() else {
         return Ok(None);
     };
-    let pred = match (scan_filter, extra_filter) {
-        (None, None) => None,
-        (Some(f), None) | (None, Some(f)) => match compile_pred(f) {
-            Some(p) => Some(p),
-            None => return Ok(None),
-        },
-        (Some(a), Some(b)) => match (compile_pred(a), compile_pred(b)) {
-            (Some(pa), Some(pb)) => Some(tpcds_storage::Pred::And(Box::new(pa), Box::new(pb))),
-            _ => return Ok(None),
-        },
+    let Some(pred) = compile_side_pred(scan_filter, extra_filter) else {
+        return Ok(None);
     };
-    // The shadow is an immutable Arc snapshot; no need to hold the table
-    // lock while the kernel runs.
+    // Arc snapshot: the kernel runs without the table lock.
     drop(t);
-    match tpcds_storage::par_aggregate(&ct, pred.as_ref(), &group_cols, &specs, ctx.threads()) {
-        Ok((rows, cs)) => Ok(Some((rows, cs))),
+    Ok(Some(ColJoinSide {
+        table: ct,
+        pred,
+        keys: key_cols,
+    }))
+}
+
+/// Routes a `HashJoin` over (possibly filtered) base-table scans through
+/// the partitioned columnar join kernel when both sides compile and there
+/// is no residual predicate (the kernel's predicates evaluate over one
+/// segment, never over joined rows). Returns `Ok(None)` to fall back to
+/// the serial row-path join.
+fn try_columnar_join(
+    left: &Plan,
+    right: &Plan,
+    kind: JoinKind,
+    left_keys: &[BExpr],
+    right_keys: &[BExpr],
+    residual: Option<&BExpr>,
+    ctx: &ExecCtx<'_>,
+) -> Result<Option<(Vec<Row>, tpcds_storage::JoinStats)>> {
+    if ctx.opts.columnar == ColumnarMode::Off || residual.is_some() {
+        return Ok(None);
+    }
+    let Some(probe) = compile_join_side(left, left_keys, ctx)? else {
+        return Ok(None);
+    };
+    let Some(build) = compile_join_side(right, right_keys, ctx)? else {
+        return Ok(None);
+    };
+    let jt = match kind {
+        JoinKind::Inner => tpcds_storage::JoinType::Inner,
+        JoinKind::Left => tpcds_storage::JoinType::Left,
+    };
+    let (rows, js) = tpcds_storage::par_hash_join(
+        &probe.table,
+        probe.pred.as_ref(),
+        &probe.keys,
+        &build.table,
+        build.pred.as_ref(),
+        &build.keys,
+        jt,
+        ctx.threads(),
+    );
+    Ok(Some((rows, js)))
+}
+
+/// Routes `Aggregate` directly over an eligible `HashJoin` through the
+/// fused join+aggregate kernel: joined rows are folded into aggregate
+/// partials without ever being materialized. Group and aggregate columns
+/// index the combined `left ++ right` row; the kernel splits them at the
+/// probe width. Returns `Ok(None)` to fall back.
+fn try_columnar_join_aggregate(
+    input: &Plan,
+    groups: &[BExpr],
+    sets: &[Vec<bool>],
+    aggs: &[AggCall],
+    ctx: &ExecCtx<'_>,
+) -> Result<Option<(Vec<Row>, tpcds_storage::JoinStats)>> {
+    if ctx.opts.columnar == ColumnarMode::Off {
+        return Ok(None);
+    }
+    let Plan::HashJoin {
+        left,
+        right,
+        kind,
+        left_keys,
+        right_keys,
+        residual,
+    } = input
+    else {
+        return Ok(None);
+    };
+    if residual.is_some() {
+        return Ok(None);
+    }
+    let Some((group_cols, specs)) = compile_agg_shape(groups, sets, aggs) else {
+        return Ok(None);
+    };
+    let Some(probe) = compile_join_side(left, left_keys, ctx)? else {
+        return Ok(None);
+    };
+    let Some(build) = compile_join_side(right, right_keys, ctx)? else {
+        return Ok(None);
+    };
+    let jt = match kind {
+        JoinKind::Inner => tpcds_storage::JoinType::Inner,
+        JoinKind::Left => tpcds_storage::JoinType::Left,
+    };
+    match tpcds_storage::par_hash_join_agg(
+        &probe.table,
+        probe.pred.as_ref(),
+        &probe.keys,
+        &build.table,
+        build.pred.as_ref(),
+        &build.keys,
+        jt,
+        &group_cols,
+        &specs,
+        ctx.threads(),
+    ) {
+        Ok((rows, js)) => Ok(Some((rows, js))),
         Err(e) => Err(EngineError::exec(e.0)),
     }
 }

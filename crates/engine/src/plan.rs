@@ -332,7 +332,12 @@ impl Plan {
             None => String::new(),
             Some(map) => match map.get(&(self as *const Plan as usize)) {
                 Some(s) => {
-                    let columnar = if s.morsels > 0 {
+                    let columnar = if s.partitions > 0 {
+                        format!(
+                            " build_rows={} probe_morsels={} partitions={} workers={}",
+                            s.build_rows, s.morsels, s.partitions, s.workers
+                        )
+                    } else if s.morsels > 0 {
                         format!(" morsels={} workers={}", s.morsels, s.workers)
                     } else {
                         String::new()

@@ -193,6 +193,109 @@ fn mutation_invalidates_shadow_until_refresh() {
     assert!(check(&db, sql), "refreshed shadow routes columnar again");
 }
 
+/// Adds a small dimension table (k, name) to the sales fixture; k has a
+/// NULL and duplicate values so join edge cases are exercised.
+fn join_db() -> Database {
+    let db = sales_db();
+    let meta = vec![
+        ColumnMeta {
+            name: "k".into(),
+            dtype: DataType::Int,
+        },
+        ColumnMeta {
+            name: "name".into(),
+            dtype: DataType::Str,
+        },
+    ];
+    let mut rows: Vec<Row> = (0..6i64)
+        .map(|i| vec![Value::Int(i), Value::str(format!("dim{i}"))])
+        .collect();
+    rows.push(vec![Value::Null, Value::str("dim-null")]);
+    rows.push(vec![Value::Int(2), Value::str("dim2-dup")]);
+    db.create_table_with_rows("dims", meta, rows).unwrap();
+    db.build_columnar_shadows();
+    db
+}
+
+/// Runs `sql` on the row path and on the forced columnar path, asserting
+/// **byte-identical** output (the columnar join preserves probe order and
+/// build insertion order, so no canonicalization is needed), and returns
+/// the forced run's plan text.
+fn check_join(db: &Database, sql: &str) -> String {
+    let row = tpcds_engine::query_with(db, sql, OFF).unwrap();
+    for threads in [1, 2, 8] {
+        let col = tpcds_engine::query_with(
+            db,
+            sql,
+            ExecOptions {
+                columnar: ColumnarMode::Force,
+                threads: Some(threads),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            row.rows, col.rows,
+            "columnar join not byte-identical for: {sql} (threads={threads})"
+        );
+    }
+    tpcds_engine::query_analyze_with(db, sql, FORCE)
+        .unwrap()
+        .plan_text
+}
+
+#[test]
+fn hash_join_over_scans_takes_columnar_path() {
+    let db = join_db();
+    // Explicit JOIN ... ON binds HashJoin over two Scans directly.
+    for sql in [
+        "select s.id, d.name from sales s join dims d on s.qty = d.k",
+        "select s.id, d.name from sales s left join dims d on s.qty = d.k",
+        // Comma join: the optimizer pushes single-table predicates into
+        // the scans, which fuse into the join's build/probe filters.
+        "select s.id, d.name from sales s, dims d where s.qty = d.k and s.id < 100 and d.k > 1",
+    ] {
+        let plan = check_join(&db, sql);
+        assert!(
+            plan.contains("build_rows=") && plan.contains("partitions="),
+            "expected columnar join for: {sql}\n{plan}"
+        );
+    }
+}
+
+#[test]
+fn join_with_residual_falls_back_to_rows() {
+    let db = join_db();
+    // The residual compares columns across the two sides: the kernel's
+    // predicates evaluate over one segment, so the join must fall back —
+    // and still agree with the row path.
+    let sql = "select s.id, d.name from sales s join dims d on s.qty = d.k and s.id > d.k";
+    let plan = check_join(&db, sql);
+    assert!(
+        !plan.contains("build_rows="),
+        "residual join must not route columnar:\n{plan}"
+    );
+}
+
+#[test]
+fn aggregate_over_join_fuses() {
+    let db = join_db();
+    let sql = "select d.name, count(*), sum(s.price) \
+               from sales s, dims d where s.qty = d.k group by d.name";
+    let row = tpcds_engine::query_with(&db, sql, OFF).unwrap();
+    let col = tpcds_engine::query_analyze_with(&db, sql, FORCE).unwrap();
+    assert_eq!(canon(&row.rows), canon(&col.result.rows), "{sql}");
+    let agg_line = col
+        .plan_text
+        .lines()
+        .find(|l| l.contains("Aggregate"))
+        .unwrap();
+    assert!(
+        agg_line.contains("build_rows=") && agg_line.contains("partitions="),
+        "expected fused join-aggregate: {agg_line}\n{}",
+        col.plan_text
+    );
+}
+
 #[test]
 fn worker_counts_do_not_change_results() {
     let db = sales_db();

@@ -20,12 +20,14 @@
 
 pub mod agg;
 pub mod column;
+pub mod join;
 pub mod morsel;
 pub mod pred;
 pub mod segment;
 
 pub use agg::{AggKind, AggSpec};
 pub use column::{Bitmap, Column, ColumnData};
+pub use join::{par_hash_join, par_hash_join_agg, JoinStats, JoinType};
 pub use morsel::{par_aggregate, par_filter, ScanStats, MORSEL_ROWS};
 pub use pred::{CmpKind, Pred};
 pub use segment::{ColumnTable, ColumnTableBuilder, Segment, SEGMENT_ROWS};

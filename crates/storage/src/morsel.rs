@@ -24,7 +24,7 @@ pub const MORSEL_ROWS: usize = 8_192;
 
 /// Below this row count the scan runs inline on the calling thread: the
 /// work is smaller than the cost of spawning workers.
-const INLINE_ROWS: usize = 16_384;
+pub(crate) const INLINE_ROWS: usize = 16_384;
 
 /// What one columnar scan did — surfaced in obs counters and in the
 /// engine's EXPLAIN ANALYZE output.
@@ -43,7 +43,8 @@ pub struct ScanStats {
 }
 
 /// The morsel list for a table: each entry is `(segment, start, len)`.
-fn morsels_of(table: &ColumnTable) -> Vec<(usize, usize, usize)> {
+/// Shared with the join pipeline in [`crate::join`].
+pub(crate) fn morsels_of(table: &ColumnTable) -> Vec<(usize, usize, usize)> {
     let mut out = Vec::new();
     for (si, seg) in table.segments.iter().enumerate() {
         let mut off = 0;
@@ -56,8 +57,10 @@ fn morsels_of(table: &ColumnTable) -> Vec<(usize, usize, usize)> {
     out
 }
 
-fn worker_count(table: &ColumnTable, threads: usize, n_morsels: usize) -> usize {
-    if table.rows <= INLINE_ROWS {
+/// Worker-count policy: inline below [`INLINE_ROWS`] total rows, else the
+/// requested thread count capped by the number of morsels.
+pub(crate) fn worker_count(rows: usize, threads: usize, n_morsels: usize) -> usize {
+    if rows <= INLINE_ROWS {
         return 1;
     }
     threads.max(1).min(n_morsels.max(1))
@@ -82,7 +85,7 @@ pub fn par_filter(
     threads: usize,
 ) -> (Vec<Row>, ScanStats) {
     let morsels = morsels_of(table);
-    let workers = worker_count(table, threads, morsels.len());
+    let workers = worker_count(table.rows, threads, morsels.len());
 
     // Per-morsel output buffers, reassembled in morsel order so the
     // result is byte-identical to a serial scan.
@@ -182,9 +185,8 @@ pub fn par_aggregate(
     threads: usize,
 ) -> Result<(Vec<Row>, ScanStats), StorageError> {
     let morsels = morsels_of(table);
-    let workers = worker_count(table, threads, morsels.len());
+    let workers = worker_count(table.rows, threads, morsels.len());
 
-    type GroupMap = HashMap<Vec<Value>, Vec<PAcc>>;
     let run_worker = |w: usize, cursor: &AtomicUsize| -> Result<GroupMap, StorageError> {
         let mut span = tpcds_obs::span("storage", "agg_worker").field("worker", w);
         let mut map: GroupMap = HashMap::new();
@@ -219,8 +221,29 @@ pub fn par_aggregate(
         })
     };
 
-    // Merge worker partials (commutative and exact, so merge order does
-    // not affect the result).
+    let merged = merge_partials(partials)?;
+    let out = finish_groups(merged, groups.is_empty(), aggs);
+
+    let stats = ScanStats {
+        morsels: morsels.len() as u64,
+        workers: workers as u64,
+        rows_scanned: table.rows as u64,
+        rows_out: out.len() as u64,
+        bytes: table.bytes() as u64,
+    };
+    emit_counters(&stats);
+    Ok((out, stats))
+}
+
+/// Group key → partial accumulators. Shared by the aggregate and
+/// join-aggregate workers.
+pub(crate) type GroupMap = HashMap<Vec<Value>, Vec<PAcc>>;
+
+/// Merges per-worker group maps (commutative and exact, so merge order
+/// does not affect the result).
+pub(crate) fn merge_partials(
+    partials: Vec<Result<GroupMap, StorageError>>,
+) -> Result<GroupMap, StorageError> {
     let mut merged: GroupMap = HashMap::new();
     for part in partials {
         for (key, accs) in part? {
@@ -236,13 +259,19 @@ pub fn par_aggregate(
             }
         }
     }
-    // Global aggregate over empty input still yields one default row.
-    if groups.is_empty() {
+    Ok(merged)
+}
+
+/// Finalizes a merged group map into output rows sorted by key (so any
+/// worker count yields the same bytes). A global aggregate (`global`)
+/// over zero input rows still yields one default row, mirroring the
+/// engine.
+pub(crate) fn finish_groups(mut merged: GroupMap, global: bool, aggs: &[AggSpec]) -> Vec<Row> {
+    if global {
         merged
             .entry(Vec::new())
             .or_insert_with(|| aggs.iter().map(|a| PAcc::new(a.kind)).collect());
     }
-
     let mut keyed: Vec<(Vec<Value>, Vec<PAcc>)> = merged.into_iter().collect();
     keyed.sort_by(|(a, _), (b, _)| {
         a.iter()
@@ -259,16 +288,7 @@ pub fn par_aggregate(
         }
         out.push(row);
     }
-
-    let stats = ScanStats {
-        morsels: morsels.len() as u64,
-        workers: workers as u64,
-        rows_scanned: table.rows as u64,
-        rows_out: out.len() as u64,
-        bytes: table.bytes() as u64,
-    };
-    emit_counters(&stats);
-    Ok((out, stats))
+    out
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -1,0 +1,198 @@
+//! Property tests at exact segment boundaries (65535/65536/65537 rows) —
+//! the off-by-one territory the word-packed bitmap, the predicate
+//! kernels, and the morsel scheduler must all survive — plus
+//! empty-build-side and empty-probe-side joins.
+
+use tpcds_storage::{
+    par_aggregate, par_filter, par_hash_join, AggKind, AggSpec, Bitmap, CmpKind, ColumnTable,
+    ColumnTableBuilder, JoinType, Pred, SEGMENT_ROWS,
+};
+use tpcds_types::{DataType, Row, Value};
+
+/// (id, key, flag) rows; `key` NULL every 9th row, `flag` cycles 0..4.
+fn table(n: usize) -> ColumnTable {
+    let mut b = ColumnTableBuilder::new(vec![DataType::Int, DataType::Int, DataType::Int]);
+    for i in 0..n as i64 {
+        let key = if i % 9 == 0 {
+            Value::Null
+        } else {
+            Value::Int(i % 13)
+        };
+        b.push_row(&[Value::Int(i), key, Value::Int(i % 5)]);
+    }
+    b.finish()
+}
+
+const BOUNDARY_SIZES: [usize; 3] = [SEGMENT_ROWS - 1, SEGMENT_ROWS, SEGMENT_ROWS + 1];
+
+#[test]
+fn bitmap_tracks_nulls_across_word_and_segment_boundaries() {
+    for n in BOUNDARY_SIZES {
+        let t = table(n);
+        assert_eq!(t.rows, n);
+        let expected_segments = n.div_ceil(SEGMENT_ROWS);
+        assert_eq!(t.segments.len(), expected_segments, "n={n}");
+        // Per-segment null counts must add up to the per-row rule.
+        let nulls: usize = t
+            .segments
+            .iter()
+            .map(|s| s.columns[1].nulls.count_set())
+            .sum();
+        assert_eq!(nulls, n.div_ceil(9), "n={n}");
+        // The very last row materializes correctly.
+        let last = t.row(n - 1);
+        assert_eq!(last[0], Value::Int(n as i64 - 1));
+    }
+    // A raw bitmap straddling the last word: set/get agree at every index.
+    let mut bm = Bitmap::new();
+    for i in 0..(64 * 3 + 1) {
+        bm.push(i % 7 == 0);
+    }
+    for i in 0..bm.len() {
+        assert_eq!(bm.get(i), i % 7 == 0, "bit {i}");
+    }
+}
+
+#[test]
+fn predicate_and_filter_agree_with_serial_rule_at_boundaries() {
+    for n in BOUNDARY_SIZES {
+        let t = table(n);
+        let pred = Pred::Cmp(CmpKind::Eq, 2, Value::Int(3));
+        for threads in [1, 4] {
+            let (rows, stats) = par_filter(&t, Some(&pred), threads);
+            let expect: Vec<Row> = (0..n as i64)
+                .filter(|i| i % 5 == 3)
+                .map(|i| t.row(i as usize))
+                .collect();
+            assert_eq!(rows, expect, "n={n} threads={threads}");
+            assert_eq!(stats.rows_scanned, n as u64);
+        }
+    }
+}
+
+#[test]
+fn aggregate_counts_exact_at_boundaries() {
+    for n in BOUNDARY_SIZES {
+        let t = table(n);
+        let aggs = [
+            AggSpec {
+                kind: AggKind::CountStar,
+                col: None,
+            },
+            AggSpec {
+                kind: AggKind::Count,
+                col: Some(1), // NULL every 9th row
+            },
+            AggSpec {
+                kind: AggKind::Min,
+                col: Some(0),
+            },
+            AggSpec {
+                kind: AggKind::Max,
+                col: Some(0),
+            },
+        ];
+        for threads in [1, 4] {
+            let (rows, _) = par_aggregate(&t, None, &[], &aggs, threads).unwrap();
+            assert_eq!(
+                rows,
+                vec![vec![
+                    Value::Int(n as i64),
+                    Value::Int((n - n.div_ceil(9)) as i64),
+                    Value::Int(0),
+                    Value::Int(n as i64 - 1),
+                ]],
+                "n={n} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn join_probe_spanning_boundary_matches_serial() {
+    let build = {
+        let mut b = ColumnTableBuilder::new(vec![DataType::Int, DataType::Int]);
+        for i in 0..13i64 {
+            b.push_row(&[Value::Int(i), Value::Int(i * 100)]);
+        }
+        b.finish()
+    };
+    for n in BOUNDARY_SIZES {
+        let probe = table(n);
+        let (serial, s1) = par_hash_join(&probe, None, &[1], &build, None, &[0], JoinType::Left, 1);
+        // Every probe row appears exactly once (unique build keys; NULL
+        // keys pad).
+        assert_eq!(serial.len(), n, "n={n}");
+        assert_eq!(s1.probe_morsels, probe.rows.div_ceil(8_192) as u64);
+        for threads in [2, 8] {
+            let (par, _) = par_hash_join(
+                &probe,
+                None,
+                &[1],
+                &build,
+                None,
+                &[0],
+                JoinType::Left,
+                threads,
+            );
+            assert_eq!(par, serial, "n={n} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn empty_build_side_joins() {
+    let probe = table(1_000);
+    let empty = ColumnTableBuilder::new(vec![DataType::Int, DataType::Int]).finish();
+    // Inner: nothing matches, nothing out.
+    let (rows, stats) = par_hash_join(&probe, None, &[1], &empty, None, &[0], JoinType::Inner, 4);
+    assert!(rows.is_empty());
+    assert_eq!(stats.build_rows, 0);
+    // Left: every probe row padded with build-width NULLs.
+    let (rows, _) = par_hash_join(&probe, None, &[1], &empty, None, &[0], JoinType::Left, 4);
+    assert_eq!(rows.len(), probe.rows);
+    assert!(rows
+        .iter()
+        .all(|r| r.len() == 5 && r[3].is_null() && r[4].is_null()));
+    // A build side whose rows all fail the filter behaves like empty too.
+    let build = table(100);
+    let none = Pred::Cmp(CmpKind::Lt, 0, Value::Int(-1));
+    let (rows, stats) = par_hash_join(
+        &probe,
+        None,
+        &[1],
+        &build,
+        Some(&none),
+        &[0],
+        JoinType::Inner,
+        4,
+    );
+    assert!(rows.is_empty());
+    assert_eq!(stats.build_rows, 0);
+}
+
+#[test]
+fn empty_probe_side_joins() {
+    let build = table(100);
+    let empty = ColumnTableBuilder::new(vec![DataType::Int, DataType::Int, DataType::Int]).finish();
+    for kind in [JoinType::Inner, JoinType::Left] {
+        let (rows, stats) = par_hash_join(&empty, None, &[1], &build, None, &[0], kind, 4);
+        assert!(rows.is_empty(), "{kind:?}");
+        assert_eq!(stats.probe_morsels, 0);
+        assert_eq!(stats.rows_out, 0);
+    }
+    // Probe filtered down to nothing.
+    let probe = table(1_000);
+    let none = Pred::Cmp(CmpKind::Lt, 0, Value::Int(-1));
+    let (rows, _) = par_hash_join(
+        &probe,
+        Some(&none),
+        &[1],
+        &build,
+        None,
+        &[0],
+        JoinType::Left,
+        4,
+    );
+    assert!(rows.is_empty());
+}

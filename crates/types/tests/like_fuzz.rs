@@ -1,0 +1,112 @@
+//! Fuzzes `like_match` against a naive exponential-backtracking reference
+//! implementation. The production matcher is a greedy two-pointer with
+//! last-`%` backtracking — fast but subtle; the reference below is the
+//! direct recursive definition of LIKE, obviously correct and obviously
+//! slow. A fixed seed and a tiny alphabet (`a`, `b`, `%`, `_`) keep the
+//! suite reproducible while forcing dense wildcard collisions.
+
+use tpcds_types::like_match;
+
+/// Direct recursive semantics of SQL LIKE, memoized over the
+/// (string-suffix, pattern-suffix) grid so pathological `%%%…` patterns
+/// stay polynomial.
+fn reference(s: &str, p: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = p.chars().collect();
+    let mut memo = vec![None; (s.len() + 1) * (p.len() + 1)];
+    fn go(s: &[char], p: &[char], si: usize, pi: usize, memo: &mut [Option<bool>]) -> bool {
+        let idx = si * (p.len() + 1) + pi;
+        if let Some(v) = memo[idx] {
+            return v;
+        }
+        let v = if pi == p.len() {
+            si == s.len()
+        } else {
+            match p[pi] {
+                '%' => {
+                    // Match zero chars, or consume one and stay on '%'.
+                    go(s, p, si, pi + 1, memo) || (si < s.len() && go(s, p, si + 1, pi, memo))
+                }
+                '_' => si < s.len() && go(s, p, si + 1, pi + 1, memo),
+                c => si < s.len() && s[si] == c && go(s, p, si + 1, pi + 1, memo),
+            }
+        };
+        memo[idx] = Some(v);
+        v
+    }
+    go(&s, &p, 0, 0, &mut memo)
+}
+
+/// splitmix64 so the case set is identical on every run.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+#[test]
+fn fuzz_against_reference() {
+    let mut rng = Rng(0x11CE_BEEF);
+    let subject_alphabet = ['a', 'b'];
+    let pattern_alphabet = ['a', 'b', '%', '_'];
+    let mut mismatches = Vec::new();
+    for case in 0..10_000 {
+        let slen = rng.below(9) as usize;
+        let s: String = (0..slen)
+            .map(|_| subject_alphabet[rng.below(2) as usize])
+            .collect();
+        let plen = rng.below(9) as usize;
+        let p: String = (0..plen)
+            .map(|_| pattern_alphabet[rng.below(4) as usize])
+            .collect();
+        if like_match(&s, &p) != reference(&s, &p) {
+            mismatches.push(format!("case {case}: s={s:?} p={p:?}"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "like_match diverges from the reference:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn empty_string_and_empty_pattern_edges() {
+    // Empty pattern matches only the empty string.
+    assert!(like_match("", ""));
+    assert!(!like_match("a", ""));
+    // '%' alone matches anything, including "".
+    assert!(like_match("", "%"));
+    assert!(like_match("", "%%%"));
+    assert!(like_match("ab", "%%"));
+    // '_' needs exactly one character.
+    assert!(!like_match("", "_"));
+    assert!(!like_match("", "%_"));
+    assert!(!like_match("", "_%"));
+    assert!(like_match("a", "_%"));
+    assert!(like_match("a", "%_"));
+    // Trailing-'%' runs after the subject is consumed.
+    assert!(like_match("ab", "ab%%"));
+    assert!(!like_match("ab", "ab%_"));
+}
+
+#[test]
+fn dense_wildcard_backtracking() {
+    // Cases that punish a greedy matcher that backtracks to the wrong '%'.
+    assert!(like_match("aabab", "%ab"));
+    assert!(!like_match("aabaa", "%ab"));
+    assert!(like_match("abababab", "a%b_b"));
+    assert!(like_match("baaab", "%_a%b"));
+    assert!(!like_match("bbb", "%a%"));
+    assert!(like_match("ababb", "%ab%b"));
+}

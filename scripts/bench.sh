@@ -1,18 +1,27 @@
 #!/usr/bin/env sh
-# Columnar storage benchmark: builds the release harness and emits
-# BENCH_2.json (scan/aggregate rows-per-second for the serial row path vs
-# the columnar path at 1 and N morsel workers, plus a 99-template answer
-# equivalence sweep). Exits non-zero on any answer mismatch.
+# Columnar storage benchmarks: builds the release harnesses and emits
+#  - BENCH_2.json: scan/aggregate rows-per-second for the serial row path
+#    vs the columnar path at 1 and N morsel workers, plus a 99-template
+#    answer equivalence sweep;
+#  - BENCH_3.json: partitioned hash-join build/probe throughput (pure join
+#    and fused aggregate-over-join on store_sales ⋈ date_dim) for the
+#    row path vs the columnar join at 1 and N workers.
+# Exits non-zero on any answer mismatch or columnar-routing fallback.
 #
 # Knobs:
 #   TPCDS_THREADS     morsel worker count (default: available_parallelism)
-#   BENCH_SCALE       scale factor (default 0.02)
-#   BENCH_OUT         output path (default BENCH_2.json)
+#   BENCH_SCALE       scale factor for BENCH_2 (default 0.02)
+#   BENCH_JOIN_SCALE  scale factor for BENCH_3 (default 0.01)
+#   BENCH_OUT         BENCH_2 output path (default BENCH_2.json)
+#   BENCH_JOIN_OUT    BENCH_3 output path (default BENCH_3.json)
 set -eux
 
 export CARGO_NET_OFFLINE=true
 
-cargo build --release -p tpcds-bench --bin storage_bench
+cargo build --release -p tpcds-bench --bin storage_bench --bin join_bench
 ./target/release/storage_bench \
     --scale "${BENCH_SCALE:-0.02}" \
     --out "${BENCH_OUT:-BENCH_2.json}"
+./target/release/join_bench \
+    --scale "${BENCH_JOIN_SCALE:-0.01}" \
+    --out "${BENCH_JOIN_OUT:-BENCH_3.json}"

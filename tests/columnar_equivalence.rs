@@ -39,9 +39,10 @@ const QUERIES: &[&str] = &[
      where c_preferred_cust_flag = 'Y' group by c_birth_year",
 ];
 
-/// A query whose aggregation runs above a join on the row path (only the
-/// store_sales scan is columnar): its hash-aggregate output order is not
-/// deterministic, so it is compared canonically, not byte-for-byte.
+/// An aggregate over a join. Under Force this fuses into the partitioned
+/// columnar join (see `tests/differential_joins.rs` for the full join
+/// harness); against the row path — whose hash-aggregate output order is
+/// not deterministic — it is compared canonically, not byte-for-byte.
 const JOIN_QUERY: &str = "select d_year, sum(ss_ext_sales_price) from store_sales, date_dim \
      where ss_sold_date_sk = d_date_sk and ss_quantity < 10 group by d_year";
 

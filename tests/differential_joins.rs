@@ -1,0 +1,300 @@
+//! Differential join harness: a seeded random generator produces join
+//! queries over 2–3 tables — mixed inner/left joins, NULL-able keys,
+//! filters (compilable and not), and aggregates — and every query runs on
+//! the row path (`TPCDS_COLUMNAR=off`) and the columnar path (`force`) at
+//! 1/2/8 workers. The row path is the correctness oracle: the columnar
+//! answer must be canonically equal, and the forced runs must be
+//! byte-identical to each other at every worker count (the determinism
+//! guarantee of the partitioned join).
+
+use tpcds_repro::engine::{ColumnMeta, ColumnarMode, ExecOptions};
+use tpcds_repro::types::{DataType, Decimal, Row, Value};
+use tpcds_repro::Database;
+
+/// splitmix64: a tiny seeded generator so the suite is reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+fn int_meta(name: &str) -> ColumnMeta {
+    ColumnMeta {
+        name: name.into(),
+        dtype: DataType::Int,
+    }
+}
+
+/// One fact table (large enough to exceed the inline threshold, so forced
+/// runs really go parallel) and two dimension tables, all with NULL-able,
+/// duplicate-heavy join keys.
+fn build_db(rng: &mut Rng) -> Database {
+    let db = Database::new();
+
+    let fact_meta = vec![
+        int_meta("a_pk"),
+        int_meta("a_k1"),
+        int_meta("a_k2"),
+        int_meta("a_val"),
+        ColumnMeta {
+            name: "a_amt".into(),
+            dtype: DataType::Decimal,
+        },
+    ];
+    let fact: Vec<Row> = (0..20_000i64)
+        .map(|i| {
+            let k1 = if rng.below(16) == 0 {
+                Value::Null
+            } else {
+                Value::Int(rng.below(50) as i64)
+            };
+            let k2 = if rng.below(16) == 0 {
+                Value::Null
+            } else {
+                Value::Int(rng.below(30) as i64)
+            };
+            vec![
+                Value::Int(i),
+                k1,
+                k2,
+                Value::Int(rng.below(1_000) as i64),
+                Value::Decimal(Decimal::from_cents(rng.below(100_000) as i64)),
+            ]
+        })
+        .collect();
+    db.create_table_with_rows("t0", fact_meta, fact).unwrap();
+
+    let dim1_meta = vec![
+        int_meta("b_k"),
+        int_meta("b_val"),
+        ColumnMeta {
+            name: "b_name".into(),
+            dtype: DataType::Str,
+        },
+    ];
+    // Duplicate keys (several rows per key value) and a few NULL keys.
+    let dim1: Vec<Row> = (0..200)
+        .map(|_| {
+            let k = if rng.below(12) == 0 {
+                Value::Null
+            } else {
+                Value::Int(rng.below(50) as i64)
+            };
+            vec![
+                k,
+                Value::Int(rng.below(500) as i64),
+                Value::str(format!("name{}", rng.below(20))),
+            ]
+        })
+        .collect();
+    db.create_table_with_rows("t1", dim1_meta, dim1).unwrap();
+
+    let dim2_meta = vec![int_meta("c_k"), int_meta("c_val")];
+    let dim2: Vec<Row> = (0..100)
+        .map(|_| {
+            let k = if rng.below(12) == 0 {
+                Value::Null
+            } else {
+                Value::Int(rng.below(30) as i64)
+            };
+            vec![k, Value::Int(rng.below(500) as i64)]
+        })
+        .collect();
+    db.create_table_with_rows("t2", dim2_meta, dim2).unwrap();
+
+    db.build_columnar_shadows();
+    db
+}
+
+/// Random single-table filters. Most compile to the vectorized kernels;
+/// the arithmetic ones deliberately do not, so the differential run also
+/// covers the row-path fallback under Force.
+fn fact_filter(rng: &mut Rng) -> String {
+    let n = rng.below(1_000);
+    let pk = rng.below(20_000);
+    match rng.below(6) {
+        0 => format!("a_val > {n}"),
+        1 => format!("a_pk < {pk}"),
+        2 => format!("a_val between {} and {}", n / 2, n),
+        3 => "a_k1 is not null".to_string(),
+        4 => format!("a_amt >= {}.50", rng.below(500)),
+        _ => format!("a_val + 0 <= {n}"), // uncompilable on purpose
+    }
+}
+
+fn dim1_filter(rng: &mut Rng) -> String {
+    match rng.below(4) {
+        0 => format!("b_val >= {}", rng.below(400)),
+        1 => "b_name like 'name1%'".to_string(),
+        2 => "b_k in (1, 3, 5, 7, 9, 11)".to_string(),
+        _ => format!("b_val not between {} and {}", 100, 150 + rng.below(100)),
+    }
+}
+
+fn projection(rng: &mut Rng, three_tables: bool) -> String {
+    let mut pool = vec!["a_pk", "a_k1", "a_val", "a_amt", "b_k", "b_val", "b_name"];
+    if three_tables {
+        pool.push("c_k");
+        pool.push("c_val");
+    }
+    let n = 2 + rng.below(3) as usize;
+    let mut cols = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = *rng.pick(&pool);
+        if !cols.contains(&c) {
+            cols.push(c);
+        }
+    }
+    cols.join(", ")
+}
+
+/// One random join query. Shapes: comma inner joins, explicit
+/// INNER/LEFT JOIN ... ON, a 3-table star, and grouped aggregates over a
+/// join.
+fn gen_query(rng: &mut Rng) -> String {
+    match rng.below(5) {
+        0 => {
+            // Comma inner join with pushed-down filters.
+            let mut preds = vec!["a_k1 = b_k".to_string()];
+            if rng.below(2) == 0 {
+                preds.push(fact_filter(rng));
+            }
+            if rng.below(2) == 0 {
+                preds.push(dim1_filter(rng));
+            }
+            format!(
+                "select {} from t0, t1 where {}",
+                projection(rng, false),
+                preds.join(" and ")
+            )
+        }
+        1 => {
+            // Explicit inner or left join, optional WHERE above it.
+            let kind = if rng.below(2) == 0 {
+                "join"
+            } else {
+                "left join"
+            };
+            let where_clause = if rng.below(2) == 0 {
+                format!(" where {}", fact_filter(rng))
+            } else {
+                String::new()
+            };
+            format!(
+                "select {} from t0 {kind} t1 on a_k1 = b_k{where_clause}",
+                projection(rng, false)
+            )
+        }
+        2 => {
+            // Three-table star.
+            let mut preds = vec!["a_k1 = b_k".to_string(), "a_k2 = c_k".to_string()];
+            if rng.below(2) == 0 {
+                preds.push(fact_filter(rng));
+            }
+            format!(
+                "select {} from t0, t1, t2 where {}",
+                projection(rng, true),
+                preds.join(" and ")
+            )
+        }
+        3 => {
+            // Grouped aggregate over a join.
+            let filter = if rng.below(2) == 0 {
+                format!(" and {}", fact_filter(rng))
+            } else {
+                String::new()
+            };
+            format!(
+                "select b_name, count(*), sum(a_val), min(a_pk), max(a_amt), avg(a_val) \
+                 from t0, t1 where a_k1 = b_k{filter} group by b_name"
+            )
+        }
+        _ => {
+            // Global aggregate over an explicit (possibly left) join.
+            let kind = if rng.below(2) == 0 {
+                "join"
+            } else {
+                "left join"
+            };
+            format!(
+                "select count(*), count(b_k), sum(a_val), sum(b_val) \
+                 from t0 {kind} t1 on a_k1 = b_k where {}",
+                fact_filter(rng)
+            )
+        }
+    }
+}
+
+fn canon(rows: &[Row]) -> Vec<Row> {
+    let mut v = rows.to_vec();
+    v.sort_by(|a, b| {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.sort_cmp(y))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    v
+}
+
+fn opts(mode: ColumnarMode, threads: usize) -> ExecOptions {
+    ExecOptions {
+        columnar: mode,
+        threads: Some(threads),
+    }
+}
+
+#[test]
+fn random_join_queries_agree_across_paths_and_worker_counts() {
+    let mut rng = Rng(0x7C05_D511);
+    let db = build_db(&mut rng);
+
+    let mut columnar_joins = 0usize;
+    for q in 0..40 {
+        let sql = gen_query(&mut rng);
+        let row = tpcds_repro::engine::query_with(&db, &sql, opts(ColumnarMode::Off, 1))
+            .unwrap_or_else(|e| panic!("row path failed for #{q} {sql}: {e}"));
+        let reference = tpcds_repro::engine::query_with(&db, &sql, opts(ColumnarMode::Force, 1))
+            .unwrap_or_else(|e| panic!("columnar path failed for #{q} {sql}: {e}"));
+        assert_eq!(
+            canon(&row.rows),
+            canon(&reference.rows),
+            "row vs columnar diverge for #{q}: {sql}"
+        );
+        for threads in [2, 8] {
+            let r = tpcds_repro::engine::query_with(&db, &sql, opts(ColumnarMode::Force, threads))
+                .unwrap();
+            assert_eq!(
+                r.rows, reference.rows,
+                "worker count {threads} changed the bytes for #{q}: {sql}"
+            );
+        }
+        // Count queries that actually exercised the columnar join, so a
+        // silent routing regression fails the suite rather than passing
+        // vacuously.
+        let analyzed =
+            tpcds_repro::engine::query_analyze_with(&db, &sql, opts(ColumnarMode::Force, 2))
+                .unwrap();
+        if analyzed.plan_text.contains("build_rows=") {
+            columnar_joins += 1;
+        }
+    }
+    assert!(
+        columnar_joins >= 15,
+        "only {columnar_joins}/40 generated queries routed through the columnar join"
+    );
+}

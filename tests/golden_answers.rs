@@ -13,11 +13,11 @@
 //! The hash component relies on `DefaultHasher`, which is stable for a
 //! given Rust release; if a toolchain upgrade shifts it, regenerate.
 
+use tpcds_repro::engine::{ColumnarMode, ExecOptions};
 use tpcds_repro::runner::validation::fingerprint;
 use tpcds_repro::TpcDs;
 
-#[test]
-fn answers_match_golden_fingerprints() {
+fn load_golden() -> std::collections::BTreeMap<u32, (usize, u64)> {
     let golden_src = include_str!("golden_answers_sf001.txt");
     let mut golden = std::collections::BTreeMap::new();
     for line in golden_src.lines().filter(|l| !l.starts_with('#')) {
@@ -27,6 +27,12 @@ fn answers_match_golden_fingerprints() {
         let hash = u64::from_str_radix(it.next().unwrap(), 16).unwrap();
         golden.insert(id, (rows, hash));
     }
+    golden
+}
+
+#[test]
+fn answers_match_golden_fingerprints() {
+    let golden = load_golden();
     assert_eq!(golden.len(), 99);
 
     let tpcds = TpcDs::builder()
@@ -52,5 +58,81 @@ fn answers_match_golden_fingerprints() {
         "{} answers drifted from golden:\n{}",
         mismatches.len(),
         mismatches.join("\n")
+    );
+}
+
+/// Join-heavy templates (multi-way star joins over the fact tables) run
+/// under `TPCDS_COLUMNAR=force` at 1 and 8 workers must reproduce the
+/// pinned golden fingerprints, so golden coverage exercises the columnar
+/// join path, not just scans and aggregates. Templates whose row-path
+/// answer is not self-reproducible (tie-breaking under LIMIT) are compared
+/// by row count only, mirroring `storage_bench`'s `tie_limited` handling.
+#[test]
+fn join_heavy_templates_match_golden_under_forced_columnar() {
+    const JOIN_HEAVY: [u32; 10] = [7, 19, 25, 29, 42, 52, 55, 68, 79, 96];
+    let golden = load_golden();
+
+    let tpcds = TpcDs::builder()
+        .scale_factor(0.01)
+        .reporting_aux(true)
+        .build()
+        .expect("load");
+    let db = tpcds.database();
+    let off = ExecOptions {
+        columnar: ColumnarMode::Off,
+        threads: Some(1),
+    };
+    let force = |threads: usize| ExecOptions {
+        columnar: ColumnarMode::Force,
+        threads: Some(threads),
+    };
+
+    let mut routed = 0usize;
+    for id in JOIN_HEAVY {
+        let sql = tpcds.benchmark_sql(id, 0).unwrap();
+        let row = tpcds_repro::engine::query_with(db, &sql, off)
+            .unwrap_or_else(|e| panic!("q{id} row path: {e}"));
+        let row_again = tpcds_repro::engine::query_with(db, &sql, off).unwrap();
+        let self_reproducible = fingerprint(&row) == fingerprint(&row_again);
+        let &(g_rows, g_hash) = golden.get(&id).unwrap();
+        if self_reproducible {
+            let fp = fingerprint(&row);
+            assert_eq!(
+                (fp.rows, fp.hash),
+                (g_rows, g_hash),
+                "q{id}: row path drifted from golden"
+            );
+        }
+        for threads in [1usize, 8] {
+            let col = tpcds_repro::engine::query_with(db, &sql, force(threads))
+                .unwrap_or_else(|e| panic!("q{id} columnar x{threads}: {e}"));
+            if self_reproducible {
+                let fp = fingerprint(&col);
+                assert_eq!(
+                    (fp.rows, fp.hash),
+                    (g_rows, g_hash),
+                    "q{id}: columnar x{threads} drifted from golden"
+                );
+            } else {
+                assert_eq!(
+                    row.rows.len(),
+                    col.rows.len(),
+                    "q{id}: columnar x{threads} row count diverged (tie-limited template)"
+                );
+            }
+        }
+        // The coverage claim is only real if these templates actually take
+        // the partitioned join: count the ones whose analyzed plan shows
+        // join actuals.
+        let analyzed = tpcds_repro::engine::query_analyze_with(db, &sql, force(2))
+            .unwrap_or_else(|e| panic!("q{id} analyze: {e}"));
+        if analyzed.plan_text.contains("build_rows=") {
+            routed += 1;
+        }
+    }
+    assert!(
+        routed >= 3,
+        "only {routed}/{} join-heavy templates routed through the columnar join",
+        JOIN_HEAVY.len()
     );
 }
