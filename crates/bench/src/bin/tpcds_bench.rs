@@ -1,0 +1,245 @@
+//! `tpcds-bench` — the profiling and regression-gate front end:
+//!
+//! * `tpcds-bench profile [--scale SF] [--out BENCH_4.json]
+//!   [--queries-per-class N]` — measures the columnar join microbench
+//!   (same sections as `join_bench`) plus histogram-derived per-query-class
+//!   latencies and process memory, writing one JSON report;
+//! * `tpcds-bench compare OLD.json NEW.json [--tolerance 0.15]` — diffs
+//!   two reports over their intersecting metrics and exits non-zero when
+//!   any throughput dropped (or latency rose) past the tolerance — the
+//!   CI perf-regression gate.
+
+use std::time::Instant;
+use tpcds_bench::compare;
+use tpcds_core::engine::{self, ColumnarMode, ExecOptions};
+use tpcds_core::obs::hist::HistSnapshot;
+use tpcds_core::obs::json::Json;
+use tpcds_core::qgen::QueryClass;
+use tpcds_core::{TpcDs, Workload};
+
+// Count allocations so the profile report can include real peak-memory
+// numbers (same wrapper the `tpcds` binary installs).
+#[global_allocator]
+static ALLOC: tpcds_core::obs::mem::CountingAlloc = tpcds_core::obs::mem::CountingAlloc;
+
+const USAGE: &str = "usage:
+  tpcds-bench profile [--scale SF] [--out BENCH_4.json] [--queries-per-class N]
+  tpcds-bench compare OLD.json NEW.json [--tolerance 0.15]";
+
+const JOIN_SQL: &str = "select ss_item_sk, ss_ticket_number, d_year \
+     from store_sales, date_dim where ss_sold_date_sk = d_date_sk and ss_quantity > 10";
+const JOIN_AGG_SQL: &str = "select d_year, count(*), sum(ss_ext_sales_price) \
+     from store_sales, date_dim where ss_sold_date_sk = d_date_sk group by d_year";
+const BUILD_SQL: &str = "select d_year from store_sales, date_dim \
+     where ss_sold_date_sk = d_date_sk and ss_sold_date_sk < 0";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.split_first() {
+        Some((sub, rest)) if sub == "compare" => cmd_compare(rest),
+        Some((sub, rest)) if sub == "profile" => cmd_profile(rest),
+        _ => {
+            eprintln!("{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn cmd_compare(args: &[String]) -> i32 {
+    // Positionals: skip flag names and the value following each one.
+    let files: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            let follows_flag = *i > 0 && args[i - 1].starts_with("--");
+            !a.starts_with("--") && !follows_flag
+        })
+        .map(|(_, a)| a)
+        .collect();
+    let tolerance: f64 = match flag(args, "--tolerance") {
+        None => 0.15,
+        Some(v) => match v.parse() {
+            Ok(t) => t,
+            Err(_) => {
+                eprintln!("bad --tolerance {v:?}");
+                return 2;
+            }
+        },
+    };
+    let (old_path, new_path) = match files.as_slice() {
+        [a, b] => (a.as_str(), b.as_str()),
+        _ => {
+            eprintln!("{USAGE}");
+            return 2;
+        }
+    };
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("parse {path:?}: {e}"))
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let report = compare::compare(&old, &new, tolerance);
+    print!("{}", report.render());
+    if report.rows.is_empty() {
+        eprintln!("warning: no comparable metrics between {old_path} and {new_path}");
+    }
+    if report.regressions > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+fn class_key(c: QueryClass) -> &'static str {
+    match c {
+        QueryClass::AdHoc => "adhoc",
+        QueryClass::Reporting => "reporting",
+        QueryClass::Hybrid => "hybrid",
+        QueryClass::IterativeOlap => "iterative",
+        QueryClass::DataMining => "mining",
+    }
+}
+
+/// Median wall-clock of `iters` runs, seconds.
+fn time_query(db: &tpcds_core::Database, sql: &str, o: ExecOptions, iters: usize) -> f64 {
+    let _ = engine::query_with(db, sql, o).expect("warmup");
+    let mut secs: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            let r = engine::query_with(db, sql, o).expect("bench query");
+            std::hint::black_box(r.rows.len());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(|a, b| a.total_cmp(b));
+    secs[secs.len() / 2]
+}
+
+fn rate_obj(db: &tpcds_core::Database, sql: &str, basis_rows: f64, threads: usize) -> Json {
+    let iters = 5;
+    let o = |mode, t| ExecOptions {
+        columnar: mode,
+        threads: Some(t),
+    };
+    let serial = time_query(db, sql, o(ColumnarMode::Off, 1), iters);
+    let col1 = time_query(db, sql, o(ColumnarMode::Force, 1), iters);
+    let coln = time_query(db, sql, o(ColumnarMode::Force, threads), iters);
+    let rps = |s: f64| basis_rows / s.max(1e-9);
+    Json::Obj(vec![
+        ("serial_row_rows_per_s".into(), Json::Float(rps(serial))),
+        ("columnar_1t_rows_per_s".into(), Json::Float(rps(col1))),
+        ("columnar_nt_rows_per_s".into(), Json::Float(rps(coln))),
+        (
+            "speedup_nt_vs_row".into(),
+            Json::Float(serial / coln.max(1e-9)),
+        ),
+    ])
+}
+
+fn cmd_profile(args: &[String]) -> i32 {
+    let sf: f64 = flag(args, "--scale")
+        .map(|v| v.parse().expect("bad --scale"))
+        .unwrap_or(0.01);
+    let out_path = flag(args, "--out").unwrap_or_else(|| "BENCH_4.json".to_string());
+    let per_class: usize = flag(args, "--queries-per-class")
+        .map(|v| v.parse().expect("bad --queries-per-class"))
+        .unwrap_or(usize::MAX);
+    let threads = tpcds_core::storage::effective_threads();
+
+    eprintln!("loading TPC-DS at SF {sf} ({threads} morsel workers)...");
+    let tpcds = TpcDs::builder()
+        .scale_factor(sf)
+        .reporting_aux(true)
+        .build()
+        .expect("load");
+    let workload = Workload::tpcds().expect("workload");
+    let db = tpcds.database();
+    let fact_rows = db.row_count("store_sales") as f64;
+    let dim_rows = db.row_count("date_dim") as f64;
+
+    // ---- Join microbench (the BENCH_3 sections, regenerated) ----
+    let build = rate_obj(db, BUILD_SQL, dim_rows, threads);
+    let join = rate_obj(db, JOIN_SQL, fact_rows, threads);
+    let join_agg = rate_obj(db, JOIN_AGG_SQL, fact_rows, threads);
+
+    // ---- Per-class latency histograms ----
+    let seed = tpcds_types::rng::DEFAULT_SEED;
+    let mut classes: Vec<(String, Json)> = Vec::new();
+    for class in [
+        QueryClass::AdHoc,
+        QueryClass::Reporting,
+        QueryClass::Hybrid,
+        QueryClass::IterativeOlap,
+        QueryClass::DataMining,
+    ] {
+        let mut hist = HistSnapshot::new();
+        for t in workload.by_class(class).into_iter().take(per_class) {
+            let sql = workload.instantiate(t.id, seed, 0).expect("instantiate");
+            let started = Instant::now();
+            let r = tpcds.query(&sql).expect("class query");
+            std::hint::black_box(r.rows.len());
+            hist.record(started.elapsed().as_micros() as u64);
+        }
+        eprintln!(
+            "{:<10} {:>3} queries  p50 {:>9.3}ms  p95 {:>9.3}ms",
+            class_key(class),
+            hist.count,
+            hist.percentile(50.0) as f64 / 1e3,
+            hist.percentile(95.0) as f64 / 1e3,
+        );
+        classes.push((
+            class_key(class).to_string(),
+            Json::Obj(vec![
+                ("queries".into(), Json::Int(hist.count as i64)),
+                ("p50_us".into(), Json::Int(hist.percentile(50.0) as i64)),
+                ("p95_us".into(), Json::Int(hist.percentile(95.0) as i64)),
+                ("max_us".into(), Json::Int(hist.max() as i64)),
+                ("total_us".into(), Json::Int(hist.sum as i64)),
+            ]),
+        ));
+    }
+
+    let mem = Json::Obj(vec![
+        (
+            "peak_bytes".into(),
+            Json::Int(tpcds_core::obs::mem::peak_bytes() as i64),
+        ),
+        (
+            "live_bytes".into(),
+            Json::Int(tpcds_core::obs::mem::live_bytes() as i64),
+        ),
+        (
+            "allocations".into(),
+            Json::Int(tpcds_core::obs::mem::allocations() as i64),
+        ),
+    ]);
+
+    let report = Json::Obj(vec![
+        ("scale_factor".into(), Json::Float(sf)),
+        ("threads".into(), Json::Int(threads as i64)),
+        ("store_sales_rows".into(), Json::Int(fact_rows as i64)),
+        ("date_dim_rows".into(), Json::Int(dim_rows as i64)),
+        ("build".into(), build),
+        ("join".into(), join),
+        ("join_agg".into(), join_agg),
+        ("classes".into(), Json::Obj(classes)),
+        ("mem".into(), mem),
+    ]);
+    std::fs::write(&out_path, format!("{report}\n")).expect("write report");
+    println!("wrote {out_path}");
+    0
+}

@@ -1,0 +1,234 @@
+//! Benchmark regression gate: diffs two `BENCH_*.json` reports and flags
+//! metrics that moved past a tolerance in the *bad* direction.
+//!
+//! The two reports need not have identical schemas — only the
+//! intersection of their (flattened, dot-joined) numeric keys is
+//! compared, so a newer report that adds sections still gates against an
+//! older baseline. Direction is inferred from the key name:
+//!
+//! * `*_per_s`, `*speedup*`, `*qphds*`  — higher is better;
+//! * `*_us`, `*_ms`, `*latency*`        — lower is better;
+//! * anything else (row counts, thread counts, scale factors, bytes) is
+//!   configuration, not performance, and is ignored.
+
+use tpcds_obs::json::Json;
+
+/// Which way a metric is allowed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-like: a drop is a regression.
+    HigherIsBetter,
+    /// Latency-like: a rise is a regression.
+    LowerIsBetter,
+    /// Configuration / informational: never gates.
+    Ignore,
+}
+
+/// Classifies a flattened metric key by its name.
+pub fn direction_of(key: &str) -> Direction {
+    let k = key.to_ascii_lowercase();
+    if k.ends_with("_per_s") || k.contains("speedup") || k.contains("qphds") {
+        Direction::HigherIsBetter
+    } else if k.ends_with("_us") || k.ends_with("_ms") || k.contains("latency") {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Ignore
+    }
+}
+
+/// Flattens a JSON document into dot-joined numeric leaves
+/// (`join.columnar_nt_rows_per_s` → value). Non-numeric leaves and
+/// arrays are skipped — array order is positional, not nominal, so a
+/// positional diff would compare unrelated quantities.
+pub fn flatten(j: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    fn walk(prefix: &str, j: &Json, out: &mut Vec<(String, f64)>) {
+        match j {
+            Json::Obj(pairs) => {
+                for (k, v) in pairs {
+                    let key = if prefix.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{prefix}.{k}")
+                    };
+                    walk(&key, v, out);
+                }
+            }
+            Json::Int(i) => out.push((prefix.to_string(), *i as f64)),
+            Json::Float(f) => out.push((prefix.to_string(), *f)),
+            _ => {}
+        }
+    }
+    walk("", j, &mut out);
+    out
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// Flattened dot-joined key.
+    pub key: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Relative change `(new - old) / old`.
+    pub change: f64,
+    /// Gate direction for this key.
+    pub direction: Direction,
+    /// Whether the change exceeds the tolerance in the bad direction.
+    pub regressed: bool,
+}
+
+/// The full diff of two reports at one tolerance.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Every gated metric present in both reports.
+    pub rows: Vec<CompareRow>,
+    /// Count of regressed rows.
+    pub regressions: usize,
+    /// Tolerance used (relative, e.g. 0.15 = 15%).
+    pub tolerance: f64,
+}
+
+/// Diffs two parsed reports. `tolerance` is the relative slack in the bad
+/// direction (0.15 allows a 15% throughput drop or latency rise).
+pub fn compare(old: &Json, new: &Json, tolerance: f64) -> CompareReport {
+    let new_flat = flatten(new);
+    let mut rows = Vec::new();
+    for (key, old_v) in flatten(old) {
+        let direction = direction_of(&key);
+        if direction == Direction::Ignore {
+            continue;
+        }
+        let Some((_, new_v)) = new_flat.iter().find(|(k, _)| *k == key) else {
+            continue;
+        };
+        if old_v.abs() < 1e-12 {
+            continue; // no meaningful relative change from a zero baseline
+        }
+        let change = (new_v - old_v) / old_v;
+        let regressed = match direction {
+            Direction::HigherIsBetter => change < -tolerance,
+            Direction::LowerIsBetter => change > tolerance,
+            Direction::Ignore => false,
+        };
+        rows.push(CompareRow {
+            key,
+            old: old_v,
+            new: *new_v,
+            change,
+            direction,
+            regressed,
+        });
+    }
+    let regressions = rows.iter().filter(|r| r.regressed).count();
+    CompareReport {
+        rows,
+        regressions,
+        tolerance,
+    }
+}
+
+impl CompareReport {
+    /// Renders the diff as an aligned text table, regressions marked.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let w = self
+            .rows
+            .iter()
+            .map(|r| r.key.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        out.push_str(&format!(
+            "{:<w$} {:>14} {:>14} {:>8}\n",
+            "metric", "baseline", "candidate", "change"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<w$} {:>14.2} {:>14.2} {:>+7.1}% {}\n",
+                r.key,
+                r.old,
+                r.new,
+                r.change * 100.0,
+                if r.regressed { "REGRESSION" } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} metric(s) compared, {} regression(s) at {:.0}% tolerance\n",
+            self.rows.len(),
+            self.regressions,
+            self.tolerance * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(join_rps: f64, p95_us: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"threads":8,"scale_factor":0.01,
+                "join":{{"columnar_nt_rows_per_s":{join_rps},"speedup_nt_vs_row":10.0}},
+                "classes":{{"adhoc":{{"p95_us":{p95_us},"queries":20}}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn directions_classify_by_name() {
+        assert_eq!(
+            direction_of("join.columnar_nt_rows_per_s"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(direction_of("qphds"), Direction::HigherIsBetter);
+        assert_eq!(
+            direction_of("classes.adhoc.p95_us"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(direction_of("threads"), Direction::Ignore);
+        assert_eq!(direction_of("store_sales_rows"), Direction::Ignore);
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let rep = compare(&report(1000.0, 500.0), &report(900.0, 560.0), 0.15);
+        assert_eq!(rep.regressions, 0, "{}", rep.render());
+        // Config keys (threads, queries, scale) are not gated.
+        assert!(rep.rows.iter().all(|r| r.direction != Direction::Ignore));
+    }
+
+    #[test]
+    fn throughput_drop_past_tolerance_regresses() {
+        let rep = compare(&report(1000.0, 500.0), &report(800.0, 500.0), 0.15);
+        assert_eq!(rep.regressions, 1);
+        let row = rep.rows.iter().find(|r| r.regressed).unwrap();
+        assert_eq!(row.key, "join.columnar_nt_rows_per_s");
+        assert!(rep.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn latency_rise_past_tolerance_regresses() {
+        let rep = compare(&report(1000.0, 500.0), &report(1000.0, 700.0), 0.15);
+        assert_eq!(rep.regressions, 1);
+        assert!(rep
+            .rows
+            .iter()
+            .any(|r| r.key == "classes.adhoc.p95_us" && r.regressed));
+    }
+
+    #[test]
+    fn schema_mismatch_compares_only_the_intersection() {
+        let old = Json::parse(r#"{"join":{"columnar_nt_rows_per_s":1000.0}}"#).unwrap();
+        let new = report(990.0, 400.0); // extra sections in the candidate
+        let rep = compare(&old, &new, 0.15);
+        assert_eq!(rep.rows.len(), 1);
+        assert_eq!(rep.regressions, 0);
+        // Improvements never regress, however large.
+        let rep = compare(&report(100.0, 900.0), &report(5000.0, 30.0), 0.15);
+        assert_eq!(rep.regressions, 0);
+    }
+}

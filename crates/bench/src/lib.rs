@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod experiments;
 pub mod figures;
 pub mod harness;

@@ -148,6 +148,13 @@ pub fn dsqgen(args: &[String]) -> Result<()> {
 pub fn run(args: &[String]) -> Result<()> {
     let flags = Flags::new(args);
     let traced = maybe_trace(&flags)?;
+    if let Some(addr) = flags.value("--metrics-addr") {
+        let bound = tpcds_core::obs::metrics::serve(addr)
+            .map_err(|e| format!("cannot bind metrics endpoint {addr:?}: {e}"))?;
+        if !flags.has("--json") {
+            println!("serving metrics at http://{bound}/metrics");
+        }
+    }
     let sf: f64 = flags.parse("--scale", 0.01)?;
     let streams: usize = flags.parse("--streams", 0usize)?;
     let queries: usize = flags.parse("--queries", 99usize)?;
@@ -268,6 +275,38 @@ pub fn report(args: &[String]) -> Result<()> {
         .ok_or_else(|| "usage: tpcds report FILE.jsonl".to_string())?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
     print!("{}", tpcds_core::obs::report::summarize(&text)?);
+    Ok(())
+}
+
+/// `tpcds trace` — trace-file conversions. Currently one form:
+/// `tpcds trace export --chrome OUT.json FILE.jsonl` writes the trace as
+/// a Chrome Trace Event file for Perfetto / `chrome://tracing`, with one
+/// track per morsel worker.
+pub fn trace(args: &[String]) -> Result<()> {
+    const USAGE: &str = "usage: tpcds trace export --chrome OUT.json FILE.jsonl";
+    let (sub, rest) = args.split_first().ok_or_else(|| USAGE.to_string())?;
+    if sub != "export" {
+        return Err(format!("unknown trace subcommand {sub:?}\n{USAGE}"));
+    }
+    let flags = Flags::new(rest);
+    let out = flags
+        .value("--chrome")
+        .filter(|v| !v.starts_with("--"))
+        .ok_or_else(|| USAGE.to_string())?;
+    let input = rest
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            // Skip flag names and the --chrome value.
+            !a.starts_with("--") && *i != rest.iter().position(|x| x == "--chrome").unwrap() + 1
+        })
+        .map(|(_, a)| a.as_str())
+        .next()
+        .ok_or_else(|| USAGE.to_string())?;
+    let text = std::fs::read_to_string(input).map_err(|e| format!("read {input:?}: {e}"))?;
+    let chrome = tpcds_core::obs::chrome::export(&text)?;
+    std::fs::write(out, chrome).map_err(|e| format!("write {out:?}: {e}"))?;
+    println!("wrote {out} (load in Perfetto or chrome://tracing)");
     Ok(())
 }
 

@@ -7,12 +7,19 @@
 //! * `tpcds query`   — load a data set and execute one query or SQL file
 //! * `tpcds explain` — show a query's plan, optionally with actuals
 //! * `tpcds report`  — summarize a `--trace` JSONL file
+//! * `tpcds trace`   — convert a trace (Chrome Trace Event export)
 //! * `tpcds shell`   — interactive SQL shell over a generated data set
 //! * `tpcds schema`  — print the schema (DDL-ish) and statistics
 
 mod commands;
 
 use std::process::ExitCode;
+
+// Count every allocation so EXPLAIN ANALYZE / phase spans / `tpcds
+// report` can attribute memory (`mem_peak=`, `build_bytes=`). Library
+// users are unaffected; only this binary pays the two-atomic-add cost.
+#[global_allocator]
+static ALLOC: tpcds_obs::mem::CountingAlloc = tpcds_obs::mem::CountingAlloc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +37,7 @@ fn main() -> ExitCode {
         "query" => commands::query(rest),
         "explain" => commands::explain(rest),
         "report" => commands::report(rest),
+        "trace" => commands::trace(rest),
         "shell" => commands::shell(rest),
         "schema" => commands::schema(rest),
         "profile" => commands::profile(rest),
@@ -54,10 +62,11 @@ fn usage() -> &'static str {
 USAGE:
     tpcds dsdgen  [--scale SF] [--dir DIR] [--table NAME] [--parallel N] [--trace FILE]
     tpcds dsqgen  [--scale SF] [--streams N] [--query ID] [--dir DIR]
-    tpcds run     [--scale SF] [--streams N] [--queries N] [--threads N] [--no-aux] [--json] [--trace FILE]
+    tpcds run     [--scale SF] [--streams N] [--queries N] [--threads N] [--no-aux] [--json] [--trace FILE] [--metrics-addr HOST:PORT]
     tpcds query   [--scale SF] (--id QUERY_ID | --sql 'SELECT ...') [--explain] [--trace FILE]
     tpcds explain [--scale SF] (--id QUERY_ID | --sql 'SELECT ...') [--analyze]
     tpcds report  FILE.jsonl
+    tpcds trace   export --chrome OUT.json FILE.jsonl
     tpcds shell   [--scale SF]
     tpcds schema  [--stats | --dot | --ddl]
     tpcds profile [--scale SF] [--table NAME] [--limit N]
@@ -67,7 +76,14 @@ generate laptop-sized miniatures with the same shape.
 
 --trace FILE records the run as one JSON event per line (spans,
 counters), replacing FILE; `tpcds report FILE` renders its phase
-timeline and latency summary.
+timeline and latency summary, and `tpcds trace export --chrome OUT`
+converts it to a Chrome Trace Event file (load in Perfetto /
+chrome://tracing — one track per morsel worker). TPCDS_OBS_DETAIL=1
+additionally records one span per 8k-row morsel.
+
+--metrics-addr HOST:PORT serves live Prometheus metrics (counters and
+latency histograms) at http://HOST:PORT/metrics for the life of the
+run.
 
 --threads N sets the morsel worker count for columnar scans (also via
 the TPCDS_THREADS environment variable; default available_parallelism).

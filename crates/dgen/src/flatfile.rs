@@ -38,7 +38,7 @@ pub fn write_table(dir: &Path, table: &str, rows: &[Row]) -> io::Result<u64> {
     if tpcds_obs::is_enabled() {
         tpcds_obs::counter(
             "dgen",
-            "bytes_written",
+            "gen.bytes",
             bytes as f64,
             &[("table", table.into())],
         );

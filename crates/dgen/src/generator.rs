@@ -122,7 +122,7 @@ impl Generator {
     }
 
     /// Closes a generation span with row/throughput actuals and bumps the
-    /// per-table `rows_generated` counter.
+    /// per-table `gen.rows` counter.
     fn record_rate(mut span: tpcds_obs::SpanGuard, table: &str, rows: usize) {
         if !tpcds_obs::is_enabled() {
             return;
@@ -133,12 +133,7 @@ impl Generator {
             span.add_field("rows_per_s", rows as f64 / secs);
         }
         span.finish();
-        tpcds_obs::counter(
-            "dgen",
-            "rows_generated",
-            rows as f64,
-            &[("table", table.into())],
-        );
+        tpcds_obs::counter("dgen", "gen.rows", rows as f64, &[("table", table.into())]);
     }
 
     /// Generates rows `lo..hi` (0-based) of `table`. Chunks generated

@@ -143,7 +143,7 @@ impl Table {
     /// Deletes every row for which `pred` returns true; returns the number
     /// deleted. Rows compact in place (stable) and indexes are *remapped*
     /// rather than rebuilt: only surviving postings are touched, and keys
-    /// whose rows all died drop out. The `engine/bulk_delete` counter
+    /// whose rows all died drop out. The `engine/maint.deleted_rows` counter
     /// records how bulky deletes actually are, instead of asserting in a
     /// comment that they are rare.
     pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> usize {
@@ -170,7 +170,7 @@ impl Table {
             self.invalidate_columnar();
             tpcds_obs::counter(
                 "engine",
-                "bulk_delete",
+                "maint.deleted_rows",
                 deleted as f64,
                 &[("remaining", tpcds_obs::FieldValue::Int(write as i64))],
             );

@@ -34,6 +34,12 @@ pub struct OpStats {
     /// Hash-table partition count, when the node ran on the columnar join
     /// path (0 = not a columnar join).
     pub partitions: u64,
+    /// Peak live-memory growth across all calls, bytes (inclusive of
+    /// inputs). 0 unless the process installed the counting allocator.
+    pub mem_peak: u64,
+    /// Join build-side hash-table footprint, bytes. 0 unless the node is
+    /// a columnar join and the counting allocator is installed.
+    pub build_bytes: u64,
 }
 
 /// Per-node actuals keyed by plan-node address — stable for the lifetime
@@ -166,6 +172,7 @@ impl<'a> ExecCtx<'a> {
             s.workers = s.workers.max(js.workers);
             s.build_rows += js.build_rows;
             s.partitions = s.partitions.max(js.partitions);
+            s.build_bytes = s.build_bytes.max(js.build_bytes);
         }
     }
 }
@@ -178,15 +185,18 @@ pub fn execute(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resul
     let Some(stats) = &ctx.stats else {
         return execute_node(plan, ctx, outer);
     };
+    let wm = tpcds_obs::mem::Watermark::start();
     let start = Instant::now();
     let result = execute_node(plan, ctx, outer);
     if let Ok(rows) = &result {
         let elapsed = start.elapsed();
+        let mem_peak = wm.peak_delta();
         let mut map = stats.lock();
         let s = map.entry(plan as *const Plan as usize).or_default();
         s.calls += 1;
         s.rows_out += rows.len() as u64;
         s.elapsed += elapsed;
+        s.mem_peak = s.mem_peak.max(mem_peak);
     }
     result
 }

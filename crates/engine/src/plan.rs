@@ -332,7 +332,7 @@ impl Plan {
             None => String::new(),
             Some(map) => match map.get(&(self as *const Plan as usize)) {
                 Some(s) => {
-                    let columnar = if s.partitions > 0 {
+                    let mut columnar = if s.partitions > 0 {
                         format!(
                             " build_rows={} probe_morsels={} partitions={} workers={}",
                             s.build_rows, s.morsels, s.partitions, s.workers
@@ -342,8 +342,22 @@ impl Plan {
                     } else {
                         String::new()
                     };
+                    if s.build_bytes > 0 {
+                        columnar.push_str(&format!(
+                            " build_bytes={}",
+                            tpcds_obs::mem::fmt_bytes(s.build_bytes)
+                        ));
+                    }
+                    // mem_peak needs the counting allocator installed in
+                    // the running binary; without it the delta is 0 and
+                    // the annotation is omitted.
+                    let mem = if s.mem_peak > 0 {
+                        format!(" mem_peak={}", tpcds_obs::mem::fmt_bytes(s.mem_peak))
+                    } else {
+                        String::new()
+                    };
                     format!(
-                        " (rows={} elapsed={:.3}ms loops={}{columnar})",
+                        " (rows={} elapsed={:.3}ms loops={}{columnar}{mem})",
                         s.rows_out,
                         s.elapsed.as_secs_f64() * 1e3,
                         s.calls

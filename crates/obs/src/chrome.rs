@@ -1,0 +1,198 @@
+//! Chrome Trace Event Format export: converts a recorded event stream
+//! into the JSON array format Perfetto and `chrome://tracing` load, with
+//! **one track per morsel worker** so scheduling skew is visible at a
+//! glance.
+//!
+//! Mapping:
+//!
+//! * spans → complete events (`"ph":"X"`) with microsecond `ts`/`dur`;
+//! * counters → counter events (`"ph":"C"`), one series per counter name;
+//! * points → instant events (`"ph":"i"`).
+//!
+//! Track (`tid`) assignment: events carrying a `worker` field land on
+//! track `worker + 1` (named `worker N`); everything else lands on track
+//! 0 (`main`). The `pid` is the emitting layer's index, so Perfetto
+//! groups tracks under one process group per layer.
+
+use crate::json::Json;
+use crate::{Event, EventKind, FieldValue};
+use std::collections::BTreeMap;
+
+fn field_json(v: &FieldValue) -> Json {
+    match v {
+        FieldValue::Int(i) => Json::Int(*i),
+        FieldValue::Float(f) => Json::Float(*f),
+        FieldValue::Str(s) => Json::Str(s.clone()),
+    }
+}
+
+fn args_json(e: &Event) -> Json {
+    Json::Obj(
+        e.fields
+            .iter()
+            .map(|(k, v)| (k.clone(), field_json(v)))
+            .collect(),
+    )
+}
+
+/// Converts parsed trace events into one Chrome Trace Event Format
+/// document (`{"traceEvents": [...], "displayTimeUnit": "ms"}`).
+pub fn to_chrome_trace(events: &[Event]) -> Json {
+    // (layer -> pid), (pid, tid) -> track name; pid 0 is reserved so
+    // layer indexes start at 1 (Perfetto hides pid 0 oddly).
+    let mut layer_pid: BTreeMap<String, i64> = BTreeMap::new();
+    let mut tracks: BTreeMap<(i64, i64), String> = BTreeMap::new();
+    let mut out: Vec<Json> = Vec::with_capacity(events.len() + 16);
+
+    for e in events {
+        let next = layer_pid.len() as i64 + 1;
+        let pid = *layer_pid.entry(e.layer.clone()).or_insert(next);
+        let tid = match e.int_field("worker") {
+            Some(w) => w + 1,
+            None => 0,
+        };
+        tracks.entry((pid, tid)).or_insert_with(|| {
+            if tid == 0 {
+                "main".to_string()
+            } else {
+                format!("worker {}", tid - 1)
+            }
+        });
+        let name = format!("{}/{}", e.layer, e.name);
+        let mut obj = vec![
+            ("name".to_string(), Json::Str(name)),
+            ("cat".to_string(), Json::Str(e.layer.clone())),
+            ("pid".to_string(), Json::Int(pid)),
+            ("tid".to_string(), Json::Int(tid)),
+            ("ts".to_string(), Json::Int(e.ts_us as i64)),
+        ];
+        match e.kind {
+            EventKind::Span => {
+                obj.push(("ph".to_string(), Json::Str("X".into())));
+                obj.push(("dur".to_string(), Json::Int(e.dur_us.unwrap_or(0) as i64)));
+                obj.push(("args".to_string(), args_json(e)));
+            }
+            EventKind::Counter => {
+                obj.push(("ph".to_string(), Json::Str("C".into())));
+                obj.push((
+                    "args".to_string(),
+                    Json::Obj(vec![(
+                        "value".to_string(),
+                        Json::Float(e.value.unwrap_or(0.0)),
+                    )]),
+                ));
+            }
+            EventKind::Point => {
+                obj.push(("ph".to_string(), Json::Str("i".into())));
+                obj.push(("s".to_string(), Json::Str("t".into())));
+                obj.push(("args".to_string(), args_json(e)));
+            }
+        }
+        out.push(Json::Obj(obj));
+    }
+
+    // Metadata: name each process (layer) and thread (track).
+    for (layer, pid) in &layer_pid {
+        out.push(Json::Obj(vec![
+            ("name".to_string(), Json::Str("process_name".into())),
+            ("ph".to_string(), Json::Str("M".into())),
+            ("pid".to_string(), Json::Int(*pid)),
+            ("tid".to_string(), Json::Int(0)),
+            (
+                "args".to_string(),
+                Json::Obj(vec![("name".to_string(), Json::Str(layer.clone()))]),
+            ),
+        ]));
+    }
+    for ((pid, tid), name) in &tracks {
+        out.push(Json::Obj(vec![
+            ("name".to_string(), Json::Str("thread_name".into())),
+            ("ph".to_string(), Json::Str("M".into())),
+            ("pid".to_string(), Json::Int(*pid)),
+            ("tid".to_string(), Json::Int(*tid)),
+            (
+                "args".to_string(),
+                Json::Obj(vec![("name".to_string(), Json::Str(name.clone()))]),
+            ),
+        ]));
+    }
+
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(out)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".into())),
+    ])
+}
+
+/// Parses a JSONL trace and renders the Chrome trace document text.
+pub fn export(trace_text: &str) -> Result<String, String> {
+    let events = crate::report::parse_trace(trace_text)?;
+    Ok(to_chrome_trace(&events).to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, layer: &str, name: &str, worker: Option<i64>) -> Event {
+        Event {
+            ts_us: 10,
+            kind,
+            layer: layer.into(),
+            name: name.into(),
+            dur_us: matches!(kind, EventKind::Span).then_some(50),
+            value: matches!(kind, EventKind::Counter).then_some(3.0),
+            fields: worker
+                .map(|w| vec![("worker".to_string(), FieldValue::Int(w))])
+                .unwrap_or_default(),
+        }
+    }
+
+    #[test]
+    fn workers_get_their_own_tracks() {
+        let events = vec![
+            ev(EventKind::Span, "storage", "scan_worker", Some(0)),
+            ev(EventKind::Span, "storage", "scan_worker", Some(3)),
+            ev(EventKind::Span, "runner", "phase", None),
+            ev(EventKind::Counter, "storage", "scan.rows", None),
+            ev(EventKind::Point, "runner", "phase.start", None),
+        ];
+        let doc = to_chrome_trace(&events);
+        let items = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 5 events + 2 process_name + 4 thread_name (storage: main/0/3, runner: main).
+        let spans: Vec<_> = items
+            .iter()
+            .filter(|j| j.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 3);
+        let tids: Vec<i64> = spans
+            .iter()
+            .filter_map(|j| j.get("tid").and_then(Json::as_i64))
+            .collect();
+        assert!(tids.contains(&1) && tids.contains(&4) && tids.contains(&0));
+        let thread_names: Vec<&str> = items
+            .iter()
+            .filter(|j| j.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .filter_map(|j| {
+                j.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert!(thread_names.contains(&"worker 0"), "{thread_names:?}");
+        assert!(thread_names.contains(&"worker 3"), "{thread_names:?}");
+        assert!(thread_names.contains(&"main"));
+        // The document is valid JSON end-to-end.
+        let text = doc.to_string();
+        Json::parse(&text).unwrap();
+    }
+
+    #[test]
+    fn export_round_trips_a_jsonl_trace() {
+        let e = ev(EventKind::Span, "storage", "scan_worker", Some(1));
+        let text = format!("{}\n", e.to_json());
+        let chrome = export(&text).unwrap();
+        let doc = Json::parse(&chrome).unwrap();
+        assert!(doc.get("traceEvents").is_some());
+        assert!(export("{broken").is_err());
+    }
+}

@@ -20,14 +20,41 @@
 //! object per event — the schema is documented on [`Event::to_json`]) and
 //! a human-readable stderr summary ([`install_stderr_summary`]). The
 //! [`report`] module parses a trace file back and renders phase timelines
-//! and latency summaries.
+//! and latency summaries; the [`chrome`] module exports the same trace as
+//! a Chrome Trace Event document (one timeline track per morsel worker).
 //!
-//! When no sink is installed the whole API is a handful of atomic loads —
-//! instrumented code needs no feature gates.
+//! Beyond the event stream, the deep-profiling layer adds:
+//!
+//! * [`hist`] — log-bucketed latency histograms with lock-free sharded
+//!   recording and commutative merge;
+//! * [`mem`] — a counting global-allocator wrapper (live/peak bytes) with
+//!   scoped watermarks for per-operator and per-phase `mem_peak=`;
+//! * [`metrics`] — a live registry of counters and histograms served as
+//!   Prometheus text over a std-only HTTP endpoint. While the registry is
+//!   enabled, every [`counter`] feeds it under `layer.name`, and every
+//!   finished span records its duration into the `layer.name_us`
+//!   histogram.
+//!
+//! ## Counter naming
+//!
+//! Counter and metric names follow a documented `layer.name` scheme: the
+//! `layer` is the emitting crate (`storage`, `engine`, `dgen`, `maint`,
+//! `runner`, `cli`) and `name` is a dot-separated path grouping related
+//! metrics — `scan.rows`, `scan.bytes`, `join.build_rows`,
+//! `gen.rows`. Reports aggregate by subsystem (the path's first segment),
+//! so all `join.*` counters roll up together. See `docs/OBSERVABILITY.md`.
+//!
+//! When no sink is installed and the registry is disabled, the whole API
+//! is a handful of atomic loads — instrumented code needs no feature
+//! gates.
 
 #![warn(missing_docs)]
 
+pub mod chrome;
+pub mod hist;
 pub mod json;
+pub mod mem;
+pub mod metrics;
 pub mod report;
 
 use json::Json;
@@ -348,8 +375,12 @@ pub fn record(event: Event) {
     }
 }
 
-/// Records a counter event.
+/// Records a counter event (and, while the [`metrics`] registry is
+/// enabled, accumulates it there under `layer.name`).
 pub fn counter(layer: &'static str, name: &str, value: f64, fields: &[(&str, FieldValue)]) {
+    if metrics::is_enabled() {
+        metrics::counter_add(&format!("{layer}.{name}"), value);
+    }
     if !is_enabled() {
         return;
     }
@@ -434,6 +465,12 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if metrics::is_enabled() {
+            metrics::observe(
+                &format!("{}.{}_us", self.layer, self.name),
+                self.start.elapsed().as_micros() as u64,
+            );
+        }
         if !self.armed {
             return;
         }

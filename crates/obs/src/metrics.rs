@@ -1,0 +1,286 @@
+//! Live metrics: a process-wide registry of named counters and
+//! [histograms](crate::hist), rendered as Prometheus text exposition and
+//! optionally served over a std-only HTTP endpoint mid-run.
+//!
+//! Metric names follow the repository's `layer.name` scheme (see
+//! `docs/OBSERVABILITY.md`): the emitting layer, a dot, then a
+//! dot-separated metric path — `storage.scan.rows`, `storage.join.build_rows`,
+//! `runner.query_us`. [`crate::counter`] feeds every recorded counter into
+//! the registry automatically while it is enabled, so the `/metrics` view
+//! and the JSONL trace stay consistent without double instrumentation.
+//!
+//! The registry is **off by default**: recording functions are a single
+//! relaxed atomic load until [`enable`] (or [`serve`], which implies it)
+//! turns accumulation on.
+
+use crate::hist::Histogram;
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        hists: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// Turns metric accumulation on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Whether the registry is accumulating.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Disables accumulation and drops all registered metrics (tests).
+pub fn reset() {
+    ENABLED.store(false, Ordering::Relaxed);
+    let r = registry();
+    r.counters
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+    r.hists
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+}
+
+/// Adds `v` (rounded) to the named counter. No-op while disabled.
+pub fn counter_add(name: &str, v: f64) {
+    if !is_enabled() || v <= 0.0 || v.is_nan() {
+        return;
+    }
+    let cell = {
+        let mut map = registry()
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match map.get(name) {
+            Some(c) => c.clone(),
+            None => {
+                let c = Arc::new(AtomicU64::new(0));
+                map.insert(name.to_string(), c.clone());
+                c
+            }
+        }
+    };
+    cell.fetch_add(v.round() as u64, Ordering::Relaxed);
+}
+
+/// The named histogram, registering it on first use. The `Arc` may be
+/// cached by hot paths to skip the registry lookup.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let mut map = registry()
+        .hists
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    match map.get(name) {
+        Some(h) => h.clone(),
+        None => {
+            let h = Arc::new(Histogram::new());
+            map.insert(name.to_string(), h.clone());
+            h
+        }
+    }
+}
+
+/// Records one sample into the named histogram. No-op while disabled.
+pub fn observe(name: &str, v: u64) {
+    if is_enabled() {
+        histogram(name).record(v);
+    }
+}
+
+/// A Prometheus-safe metric name: `tpcds_` + the `layer.name` with every
+/// non-alphanumeric character folded to `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("tpcds_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Renders every registered metric in Prometheus text exposition format
+/// (version 0.0.4): counters as `*_total`, histograms with cumulative
+/// `_bucket{le=...}` series plus `_sum`/`_count`.
+pub fn render_prometheus() -> String {
+    let r = registry();
+    let mut out = String::new();
+    for (name, cell) in r
+        .counters
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+    {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p}_total counter\n"));
+        out.push_str(&format!("{p}_total {}\n", cell.load(Ordering::Relaxed)));
+    }
+    let hists: Vec<(String, Arc<Histogram>)> = r
+        .hists
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    for (name, hist) in hists {
+        let p = prom_name(&name);
+        let snap = hist.snapshot();
+        out.push_str(&format!("# TYPE {p} histogram\n"));
+        let mut cum = 0u64;
+        for (bound, count) in snap.nonzero_buckets() {
+            cum += count;
+            out.push_str(&format!("{p}_bucket{{le=\"{bound}\"}} {cum}\n"));
+        }
+        out.push_str(&format!("{p}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
+        out.push_str(&format!("{p}_sum {}\n", snap.sum));
+        out.push_str(&format!("{p}_count {}\n", snap.count));
+    }
+    out
+}
+
+/// Serializes every registered metric as one JSON object (counters as
+/// integers, histograms in their sparse form).
+pub fn to_json() -> Json {
+    let r = registry();
+    let counters: Vec<(String, Json)> = r
+        .counters
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Int(v.load(Ordering::Relaxed) as i64)))
+        .collect();
+    let hists: Vec<(String, Json)> = r
+        .hists
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(k, v)| (k.clone(), v.snapshot().to_json()))
+        .collect();
+    Json::Obj(vec![
+        ("counters".into(), Json::Obj(counters)),
+        ("histograms".into(), Json::Obj(hists)),
+    ])
+}
+
+fn handle_conn(mut stream: TcpStream) {
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf).unwrap_or(0);
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, ctype, body) = if path == "/metrics" || path.starts_with("/metrics?") {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_prometheus(),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "try /metrics\n".to_string(),
+        )
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+}
+
+/// Starts the live metrics endpoint on `addr` (e.g. `127.0.0.1:9184`;
+/// port 0 picks a free port), enables the registry, and returns the bound
+/// address. The accept loop runs on a detached thread and serves
+/// `GET /metrics` for the life of the process.
+pub fn serve(addr: &str) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    enable();
+    std::thread::Builder::new()
+        .name("tpcds-metrics".into())
+        .spawn(move || {
+            for stream in listener.incoming().flatten() {
+                handle_conn(stream);
+            }
+        })?;
+    Ok(local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is global; tests serialize on the recorder's lock too
+    // since obs tests share the process.
+    #[test]
+    fn registry_accumulates_and_renders_prometheus() {
+        let _guard = crate::test_lock();
+        reset();
+        counter_add("storage.scan.rows", 100.0); // dropped: disabled
+        enable();
+        counter_add("storage.scan.rows", 40.0);
+        counter_add("storage.scan.rows", 2.5);
+        observe("runner.query_us", 300);
+        observe("runner.query_us", 90_000);
+        let text = render_prometheus();
+        assert!(text.contains("tpcds_storage_scan_rows_total 43"), "{text}");
+        assert!(text.contains("# TYPE tpcds_runner_query_us histogram"));
+        assert!(text.contains("tpcds_runner_query_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("tpcds_runner_query_us_sum 90300"));
+        assert!(text.contains("tpcds_runner_query_us_count 2"));
+        // Cumulative buckets are non-decreasing.
+        let cums: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("tpcds_runner_query_us_bucket"))
+            .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
+            .collect();
+        assert!(cums.windows(2).all(|w| w[0] <= w[1]), "{cums:?}");
+        reset();
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let _guard = crate::test_lock();
+        reset();
+        let addr = serve("127.0.0.1:0").unwrap();
+        counter_add("engine.queries", 7.0);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(
+            response.contains("tpcds_engine_queries_total 7"),
+            "{response}"
+        );
+
+        // Unknown paths 404.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+        reset();
+    }
+}

@@ -1,7 +1,14 @@
 //! Trace analysis: parses a JSONL trace back into events and renders the
 //! phase timeline (Gantt), per-span latency statistics and counter totals
 //! as a text report — the audit trail DWEB-style benchmarking asks for.
+//!
+//! Latency populations are accumulated into [log-bucketed
+//! histograms](crate::hist) rather than raw duration vectors, so an
+//! arbitrarily long trace aggregates in constant memory per (layer, name)
+//! key and the percentiles match what the live `/metrics` endpoint
+//! reports (both are bucket-quantized, ≤ ~20% overestimate).
 
+use crate::hist::HistSnapshot;
 use crate::json::Json;
 use crate::{Event, EventKind};
 use std::collections::BTreeMap;
@@ -19,11 +26,25 @@ pub fn parse_trace(text: &str) -> Result<Vec<Event>, String> {
     Ok(events)
 }
 
-/// Nearest-rank percentile over an ascending-sorted slice. `pct` in 0..=100.
+/// Nearest-rank percentile over an **ascending-sorted** slice.
+///
+/// Semantics (nearest-rank, rank = ⌈pct/100 · n⌉ clamped to `1..=n`):
+///
+/// * an empty slice returns 0 (guarded — there is no defined percentile);
+/// * `pct <= 0` (and NaN) returns the minimum (`sorted[0]`);
+/// * `pct = 100` (and anything above) returns the maximum;
+/// * a single-element slice returns that element for every `pct`;
+/// * `p50` of `1..=100` is 50, `p95` is 95 — the classic nearest-rank
+///   values, with no interpolation.
 pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
+    let pct = if pct.is_nan() {
+        0.0
+    } else {
+        pct.clamp(0.0, 100.0)
+    };
     let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -33,26 +54,35 @@ pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
 pub struct LatencyStats {
     /// Sample count.
     pub count: u64,
-    /// Sum of durations, microseconds.
+    /// Sum of durations, microseconds (exact).
     pub total_us: u64,
-    /// Median, microseconds.
+    /// Median, microseconds (histogram-quantized: ≤ ~20% overestimate).
     pub p50_us: u64,
-    /// 95th percentile, microseconds.
+    /// 95th percentile, microseconds (histogram-quantized).
     pub p95_us: u64,
-    /// Maximum, microseconds.
+    /// Maximum, microseconds (histogram-quantized).
     pub max_us: u64,
 }
 
 impl LatencyStats {
-    /// Computes the summary from raw durations (order irrelevant).
-    pub fn from_durations_us(mut durs: Vec<u64>) -> LatencyStats {
-        durs.sort_unstable();
+    /// Computes the summary from raw durations (order irrelevant) by
+    /// folding them through a log-bucketed histogram.
+    pub fn from_durations_us(durs: Vec<u64>) -> LatencyStats {
+        let mut h = HistSnapshot::new();
+        for d in durs {
+            h.record(d);
+        }
+        LatencyStats::from_hist(&h)
+    }
+
+    /// Computes the summary from an accumulated histogram.
+    pub fn from_hist(h: &HistSnapshot) -> LatencyStats {
         LatencyStats {
-            count: durs.len() as u64,
-            total_us: durs.iter().sum(),
-            p50_us: percentile(&durs, 50.0),
-            p95_us: percentile(&durs, 95.0),
-            max_us: *durs.last().unwrap_or(&0),
+            count: h.count,
+            total_us: h.sum,
+            p50_us: h.percentile(50.0),
+            p95_us: h.percentile(95.0),
+            max_us: h.max(),
         }
     }
 }
@@ -61,16 +91,35 @@ fn ms(us: u64) -> f64 {
     us as f64 / 1e3
 }
 
+/// One benchmark phase row of the timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRow {
+    /// Phase label (`load`, `qr1`, `dm`, `qr2`).
+    pub name: String,
+    /// Start offset, microseconds since the recorder epoch.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Peak memory growth during the phase, bytes (0 when the producing
+    /// process had no counting allocator installed).
+    pub mem_peak_bytes: u64,
+}
+
 /// A parsed, aggregated trace ready to render.
 pub struct TraceReport {
-    /// The benchmark phases in start order: (phase name, start_us, dur_us).
-    pub phases: Vec<(String, u64, u64)>,
+    /// The benchmark phases in start order.
+    pub phases: Vec<PhaseRow>,
     /// Per (layer, name) span latency stats.
     pub spans: BTreeMap<(String, String), LatencyStats>,
     /// Per query-id latency stats (from `runner/query` spans).
     pub queries: BTreeMap<i64, LatencyStats>,
-    /// Per (layer, name) counter (count, sum).
+    /// Per (layer, name) counter (count, sum). Names follow the
+    /// `layer.name` scheme, so related metrics sort together.
     pub counters: BTreeMap<(String, String), (u64, f64)>,
+    /// Per-worker busy time: (layer, worker) → (spans, total busy µs) —
+    /// from every span carrying a `worker` field. Skew across workers of
+    /// one layer means morsel stealing was unbalanced.
+    pub workers: BTreeMap<(String, i64), (u64, u64)>,
     /// Total events in the trace.
     pub events: usize,
 }
@@ -79,24 +128,34 @@ impl TraceReport {
     /// Aggregates a parsed event stream.
     pub fn build(events: &[Event]) -> TraceReport {
         let mut phases = Vec::new();
-        let mut span_durs: BTreeMap<(String, String), Vec<u64>> = BTreeMap::new();
-        let mut query_durs: BTreeMap<i64, Vec<u64>> = BTreeMap::new();
+        let mut span_hists: BTreeMap<(String, String), HistSnapshot> = BTreeMap::new();
+        let mut query_hists: BTreeMap<i64, HistSnapshot> = BTreeMap::new();
         let mut counters: BTreeMap<(String, String), (u64, f64)> = BTreeMap::new();
+        let mut workers: BTreeMap<(String, i64), (u64, u64)> = BTreeMap::new();
         for e in events {
             match e.kind {
                 EventKind::Span => {
                     let d = e.dur_us.unwrap_or(0);
-                    span_durs
+                    span_hists
                         .entry((e.layer.clone(), e.name.clone()))
                         .or_default()
-                        .push(d);
+                        .record(d);
+                    if let Some(w) = e.int_field("worker") {
+                        let cell = workers.entry((e.layer.clone(), w)).or_insert((0, 0));
+                        cell.0 += 1;
+                        cell.1 += d;
+                    }
                     if e.name == "phase" {
-                        let label = e.str_field("phase").unwrap_or("?").to_string();
-                        phases.push((label, e.ts_us, d));
+                        phases.push(PhaseRow {
+                            name: e.str_field("phase").unwrap_or("?").to_string(),
+                            start_us: e.ts_us,
+                            dur_us: d,
+                            mem_peak_bytes: e.int_field("mem_peak").unwrap_or(0).max(0) as u64,
+                        });
                     }
                     if e.layer == "runner" && e.name == "query" {
                         if let Some(q) = e.int_field("query") {
-                            query_durs.entry(q).or_default().push(d);
+                            query_hists.entry(q).or_default().record(d);
                         }
                     }
                 }
@@ -110,34 +169,59 @@ impl TraceReport {
                 EventKind::Point => {}
             }
         }
-        phases.sort_by_key(|(_, start, _)| *start);
+        phases.sort_by_key(|p| p.start_us);
         TraceReport {
             phases,
-            spans: span_durs
+            spans: span_hists
                 .into_iter()
-                .map(|(k, v)| (k, LatencyStats::from_durations_us(v)))
+                .map(|(k, h)| (k, LatencyStats::from_hist(&h)))
                 .collect(),
-            queries: query_durs
+            queries: query_hists
                 .into_iter()
-                .map(|(k, v)| (k, LatencyStats::from_durations_us(v)))
+                .map(|(k, h)| (k, LatencyStats::from_hist(&h)))
                 .collect(),
             counters,
+            workers,
             events: events.len(),
         }
     }
 
+    /// Counter sums rolled up by subsystem: `layer.prefix` (the name up to
+    /// its first dot) → metric → sum. Under the `layer.name` scheme every
+    /// `join.*` counter aggregates under `storage.join`, every `scan.*`
+    /// under `storage.scan`, and so on.
+    pub fn subsystems(&self) -> BTreeMap<String, BTreeMap<String, f64>> {
+        let mut out: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+        for ((layer, name), (_, sum)) in &self.counters {
+            let (prefix, metric) = match name.split_once('.') {
+                Some((p, m)) => (p, m),
+                None => ("", name.as_str()),
+            };
+            let key = if prefix.is_empty() {
+                layer.clone()
+            } else {
+                format!("{layer}.{prefix}")
+            };
+            *out.entry(key)
+                .or_default()
+                .entry(metric.to_string())
+                .or_insert(0.0) += sum;
+        }
+        out
+    }
+
     /// Renders the full text report: Gantt-style phase timeline, span
-    /// stats, per-query latency and counter totals.
+    /// stats, per-query latency, per-worker balance and counter totals.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("trace report — {} events\n", self.events));
 
         if !self.phases.is_empty() {
-            let origin = self.phases.iter().map(|(_, s, _)| *s).min().unwrap_or(0);
+            let origin = self.phases.iter().map(|p| p.start_us).min().unwrap_or(0);
             let end = self
                 .phases
                 .iter()
-                .map(|(_, s, d)| s + d)
+                .map(|p| p.start_us + p.dur_us)
                 .max()
                 .unwrap_or(origin)
                 .max(origin + 1);
@@ -147,16 +231,22 @@ impl TraceReport {
                 "\nphase timeline (total {:.3}s)\n",
                 total as f64 / 1e6
             ));
-            for (name, start, dur) in &self.phases {
-                let lo = ((start - origin) as f64 / total as f64 * WIDTH as f64) as usize;
-                let mut len = (*dur as f64 / total as f64 * WIDTH as f64).round() as usize;
+            for p in &self.phases {
+                let lo = ((p.start_us - origin) as f64 / total as f64 * WIDTH as f64) as usize;
+                let mut len = (p.dur_us as f64 / total as f64 * WIDTH as f64).round() as usize;
                 len = len.max(1);
                 let lo = lo.min(WIDTH - 1);
                 let len = len.min(WIDTH - lo);
                 let bar: String = " ".repeat(lo) + &"#".repeat(len) + &" ".repeat(WIDTH - lo - len);
+                let mem = if p.mem_peak_bytes > 0 {
+                    format!("  mem_peak={}", crate::mem::fmt_bytes(p.mem_peak_bytes))
+                } else {
+                    String::new()
+                };
                 out.push_str(&format!(
-                    "  {name:<6} |{bar}| {:>9.3}s\n",
-                    *dur as f64 / 1e6
+                    "  {:<6} |{bar}| {:>9.3}s{mem}\n",
+                    p.name,
+                    p.dur_us as f64 / 1e6
                 ));
             }
         }
@@ -192,6 +282,18 @@ impl TraceReport {
             }
         }
 
+        if !self.workers.is_empty() {
+            out.push_str("\nworker balance                 spans    busy(ms)\n");
+            for ((layer, w), (n, busy)) in &self.workers {
+                out.push_str(&format!(
+                    "  {:<28} {:>5} {:>11.3}\n",
+                    format!("{layer}/worker {w}"),
+                    n,
+                    ms(*busy),
+                ));
+            }
+        }
+
         if !self.counters.is_empty() {
             out.push_str("\ncounters                       count         sum\n");
             for ((layer, name), (n, sum)) in &self.counters {
@@ -201,6 +303,15 @@ impl TraceReport {
                     n,
                     sum
                 ));
+            }
+            let subs = self.subsystems();
+            if !subs.is_empty() {
+                out.push_str("\nsubsystem totals\n");
+                for (sub, metrics) in subs {
+                    let line: Vec<String> =
+                        metrics.iter().map(|(m, v)| format!("{m}={v:.0}")).collect();
+                    out.push_str(&format!("  {:<16} {}\n", sub, line.join(" ")));
+                }
             }
         }
         out
@@ -216,6 +327,7 @@ pub fn summarize(trace_text: &str) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hist::{bucket_bound, bucket_index};
     use crate::FieldValue;
 
     fn span_ev(
@@ -239,6 +351,11 @@ mod tests {
         }
     }
 
+    /// The value a histogram-backed stat reports for a raw duration.
+    fn q(v: u64) -> u64 {
+        bucket_bound(bucket_index(v))
+    }
+
     #[test]
     fn percentile_nearest_rank() {
         let v: Vec<u64> = (1..=100).collect();
@@ -250,6 +367,37 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases_are_guarded() {
+        // Empty slice: guarded, no panic, defined as 0.
+        assert_eq!(percentile(&[], 0.0), 0);
+        assert_eq!(percentile(&[], 100.0), 0);
+        let v: Vec<u64> = (1..=100).collect();
+        // p0 is the minimum; out-of-range and NaN pct clamp.
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, -5.0), 1);
+        assert_eq!(percentile(&v, f64::NAN), 1);
+        assert_eq!(percentile(&v, 150.0), 100);
+        // Single element: every pct returns it.
+        for pct in [0.0, 50.0, 100.0] {
+            assert_eq!(percentile(&[42], pct), 42);
+        }
+        // Two elements: nearest-rank p50 is the first.
+        assert_eq!(percentile(&[10, 20], 50.0), 10);
+        assert_eq!(percentile(&[10, 20], 51.0), 20);
+    }
+
+    #[test]
+    fn latency_stats_come_from_histograms() {
+        let s = LatencyStats::from_durations_us(vec![300, 700]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_us, 1000, "sum stays exact");
+        assert_eq!(s.p50_us, q(300));
+        assert_eq!(s.max_us, q(700));
+        assert!(s.p50_us >= 300 && s.p50_us <= 360, "p50={}", s.p50_us);
+        assert!(s.p50_us <= s.p95_us && s.p95_us <= s.max_us);
+    }
+
+    #[test]
     fn report_aggregates_phases_queries_and_counters() {
         let events = vec![
             span_ev(
@@ -257,7 +405,10 @@ mod tests {
                 "phase",
                 0,
                 1_000_000,
-                vec![("phase", "load".into())],
+                vec![
+                    ("phase", "load".into()),
+                    ("mem_peak", FieldValue::Int(4096)),
+                ],
             ),
             span_ev(
                 "runner",
@@ -301,29 +452,76 @@ mod tests {
                 200,
                 vec![("query", FieldValue::Int(7))],
             ),
+            span_ev(
+                "storage",
+                "scan_worker",
+                1_100_000,
+                900,
+                vec![("worker", FieldValue::Int(0))],
+            ),
+            span_ev(
+                "storage",
+                "scan_worker",
+                1_100_000,
+                100,
+                vec![("worker", FieldValue::Int(1))],
+            ),
             Event {
                 ts_us: 10,
                 kind: EventKind::Counter,
                 layer: "dgen".into(),
-                name: "rows".into(),
+                name: "gen.rows".into(),
                 dur_us: None,
                 value: Some(1000.0),
                 fields: vec![("table".into(), FieldValue::Str("item".into()))],
             },
+            Event {
+                ts_us: 20,
+                kind: EventKind::Counter,
+                layer: "storage".into(),
+                name: "join.build_rows".into(),
+                dur_us: None,
+                value: Some(500.0),
+                fields: vec![],
+            },
+            Event {
+                ts_us: 21,
+                kind: EventKind::Counter,
+                layer: "storage".into(),
+                name: "join.rows".into(),
+                dur_us: None,
+                value: Some(80.0),
+                fields: vec![],
+            },
         ];
         let rep = TraceReport::build(&events);
         assert_eq!(rep.phases.len(), 4);
-        assert_eq!(rep.phases[0].0, "load");
-        assert_eq!(rep.phases[3].0, "qr2");
+        assert_eq!(rep.phases[0].name, "load");
+        assert_eq!(rep.phases[0].mem_peak_bytes, 4096);
+        assert_eq!(rep.phases[3].name, "qr2");
         assert_eq!(rep.queries[&52].count, 2);
-        assert_eq!(rep.queries[&52].p50_us, 300);
-        assert_eq!(rep.queries[&52].max_us, 700);
-        assert_eq!(rep.counters[&("dgen".into(), "rows".into())], (1, 1000.0));
+        assert_eq!(rep.queries[&52].p50_us, q(300));
+        assert_eq!(rep.queries[&52].max_us, q(700));
+        assert_eq!(
+            rep.counters[&("dgen".into(), "gen.rows".into())],
+            (1, 1000.0)
+        );
+        // Worker balance captures the skew between worker 0 and 1.
+        assert_eq!(rep.workers[&("storage".into(), 0)], (1, 900));
+        assert_eq!(rep.workers[&("storage".into(), 1)], (1, 100));
+        // Join counters roll up under the storage.join subsystem.
+        let subs = rep.subsystems();
+        assert_eq!(subs["storage.join"]["build_rows"], 500.0);
+        assert_eq!(subs["storage.join"]["rows"], 80.0);
+        assert_eq!(subs["dgen.gen"]["rows"], 1000.0);
         let text = rep.render();
         assert!(text.contains("phase timeline"), "{text}");
         assert!(text.contains("load"), "{text}");
+        assert!(text.contains("mem_peak=4.0KiB"), "{text}");
         assert!(text.contains("q52"), "{text}");
-        assert!(text.contains("dgen/rows"), "{text}");
+        assert!(text.contains("dgen/gen.rows"), "{text}");
+        assert!(text.contains("worker balance"), "{text}");
+        assert!(text.contains("storage.join"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Event ⇄ JSON round-trip coverage: the JSONL trace schema must survive
+//! serialization of hostile field contents (control characters, unicode,
+//! quotes, backslashes) and reject malformed input with an error instead
+//! of panicking — traces are parsed back by `tpcds report` and
+//! `tpcds trace export`.
+
+use tpcds_obs::json::Json;
+use tpcds_obs::{Event, EventKind, FieldValue};
+
+fn roundtrip(e: &Event) -> Event {
+    let line = e.to_json().to_string();
+    let parsed = Json::parse(&line).unwrap_or_else(|err| panic!("parse {line}: {err}"));
+    Event::from_json(&parsed).unwrap_or_else(|err| panic!("from_json {line}: {err}"))
+}
+
+#[test]
+fn span_with_plain_fields_round_trips() {
+    let e = Event {
+        ts_us: 120,
+        kind: EventKind::Span,
+        layer: "runner".into(),
+        name: "query".into(),
+        dur_us: Some(4500),
+        value: None,
+        fields: vec![
+            ("stream".into(), FieldValue::Int(0)),
+            ("query".into(), FieldValue::Int(52)),
+            ("selectivity".into(), FieldValue::Float(0.25)),
+            ("class".into(), FieldValue::Str("reporting".into())),
+        ],
+    };
+    assert_eq!(roundtrip(&e), e);
+}
+
+#[test]
+fn control_characters_in_strings_survive() {
+    // Every ASCII control character, plus the JSON two-char escapes.
+    let mut hostile = String::new();
+    for b in 0u8..0x20 {
+        hostile.push(b as char);
+    }
+    hostile.push_str("\"quoted\" back\\slash /slash");
+    let e = Event {
+        ts_us: 1,
+        kind: EventKind::Point,
+        layer: "cli".into(),
+        name: "note".into(),
+        dur_us: None,
+        value: None,
+        fields: vec![("text".into(), FieldValue::Str(hostile.clone()))],
+    };
+    let line = e.to_json().to_string();
+    // The serialized line must stay a single line (embedded \n escaped).
+    assert_eq!(line.lines().count(), 1, "{line:?}");
+    assert!(line.contains("\\n") && line.contains("\\t"), "{line}");
+    assert!(line.contains("\\u0000"), "{line}");
+    assert_eq!(roundtrip(&e), e);
+}
+
+#[test]
+fn unicode_escapes_and_multibyte_text_survive() {
+    let e = Event {
+        ts_us: 2,
+        kind: EventKind::Counter,
+        layer: "dgen".into(),
+        name: "gen.rows".into(),
+        dur_us: None,
+        value: Some(1234.0),
+        fields: vec![
+            ("table".into(), FieldValue::Str("ítem — 商品 🛒".into())),
+            ("note".into(), FieldValue::Str("\u{1} bell \u{7}".into())),
+        ],
+    };
+    assert_eq!(roundtrip(&e), e);
+    // Escaped unicode in the input parses to the same scalar values.
+    let parsed = Json::parse("\"\\u00e9\\u0001\"").unwrap();
+    assert_eq!(parsed.as_str(), Some("é\u{1}"));
+    // Surrogate-free astral plane text survives via raw UTF-8 bytes.
+    let line = Json::Str("🛒".into()).to_string();
+    assert_eq!(Json::parse(&line).unwrap().as_str(), Some("🛒"));
+}
+
+#[test]
+fn hostile_field_keys_round_trip() {
+    let e = Event {
+        ts_us: 3,
+        kind: EventKind::Span,
+        layer: "engine".into(),
+        name: "op".into(),
+        dur_us: Some(10),
+        value: None,
+        fields: vec![
+            ("weird \"key\"\n".into(), FieldValue::Int(1)),
+            ("".into(), FieldValue::Str(String::new())),
+        ],
+    };
+    assert_eq!(roundtrip(&e), e);
+}
+
+#[test]
+fn nested_fields_object_parses_and_bad_nesting_errors() {
+    // Hand-built JSON with the fields object present but holding a nested
+    // object value — not representable as a FieldValue, must error (not
+    // panic, not silently drop).
+    let bad =
+        r#"{"ts_us":1,"kind":"span","layer":"x","name":"y","dur_us":1,"fields":{"inner":{"a":1}}}"#;
+    let parsed = Json::parse(bad).unwrap();
+    let err = Event::from_json(&parsed).unwrap_err();
+    assert!(err.contains("bad field value"), "{err}");
+
+    // Absent fields object is fine (defaults to empty).
+    let ok = r#"{"ts_us":1,"kind":"point","layer":"x","name":"y"}"#;
+    let e = Event::from_json(&Json::parse(ok).unwrap()).unwrap();
+    assert!(e.fields.is_empty());
+}
+
+#[test]
+fn malformed_events_error_with_context() {
+    for (input, needle) in [
+        (r#"{"kind":"span","layer":"x","name":"y"}"#, "ts_us"),
+        (
+            r#"{"ts_us":1,"kind":"warp","layer":"x","name":"y"}"#,
+            "kind",
+        ),
+        (r#"{"ts_us":1,"kind":"span","name":"y"}"#, "layer"),
+        (r#"{"ts_us":1,"kind":"span","layer":"x"}"#, "name"),
+    ] {
+        let parsed = Json::parse(input).unwrap();
+        let err = Event::from_json(&parsed).unwrap_err();
+        assert!(err.contains(needle), "{input} -> {err}");
+    }
+}
+
+#[test]
+fn malformed_json_text_errors() {
+    for input in [
+        "{",
+        "{\"ts_us\":}",
+        "\"unterminated",
+        "{\"a\":\"\\u00\"}",
+        "nullish",
+        "[1,2",
+    ] {
+        assert!(Json::parse(input).is_err(), "{input:?} should fail");
+    }
+}

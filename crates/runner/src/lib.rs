@@ -252,33 +252,45 @@ pub fn run_benchmark(config: BenchmarkConfig) -> Result<BenchmarkResult, RunErro
 
     // ---- Load test (timed) ----
     let db = Database::new();
-    let phase = tpcds_obs::span("runner", "phase").field("phase", "load");
+    let mut phase = tpcds_obs::span("runner", "phase").field("phase", "load");
+    let wm = tpcds_obs::mem::Watermark::start();
     let load_start = Instant::now();
     tpcds_maint::load_initial_population(&db, &generator).map_err(|e| RunError::Engine(0, e))?;
     if config.aux == AuxLevel::Reporting {
         build_reporting_aux(&db).map_err(|e| RunError::Engine(0, e))?;
     }
     let t_load = load_start.elapsed();
+    phase.add_field("mem_peak", wm.peak_delta() as i64);
+    drop(wm);
     phase.finish();
 
     // ---- Query run 1 ----
-    let phase = tpcds_obs::span("runner", "phase").field("phase", "qr1");
+    let mut phase = tpcds_obs::span("runner", "phase").field("phase", "qr1");
+    let wm = tpcds_obs::mem::Watermark::start();
     let (t_qr1, mut query_timings) =
         query_run(&db, &workload, &config, streams, queries_per_stream, 1)?;
+    phase.add_field("mem_peak", wm.peak_delta() as i64);
+    drop(wm);
     phase.finish();
 
     // ---- Data maintenance run ----
-    let phase = tpcds_obs::span("runner", "phase").field("phase", "dm");
+    let mut phase = tpcds_obs::span("runner", "phase").field("phase", "dm");
+    let wm = tpcds_obs::mem::Watermark::start();
     let dm_start = Instant::now();
     let maintenance =
         tpcds_maint::run_maintenance(&db, &generator, 0).map_err(|e| RunError::Engine(0, e))?;
     let t_dm = dm_start.elapsed();
+    phase.add_field("mem_peak", wm.peak_delta() as i64);
+    drop(wm);
     phase.finish();
 
     // ---- Query run 2 ----
-    let phase = tpcds_obs::span("runner", "phase").field("phase", "qr2");
+    let mut phase = tpcds_obs::span("runner", "phase").field("phase", "qr2");
+    let wm = tpcds_obs::mem::Watermark::start();
     let (t_qr2, timings2) = query_run(&db, &workload, &config, streams, queries_per_stream, 2)?;
     query_timings.extend(timings2);
+    phase.add_field("mem_peak", wm.peak_delta() as i64);
+    drop(wm);
     phase.finish();
 
     Ok(BenchmarkResult {

@@ -61,6 +61,10 @@ pub struct JoinStats {
     pub workers: u64,
     /// Output rows (joined rows, or groups for the fused aggregate).
     pub rows_out: u64,
+    /// Live-memory growth across the build phase, bytes — the hash-table
+    /// footprint. 0 unless the process installed the counting allocator
+    /// (`tpcds_obs::mem::CountingAlloc`).
+    pub build_bytes: u64,
 }
 
 /// Partition count policy: a function of the build-side size **only** (so
@@ -395,15 +399,16 @@ fn emit_counters(stats: &JoinStats) {
         return;
     }
     let w = [("workers", tpcds_obs::FieldValue::Int(stats.workers as i64))];
-    tpcds_obs::counter("storage", "join_build_rows", stats.build_rows as f64, &w);
-    tpcds_obs::counter("storage", "join_partitions", stats.partitions as f64, &w);
+    tpcds_obs::counter("storage", "join.build_rows", stats.build_rows as f64, &w);
+    tpcds_obs::counter("storage", "join.partitions", stats.partitions as f64, &w);
     tpcds_obs::counter(
         "storage",
-        "join_probe_morsels",
+        "join.probe_morsels",
         stats.probe_morsels as f64,
         &w,
     );
-    tpcds_obs::counter("storage", "join_rows", stats.rows_out as f64, &w);
+    tpcds_obs::counter("storage", "join.rows", stats.rows_out as f64, &w);
+    tpcds_obs::counter("storage", "join.build_bytes", stats.build_bytes as f64, &w);
 }
 
 /// Partitioned parallel hash join: `probe ⋈ build` on
@@ -426,8 +431,10 @@ pub fn par_hash_join(
         && build_keys.len() == 1
         && all_i64(probe, probe_keys[0])
         && all_i64(build, build_keys[0]);
+    let build_live0 = tpcds_obs::mem::live_bytes();
     let (tables, build_rows, npart, build_workers) =
         build_phase(build, build_pred, build_keys, int_path, threads);
+    let build_bytes = tpcds_obs::mem::live_bytes().saturating_sub(build_live0);
     let mask = (npart - 1) as u64;
     let bw = build.width();
 
@@ -528,6 +535,7 @@ pub fn par_hash_join(
         probe_morsels: morsels.len() as u64,
         workers: workers.max(build_workers) as u64,
         rows_out: rows_out as u64,
+        build_bytes,
     };
     emit_counters(&stats);
     (out, stats)
@@ -558,8 +566,10 @@ pub fn par_hash_join_agg(
         && build_keys.len() == 1
         && all_i64(probe, probe_keys[0])
         && all_i64(build, build_keys[0]);
+    let build_live0 = tpcds_obs::mem::live_bytes();
     let (tables, build_rows, npart, build_workers) =
         build_phase(build, build_pred, build_keys, int_path, threads);
+    let build_bytes = tpcds_obs::mem::live_bytes().saturating_sub(build_live0);
     let mask = (npart - 1) as u64;
     let pw = probe.width();
 
@@ -664,6 +674,7 @@ pub fn par_hash_join_agg(
         probe_morsels: morsels.len() as u64,
         workers: workers.max(build_workers) as u64,
         rows_out: out.len() as u64,
+        build_bytes,
     };
     emit_counters(&stats);
     Ok((out, stats))

@@ -26,6 +26,19 @@ pub const MORSEL_ROWS: usize = 8_192;
 /// work is smaller than the cost of spawning workers.
 pub(crate) const INLINE_ROWS: usize = 16_384;
 
+/// Whether per-morsel detail spans are on (`TPCDS_OBS_DETAIL=1`/`on`).
+/// One span per 8k-row morsel is too hot for routine runs, but gives the
+/// Chrome trace export morsel-granularity bars on each worker track.
+pub(crate) fn detail_enabled() -> bool {
+    use std::sync::OnceLock;
+    static DETAIL: OnceLock<bool> = OnceLock::new();
+    *DETAIL.get_or_init(|| {
+        std::env::var("TPCDS_OBS_DETAIL")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("on"))
+            .unwrap_or(false)
+    })
+}
+
 /// What one columnar scan did — surfaced in obs counters and in the
 /// engine's EXPLAIN ANALYZE output.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -71,9 +84,9 @@ fn emit_counters(stats: &ScanStats) {
         return;
     }
     let w = [("workers", tpcds_obs::FieldValue::Int(stats.workers as i64))];
-    tpcds_obs::counter("storage", "morsels", stats.morsels as f64, &w);
-    tpcds_obs::counter("storage", "rows", stats.rows_scanned as f64, &w);
-    tpcds_obs::counter("storage", "bytes", stats.bytes as f64, &w);
+    tpcds_obs::counter("storage", "scan.morsels", stats.morsels as f64, &w);
+    tpcds_obs::counter("storage", "scan.rows", stats.rows_scanned as f64, &w);
+    tpcds_obs::counter("storage", "scan.bytes", stats.bytes as f64, &w);
 }
 
 /// Filters the table through the (optional) predicate, returning the
@@ -111,6 +124,7 @@ pub fn par_filter(
                 let slots = &slots;
                 s.spawn(move || {
                     let mut span = tpcds_obs::span("storage", "scan_worker").field("worker", w);
+                    let detail = tpcds_obs::is_enabled() && detail_enabled();
                     let mut sel = Vec::new();
                     let mut done = 0usize;
                     loop {
@@ -118,6 +132,11 @@ pub fn par_filter(
                         if m >= morsels.len() {
                             break;
                         }
+                        let _detail_span = detail.then(|| {
+                            tpcds_obs::span("storage", "scan_morsel")
+                                .field("worker", w)
+                                .field("morsel", m)
+                        });
                         let (si, off, len) = morsels[m];
                         let rows = filter_morsel(table, si, off, len, pred, &mut sel);
                         *slots[m].lock().unwrap() = rows;
@@ -189,6 +208,7 @@ pub fn par_aggregate(
 
     let run_worker = |w: usize, cursor: &AtomicUsize| -> Result<GroupMap, StorageError> {
         let mut span = tpcds_obs::span("storage", "agg_worker").field("worker", w);
+        let detail = tpcds_obs::is_enabled() && detail_enabled();
         let mut map: GroupMap = HashMap::new();
         let mut sel = Vec::new();
         let mut done = 0usize;
@@ -197,6 +217,11 @@ pub fn par_aggregate(
             if m >= morsels.len() {
                 break;
             }
+            let _detail_span = detail.then(|| {
+                tpcds_obs::span("storage", "agg_morsel")
+                    .field("worker", w)
+                    .field("morsel", m)
+            });
             let (si, off, len) = morsels[m];
             agg_morsel(table, si, off, len, pred, groups, aggs, &mut map, &mut sel)?;
             done += 1;

@@ -5,23 +5,60 @@
 #    answer equivalence sweep;
 #  - BENCH_3.json: partitioned hash-join build/probe throughput (pure join
 #    and fused aggregate-over-join on store_sales ⋈ date_dim) for the
-#    row path vs the columnar join at 1 and N workers.
-# Exits non-zero on any answer mismatch or columnar-routing fallback.
+#    row path vs the columnar join at 1 and N workers;
+#  - BENCH_4.json: the profiling report — the BENCH_3 join sections plus
+#    histogram-derived per-query-class latency percentiles and process
+#    peak memory (tpcds-bench profile).
+# After regenerating, each fresh report is gated against the committed
+# baseline with `tpcds-bench compare` — a throughput drop (or latency
+# rise) past BENCH_TOLERANCE fails the script. Exits non-zero on any
+# answer mismatch, columnar-routing fallback, or perf regression.
 #
 # Knobs:
 #   TPCDS_THREADS     morsel worker count (default: available_parallelism)
 #   BENCH_SCALE       scale factor for BENCH_2 (default 0.02)
-#   BENCH_JOIN_SCALE  scale factor for BENCH_3 (default 0.01)
+#   BENCH_JOIN_SCALE  scale factor for BENCH_3/BENCH_4 (default 0.01)
 #   BENCH_OUT         BENCH_2 output path (default BENCH_2.json)
 #   BENCH_JOIN_OUT    BENCH_3 output path (default BENCH_3.json)
+#   BENCH_PROFILE_OUT BENCH_4 output path (default BENCH_4.json)
+#   BENCH_TOLERANCE   relative regression slack for the gate (default 0.5 —
+#                     generous, CI machines are noisy; tighten locally)
 set -eux
 
 export CARGO_NET_OFFLINE=true
 
-cargo build --release -p tpcds-bench --bin storage_bench --bin join_bench
+TOLERANCE="${BENCH_TOLERANCE:-0.5}"
+OUT2="${BENCH_OUT:-BENCH_2.json}"
+OUT3="${BENCH_JOIN_OUT:-BENCH_3.json}"
+OUT4="${BENCH_PROFILE_OUT:-BENCH_4.json}"
+
+cargo build --release -p tpcds-bench \
+    --bin storage_bench --bin join_bench --bin tpcds-bench
+
+# Snapshot committed baselines before the fresh runs overwrite them.
+for f in "$OUT2" "$OUT3" "$OUT4"; do
+    if [ -f "$f" ]; then
+        cp "$f" "$f.baseline"
+    fi
+done
+
 ./target/release/storage_bench \
     --scale "${BENCH_SCALE:-0.02}" \
-    --out "${BENCH_OUT:-BENCH_2.json}"
+    --out "$OUT2"
 ./target/release/join_bench \
     --scale "${BENCH_JOIN_SCALE:-0.01}" \
-    --out "${BENCH_JOIN_OUT:-BENCH_3.json}"
+    --out "$OUT3"
+./target/release/tpcds-bench profile \
+    --scale "${BENCH_JOIN_SCALE:-0.01}" \
+    --out "$OUT4"
+
+# Regression gate: fresh numbers vs the committed baselines.
+status=0
+for f in "$OUT2" "$OUT3" "$OUT4"; do
+    if [ -f "$f.baseline" ]; then
+        ./target/release/tpcds-bench compare "$f.baseline" "$f" \
+            --tolerance "$TOLERANCE" || status=1
+        rm -f "$f.baseline"
+    fi
+done
+exit "$status"
