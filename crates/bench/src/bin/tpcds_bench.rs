@@ -1,9 +1,12 @@
 //! `tpcds-bench` — the profiling and regression-gate front end:
 //!
 //! * `tpcds-bench profile [--scale SF] [--out BENCH_4.json]
-//!   [--queries-per-class N]` — measures the columnar join microbench
-//!   (same sections as `join_bench`) plus histogram-derived per-query-class
-//!   latencies and process memory, writing one JSON report;
+//!   [--sort-out BENCH_5.json] [--queries-per-class N]` — measures the
+//!   columnar join microbench (same sections as `join_bench`) plus
+//!   histogram-derived per-query-class latencies and process memory,
+//!   writing one JSON report; the sort/Top-N microbench (the
+//!   `ORDER BY … LIMIT 100` template tail vs the serial row sort) is
+//!   written separately to the `--sort-out` report;
 //! * `tpcds-bench compare OLD.json NEW.json [--tolerance 0.15]` — diffs
 //!   two reports over their intersecting metrics and exits non-zero when
 //!   any throughput dropped (or latency rose) past the tolerance — the
@@ -23,7 +26,7 @@ use tpcds_core::{TpcDs, Workload};
 static ALLOC: tpcds_core::obs::mem::CountingAlloc = tpcds_core::obs::mem::CountingAlloc;
 
 const USAGE: &str = "usage:
-  tpcds-bench profile [--scale SF] [--out BENCH_4.json] [--queries-per-class N]
+  tpcds-bench profile [--scale SF] [--out BENCH_4.json] [--sort-out BENCH_5.json] [--queries-per-class N]
   tpcds-bench compare OLD.json NEW.json [--tolerance 0.15]";
 
 const JOIN_SQL: &str = "select ss_item_sk, ss_ticket_number, d_year \
@@ -32,6 +35,16 @@ const JOIN_AGG_SQL: &str = "select d_year, count(*), sum(ss_ext_sales_price) \
      from store_sales, date_dim where ss_sold_date_sk = d_date_sk group by d_year";
 const BUILD_SQL: &str = "select d_year from store_sales, date_dim \
      where ss_sold_date_sk = d_date_sk and ss_sold_date_sk < 0";
+
+/// The template tail every qgen query ends in: `ORDER BY … LIMIT 100`.
+/// `(ss_item_sk, ss_ticket_number)` is the fact table's primary key, so
+/// the answer is fully determined and the paths must agree byte-for-byte.
+const TOPN_SQL: &str = "select ss_item_sk, ss_ticket_number, ss_net_paid from store_sales \
+     order by ss_net_paid desc, ss_item_sk, ss_ticket_number limit 100";
+/// Full ORDER BY without a limit: integer keys, so the parallel sort runs
+/// on the encoded-key fast path end to end.
+const SORT_SQL: &str = "select ss_sold_date_sk, ss_item_sk, ss_ticket_number from store_sales \
+     order by ss_sold_date_sk, ss_item_sk, ss_ticket_number";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -155,6 +168,7 @@ fn cmd_profile(args: &[String]) -> i32 {
         .map(|v| v.parse().expect("bad --scale"))
         .unwrap_or(0.01);
     let out_path = flag(args, "--out").unwrap_or_else(|| "BENCH_4.json".to_string());
+    let sort_out_path = flag(args, "--sort-out").unwrap_or_else(|| "BENCH_5.json".to_string());
     let per_class: usize = flag(args, "--queries-per-class")
         .map(|v| v.parse().expect("bad --queries-per-class"))
         .unwrap_or(usize::MAX);
@@ -175,6 +189,49 @@ fn cmd_profile(args: &[String]) -> i32 {
     let build = rate_obj(db, BUILD_SQL, dim_rows, threads);
     let join = rate_obj(db, JOIN_SQL, fact_rows, threads);
     let join_agg = rate_obj(db, JOIN_AGG_SQL, fact_rows, threads);
+
+    // ---- Sort/Top-N microbench (BENCH_5) ----
+    // Guard: both queries must actually route through the parallel
+    // kernels under Force, and agree byte-for-byte with the serial row
+    // sort — a benchmark of the wrong code path is worse than none.
+    let o = |mode, t| ExecOptions {
+        columnar: mode,
+        threads: Some(t),
+    };
+    let mut broken = false;
+    for (name, sql, marker) in [
+        ("topn", TOPN_SQL, "heap_rows="),
+        ("sort", SORT_SQL, "merge_ways="),
+    ] {
+        let analyzed =
+            engine::query_analyze_with(db, sql, o(ColumnarMode::Force, threads)).expect(name);
+        if !analyzed.plan_text.contains(marker) {
+            eprintln!(
+                "{name}: fell back to the serial sort:\n{}",
+                analyzed.plan_text
+            );
+            broken = true;
+        }
+        let row = engine::query_with(db, sql, o(ColumnarMode::Off, 1)).expect(name);
+        if row.rows != analyzed.result.rows {
+            eprintln!("{name}: parallel answer diverges from the row-path sort");
+            broken = true;
+        }
+    }
+    let topn = rate_obj(db, TOPN_SQL, fact_rows, threads);
+    let sort = rate_obj(db, SORT_SQL, fact_rows, threads);
+    let sort_report = Json::Obj(vec![
+        ("scale_factor".into(), Json::Float(sf)),
+        ("threads".into(), Json::Int(threads as i64)),
+        ("store_sales_rows".into(), Json::Int(fact_rows as i64)),
+        ("topn".into(), topn),
+        ("sort".into(), sort),
+    ]);
+    std::fs::write(&sort_out_path, format!("{sort_report}\n")).expect("write sort report");
+    println!("wrote {sort_out_path}");
+    if broken {
+        return 1;
+    }
 
     // ---- Per-class latency histograms ----
     let seed = tpcds_types::rng::DEFAULT_SEED;

@@ -111,6 +111,11 @@ impl<'a> Binder<'a> {
     /// Binds a full query (the public entry point).
     pub fn bind(&mut self, q: &ast::Query) -> Result<Bound> {
         let (plan, _scope, names) = self.bind_query(q, None, &mut Vec::new())?;
+        let plan = if self.optimize {
+            crate::optimizer::fuse_topn(plan)
+        } else {
+            plan
+        };
         Ok(Bound {
             plan: Arc::new(plan),
             names,

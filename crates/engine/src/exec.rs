@@ -40,6 +40,15 @@ pub struct OpStats {
     /// Join build-side hash-table footprint, bytes. 0 unless the node is
     /// a columnar join and the counting allocator is installed.
     pub build_bytes: u64,
+    /// Peak total rows held across all Top-N worker heaps, when the node
+    /// ran on the parallel sort path (0 = not a parallel Top-N).
+    pub heap_rows: u64,
+    /// Sorted-run count fed to the k-way merge, when the node ran on the
+    /// parallel full-sort path (0 = not a parallel full sort).
+    pub merge_ways: u64,
+    /// Qualifying rows discarded by Top-N heap bounds without ever being
+    /// materialized, across all calls.
+    pub pruned_rows: u64,
 }
 
 /// Per-node actuals keyed by plan-node address — stable for the lifetime
@@ -159,6 +168,20 @@ impl<'a> ExecCtx<'a> {
             let s = map.entry(node).or_default();
             s.morsels += cs.morsels;
             s.workers = s.workers.max(cs.workers);
+        }
+    }
+
+    /// Folds a parallel sort/Top-N kernel's morsel/heap/merge numbers into
+    /// the node's EXPLAIN ANALYZE entry.
+    fn record_sort(&self, node: usize, ss: &tpcds_storage::SortStats) {
+        if let Some(stats) = &self.stats {
+            let mut map = stats.lock();
+            let s = map.entry(node).or_default();
+            s.morsels += ss.morsels;
+            s.workers = s.workers.max(ss.workers);
+            s.merge_ways = s.merge_ways.max(ss.merge_ways);
+            s.heap_rows = s.heap_rows.max(ss.heap_rows);
+            s.pruned_rows += ss.pruned_rows;
         }
     }
 
@@ -287,10 +310,63 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
         }
         Plan::Window { input, calls } => window(input, calls, ctx, outer),
         Plan::Sort { input, keys } => {
+            let node = plan as *const Plan as usize;
+            if ctx.opts.columnar != ColumnarMode::Off {
+                if let Some(skeys) = compile_sort_keys(keys) {
+                    if let Some(src) = compile_sort_source(input, ctx)? {
+                        let (rows, ss) = tpcds_storage::par_sort(
+                            &src.table,
+                            src.pred.as_ref(),
+                            &skeys,
+                            src.proj.as_deref(),
+                            ctx.threads(),
+                        );
+                        ctx.record_sort(node, &ss);
+                        return Ok(rows);
+                    }
+                    let rows = execute(input, ctx, outer)?;
+                    let (rows, ss) = tpcds_storage::par_sort_rows(rows, &skeys, ctx.threads());
+                    ctx.record_sort(node, &ss);
+                    return Ok(rows);
+                }
+            }
             let rows = execute(input, ctx, outer)?;
             sort_rows(rows, keys, ctx, outer)
         }
+        Plan::TopN { input, keys, n } => {
+            let node = plan as *const Plan as usize;
+            let limit = *n as usize;
+            if ctx.opts.columnar != ColumnarMode::Off {
+                if let Some(skeys) = compile_sort_keys(keys) {
+                    if let Some(src) = compile_sort_source(input, ctx)? {
+                        let (rows, ss) = tpcds_storage::par_topn(
+                            &src.table,
+                            src.pred.as_ref(),
+                            &skeys,
+                            src.proj.as_deref(),
+                            limit,
+                            ctx.threads(),
+                        );
+                        ctx.record_sort(node, &ss);
+                        return Ok(rows);
+                    }
+                    let rows = execute(input, ctx, outer)?;
+                    let (rows, ss) =
+                        tpcds_storage::par_topn_rows(rows, &skeys, limit, ctx.threads());
+                    ctx.record_sort(node, &ss);
+                    return Ok(rows);
+                }
+            }
+            let rows = execute(input, ctx, outer)?;
+            let mut rows = sort_rows(rows, keys, ctx, outer)?;
+            rows.truncate(limit);
+            Ok(rows)
+        }
         Plan::Limit { input, n } => {
+            let node = plan as *const Plan as usize;
+            if let Some(rows) = try_limited_input(input, *n as usize, node, ctx, outer)? {
+                return Ok(rows);
+            }
             let mut rows = execute(input, ctx, outer)?;
             rows.truncate(*n as usize);
             Ok(rows)
@@ -805,6 +881,172 @@ fn index_probe_key(e: &BExpr) -> Option<(usize, BExpr)> {
         BExpr::And(l, r) => index_probe_key(l).or_else(|| index_probe_key(r)),
         _ => None,
     }
+}
+
+/// Compiles ORDER BY keys for the parallel sort kernels: every key must
+/// be a plain column reference over the input row (the binder rewrites
+/// ORDER BY expressions to references into the projection, so this covers
+/// the common template tail). Returns `None` to fall back to [`sort_rows`].
+fn compile_sort_keys(keys: &[(BExpr, bool)]) -> Option<Vec<tpcds_storage::SortKey>> {
+    keys.iter()
+        .map(|(e, desc)| match e {
+            BExpr::Col(i) => Some(tpcds_storage::SortKey {
+                col: *i,
+                desc: *desc,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// A sort/Top-N input that compiled to a direct columnar pipeline: the
+/// shadow snapshot, the combined scan+residual predicate, and the
+/// projection column list when a plain-column `Project` sat between the
+/// sort and the scan (the binder always emits one).
+struct ColSortSource {
+    table: Arc<tpcds_storage::ColumnTable>,
+    pred: Option<tpcds_storage::Pred>,
+    proj: Option<Vec<usize>>,
+}
+
+/// Compiles a sort/Top-N input for the fused columnar kernels: an
+/// optional all-column `Project` over a base-table scan (possibly under a
+/// residual `Filter`) whose table has a shadow and whose predicates
+/// compile. Under Auto mode an index-probe-shaped filter on an indexed
+/// column falls back, preserving the probe path (the kernel would rescan
+/// the whole table). Returns `Ok(None)` to fall back.
+fn compile_sort_source(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Option<ColSortSource>> {
+    let (inner, proj) = match plan {
+        Plan::Project { input, exprs } => {
+            let mut cols = Vec::with_capacity(exprs.len());
+            for e in exprs {
+                match e {
+                    BExpr::Col(i) => cols.push(*i),
+                    _ => return Ok(None),
+                }
+            }
+            (input.as_ref(), Some(cols))
+        }
+        _ => (plan, None),
+    };
+    let (table, scan_filter, extra_filter) = match inner {
+        Plan::Scan { table, filter, .. } => (table, filter.as_ref(), None),
+        Plan::Filter { input, predicate } => match input.as_ref() {
+            Plan::Scan { table, filter, .. } => (table, filter.as_ref(), Some(predicate)),
+            _ => return Ok(None),
+        },
+        _ => return Ok(None),
+    };
+    let t = ctx.db.table(table)?;
+    let t = t.read();
+    if ctx.opts.columnar != ColumnarMode::Force {
+        if let Some(f) = scan_filter {
+            if let Some((col, _)) = index_probe_key(f) {
+                if t.indexes.contains_key(&col) {
+                    return Ok(None);
+                }
+            }
+        }
+    }
+    let Some(ct) = t.columnar() else {
+        return Ok(None);
+    };
+    let Some(pred) = compile_side_pred(scan_filter, extra_filter) else {
+        return Ok(None);
+    };
+    // Arc snapshot: the kernel runs without the table lock.
+    drop(t);
+    Ok(Some(ColSortSource {
+        table: ct,
+        pred,
+        proj,
+    }))
+}
+
+/// Short-circuits `Limit` directly over a (possibly filtered) base-table
+/// scan: stop producing rows after `n` matches instead of materializing
+/// the full filter result. Both the row loop and the columnar kernel emit
+/// the first `n` matches in table order, so the prefix is identical
+/// across paths. Index-probe-shaped filters fall back under Auto (probe
+/// output order differs from table order), as do shapes the kernels
+/// can't express. Returns `Ok(None)` to fall back.
+fn try_limited_input(
+    input: &Plan,
+    n: usize,
+    node: usize,
+    ctx: &ExecCtx<'_>,
+    outer: Option<&[Value]>,
+) -> Result<Option<Vec<Row>>> {
+    // Peel a plain-column Project (the binder always emits one over the
+    // scan); the projection is applied to the surviving `n` rows below.
+    let (inner, proj) = match input {
+        Plan::Project { input, exprs } => {
+            let mut cols = Vec::with_capacity(exprs.len());
+            for e in exprs {
+                match e {
+                    BExpr::Col(i) => cols.push(*i),
+                    _ => return Ok(None),
+                }
+            }
+            (input.as_ref(), Some(cols))
+        }
+        _ => (input, None),
+    };
+    let (table, scan_filter, extra_filter) = match inner {
+        Plan::Scan { table, filter, .. } => (table, filter.as_ref(), None),
+        Plan::Filter { input, predicate } => match input.as_ref() {
+            Plan::Scan { table, filter, .. } => (table, filter.as_ref(), Some(predicate)),
+            _ => return Ok(None),
+        },
+        _ => return Ok(None),
+    };
+    let t = ctx.db.table(table)?;
+    let t = t.read();
+    let mode = ctx.opts.columnar;
+    if mode != ColumnarMode::Force {
+        if let Some(f) = scan_filter {
+            if let Some((col, _)) = index_probe_key(f) {
+                if t.indexes.contains_key(&col) {
+                    return Ok(None);
+                }
+            }
+        }
+    }
+    let project = |rows: Vec<Row>| -> Vec<Row> {
+        match &proj {
+            None => rows,
+            Some(cols) => rows
+                .into_iter()
+                .map(|r| cols.iter().map(|&c| r[c].clone()).collect())
+                .collect(),
+        }
+    };
+    if mode != ColumnarMode::Off {
+        if let Some(ct) = t.columnar() {
+            if let Some(pred) = compile_side_pred(scan_filter, extra_filter) {
+                drop(t);
+                let (rows, cs) =
+                    tpcds_storage::par_filter_limit(&ct, pred.as_ref(), n, ctx.threads());
+                ctx.record_columnar(node, &cs);
+                return Ok(Some(project(rows)));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for row in &t.rows {
+        if out.len() >= n {
+            break;
+        }
+        let keep = match (scan_filter, extra_filter) {
+            (None, None) => true,
+            (Some(f), None) | (None, Some(f)) => f.matches(row, ctx, outer)?,
+            (Some(a), Some(b)) => a.matches(row, ctx, outer)? && b.matches(row, ctx, outer)?,
+        };
+        if keep {
+            out.push(row.clone());
+        }
+    }
+    Ok(Some(project(out)))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1406,14 +1648,43 @@ fn fold_window(f: WinFunc, vals: &[Value]) -> Result<Value> {
 
 // ---------- sorting ----------
 
-/// Sorts rows by the given keys. NULLs sort first on ascending keys and
-/// last on descending keys.
+/// Sorts rows stably by the given keys.
+///
+/// NULL ordering matches [`cmp_keys`] / [`Value::sort_cmp`]: NULL ranks
+/// below every non-NULL value, so NULLs sort **first on ascending keys
+/// and last on descending keys** (descending reverses the whole
+/// comparison, rank included). The parallel kernels in `tpcds-storage`
+/// pin the same placement, so every sort path agrees byte-for-byte.
 pub fn sort_rows(
     rows: Vec<Row>,
     keys: &[(BExpr, bool)],
     ctx: &ExecCtx<'_>,
     outer: Option<&[Value]>,
 ) -> Result<Vec<Row>> {
+    // Fast path: every key is a plain column reference — compare row
+    // slots in place (still stable) instead of materializing a key vector
+    // per row through the expression evaluator.
+    let plain: Option<Vec<(usize, bool)>> = keys
+        .iter()
+        .map(|(e, desc)| match e {
+            BExpr::Col(i) => Some((*i, *desc)),
+            _ => None,
+        })
+        .collect();
+    if let Some(cols) = plain {
+        let mut rows = rows;
+        rows.sort_by(|a, b| {
+            for &(c, desc) in &cols {
+                let ord = a[c].sort_cmp(&b[c]);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        return Ok(rows);
+    }
     let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
     for row in rows {
         let mut k = Vec::with_capacity(keys.len());

@@ -200,6 +200,136 @@ pub fn optimize(plan: Plan, db: &Database) -> Plan {
     tree
 }
 
+/// Fuses `Limit`-over-`Sort` into a [`Plan::TopN`] node, recursing
+/// through the whole tree (subquery bodies live inside expressions and
+/// are left alone — they rarely carry ORDER BY + LIMIT). A `Prefix`
+/// between the two (hidden sort columns) commutes with the fusion:
+/// `Limit(Prefix(Sort))` becomes `Prefix(TopN)`, since `Prefix` only
+/// drops trailing columns row-by-row.
+///
+/// Applied by the binder after planning (and skipped by
+/// `without_optimizer`, so the ablation study measures the unfused tail).
+pub fn fuse_topn(plan: Plan) -> Plan {
+    fn unwrap(p: Arc<Plan>) -> Plan {
+        Arc::try_unwrap(p).unwrap_or_else(|a| a.as_ref().clone())
+    }
+    fn recurse(p: Arc<Plan>) -> Arc<Plan> {
+        Arc::new(fuse_topn(unwrap(p)))
+    }
+    match plan {
+        Plan::Limit { input, n } => match unwrap(input) {
+            Plan::Sort { input, keys } => Plan::TopN {
+                input: recurse(input),
+                keys,
+                n,
+            },
+            Plan::Prefix { input, keep } => match unwrap(input) {
+                Plan::Sort { input, keys } => Plan::Prefix {
+                    input: Arc::new(Plan::TopN {
+                        input: recurse(input),
+                        keys,
+                        n,
+                    }),
+                    keep,
+                },
+                other => Plan::Limit {
+                    input: Arc::new(Plan::Prefix {
+                        input: Arc::new(fuse_topn(other)),
+                        keep,
+                    }),
+                    n,
+                },
+            },
+            other => Plan::Limit {
+                input: Arc::new(fuse_topn(other)),
+                n,
+            },
+        },
+        Plan::Scan { .. } => plan,
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: recurse(input),
+            predicate,
+        },
+        Plan::Project { input, exprs } => Plan::Project {
+            input: recurse(input),
+            exprs,
+        },
+        Plan::HashJoin {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+        } => Plan::HashJoin {
+            left: recurse(left),
+            right: recurse(right),
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+        },
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            kind,
+            predicate,
+        } => Plan::NestedLoopJoin {
+            left: recurse(left),
+            right: recurse(right),
+            kind,
+            predicate,
+        },
+        Plan::Aggregate {
+            input,
+            groups,
+            sets,
+            aggs,
+        } => Plan::Aggregate {
+            input: recurse(input),
+            groups,
+            sets,
+            aggs,
+        },
+        Plan::Window { input, calls } => Plan::Window {
+            input: recurse(input),
+            calls,
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: recurse(input),
+            keys,
+        },
+        Plan::TopN { input, keys, n } => Plan::TopN {
+            input: recurse(input),
+            keys,
+            n,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: recurse(input),
+        },
+        Plan::SetOp {
+            left,
+            right,
+            op,
+            all,
+        } => Plan::SetOp {
+            left: recurse(left),
+            right: recurse(right),
+            op,
+            all,
+        },
+        Plan::CteRef { id, plan, width } => Plan::CteRef {
+            id,
+            plan: recurse(plan),
+            width,
+        },
+        Plan::Prefix { input, keep } => Plan::Prefix {
+            input: recurse(input),
+            keep,
+        },
+    }
+}
+
 /// Flattens inner cross-join chains and filters.
 fn flatten(plan: Plan, relations: &mut Vec<Plan>, conjuncts: &mut Vec<BExpr>) {
     match plan {

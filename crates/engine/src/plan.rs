@@ -173,6 +173,18 @@ pub enum Plan {
         /// descending.
         keys: Vec<(BExpr, bool)>,
     },
+    /// Fused Sort + Limit (the `ORDER BY … LIMIT n` template tail),
+    /// produced by the optimizer rewrite [`crate::optimizer::fuse_topn`].
+    /// Equivalent to a stable sort by `keys` followed by `LIMIT n`, but
+    /// executable with bounded per-worker heaps.
+    TopN {
+        /// Input.
+        input: Arc<Plan>,
+        /// (key, descending) pairs, as in [`Plan::Sort`].
+        keys: Vec<(BExpr, bool)>,
+        /// Maximum rows.
+        n: u64,
+    },
     /// Row-count limit.
     Limit {
         /// Input.
@@ -224,6 +236,7 @@ impl Plan {
             Plan::Scan { width, .. } => *width,
             Plan::Filter { input, .. }
             | Plan::Sort { input, .. }
+            | Plan::TopN { input, .. }
             | Plan::Limit { input, .. }
             | Plan::Distinct { input } => input.width(),
             Plan::Project { exprs, .. } => exprs.len(),
@@ -298,6 +311,7 @@ impl Plan {
             ),
             Plan::Window { calls, .. } => format!("Window [{} call(s)]", calls.len()),
             Plan::Sort { keys, .. } => format!("Sort [{} key(s)]", keys.len()),
+            Plan::TopN { keys, n, .. } => format!("TopN {n} [{} key(s)]", keys.len()),
             Plan::Limit { n, .. } => format!("Limit {n}"),
             Plan::Distinct { .. } => "Distinct".to_string(),
             Plan::SetOp { op, all, .. } => format!("SetOp {op:?} all={all}"),
@@ -315,6 +329,7 @@ impl Plan {
             | Plan::Aggregate { input, .. }
             | Plan::Window { input, .. }
             | Plan::Sort { input, .. }
+            | Plan::TopN { input, .. }
             | Plan::Limit { input, .. }
             | Plan::Distinct { input }
             | Plan::Prefix { input, .. } => vec![input],
@@ -346,6 +361,18 @@ impl Plan {
                         columnar.push_str(&format!(
                             " build_bytes={}",
                             tpcds_obs::mem::fmt_bytes(s.build_bytes)
+                        ));
+                    }
+                    // Sort/Top-N kernel actuals. A Top-N that ran the
+                    // kernel always reports its heap occupancy and prune
+                    // count, even when both are 0 (LIMIT 0).
+                    if s.merge_ways > 0 {
+                        columnar.push_str(&format!(" merge_ways={}", s.merge_ways));
+                    }
+                    if matches!(self, Plan::TopN { .. }) && s.workers > 0 {
+                        columnar.push_str(&format!(
+                            " heap_rows={} pruned={}",
+                            s.heap_rows, s.pruned_rows
                         ));
                     }
                     // mem_peak needs the counting allocator installed in

@@ -66,11 +66,36 @@ fn scan_filter_sort_project_limit_carry_actuals() {
     let (n, plan) = analyze(&db, "select a from t where a >= 10 order by a desc limit 3");
     assert_eq!(n, 3);
     assert_eq!(root_rows(&plan), 3, "{plan}");
-    assert_eq!(op_rows(&plan, "Limit"), vec![3], "{plan}");
+    // Limit-over-Sort fuses into one TopN node producing the final 3 rows.
+    assert_eq!(op_rows(&plan, "TopN"), vec![3], "{plan}");
+    assert!(op_rows(&plan, "Limit").is_empty(), "{plan}");
+    assert!(op_rows(&plan, "Sort").is_empty(), "{plan}");
     // The filter is pushed into the scan: 10 of 20 rows survive it.
     assert_eq!(op_rows(&plan, "Scan t [filtered]"), vec![10], "{plan}");
-    assert_eq!(op_rows(&plan, "Sort"), vec![10], "{plan}");
     assert!(plan.contains("loops=1"), "{plan}");
+}
+
+#[test]
+fn topn_reports_heap_and_pruning_actuals() {
+    let db = db_with("t", &["a", "b"], (0..100).map(|i| vec![i, i * 7]).collect());
+    let (n, plan) = analyze(&db, "select a from t order by b desc limit 5");
+    assert_eq!(n, 5);
+    // The parallel Top-N kernel ran (the rows-path kernel when no shadow
+    // is attached): heap occupancy and pruned-row actuals must render.
+    assert!(plan.contains("heap_rows="), "{plan}");
+    assert!(plan.contains("pruned="), "{plan}");
+}
+
+#[test]
+fn bare_limit_short_circuits_the_scan() {
+    let db = db_with("t", &["a"], (0..50).map(|i| vec![i]).collect());
+    // Not via analyze(): the short-circuit path absorbs the scan into the
+    // Limit node, so the scan line legitimately reads "(never executed)".
+    let a = tpcds_engine::query_analyze(&db, "select a from t where a >= 10 limit 4").unwrap();
+    assert_eq!(a.result.rows.len(), 4);
+    let plan = &a.plan_text;
+    assert_eq!(op_rows(plan, "Limit"), vec![4], "{plan}");
+    assert!(plan.contains("never executed"), "{plan}");
 }
 
 #[test]

@@ -60,6 +60,7 @@ fn count_nodes(plan: &Plan, pred: &impl Fn(&Plan) -> bool) -> usize {
         Plan::Filter { input, .. }
         | Plan::Project { input, .. }
         | Plan::Sort { input, .. }
+        | Plan::TopN { input, .. }
         | Plan::Limit { input, .. }
         | Plan::Distinct { input }
         | Plan::Window { input, .. }
@@ -179,6 +180,72 @@ fn subquery_predicates_stay_above_joins() {
     // avg(d2_attr) = (0..10)*3 avg = 13.5 -> f_v > 27; d2_attr = 9 -> d2_id 3 -> f_d2 = 3
     // fact rows with i % 10 == 3 and i > 27: i in {33, 43, ..., 4993}
     assert_eq!(r.rows[0][0], Value::Int(497));
+}
+
+#[test]
+fn limit_over_sort_fuses_to_topn() {
+    let db = star_db();
+    let bound = plan_sql(&db, "select f_v from fact order by f_v desc limit 7").unwrap();
+    assert_eq!(
+        count_nodes(&bound.plan, &|p| matches!(p, Plan::TopN { .. })),
+        1,
+        "{}",
+        bound.plan.explain()
+    );
+    assert_eq!(
+        count_nodes(&bound.plan, &|p| matches!(
+            p,
+            Plan::Sort { .. } | Plan::Limit { .. }
+        )),
+        0,
+        "Sort and Limit should both be fused away:\n{}",
+        bound.plan.explain()
+    );
+}
+
+#[test]
+fn limit_over_prefix_over_sort_fuses_to_topn_under_prefix() {
+    // ORDER BY a non-projected column forces a Prefix between Limit and
+    // Sort; the fusion must commute through it.
+    let db = star_db();
+    let bound = plan_sql(&db, "select f_v from fact order by f_d1 limit 7").unwrap();
+    let text = bound.plan.explain();
+    assert_eq!(
+        count_nodes(&bound.plan, &|p| matches!(p, Plan::TopN { .. })),
+        1,
+        "{text}"
+    );
+    assert_eq!(
+        count_nodes(&bound.plan, &|p| matches!(
+            p,
+            Plan::Sort { .. } | Plan::Limit { .. }
+        )),
+        0,
+        "{text}"
+    );
+    assert_eq!(
+        count_nodes(&bound.plan, &|p| matches!(p, Plan::Prefix { .. })),
+        1,
+        "{text}"
+    );
+}
+
+#[test]
+fn sort_without_limit_does_not_fuse() {
+    let db = star_db();
+    let bound = plan_sql(&db, "select f_v from fact order by f_v").unwrap();
+    assert_eq!(
+        count_nodes(&bound.plan, &|p| matches!(p, Plan::TopN { .. })),
+        0,
+        "{}",
+        bound.plan.explain()
+    );
+    assert_eq!(
+        count_nodes(&bound.plan, &|p| matches!(p, Plan::Sort { .. })),
+        1,
+        "{}",
+        bound.plan.explain()
+    );
 }
 
 #[test]

@@ -24,13 +24,15 @@ pub mod join;
 pub mod morsel;
 pub mod pred;
 pub mod segment;
+pub mod sort;
 
 pub use agg::{AggKind, AggSpec};
 pub use column::{Bitmap, Column, ColumnData};
 pub use join::{par_hash_join, par_hash_join_agg, JoinStats, JoinType};
-pub use morsel::{par_aggregate, par_filter, ScanStats, MORSEL_ROWS};
+pub use morsel::{par_aggregate, par_filter, par_filter_limit, ScanStats, MORSEL_ROWS};
 pub use pred::{CmpKind, Pred};
 pub use segment::{ColumnTable, ColumnTableBuilder, Segment, SEGMENT_ROWS};
+pub use sort::{par_sort, par_sort_rows, par_topn, par_topn_rows, SortKey, SortStats};
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};

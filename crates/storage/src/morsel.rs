@@ -165,6 +165,66 @@ pub fn par_filter(
     (out, stats)
 }
 
+/// Filters the table through the (optional) predicate, stopping as soon
+/// as `limit` passing rows have been collected. Morsels are visited **in
+/// table order on the calling thread** — the short-circuit needs ordered
+/// early exit, and a `LIMIT n` over a scan touches so few morsels that
+/// worker fan-out would cost more than it saves. Output is exactly the
+/// first `limit` rows [`par_filter`] would produce. `rows_scanned` and
+/// `bytes` in the returned stats count only what was actually visited.
+pub fn par_filter_limit(
+    table: &ColumnTable,
+    pred: Option<&Pred>,
+    limit: usize,
+    threads: usize,
+) -> (Vec<Row>, ScanStats) {
+    let _ = threads; // ordered early exit is inherently serial
+    let morsels = morsels_of(table);
+    let _span = tpcds_obs::span("storage", "scan_worker")
+        .field("worker", 0usize)
+        .field("limit", limit);
+    let mut out = Vec::with_capacity(limit.min(INLINE_ROWS));
+    let mut sel = Vec::new();
+    let mut visited = 0u64;
+    let mut scanned = 0u64;
+    let mut bytes = 0u64;
+    for &(si, off, len) in &morsels {
+        if out.len() >= limit {
+            break;
+        }
+        visited += 1;
+        scanned += len as u64;
+        let seg = &table.segments[si];
+        bytes += (seg.bytes * len / seg.rows.max(1)) as u64;
+        match pred {
+            None => {
+                let take = len.min(limit - out.len());
+                out.extend((off..off + take).map(|i| seg.row(i)));
+            }
+            Some(p) => {
+                p.eval(seg, off, len, &mut sel);
+                for (j, &s) in sel.iter().enumerate() {
+                    if s == P_TRUE {
+                        out.push(seg.row(off + j));
+                        if out.len() >= limit {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let stats = ScanStats {
+        morsels: visited,
+        workers: 1,
+        rows_scanned: scanned,
+        rows_out: out.len() as u64,
+        bytes,
+    };
+    emit_counters(&stats);
+    (out, stats)
+}
+
 fn filter_morsel(
     table: &ColumnTable,
     si: usize,
@@ -416,6 +476,28 @@ mod tests {
         // Result really is table order.
         let ids: Vec<i64> = serial.iter().map(|r| r[0].as_int().unwrap()).collect();
         assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn filter_limit_is_a_prefix_of_the_full_filter() {
+        let t = table();
+        let pred = Pred::Cmp(CmpKind::Lt, 1, Value::Int(3));
+        let (full, _) = par_filter(&t, Some(&pred), 1);
+        for limit in [0, 1, 100, full.len(), full.len() + 10] {
+            let (prefix, stats) = par_filter_limit(&t, Some(&pred), limit, 8);
+            assert_eq!(prefix, full[..limit.min(full.len())], "limit={limit}");
+            if limit <= MORSEL_ROWS {
+                assert!(
+                    stats.rows_scanned < t.rows as u64,
+                    "limit={limit} should short-circuit: {stats:?}"
+                );
+            }
+        }
+        // Unfiltered: the first rows of the table, without a full scan.
+        let (prefix, stats) = par_filter_limit(&t, None, 10, 8);
+        let ids: Vec<i64> = prefix.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+        assert_eq!(stats.morsels, 1);
     }
 
     #[test]

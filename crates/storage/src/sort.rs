@@ -1,0 +1,965 @@
+//! Morsel-driven parallel Top-N and full sort.
+//!
+//! Every TPC-DS template ends in `ORDER BY … LIMIT 100`, so the ordering
+//! tail must scale like the scan/join/aggregate kernels. Two strategies:
+//!
+//! * **Top-N** ([`par_topn`] / [`par_topn_rows`]): each worker keeps a
+//!   bounded heap of the best `limit` entries seen across the morsels it
+//!   pulls; heaps merge commutatively at the end (concatenate + sort +
+//!   truncate). Rows that never displace a heap entry are pruned without
+//!   ever being materialized.
+//! * **Full sort** ([`par_sort`] / [`par_sort_rows`]): each morsel becomes
+//!   one sorted run in parallel; a serial k-way merge zips the runs.
+//!
+//! Determinism: entries compare by encoded/extracted key first and by
+//! **global row index** on ties, which is a total order — so any worker
+//! count (and any morsel arrival order) produces exactly the bytes a
+//! stable serial sort of the input would. Sort-key comparison mirrors
+//! `Value::sort_cmp` (NULLs first ascending, last descending); dense
+//! `i64`/date key columns are encoded into order-preserving `u64` words
+//! compared memcmp-style, everything else falls back to the
+//! [`Value`]-comparator path.
+
+use crate::column::ColumnData;
+use crate::morsel::{detail_enabled, morsels_of, worker_count, MORSEL_ROWS};
+use crate::pred::{Pred, P_TRUE};
+use crate::segment::{ColumnTable, Segment, SEGMENT_ROWS};
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+use tpcds_types::{Row, Value};
+
+/// One sort key: a column index plus direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SortKey {
+    /// Column index into the (projected) row.
+    pub col: usize,
+    /// Descending order.
+    pub desc: bool,
+}
+
+/// What one sort/Top-N kernel invocation did — surfaced in obs counters
+/// and the engine's EXPLAIN ANALYZE output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SortStats {
+    /// Morsels processed.
+    pub morsels: u64,
+    /// Workers that ran (1 for inline execution).
+    pub workers: u64,
+    /// Rows that qualified (passed the predicate) and were offered to the
+    /// sort.
+    pub rows_in: u64,
+    /// Rows produced.
+    pub rows_out: u64,
+    /// Sorted runs fed to the k-way merge (0 for Top-N).
+    pub merge_ways: u64,
+    /// Total entries held across all per-worker Top-N heaps at the merge
+    /// point (0 for full sort).
+    pub heap_rows: u64,
+    /// Qualifying rows the bounded heaps rejected without materializing
+    /// (0 for full sort).
+    pub pruned_rows: u64,
+}
+
+/// One candidate row: its sort key plus the global row index that breaks
+/// ties (making the comparison a total order — the determinism argument).
+struct Entry {
+    key: Key,
+    gid: usize,
+}
+
+/// A per-row sort key. One kernel invocation uses a single variant for
+/// every row, decided up front by [`encodable`].
+enum Key {
+    /// Order-preserving `u64` words, two per sort key (null rank, then
+    /// value), direction folded in by bitwise inversion. Compared
+    /// memcmp-style.
+    Enc(Vec<u64>),
+    /// Extracted values compared with [`Value::sort_cmp`] per key.
+    Val(Vec<Value>),
+}
+
+fn cmp_vals(a: &[Value], b: &[Value], keys: &[SortKey]) -> Ordering {
+    for (i, k) in keys.iter().enumerate() {
+        let ord = a[i].sort_cmp(&b[i]);
+        let ord = if k.desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+fn cmp_entries(a: &Entry, b: &Entry, keys: &[SortKey]) -> Ordering {
+    let ord = match (&a.key, &b.key) {
+        (Key::Enc(x), Key::Enc(y)) => x.cmp(y),
+        (Key::Val(x), Key::Val(y)) => cmp_vals(x, y, keys),
+        // One invocation never mixes variants.
+        _ => Ordering::Equal,
+    };
+    ord.then(a.gid.cmp(&b.gid))
+}
+
+/// Whether every key column is a dense fixed-width buffer in every
+/// segment, so keys can be encoded as order-preserving `u64` words.
+/// Variable-length strings and scale-carrying decimals keep the value
+/// comparator.
+fn encodable(table: &ColumnTable, keys: &[SortKey]) -> bool {
+    table.segments.iter().all(|s| {
+        keys.iter().all(|k| {
+            matches!(
+                s.columns[k.col].data,
+                ColumnData::I64(_) | ColumnData::Date(_)
+            )
+        })
+    })
+}
+
+/// Builds the key for row `i` of `seg`. Encoded form: per key a null-rank
+/// word (NULL = 0, so NULLs sort first ascending — matching
+/// `Value::sort_cmp`) then a sign-flipped value word; descending keys
+/// invert both words, which reverses their order (and puts NULLs last).
+fn key_of(seg: &Segment, i: usize, keys: &[SortKey], enc: bool) -> Key {
+    if enc {
+        let mut words = Vec::with_capacity(keys.len() * 2);
+        for k in keys {
+            let col = &seg.columns[k.col];
+            let (mut rank, mut word) = if col.nulls.get(i) {
+                (0u64, 0u64)
+            } else {
+                let raw = match &col.data {
+                    ColumnData::I64(buf) => buf[i],
+                    ColumnData::Date(buf) => buf[i].day_number() as i64,
+                    // `encodable` checked every segment.
+                    _ => unreachable!("non-encodable key column"),
+                };
+                (1u64, (raw as u64) ^ (1u64 << 63))
+            };
+            if k.desc {
+                rank = !rank;
+                word = !word;
+            }
+            words.push(rank);
+            words.push(word);
+        }
+        Key::Enc(words)
+    } else {
+        Key::Val(
+            keys.iter()
+                .map(|k| seg.columns[k.col].value_at(i))
+                .collect(),
+        )
+    }
+}
+
+/// Builds the (always value-form) key for one materialized row.
+fn key_of_row(row: &Row, keys: &[SortKey]) -> Key {
+    Key::Val(keys.iter().map(|k| row[k.col].clone()).collect())
+}
+
+/// Materializes the (optionally projected) row behind a global row index.
+fn materialize(table: &ColumnTable, gid: usize, proj: Option<&[usize]>) -> Row {
+    let seg = &table.segments[gid / SEGMENT_ROWS];
+    let i = gid % SEGMENT_ROWS;
+    match proj {
+        None => seg.row(i),
+        Some(cols) => cols.iter().map(|&c| seg.columns[c].value_at(i)).collect(),
+    }
+}
+
+// ---------- bounded heap (Top-N) ----------
+
+/// Offers an entry to a bounded worst-at-root heap of capacity `cap`.
+/// Returns whether the entry was kept.
+fn heap_offer(heap: &mut Vec<Entry>, cap: usize, e: Entry, keys: &[SortKey]) -> bool {
+    if cap == 0 {
+        return false;
+    }
+    if heap.len() < cap {
+        heap.push(e);
+        let last = heap.len() - 1;
+        sift_up(heap, last, keys);
+        return true;
+    }
+    if cmp_entries(&e, &heap[0], keys) == Ordering::Less {
+        heap[0] = e;
+        sift_down(heap, 0, keys);
+        return true;
+    }
+    false
+}
+
+fn sift_up(heap: &mut [Entry], mut i: usize, keys: &[SortKey]) {
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if cmp_entries(&heap[i], &heap[parent], keys) == Ordering::Greater {
+            heap.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+fn sift_down(heap: &mut [Entry], mut i: usize, keys: &[SortKey]) {
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut biggest = i;
+        if l < heap.len() && cmp_entries(&heap[l], &heap[biggest], keys) == Ordering::Greater {
+            biggest = l;
+        }
+        if r < heap.len() && cmp_entries(&heap[r], &heap[biggest], keys) == Ordering::Greater {
+            biggest = r;
+        }
+        if biggest == i {
+            break;
+        }
+        heap.swap(i, biggest);
+        i = biggest;
+    }
+}
+
+// ---------- k-way merge (full sort) ----------
+
+/// One sorted run being consumed by the merge.
+struct RunCursor {
+    head: Option<Entry>,
+    rest: std::vec::IntoIter<Entry>,
+}
+
+/// Merges sorted runs into one sorted sequence with a min-heap of run
+/// cursors. Entry comparison is a total order (gid tie-break), so the
+/// output is independent of run arrival order.
+fn kway_merge(runs: Vec<Vec<Entry>>, keys: &[SortKey]) -> Vec<Entry> {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut cursors: Vec<RunCursor> = runs
+        .into_iter()
+        .filter_map(|r| {
+            let mut rest = r.into_iter();
+            rest.next().map(|head| RunCursor {
+                head: Some(head),
+                rest,
+            })
+        })
+        .collect();
+    let less = |cursors: &[RunCursor], a: usize, b: usize| {
+        let (ha, hb) = (
+            cursors[a].head.as_ref().expect("live cursor"),
+            cursors[b].head.as_ref().expect("live cursor"),
+        );
+        cmp_entries(ha, hb, keys) == Ordering::Less
+    };
+    let sift = |heap: &mut [usize], cursors: &[RunCursor], mut i: usize| loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut smallest = i;
+        if l < heap.len() && less(cursors, heap[l], heap[smallest]) {
+            smallest = l;
+        }
+        if r < heap.len() && less(cursors, heap[r], heap[smallest]) {
+            smallest = r;
+        }
+        if smallest == i {
+            break;
+        }
+        heap.swap(i, smallest);
+        i = smallest;
+    };
+
+    let mut heap: Vec<usize> = (0..cursors.len()).collect();
+    for i in (0..heap.len() / 2).rev() {
+        sift(&mut heap, &cursors, i);
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(&top) = heap.first() {
+        let next = cursors[top].rest.next();
+        let done = std::mem::replace(&mut cursors[top].head, next);
+        out.push(done.expect("live cursor"));
+        if cursors[top].head.is_none() {
+            let last = heap.pop().expect("non-empty heap");
+            if !heap.is_empty() {
+                heap[0] = last;
+            }
+        }
+        if !heap.is_empty() {
+            sift(&mut heap, &cursors, 0);
+        }
+    }
+    out
+}
+
+// ---------- observability ----------
+
+fn emit_counters(stats: &SortStats, topn: bool) {
+    if !tpcds_obs::is_enabled() {
+        return;
+    }
+    let w = [("workers", tpcds_obs::FieldValue::Int(stats.workers as i64))];
+    tpcds_obs::counter("storage", "sort.rows", stats.rows_in as f64, &w);
+    if topn {
+        tpcds_obs::counter("storage", "topn.heap_peak", stats.heap_rows as f64, &w);
+        tpcds_obs::counter("storage", "topn.pruned_rows", stats.pruned_rows as f64, &w);
+    } else {
+        tpcds_obs::counter("storage", "sort.merge_ways", stats.merge_ways as f64, &w);
+    }
+}
+
+// ---------- Top-N over a column table ----------
+
+/// What one Top-N worker hands back for the commutative merge.
+struct TopNPart {
+    entries: Vec<Entry>,
+    qualifying: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn topn_worker(
+    w: usize,
+    cursor: &AtomicUsize,
+    table: &ColumnTable,
+    morsels: &[(usize, usize, usize)],
+    pred: Option<&Pred>,
+    keys: &[SortKey],
+    enc: bool,
+    limit: usize,
+) -> TopNPart {
+    let mut span = tpcds_obs::span("storage", "topn_worker").field("worker", w);
+    let detail = tpcds_obs::is_enabled() && detail_enabled();
+    let mut heap: Vec<Entry> = Vec::with_capacity(limit.min(4096));
+    let mut qualifying = 0u64;
+    let mut sel = Vec::new();
+    let mut done = 0usize;
+    loop {
+        let m = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+        if m >= morsels.len() {
+            break;
+        }
+        let _detail_span = detail.then(|| {
+            tpcds_obs::span("storage", "topn_morsel")
+                .field("worker", w)
+                .field("morsel", m)
+        });
+        let (si, off, len) = morsels[m];
+        let seg = &table.segments[si];
+        let sel_slice: Option<&[u8]> = match pred {
+            None => None,
+            Some(p) => {
+                p.eval(seg, off, len, &mut sel);
+                Some(sel.as_slice())
+            }
+        };
+        for j in 0..len {
+            if let Some(s) = sel_slice {
+                if s[j] != P_TRUE {
+                    continue;
+                }
+            }
+            qualifying += 1;
+            let i = off + j;
+            let gid = si * SEGMENT_ROWS + i;
+            heap_offer(
+                &mut heap,
+                limit,
+                Entry {
+                    key: key_of(seg, i, keys, enc),
+                    gid,
+                },
+                keys,
+            );
+        }
+        done += 1;
+    }
+    span.add_field("morsels", done);
+    TopNPart {
+        entries: heap,
+        qualifying,
+    }
+}
+
+/// Parallel Top-N over an optionally filtered, optionally projected
+/// column table: the first `limit` rows of the table (in table order
+/// after filtering) under a stable sort by `keys`.
+///
+/// `keys` index the **projected** row when `proj` is given. Output is
+/// byte-identical at any worker count: entries order by (key, global row
+/// index), a total order, and the heap merge is a full sort of the union
+/// of the per-worker survivors.
+pub fn par_topn(
+    table: &ColumnTable,
+    pred: Option<&Pred>,
+    keys: &[SortKey],
+    proj: Option<&[usize]>,
+    limit: usize,
+    threads: usize,
+) -> (Vec<Row>, SortStats) {
+    // Keys address the projected row; rebase onto physical columns.
+    let phys: Vec<SortKey> = rebase(keys, proj);
+    let keys = phys.as_slice();
+    let morsels = morsels_of(table);
+    let workers = worker_count(table.rows, threads, morsels.len());
+    let enc = encodable(table, keys);
+
+    let cursor = AtomicUsize::new(0);
+    let parts: Vec<TopNPart> = if workers <= 1 {
+        vec![topn_worker(
+            0, &cursor, table, &morsels, pred, keys, enc, limit,
+        )]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let cursor = &cursor;
+                    let morsels = &morsels;
+                    s.spawn(move || topn_worker(w, cursor, table, morsels, pred, keys, enc, limit))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+
+    let qualifying: u64 = parts.iter().map(|p| p.qualifying).sum();
+    let heap_rows: u64 = parts.iter().map(|p| p.entries.len() as u64).sum();
+    let mut entries: Vec<Entry> = Vec::with_capacity(heap_rows as usize);
+    for p in parts {
+        entries.extend(p.entries);
+    }
+    entries.sort_unstable_by(|a, b| cmp_entries(a, b, keys));
+    entries.truncate(limit);
+
+    let rows: Vec<Row> = entries
+        .iter()
+        .map(|e| materialize(table, e.gid, proj))
+        .collect();
+    let stats = SortStats {
+        morsels: morsels.len() as u64,
+        workers: workers as u64,
+        rows_in: qualifying,
+        rows_out: rows.len() as u64,
+        merge_ways: 0,
+        heap_rows,
+        pruned_rows: qualifying - heap_rows,
+    };
+    emit_counters(&stats, true);
+    (rows, stats)
+}
+
+// ---------- full sort over a column table ----------
+
+#[allow(clippy::too_many_arguments)]
+fn sort_run_worker(
+    w: usize,
+    cursor: &AtomicUsize,
+    table: &ColumnTable,
+    morsels: &[(usize, usize, usize)],
+    pred: Option<&Pred>,
+    keys: &[SortKey],
+    enc: bool,
+    slots: &[Mutex<Vec<Entry>>],
+) {
+    let mut span = tpcds_obs::span("storage", "sort_worker").field("worker", w);
+    let detail = tpcds_obs::is_enabled() && detail_enabled();
+    let mut sel = Vec::new();
+    let mut done = 0usize;
+    loop {
+        let m = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+        if m >= morsels.len() {
+            break;
+        }
+        let _detail_span = detail.then(|| {
+            tpcds_obs::span("storage", "sort_morsel")
+                .field("worker", w)
+                .field("morsel", m)
+        });
+        let (si, off, len) = morsels[m];
+        let seg = &table.segments[si];
+        let sel_slice: Option<&[u8]> = match pred {
+            None => None,
+            Some(p) => {
+                p.eval(seg, off, len, &mut sel);
+                Some(sel.as_slice())
+            }
+        };
+        let mut run = Vec::new();
+        for j in 0..len {
+            if let Some(s) = sel_slice {
+                if s[j] != P_TRUE {
+                    continue;
+                }
+            }
+            let i = off + j;
+            run.push(Entry {
+                key: key_of(seg, i, keys, enc),
+                gid: si * SEGMENT_ROWS + i,
+            });
+        }
+        run.sort_unstable_by(|a, b| cmp_entries(a, b, keys));
+        *slots[m].lock().unwrap() = run;
+        done += 1;
+    }
+    span.add_field("morsels", done);
+}
+
+/// Parallel full sort over an optionally filtered, optionally projected
+/// column table: per-morsel sorted runs in parallel, then a serial k-way
+/// merge. Byte-identical at any worker count (total entry order, and run
+/// `m` always holds morsel `m`'s rows regardless of which worker sorted
+/// it). `keys` index the projected row when `proj` is given.
+pub fn par_sort(
+    table: &ColumnTable,
+    pred: Option<&Pred>,
+    keys: &[SortKey],
+    proj: Option<&[usize]>,
+    threads: usize,
+) -> (Vec<Row>, SortStats) {
+    let phys: Vec<SortKey> = rebase(keys, proj);
+    let keys = phys.as_slice();
+    let morsels = morsels_of(table);
+    let workers = worker_count(table.rows, threads, morsels.len());
+    let enc = encodable(table, keys);
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Vec<Entry>>> =
+        (0..morsels.len()).map(|_| Mutex::new(Vec::new())).collect();
+    if workers <= 1 {
+        sort_run_worker(0, &cursor, table, &morsels, pred, keys, enc, &slots);
+    } else {
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let cursor = &cursor;
+                let morsels = &morsels;
+                let slots = &slots;
+                s.spawn(move || sort_run_worker(w, cursor, table, morsels, pred, keys, enc, slots));
+            }
+        });
+    }
+    let runs: Vec<Vec<Entry>> = slots.into_iter().map(|m| m.into_inner().unwrap()).collect();
+    let merge_ways = runs.iter().filter(|r| !r.is_empty()).count() as u64;
+    let merged = kway_merge(runs, keys);
+
+    let rows: Vec<Row> = merged
+        .iter()
+        .map(|e| materialize(table, e.gid, proj))
+        .collect();
+    let stats = SortStats {
+        morsels: morsels.len() as u64,
+        workers: workers as u64,
+        rows_in: merged.len() as u64,
+        rows_out: rows.len() as u64,
+        merge_ways,
+        heap_rows: 0,
+        pruned_rows: 0,
+    };
+    emit_counters(&stats, false);
+    (rows, stats)
+}
+
+/// Rebases projected-row key indexes onto physical column indexes.
+fn rebase(keys: &[SortKey], proj: Option<&[usize]>) -> Vec<SortKey> {
+    match proj {
+        None => keys.to_vec(),
+        Some(cols) => keys
+            .iter()
+            .map(|k| SortKey {
+                col: cols[k.col],
+                desc: k.desc,
+            })
+            .collect(),
+    }
+}
+
+// ---------- Top-N / sort over materialized rows ----------
+
+/// The chunk list for a row vector: `(start, len)` spans of
+/// [`MORSEL_ROWS`] rows.
+fn chunks_of(n: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(n.div_ceil(MORSEL_ROWS));
+    let mut off = 0;
+    while off < n {
+        let len = MORSEL_ROWS.min(n - off);
+        out.push((off, len));
+        off += len;
+    }
+    out
+}
+
+/// Parallel Top-N over already-materialized rows (the tail of a fused
+/// join/aggregate pipeline). Equivalent to a stable sort by `keys`
+/// followed by `truncate(limit)`, at any worker count.
+pub fn par_topn_rows(
+    rows: Vec<Row>,
+    keys: &[SortKey],
+    limit: usize,
+    threads: usize,
+) -> (Vec<Row>, SortStats) {
+    let chunks = chunks_of(rows.len());
+    let workers = worker_count(rows.len(), threads, chunks.len());
+    let rows_in = rows.len() as u64;
+
+    let run_worker = |w: usize, cursor: &AtomicUsize| -> TopNPart {
+        let mut span = tpcds_obs::span("storage", "topn_worker").field("worker", w);
+        let mut heap: Vec<Entry> = Vec::with_capacity(limit.min(4096));
+        let mut done = 0usize;
+        loop {
+            let m = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+            if m >= chunks.len() {
+                break;
+            }
+            let (off, len) = chunks[m];
+            for (gid, row) in rows.iter().enumerate().skip(off).take(len) {
+                heap_offer(
+                    &mut heap,
+                    limit,
+                    Entry {
+                        key: key_of_row(row, keys),
+                        gid,
+                    },
+                    keys,
+                );
+            }
+            done += 1;
+        }
+        span.add_field("morsels", done);
+        TopNPart {
+            entries: heap,
+            qualifying: 0,
+        }
+    };
+
+    let cursor = AtomicUsize::new(0);
+    let parts: Vec<TopNPart> = if workers <= 1 {
+        vec![run_worker(0, &cursor)]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let cursor = &cursor;
+                    let run_worker = &run_worker;
+                    s.spawn(move || run_worker(w, cursor))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+
+    let heap_rows: u64 = parts.iter().map(|p| p.entries.len() as u64).sum();
+    let mut entries: Vec<Entry> = Vec::with_capacity(heap_rows as usize);
+    for p in parts {
+        entries.extend(p.entries);
+    }
+    entries.sort_unstable_by(|a, b| cmp_entries(a, b, keys));
+    entries.truncate(limit);
+
+    let mut slots: Vec<Option<Row>> = rows.into_iter().map(Some).collect();
+    let out: Vec<Row> = entries
+        .iter()
+        .map(|e| slots[e.gid].take().expect("unique gid"))
+        .collect();
+    let stats = SortStats {
+        morsels: chunks.len() as u64,
+        workers: workers as u64,
+        rows_in,
+        rows_out: out.len() as u64,
+        merge_ways: 0,
+        heap_rows,
+        pruned_rows: rows_in - heap_rows,
+    };
+    emit_counters(&stats, true);
+    (out, stats)
+}
+
+/// Parallel full sort over already-materialized rows: per-chunk sorted
+/// runs in parallel, then a serial k-way merge. Equivalent to a stable
+/// sort by `keys`, at any worker count.
+pub fn par_sort_rows(rows: Vec<Row>, keys: &[SortKey], threads: usize) -> (Vec<Row>, SortStats) {
+    let chunks = chunks_of(rows.len());
+    let workers = worker_count(rows.len(), threads, chunks.len());
+    let rows_in = rows.len() as u64;
+
+    let slots: Vec<Mutex<Vec<Entry>>> = (0..chunks.len()).map(|_| Mutex::new(Vec::new())).collect();
+    let run_worker = |w: usize, cursor: &AtomicUsize| {
+        let mut span = tpcds_obs::span("storage", "sort_worker").field("worker", w);
+        let mut done = 0usize;
+        loop {
+            let m = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+            if m >= chunks.len() {
+                break;
+            }
+            let (off, len) = chunks[m];
+            let mut run: Vec<Entry> = (off..off + len)
+                .map(|gid| Entry {
+                    key: key_of_row(&rows[gid], keys),
+                    gid,
+                })
+                .collect();
+            run.sort_unstable_by(|a, b| cmp_entries(a, b, keys));
+            *slots[m].lock().unwrap() = run;
+            done += 1;
+        }
+        span.add_field("morsels", done);
+    };
+
+    let cursor = AtomicUsize::new(0);
+    if workers <= 1 {
+        run_worker(0, &cursor);
+    } else {
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let cursor = &cursor;
+                let run_worker = &run_worker;
+                s.spawn(move || run_worker(w, cursor));
+            }
+        });
+    }
+    let runs: Vec<Vec<Entry>> = slots.into_iter().map(|m| m.into_inner().unwrap()).collect();
+    let merge_ways = runs.iter().filter(|r| !r.is_empty()).count() as u64;
+    let merged = kway_merge(runs, keys);
+
+    let mut slots: Vec<Option<Row>> = rows.into_iter().map(Some).collect();
+    let out: Vec<Row> = merged
+        .iter()
+        .map(|e| slots[e.gid].take().expect("unique gid"))
+        .collect();
+    let stats = SortStats {
+        morsels: chunks.len() as u64,
+        workers: workers as u64,
+        rows_in,
+        rows_out: out.len() as u64,
+        merge_ways,
+        heap_rows: 0,
+        pruned_rows: 0,
+    };
+    emit_counters(&stats, false);
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::CmpKind;
+    use crate::segment::ColumnTableBuilder;
+    use tpcds_types::{DataType, Decimal};
+
+    /// ~1.5 segments of (id, bucket, amount, flag) rows: heavy key
+    /// duplication in `bucket`, NULLs in `flag`.
+    fn table() -> ColumnTable {
+        let n = SEGMENT_ROWS + SEGMENT_ROWS / 2;
+        let mut b = ColumnTableBuilder::new(vec![
+            DataType::Int,
+            DataType::Int,
+            DataType::Decimal,
+            DataType::Int,
+        ]);
+        for i in 0..n as i64 {
+            let flag = if i % 11 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 3)
+            };
+            b.push_row(&[
+                Value::Int(i),
+                Value::Int((i * 37) % 10),
+                Value::Decimal(Decimal::from_cents((i * 7) % 1000)),
+                flag,
+            ]);
+        }
+        b.finish()
+    }
+
+    /// Serial oracle: filter in table order, stable sort, truncate.
+    fn reference(
+        t: &ColumnTable,
+        pred: Option<&Pred>,
+        keys: &[SortKey],
+        proj: Option<&[usize]>,
+        limit: Option<usize>,
+    ) -> Vec<Row> {
+        let (mut rows, _) = crate::morsel::par_filter(t, pred, 1);
+        if let Some(cols) = proj {
+            rows = rows
+                .into_iter()
+                .map(|r| cols.iter().map(|&c| r[c].clone()).collect())
+                .collect();
+        }
+        rows.sort_by(|a, b| {
+            keys.iter()
+                .map(|k| {
+                    let o = a[k.col].sort_cmp(&b[k.col]);
+                    if k.desc {
+                        o.reverse()
+                    } else {
+                        o
+                    }
+                })
+                .find(|o| *o != Ordering::Equal)
+                .unwrap_or(Ordering::Equal)
+        });
+        if let Some(n) = limit {
+            rows.truncate(n);
+        }
+        rows
+    }
+
+    #[test]
+    fn topn_matches_stable_reference_at_any_worker_count() {
+        let t = table();
+        let keys = [
+            SortKey { col: 1, desc: true },
+            SortKey {
+                col: 3,
+                desc: false,
+            },
+        ];
+        let pred = Pred::Cmp(CmpKind::Ge, 0, Value::Int(5));
+        let expect = reference(&t, Some(&pred), &keys, None, Some(100));
+        for threads in [1, 2, 8] {
+            let (rows, stats) = par_topn(&t, Some(&pred), &keys, None, 100, threads);
+            assert_eq!(rows, expect, "threads={threads}");
+            assert_eq!(stats.rows_out, 100);
+            assert!(stats.pruned_rows > 0, "heaps should prune: {stats:?}");
+            assert_eq!(stats.rows_in, stats.heap_rows + stats.pruned_rows);
+        }
+    }
+
+    #[test]
+    fn topn_projection_and_key_rebase() {
+        let t = table();
+        // Project (amount, id); sort by amount desc, which rebases key
+        // col 0 -> physical col 2. Decimal keys use the value comparator.
+        let keys = [SortKey { col: 0, desc: true }];
+        let proj = [2usize, 0usize];
+        let expect = reference(&t, None, &keys, Some(&proj), Some(50));
+        for threads in [1, 4] {
+            let (rows, _) = par_topn(&t, None, &keys, Some(&proj), 50, threads);
+            assert_eq!(rows, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn topn_limit_edge_cases() {
+        let t = table();
+        let keys = [SortKey {
+            col: 0,
+            desc: false,
+        }];
+        let (rows, stats) = par_topn(&t, None, &keys, None, 0, 4);
+        assert!(rows.is_empty());
+        assert_eq!(stats.heap_rows, 0);
+        let n = t.rows;
+        let (rows, stats) = par_topn(&t, None, &keys, None, n + 10, 4);
+        assert_eq!(rows.len(), n);
+        assert_eq!(stats.pruned_rows, 0);
+        assert_eq!(rows, reference(&t, None, &keys, None, None));
+    }
+
+    #[test]
+    fn full_sort_matches_reference_and_counts_merge_ways() {
+        let t = table();
+        let keys = [
+            SortKey {
+                col: 1,
+                desc: false,
+            },
+            SortKey { col: 0, desc: true },
+        ];
+        let pred = Pred::Cmp(CmpKind::Lt, 1, Value::Int(7));
+        let expect = reference(&t, Some(&pred), &keys, None, None);
+        for threads in [1, 2, 8] {
+            let (rows, stats) = par_sort(&t, Some(&pred), &keys, None, threads);
+            assert_eq!(rows, expect, "threads={threads}");
+            assert!(stats.merge_ways > 1, "{stats:?}");
+            assert_eq!(stats.rows_out as usize, expect.len());
+        }
+    }
+
+    #[test]
+    fn null_keys_sort_first_asc_last_desc() {
+        let t = table();
+        let asc = [SortKey {
+            col: 3,
+            desc: false,
+        }];
+        let (rows, _) = par_topn(&t, None, &asc, None, 5, 4);
+        assert!(rows.iter().all(|r| r[3].is_null()), "NULLs first asc");
+        let desc = [SortKey { col: 3, desc: true }];
+        let (rows, _) = par_sort(&t, None, &desc, None, 4);
+        assert!(rows.last().unwrap()[3].is_null(), "NULLs last desc");
+        assert!(!rows[0][3].is_null());
+    }
+
+    #[test]
+    fn encoded_and_value_paths_agree() {
+        // Same logical data once as dense i64 (encoded path) and once as
+        // the Other buffer (value path): identical output.
+        let n = 10_000i64;
+        let mut dense = ColumnTableBuilder::new(vec![DataType::Int, DataType::Int]);
+        let mut boxed = ColumnTableBuilder::new(vec![DataType::Bool, DataType::Bool]);
+        for i in 0..n {
+            let v = if i % 13 == 0 {
+                Value::Null
+            } else {
+                Value::Int((i * 31) % 97 - 48)
+            };
+            let row = [v, Value::Int(i)];
+            dense.push_row(&row);
+            boxed.push_row(&row);
+        }
+        let (dense, boxed) = (dense.finish(), boxed.finish());
+        assert!(matches!(
+            boxed.segments[0].columns[0].data,
+            ColumnData::Other(_)
+        ));
+        for desc in [false, true] {
+            let keys = [SortKey { col: 0, desc }];
+            let (a, _) = par_topn(&dense, None, &keys, None, 200, 4);
+            let (b, _) = par_topn(&boxed, None, &keys, None, 200, 4);
+            assert_eq!(a, b, "desc={desc}");
+            let (a, _) = par_sort(&dense, None, &keys, None, 4);
+            let (b, _) = par_sort(&boxed, None, &keys, None, 4);
+            assert_eq!(a, b, "desc={desc}");
+        }
+    }
+
+    #[test]
+    fn rows_kernels_match_stable_sort() {
+        let rows: Vec<Row> = (0..40_000i64)
+            .map(|i| {
+                vec![
+                    Value::Int((i * 17) % 23),
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i)
+                    },
+                ]
+            })
+            .collect();
+        let keys = [
+            SortKey { col: 0, desc: true },
+            SortKey {
+                col: 1,
+                desc: false,
+            },
+        ];
+        let mut expect = rows.clone();
+        expect.sort_by(|a, b| {
+            keys.iter()
+                .map(|k| {
+                    let o = a[k.col].sort_cmp(&b[k.col]);
+                    if k.desc {
+                        o.reverse()
+                    } else {
+                        o
+                    }
+                })
+                .find(|o| *o != Ordering::Equal)
+                .unwrap_or(Ordering::Equal)
+        });
+        for threads in [1, 2, 8] {
+            let (sorted, stats) = par_sort_rows(rows.clone(), &keys, threads);
+            assert_eq!(sorted, expect, "threads={threads}");
+            assert!(stats.merge_ways >= 1);
+            let (top, stats) = par_topn_rows(rows.clone(), &keys, 123, threads);
+            assert_eq!(top, expect[..123], "threads={threads}");
+            assert_eq!(stats.rows_out, 123);
+        }
+    }
+}

@@ -8,7 +8,10 @@
 #    row path vs the columnar join at 1 and N workers;
 #  - BENCH_4.json: the profiling report — the BENCH_3 join sections plus
 #    histogram-derived per-query-class latency percentiles and process
-#    peak memory (tpcds-bench profile).
+#    peak memory (tpcds-bench profile);
+#  - BENCH_5.json: parallel sort / Top-N throughput (the ORDER BY ...
+#    LIMIT 100 template tail) for the serial row sort vs the morsel-driven
+#    kernels at 1 and N workers (written by the same profile run).
 # After regenerating, each fresh report is gated against the committed
 # baseline with `tpcds-bench compare` — a throughput drop (or latency
 # rise) past BENCH_TOLERANCE fails the script. Exits non-zero on any
@@ -21,6 +24,7 @@
 #   BENCH_OUT         BENCH_2 output path (default BENCH_2.json)
 #   BENCH_JOIN_OUT    BENCH_3 output path (default BENCH_3.json)
 #   BENCH_PROFILE_OUT BENCH_4 output path (default BENCH_4.json)
+#   BENCH_SORT_OUT    BENCH_5 output path (default BENCH_5.json)
 #   BENCH_TOLERANCE   relative regression slack for the gate (default 0.5 —
 #                     generous, CI machines are noisy; tighten locally)
 set -eux
@@ -31,12 +35,13 @@ TOLERANCE="${BENCH_TOLERANCE:-0.5}"
 OUT2="${BENCH_OUT:-BENCH_2.json}"
 OUT3="${BENCH_JOIN_OUT:-BENCH_3.json}"
 OUT4="${BENCH_PROFILE_OUT:-BENCH_4.json}"
+OUT5="${BENCH_SORT_OUT:-BENCH_5.json}"
 
 cargo build --release -p tpcds-bench \
     --bin storage_bench --bin join_bench --bin tpcds-bench
 
 # Snapshot committed baselines before the fresh runs overwrite them.
-for f in "$OUT2" "$OUT3" "$OUT4"; do
+for f in "$OUT2" "$OUT3" "$OUT4" "$OUT5"; do
     if [ -f "$f" ]; then
         cp "$f" "$f.baseline"
     fi
@@ -50,11 +55,12 @@ done
     --out "$OUT3"
 ./target/release/tpcds-bench profile \
     --scale "${BENCH_JOIN_SCALE:-0.01}" \
-    --out "$OUT4"
+    --out "$OUT4" \
+    --sort-out "$OUT5"
 
 # Regression gate: fresh numbers vs the committed baselines.
 status=0
-for f in "$OUT2" "$OUT3" "$OUT4"; do
+for f in "$OUT2" "$OUT3" "$OUT4" "$OUT5"; do
     if [ -f "$f.baseline" ]; then
         ./target/release/tpcds-bench compare "$f.baseline" "$f" \
             --tolerance "$TOLERANCE" || status=1
