@@ -10,7 +10,14 @@
 //! * `tpcds-bench compare OLD.json NEW.json [--tolerance 0.15]` — diffs
 //!   two reports over their intersecting metrics and exits non-zero when
 //!   any throughput dropped (or latency rose) past the tolerance — the
-//!   CI perf-regression gate.
+//!   CI perf-regression gate;
+//! * `tpcds-bench coverage [--scale SF] [--out COVERAGE_6.json]
+//!   [--baseline FILE]` — runs all 99 templates under pinned default
+//!   options and writes each template's routing path (best path any
+//!   operator took), every fallback reason code, and cardinality q-error
+//!   quantiles; with `--baseline` it exits non-zero when any template's
+//!   routing path regressed (e.g. columnar → serial) vs the committed
+//!   report — the CI routing-coverage gate.
 
 use std::time::Instant;
 use tpcds_bench::compare;
@@ -27,7 +34,8 @@ static ALLOC: tpcds_core::obs::mem::CountingAlloc = tpcds_core::obs::mem::Counti
 
 const USAGE: &str = "usage:
   tpcds-bench profile [--scale SF] [--out BENCH_4.json] [--sort-out BENCH_5.json] [--queries-per-class N]
-  tpcds-bench compare OLD.json NEW.json [--tolerance 0.15]";
+  tpcds-bench compare OLD.json NEW.json [--tolerance 0.15]
+  tpcds-bench coverage [--scale SF] [--out COVERAGE_6.json] [--baseline FILE]";
 
 const JOIN_SQL: &str = "select ss_item_sk, ss_ticket_number, d_year \
      from store_sales, date_dim where ss_sold_date_sk = d_date_sk and ss_quantity > 10";
@@ -58,6 +66,7 @@ fn main() {
     let code = match args.split_first() {
         Some((sub, rest)) if sub == "compare" => cmd_compare(rest),
         Some((sub, rest)) if sub == "profile" => cmd_profile(rest),
+        Some((sub, rest)) if sub == "coverage" => cmd_coverage(rest),
         _ => {
             eprintln!("{USAGE}");
             2
@@ -299,4 +308,161 @@ fn cmd_profile(args: &[String]) -> i32 {
     std::fs::write(&out_path, format!("{report}\n")).expect("write report");
     println!("wrote {out_path}");
     0
+}
+
+/// Paths ordered worst-to-best, matching `RoutePath`'s derive order. A
+/// template "regresses" when its best path moves down this ladder.
+fn path_rank(path: &str) -> i32 {
+    match path {
+        "serial" => 0,
+        "rows-par" => 1,
+        "index" => 2,
+        "columnar" => 3,
+        _ => -1, // "unset" / unknown
+    }
+}
+
+fn cmd_coverage(args: &[String]) -> i32 {
+    let sf: f64 = flag(args, "--scale")
+        .map(|v| v.parse().expect("bad --scale"))
+        .unwrap_or(0.01);
+    let out_path = flag(args, "--out").unwrap_or_else(|| "COVERAGE_6.json".to_string());
+    let baseline_path = flag(args, "--baseline");
+    // Pinned options: the report is a routing contract. Auto mode and the
+    // machine-default worker count are what production queries run with,
+    // and routing decisions don't depend on the worker count — so the
+    // report is stable across CI machines.
+    let opts = ExecOptions {
+        columnar: ColumnarMode::Auto,
+        threads: None,
+    };
+    let seed = tpcds_types::rng::DEFAULT_SEED;
+
+    eprintln!("loading TPC-DS at SF {sf} for routing coverage...");
+    let tpcds = TpcDs::builder()
+        .scale_factor(sf)
+        .reporting_aux(true)
+        .build()
+        .expect("load");
+    let workload = Workload::tpcds().expect("workload");
+    let db = tpcds.database();
+
+    let mut templates: Vec<(String, Json)> = Vec::new();
+    let mut path_counts: Vec<(String, i64)> = Vec::new();
+    for id in 1..=99u32 {
+        let sql = workload.instantiate(id, seed, 0).expect("instantiate");
+        let analyzed = engine::query_analyze_with(db, &sql, opts)
+            .unwrap_or_else(|e| panic!("template {id}: {e}"));
+        // Best path any executed operator took (RoutePath derive order).
+        let path = analyzed
+            .nodes
+            .iter()
+            .filter(|n| n.executed)
+            .map(|n| n.route)
+            .max()
+            .map(|r| r.as_str())
+            .unwrap_or("unset");
+        let mut fallbacks: Vec<&str> = analyzed
+            .nodes
+            .iter()
+            .filter_map(|n| n.fallback)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        fallbacks.sort_unstable();
+        // q-error quantiles via the log-bucketed histogram, recorded at
+        // ×100 so the sub-decade resolution survives integer buckets.
+        let mut qh = HistSnapshot::new();
+        for n in &analyzed.nodes {
+            if let Some(q) = n.qerr {
+                qh.record((q * 100.0).round() as u64);
+            }
+        }
+        let q = |p: f64| qh.percentile(p) as f64 / 100.0;
+        templates.push((
+            id.to_string(),
+            Json::Obj(vec![
+                ("path".into(), Json::Str(path.to_string())),
+                (
+                    "fallbacks".into(),
+                    Json::Arr(fallbacks.iter().map(|f| Json::Str(f.to_string())).collect()),
+                ),
+                (
+                    "nodes".into(),
+                    Json::Int(analyzed.nodes.iter().filter(|n| n.executed).count() as i64),
+                ),
+                ("qerr_nodes".into(), Json::Int(qh.count as i64)),
+                ("qerr_p50".into(), Json::Float(q(50.0))),
+                ("qerr_p95".into(), Json::Float(q(95.0))),
+                ("qerr_max".into(), Json::Float(qh.max() as f64 / 100.0)),
+            ]),
+        ));
+        match path_counts.iter_mut().find(|(p, _)| p == path) {
+            Some((_, c)) => *c += 1,
+            None => path_counts.push((path.to_string(), 1)),
+        }
+    }
+    path_counts.sort_by_key(|(p, _)| std::cmp::Reverse(path_rank(p)));
+    for (p, c) in &path_counts {
+        println!("{p:<9} {c:>3} templates");
+    }
+
+    let report = Json::Obj(vec![
+        ("scale_factor".into(), Json::Float(sf)),
+        ("seed".into(), Json::Int(seed as i64)),
+        ("templates".into(), Json::Obj(templates)),
+        (
+            "paths".into(),
+            Json::Obj(
+                path_counts
+                    .into_iter()
+                    .map(|(p, c)| (p, Json::Int(c)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&out_path, format!("{report}\n")).expect("write coverage report");
+    println!("wrote {out_path}");
+
+    // ---- Routing regression gate ----
+    let Some(base_path) = baseline_path else {
+        return 0;
+    };
+    let base = match std::fs::read_to_string(&base_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| Json::parse(&t))
+    {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: baseline {base_path}: {e}");
+            return 2;
+        }
+    };
+    let mut regressions = 0;
+    for id in 1..=99u32 {
+        let key = id.to_string();
+        let old = base
+            .get("templates")
+            .and_then(|t| t.get(&key))
+            .and_then(|t| t.get("path"))
+            .and_then(|p| p.as_str());
+        let new = report
+            .get("templates")
+            .and_then(|t| t.get(&key))
+            .and_then(|t| t.get("path"))
+            .and_then(|p| p.as_str());
+        if let (Some(old), Some(new)) = (old, new) {
+            if path_rank(new) < path_rank(old) {
+                eprintln!("template {id:>2}: routing regressed {old} -> {new}");
+                regressions += 1;
+            }
+        }
+    }
+    if regressions > 0 {
+        eprintln!("{regressions} template(s) regressed vs {base_path}");
+        1
+    } else {
+        println!("routing paths match or improve on {base_path}");
+        0
+    }
 }

@@ -149,9 +149,10 @@ impl TpcDs {
         tpcds_maint::run_maintenance(&self.db, &self.generator, refresh_seq)
     }
 
-    /// EXPLAIN output for a SQL statement.
+    /// EXPLAIN output for a SQL statement: the plan tree with `est_rows=`
+    /// cardinality estimates from the collected table statistics.
     pub fn explain(&self, sql: &str) -> Result<String> {
-        Ok(tpcds_engine::plan_sql(&self.db, sql)?.plan.explain())
+        tpcds_engine::explain_sql(&self.db, sql)
     }
 
     /// EXPLAIN ANALYZE: executes the statement and returns the plan tree

@@ -9,7 +9,7 @@ use crate::error::{EngineError, Result};
 use crate::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
-use tpcds_storage::ColumnTable;
+use tpcds_storage::{ColumnTable, TableStats};
 use tpcds_types::{DataType, Row, Value};
 
 /// Schema of one stored column.
@@ -91,6 +91,10 @@ pub struct Table {
     /// the next [`Database::refresh_columnar`].
     columnar: Option<Arc<ColumnTable>>,
     columnar_enabled: bool,
+    /// Per-column statistics (row/null counts, min/max, NDV, histogram),
+    /// collected from the columnar shadow. Dropped together with the
+    /// shadow on any mutation; [`Database::refresh_stats`] rebuilds them.
+    stats: Option<Arc<TableStats>>,
 }
 
 impl Table {
@@ -102,6 +106,7 @@ impl Table {
             indexes: HashMap::new(),
             columnar: None,
             columnar_enabled: false,
+            stats: None,
         }
     }
 
@@ -249,14 +254,35 @@ impl Table {
         Ok(())
     }
 
-    /// Disables (and drops) the columnar shadow.
+    /// Disables (and drops) the columnar shadow (and the statistics that
+    /// were derived from it).
     pub fn disable_columnar(&mut self) {
         self.columnar = None;
         self.columnar_enabled = false;
+        self.stats = None;
     }
 
     fn invalidate_columnar(&mut self) {
         self.columnar = None;
+        self.stats = None;
+    }
+
+    /// The current per-column statistics, if collected and not stale.
+    pub fn stats(&self) -> Option<Arc<TableStats>> {
+        self.stats.clone()
+    }
+
+    /// Collects (or re-collects) statistics from the columnar shadow.
+    /// Returns `None` when there is no shadow to scan.
+    pub fn build_stats(&mut self, threads: usize) -> Option<Arc<TableStats>> {
+        let ct = self.columnar.as_ref()?;
+        let stats = Arc::new(tpcds_storage::collect_stats(ct, threads));
+        self.stats = Some(Arc::clone(&stats));
+        Some(stats)
+    }
+
+    fn set_stats(&mut self, stats: Arc<TableStats>) {
+        self.stats = Some(stats);
     }
 }
 
@@ -412,6 +438,57 @@ impl Database {
     /// Attaches a pre-built columnar shadow to one table.
     pub fn attach_columnar(&self, name: &str, ct: ColumnTable) -> Result<()> {
         self.table(name)?.write().attach_columnar(ct)
+    }
+
+    /// Collects per-column statistics for every table whose stats are
+    /// missing or stale (i.e. after a load or a DM round). The scan runs
+    /// on a snapshot of the columnar shadow *outside* the table lock, so
+    /// queries keep running while stats build; each table emits a
+    /// `engine/stats.build` span plus `engine.stats.build_us` /
+    /// `engine.stats.rows` counters. Returns the number of tables
+    /// (re)collected.
+    pub fn refresh_stats(&self) -> usize {
+        let threads = tpcds_storage::effective_threads();
+        let tables: Vec<(String, Arc<RwLock<Table>>)> = {
+            let t = self.tables.read();
+            t.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
+        };
+        let mut built = 0;
+        for (name, handle) in tables {
+            let ct = {
+                let t = handle.read();
+                if t.stats.is_some() {
+                    continue;
+                }
+                match t.columnar() {
+                    Some(ct) => ct,
+                    None => continue,
+                }
+            };
+            let span = tpcds_obs::span("engine", "stats.build").field("table", name.as_str());
+            let start = std::time::Instant::now();
+            let stats = Arc::new(tpcds_storage::collect_stats(&ct, threads));
+            let rows = stats.rows;
+            tpcds_obs::counter(
+                "engine",
+                "stats.build_us",
+                start.elapsed().as_micros() as f64,
+                &[("table", tpcds_obs::FieldValue::Str(name.clone()))],
+            );
+            tpcds_obs::counter("engine", "stats.rows", rows as f64, &[]);
+            span.field("rows", rows as i64).finish();
+            // Re-check under the write lock: a mutation may have landed
+            // while we scanned, in which case these stats are already
+            // stale and must not be attached.
+            let mut t = handle.write();
+            if let Some(cur) = t.columnar() {
+                if Arc::ptr_eq(&cur, &ct) {
+                    t.set_stats(stats);
+                    built += 1;
+                }
+            }
+        }
+        built
     }
 }
 

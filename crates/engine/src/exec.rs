@@ -12,11 +12,80 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tpcds_types::{Decimal, Row, Value};
 
+/// Which execution path an operator actually took. Ordered by how
+/// accelerated the path is, so folding multiple calls keeps the best.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RoutePath {
+    /// Not executed / no routing decision recorded yet.
+    #[default]
+    Unset,
+    /// Serial row-at-a-time fallback.
+    Serial,
+    /// Parallel kernel over already-materialized rows (no columnar scan).
+    RowsPar,
+    /// Hash-index probe.
+    Index,
+    /// Columnar morsel-driven kernel.
+    Columnar,
+}
+
+impl RoutePath {
+    /// Stable lower-case label (`route=` in EXPLAIN ANALYZE, `route.*`
+    /// counter suffix, coverage-report key).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RoutePath::Unset => "unset",
+            RoutePath::Serial => "serial",
+            RoutePath::RowsPar => "rows-par",
+            RoutePath::Index => "index",
+            RoutePath::Columnar => "columnar",
+        }
+    }
+}
+
+/// Machine-readable reason codes attached to every routing decision that
+/// did *not* take the columnar kernel. The vocabulary is closed: coverage
+/// baselines and dashboards match on these exact strings.
+pub mod reason {
+    /// Columnar routing disabled (`TPCDS_COLUMNAR=off` / ExecOptions).
+    pub const COLUMNAR_OFF: &str = "columnar-off";
+    /// The table has no columnar shadow (not built, or invalidated).
+    pub const NO_SHADOW: &str = "no-shadow";
+    /// A predicate does not compile to the kernel subset.
+    pub const PRED_SHAPE: &str = "pred-shape";
+    /// Aggregate shape outside the kernel subset (DISTINCT, ROLLUP,
+    /// expression keys, STDDEV_SAMP, GROUPING).
+    pub const AGG_SHAPE: &str = "agg-shape";
+    /// The operator's input is not a (possibly filtered) base-table scan.
+    pub const INPUT_SHAPE: &str = "input-shape";
+    /// A join key / sort key is not a plain column reference.
+    pub const KEY_SHAPE: &str = "key-shape";
+    /// Sort key is not a plain column reference.
+    pub const SORT_KEY_SHAPE: &str = "sort-key-shape";
+    /// The join carries a residual predicate over combined rows.
+    pub const RESIDUAL: &str = "residual";
+    /// An eligible hash-index probe outranks the columnar kernel.
+    pub const INDEX_PREFERRED: &str = "index-preferred";
+    /// Unfiltered row scan: cloning row storage beats re-materializing
+    /// from columns, so Auto keeps the row path deliberately.
+    pub const ROW_CLONE: &str = "row-clone-cheaper";
+    /// The operator has no columnar kernel at all (Filter, Project,
+    /// Window, Distinct, SetOp, NestedLoopJoin, CteRef, Prefix).
+    pub const NO_KERNEL: &str = "no-kernel";
+}
+
+/// `Err(reason)` = the accelerated path was not taken, and why.
+type Routed<T> = std::result::Result<T, &'static str>;
+
 /// Accumulated actuals for one plan node (EXPLAIN ANALYZE). Elapsed time
 /// is inclusive of the node's inputs, like `actual time` in other engines;
 /// `calls` counts executions (correlated subplans run once per outer row).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpStats {
+    /// The best execution path any call of this node took.
+    pub route: RoutePath,
+    /// Reason code for the first non-columnar routing decision, if any.
+    pub fallback: Option<&'static str>,
     /// Times the node was executed.
     pub calls: u64,
     /// Total rows produced across all calls.
@@ -114,6 +183,10 @@ pub struct ExecCtx<'a> {
     /// Execution options (columnar routing, worker count).
     pub opts: ExecOptions,
     stats: Option<Mutex<StatsMap>>,
+    /// Routing decisions already emitted to observability this statement,
+    /// so correlated subplans (one decision per outer row) produce one
+    /// `route.*` counter/span per distinct decision, not per row.
+    route_seen: Mutex<HashSet<(usize, RoutePath, Option<&'static str>)>>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -129,6 +202,7 @@ impl<'a> ExecCtx<'a> {
             cte_cache: Mutex::new(HashMap::new()),
             opts,
             stats: None,
+            route_seen: Mutex::new(HashSet::new()),
         }
     }
 
@@ -144,6 +218,7 @@ impl<'a> ExecCtx<'a> {
             cte_cache: Mutex::new(HashMap::new()),
             opts,
             stats: Some(Mutex::new(HashMap::new())),
+            route_seen: Mutex::new(HashSet::new()),
         }
     }
 
@@ -158,6 +233,51 @@ impl<'a> ExecCtx<'a> {
         self.opts
             .threads
             .unwrap_or_else(tpcds_storage::effective_threads)
+    }
+
+    /// Records which path an operator took and (for non-columnar paths)
+    /// why. Folds into the node's EXPLAIN ANALYZE entry and — once per
+    /// distinct (node, path, reason) decision per statement — emits an
+    /// `engine.route.<path>` counter, an `engine.route.fallback.<reason>`
+    /// counter, and an `engine/route` span (visible in the Chrome trace).
+    fn record_route(
+        &self,
+        node: usize,
+        op: &'static str,
+        route: RoutePath,
+        fallback: Option<&'static str>,
+    ) {
+        if self.route_seen.lock().insert((node, route, fallback)) {
+            tpcds_obs::counter(
+                "engine",
+                &format!("route.{}", route.as_str()),
+                1.0,
+                &[("op", tpcds_obs::FieldValue::Str(op.to_string()))],
+            );
+            if let Some(r) = fallback {
+                tpcds_obs::counter(
+                    "engine",
+                    &format!("route.fallback.{r}"),
+                    1.0,
+                    &[("op", tpcds_obs::FieldValue::Str(op.to_string()))],
+                );
+            }
+            let mut span = tpcds_obs::span("engine", "route")
+                .field("op", op)
+                .field("path", route.as_str());
+            if let Some(r) = fallback {
+                span.add_field("reason", r);
+            }
+            span.finish();
+        }
+        if let Some(stats) = &self.stats {
+            let mut map = stats.lock();
+            let s = map.entry(node).or_default();
+            s.route = s.route.max(route);
+            if s.fallback.is_none() {
+                s.fallback = fallback;
+            }
+        }
     }
 
     /// Folds a columnar scan's morsel/worker numbers into the node's
@@ -227,13 +347,20 @@ pub fn execute(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resul
 fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Result<Vec<Row>> {
     match plan {
         Plan::Scan { table, filter, .. } => {
-            let (rows, cstats) = scan(table, filter.as_ref(), ctx, outer)?;
+            let node = plan as *const Plan as usize;
+            let (rows, cstats) = scan(table, filter.as_ref(), node, ctx, outer)?;
             if let Some(cs) = cstats {
-                ctx.record_columnar(plan as *const Plan as usize, &cs);
+                ctx.record_columnar(node, &cs);
             }
             Ok(rows)
         }
         Plan::Filter { input, predicate } => {
+            ctx.record_route(
+                plan as *const Plan as usize,
+                "Filter",
+                RoutePath::Serial,
+                Some(reason::NO_KERNEL),
+            );
             let rows = execute(input, ctx, outer)?;
             let mut out = Vec::new();
             for row in rows {
@@ -244,6 +371,12 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
             Ok(out)
         }
         Plan::Project { input, exprs } => {
+            ctx.record_route(
+                plan as *const Plan as usize,
+                "Project",
+                RoutePath::Serial,
+                Some(reason::NO_KERNEL),
+            );
             let rows = execute(input, ctx, outer)?;
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
@@ -263,7 +396,8 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
             right_keys,
             residual,
         } => {
-            if let Some((rows, js)) = try_columnar_join(
+            let node = plan as *const Plan as usize;
+            match try_columnar_join(
                 left,
                 right,
                 *kind,
@@ -272,8 +406,12 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
                 residual.as_ref(),
                 ctx,
             )? {
-                ctx.record_join(plan as *const Plan as usize, &js);
-                return Ok(rows);
+                Ok((rows, js)) => {
+                    ctx.record_route(node, "HashJoin", RoutePath::Columnar, None);
+                    ctx.record_join(node, &js);
+                    return Ok(rows);
+                }
+                Err(why) => ctx.record_route(node, "HashJoin", RoutePath::Serial, Some(why)),
             }
             hash_join(
                 left,
@@ -291,44 +429,92 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
             right,
             kind,
             predicate,
-        } => nested_loop_join(left, right, *kind, predicate.as_ref(), ctx, outer),
+        } => {
+            ctx.record_route(
+                plan as *const Plan as usize,
+                "NestedLoopJoin",
+                RoutePath::Serial,
+                Some(reason::NO_KERNEL),
+            );
+            nested_loop_join(left, right, *kind, predicate.as_ref(), ctx, outer)
+        }
         Plan::Aggregate {
             input,
             groups,
             sets,
             aggs,
         } => {
-            if let Some((rows, cs)) = try_columnar_aggregate(input, groups, sets, aggs, ctx)? {
-                ctx.record_columnar(plan as *const Plan as usize, &cs);
-                return Ok(rows);
-            }
-            if let Some((rows, js)) = try_columnar_join_aggregate(input, groups, sets, aggs, ctx)? {
-                ctx.record_join(plan as *const Plan as usize, &js);
-                return Ok(rows);
-            }
+            let node = plan as *const Plan as usize;
+            let why1 = match try_columnar_aggregate(input, groups, sets, aggs, ctx)? {
+                Ok((rows, cs)) => {
+                    ctx.record_route(node, "Aggregate", RoutePath::Columnar, None);
+                    ctx.record_columnar(node, &cs);
+                    return Ok(rows);
+                }
+                Err(why) => why,
+            };
+            let why2 = match try_columnar_join_aggregate(input, groups, sets, aggs, ctx)? {
+                Ok((rows, js)) => {
+                    ctx.record_route(node, "Aggregate", RoutePath::Columnar, None);
+                    ctx.record_join(node, &js);
+                    return Ok(rows);
+                }
+                Err(why) => why,
+            };
+            // The scan-aggregate route reports `input-shape` for any
+            // non-scan input; when the input was a join, the fused
+            // join-aggregate route's reason is the informative one.
+            let why = if why1 == reason::INPUT_SHAPE {
+                why2
+            } else {
+                why1
+            };
+            ctx.record_route(node, "Aggregate", RoutePath::Serial, Some(why));
             aggregate(input, groups, sets, aggs, ctx, outer)
         }
-        Plan::Window { input, calls } => window(input, calls, ctx, outer),
+        Plan::Window { input, calls } => {
+            ctx.record_route(
+                plan as *const Plan as usize,
+                "Window",
+                RoutePath::Serial,
+                Some(reason::NO_KERNEL),
+            );
+            window(input, calls, ctx, outer)
+        }
         Plan::Sort { input, keys } => {
             let node = plan as *const Plan as usize;
             if ctx.opts.columnar != ColumnarMode::Off {
                 if let Some(skeys) = compile_sort_keys(keys) {
-                    if let Some(src) = compile_sort_source(input, ctx)? {
-                        let (rows, ss) = tpcds_storage::par_sort(
-                            &src.table,
-                            src.pred.as_ref(),
-                            &skeys,
-                            src.proj.as_deref(),
-                            ctx.threads(),
-                        );
-                        ctx.record_sort(node, &ss);
-                        return Ok(rows);
+                    match compile_sort_source(input, ctx)? {
+                        Ok(src) => {
+                            ctx.record_route(node, "Sort", RoutePath::Columnar, None);
+                            let (rows, ss) = tpcds_storage::par_sort(
+                                &src.table,
+                                src.pred.as_ref(),
+                                &skeys,
+                                src.proj.as_deref(),
+                                ctx.threads(),
+                            );
+                            ctx.record_sort(node, &ss);
+                            return Ok(rows);
+                        }
+                        Err(why) => {
+                            ctx.record_route(node, "Sort", RoutePath::RowsPar, Some(why));
+                        }
                     }
                     let rows = execute(input, ctx, outer)?;
                     let (rows, ss) = tpcds_storage::par_sort_rows(rows, &skeys, ctx.threads());
                     ctx.record_sort(node, &ss);
                     return Ok(rows);
                 }
+                ctx.record_route(
+                    node,
+                    "Sort",
+                    RoutePath::Serial,
+                    Some(reason::SORT_KEY_SHAPE),
+                );
+            } else {
+                ctx.record_route(node, "Sort", RoutePath::Serial, Some(reason::COLUMNAR_OFF));
             }
             let rows = execute(input, ctx, outer)?;
             sort_rows(rows, keys, ctx, outer)
@@ -338,17 +524,23 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
             let limit = *n as usize;
             if ctx.opts.columnar != ColumnarMode::Off {
                 if let Some(skeys) = compile_sort_keys(keys) {
-                    if let Some(src) = compile_sort_source(input, ctx)? {
-                        let (rows, ss) = tpcds_storage::par_topn(
-                            &src.table,
-                            src.pred.as_ref(),
-                            &skeys,
-                            src.proj.as_deref(),
-                            limit,
-                            ctx.threads(),
-                        );
-                        ctx.record_sort(node, &ss);
-                        return Ok(rows);
+                    match compile_sort_source(input, ctx)? {
+                        Ok(src) => {
+                            ctx.record_route(node, "TopN", RoutePath::Columnar, None);
+                            let (rows, ss) = tpcds_storage::par_topn(
+                                &src.table,
+                                src.pred.as_ref(),
+                                &skeys,
+                                src.proj.as_deref(),
+                                limit,
+                                ctx.threads(),
+                            );
+                            ctx.record_sort(node, &ss);
+                            return Ok(rows);
+                        }
+                        Err(why) => {
+                            ctx.record_route(node, "TopN", RoutePath::RowsPar, Some(why));
+                        }
                     }
                     let rows = execute(input, ctx, outer)?;
                     let (rows, ss) =
@@ -356,6 +548,14 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
                     ctx.record_sort(node, &ss);
                     return Ok(rows);
                 }
+                ctx.record_route(
+                    node,
+                    "TopN",
+                    RoutePath::Serial,
+                    Some(reason::SORT_KEY_SHAPE),
+                );
+            } else {
+                ctx.record_route(node, "TopN", RoutePath::Serial, Some(reason::COLUMNAR_OFF));
             }
             let rows = execute(input, ctx, outer)?;
             let mut rows = sort_rows(rows, keys, ctx, outer)?;
@@ -364,14 +564,21 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
         }
         Plan::Limit { input, n } => {
             let node = plan as *const Plan as usize;
-            if let Some(rows) = try_limited_input(input, *n as usize, node, ctx, outer)? {
-                return Ok(rows);
+            match try_limited_input(input, *n as usize, node, ctx, outer)? {
+                Ok(rows) => return Ok(rows),
+                Err(why) => ctx.record_route(node, "Limit", RoutePath::Serial, Some(why)),
             }
             let mut rows = execute(input, ctx, outer)?;
             rows.truncate(*n as usize);
             Ok(rows)
         }
         Plan::Distinct { input } => {
+            ctx.record_route(
+                plan as *const Plan as usize,
+                "Distinct",
+                RoutePath::Serial,
+                Some(reason::NO_KERNEL),
+            );
             let rows = execute(input, ctx, outer)?;
             let mut seen = HashSet::new();
             let mut out = Vec::new();
@@ -388,6 +595,12 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
             op,
             all,
         } => {
+            ctx.record_route(
+                plan as *const Plan as usize,
+                "SetOp",
+                RoutePath::Serial,
+                Some(reason::NO_KERNEL),
+            );
             let l = execute(left, ctx, outer)?;
             let r = execute(right, ctx, outer)?;
             if l.first().map(|x| x.len()) != r.first().map(|x| x.len())
@@ -428,16 +641,28 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
                 }
             })
         }
-        Plan::CteRef { id, plan, .. } => {
+        Plan::CteRef { id, plan: body, .. } => {
+            ctx.record_route(
+                plan as *const Plan as usize,
+                "CteRef",
+                RoutePath::Serial,
+                Some(reason::NO_KERNEL),
+            );
             if let Some(rows) = ctx.cte_cache.lock().get(id) {
                 return Ok(rows.as_ref().clone());
             }
-            let rows = execute(plan, ctx, outer)?;
+            let rows = execute(body, ctx, outer)?;
             let arc = Arc::new(rows.clone());
             ctx.cte_cache.lock().insert(*id, arc);
             Ok(rows)
         }
         Plan::Prefix { input, keep } => {
+            ctx.record_route(
+                plan as *const Plan as usize,
+                "Prefix",
+                RoutePath::Serial,
+                Some(reason::NO_KERNEL),
+            );
             let rows = execute(input, ctx, outer)?;
             Ok(rows
                 .into_iter()
@@ -458,6 +683,7 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
 fn scan(
     table: &str,
     filter: Option<&BExpr>,
+    node: usize,
     ctx: &ExecCtx<'_>,
     outer: Option<&[Value]>,
 ) -> Result<(Vec<Row>, Option<tpcds_storage::ScanStats>)> {
@@ -473,6 +699,7 @@ fn scan(
         if mode != ColumnarMode::Force {
             if let Some((col, key_expr)) = index_probe_key(f) {
                 if let Some(idx) = t.indexes.get(&col) {
+                    ctx.record_route(node, "Scan", RoutePath::Index, None);
                     let key = key_expr.eval(&[], ctx, outer)?;
                     let mut out = Vec::new();
                     if !key.is_null() {
@@ -490,11 +717,20 @@ fn scan(
         if mode != ColumnarMode::Off {
             if let Some(ct) = t.columnar() {
                 if let Some(pred) = compile_pred(f) {
+                    ctx.record_route(node, "Scan", RoutePath::Columnar, None);
                     let (rows, cs) = tpcds_storage::par_filter(&ct, Some(&pred), ctx.threads());
                     return Ok((rows, Some(cs)));
                 }
             }
         }
+        let why = if mode == ColumnarMode::Off {
+            reason::COLUMNAR_OFF
+        } else if t.columnar().is_none() {
+            reason::NO_SHADOW
+        } else {
+            reason::PRED_SHAPE
+        };
+        ctx.record_route(node, "Scan", RoutePath::Serial, Some(why));
         let mut out = Vec::new();
         for row in &t.rows {
             if f.matches(row, ctx, outer)? {
@@ -505,12 +741,21 @@ fn scan(
     } else {
         if mode == ColumnarMode::Force {
             if let Some(ct) = t.columnar() {
+                ctx.record_route(node, "Scan", RoutePath::Columnar, None);
                 let (rows, cs) = tpcds_storage::par_filter(&ct, None, ctx.threads());
                 return Ok((rows, Some(cs)));
             }
         }
         // An unfiltered scan of row storage is a single clone — already
         // cheaper than materializing from columns, so Auto keeps it.
+        let why = if mode == ColumnarMode::Off {
+            reason::COLUMNAR_OFF
+        } else if t.columnar().is_none() {
+            reason::NO_SHADOW
+        } else {
+            reason::ROW_CLONE
+        };
+        ctx.record_route(node, "Scan", RoutePath::Serial, Some(why));
         Ok((t.rows.clone(), None))
     }
 }
@@ -607,42 +852,42 @@ fn compile_pred(e: &BExpr) -> Option<tpcds_storage::Pred> {
 /// compiles: a single all-on grouping set, group keys that are plain
 /// columns, non-DISTINCT COUNT/COUNT(*)/SUM/MIN/MAX/AVG over plain
 /// columns, a shadowed table, and a compilable (or absent) predicate.
-/// Returns `Ok(None)` to fall back to the serial row path.
+/// `Err(reason)` = fall back to the serial row path.
 fn try_columnar_aggregate(
     input: &Plan,
     groups: &[BExpr],
     sets: &[Vec<bool>],
     aggs: &[AggCall],
     ctx: &ExecCtx<'_>,
-) -> Result<Option<(Vec<Row>, tpcds_storage::ScanStats)>> {
+) -> Result<Routed<(Vec<Row>, tpcds_storage::ScanStats)>> {
     if ctx.opts.columnar == ColumnarMode::Off {
-        return Ok(None);
+        return Ok(Err(reason::COLUMNAR_OFF));
     }
     let Some((group_cols, specs)) = compile_agg_shape(groups, sets, aggs) else {
-        return Ok(None);
+        return Ok(Err(reason::AGG_SHAPE));
     };
     // Input must be a base-table scan, possibly under a residual Filter.
     let (table, scan_filter, extra_filter) = match input {
         Plan::Scan { table, filter, .. } => (table, filter.as_ref(), None),
         Plan::Filter { input, predicate } => match input.as_ref() {
             Plan::Scan { table, filter, .. } => (table, filter.as_ref(), Some(predicate)),
-            _ => return Ok(None),
+            _ => return Ok(Err(reason::INPUT_SHAPE)),
         },
-        _ => return Ok(None),
+        _ => return Ok(Err(reason::INPUT_SHAPE)),
     };
     let t = ctx.db.table(table)?;
     let t = t.read();
     let Some(ct) = t.columnar() else {
-        return Ok(None);
+        return Ok(Err(reason::NO_SHADOW));
     };
     let Some(pred) = compile_side_pred(scan_filter, extra_filter) else {
-        return Ok(None);
+        return Ok(Err(reason::PRED_SHAPE));
     };
     // The shadow is an immutable Arc snapshot; no need to hold the table
     // lock while the kernel runs.
     drop(t);
     match tpcds_storage::par_aggregate(&ct, pred.as_ref(), &group_cols, &specs, ctx.threads()) {
-        Ok((rows, cs)) => Ok(Some((rows, cs))),
+        Ok((rows, cs)) => Ok(Ok((rows, cs))),
         Err(e) => Err(EngineError::exec(e.0)),
     }
 }
@@ -724,38 +969,38 @@ struct ColJoinSide {
 /// Compiles one join input for the columnar join kernel: a base-table
 /// scan (possibly under a residual Filter — the Filter-under-Join fusion)
 /// over a shadowed table, with compilable (or absent) predicates and
-/// plain-column equi-keys. Returns `Ok(None)` to fall back.
+/// plain-column equi-keys. `Err(reason)` = fall back.
 fn compile_join_side(
     plan: &Plan,
     keys: &[BExpr],
     ctx: &ExecCtx<'_>,
-) -> Result<Option<ColJoinSide>> {
+) -> Result<Routed<ColJoinSide>> {
     let (table, scan_filter, extra_filter) = match plan {
         Plan::Scan { table, filter, .. } => (table, filter.as_ref(), None),
         Plan::Filter { input, predicate } => match input.as_ref() {
             Plan::Scan { table, filter, .. } => (table, filter.as_ref(), Some(predicate)),
-            _ => return Ok(None),
+            _ => return Ok(Err(reason::INPUT_SHAPE)),
         },
-        _ => return Ok(None),
+        _ => return Ok(Err(reason::INPUT_SHAPE)),
     };
     let mut key_cols = Vec::with_capacity(keys.len());
     for k in keys {
         match k {
             BExpr::Col(i) => key_cols.push(*i),
-            _ => return Ok(None),
+            _ => return Ok(Err(reason::KEY_SHAPE)),
         }
     }
     let t = ctx.db.table(table)?;
     let t = t.read();
     let Some(ct) = t.columnar() else {
-        return Ok(None);
+        return Ok(Err(reason::NO_SHADOW));
     };
     let Some(pred) = compile_side_pred(scan_filter, extra_filter) else {
-        return Ok(None);
+        return Ok(Err(reason::PRED_SHAPE));
     };
     // Arc snapshot: the kernel runs without the table lock.
     drop(t);
-    Ok(Some(ColJoinSide {
+    Ok(Ok(ColJoinSide {
         table: ct,
         pred,
         keys: key_cols,
@@ -765,8 +1010,8 @@ fn compile_join_side(
 /// Routes a `HashJoin` over (possibly filtered) base-table scans through
 /// the partitioned columnar join kernel when both sides compile and there
 /// is no residual predicate (the kernel's predicates evaluate over one
-/// segment, never over joined rows). Returns `Ok(None)` to fall back to
-/// the serial row-path join.
+/// segment, never over joined rows). `Err(reason)` = fall back to the
+/// serial row-path join.
 fn try_columnar_join(
     left: &Plan,
     right: &Plan,
@@ -775,15 +1020,20 @@ fn try_columnar_join(
     right_keys: &[BExpr],
     residual: Option<&BExpr>,
     ctx: &ExecCtx<'_>,
-) -> Result<Option<(Vec<Row>, tpcds_storage::JoinStats)>> {
-    if ctx.opts.columnar == ColumnarMode::Off || residual.is_some() {
-        return Ok(None);
+) -> Result<Routed<(Vec<Row>, tpcds_storage::JoinStats)>> {
+    if ctx.opts.columnar == ColumnarMode::Off {
+        return Ok(Err(reason::COLUMNAR_OFF));
     }
-    let Some(probe) = compile_join_side(left, left_keys, ctx)? else {
-        return Ok(None);
+    if residual.is_some() {
+        return Ok(Err(reason::RESIDUAL));
+    }
+    let probe = match compile_join_side(left, left_keys, ctx)? {
+        Ok(s) => s,
+        Err(why) => return Ok(Err(why)),
     };
-    let Some(build) = compile_join_side(right, right_keys, ctx)? else {
-        return Ok(None);
+    let build = match compile_join_side(right, right_keys, ctx)? {
+        Ok(s) => s,
+        Err(why) => return Ok(Err(why)),
     };
     let jt = match kind {
         JoinKind::Inner => tpcds_storage::JoinType::Inner,
@@ -799,23 +1049,23 @@ fn try_columnar_join(
         jt,
         ctx.threads(),
     );
-    Ok(Some((rows, js)))
+    Ok(Ok((rows, js)))
 }
 
 /// Routes `Aggregate` directly over an eligible `HashJoin` through the
 /// fused join+aggregate kernel: joined rows are folded into aggregate
 /// partials without ever being materialized. Group and aggregate columns
 /// index the combined `left ++ right` row; the kernel splits them at the
-/// probe width. Returns `Ok(None)` to fall back.
+/// probe width. `Err(reason)` = fall back.
 fn try_columnar_join_aggregate(
     input: &Plan,
     groups: &[BExpr],
     sets: &[Vec<bool>],
     aggs: &[AggCall],
     ctx: &ExecCtx<'_>,
-) -> Result<Option<(Vec<Row>, tpcds_storage::JoinStats)>> {
+) -> Result<Routed<(Vec<Row>, tpcds_storage::JoinStats)>> {
     if ctx.opts.columnar == ColumnarMode::Off {
-        return Ok(None);
+        return Ok(Err(reason::COLUMNAR_OFF));
     }
     let Plan::HashJoin {
         left,
@@ -826,19 +1076,21 @@ fn try_columnar_join_aggregate(
         residual,
     } = input
     else {
-        return Ok(None);
+        return Ok(Err(reason::INPUT_SHAPE));
     };
     if residual.is_some() {
-        return Ok(None);
+        return Ok(Err(reason::RESIDUAL));
     }
     let Some((group_cols, specs)) = compile_agg_shape(groups, sets, aggs) else {
-        return Ok(None);
+        return Ok(Err(reason::AGG_SHAPE));
     };
-    let Some(probe) = compile_join_side(left, left_keys, ctx)? else {
-        return Ok(None);
+    let probe = match compile_join_side(left, left_keys, ctx)? {
+        Ok(s) => s,
+        Err(why) => return Ok(Err(why)),
     };
-    let Some(build) = compile_join_side(right, right_keys, ctx)? else {
-        return Ok(None);
+    let build = match compile_join_side(right, right_keys, ctx)? {
+        Ok(s) => s,
+        Err(why) => return Ok(Err(why)),
     };
     let jt = match kind {
         JoinKind::Inner => tpcds_storage::JoinType::Inner,
@@ -856,7 +1108,7 @@ fn try_columnar_join_aggregate(
         &specs,
         ctx.threads(),
     ) {
-        Ok((rows, js)) => Ok(Some((rows, js))),
+        Ok((rows, js)) => Ok(Ok((rows, js))),
         Err(e) => Err(EngineError::exec(e.0)),
     }
 }
@@ -914,15 +1166,15 @@ struct ColSortSource {
 /// residual `Filter`) whose table has a shadow and whose predicates
 /// compile. Under Auto mode an index-probe-shaped filter on an indexed
 /// column falls back, preserving the probe path (the kernel would rescan
-/// the whole table). Returns `Ok(None)` to fall back.
-fn compile_sort_source(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Option<ColSortSource>> {
+/// the whole table). `Err(reason)` = fall back.
+fn compile_sort_source(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Routed<ColSortSource>> {
     let (inner, proj) = match plan {
         Plan::Project { input, exprs } => {
             let mut cols = Vec::with_capacity(exprs.len());
             for e in exprs {
                 match e {
                     BExpr::Col(i) => cols.push(*i),
-                    _ => return Ok(None),
+                    _ => return Ok(Err(reason::INPUT_SHAPE)),
                 }
             }
             (input.as_ref(), Some(cols))
@@ -933,9 +1185,9 @@ fn compile_sort_source(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Option<ColSortS
         Plan::Scan { table, filter, .. } => (table, filter.as_ref(), None),
         Plan::Filter { input, predicate } => match input.as_ref() {
             Plan::Scan { table, filter, .. } => (table, filter.as_ref(), Some(predicate)),
-            _ => return Ok(None),
+            _ => return Ok(Err(reason::INPUT_SHAPE)),
         },
-        _ => return Ok(None),
+        _ => return Ok(Err(reason::INPUT_SHAPE)),
     };
     let t = ctx.db.table(table)?;
     let t = t.read();
@@ -943,20 +1195,20 @@ fn compile_sort_source(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Option<ColSortS
         if let Some(f) = scan_filter {
             if let Some((col, _)) = index_probe_key(f) {
                 if t.indexes.contains_key(&col) {
-                    return Ok(None);
+                    return Ok(Err(reason::INDEX_PREFERRED));
                 }
             }
         }
     }
     let Some(ct) = t.columnar() else {
-        return Ok(None);
+        return Ok(Err(reason::NO_SHADOW));
     };
     let Some(pred) = compile_side_pred(scan_filter, extra_filter) else {
-        return Ok(None);
+        return Ok(Err(reason::PRED_SHAPE));
     };
     // Arc snapshot: the kernel runs without the table lock.
     drop(t);
-    Ok(Some(ColSortSource {
+    Ok(Ok(ColSortSource {
         table: ct,
         pred,
         proj,
@@ -969,14 +1221,17 @@ fn compile_sort_source(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Option<ColSortS
 /// the first `n` matches in table order, so the prefix is identical
 /// across paths. Index-probe-shaped filters fall back under Auto (probe
 /// output order differs from table order), as do shapes the kernels
-/// can't express. Returns `Ok(None)` to fall back.
+/// can't express. `Err(reason)` = fall back (no shortcut; the caller
+/// executes the input and truncates). Both `Ok` paths record their own
+/// route: the kernel records `columnar`, the early-stop row loop records
+/// `serial` with the reason the kernel was skipped.
 fn try_limited_input(
     input: &Plan,
     n: usize,
     node: usize,
     ctx: &ExecCtx<'_>,
     outer: Option<&[Value]>,
-) -> Result<Option<Vec<Row>>> {
+) -> Result<Routed<Vec<Row>>> {
     // Peel a plain-column Project (the binder always emits one over the
     // scan); the projection is applied to the surviving `n` rows below.
     let (inner, proj) = match input {
@@ -985,7 +1240,7 @@ fn try_limited_input(
             for e in exprs {
                 match e {
                     BExpr::Col(i) => cols.push(*i),
-                    _ => return Ok(None),
+                    _ => return Ok(Err(reason::INPUT_SHAPE)),
                 }
             }
             (input.as_ref(), Some(cols))
@@ -996,9 +1251,9 @@ fn try_limited_input(
         Plan::Scan { table, filter, .. } => (table, filter.as_ref(), None),
         Plan::Filter { input, predicate } => match input.as_ref() {
             Plan::Scan { table, filter, .. } => (table, filter.as_ref(), Some(predicate)),
-            _ => return Ok(None),
+            _ => return Ok(Err(reason::INPUT_SHAPE)),
         },
-        _ => return Ok(None),
+        _ => return Ok(Err(reason::INPUT_SHAPE)),
     };
     let t = ctx.db.table(table)?;
     let t = t.read();
@@ -1007,7 +1262,7 @@ fn try_limited_input(
         if let Some(f) = scan_filter {
             if let Some((col, _)) = index_probe_key(f) {
                 if t.indexes.contains_key(&col) {
-                    return Ok(None);
+                    return Ok(Err(reason::INDEX_PREFERRED));
                 }
             }
         }
@@ -1025,13 +1280,22 @@ fn try_limited_input(
         if let Some(ct) = t.columnar() {
             if let Some(pred) = compile_side_pred(scan_filter, extra_filter) {
                 drop(t);
+                ctx.record_route(node, "Limit", RoutePath::Columnar, None);
                 let (rows, cs) =
                     tpcds_storage::par_filter_limit(&ct, pred.as_ref(), n, ctx.threads());
                 ctx.record_columnar(node, &cs);
-                return Ok(Some(project(rows)));
+                return Ok(Ok(project(rows)));
             }
         }
     }
+    let why = if mode == ColumnarMode::Off {
+        reason::COLUMNAR_OFF
+    } else if t.columnar().is_none() {
+        reason::NO_SHADOW
+    } else {
+        reason::PRED_SHAPE
+    };
+    ctx.record_route(node, "Limit", RoutePath::Serial, Some(why));
     let mut out = Vec::new();
     for row in &t.rows {
         if out.len() >= n {
@@ -1046,7 +1310,7 @@ fn try_limited_input(
             out.push(row.clone());
         }
     }
-    Ok(Some(project(out)))
+    Ok(Ok(project(out)))
 }
 
 #[allow(clippy::too_many_arguments)]

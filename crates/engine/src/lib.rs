@@ -14,6 +14,7 @@ pub mod ast;
 pub mod binder;
 pub mod catalog;
 pub mod error;
+pub mod estimate;
 pub mod exec;
 pub mod expr;
 pub mod lexer;
@@ -25,8 +26,8 @@ pub mod sync;
 pub use binder::{Binder, Bound};
 pub use catalog::{ColumnMeta, Database, Table};
 pub use error::{EngineError, Result};
-pub use exec::{ColumnarMode, ExecCtx, ExecOptions};
-pub use plan::Plan;
+pub use exec::{ColumnarMode, ExecCtx, ExecOptions, RoutePath};
+pub use plan::{NodeReport, Plan};
 
 use tpcds_types::Row;
 
@@ -96,9 +97,13 @@ pub fn query_with(db: &Database, sql: &str, opts: ExecOptions) -> Result<QueryRe
 pub struct AnalyzedResult {
     /// The executed result.
     pub result: QueryResult,
-    /// The plan tree annotated with per-operator actuals
-    /// (`rows=`, `elapsed=`, `loops=`).
+    /// The plan tree annotated with per-operator actuals and estimates
+    /// (`rows=`, `est=`, `qerr=`, `route=`, `elapsed=`, `loops=`).
     pub plan_text: String,
+    /// Per-node machine-readable estimate/actual/routing reports, in
+    /// pre-order (including CTE bodies) — what `tpcds-bench coverage`
+    /// consumes.
+    pub nodes: Vec<plan::NodeReport>,
 }
 
 /// Executes one SQL statement with per-operator instrumentation and
@@ -112,6 +117,7 @@ pub fn query_analyze(db: &Database, sql: &str) -> Result<AnalyzedResult> {
 pub fn query_analyze_with(db: &Database, sql: &str, opts: ExecOptions) -> Result<AnalyzedResult> {
     let span = tpcds_obs::span("engine", "query_analyze");
     let bound = plan_sql(db, sql)?;
+    let est = estimate::estimate_plan(&bound.plan, db);
     let ctx = ExecCtx::with_stats_options(db, opts);
     let rows = exec::execute(&bound.plan, &ctx, None)?;
     let stats = ctx.take_stats();
@@ -121,7 +127,8 @@ pub fn query_analyze_with(db: &Database, sql: &str, opts: ExecOptions) -> Result
             columns: bound.names,
             rows,
         },
-        plan_text: bound.plan.explain_analyze(&stats),
+        plan_text: bound.plan.explain_analyze_with_estimates(&stats, &est),
+        nodes: bound.plan.node_reports(&stats, &est),
     })
 }
 
@@ -129,6 +136,16 @@ pub fn query_analyze_with(db: &Database, sql: &str, opts: ExecOptions) -> Result
 pub fn plan_sql(db: &Database, sql: &str) -> Result<Bound> {
     let ast = parser::parse(sql)?;
     Binder::new(db).bind(&ast)
+}
+
+/// Renders a statement's plan tree with cardinality estimates but without
+/// executing it — the plain `EXPLAIN` path. Every operator line carries
+/// `est_rows=` derived from collected table statistics (or shape-based
+/// defaults when a table has none).
+pub fn explain_sql(db: &Database, sql: &str) -> Result<String> {
+    let bound = plan_sql(db, sql)?;
+    let est = estimate::estimate_plan(&bound.plan, db);
+    Ok(bound.plan.explain_with_estimates(&est))
 }
 
 /// [`plan_sql`] with the optimizer disabled — the naive left-deep

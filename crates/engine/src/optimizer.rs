@@ -88,15 +88,21 @@ pub fn optimize(plan: Plan, db: &Database) -> Plan {
         })
         .collect();
 
-    // Cardinality estimates (after filtering).
+    // Cardinality estimates (after filtering). Selectivities come from
+    // the statistics-backed estimator when the relation's base table has
+    // collected stats (local predicates are in relation-local column
+    // coordinates, matching the table's column order); tables without
+    // stats degrade to the same shape-based defaults as before.
     let est: Vec<f64> = rels
         .iter()
         .enumerate()
         .map(|(i, r)| {
-            let base = base_rows(r.as_ref().expect("present"), db).max(1) as f64;
+            let r = r.as_ref().expect("present");
+            let base = base_rows(r, db).max(1) as f64;
+            let stats = crate::estimate::scan_table_stats(r, db);
             let mut sel = 1.0;
             for p in &local[i] {
-                sel *= selectivity(p);
+                sel *= crate::estimate::predicate_selectivity(p, stats.as_deref());
             }
             base * sel
         })
@@ -426,21 +432,5 @@ fn base_rows(plan: &Plan, db: &Database) -> usize {
         Plan::Filter { input, .. } => base_rows(input, db),
         Plan::CteRef { .. } => 1_000, // CTE results: assume modest
         _ => 10_000,
-    }
-}
-
-/// Crude selectivity model: equality 0.05, range 0.3, IN-list 0.1,
-/// LIKE 0.25, everything else 0.5.
-fn selectivity(e: &BExpr) -> f64 {
-    match e {
-        BExpr::Cmp(CmpOp::Eq, _, _) => 0.05,
-        BExpr::Cmp(_, _, _) => 0.3,
-        BExpr::Between(..) => 0.2,
-        BExpr::InList(_, list, _) => (0.03 * list.len() as f64).min(0.5),
-        BExpr::Like(..) => 0.25,
-        BExpr::And(a, b) => selectivity(a) * selectivity(b),
-        BExpr::Or(a, b) => (selectivity(a) + selectivity(b)).min(1.0),
-        BExpr::IsNull(..) => 0.1,
-        _ => 0.5,
     }
 }

@@ -265,7 +265,16 @@ impl Plan {
     /// Pretty-prints the plan tree (EXPLAIN output).
     pub fn explain(&self) -> String {
         let mut out = String::new();
-        self.explain_into(&mut out, 0, None);
+        self.explain_into(&mut out, 0, None, None);
+        out
+    }
+
+    /// Pretty-prints the plan tree with cardinality estimates (EXPLAIN
+    /// over a database with collected statistics): every operator line
+    /// carries `est_rows=` from [`crate::estimate::estimate_plan`].
+    pub fn explain_with_estimates(&self, est: &crate::estimate::EstMap) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0, None, Some(est));
         out
     }
 
@@ -277,7 +286,22 @@ impl Plan {
     /// [`crate::exec::ExecCtx::with_stats`].
     pub fn explain_analyze(&self, stats: &crate::exec::StatsMap) -> String {
         let mut out = String::new();
-        self.explain_into(&mut out, 0, Some(stats));
+        self.explain_into(&mut out, 0, Some(stats), None);
+        out
+    }
+
+    /// [`Plan::explain_analyze`] plus the estimator's view: each executed
+    /// operator line also carries `est=` (estimated rows), `qerr=` (the
+    /// q-error factor `max(est/actual, actual/est)` against per-call
+    /// actual rows) and `route=` (the execution path taken, with the
+    /// fallback reason code in brackets for non-columnar routes).
+    pub fn explain_analyze_with_estimates(
+        &self,
+        stats: &crate::exec::StatsMap,
+        est: &crate::estimate::EstMap,
+    ) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0, Some(stats), Some(est));
         out
     }
 
@@ -340,12 +364,24 @@ impl Plan {
         }
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize, stats: Option<&crate::exec::StatsMap>) {
+    fn explain_into(
+        &self,
+        out: &mut String,
+        depth: usize,
+        stats: Option<&crate::exec::StatsMap>,
+        est: Option<&crate::estimate::EstMap>,
+    ) {
         use std::fmt::Write;
         let pad = "  ".repeat(depth);
+        let node = self as *const Plan as usize;
+        let est_rows = est.and_then(|m| m.get(&node).copied());
         let suffix = match stats {
-            None => String::new(),
-            Some(map) => match map.get(&(self as *const Plan as usize)) {
+            None => match est_rows {
+                // Plain EXPLAIN over a database with statistics.
+                Some(e) => format!(" (est_rows={})", e.round() as u64),
+                None => String::new(),
+            },
+            Some(map) => match map.get(&node) {
                 Some(s) => {
                     let mut columnar = if s.partitions > 0 {
                         format!(
@@ -383,19 +419,110 @@ impl Plan {
                     } else {
                         String::new()
                     };
+                    // Estimator annotations: estimated rows, q-error vs
+                    // per-call actuals, and the routing decision.
+                    let est_part = match est_rows {
+                        Some(e) => {
+                            let per_call = s.rows_out / s.calls.max(1);
+                            let q = crate::estimate::q_error(e, per_call);
+                            format!(" est={} qerr={q:.2}", e.round() as u64)
+                        }
+                        None => String::new(),
+                    };
+                    let route = match (est.is_some(), s.route, s.fallback) {
+                        (false, _, _) => String::new(),
+                        (true, r, Some(why)) if r != crate::exec::RoutePath::Columnar => {
+                            format!(" route={}[{why}]", r.as_str())
+                        }
+                        (true, r, _) => format!(" route={}", r.as_str()),
+                    };
                     format!(
-                        " (rows={} elapsed={:.3}ms loops={}{columnar}{mem})",
+                        " (rows={}{est_part} elapsed={:.3}ms loops={}{route}{columnar}{mem})",
                         s.rows_out,
                         s.elapsed.as_secs_f64() * 1e3,
                         s.calls
                     )
                 }
-                None => " (never executed)".to_string(),
+                None => match est_rows {
+                    Some(e) => format!(" (est_rows={} never executed)", e.round() as u64),
+                    None => " (never executed)".to_string(),
+                },
             },
         };
         writeln!(out, "{pad}{}{suffix}", self.label()).unwrap();
         for child in self.children() {
-            child.explain_into(out, depth + 1, stats);
+            child.explain_into(out, depth + 1, stats, est);
         }
     }
+
+    /// Flattens the tree (including CTE bodies, which [`Plan::children`]
+    /// hides from display) into per-node machine-readable reports pairing
+    /// the estimator's view with executed actuals — the data behind the
+    /// coverage report.
+    pub fn node_reports(
+        &self,
+        stats: &crate::exec::StatsMap,
+        est: &crate::estimate::EstMap,
+    ) -> Vec<NodeReport> {
+        let mut out = Vec::new();
+        self.node_reports_into(stats, est, &mut out);
+        out
+    }
+
+    fn node_reports_into(
+        &self,
+        stats: &crate::exec::StatsMap,
+        est: &crate::estimate::EstMap,
+        out: &mut Vec<NodeReport>,
+    ) {
+        let node = self as *const Plan as usize;
+        let est_rows = est.get(&node).copied();
+        let s = stats.get(&node);
+        let (rows, calls) = s.map(|s| (s.rows_out, s.calls)).unwrap_or((0, 0));
+        let qerr = match (est_rows, s) {
+            (Some(e), Some(s)) if s.calls > 0 => {
+                Some(crate::estimate::q_error(e, s.rows_out / s.calls))
+            }
+            _ => None,
+        };
+        out.push(NodeReport {
+            op: self.label(),
+            est: est_rows,
+            rows,
+            calls,
+            qerr,
+            route: s.map(|s| s.route).unwrap_or_default(),
+            fallback: s.and_then(|s| s.fallback),
+            executed: s.is_some(),
+        });
+        for child in self.children() {
+            child.node_reports_into(stats, est, out);
+        }
+        if let Plan::CteRef { plan, .. } = self {
+            plan.node_reports_into(stats, est, out);
+        }
+    }
+}
+
+/// One plan node's estimate/actual/routing summary, in pre-order. The
+/// machine-readable counterpart of an EXPLAIN ANALYZE line, consumed by
+/// the `tpcds-bench coverage` report.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Operator label (same text as the EXPLAIN line).
+    pub op: String,
+    /// Estimated output rows, if the estimator annotated this node.
+    pub est: Option<f64>,
+    /// Total rows produced across all calls.
+    pub rows: u64,
+    /// Times the node executed (0 = never reached).
+    pub calls: u64,
+    /// q-error factor `max(est/actual, actual/est)` vs per-call actuals.
+    pub qerr: Option<f64>,
+    /// The best execution path any call took.
+    pub route: crate::exec::RoutePath,
+    /// Reason code for the first non-columnar routing decision, if any.
+    pub fallback: Option<&'static str>,
+    /// Whether the node executed at all (pruned subplans don't).
+    pub executed: bool,
 }

@@ -122,10 +122,13 @@ pub fn run_maintenance(
         .ops
         .push(delete_fact_range(db, generator, refresh_seq)?);
     // Every operation above invalidated the touched tables' columnar
-    // shadows; rebuild them once at the end of the refresh run.
+    // shadows (and with them the table statistics); rebuild both once at
+    // the end of the refresh run so estimates track the new population.
     let rebuilt = db.refresh_columnar();
+    let restatted = db.refresh_stats();
     span.field("rows", report.total_rows())
         .field("shadows_rebuilt", rebuilt as i64)
+        .field("stats_rebuilt", restatted as i64)
         .finish();
     Ok(report)
 }
@@ -457,6 +460,9 @@ pub fn load_initial_population(db: &Database, generator: &Generator) -> Result<(
         db.insert(t.name, rows)?;
         db.attach_columnar(t.name, shadow)?;
     }
+    // Collect table statistics over the fresh shadows so the estimator
+    // has NDV/histogram data from the first query on.
+    db.refresh_stats();
     build_basic_indexes(db, generator)
 }
 

@@ -216,6 +216,35 @@ impl HistSnapshot {
         }
     }
 
+    /// Approximate fraction of recorded samples `<= v`, in `0.0..=1.0`.
+    ///
+    /// Whole buckets below `v` count fully; the bucket straddling `v` is
+    /// apportioned by linear interpolation, so the error is bounded by
+    /// the ~20% bucket growth factor. An empty histogram reports 0.
+    /// This is the selectivity primitive behind range-predicate
+    /// cardinality estimates.
+    pub fn fraction_le(&self, v: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut seen = 0u64;
+        let mut lower = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bound = bucket_bound(i);
+            if bound <= v {
+                seen += c;
+            } else {
+                if v > lower && c > 0 {
+                    let part = (v - lower) as f64 / (bound - lower) as f64;
+                    return (seen as f64 + part * c as f64) / self.count as f64;
+                }
+                break;
+            }
+            lower = bound;
+        }
+        (seen as f64 / self.count as f64).min(1.0)
+    }
+
     /// Iterates non-empty buckets as `(upper_bound, count)`, ascending.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.counts
@@ -284,6 +313,30 @@ impl std::fmt::Debug for HistSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fraction_le_tracks_uniform_data() {
+        let mut h = HistSnapshot::new();
+        assert_eq!(h.fraction_le(10), 0.0, "empty histogram");
+        for v in 0..10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.fraction_le(u64::MAX), 1.0);
+        // 10_000 lands inside the last occupied bucket: interpolation may
+        // apportion part of it, but the answer must be close to 1.
+        assert!(h.fraction_le(10_000) > 0.9);
+        for &v in &[100u64, 1_000, 5_000, 9_000] {
+            let got = h.fraction_le(v);
+            let want = (v + 1) as f64 / 10_000.0;
+            assert!(
+                (got - want).abs() < 0.25 * want.max(0.01),
+                "v={v}: got {got:.4}, want {want:.4}"
+            );
+        }
+        // Monotonic in v.
+        let fr: Vec<f64> = (0..14).map(|i| h.fraction_le(1u64 << i)).collect();
+        assert!(fr.windows(2).all(|w| w[0] <= w[1]), "{fr:?}");
+    }
 
     #[test]
     fn bucket_layout_is_monotonic_and_covers_u64() {

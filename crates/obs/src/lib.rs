@@ -55,6 +55,7 @@ pub mod hist;
 pub mod json;
 pub mod mem;
 pub mod metrics;
+pub mod ndv;
 pub mod report;
 
 use json::Json;

@@ -1,0 +1,217 @@
+//! HyperLogLog-style distinct-count sketch.
+//!
+//! [`NdvSketch`] estimates the number of distinct values fed to it in a
+//! fixed 4 KiB of state, with a relative standard error of about 1.6%
+//! (`1.04 / sqrt(m)` with `m = 4096` registers). Sketches built over
+//! disjoint (or overlapping) portions of a data set [`merge`] losslessly:
+//! the merged sketch is exactly the sketch of the union, so per-segment
+//! statistics collection can run on the morsel workers and fold the
+//! partials in any order.
+//!
+//! [`merge`]: NdvSketch::merge
+
+/// Register-index bits: `m = 2^P` registers.
+const P: u32 = 12;
+/// Number of registers.
+const M: usize = 1 << P;
+
+/// A HyperLogLog distinct-count sketch with 4096 six-bit-capable
+/// registers (stored one per byte for simplicity).
+#[derive(Clone, Debug)]
+pub struct NdvSketch {
+    registers: Box<[u8; M]>,
+}
+
+impl Default for NdvSketch {
+    fn default() -> Self {
+        NdvSketch::new()
+    }
+}
+
+impl NdvSketch {
+    /// An empty sketch (estimates 0 distinct values).
+    pub fn new() -> NdvSketch {
+        NdvSketch {
+            registers: Box::new([0u8; M]),
+        }
+    }
+
+    /// Feeds one pre-hashed value. The hash must be uniform over `u64`
+    /// (e.g. `DefaultHasher` output); feeding the same hash twice is a
+    /// no-op on the estimate, which is what makes this a distinct count.
+    #[inline]
+    pub fn insert_hash(&mut self, hash: u64) {
+        let idx = (hash >> (64 - P)) as usize;
+        // Rank = position of the first set bit in the remaining 52 bits
+        // (1-based); an all-zero remainder saturates at 64 - P + 1.
+        let rest = hash << P;
+        let rank = (rest.leading_zeros() + 1).min(64 - P + 1) as u8;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Folds `other` into `self` (per-register max). Merging is
+    /// commutative and idempotent; the result is the sketch of the union
+    /// of both input streams.
+    pub fn merge(&mut self, other: &NdvSketch) {
+        for (a, b) in self.registers.iter_mut().zip(other.registers.iter()) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// True when no hash has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.registers.iter().all(|&r| r == 0)
+    }
+
+    /// The estimated number of distinct values inserted so far.
+    ///
+    /// Uses the standard bias-corrected harmonic mean, switching to
+    /// linear counting (`m * ln(m / zero_registers)`) in the small-range
+    /// regime where the raw estimator is known to be biased.
+    pub fn estimate(&self) -> f64 {
+        let m = M as f64;
+        let mut inv_sum = 0.0f64;
+        let mut zeros = 0usize;
+        for &r in self.registers.iter() {
+            inv_sum += 1.0 / (1u64 << r.min(63)) as f64;
+            if r == 0 {
+                zeros += 1;
+            }
+        }
+        let alpha = 0.7213 / (1.0 + 1.079 / m);
+        let raw = alpha * m * m / inv_sum;
+        if raw <= 2.5 * m && zeros > 0 {
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+
+    /// [`estimate`](NdvSketch::estimate) rounded to a whole count.
+    pub fn estimate_u64(&self) -> u64 {
+        self.estimate().round().max(0.0) as u64
+    }
+}
+
+/// Hashes a `u64` for [`NdvSketch::insert_hash`] (SplitMix64 finalizer —
+/// cheap, deterministic, and uniform enough for register selection).
+#[inline]
+pub fn hash_u64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a byte string for [`NdvSketch::insert_hash`] (FNV-1a folded
+/// through the SplitMix64 finalizer to spread the low bits).
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash_u64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny deterministic stream for seeded test data (SplitMix64 walk).
+    struct TestRng(u64);
+    impl TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            hash_u64(self.0)
+        }
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let s = NdvSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.estimate_u64(), 0);
+    }
+
+    #[test]
+    fn duplicate_inserts_do_not_inflate() {
+        let mut s = NdvSketch::new();
+        for _ in 0..10_000 {
+            s.insert_hash(hash_u64(42));
+        }
+        assert_eq!(s.estimate_u64(), 1);
+    }
+
+    #[test]
+    fn error_bound_on_seeded_distinct_counts() {
+        // Property: across seeded data sets of widely varying cardinality
+        // the estimate stays within 5% of the exact distinct count
+        // (expected standard error is ~1.6% at 4096 registers).
+        for &n in &[100u64, 1_000, 10_000, 100_000] {
+            for seed in 0..3u64 {
+                let mut rng = TestRng(0xC0FFEE ^ seed);
+                let mut s = NdvSketch::new();
+                let mut exact = std::collections::HashSet::new();
+                for _ in 0..n {
+                    let v = rng.next_u64();
+                    exact.insert(v);
+                    // Insert every value twice: duplicates must not count.
+                    s.insert_hash(hash_u64(v));
+                    s.insert_hash(hash_u64(v));
+                }
+                let est = s.estimate();
+                let truth = exact.len() as f64;
+                let rel = (est - truth).abs() / truth;
+                assert!(
+                    rel < 0.05,
+                    "n={n} seed={seed}: est {est:.0} vs exact {truth} (rel err {rel:.3})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_matches_union() {
+        let mut rng = TestRng(7);
+        let a_vals: Vec<u64> = (0..5_000).map(|_| rng.next_u64() % 8_000).collect();
+        let b_vals: Vec<u64> = (0..5_000).map(|_| rng.next_u64() % 8_000).collect();
+        let (mut a, mut b, mut union) = (NdvSketch::new(), NdvSketch::new(), NdvSketch::new());
+        for &v in &a_vals {
+            a.insert_hash(hash_u64(v));
+            union.insert_hash(hash_u64(v));
+        }
+        for &v in &b_vals {
+            b.insert_hash(hash_u64(v));
+            union.insert_hash(hash_u64(v));
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.registers, ba.registers, "merge must be commutative");
+        assert_eq!(
+            ab.registers, union.registers,
+            "merge must equal the union sketch"
+        );
+        // Idempotent: merging a sketch into itself changes nothing.
+        let mut aa = a.clone();
+        aa.merge(&a);
+        assert_eq!(aa.registers, a.registers);
+    }
+
+    #[test]
+    fn string_hashing_separates_values() {
+        let mut s = NdvSketch::new();
+        for i in 0..1_000 {
+            s.insert_hash(hash_bytes(format!("customer#{i}").as_bytes()));
+        }
+        let est = s.estimate();
+        assert!((est - 1_000.0).abs() / 1_000.0 < 0.05, "est {est}");
+    }
+}

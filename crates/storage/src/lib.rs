@@ -25,6 +25,7 @@ pub mod morsel;
 pub mod pred;
 pub mod segment;
 pub mod sort;
+pub mod stats;
 
 pub use agg::{AggKind, AggSpec};
 pub use column::{Bitmap, Column, ColumnData};
@@ -33,6 +34,7 @@ pub use morsel::{par_aggregate, par_filter, par_filter_limit, ScanStats, MORSEL_
 pub use pred::{CmpKind, Pred};
 pub use segment::{ColumnTable, ColumnTableBuilder, Segment, SEGMENT_ROWS};
 pub use sort::{par_sort, par_sort_rows, par_topn, par_topn_rows, SortKey, SortStats};
+pub use stats::{collect_stats, ColumnStats, TableStats};
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -11,22 +11,29 @@
 #    peak memory (tpcds-bench profile);
 #  - BENCH_5.json: parallel sort / Top-N throughput (the ORDER BY ...
 #    LIMIT 100 template tail) for the serial row sort vs the morsel-driven
-#    kernels at 1 and N workers (written by the same profile run).
-# After regenerating, each fresh report is gated against the committed
-# baseline with `tpcds-bench compare` — a throughput drop (or latency
-# rise) past BENCH_TOLERANCE fails the script. Exits non-zero on any
-# answer mismatch, columnar-routing fallback, or perf regression.
+#    kernels at 1 and N workers (written by the same profile run);
+#  - COVERAGE_6.json: per-template routing paths, fallback reason codes
+#    and cardinality q-error quantiles over all 99 templates
+#    (tpcds-bench coverage).
+# After regenerating, each fresh perf report is gated against the
+# committed baseline with `tpcds-bench compare` — a throughput drop (or
+# latency rise) past BENCH_TOLERANCE fails the script — and the coverage
+# report is gated on routing paths: any template falling off its
+# committed path (e.g. columnar -> serial) fails the script. Exits
+# non-zero on any answer mismatch, columnar-routing fallback, perf
+# regression, or routing-path regression.
 #
 # Knobs:
-#   TPCDS_THREADS     morsel worker count (default: available_parallelism)
-#   BENCH_SCALE       scale factor for BENCH_2 (default 0.02)
-#   BENCH_JOIN_SCALE  scale factor for BENCH_3/BENCH_4 (default 0.01)
-#   BENCH_OUT         BENCH_2 output path (default BENCH_2.json)
-#   BENCH_JOIN_OUT    BENCH_3 output path (default BENCH_3.json)
-#   BENCH_PROFILE_OUT BENCH_4 output path (default BENCH_4.json)
-#   BENCH_SORT_OUT    BENCH_5 output path (default BENCH_5.json)
-#   BENCH_TOLERANCE   relative regression slack for the gate (default 0.5 —
-#                     generous, CI machines are noisy; tighten locally)
+#   TPCDS_THREADS      morsel worker count (default: available_parallelism)
+#   BENCH_SCALE        scale factor for BENCH_2 (default 0.02)
+#   BENCH_JOIN_SCALE   scale factor for BENCH_3/BENCH_4 (default 0.01)
+#   BENCH_OUT          BENCH_2 output path (default BENCH_2.json)
+#   BENCH_JOIN_OUT     BENCH_3 output path (default BENCH_3.json)
+#   BENCH_PROFILE_OUT  BENCH_4 output path (default BENCH_4.json)
+#   BENCH_SORT_OUT     BENCH_5 output path (default BENCH_5.json)
+#   BENCH_COVERAGE_OUT COVERAGE_6 output path (default COVERAGE_6.json)
+#   BENCH_TOLERANCE    relative regression slack for the gate (default 0.5 —
+#                      generous, CI machines are noisy; tighten locally)
 set -eux
 
 export CARGO_NET_OFFLINE=true
@@ -36,12 +43,13 @@ OUT2="${BENCH_OUT:-BENCH_2.json}"
 OUT3="${BENCH_JOIN_OUT:-BENCH_3.json}"
 OUT4="${BENCH_PROFILE_OUT:-BENCH_4.json}"
 OUT5="${BENCH_SORT_OUT:-BENCH_5.json}"
+OUT6="${BENCH_COVERAGE_OUT:-COVERAGE_6.json}"
 
 cargo build --release -p tpcds-bench \
     --bin storage_bench --bin join_bench --bin tpcds-bench
 
 # Snapshot committed baselines before the fresh runs overwrite them.
-for f in "$OUT2" "$OUT3" "$OUT4" "$OUT5"; do
+for f in "$OUT2" "$OUT3" "$OUT4" "$OUT5" "$OUT6"; do
     if [ -f "$f" ]; then
         cp "$f" "$f.baseline"
     fi
@@ -67,4 +75,17 @@ for f in "$OUT2" "$OUT3" "$OUT4" "$OUT5"; do
         rm -f "$f.baseline"
     fi
 done
+
+# Routing coverage over all 99 templates, gated on the committed paths
+# (exact-path contract, no tolerance — routing is deterministic).
+if [ -f "$OUT6.baseline" ]; then
+    ./target/release/tpcds-bench coverage \
+        --scale "${BENCH_JOIN_SCALE:-0.01}" \
+        --out "$OUT6" --baseline "$OUT6.baseline" || status=1
+    rm -f "$OUT6.baseline"
+else
+    ./target/release/tpcds-bench coverage \
+        --scale "${BENCH_JOIN_SCALE:-0.01}" \
+        --out "$OUT6" || status=1
+fi
 exit "$status"
