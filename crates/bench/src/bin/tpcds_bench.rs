@@ -35,7 +35,8 @@ static ALLOC: tpcds_core::obs::mem::CountingAlloc = tpcds_core::obs::mem::Counti
 const USAGE: &str = "usage:
   tpcds-bench profile [--scale SF] [--out BENCH_4.json] [--sort-out BENCH_5.json] [--queries-per-class N]
   tpcds-bench compare OLD.json NEW.json [--tolerance 0.15]
-  tpcds-bench coverage [--scale SF] [--out COVERAGE_6.json] [--baseline FILE]";
+  tpcds-bench coverage [--scale SF] [--out COVERAGE_6.json] [--baseline FILE]
+  tpcds-bench serve [--scale SF] [--queries N] [--out BENCH_7.json]";
 
 const JOIN_SQL: &str = "select ss_item_sk, ss_ticket_number, d_year \
      from store_sales, date_dim where ss_sold_date_sk = d_date_sk and ss_quantity > 10";
@@ -67,6 +68,7 @@ fn main() {
         Some((sub, rest)) if sub == "compare" => cmd_compare(rest),
         Some((sub, rest)) if sub == "profile" => cmd_profile(rest),
         Some((sub, rest)) if sub == "coverage" => cmd_coverage(rest),
+        Some((sub, rest)) if sub == "serve" => cmd_serve(rest),
         _ => {
             eprintln!("{USAGE}");
             2
@@ -465,4 +467,174 @@ fn cmd_coverage(args: &[String]) -> i32 {
         println!("routing paths match or improve on {base_path}");
         0
     }
+}
+
+/// `tpcds-bench serve` — the BENCH_7 multi-stream client/server report:
+/// loads one data set, then for 1, 4 and 16 TCP clients runs a query
+/// burst through a real `tpcds-server` while data maintenance commits
+/// snapshot versions mid-run. Reports a QphDS-style throughput proxy
+/// (SF x queries/hour over the concurrent window), per-stream latency
+/// histograms, admission configuration and snapshot-version churn.
+fn cmd_serve(args: &[String]) -> i32 {
+    use std::sync::Arc;
+    use tpcds_core::obs::report::LatencyStats;
+    use tpcds_core::server::{Client, Server, ServerConfig};
+
+    let sf: f64 = flag(args, "--scale")
+        .map(|v| v.parse().expect("bad --scale"))
+        .unwrap_or(0.01);
+    let per_client: usize = flag(args, "--queries")
+        .map(|v| v.parse().expect("bad --queries"))
+        .unwrap_or(8);
+    let out_path = flag(args, "--out").unwrap_or_else(|| "BENCH_7.json".to_string());
+
+    eprintln!("loading TPC-DS at SF {sf}...");
+    let generator = tpcds_core::Generator::new(sf);
+    let db = Arc::new(tpcds_core::Database::new());
+    tpcds_core::maint::load_initial_population(&db, &generator).expect("load");
+    tpcds_core::runner::build_reporting_aux(&db).expect("aux");
+    // Keep the whole run's versions reachable for pinned reads.
+    db.set_snapshot_retention(64);
+    let workload = Workload::tpcds().expect("workload");
+    let seed = tpcds_types::rng::DEFAULT_SEED;
+
+    let mut runs: Vec<(String, Json)> = Vec::new();
+    for (round, clients) in [1usize, 4, 16].into_iter().enumerate() {
+        let server = Server::start(
+            Arc::clone(&db),
+            ServerConfig {
+                max_concurrent_queries: clients,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server starts");
+        let addr = server.local_addr();
+        let version_before = db.version();
+        eprintln!("round {clients}: {clients} clients x {per_client} queries + 1 DM sequence...");
+
+        let started = Instant::now();
+        // Writer: one maintenance sequence commits 12 versions mid-burst.
+        let dm = {
+            let db = Arc::clone(&db);
+            let generator = tpcds_core::Generator::new(sf);
+            let seq = round as u32;
+            std::thread::spawn(move || {
+                tpcds_core::maint::run_maintenance(&db, &generator, seq)
+                    .expect("dm")
+                    .total_rows()
+            })
+        };
+        // Readers: one connection per stream, each with its own seeded
+        // template permutation (offset per round so rounds differ).
+        let streams: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|s| {
+                    let workload = &workload;
+                    let stream_id = (round * 16 + s) as u64;
+                    scope.spawn(move || {
+                        let mut c = Client::connect(addr).expect("connect");
+                        let mut lat_us = Vec::new();
+                        let mut versions = Vec::new();
+                        for id in workload
+                            .stream_order(seed, stream_id)
+                            .into_iter()
+                            .take(per_client)
+                        {
+                            let sql = workload.instantiate(id, seed, stream_id).expect("sql");
+                            let q = Instant::now();
+                            let r = c.query(&sql).expect("query");
+                            lat_us.push(q.elapsed().as_micros() as u64);
+                            versions.push(r.version);
+                        }
+                        (lat_us, versions)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stream"))
+                .collect()
+        });
+        let elapsed = started.elapsed();
+        let dm_rows = dm.join().expect("dm thread");
+        server.shutdown();
+
+        let all_lat: Vec<u64> = streams
+            .iter()
+            .flat_map(|(l, _)| l.iter().copied())
+            .collect();
+        let mut versions: Vec<u64> = streams
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        versions.sort_unstable();
+        versions.dedup();
+        let total_queries = all_lat.len();
+        let agg = LatencyStats::from_durations_us(all_lat);
+        let per_stream: Vec<Json> = streams
+            .iter()
+            .enumerate()
+            .map(|(s, (lat, _))| {
+                let st = LatencyStats::from_durations_us(lat.clone());
+                Json::Obj(vec![
+                    ("stream".into(), Json::Int(s as i64)),
+                    ("count".into(), Json::Int(st.count as i64)),
+                    ("p50_us".into(), Json::Int(st.p50_us as i64)),
+                    ("p95_us".into(), Json::Int(st.p95_us as i64)),
+                    ("max_us".into(), Json::Int(st.max_us as i64)),
+                ])
+            })
+            .collect();
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        runs.push((
+            format!("clients_{clients}"),
+            Json::Obj(vec![
+                ("clients".into(), Json::Int(clients as i64)),
+                ("queries".into(), Json::Int(total_queries as i64)),
+                ("wall_s".into(), Json::Float(secs)),
+                (
+                    "queries_per_s".into(),
+                    Json::Float(total_queries as f64 / secs),
+                ),
+                // QphDS-style proxy over the concurrent window (the full
+                // metric needs the complete Figure 11 phase sequence).
+                (
+                    "qphds_proxy".into(),
+                    Json::Float(sf * total_queries as f64 * 3600.0 / secs),
+                ),
+                (
+                    "latency".into(),
+                    Json::Obj(vec![
+                        ("p50_us".into(), Json::Int(agg.p50_us as i64)),
+                        ("p95_us".into(), Json::Int(agg.p95_us as i64)),
+                        ("max_us".into(), Json::Int(agg.max_us as i64)),
+                    ]),
+                ),
+                ("per_stream".into(), Json::Arr(per_stream)),
+                (
+                    "snapshot_versions_observed".into(),
+                    Json::Int(versions.len() as i64),
+                ),
+                (
+                    "snapshot_commits".into(),
+                    Json::Int((db.version() - version_before) as i64),
+                ),
+                ("dm_rows".into(), Json::Int(dm_rows as i64)),
+            ]),
+        ));
+    }
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("server_multi_stream".into())),
+        ("scale_factor".into(), Json::Float(sf)),
+        ("queries_per_client".into(), Json::Int(per_client as i64)),
+        (
+            "threads".into(),
+            Json::Int(tpcds_core::storage::effective_threads() as i64),
+        ),
+        ("runs".into(), Json::Obj(runs)),
+    ]);
+    std::fs::write(&out_path, format!("{report}\n")).expect("write report");
+    eprintln!("wrote {out_path}");
+    0
 }

@@ -102,6 +102,7 @@ pub fn metric_experiment(sf: f64, streams: usize, queries_per_stream: usize) -> 
         queries_per_stream: Some(queries_per_stream),
         aux: AuxLevel::Reporting,
         threads: None,
+        via_server: false,
     };
     let result = runner::run_benchmark(config).expect("benchmark run");
     let mut out = format!(
@@ -203,6 +204,7 @@ pub fn ablation_aux(sf: f64, streams: usize, queries_per_stream: usize) -> Strin
             queries_per_stream: Some(queries_per_stream),
             aux,
             threads: None,
+            via_server: false,
         })
         .expect("benchmark run")
     };
@@ -247,6 +249,7 @@ pub fn ablation_load_coefficient(sf: f64, streams: usize, queries_per_stream: us
         queries_per_stream: Some(queries_per_stream),
         aux: AuxLevel::Reporting,
         threads: None,
+        via_server: false,
     })
     .expect("benchmark run");
     let inputs = result.metric_inputs();

@@ -258,6 +258,7 @@ pub fn figure11(sf: f64, streams: usize, queries_per_stream: usize) -> String {
         queries_per_stream: Some(queries_per_stream),
         aux: tpcds_core::AuxLevel::Reporting,
         threads: None,
+        via_server: false,
     })
     .expect("benchmark run");
     let phases = [

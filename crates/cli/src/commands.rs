@@ -173,6 +173,7 @@ pub fn run(args: &[String]) -> Result<()> {
             AuxLevel::Reporting
         },
         threads,
+        via_server: flags.has("--via-server"),
     };
     if !flags.has("--json") {
         println!("running benchmark at SF {sf}...");
@@ -438,5 +439,106 @@ pub fn schema(args: &[String]) -> Result<()> {
         }
         println!();
     }
+    Ok(())
+}
+
+/// `tpcds serve` — load a data set and serve it over TCP until a client
+/// sends `shutdown` (or the process is killed).
+pub fn serve(args: &[String]) -> Result<()> {
+    let flags = Flags::new(args);
+    let traced = maybe_trace(&flags)?;
+    if let Some(addr) = flags.value("--metrics-addr") {
+        let bound = tpcds_core::obs::metrics::serve(addr)
+            .map_err(|e| format!("cannot bind metrics endpoint {addr:?}: {e}"))?;
+        println!("serving metrics at http://{bound}/metrics");
+    }
+    let sf: f64 = flags.parse("--scale", 0.01)?;
+    let addr = flags
+        .value("--addr")
+        .unwrap_or("127.0.0.1:9955")
+        .to_string();
+    let max_queries: usize = flags.parse("--max-queries", 0usize)?;
+    let idle_secs: u64 = flags.parse("--idle-timeout", 300u64)?;
+
+    eprintln!("loading TPC-DS at SF {sf}...");
+    let db = std::sync::Arc::new(tpcds_core::Database::new());
+    let generator = Generator::new(sf);
+    tpcds_core::maint::load_initial_population(&db, &generator).map_err(|e| e.to_string())?;
+    if !flags.has("--no-aux") {
+        runner::build_reporting_aux(&db).map_err(|e| e.to_string())?;
+    }
+
+    let mut config = tpcds_core::server::ServerConfig {
+        addr,
+        idle_timeout: std::time::Duration::from_secs(idle_secs),
+        ..tpcds_core::server::ServerConfig::default()
+    };
+    if max_queries > 0 {
+        config.max_concurrent_queries = max_queries;
+    }
+    let server = tpcds_core::server::Server::start(std::sync::Arc::clone(&db), config)
+        .map_err(|e| format!("cannot start server: {e}"))?;
+    println!(
+        "serving TPC-DS (SF {sf}, snapshot v{}) at {} — stop with `tpcds client --addr {} --shutdown`",
+        db.version(),
+        server.local_addr(),
+        server.local_addr()
+    );
+    server.wait();
+    if traced {
+        tpcds_core::obs::flush();
+    }
+    eprintln!("server stopped");
+    Ok(())
+}
+
+/// `tpcds client` — talk to a running `tpcds serve`: ping, one-shot
+/// queries (optionally pinned to a snapshot version), plans, server
+/// stats, shutdown.
+pub fn client(args: &[String]) -> Result<()> {
+    let flags = Flags::new(args);
+    let addr = flags.value("--addr").unwrap_or("127.0.0.1:9955");
+    let mut client = tpcds_core::server::Client::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    if flags.has("--ping") {
+        let version = client.ping().map_err(|e| e.to_string())?;
+        println!("pong (snapshot v{version})");
+        return Ok(());
+    }
+    if flags.has("--stats") {
+        println!("{}", client.stats().map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    if flags.has("--shutdown") {
+        client.shutdown().map_err(|e| e.to_string())?;
+        println!("server is shutting down");
+        return Ok(());
+    }
+    let sql = flags
+        .value("--sql")
+        .ok_or_else(|| "need --sql '...' (or --ping / --stats / --shutdown)".to_string())?;
+    if flags.has("--explain") {
+        print!("{}", client.explain(sql).map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    let mut opts = tpcds_core::server::QueryOpts::default();
+    if let Some(pin) = flags.value("--pin") {
+        opts.pin = Some(pin.parse().map_err(|_| format!("bad --pin {pin:?}"))?);
+    }
+    let started = std::time::Instant::now();
+    let result = client.query_with(sql, &opts).map_err(|e| e.to_string())?;
+    let qr = tpcds_core::QueryResult {
+        columns: result.columns,
+        rows: result.rows,
+    };
+    println!("{}", qr.to_table(40));
+    println!(
+        "({} rows from snapshot v{} in {:.2?}; server time {:.3}ms)",
+        qr.rows.len(),
+        result.version,
+        started.elapsed(),
+        result.elapsed_us as f64 / 1e3
+    );
     Ok(())
 }

@@ -10,6 +10,8 @@
 //! * `tpcds trace`   — convert a trace (Chrome Trace Event export)
 //! * `tpcds shell`   — interactive SQL shell over a generated data set
 //! * `tpcds schema`  — print the schema (DDL-ish) and statistics
+//! * `tpcds serve`   — serve a loaded data set over TCP
+//! * `tpcds client`  — query a running `tpcds serve`
 
 mod commands;
 
@@ -41,6 +43,8 @@ fn main() -> ExitCode {
         "shell" => commands::shell(rest),
         "schema" => commands::schema(rest),
         "profile" => commands::profile(rest),
+        "serve" => commands::serve(rest),
+        "client" => commands::client(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -62,7 +66,7 @@ fn usage() -> &'static str {
 USAGE:
     tpcds dsdgen  [--scale SF] [--dir DIR] [--table NAME] [--parallel N] [--trace FILE]
     tpcds dsqgen  [--scale SF] [--streams N] [--query ID] [--dir DIR]
-    tpcds run     [--scale SF] [--streams N] [--queries N] [--threads N] [--no-aux] [--json] [--trace FILE] [--metrics-addr HOST:PORT]
+    tpcds run     [--scale SF] [--streams N] [--queries N] [--threads N] [--no-aux] [--via-server] [--json] [--trace FILE] [--metrics-addr HOST:PORT]
     tpcds query   [--scale SF] (--id QUERY_ID | --sql 'SELECT ...') [--explain] [--trace FILE]
     tpcds explain [--scale SF] (--id QUERY_ID | --sql 'SELECT ...') [--analyze]
     tpcds report  FILE.jsonl
@@ -70,6 +74,8 @@ USAGE:
     tpcds shell   [--scale SF]
     tpcds schema  [--stats | --dot | --ddl]
     tpcds profile [--scale SF] [--table NAME] [--limit N]
+    tpcds serve   [--scale SF] [--addr HOST:PORT] [--max-queries N] [--idle-timeout SECS] [--no-aux] [--trace FILE] [--metrics-addr HOST:PORT]
+    tpcds client  [--addr HOST:PORT] (--sql 'SELECT ...' [--pin VERSION] [--explain] | --ping | --stats | --shutdown)
 
 Scale factors are GB of raw data; fractional values (default 0.01)
 generate laptop-sized miniatures with the same shape.

@@ -24,6 +24,7 @@ pub use tpcds_obs as obs;
 pub use tpcds_qgen as qgen;
 pub use tpcds_runner as runner;
 pub use tpcds_schema as schema;
+pub use tpcds_server as server;
 pub use tpcds_storage as storage;
 pub use tpcds_types as types;
 

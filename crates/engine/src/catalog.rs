@@ -1,13 +1,26 @@
-//! In-memory storage: tables, secondary indexes, and the database catalog.
+//! In-memory storage: tables, secondary indexes, and the versioned
+//! database catalog.
 //!
-//! Tables are row-major `Vec<Row>` guarded by `crate::sync::RwLock (std-backed)`, so
-//! concurrent query streams read in parallel while the data-maintenance run
-//! takes short write locks — the concurrency model of the paper's execution
-//! rules (§5.2).
+//! The catalog is **snapshot isolated**: [`Database`] holds an
+//! `Arc<DbSnapshot>` — an immutable map of table name → `Arc<Table>`
+//! (rows + indexes + columnar shadow + statistics) stamped with a version
+//! number — that is swapped atomically when a [`WriteTxn`] commits.
+//! Queries pin the snapshot once at dispatch ([`Database::snapshot`]) and
+//! read it lock-free to completion; writers build the next version
+//! copy-on-write (only the tables a transaction touches are cloned and
+//! re-shadowed) behind a single writer mutex and publish it with one
+//! pointer store. No reader ever blocks on a writer or observes partial
+//! state, which is what lets the server run the paper's multi-stream
+//! throughput test (§5.2) concurrently with data maintenance.
+//!
+//! Commit is panic-safe by construction: a transaction that unwinds
+//! before [`WriteTxn::commit`] publishes nothing — the pending
+//! copy-on-write tables are dropped and the head snapshot is untouched
+//! (the writer mutex ignores poisoning, see `crate::sync`).
 
 use crate::error::{EngineError, Result};
-use crate::sync::RwLock;
-use std::collections::HashMap;
+use crate::sync::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use tpcds_storage::{ColumnTable, TableStats};
 use tpcds_types::{DataType, Row, Value};
@@ -22,7 +35,7 @@ pub struct ColumnMeta {
 }
 
 /// A hash index over one column: value → row positions.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Index {
     map: HashMap<Value, Vec<usize>>,
 }
@@ -77,8 +90,11 @@ impl Index {
     }
 }
 
-/// One stored table.
-#[derive(Debug)]
+/// One stored table. Cloning a `Table` is the copy-on-write step of a
+/// [`WriteTxn`]: rows and indexes copy deeply, while the columnar shadow
+/// and statistics are `Arc`s shared with the base version until a
+/// mutation invalidates them.
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Column metadata, in order.
     pub columns: Vec<ColumnMeta>,
@@ -87,13 +103,13 @@ pub struct Table {
     /// Secondary hash indexes, keyed by column position.
     pub indexes: HashMap<usize, Index>,
     /// Columnar shadow of `rows`, when built and current. Any mutation
-    /// drops it; `columnar_enabled` remembers that it should come back on
-    /// the next [`Database::refresh_columnar`].
+    /// drops it; `columnar_enabled` remembers that [`WriteTxn::commit`]
+    /// must rebuild it before the table is published.
     columnar: Option<Arc<ColumnTable>>,
     columnar_enabled: bool,
     /// Per-column statistics (row/null counts, min/max, NDV, histogram),
     /// collected from the columnar shadow. Dropped together with the
-    /// shadow on any mutation; [`Database::refresh_stats`] rebuilds them.
+    /// shadow on any mutation; commit re-collects them.
     stats: Option<Arc<TableStats>>,
 }
 
@@ -222,13 +238,13 @@ impl Table {
         self.columnar.clone()
     }
 
-    /// Whether this table keeps a columnar shadow across refreshes.
+    /// Whether this table keeps a columnar shadow across versions.
     pub fn columnar_enabled(&self) -> bool {
         self.columnar_enabled
     }
 
     /// Builds the columnar shadow from the current rows and enables
-    /// automatic rebuilds on refresh.
+    /// automatic rebuilds on commit.
     pub fn build_columnar(&mut self) -> Arc<ColumnTable> {
         let dtypes: Vec<DataType> = self.columns.iter().map(|c| c.dtype).collect();
         let ct = Arc::new(ColumnTable::from_rows(dtypes, &self.rows));
@@ -280,215 +296,502 @@ impl Table {
         self.stats = Some(Arc::clone(&stats));
         Some(stats)
     }
+}
 
-    fn set_stats(&mut self, stats: Arc<TableStats>) {
-        self.stats = Some(stats);
+/// One immutable published version of the database: every table frozen at
+/// a point in time, plus the version number. Queries hold an
+/// `Arc<DbSnapshot>` and read without any locking; writers never touch a
+/// published snapshot.
+#[derive(Debug)]
+pub struct DbSnapshot {
+    version: u64,
+    tables: HashMap<String, Arc<Table>>,
+}
+
+impl DbSnapshot {
+    /// The version number (0 = the empty database, +1 per commit).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Handle to a table in this snapshot.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::Catalog(format!("unknown table {name}")))
+    }
+
+    /// True when the table exists in this snapshot.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Row count of a table (0 when missing — used by the planner for
+    /// cardinality estimates only).
+    pub fn row_count(&self, name: &str) -> usize {
+        self.tables.get(name).map(|t| t.rows.len()).unwrap_or(0)
+    }
+
+    /// Total number of stored rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.rows.len()).sum()
     }
 }
 
-/// The database: a named collection of tables.
-#[derive(Default)]
+/// What a committed transaction changed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Commit {
+    /// The version number the commit published.
+    pub version: u64,
+    /// Tables the transaction wrote (created, dropped, or mutated).
+    pub tables_changed: usize,
+    /// Tables whose columnar shadow had to be rebuilt because the
+    /// transaction actually mutated their rows — the `snapshot.tables_rebuilt`
+    /// counter, proving DM no longer re-shadows the whole catalog.
+    pub tables_rebuilt: usize,
+}
+
+struct WriterState {
+    /// Recently published snapshots, oldest first; the last entry is the
+    /// current head. [`Database::snapshot_at`] serves pinned-version
+    /// lookups (the soak test's differential oracle) from here.
+    history: VecDeque<Arc<DbSnapshot>>,
+    retain: usize,
+}
+
+enum TxnEntry {
+    Put(Table),
+    Dropped,
+}
+
+/// A write transaction: copy-on-write table edits staged against the base
+/// snapshot, published atomically by [`WriteTxn::commit`]. Dropping the
+/// transaction without committing publishes nothing — mid-transaction
+/// panics (a DM failure half-way through a batch) leave the head snapshot
+/// exactly as it was.
+pub struct WriteTxn<'a> {
+    db: &'a Database,
+    state: std::sync::MutexGuard<'a, WriterState>,
+    base: Arc<DbSnapshot>,
+    pending: HashMap<String, TxnEntry>,
+}
+
+impl std::fmt::Debug for WriteTxn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WriteTxn(base v{}, {} pending)",
+            self.base.version(),
+            self.pending.len()
+        )
+    }
+}
+
+impl<'a> WriteTxn<'a> {
+    /// The snapshot this transaction reads from and builds upon.
+    pub fn base(&self) -> &Arc<DbSnapshot> {
+        &self.base
+    }
+
+    /// True when the table exists in the transaction's view.
+    pub fn has_table(&self, name: &str) -> bool {
+        match self.pending.get(name) {
+            Some(TxnEntry::Put(_)) => true,
+            Some(TxnEntry::Dropped) => false,
+            None => self.base.has_table(name),
+        }
+    }
+
+    /// Mutable handle to a table, cloning it out of the base snapshot on
+    /// first touch (copy-on-write). Rows and indexes copy; the columnar
+    /// shadow and stats stay shared until a mutation invalidates them.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        if !self.pending.contains_key(name) {
+            let t = self.base.table(name)?;
+            self.pending
+                .insert(name.to_string(), TxnEntry::Put((*t).clone()));
+        }
+        match self.pending.get_mut(name) {
+            Some(TxnEntry::Put(t)) => Ok(t),
+            _ => Err(EngineError::Catalog(format!("unknown table {name}"))),
+        }
+    }
+
+    /// Creates an empty table. Errors if the name exists in this
+    /// transaction's view.
+    pub fn create_table(&mut self, name: &str, columns: Vec<ColumnMeta>) -> Result<()> {
+        if self.has_table(name) {
+            return Err(EngineError::Catalog(format!("table {name} already exists")));
+        }
+        self.pending
+            .insert(name.to_string(), TxnEntry::Put(Table::new(columns)));
+        Ok(())
+    }
+
+    /// Drops a table. Errors if missing.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        if !self.has_table(name) {
+            return Err(EngineError::Catalog(format!("unknown table {name}")));
+        }
+        self.pending.insert(name.to_string(), TxnEntry::Dropped);
+        Ok(())
+    }
+
+    /// Publishes the staged tables as the next snapshot version and
+    /// returns what changed. For every *mutated* table whose columnar
+    /// shadow was invalidated, the shadow and statistics are rebuilt here
+    /// — and only here — so a commit re-shadows exactly the tables it
+    /// touched (`snapshot.tables_rebuilt`), never the whole catalog.
+    pub fn commit(mut self) -> Commit {
+        let span = tpcds_obs::span("snapshot", "commit");
+        let threads = tpcds_storage::effective_threads();
+        let mut tables = self.base.tables.clone();
+        let tables_changed = self.pending.len();
+        let mut tables_rebuilt = 0usize;
+        for (name, entry) in self.pending.drain() {
+            match entry {
+                TxnEntry::Dropped => {
+                    tables.remove(&name);
+                }
+                TxnEntry::Put(mut t) => {
+                    if t.columnar_enabled() && t.columnar().is_none() {
+                        t.build_columnar();
+                        tables_rebuilt += 1;
+                    }
+                    if t.columnar_enabled() && t.stats().is_none() {
+                        t.build_stats(threads);
+                    }
+                    tables.insert(name, Arc::new(t));
+                }
+            }
+        }
+        let version = self.base.version + 1;
+        let snap = Arc::new(DbSnapshot { version, tables });
+        *self.db.head.write() = Arc::clone(&snap);
+        self.state.history.push_back(snap);
+        let retain = self.state.retain.max(1);
+        while self.state.history.len() > retain {
+            self.state.history.pop_front();
+        }
+        tpcds_obs::counter("snapshot", "commits", 1.0, &[]);
+        if tables_rebuilt > 0 {
+            tpcds_obs::counter(
+                "snapshot",
+                "tables_rebuilt",
+                tables_rebuilt as f64,
+                &[("version", tpcds_obs::FieldValue::Int(version as i64))],
+            );
+        }
+        tpcds_obs::metrics::gauge_set("snapshot.version", version as i64);
+        span.field("version", version as i64)
+            .field("tables_changed", tables_changed as i64)
+            .field("tables_rebuilt", tables_rebuilt as i64)
+            .finish();
+        Commit {
+            version,
+            tables_changed,
+            tables_rebuilt,
+        }
+    }
+}
+
+/// The database: a versioned, atomically published collection of tables.
 pub struct Database {
-    tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
+    head: RwLock<Arc<DbSnapshot>>,
+    writer: Mutex<WriterState>,
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        let v0 = Arc::new(DbSnapshot {
+            version: 0,
+            tables: HashMap::new(),
+        });
+        let mut history = VecDeque::new();
+        history.push_back(Arc::clone(&v0));
+        Database {
+            head: RwLock::new(v0),
+            writer: Mutex::new(WriterState { history, retain: 8 }),
+        }
+    }
 }
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let t = self.tables.read();
+        let s = self.snapshot();
         write!(
             f,
-            "Database({} tables, {} rows)",
-            t.len(),
-            t.values().map(|x| x.read().rows.len()).sum::<usize>()
+            "Database(v{}, {} tables, {} rows)",
+            s.version(),
+            s.tables.len(),
+            s.total_rows()
         )
     }
 }
 
 impl Database {
-    /// An empty database.
+    /// An empty database at version 0.
     pub fn new() -> Database {
         Database::default()
     }
 
-    /// Creates an empty table. Errors if the name exists.
-    pub fn create_table(&self, name: &str, columns: Vec<ColumnMeta>) -> Result<()> {
-        let mut t = self.tables.write();
-        if t.contains_key(name) {
-            return Err(EngineError::Catalog(format!("table {name} already exists")));
+    /// Pins the current head snapshot. The returned `Arc` stays valid and
+    /// immutable forever; later commits publish new snapshots without
+    /// disturbing it.
+    pub fn snapshot(&self) -> Arc<DbSnapshot> {
+        Arc::clone(&self.head.read())
+    }
+
+    /// The currently published version number.
+    pub fn version(&self) -> u64 {
+        self.head.read().version
+    }
+
+    /// A recently published snapshot by version number, if still retained
+    /// (see [`Database::set_snapshot_retention`]). The soak test's
+    /// differential oracle replays queries against exactly the version a
+    /// server response was computed on.
+    pub fn snapshot_at(&self, version: u64) -> Option<Arc<DbSnapshot>> {
+        self.writer
+            .lock()
+            .history
+            .iter()
+            .find(|s| s.version == version)
+            .cloned()
+    }
+
+    /// Sets how many published snapshots [`Database::snapshot_at`] can
+    /// look up (minimum 1 — the head itself). Pinned `Arc`s held by
+    /// in-flight queries are unaffected by trimming.
+    pub fn set_snapshot_retention(&self, retain: usize) {
+        let mut state = self.writer.lock();
+        state.retain = retain.max(1);
+        while state.history.len() > state.retain {
+            state.history.pop_front();
         }
-        t.insert(name.to_string(), Arc::new(RwLock::new(Table::new(columns))));
+    }
+
+    /// Opens a write transaction. Writers serialize on an internal mutex;
+    /// readers are never blocked. Stage edits with
+    /// [`WriteTxn::table_mut`] / [`WriteTxn::create_table`] /
+    /// [`WriteTxn::drop_table`], then [`WriteTxn::commit`] — or drop the
+    /// transaction to abandon every staged change.
+    pub fn begin(&self) -> WriteTxn<'_> {
+        let state = self.writer.lock();
+        let base = self.snapshot();
+        WriteTxn {
+            db: self,
+            state,
+            base,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Creates an empty table (one auto-commit transaction).
+    pub fn create_table(&self, name: &str, columns: Vec<ColumnMeta>) -> Result<()> {
+        let mut txn = self.begin();
+        txn.create_table(name, columns)?;
+        txn.commit();
         Ok(())
     }
 
-    /// Creates a table pre-populated with rows.
+    /// Creates a table pre-populated with rows (one auto-commit
+    /// transaction — a failed insert publishes nothing).
     pub fn create_table_with_rows(
         &self,
         name: &str,
         columns: Vec<ColumnMeta>,
         rows: Vec<Row>,
     ) -> Result<()> {
-        self.create_table(name, columns)?;
-        self.insert(name, rows)
+        let mut txn = self.begin();
+        txn.create_table(name, columns)?;
+        txn.table_mut(name)?.insert(rows)?;
+        txn.commit();
+        Ok(())
     }
 
     /// Drops a table. Errors if missing.
     pub fn drop_table(&self, name: &str) -> Result<()> {
-        self.tables
-            .write()
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| EngineError::Catalog(format!("unknown table {name}")))
+        let mut txn = self.begin();
+        txn.drop_table(name)?;
+        txn.commit();
+        Ok(())
     }
 
-    /// Handle to a table.
-    pub fn table(&self, name: &str) -> Result<Arc<RwLock<Table>>> {
-        self.tables
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| EngineError::Catalog(format!("unknown table {name}")))
+    /// Handle to a table in the current head snapshot. The handle is a
+    /// frozen version: it never sees later commits. Re-fetch (or pin a
+    /// whole [`Database::snapshot`]) to observe new versions.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.head.read().table(name)
     }
 
-    /// True when the table exists.
+    /// True when the table exists in the head snapshot.
     pub fn has_table(&self, name: &str) -> bool {
-        self.tables.read().contains_key(name)
+        self.head.read().has_table(name)
     }
 
-    /// All table names.
+    /// All table names in the head snapshot.
     pub fn table_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
-        v.sort();
-        v
+        self.head.read().table_names()
     }
 
-    /// Appends rows to a table.
+    /// Appends rows to a table (one auto-commit transaction).
     pub fn insert(&self, name: &str, rows: Vec<Row>) -> Result<()> {
-        self.table(name)?.write().insert(rows)
+        let mut txn = self.begin();
+        txn.table_mut(name)?.insert(rows)?;
+        txn.commit();
+        Ok(())
     }
 
-    /// Row count of a table (0 when missing — used by the planner for
-    /// cardinality estimates only).
+    /// Deletes rows matching `pred` (one auto-commit transaction);
+    /// returns the number deleted.
+    pub fn delete_where(&self, name: &str, pred: impl FnMut(&Row) -> bool) -> Result<usize> {
+        let mut txn = self.begin();
+        let deleted = txn.table_mut(name)?.delete_where(pred);
+        txn.commit();
+        Ok(deleted)
+    }
+
+    /// Applies `f` to every row of a table (one auto-commit transaction);
+    /// returns the number of rows `f` reported changed.
+    pub fn update_each(&self, name: &str, f: impl FnMut(&mut Row) -> bool) -> Result<usize> {
+        let mut txn = self.begin();
+        let changed = txn.table_mut(name)?.update_each(f);
+        txn.commit();
+        Ok(changed)
+    }
+
+    /// Row count of a table in the head snapshot (0 when missing).
     pub fn row_count(&self, name: &str) -> usize {
-        self.table(name).map(|t| t.read().rows.len()).unwrap_or(0)
+        self.head.read().row_count(name)
     }
 
     /// Column metadata of a table.
     pub fn columns(&self, name: &str) -> Result<Vec<ColumnMeta>> {
-        Ok(self.table(name)?.read().columns.clone())
+        Ok(self.table(name)?.columns.clone())
     }
 
-    /// Builds a hash index on `table.column`.
+    /// Builds a hash index on `table.column` (one auto-commit transaction).
     pub fn create_index(&self, table: &str, column: &str) -> Result<()> {
-        let t = self.table(table)?;
-        let mut t = t.write();
+        let mut txn = self.begin();
+        let t = txn.table_mut(table)?;
         let col = t
             .column_index(column)
             .ok_or_else(|| EngineError::Catalog(format!("unknown column {table}.{column}")))?;
         t.create_index(col);
+        txn.commit();
         Ok(())
     }
 
     /// Drops the hash index on `table.column`, if any.
     pub fn drop_index(&self, table: &str, column: &str) -> Result<()> {
-        let t = self.table(table)?;
-        let mut t = t.write();
+        let mut txn = self.begin();
+        let t = txn.table_mut(table)?;
         let col = t
             .column_index(column)
             .ok_or_else(|| EngineError::Catalog(format!("unknown column {table}.{column}")))?;
         t.drop_index(col);
+        txn.commit();
         Ok(())
     }
 
-    /// Total number of stored rows across all tables.
+    /// Total number of stored rows across the head snapshot.
     pub fn total_rows(&self) -> usize {
-        self.tables
-            .read()
-            .values()
-            .map(|t| t.read().rows.len())
-            .sum()
+        self.head.read().total_rows()
     }
 
-    /// Builds a columnar shadow for every table (the load path for data
-    /// that arrived as rows). Returns the number of tables shadowed.
+    /// Builds a columnar shadow (and statistics, at commit) for every
+    /// table that does not already keep one. Returns the number of tables
+    /// newly shadowed.
     pub fn build_columnar_shadows(&self) -> usize {
-        let tables: Vec<Arc<RwLock<Table>>> = self.tables.read().values().cloned().collect();
+        let mut txn = self.begin();
+        let names = txn.base().table_names();
         let mut built = 0;
-        for t in tables {
-            t.write().build_columnar();
-            built += 1;
+        for name in names {
+            if txn.base().table(&name).map(|t| t.columnar_enabled()) == Ok(true) {
+                continue;
+            }
+            if let Ok(t) = txn.table_mut(&name) {
+                t.build_columnar();
+                built += 1;
+            }
+        }
+        if built > 0 {
+            txn.commit();
         }
         built
     }
 
-    /// Rebuilds the shadow of every table whose shadow was invalidated by
-    /// a mutation (insert/delete/update). Returns the number rebuilt.
+    /// Rebuilds any enabled-but-missing columnar shadow. Under snapshot
+    /// isolation a published snapshot always carries current shadows
+    /// (commit rebuilds mutated tables before publishing), so this
+    /// normally returns 0; it exists for API compatibility and as a
+    /// belt-and-braces repair path.
     pub fn refresh_columnar(&self) -> usize {
-        let tables: Vec<Arc<RwLock<Table>>> = self.tables.read().values().cloned().collect();
+        let mut txn = self.begin();
+        let names = txn.base().table_names();
         let mut rebuilt = 0;
-        for t in tables {
-            let mut t = t.write();
-            if t.columnar_enabled() && t.columnar().is_none() {
-                t.build_columnar();
-                rebuilt += 1;
+        for name in names {
+            let stale = txn
+                .base()
+                .table(&name)
+                .map(|t| t.columnar_enabled() && t.columnar().is_none())
+                .unwrap_or(false);
+            if stale {
+                if let Ok(t) = txn.table_mut(&name) {
+                    t.build_columnar();
+                    rebuilt += 1;
+                }
             }
+        }
+        if rebuilt > 0 {
+            txn.commit();
         }
         rebuilt
     }
 
-    /// Attaches a pre-built columnar shadow to one table.
+    /// Attaches a pre-built columnar shadow to one table (one auto-commit
+    /// transaction; commit collects statistics from it).
     pub fn attach_columnar(&self, name: &str, ct: ColumnTable) -> Result<()> {
-        self.table(name)?.write().attach_columnar(ct)
+        let mut txn = self.begin();
+        txn.table_mut(name)?.attach_columnar(ct)?;
+        txn.commit();
+        Ok(())
     }
 
-    /// Collects per-column statistics for every table whose stats are
-    /// missing or stale (i.e. after a load or a DM round). The scan runs
-    /// on a snapshot of the columnar shadow *outside* the table lock, so
-    /// queries keep running while stats build; each table emits a
-    /// `engine/stats.build` span plus `engine.stats.build_us` /
-    /// `engine.stats.rows` counters. Returns the number of tables
-    /// (re)collected.
+    /// Collects statistics for every shadowed table missing them. Commit
+    /// already does this for the tables it touches, so this normally
+    /// returns 0; it exists for API compatibility (and for tables whose
+    /// shadow was attached before statistics collection existed).
     pub fn refresh_stats(&self) -> usize {
-        let threads = tpcds_storage::effective_threads();
-        let tables: Vec<(String, Arc<RwLock<Table>>)> = {
-            let t = self.tables.read();
-            t.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
-        };
-        let mut built = 0;
-        for (name, handle) in tables {
-            let ct = {
-                let t = handle.read();
-                if t.stats.is_some() {
-                    continue;
-                }
-                match t.columnar() {
-                    Some(ct) => ct,
-                    None => continue,
-                }
-            };
-            let span = tpcds_obs::span("engine", "stats.build").field("table", name.as_str());
-            let start = std::time::Instant::now();
-            let stats = Arc::new(tpcds_storage::collect_stats(&ct, threads));
-            let rows = stats.rows;
-            tpcds_obs::counter(
-                "engine",
-                "stats.build_us",
-                start.elapsed().as_micros() as f64,
-                &[("table", tpcds_obs::FieldValue::Str(name.clone()))],
-            );
-            tpcds_obs::counter("engine", "stats.rows", rows as f64, &[]);
-            span.field("rows", rows as i64).finish();
-            // Re-check under the write lock: a mutation may have landed
-            // while we scanned, in which case these stats are already
-            // stale and must not be attached.
-            let mut t = handle.write();
-            if let Some(cur) = t.columnar() {
-                if Arc::ptr_eq(&cur, &ct) {
-                    t.set_stats(stats);
-                    built += 1;
+        let mut txn = self.begin();
+        let names = txn.base().table_names();
+        let mut collected = 0;
+        for name in names {
+            let missing = txn
+                .base()
+                .table(&name)
+                .map(|t| t.columnar_enabled() && t.columnar().is_some() && t.stats().is_none())
+                .unwrap_or(false);
+            if missing {
+                // Touch the table; commit collects the stats.
+                if txn.table_mut(&name).is_ok() {
+                    collected += 1;
                 }
             }
         }
-        built
+        if collected > 0 {
+            txn.commit();
+        }
+        collected
     }
 }
 
@@ -540,35 +843,35 @@ mod tests {
         db.create_index("t", "a").unwrap();
         {
             let t = db.table("t").unwrap();
-            let t = t.read();
             assert_eq!(t.indexes[&0].lookup(&Value::Int(2)), &[1]);
         }
         db.insert("t", vec![vec![Value::Int(2)]]).unwrap();
         {
             let t = db.table("t").unwrap();
-            let t = t.read();
             assert_eq!(t.indexes[&0].lookup(&Value::Int(2)), &[1, 2]);
         }
-        let t = db.table("t").unwrap();
-        let deleted = t.write().delete_where(|r| r[0] == Value::Int(2));
+        let deleted = db.delete_where("t", |r| r[0] == Value::Int(2)).unwrap();
         assert_eq!(deleted, 2);
-        assert_eq!(t.read().indexes[&0].lookup(&Value::Int(2)), &[] as &[usize]);
+        let t = db.table("t").unwrap();
+        assert_eq!(t.indexes[&0].lookup(&Value::Int(2)), &[] as &[usize]);
     }
 
     #[test]
-    fn failed_insert_rolls_back_batch_and_indexes() {
+    fn failed_insert_publishes_nothing() {
         let db = Database::new();
         db.create_table("t", cols(&["a"])).unwrap();
         db.insert("t", vec![vec![Value::Int(1)]]).unwrap();
         db.create_index("t", "a").unwrap();
-        // Second row has the wrong arity: the whole batch must vanish.
+        let v = db.version();
+        // Second row has the wrong arity: the whole batch must vanish and
+        // no new snapshot version may be published.
         let err = db.insert(
             "t",
             vec![vec![Value::Int(2)], vec![Value::Int(3), Value::Int(4)]],
         );
         assert!(err.is_err());
+        assert_eq!(db.version(), v, "aborted txn must not publish");
         let t = db.table("t").unwrap();
-        let t = t.read();
         assert_eq!(t.rows.len(), 1);
         assert_eq!(t.indexes[&0].lookup(&Value::Int(2)), &[] as &[usize]);
         assert_eq!(t.indexes[&0].distinct_keys(), 1);
@@ -581,11 +884,10 @@ mod tests {
         let rows: Vec<Row> = (0..10).map(|i| vec![Value::Int(i % 3)]).collect();
         db.insert("t", rows).unwrap();
         db.create_index("t", "a").unwrap();
-        let t = db.table("t").unwrap();
         // Delete the 1s: 0,2 keys survive with compacted, sorted positions.
-        let deleted = t.write().delete_where(|r| r[0] == Value::Int(1));
+        let deleted = db.delete_where("t", |r| r[0] == Value::Int(1)).unwrap();
         assert_eq!(deleted, 3);
-        let tr = t.read();
+        let tr = db.table("t").unwrap();
         assert_eq!(tr.rows.len(), 7);
         assert_eq!(tr.indexes[&0].lookup(&Value::Int(1)), &[] as &[usize]);
         for key in [0i64, 2] {
@@ -601,26 +903,106 @@ mod tests {
     }
 
     #[test]
-    fn mutations_invalidate_columnar_shadow() {
+    fn commits_rebuild_only_mutated_shadows() {
+        let db = Database::new();
+        db.create_table("t", cols(&["a"])).unwrap();
+        db.create_table("u", cols(&["a"])).unwrap();
+        db.insert("t", vec![vec![Value::Int(1)], vec![Value::Int(2)]])
+            .unwrap();
+        db.insert("u", vec![vec![Value::Int(9)]]).unwrap();
+        assert_eq!(db.build_columnar_shadows(), 2);
+        let u_shadow_before = db.table("u").unwrap().columnar().unwrap();
+
+        // Mutate only `t`: the commit rebuilds exactly one shadow, and the
+        // published snapshot serves it immediately — no refresh step.
+        let mut txn = db.begin();
+        txn.table_mut("t")
+            .unwrap()
+            .insert(vec![vec![Value::Int(3)]])
+            .unwrap();
+        let commit = txn.commit();
+        assert_eq!(commit.tables_changed, 1);
+        assert_eq!(commit.tables_rebuilt, 1);
+        let t = db.table("t").unwrap();
+        assert_eq!(t.columnar().unwrap().rows, 3);
+        assert!(t.stats().is_some(), "commit re-collects stats");
+        // `u` was untouched: its shadow is the very same Arc.
+        assert!(Arc::ptr_eq(
+            &db.table("u").unwrap().columnar().unwrap(),
+            &u_shadow_before
+        ));
+        // Nothing left stale to refresh.
+        assert_eq!(db.refresh_columnar(), 0);
+        assert_eq!(db.refresh_stats(), 0);
+    }
+
+    #[test]
+    fn pinned_snapshots_never_change() {
+        let db = Database::new();
+        db.create_table("t", cols(&["a"])).unwrap();
+        db.insert("t", vec![vec![Value::Int(1)]]).unwrap();
+        let pinned = db.snapshot();
+        let v = pinned.version();
+        db.insert("t", vec![vec![Value::Int(2)]]).unwrap();
+        db.delete_where("t", |r| r[0] == Value::Int(1)).unwrap();
+        // The pinned snapshot still sees exactly one row with value 1.
+        assert_eq!(pinned.version(), v);
+        assert_eq!(pinned.row_count("t"), 1);
+        assert_eq!(pinned.table("t").unwrap().rows[0][0], Value::Int(1));
+        // The head moved on: two commits, one surviving row of value 2.
+        assert_eq!(db.version(), v + 2);
+        assert_eq!(db.table("t").unwrap().rows[0][0], Value::Int(2));
+        // snapshot_at serves both retained versions.
+        assert!(Arc::ptr_eq(&db.snapshot_at(v).unwrap(), &pinned));
+        assert_eq!(db.snapshot_at(v + 2).unwrap().row_count("t"), 1);
+    }
+
+    #[test]
+    fn snapshot_retention_trims_history() {
+        let db = Database::new();
+        db.create_table("t", cols(&["a"])).unwrap();
+        db.set_snapshot_retention(2);
+        for i in 0..5 {
+            db.insert("t", vec![vec![Value::Int(i)]]).unwrap();
+        }
+        let head = db.version();
+        assert!(db.snapshot_at(head).is_some());
+        assert!(db.snapshot_at(head - 1).is_some());
+        assert!(db.snapshot_at(head - 2).is_none(), "trimmed");
+    }
+
+    #[test]
+    fn panicking_transaction_publishes_nothing() {
         let db = Database::new();
         db.create_table("t", cols(&["a"])).unwrap();
         db.insert("t", vec![vec![Value::Int(1)], vec![Value::Int(2)]])
             .unwrap();
-        let t = db.table("t").unwrap();
-        t.write().build_columnar();
-        assert!(t.read().columnar().is_some());
-        db.insert("t", vec![vec![Value::Int(3)]]).unwrap();
-        assert!(t.read().columnar().is_none(), "insert must invalidate");
-        assert_eq!(db.refresh_columnar(), 1);
-        assert_eq!(t.read().columnar().unwrap().rows, 3);
-        t.write().delete_where(|r| r[0] == Value::Int(1));
-        assert!(t.read().columnar().is_none(), "delete must invalidate");
-        db.refresh_columnar();
-        t.write().update_each(|r| {
-            r[0] = Value::Int(9);
-            true
-        });
-        assert!(t.read().columnar().is_none(), "update must invalidate");
+        db.build_columnar_shadows();
+        let v = db.version();
+        let rows_before = db.row_count("t");
+        // A DM batch that mutates rows and then dies mid-transaction.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut txn = db.begin();
+            let t = txn.table_mut("t").unwrap();
+            t.insert(vec![vec![Value::Int(3)]]).unwrap();
+            t.update_each(|r| {
+                if r[0] == Value::Int(3) {
+                    panic!("writer dies mid-batch");
+                }
+                false
+            });
+            txn.commit();
+        }));
+        assert!(result.is_err());
+        // Head untouched: same version, same rows, shadow still current.
+        assert_eq!(db.version(), v);
+        assert_eq!(db.row_count("t"), rows_before);
+        assert!(db.table("t").unwrap().columnar().is_some());
+        // The writer lock recovered from the poisoning panic: later
+        // transactions commit normally.
+        db.insert("t", vec![vec![Value::Int(7)]]).unwrap();
+        assert_eq!(db.version(), v + 1);
+        assert_eq!(db.row_count("t"), rows_before + 1);
     }
 
     #[test]
@@ -634,7 +1016,7 @@ mod tests {
             tpcds_storage::ColumnTable::from_rows(vec![DataType::Int], &[vec![Value::Int(1)]]);
         assert!(db.attach_columnar("t", good).is_ok());
         let t = db.table("t").unwrap();
-        assert_eq!(t.read().columnar().unwrap().rows, 1);
+        assert_eq!(t.columnar().unwrap().rows, 1);
     }
 
     #[test]
@@ -643,16 +1025,17 @@ mod tests {
         db.create_table("t", cols(&["a"])).unwrap();
         db.insert("t", vec![vec![Value::Int(1)], vec![Value::Int(5)]])
             .unwrap();
-        let t = db.table("t").unwrap();
-        let changed = t.write().update_each(|r| {
-            if r[0] == Value::Int(5) {
-                r[0] = Value::Int(50);
-                true
-            } else {
-                false
-            }
-        });
+        let changed = db
+            .update_each("t", |r| {
+                if r[0] == Value::Int(5) {
+                    r[0] = Value::Int(50);
+                    true
+                } else {
+                    false
+                }
+            })
+            .unwrap();
         assert_eq!(changed, 1);
-        assert_eq!(t.read().rows[1][0], Value::Int(50));
+        assert_eq!(db.table("t").unwrap().rows[1][0], Value::Int(50));
     }
 }

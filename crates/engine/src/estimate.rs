@@ -63,7 +63,7 @@ pub fn q_error(est: f64, actual: u64) -> f64 {
 /// filter directly over one).
 pub fn scan_table_stats(plan: &Plan, db: &Database) -> Option<Arc<TableStats>> {
     match plan {
-        Plan::Scan { table, .. } => db.table(table).ok().and_then(|t| t.read().stats()),
+        Plan::Scan { table, .. } => db.table(table).ok().and_then(|t| t.stats()),
         Plan::Filter { input, .. } => scan_table_stats(input, db),
         _ => None,
     }
@@ -72,7 +72,7 @@ pub fn scan_table_stats(plan: &Plan, db: &Database) -> Option<Arc<TableStats>> {
 fn walk(plan: &Plan, db: &Database, map: &mut EstMap) -> f64 {
     let est = match plan {
         Plan::Scan { table, filter, .. } => {
-            let stats = db.table(table).ok().and_then(|t| t.read().stats());
+            let stats = db.table(table).ok().and_then(|t| t.stats());
             let rows = stats
                 .as_ref()
                 .map(|s| s.rows as f64)
@@ -465,8 +465,7 @@ mod tests {
             rows,
         )
         .unwrap();
-        db.table(name).unwrap().write().build_columnar();
-        db.refresh_stats();
+        db.build_columnar_shadows();
         db
     }
 
@@ -605,9 +604,7 @@ mod tests {
             (0..100).map(|i| vec![Value::Int(i)]).collect(),
         )
         .unwrap();
-        db.table("fact").unwrap().write().build_columnar();
-        db.table("dim").unwrap().write().build_columnar();
-        db.refresh_stats();
+        db.build_columnar_shadows();
         let p = Plan::HashJoin {
             left: Arc::new(scan(&db, "fact", None)),
             right: Arc::new(scan(&db, "dim", None)),

@@ -172,12 +172,19 @@ impl Default for ExecOptions {
     }
 }
 
-/// Per-statement execution context: the database handle, the CTE result
-/// cache, execution options, and (under EXPLAIN ANALYZE) the per-operator
-/// stats collector.
+/// Per-statement execution context: the pinned snapshot the statement
+/// reads, the CTE result cache, execution options, and (under EXPLAIN
+/// ANALYZE) the per-operator stats collector.
+///
+/// The snapshot is pinned once at construction: every table lookup for
+/// the statement's lifetime resolves against that frozen version, so
+/// concurrent commits never change what a running query sees.
 pub struct ExecCtx<'a> {
-    /// The database.
+    /// The database (the statement's snapshot is already pinned; this
+    /// handle exists for callers that need catalog-level context).
     pub db: &'a Database,
+    /// The immutable snapshot every table lookup resolves against.
+    snap: Arc<crate::catalog::DbSnapshot>,
     /// CTE results by slot id (each CTE executes once per statement).
     pub cte_cache: Mutex<HashMap<usize, Arc<Vec<Row>>>>,
     /// Execution options (columnar routing, worker count).
@@ -195,10 +202,22 @@ impl<'a> ExecCtx<'a> {
         Self::with_options(db, ExecOptions::default())
     }
 
-    /// Fresh context with explicit execution options.
+    /// Fresh context with explicit execution options. Pins the current
+    /// head snapshot.
     pub fn with_options(db: &'a Database, opts: ExecOptions) -> Self {
+        Self::pinned(db, db.snapshot(), opts)
+    }
+
+    /// Fresh context reading a caller-pinned snapshot (the server's
+    /// session dispatch and the soak test's differential oracle).
+    pub fn pinned(
+        db: &'a Database,
+        snap: Arc<crate::catalog::DbSnapshot>,
+        opts: ExecOptions,
+    ) -> Self {
         ExecCtx {
             db,
+            snap,
             cte_cache: Mutex::new(HashMap::new()),
             opts,
             stats: None,
@@ -211,15 +230,36 @@ impl<'a> ExecCtx<'a> {
         Self::with_stats_options(db, ExecOptions::default())
     }
 
-    /// Stats-recording context with explicit execution options.
+    /// Stats-recording context with explicit execution options. Pins the
+    /// current head snapshot.
     pub fn with_stats_options(db: &'a Database, opts: ExecOptions) -> Self {
+        Self::pinned_with_stats(db, db.snapshot(), opts)
+    }
+
+    /// Stats-recording context reading a caller-pinned snapshot.
+    pub fn pinned_with_stats(
+        db: &'a Database,
+        snap: Arc<crate::catalog::DbSnapshot>,
+        opts: ExecOptions,
+    ) -> Self {
         ExecCtx {
             db,
+            snap,
             cte_cache: Mutex::new(HashMap::new()),
             opts,
             stats: Some(Mutex::new(HashMap::new())),
             route_seen: Mutex::new(HashSet::new()),
         }
+    }
+
+    /// The snapshot this statement reads.
+    pub fn snapshot(&self) -> &Arc<crate::catalog::DbSnapshot> {
+        &self.snap
+    }
+
+    /// A table handle from the pinned snapshot (lock-free).
+    pub fn table(&self, name: &str) -> Result<Arc<crate::catalog::Table>> {
+        self.snap.table(name)
     }
 
     /// Consumes the context, yielding the collected per-operator actuals
@@ -687,8 +727,7 @@ fn scan(
     ctx: &ExecCtx<'_>,
     outer: Option<&[Value]>,
 ) -> Result<(Vec<Row>, Option<tpcds_storage::ScanStats>)> {
-    let t = ctx.db.table(table)?;
-    let t = t.read();
+    let t = ctx.table(table)?;
     let mode = ctx.opts.columnar;
     if let Some(f) = filter {
         // Index probe: find a `Col(i) = <row-independent expr>` conjunct
@@ -875,8 +914,7 @@ fn try_columnar_aggregate(
         },
         _ => return Ok(Err(reason::INPUT_SHAPE)),
     };
-    let t = ctx.db.table(table)?;
-    let t = t.read();
+    let t = ctx.table(table)?;
     let Some(ct) = t.columnar() else {
         return Ok(Err(reason::NO_SHADOW));
     };
@@ -990,8 +1028,7 @@ fn compile_join_side(
             _ => return Ok(Err(reason::KEY_SHAPE)),
         }
     }
-    let t = ctx.db.table(table)?;
-    let t = t.read();
+    let t = ctx.table(table)?;
     let Some(ct) = t.columnar() else {
         return Ok(Err(reason::NO_SHADOW));
     };
@@ -1189,8 +1226,7 @@ fn compile_sort_source(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Routed<ColSortS
         },
         _ => return Ok(Err(reason::INPUT_SHAPE)),
     };
-    let t = ctx.db.table(table)?;
-    let t = t.read();
+    let t = ctx.table(table)?;
     if ctx.opts.columnar != ColumnarMode::Force {
         if let Some(f) = scan_filter {
             if let Some((col, _)) = index_probe_key(f) {
@@ -1255,8 +1291,7 @@ fn try_limited_input(
         },
         _ => return Ok(Err(reason::INPUT_SHAPE)),
     };
-    let t = ctx.db.table(table)?;
-    let t = t.read();
+    let t = ctx.table(table)?;
     let mode = ctx.opts.columnar;
     if mode != ColumnarMode::Force {
         if let Some(f) = scan_filter {

@@ -24,7 +24,7 @@ pub mod plan;
 pub mod sync;
 
 pub use binder::{Binder, Bound};
-pub use catalog::{ColumnMeta, Database, Table};
+pub use catalog::{ColumnMeta, Commit, Database, DbSnapshot, Table, WriteTxn};
 pub use error::{EngineError, Result};
 pub use exec::{ColumnarMode, ExecCtx, ExecOptions, RoutePath};
 pub use plan::{NodeReport, Plan};
@@ -84,6 +84,31 @@ pub fn query_with(db: &Database, sql: &str, opts: ExecOptions) -> Result<QueryRe
     let span = tpcds_obs::span("engine", "query");
     let bound = plan_sql(db, sql)?;
     let ctx = ExecCtx::with_options(db, opts);
+    let rows = exec::execute(&bound.plan, &ctx, None)?;
+    span.field("rows", rows.len() as i64).finish();
+    Ok(QueryResult {
+        columns: bound.names,
+        rows,
+    })
+}
+
+/// [`query_with`] against a caller-pinned snapshot: the statement reads
+/// exactly that frozen version regardless of concurrent commits — the
+/// server's session dispatch and the soak test's differential oracle.
+///
+/// Binding still resolves names against the database head (DDL in this
+/// engine is load-time only, so head and pinned schemas agree in
+/// practice); execution reads rows, indexes, shadows and statistics from
+/// the snapshot alone.
+pub fn query_pinned(
+    db: &Database,
+    snap: &std::sync::Arc<DbSnapshot>,
+    sql: &str,
+    opts: ExecOptions,
+) -> Result<QueryResult> {
+    let span = tpcds_obs::span("engine", "query").field("version", snap.version() as i64);
+    let bound = plan_sql(db, sql)?;
+    let ctx = ExecCtx::pinned(db, std::sync::Arc::clone(snap), opts);
     let rows = exec::execute(&bound.plan, &ctx, None)?;
     span.field("rows", rows.len() as i64).finish();
     Ok(QueryResult {

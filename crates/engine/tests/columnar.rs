@@ -164,10 +164,12 @@ fn fused_aggregate_over_scan_takes_columnar_path() {
 }
 
 #[test]
-fn mutation_invalidates_shadow_until_refresh() {
+fn mutation_commit_republishes_a_current_shadow() {
     let db = sales_db();
     let sql = "select count(*) from sales where qty = 3";
     assert!(check(&db, sql), "fresh shadow should route columnar");
+    let pinned = db.snapshot();
+    let before = tpcds_engine::query_with(&db, sql, OFF).unwrap();
 
     db.insert(
         "sales",
@@ -180,17 +182,26 @@ fn mutation_invalidates_shadow_until_refresh() {
         ]],
     )
     .unwrap();
-    // Shadow is stale: even Force falls back to rows — and sees the new row.
+    // The commit rebuilt the shadow before publishing: the new snapshot
+    // routes columnar immediately — and the columnar path sees the new
+    // row (no stale shadow ever serves a query).
     let col = tpcds_engine::query_analyze_with(&db, sql, FORCE).unwrap();
     assert!(
-        !col.plan_text.contains("morsels="),
-        "stale shadow must not serve queries"
+        col.plan_text.contains("morsels="),
+        "published snapshot must carry a current shadow:\n{}",
+        col.plan_text
     );
     let row = tpcds_engine::query_with(&db, sql, OFF).unwrap();
     assert_eq!(col.result.rows, row.rows);
+    assert_ne!(before.rows, row.rows, "new row must be visible at head");
+    assert_eq!(db.refresh_columnar(), 0, "nothing left stale to refresh");
 
-    assert_eq!(db.refresh_columnar(), 1);
-    assert!(check(&db, sql), "refreshed shadow routes columnar again");
+    // A snapshot pinned before the mutation still answers from its own
+    // (older) shadow, byte-identical on both paths.
+    let pin_col = tpcds_engine::query_pinned(&db, &pinned, sql, FORCE).unwrap();
+    let pin_row = tpcds_engine::query_pinned(&db, &pinned, sql, OFF).unwrap();
+    assert_eq!(pin_col.rows, pin_row.rows);
+    assert_eq!(pin_row.rows, before.rows, "pinned snapshot is frozen");
 }
 
 /// Adds a small dimension table (k, name) to the sales fixture; k has a

@@ -458,8 +458,7 @@ fn index_survives_mutation_correctly() {
     );
     d.create_index("t", "k").unwrap();
     // delete half, verify index-driven scan agrees with predicate scan
-    let h = d.table("t").unwrap();
-    h.write().delete_where(|r| r[0].as_int().unwrap() < 5);
+    d.delete_where("t", |r| r[0].as_int().unwrap() < 5).unwrap();
     let via_index = query(&d, "select count(*) from t where k = 7").unwrap();
     assert_eq!(via_index.rows[0][0], Value::Int(10));
     let none = query(&d, "select count(*) from t where k = 3").unwrap();

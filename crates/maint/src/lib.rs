@@ -121,14 +121,13 @@ pub fn run_maintenance(
     report
         .ops
         .push(delete_fact_range(db, generator, refresh_seq)?);
-    // Every operation above invalidated the touched tables' columnar
-    // shadows (and with them the table statistics); rebuild both once at
-    // the end of the refresh run so estimates track the new population.
-    let rebuilt = db.refresh_columnar();
-    let restatted = db.refresh_stats();
+    // Each operation above ran as one write transaction: its commit
+    // rebuilt the columnar shadows and statistics of exactly the tables
+    // it mutated (`snapshot.tables_rebuilt`) and published a new snapshot
+    // version — in-flight queries keep reading the versions they pinned.
     span.field("rows", report.total_rows())
-        .field("shadows_rebuilt", rebuilt as i64)
-        .field("stats_rebuilt", restatted as i64)
+        .field("versions_committed", report.ops.len() as i64)
+        .field("head_version", db.version() as i64)
         .finish();
     Ok(report)
 }
@@ -183,8 +182,8 @@ pub fn update_non_history_dimension(
     for u in updates {
         wanted.insert(u.business_key.clone(), u.row);
     }
-    let handle = db.table(table)?;
-    let mut t = handle.write();
+    let mut txn = db.begin();
+    let t = txn.table_mut(table)?;
     let updated = t.update_each(|row| {
         let bk = match row[bk_idx].as_str() {
             Some(s) => s,
@@ -208,6 +207,7 @@ pub fn update_non_history_dimension(
             false
         }
     });
+    txn.commit();
     Ok(record_op(
         span,
         OpReport {
@@ -254,8 +254,8 @@ pub fn update_history_dimension(
         wanted.insert(u.business_key.clone(), u.row);
     }
 
-    let handle = db.table(table)?;
-    let mut t = handle.write();
+    let mut txn = db.begin();
+    let t = txn.table_mut(table)?;
     let mut next_sk = t
         .rows
         .iter()
@@ -289,6 +289,7 @@ pub fn update_history_dimension(
     });
     let inserted = to_insert.len();
     t.insert(to_insert)?;
+    txn.commit();
     Ok(record_op(
         span,
         OpReport {
@@ -312,6 +313,9 @@ pub fn insert_channel(
 ) -> Result<OpReport> {
     let span = tpcds_obs::span("maint", "op");
     let mut inserted = 0;
+    // One transaction covers the channel's sales + returns tables, so a
+    // snapshot either has both inserts or neither.
+    let mut txn = db.begin();
     for table in tables {
         let def = generator
             .schema()
@@ -351,8 +355,9 @@ pub fn insert_channel(
             }
         }
         inserted += resolved.len();
-        db.insert(table, resolved)?;
+        txn.table_mut(table)?.insert(resolved)?;
     }
+    txn.commit();
     Ok(record_op(
         span,
         OpReport {
@@ -386,8 +391,7 @@ pub fn current_surrogates(
         .columns
         .iter()
         .position(|c| c.name.ends_with("rec_end_date"));
-    let handle = db.table(table)?;
-    let t = handle.read();
+    let t = db.table(table)?;
     let mut map = HashMap::with_capacity(t.rows.len());
     for row in &t.rows {
         if let Some(end_idx) = end_idx {
@@ -414,6 +418,9 @@ pub fn delete_fact_range(
     let (lo, hi) = generator.refresh_delete_range(refresh_seq);
     let (lo_sk, hi_sk) = (lo.date_sk(), hi.date_sk());
     let mut deleted = 0;
+    // All six fact/return tables shed the range in one transaction: a
+    // snapshot never shows a sale deleted while its return survives.
+    let mut txn = db.begin();
     for (table, date_col) in [
         ("store_sales", "ss_sold_date_sk"),
         ("store_returns", "sr_returned_date_sk"),
@@ -424,14 +431,14 @@ pub fn delete_fact_range(
     ] {
         let def = generator.schema().table(table).expect("fact table");
         let col = def.column_index(date_col).expect("date column");
-        let handle = db.table(table)?;
-        deleted += handle.write().delete_where(|row| {
+        deleted += txn.table_mut(table)?.delete_where(|row| {
             row[col]
                 .as_int()
                 .map(|sk| sk >= lo_sk && sk <= hi_sk)
                 .unwrap_or(false)
         });
     }
+    txn.commit();
     Ok(record_op(
         span,
         OpReport {
@@ -458,11 +465,11 @@ pub fn load_initial_population(db: &Database, generator: &Generator) -> Result<(
         // shadow is attached before the first query runs.
         let (rows, shadow) = generator.generate_table_columnar(t.name, threads.max(4));
         db.insert(t.name, rows)?;
+        // Attaching commits a snapshot whose statistics (NDV/histograms)
+        // are collected in the same transaction, so the estimator has
+        // data from the first query on.
         db.attach_columnar(t.name, shadow)?;
     }
-    // Collect table statistics over the fresh shadows so the estimator
-    // has NDV/histogram data from the first query on.
-    db.refresh_stats();
     build_basic_indexes(db, generator)
 }
 
@@ -541,8 +548,7 @@ mod tests {
         // Exactly one open revision per business key, still.
         let def = g.schema().table("item").unwrap();
         let end_idx = def.column_index("i_rec_end_date").unwrap();
-        let handle = db.table("item").unwrap();
-        let t = handle.read();
+        let t = db.table("item").unwrap();
         let mut open: HashMap<String, u32> = HashMap::new();
         for row in &t.rows {
             if row[end_idx].is_null() {
@@ -578,8 +584,7 @@ mod tests {
         let valid: std::collections::HashSet<i64> = current.values().copied().collect();
         let def = g.schema().table("store_sales").unwrap();
         let item_col = def.column_index("ss_item_sk").unwrap();
-        let handle = db.table("store_sales").unwrap();
-        let t = handle.read();
+        let t = db.table("store_sales").unwrap();
         assert!(t.rows.len() > ss_before, "no store_sales inserted");
         for row in t.rows.iter().skip(ss_before) {
             let sk = row[item_col].as_int().unwrap();
@@ -607,16 +612,74 @@ mod tests {
                 })
                 .count()
         };
-        let before = {
-            let handle = db.table("store_sales").unwrap();
-            let t = handle.read();
-            in_range(&t)
-        };
+        let before = in_range(&db.table("store_sales").unwrap());
         let rep = delete_fact_range(&db, &g, 0).unwrap();
         assert!(rep.deleted >= before);
-        let handle = db.table("store_sales").unwrap();
-        let t = handle.read();
+        let t = db.table("store_sales").unwrap();
         assert_eq!(in_range(&t), 0, "rows in the deleted range survived");
+    }
+
+    #[test]
+    fn maintenance_commits_one_version_per_op_and_rebuilds_only_mutated() {
+        let (db, g) = loaded();
+        let v0 = db.version();
+        // date_dim is never touched by DM: its shadow must survive the
+        // whole refresh run as the very same Arc (no global re-shadow).
+        let date_dim_before = db.table("date_dim").unwrap().columnar().unwrap();
+        let report = run_maintenance(&db, &g, 0).unwrap();
+        assert_eq!(
+            db.version(),
+            v0 + report.ops.len() as u64,
+            "each op commits exactly one snapshot version"
+        );
+        assert!(std::sync::Arc::ptr_eq(
+            &db.table("date_dim").unwrap().columnar().unwrap(),
+            &date_dim_before
+        ));
+        // A mutated table's published snapshot carries a fresh shadow and
+        // fresh statistics — nothing left stale to refresh.
+        let cust = db.table("customer").unwrap();
+        assert_eq!(cust.columnar().unwrap().rows, cust.rows.len());
+        assert!(cust.stats().is_some());
+        assert_eq!(db.refresh_columnar(), 0);
+        assert_eq!(db.refresh_stats(), 0);
+    }
+
+    #[test]
+    fn failed_op_mid_run_leaves_published_snapshot_untouched() {
+        let (db, g) = loaded();
+        run_maintenance(&db, &g, 0).unwrap();
+        let v = db.version();
+        let rows = db.total_rows();
+        let item_shadow = db.table("item").unwrap().columnar().unwrap();
+        // A writer that dies half-way through staging a batch: the panic
+        // unwinds out of the transaction without committing.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut txn = db.begin();
+            let t = txn.table_mut("item").unwrap();
+            let half = t.rows.len() / 2;
+            let mut n = 0;
+            t.update_each(|row| {
+                n += 1;
+                if n > half {
+                    panic!("DM writer dies mid-batch");
+                }
+                row[0] = Value::Int(-1);
+                true
+            });
+            txn.commit();
+        }));
+        assert!(result.is_err());
+        assert_eq!(db.version(), v, "aborted DM must not publish");
+        assert_eq!(db.total_rows(), rows);
+        assert!(std::sync::Arc::ptr_eq(
+            &db.table("item").unwrap().columnar().unwrap(),
+            &item_shadow
+        ));
+        // The writer lock recovered: the next refresh commits normally.
+        let rep = run_maintenance(&db, &g, 1).unwrap();
+        assert_eq!(rep.ops.len(), 12);
+        assert_eq!(db.version(), v + 12);
     }
 
     #[test]

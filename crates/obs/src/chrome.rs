@@ -10,13 +10,19 @@
 //! * points → instant events (`"ph":"i"`).
 //!
 //! Track (`tid`) assignment: events carrying a `worker` field land on
-//! track `worker + 1` (named `worker N`); everything else lands on track
-//! 0 (`main`). The `pid` is the emitting layer's index, so Perfetto
-//! groups tracks under one process group per layer.
+//! track `worker + 1` (named `worker N`); events carrying a `session`
+//! field (the server's per-connection spans) land on a high track
+//! numbered off [`SESSION_TID_BASE`] (named `session N`); everything else
+//! lands on track 0 (`main`). The `pid` is the emitting layer's index, so
+//! Perfetto groups tracks under one process group per layer.
 
 use crate::json::Json;
 use crate::{Event, EventKind, FieldValue};
 use std::collections::BTreeMap;
+
+/// Session tracks start here, far above any plausible worker count, so
+/// server sessions and morsel workers can never collide on a `tid`.
+pub const SESSION_TID_BASE: i64 = 100_000;
 
 fn field_json(v: &FieldValue) -> Json {
     match v {
@@ -47,13 +53,16 @@ pub fn to_chrome_trace(events: &[Event]) -> Json {
     for e in events {
         let next = layer_pid.len() as i64 + 1;
         let pid = *layer_pid.entry(e.layer.clone()).or_insert(next);
-        let tid = match e.int_field("worker") {
-            Some(w) => w + 1,
-            None => 0,
+        let tid = match (e.int_field("worker"), e.int_field("session")) {
+            (Some(w), _) => w + 1,
+            (None, Some(s)) => SESSION_TID_BASE + s,
+            (None, None) => 0,
         };
         tracks.entry((pid, tid)).or_insert_with(|| {
             if tid == 0 {
                 "main".to_string()
+            } else if tid >= SESSION_TID_BASE {
+                format!("session {}", tid - SESSION_TID_BASE)
             } else {
                 format!("worker {}", tid - 1)
             }
@@ -184,6 +193,32 @@ mod tests {
         // The document is valid JSON end-to-end.
         let text = doc.to_string();
         Json::parse(&text).unwrap();
+    }
+
+    #[test]
+    fn sessions_get_their_own_tracks() {
+        let mut span = ev(EventKind::Span, "server", "session.query", None);
+        span.fields
+            .push(("session".to_string(), FieldValue::Int(7)));
+        let doc = to_chrome_trace(&[span]);
+        let items = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let tid = items
+            .iter()
+            .find(|j| j.get("ph").and_then(Json::as_str) == Some("X"))
+            .and_then(|j| j.get("tid"))
+            .and_then(Json::as_i64)
+            .unwrap();
+        assert_eq!(tid, SESSION_TID_BASE + 7);
+        let thread_names: Vec<&str> = items
+            .iter()
+            .filter(|j| j.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .filter_map(|j| {
+                j.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert!(thread_names.contains(&"session 7"), "{thread_names:?}");
     }
 
     #[test]

@@ -18,13 +18,14 @@ use crate::json::Json;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 struct Registry {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
     hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -32,6 +33,7 @@ fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
         hists: Mutex::new(BTreeMap::new()),
     })
 }
@@ -51,6 +53,10 @@ pub fn reset() {
     ENABLED.store(false, Ordering::Relaxed);
     let r = registry();
     r.counters
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+    r.gauges
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .clear();
@@ -80,6 +86,38 @@ pub fn counter_add(name: &str, v: f64) {
         }
     };
     cell.fetch_add(v.round() as u64, Ordering::Relaxed);
+}
+
+/// The named gauge cell, registering it on first use. Gauges carry
+/// point-in-time levels (sessions active, queries in flight, published
+/// snapshot version) rather than monotone totals, so they may go down.
+pub fn gauge(name: &str) -> Arc<AtomicI64> {
+    let mut map = registry()
+        .gauges
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    match map.get(name) {
+        Some(g) => g.clone(),
+        None => {
+            let g = Arc::new(AtomicI64::new(0));
+            map.insert(name.to_string(), g.clone());
+            g
+        }
+    }
+}
+
+/// Sets the named gauge to `v`. No-op while disabled.
+pub fn gauge_set(name: &str, v: i64) {
+    if is_enabled() {
+        gauge(name).store(v, Ordering::Relaxed);
+    }
+}
+
+/// Adds `delta` (may be negative) to the named gauge. No-op while disabled.
+pub fn gauge_add(name: &str, delta: i64) {
+    if is_enabled() {
+        gauge(name).fetch_add(delta, Ordering::Relaxed);
+    }
 }
 
 /// The named histogram, registering it on first use. The `Arc` may be
@@ -133,6 +171,16 @@ pub fn render_prometheus() -> String {
         out.push_str(&format!("# TYPE {p}_total counter\n"));
         out.push_str(&format!("{p}_total {}\n", cell.load(Ordering::Relaxed)));
     }
+    for (name, cell) in r
+        .gauges
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+    {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} gauge\n"));
+        out.push_str(&format!("{p} {}\n", cell.load(Ordering::Relaxed)));
+    }
     let hists: Vec<(String, Arc<Histogram>)> = r
         .hists
         .lock()
@@ -167,6 +215,13 @@ pub fn to_json() -> Json {
         .iter()
         .map(|(k, v)| (k.clone(), Json::Int(v.load(Ordering::Relaxed) as i64)))
         .collect();
+    let gauges: Vec<(String, Json)> = r
+        .gauges
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Int(v.load(Ordering::Relaxed))))
+        .collect();
     let hists: Vec<(String, Json)> = r
         .hists
         .lock()
@@ -176,6 +231,7 @@ pub fn to_json() -> Json {
         .collect();
     Json::Obj(vec![
         ("counters".into(), Json::Obj(counters)),
+        ("gauges".into(), Json::Obj(gauges)),
         ("histograms".into(), Json::Obj(hists)),
     ])
 }
@@ -256,6 +312,26 @@ mod tests {
             .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
             .collect();
         assert!(cums.windows(2).all(|w| w[0] <= w[1]), "{cums:?}");
+        reset();
+    }
+
+    #[test]
+    fn gauges_move_both_directions_and_render() {
+        let _guard = crate::test_lock();
+        reset();
+        gauge_set("server.sessions_active", 5); // dropped: disabled
+        enable();
+        gauge_set("server.sessions_active", 3);
+        gauge_add("server.sessions_active", 2);
+        gauge_add("server.sessions_active", -4);
+        let text = render_prometheus();
+        assert!(
+            text.contains("# TYPE tpcds_server_sessions_active gauge"),
+            "{text}"
+        );
+        assert!(text.contains("tpcds_server_sessions_active 1"), "{text}");
+        let json = to_json().to_string();
+        assert!(json.contains("\"server.sessions_active\":1"), "{json}");
         reset();
     }
 

@@ -58,6 +58,11 @@ pub struct BenchmarkConfig {
     /// Morsel worker count for columnar scans (`--threads N`); `None`
     /// defers to `TPCDS_THREADS` and then `available_parallelism()`.
     pub threads: Option<usize>,
+    /// Route both query runs through real TCP connections: the runner
+    /// starts a loopback [`tpcds_server::Server`] after the load and each
+    /// stream becomes a connected client, giving the benchmark the
+    /// client/server shape the TPC-DS throughput test describes.
+    pub via_server: bool,
 }
 
 impl BenchmarkConfig {
@@ -70,6 +75,7 @@ impl BenchmarkConfig {
             queries_per_stream: Some(10),
             aux: AuxLevel::Reporting,
             threads: None,
+            via_server: false,
         }
     }
 }
@@ -110,8 +116,9 @@ pub struct BenchmarkResult {
     pub query_timings: Vec<QueryTiming>,
     /// Data maintenance outcome.
     pub maintenance: MaintenanceReport,
-    /// The loaded database (kept for inspection / follow-up queries).
-    pub db: Database,
+    /// The loaded database (kept for inspection / follow-up queries;
+    /// shared because server mode keeps a reference across threads).
+    pub db: std::sync::Arc<Database>,
 }
 
 impl BenchmarkResult {
@@ -226,6 +233,9 @@ pub enum RunError {
     Engine(u32, tpcds_engine::EngineError),
     /// Query generation failure.
     Template(tpcds_qgen::TemplateError),
+    /// Server-mode failure (start, connect, or remote query), annotated
+    /// with the query number (0 = not query-specific).
+    Server(u32, String),
 }
 
 impl std::fmt::Display for RunError {
@@ -233,6 +243,8 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::Engine(q, e) => write!(f, "query {q}: {e}"),
             RunError::Template(e) => write!(f, "{e}"),
+            RunError::Server(0, e) => write!(f, "server: {e}"),
+            RunError::Server(q, e) => write!(f, "query {q} via server: {e}"),
         }
     }
 }
@@ -251,7 +263,7 @@ pub fn run_benchmark(config: BenchmarkConfig) -> Result<BenchmarkResult, RunErro
     let queries_per_stream = config.queries_per_stream.unwrap_or(99).clamp(1, 99);
 
     // ---- Load test (timed) ----
-    let db = Database::new();
+    let db = std::sync::Arc::new(Database::new());
     let mut phase = tpcds_obs::span("runner", "phase").field("phase", "load");
     let wm = tpcds_obs::mem::Watermark::start();
     let load_start = Instant::now();
@@ -264,11 +276,35 @@ pub fn run_benchmark(config: BenchmarkConfig) -> Result<BenchmarkResult, RunErro
     drop(wm);
     phase.finish();
 
+    // Server mode: the query runs go over loopback TCP. The untimed
+    // server start sits between the load and QR1, mirroring a real
+    // deployment bringing the database online before streams connect.
+    let server = if config.via_server {
+        let server_config = tpcds_server::ServerConfig {
+            max_concurrent_queries: streams,
+            ..tpcds_server::ServerConfig::default()
+        };
+        Some(
+            tpcds_server::Server::start(std::sync::Arc::clone(&db), server_config)
+                .map_err(|e| RunError::Server(0, e.to_string()))?,
+        )
+    } else {
+        None
+    };
+    let server_addr = server.as_ref().map(|s| s.local_addr());
+
     // ---- Query run 1 ----
     let mut phase = tpcds_obs::span("runner", "phase").field("phase", "qr1");
     let wm = tpcds_obs::mem::Watermark::start();
-    let (t_qr1, mut query_timings) =
-        query_run(&db, &workload, &config, streams, queries_per_stream, 1)?;
+    let (t_qr1, mut query_timings) = query_run(
+        &db,
+        &workload,
+        &config,
+        streams,
+        queries_per_stream,
+        1,
+        server_addr,
+    )?;
     phase.add_field("mem_peak", wm.peak_delta() as i64);
     drop(wm);
     phase.finish();
@@ -287,11 +323,23 @@ pub fn run_benchmark(config: BenchmarkConfig) -> Result<BenchmarkResult, RunErro
     // ---- Query run 2 ----
     let mut phase = tpcds_obs::span("runner", "phase").field("phase", "qr2");
     let wm = tpcds_obs::mem::Watermark::start();
-    let (t_qr2, timings2) = query_run(&db, &workload, &config, streams, queries_per_stream, 2)?;
+    let (t_qr2, timings2) = query_run(
+        &db,
+        &workload,
+        &config,
+        streams,
+        queries_per_stream,
+        2,
+        server_addr,
+    )?;
     query_timings.extend(timings2);
     phase.add_field("mem_peak", wm.peak_delta() as i64);
     drop(wm);
     phase.finish();
+
+    if let Some(server) = server {
+        server.shutdown();
+    }
 
     Ok(BenchmarkResult {
         config,
@@ -310,7 +358,9 @@ pub fn run_benchmark(config: BenchmarkConfig) -> Result<BenchmarkResult, RunErro
 /// Executes one query run: `streams` concurrent sessions, each running its
 /// own permutation of the workload with stream-specific substitutions.
 /// `run` is 1 or 2; run 2's sessions use fresh stream IDs so their
-/// permutations and substitutions differ from run 1's.
+/// permutations and substitutions differ from run 1's. With `server_addr`
+/// set, every stream opens its own TCP connection and the queries execute
+/// remotely (`via_server` mode).
 fn query_run(
     db: &Database,
     workload: &Workload,
@@ -318,6 +368,7 @@ fn query_run(
     streams: usize,
     queries_per_stream: usize,
     run: u32,
+    server_addr: Option<std::net::SocketAddr>,
 ) -> Result<(Duration, Vec<QueryTiming>), RunError> {
     let stream_base = (run as u64 - 1) * streams as u64;
     let timings: Mutex<Vec<QueryTiming>> = Mutex::new(Vec::new());
@@ -328,6 +379,15 @@ fn query_run(
             let timings = &timings;
             let failure = &failure;
             scope.spawn(move || {
+                let mut client = match server_addr.map(tpcds_server::Client::connect) {
+                    None => None,
+                    Some(Ok(c)) => Some(c),
+                    Some(Err(e)) => {
+                        *failure.lock().expect("poisoned") =
+                            Some(RunError::Server(0, e.to_string()));
+                        return;
+                    }
+                };
                 let stream_id = stream_base + s as u64;
                 let order = workload.stream_order(config.seed, stream_id);
                 for id in order.into_iter().take(queries_per_stream) {
@@ -343,19 +403,28 @@ fn query_run(
                         .field("stream", s)
                         .field("query", id);
                     let q_start = Instant::now();
-                    match tpcds_engine::query(db, &sql) {
-                        Ok(result) => {
-                            span.field("rows", result.rows.len()).finish();
+                    let rows = match &mut client {
+                        None => tpcds_engine::query(db, &sql)
+                            .map(|r| r.rows.len())
+                            .map_err(|e| RunError::Engine(id, e)),
+                        Some(c) => c
+                            .query(&sql)
+                            .map(|r| r.rows.len())
+                            .map_err(|e| RunError::Server(id, e.to_string())),
+                    };
+                    match rows {
+                        Ok(rows) => {
+                            span.field("rows", rows).finish();
                             timings.lock().expect("poisoned").push(QueryTiming {
                                 run,
                                 stream: s,
                                 query: id,
                                 elapsed: q_start.elapsed(),
-                                rows: result.rows.len(),
+                                rows,
                             })
                         }
                         Err(e) => {
-                            *failure.lock().expect("poisoned") = Some(RunError::Engine(id, e));
+                            *failure.lock().expect("poisoned") = Some(e);
                             return;
                         }
                     }
@@ -441,6 +510,29 @@ mod tests {
                 .and_then(|j| j.as_arr())
                 .map(|a| a.len()),
             Some(40)
+        );
+    }
+
+    #[test]
+    fn server_mode_runs_the_query_streams_over_tcp() {
+        let result = run_benchmark(BenchmarkConfig {
+            scale_factor: 0.005,
+            queries_per_stream: Some(5),
+            via_server: true,
+            ..BenchmarkConfig::tiny()
+        })
+        .unwrap();
+        // Same shape as the in-process run: 2 runs x 2 streams x 5 queries.
+        assert_eq!(result.query_timings.len(), 2 * 2 * 5);
+        assert!(result.qphds() > 0.0);
+        // The shared handle is still queryable after the server stopped.
+        assert!(
+            tpcds_engine::query(&result.db, "select count(*) from item")
+                .unwrap()
+                .rows[0][0]
+                .as_int()
+                .unwrap()
+                > 0
         );
     }
 

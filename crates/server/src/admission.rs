@@ -1,0 +1,131 @@
+//! Admission control: a bounded semaphore over concurrent queries.
+//!
+//! The server accepts any number of connections, but only `limit` queries
+//! execute at once — the rest queue on a condvar. Queueing is observable:
+//! `server.admission_wait_us` is a histogram of time spent waiting for a
+//! permit and `server.admission_queue_depth` is a gauge of how many
+//! sessions are parked right now, so a multi-stream run shows exactly
+//! where throughput saturates.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// A bounded permit pool. Cheap to share behind an `Arc`.
+pub struct Admission {
+    limit: usize,
+    state: Mutex<AdmissionState>,
+    available: Condvar,
+}
+
+struct AdmissionState {
+    in_use: usize,
+    queued: usize,
+}
+
+impl Admission {
+    /// A pool of `limit` permits. `limit` is clamped to at least one so a
+    /// misconfigured server degrades to serial execution, not deadlock.
+    pub fn new(limit: usize) -> Admission {
+        Admission {
+            limit: limit.max(1),
+            state: Mutex::new(AdmissionState {
+                in_use: 0,
+                queued: 0,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// The configured concurrency ceiling.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Queries currently holding a permit.
+    pub fn in_use(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).in_use
+    }
+
+    /// Blocks until a permit is free and returns an RAII guard releasing
+    /// it on drop. Records the wait in `server.admission_wait_us` and
+    /// keeps `server.admission_queue_depth` current while parked.
+    pub fn acquire(&self) -> Permit<'_> {
+        let started = Instant::now();
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.in_use >= self.limit {
+            state.queued += 1;
+            tpcds_obs::metrics::gauge_set("server.admission_queue_depth", state.queued as i64);
+            while state.in_use >= self.limit {
+                state = self
+                    .available
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            state.queued -= 1;
+            tpcds_obs::metrics::gauge_set("server.admission_queue_depth", state.queued as i64);
+        }
+        state.in_use += 1;
+        drop(state);
+        tpcds_obs::metrics::observe(
+            "server.admission_wait_us",
+            started.elapsed().as_micros() as u64,
+        );
+        Permit { pool: self }
+    }
+}
+
+/// Holds one admission slot; dropping it wakes a queued session.
+pub struct Permit<'a> {
+    pool: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.pool.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.in_use -= 1;
+        drop(state);
+        self.pool.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn never_admits_more_than_the_limit() {
+        let pool = Arc::new(Admission::new(3));
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let (pool, running, peak) = (pool.clone(), running.clone(), peak.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        let _permit = pool.acquire();
+                        let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::yield_now();
+                        running.fetch_sub(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 3, "peak {peak:?} over limit");
+        assert_eq!(pool.in_use(), 0, "all permits returned");
+    }
+
+    #[test]
+    fn zero_limit_degrades_to_serial() {
+        let pool = Admission::new(0);
+        assert_eq!(pool.limit(), 1);
+        let p = pool.acquire();
+        drop(p);
+        let _again = pool.acquire();
+    }
+}

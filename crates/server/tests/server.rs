@@ -1,0 +1,210 @@
+//! Server behavior over real sockets: framing, sessions, pinned
+//! snapshots, admission, idle timeouts and graceful shutdown.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tpcds_engine::{ColumnMeta, Database};
+use tpcds_server::{Client, ClientError, QueryOpts, Server, ServerConfig};
+use tpcds_types::{DataType, Value};
+
+fn tiny_db() -> Arc<Database> {
+    let db = Arc::new(Database::new());
+    let meta = vec![
+        ColumnMeta {
+            name: "a".to_string(),
+            dtype: DataType::Int,
+        },
+        ColumnMeta {
+            name: "b".to_string(),
+            dtype: DataType::Str,
+        },
+    ];
+    db.create_table_with_rows(
+        "t",
+        meta,
+        vec![
+            vec![Value::Int(1), Value::str("one")],
+            vec![Value::Int(2), Value::str("two")],
+            vec![Value::Int(3), Value::str("three")],
+        ],
+    )
+    .unwrap();
+    db
+}
+
+fn start(db: &Arc<Database>) -> Server {
+    Server::start(
+        Arc::clone(db),
+        ServerConfig {
+            max_concurrent_queries: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts")
+}
+
+#[test]
+fn ping_query_explain_stats_roundtrip() {
+    let db = tiny_db();
+    let server = start(&db);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    let version = c.ping().unwrap();
+    assert_eq!(version, db.version());
+
+    let r = c
+        .query("select a, b from t where a >= 2 order by a")
+        .unwrap();
+    assert_eq!(r.columns, vec!["a", "b"]);
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0][0].as_int(), Some(2));
+    assert_eq!(r.rows[0][1].as_str(), Some("two"));
+    assert_eq!(r.version, db.version());
+
+    let plan = c.explain("select count(*) from t").unwrap();
+    assert!(plan.contains("Scan t"), "unexpected plan: {plan}");
+
+    let stats = c.stats().unwrap();
+    assert!(stats.get("tables").and_then(|j| j.as_i64()).unwrap() >= 1);
+    assert_eq!(
+        stats.get("sessions_active").and_then(|j| j.as_i64()),
+        Some(1)
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn sql_errors_come_back_as_remote_errors_and_session_survives() {
+    let db = tiny_db();
+    let server = start(&db);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    match c.query("select nope from missing_table") {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("missing_table"), "{msg}"),
+        other => panic!("expected remote error, got {other:?}"),
+    }
+    // The connection is still usable after a query error.
+    assert_eq!(c.query("select a from t").unwrap().rows.len(), 3);
+    server.shutdown();
+}
+
+#[test]
+fn pinned_queries_read_frozen_versions_while_head_moves() {
+    let db = tiny_db();
+    let server = start(&db);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    let pinned = c.ping().unwrap();
+    db.insert("t", vec![vec![Value::Int(4), Value::str("four")]])
+        .unwrap();
+
+    // Head sees four rows, the pinned version still three.
+    assert_eq!(c.query("select a from t").unwrap().rows.len(), 4);
+    let frozen = c.query_pinned("select a from t", pinned).unwrap();
+    assert_eq!(frozen.rows.len(), 3);
+    assert_eq!(frozen.version, pinned);
+
+    // A version outside the retention window fails loudly.
+    match c.query_pinned("select a from t", 999_999) {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("not retained"), "{msg}"),
+        other => panic!("expected remote error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_each_get_their_own_session() {
+    let db = tiny_db();
+    let server = start(&db);
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for _ in 0..5 {
+                    let r = c
+                        .query(&format!("select a from t where a > {}", i % 3))
+                        .unwrap();
+                    assert!(!r.rows.is_empty());
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // All sessions drained back to zero.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.sessions_active() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.sessions_active(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn idle_sessions_are_closed_by_the_server() {
+    let db = tiny_db();
+    let server = Server::start(
+        Arc::clone(&db),
+        ServerConfig {
+            idle_timeout: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.ping().unwrap();
+    std::thread::sleep(Duration::from_millis(800));
+    // The server hung up; the next round trip fails.
+    assert!(c.ping().is_err(), "idle session was not closed");
+    server.shutdown();
+}
+
+#[test]
+fn client_shutdown_frame_stops_the_server() {
+    let db = tiny_db();
+    let server = start(&db);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    c.shutdown().unwrap();
+    // wait() returns because a client asked for shutdown.
+    server.wait();
+    assert!(server.is_shutting_down());
+    assert!(
+        Client::connect(server.local_addr()).is_err() || {
+            // The OS may still accept briefly; a round trip must fail.
+            let mut c2 = Client::connect(server.local_addr()).unwrap();
+            c2.ping().is_err()
+        }
+    );
+}
+
+#[test]
+fn query_options_cross_the_wire() {
+    let db = tiny_db();
+    let server = start(&db);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let r = c
+        .query_with(
+            "select count(*) c from t",
+            &QueryOpts {
+                mode: Some("off"),
+                threads: Some(1),
+                ..QueryOpts::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][0].as_int(), Some(3));
+    match c.query_with(
+        "select 1",
+        &QueryOpts {
+            mode: Some("sideways"),
+            ..QueryOpts::default()
+        },
+    ) {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("sideways"), "{msg}"),
+        other => panic!("expected remote error, got {other:?}"),
+    }
+    server.shutdown();
+}

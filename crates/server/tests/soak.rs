@@ -1,0 +1,185 @@
+//! Concurrent soak: 16 TCP clients fire seeded random template queries
+//! while data maintenance commits new snapshot versions underneath them.
+//! Every response is differentially checked against a serial row-path
+//! oracle re-executing the same SQL at the same pinned snapshot version —
+//! snapshot isolation means the answers must be byte-identical no matter
+//! how the concurrent run interleaved with the writer.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tpcds_dgen::Generator;
+use tpcds_engine::{ColumnarMode, Database, ExecOptions};
+use tpcds_qgen::Workload;
+use tpcds_server::{Client, Server, ServerConfig};
+use tpcds_types::Value;
+
+const CLIENTS: usize = 16;
+const QUERIES_PER_CLIENT: usize = 5;
+const DM_SEQUENCES: u32 = 2; // 12 snapshot commits each
+const SEED: u64 = tpcds_types::rng::DEFAULT_SEED;
+
+/// One checked response: what the client asked, what it got, and the
+/// version the server says it executed against.
+struct Observation {
+    sql: String,
+    version: u64,
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+/// Canonical byte form of a result set: rows rendered to their flat text
+/// form and sorted, so the concurrent (possibly columnar, multi-threaded)
+/// path and the serial row-path oracle compare exactly even where SQL
+/// leaves row order unspecified.
+fn canonical(columns: &[String], rows: &[Vec<Value>]) -> String {
+    let mut lines: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(|v| v.to_flat())
+                .collect::<Vec<_>>()
+                .join("\x1f")
+        })
+        .collect();
+    lines.sort();
+    format!("{}\n{}", columns.join("\x1f"), lines.join("\n"))
+}
+
+#[test]
+fn sixteen_clients_survive_concurrent_maintenance_and_match_the_oracle() {
+    let sf = 0.005;
+    let generator = Generator::new(sf);
+    let db = Arc::new(Database::new());
+    tpcds_maint::load_initial_population(&db, &generator).expect("load");
+    // Keep every version committed during the run alive for the oracle:
+    // 2 DM sequences = 24 commits, plus slack.
+    db.set_snapshot_retention(64);
+
+    let server = Server::start(
+        Arc::clone(&db),
+        ServerConfig {
+            // Fewer permits than clients so admission queueing is real.
+            max_concurrent_queries: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let workload = Workload::tpcds().expect("workload");
+    let dm_done = Arc::new(AtomicBool::new(false));
+
+    // Writer: data maintenance commits versions while the clients read.
+    let dm = {
+        let (db, dm_done) = (Arc::clone(&db), Arc::clone(&dm_done));
+        let generator = Generator::new(sf);
+        std::thread::spawn(move || {
+            let mut committed = Vec::new();
+            for seq in 0..DM_SEQUENCES {
+                let report = tpcds_maint::run_maintenance(&db, &generator, seq).expect("dm");
+                committed.push(report.ops.len());
+            }
+            dm_done.store(true, Ordering::SeqCst);
+            committed
+        })
+    };
+
+    // Readers: each client cycles its own seeded template slice until the
+    // writer has finished, so the query window fully covers the commits.
+    let readers: Vec<_> = (0..CLIENTS)
+        .map(|stream| {
+            let workload = &workload;
+            let dm_done = Arc::clone(&dm_done);
+            std::thread::spawn({
+                let queries: Vec<(u32, String)> = workload
+                    .stream_order(SEED, stream as u64)
+                    .into_iter()
+                    .take(QUERIES_PER_CLIENT)
+                    .map(|id| {
+                        (
+                            id,
+                            workload
+                                .instantiate(id, SEED, stream as u64)
+                                .expect("instantiate"),
+                        )
+                    })
+                    .collect();
+                move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    let mut seen = Vec::new();
+                    loop {
+                        let finished = dm_done.load(Ordering::SeqCst);
+                        for (id, sql) in &queries {
+                            let r = c
+                                .query(sql)
+                                .unwrap_or_else(|e| panic!("q{id} stream {stream}: {e}"));
+                            seen.push(Observation {
+                                sql: sql.clone(),
+                                version: r.version,
+                                columns: r.columns,
+                                rows: r.rows,
+                            });
+                        }
+                        if finished {
+                            return seen;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let observations: Vec<Observation> = readers
+        .into_iter()
+        .flat_map(|h| h.join().expect("reader"))
+        .collect();
+    let dm_ops: Vec<usize> = dm.join().expect("dm thread");
+    assert_eq!(dm_ops, vec![12; DM_SEQUENCES as usize]);
+    server.shutdown();
+
+    // The writer really did publish versions mid-run: the clients'
+    // responses span several distinct snapshot versions.
+    let mut versions: Vec<u64> = observations.iter().map(|o| o.version).collect();
+    versions.sort_unstable();
+    versions.dedup();
+    assert!(
+        versions.len() >= 3,
+        "expected >= 3 distinct snapshot versions mid-run, saw {versions:?}"
+    );
+    assert!(
+        observations.len() >= CLIENTS * QUERIES_PER_CLIENT,
+        "only {} observations",
+        observations.len()
+    );
+
+    // Differential check: re-run every observed query serially on the row
+    // path, pinned to the exact version the server reported, and demand
+    // byte-identical results.
+    let oracle_opts = ExecOptions {
+        columnar: ColumnarMode::Off,
+        threads: Some(1),
+    };
+    for (i, o) in observations.iter().enumerate() {
+        let snap = db
+            .snapshot_at(o.version)
+            .unwrap_or_else(|| panic!("version {} fell out of retention", o.version));
+        let expected = tpcds_engine::query_pinned(&db, &snap, &o.sql, oracle_opts)
+            .unwrap_or_else(|e| panic!("oracle failed for {}: {e}", o.sql));
+        assert_eq!(
+            canonical(&o.columns, &o.rows),
+            canonical(&expected.columns, &expected.rows),
+            "divergence at observation {i} (v{}):\n{}",
+            o.version,
+            o.sql
+        );
+    }
+
+    // Sessions fully drained after shutdown.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.sessions_active() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.sessions_active(), 0);
+}

@@ -16,6 +16,7 @@ fn main() {
         queries_per_stream: Some(25),
         aux: AuxLevel::Reporting,
         threads: None,
+        via_server: false,
     };
     println!(
         "Running benchmark: SF {}, {} streams, {} queries/stream",

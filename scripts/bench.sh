@@ -14,7 +14,12 @@
 #    kernels at 1 and N workers (written by the same profile run);
 #  - COVERAGE_6.json: per-template routing paths, fallback reason codes
 #    and cardinality q-error quantiles over all 99 templates
-#    (tpcds-bench coverage).
+#    (tpcds-bench coverage);
+#  - BENCH_7.json: the client/server multi-stream report — 1/4/16 TCP
+#    clients querying a live tpcds-server while data maintenance commits
+#    snapshot versions mid-run: queries/s, a QphDS-style proxy,
+#    per-stream latency histograms and snapshot-version churn
+#    (tpcds-bench serve).
 # After regenerating, each fresh perf report is gated against the
 # committed baseline with `tpcds-bench compare` — a throughput drop (or
 # latency rise) past BENCH_TOLERANCE fails the script — and the coverage
@@ -32,8 +37,12 @@
 #   BENCH_PROFILE_OUT  BENCH_4 output path (default BENCH_4.json)
 #   BENCH_SORT_OUT     BENCH_5 output path (default BENCH_5.json)
 #   BENCH_COVERAGE_OUT COVERAGE_6 output path (default COVERAGE_6.json)
+#   BENCH_SERVE_OUT    BENCH_7 output path (default BENCH_7.json)
 #   BENCH_TOLERANCE    relative regression slack for the gate (default 0.5 —
 #                      generous, CI machines are noisy; tighten locally)
+#   BENCH_SERVE_TOLERANCE  slack for the BENCH_7 gate (default 1.0 — tail
+#                      latencies under 16-way contention are the noisiest
+#                      numbers in the suite)
 set -eux
 
 export CARGO_NET_OFFLINE=true
@@ -44,12 +53,14 @@ OUT3="${BENCH_JOIN_OUT:-BENCH_3.json}"
 OUT4="${BENCH_PROFILE_OUT:-BENCH_4.json}"
 OUT5="${BENCH_SORT_OUT:-BENCH_5.json}"
 OUT6="${BENCH_COVERAGE_OUT:-COVERAGE_6.json}"
+OUT7="${BENCH_SERVE_OUT:-BENCH_7.json}"
+SERVE_TOLERANCE="${BENCH_SERVE_TOLERANCE:-1.0}"
 
 cargo build --release -p tpcds-bench \
     --bin storage_bench --bin join_bench --bin tpcds-bench
 
 # Snapshot committed baselines before the fresh runs overwrite them.
-for f in "$OUT2" "$OUT3" "$OUT4" "$OUT5" "$OUT6"; do
+for f in "$OUT2" "$OUT3" "$OUT4" "$OUT5" "$OUT6" "$OUT7"; do
     if [ -f "$f" ]; then
         cp "$f" "$f.baseline"
     fi
@@ -65,6 +76,9 @@ done
     --scale "${BENCH_JOIN_SCALE:-0.01}" \
     --out "$OUT4" \
     --sort-out "$OUT5"
+./target/release/tpcds-bench serve \
+    --scale "${BENCH_JOIN_SCALE:-0.01}" \
+    --out "$OUT7"
 
 # Regression gate: fresh numbers vs the committed baselines.
 status=0
@@ -75,6 +89,12 @@ for f in "$OUT2" "$OUT3" "$OUT4" "$OUT5"; do
         rm -f "$f.baseline"
     fi
 done
+# The client/server report gates with its own (wider) tolerance.
+if [ -f "$OUT7.baseline" ]; then
+    ./target/release/tpcds-bench compare "$OUT7.baseline" "$OUT7" \
+        --tolerance "$SERVE_TOLERANCE" || status=1
+    rm -f "$OUT7.baseline"
+fi
 
 # Routing coverage over all 99 templates, gated on the committed paths
 # (exact-path contract, no tolerance — routing is deterministic).

@@ -13,6 +13,7 @@ fn benchmark_flow_produces_consistent_metrics() {
         queries_per_stream: Some(8),
         aux: AuxLevel::Reporting,
         threads: None,
+        via_server: false,
     };
     let result = runner::run_benchmark(config).expect("benchmark");
     assert_eq!(result.query_timings.len(), 2 * 3 * 8);

@@ -88,8 +88,11 @@ fn every_executed_node_has_a_route_and_fallbacks_carry_reasons() {
 fn maintenance_refreshes_statistics() {
     let t = load(0.01);
     let db = t.database();
-    let table = db.table("store_sales").expect("table");
-    let before = table.read().stats().expect("stats collected at load");
+    let before = db
+        .table("store_sales")
+        .expect("table")
+        .stats()
+        .expect("stats collected at load");
     assert_eq!(
         before.rows,
         db.row_count("store_sales") as u64,
@@ -97,9 +100,14 @@ fn maintenance_refreshes_statistics() {
     );
 
     // The refresh run bulk-deletes a date range and inserts new facts, so
-    // the population — and with it the estimates — must change.
+    // the population — and with it the estimates — must change. Table
+    // handles are frozen snapshot versions, so re-fetch from the new head.
     t.run_maintenance(1).expect("maintenance");
-    let after = table.read().stats().expect("stats refreshed after DM");
+    let after = db
+        .table("store_sales")
+        .expect("table")
+        .stats()
+        .expect("stats refreshed after DM");
     assert!(
         !std::sync::Arc::ptr_eq(&before, &after),
         "stats refresh after data maintenance was skipped"
