@@ -36,7 +36,10 @@ const USAGE: &str = "usage:
   tpcds-bench profile [--scale SF] [--out BENCH_4.json] [--sort-out BENCH_5.json] [--queries-per-class N]
   tpcds-bench compare OLD.json NEW.json [--tolerance 0.15]
   tpcds-bench coverage [--scale SF] [--out COVERAGE_6.json] [--baseline FILE]
-  tpcds-bench serve [--scale SF] [--queries N] [--out BENCH_7.json]";
+  tpcds-bench serve [--scale SF] [--queries N] [--out BENCH_7.json]
+  tpcds-bench synth [--scale SF] [--queries N] [--streams N] [--seed S] [--dm N]
+                    [--via-server] [--out COVERAGE_8.json] [--baseline FILE]
+                    [--tolerance 0.05] [--fail-dir DIR]";
 
 const JOIN_SQL: &str = "select ss_item_sk, ss_ticket_number, d_year \
      from store_sales, date_dim where ss_sold_date_sk = d_date_sk and ss_quantity > 10";
@@ -69,6 +72,7 @@ fn main() {
         Some((sub, rest)) if sub == "profile" => cmd_profile(rest),
         Some((sub, rest)) if sub == "coverage" => cmd_coverage(rest),
         Some((sub, rest)) if sub == "serve" => cmd_serve(rest),
+        Some((sub, rest)) if sub == "synth" => cmd_synth(rest),
         _ => {
             eprintln!("{USAGE}");
             2
@@ -637,4 +641,133 @@ fn cmd_serve(args: &[String]) -> i32 {
     std::fs::write(&out_path, format!("{report}\n")).expect("write report");
     eprintln!("wrote {out_path}");
     0
+}
+
+/// `tpcds-bench synth` — the grammar-driven differential soak and its
+/// `COVERAGE_8.json` routing report: synthesizes `--queries` seeded SQL
+/// queries over `--streams` concurrent streams (optionally through a real
+/// TCP server) while `--dm` maintenance sequences commit mid-run, runs
+/// the four-way row-vs-columnar differential on every one, shrinks any
+/// mismatch to a minimal reproducer (written under `--fail-dir`), and
+/// gates the per-shape-class routing report against `--baseline`.
+/// The query budget defaults from `SYNTH_BUDGET` so CI legs scale it
+/// without editing the workflow command.
+fn cmd_synth(args: &[String]) -> i32 {
+    use std::sync::Arc;
+    use tpcds_core::synth::{coverage_report, gate, run_soak, SoakConfig, SynthConfig};
+
+    let sf: f64 = flag(args, "--scale")
+        .map(|v| v.parse().expect("bad --scale"))
+        .unwrap_or(0.01);
+    let queries: usize = flag(args, "--queries")
+        .or_else(|| std::env::var("SYNTH_BUDGET").ok())
+        .map(|v| v.trim().parse().expect("bad --queries / SYNTH_BUDGET"))
+        .unwrap_or(500);
+    let streams: usize = flag(args, "--streams")
+        .map(|v| v.parse().expect("bad --streams"))
+        .unwrap_or(4)
+        .max(1);
+    let seed: u64 = flag(args, "--seed")
+        .map(|v| v.parse().expect("bad --seed"))
+        .unwrap_or_else(|| tpcds_types::rng::test_seed(tpcds_types::rng::DEFAULT_SEED));
+    let dm_commits: u32 = flag(args, "--dm")
+        .map(|v| v.parse().expect("bad --dm"))
+        .unwrap_or(1);
+    let via_server = args.iter().any(|a| a == "--via-server");
+    let out_path = flag(args, "--out").unwrap_or_else(|| "COVERAGE_8.json".to_string());
+    let baseline_path = flag(args, "--baseline");
+    let tolerance: f64 = flag(args, "--tolerance")
+        .map(|v| v.parse().expect("bad --tolerance"))
+        .unwrap_or(0.05);
+    let fail_dir = flag(args, "--fail-dir");
+
+    eprintln!("loading TPC-DS at SF {sf} for the synthesized soak...");
+    let generator = tpcds_core::Generator::new(sf);
+    let db = Arc::new(tpcds_core::Database::new());
+    tpcds_core::maint::load_initial_population(&db, &generator).expect("load");
+    db.build_columnar_shadows();
+
+    let cfg = SoakConfig {
+        streams,
+        queries_per_stream: queries.div_ceil(streams),
+        dm_commits,
+        via_server,
+        shrink: true,
+        synth: SynthConfig {
+            seed,
+            ..SynthConfig::default()
+        },
+    };
+    eprintln!(
+        "soak: {} streams x {} queries (seed {seed}, dm {dm_commits}, server {via_server})...",
+        cfg.streams, cfg.queries_per_stream
+    );
+    let outcome = run_soak(&db, Some(&generator), &cfg);
+
+    let report = coverage_report(&outcome, &cfg);
+    std::fs::write(&out_path, format!("{report}\n")).expect("write coverage report");
+    println!(
+        "wrote {out_path}: {} queries, {} mismatches, {} snapshot versions",
+        outcome.queries_run,
+        outcome.failures.len(),
+        outcome.versions_observed.len()
+    );
+    for (class, stat) in &outcome.classes {
+        println!(
+            "  {class:<18} {:>5} queries  columnar {:>5.1}%  {:>9} oracle rows",
+            stat.queries,
+            stat.columnar_frac() * 100.0,
+            stat.oracle_rows
+        );
+    }
+
+    // Minimized reproducers: one .sql file per mismatch, replayable with
+    // `tpcds --columnar force` vs `--columnar off` (or the shrink docs in
+    // docs/TESTING.md).
+    if !outcome.failures.is_empty() {
+        if let Some(dir) = &fail_dir {
+            std::fs::create_dir_all(dir).expect("create --fail-dir");
+            for f in &outcome.failures {
+                let path = format!("{dir}/q{}_{}.sql", f.qid, f.class);
+                let body = format!(
+                    "-- qid {} class {} seed {seed}\n-- {}\n-- original: {}\n{}\n",
+                    f.qid, f.class, f.detail, f.sql, f.minimized
+                );
+                std::fs::write(&path, body).expect("write reproducer");
+                eprintln!("wrote reproducer {path}");
+            }
+        }
+        for f in &outcome.failures {
+            eprintln!("MISMATCH qid {} ({}): {}", f.qid, f.class, f.detail);
+            eprintln!("  minimized: {}", f.minimized);
+        }
+        eprintln!("{} differential mismatch(es)", outcome.failures.len());
+        return 1;
+    }
+
+    // ---- Per-shape-class routing gate ----
+    let Some(base_path) = baseline_path else {
+        return 0;
+    };
+    let base = match std::fs::read_to_string(&base_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| Json::parse(&t))
+    {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: baseline {base_path}: {e}");
+            return 2;
+        }
+    };
+    let violations = gate(&base, &report, tolerance);
+    if violations.is_empty() {
+        println!("shape-class coverage matches or improves on {base_path}");
+        0
+    } else {
+        for v in &violations {
+            eprintln!("gate: {v}");
+        }
+        eprintln!("{} violation(s) vs {base_path}", violations.len());
+        1
+    }
 }

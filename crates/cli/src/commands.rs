@@ -492,6 +492,82 @@ pub fn serve(args: &[String]) -> Result<()> {
     Ok(())
 }
 
+/// `tpcds synth` — synthesize a seeded SQL workload and soak it through
+/// the row-vs-columnar differential (optionally over TCP, with data
+/// maintenance committing mid-run). Prints per-shape-class routing
+/// tallies; any mismatch prints its minimized reproducer and fails.
+pub fn synth(args: &[String]) -> Result<()> {
+    use tpcds_core::synth::{coverage_report, run_soak, SoakConfig, SynthConfig};
+
+    let flags = Flags::new(args);
+    let sf: f64 = flags.parse("--scale", 0.01)?;
+    let queries: usize = flags.parse("--queries", 100usize)?;
+    let streams: usize = flags.parse("--streams", 2usize)?;
+    let streams = streams.max(1);
+    let seed: u64 = flags.parse(
+        "--seed",
+        tpcds_types::rng::test_seed(tpcds_types::rng::DEFAULT_SEED),
+    )?;
+    let dm_commits: u32 = flags.parse("--dm", 1u32)?;
+
+    eprintln!("loading TPC-DS at SF {sf}...");
+    let db = std::sync::Arc::new(tpcds_core::Database::new());
+    let generator = Generator::new(sf);
+    tpcds_core::maint::load_initial_population(&db, &generator).map_err(|e| e.to_string())?;
+    db.build_columnar_shadows();
+
+    let cfg = SoakConfig {
+        streams,
+        queries_per_stream: queries.div_ceil(streams),
+        dm_commits,
+        via_server: flags.has("--via-server"),
+        shrink: true,
+        synth: SynthConfig {
+            seed,
+            ..SynthConfig::default()
+        },
+    };
+    eprintln!(
+        "soaking {} streams x {} queries (seed {seed})...",
+        cfg.streams, cfg.queries_per_stream
+    );
+    let outcome = run_soak(&db, Some(&generator), &cfg);
+
+    println!(
+        "{} queries, {} mismatches, {} snapshot versions, {} DM rows",
+        outcome.queries_run,
+        outcome.failures.len(),
+        outcome.versions_observed.len(),
+        outcome.dm_rows
+    );
+    for (class, stat) in &outcome.classes {
+        println!(
+            "  {class:<18} {:>5} queries  columnar {:>5.1}%  {:>9} oracle rows",
+            stat.queries,
+            stat.columnar_frac() * 100.0,
+            stat.oracle_rows
+        );
+    }
+    if let Some(out) = flags.value("--out") {
+        let report = coverage_report(&outcome, &cfg);
+        std::fs::write(out, format!("{report}\n"))
+            .map_err(|e| format!("cannot write {out:?}: {e}"))?;
+        println!("wrote {out}");
+    }
+    if outcome.failures.is_empty() {
+        Ok(())
+    } else {
+        for f in &outcome.failures {
+            eprintln!("MISMATCH qid {} ({}): {}", f.qid, f.class, f.detail);
+            eprintln!("  minimized: {}", f.minimized);
+        }
+        Err(format!(
+            "{} differential mismatch(es) at seed {seed}",
+            outcome.failures.len()
+        ))
+    }
+}
+
 /// `tpcds client` — talk to a running `tpcds serve`: ping, one-shot
 /// queries (optionally pinned to a snapshot version), plans, server
 /// stats, shutdown.

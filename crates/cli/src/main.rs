@@ -12,6 +12,7 @@
 //! * `tpcds schema`  — print the schema (DDL-ish) and statistics
 //! * `tpcds serve`   — serve a loaded data set over TCP
 //! * `tpcds client`  — query a running `tpcds serve`
+//! * `tpcds synth`   — soak a synthesized workload through the differential
 
 mod commands;
 
@@ -45,6 +46,7 @@ fn main() -> ExitCode {
         "profile" => commands::profile(rest),
         "serve" => commands::serve(rest),
         "client" => commands::client(rest),
+        "synth" => commands::synth(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -76,6 +78,7 @@ USAGE:
     tpcds profile [--scale SF] [--table NAME] [--limit N]
     tpcds serve   [--scale SF] [--addr HOST:PORT] [--max-queries N] [--idle-timeout SECS] [--no-aux] [--trace FILE] [--metrics-addr HOST:PORT]
     tpcds client  [--addr HOST:PORT] (--sql 'SELECT ...' [--pin VERSION] [--explain] | --ping | --stats | --shutdown)
+    tpcds synth   [--scale SF] [--queries N] [--streams N] [--seed S] [--dm N] [--via-server] [--out COVERAGE_8.json]
 
 Scale factors are GB of raw data; fractional values (default 0.01)
 generate laptop-sized miniatures with the same shape.

@@ -26,6 +26,7 @@ pub use tpcds_runner as runner;
 pub use tpcds_schema as schema;
 pub use tpcds_server as server;
 pub use tpcds_storage as storage;
+pub use tpcds_synth as synth;
 pub use tpcds_types as types;
 
 pub use tpcds_dgen::{Generator, SalesDateDistribution, SalesZone};

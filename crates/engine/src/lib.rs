@@ -131,6 +131,34 @@ pub struct AnalyzedResult {
     pub nodes: Vec<plan::NodeReport>,
 }
 
+impl AnalyzedResult {
+    /// The best route any executed node took — the statement's headline
+    /// path (serial < rows-par < index < columnar, per [`RoutePath`]'s
+    /// derive order). `RoutePath::Unset` if nothing executed.
+    pub fn best_route(&self) -> RoutePath {
+        self.nodes
+            .iter()
+            .filter(|n| n.executed)
+            .map(|n| n.route)
+            .max()
+            .unwrap_or(RoutePath::Unset)
+    }
+
+    /// Deduplicated, sorted fallback reason codes across executed nodes —
+    /// why parts of the plan stayed off the columnar path.
+    pub fn fallback_reasons(&self) -> Vec<&'static str> {
+        let mut reasons: Vec<&'static str> = self
+            .nodes
+            .iter()
+            .filter(|n| n.executed)
+            .filter_map(|n| n.fallback)
+            .collect();
+        reasons.sort_unstable();
+        reasons.dedup();
+        reasons
+    }
+}
+
 /// Executes one SQL statement with per-operator instrumentation and
 /// returns both the result and the annotated plan tree (EXPLAIN ANALYZE).
 pub fn query_analyze(db: &Database, sql: &str) -> Result<AnalyzedResult> {
@@ -144,6 +172,34 @@ pub fn query_analyze_with(db: &Database, sql: &str, opts: ExecOptions) -> Result
     let bound = plan_sql(db, sql)?;
     let est = estimate::estimate_plan(&bound.plan, db);
     let ctx = ExecCtx::with_stats_options(db, opts);
+    let rows = exec::execute(&bound.plan, &ctx, None)?;
+    let stats = ctx.take_stats();
+    span.field("rows", rows.len() as i64).finish();
+    Ok(AnalyzedResult {
+        result: QueryResult {
+            columns: bound.names,
+            rows,
+        },
+        plan_text: bound.plan.explain_analyze_with_estimates(&stats, &est),
+        nodes: bound.plan.node_reports(&stats, &est),
+    })
+}
+
+/// [`query_analyze_with`] against a caller-pinned snapshot: instrumented
+/// execution reads exactly that frozen version while cardinality
+/// estimates still come from head statistics (estimates never affect
+/// results). This is what the synthesized-workload soak uses to collect
+/// routing traces for queries racing concurrent DM commits.
+pub fn query_analyze_pinned(
+    db: &Database,
+    snap: &std::sync::Arc<DbSnapshot>,
+    sql: &str,
+    opts: ExecOptions,
+) -> Result<AnalyzedResult> {
+    let span = tpcds_obs::span("engine", "query_analyze").field("version", snap.version() as i64);
+    let bound = plan_sql(db, sql)?;
+    let est = estimate::estimate_plan(&bound.plan, db);
+    let ctx = ExecCtx::pinned_with_stats(db, std::sync::Arc::clone(snap), opts);
     let rows = exec::execute(&bound.plan, &ctx, None)?;
     let stats = ctx.take_stats();
     span.field("rows", rows.len() as i64).finish();

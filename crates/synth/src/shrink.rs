@@ -1,0 +1,278 @@
+//! Greedy spec-level shrinking of a failing query.
+//!
+//! Given a [`QuerySpec`] whose differential check fails, repeatedly try
+//! structurally smaller variants — biggest cuts first — and keep any
+//! variant that *still fails*, until a fixpoint. Because shrinking edits
+//! the spec (not the SQL text), dropping a join also drops every
+//! predicate, group key and projection item that referenced the joined
+//! table, so each candidate is well-formed by construction.
+//!
+//! A candidate whose row-path oracle errors counts as *not failing*
+//! (that variant left the supported dialect) and is discarded.
+
+use std::sync::Arc;
+
+use tpcds_engine::{Database, DbSnapshot};
+
+use crate::diff::run_differential;
+use crate::spec::QuerySpec;
+
+/// Hard cap on differential runs during one shrink, so a pathological
+/// failure cannot stall the soak.
+const MAX_ATTEMPTS: usize = 400;
+
+fn size(spec: &QuerySpec) -> usize {
+    let mut n = spec.joins.len() * 4
+        + spec.predicates.len()
+        + spec.projection.len()
+        + spec.group_by.len()
+        + spec.aggs.len()
+        + spec.order_by.len()
+        + spec.having.iter().count()
+        + spec.window.iter().count()
+        + spec.limit.iter().count()
+        + usize::from(spec.distinct);
+    if let Some((_, arm)) = &spec.set_op {
+        n += 8 + size(arm);
+    }
+    n
+}
+
+/// Drops join `i` together with every item that referenced its table.
+/// Returns `None` when the drop would orphan a later edge (its FK side
+/// lives on the dropped table) or empty the select list.
+fn drop_join(spec: &QuerySpec, i: usize) -> Option<QuerySpec> {
+    let victim = spec.joins[i].table.clone();
+    if spec
+        .joins
+        .iter()
+        .enumerate()
+        .any(|(j, e)| j != i && e.fk_table == victim)
+    {
+        return None;
+    }
+    let mut s = spec.clone();
+    s.joins.remove(i);
+    s.predicates.retain(|p| p.table != victim);
+    s.projection.retain(|p| p.table != victim);
+    s.group_by.retain(|g| g.table != victim);
+    s.aggs.retain(|a| a.table != victim);
+    // Dropping the join that owned every group key degrades the query to
+    // a global aggregate (HAVING has no home without GROUP BY).
+    if s.group_by.is_empty() && s.projection.is_empty() && !s.aggs.is_empty() {
+        s.projection = std::mem::take(&mut s.aggs);
+        s.having = None;
+    }
+    if s.select_items().is_empty() {
+        return None;
+    }
+    Some(s)
+}
+
+/// All single-step shrink candidates of `spec`, biggest cuts first.
+fn candidates(spec: &QuerySpec) -> Vec<QuerySpec> {
+    let mut out = Vec::new();
+
+    // A set-op arm alone is half the query.
+    if let Some((_, arm)) = &spec.set_op {
+        let mut left = spec.clone();
+        left.set_op = None;
+        out.push(left);
+        let mut right = (**arm).clone();
+        right.class = spec.class;
+        right.set_op = None;
+        out.push(right);
+    }
+
+    for i in 0..spec.joins.len() {
+        if let Some(s) = drop_join(spec, i) {
+            out.push(s);
+        }
+    }
+
+    // Convert LEFT joins to INNER (and vice versa is never smaller).
+    for i in 0..spec.joins.len() {
+        if spec.joins[i].left {
+            let mut s = spec.clone();
+            s.joins[i].left = false;
+            out.push(s);
+        }
+    }
+
+    if spec.window.is_some() && !spec.projection.is_empty() {
+        let mut s = spec.clone();
+        s.window = None;
+        out.push(s);
+    }
+    if spec.distinct {
+        let mut s = spec.clone();
+        s.distinct = false;
+        out.push(s);
+    }
+    if spec.having.is_some() {
+        let mut s = spec.clone();
+        s.having = None;
+        out.push(s);
+    }
+    if spec.limit.is_some() {
+        let mut s = spec.clone();
+        s.limit = None;
+        out.push(s);
+    }
+    if !spec.order_by.is_empty() {
+        let mut s = spec.clone();
+        s.order_by.clear();
+        out.push(s);
+    }
+
+    for i in 0..spec.predicates.len() {
+        let mut s = spec.clone();
+        s.predicates.remove(i);
+        out.push(s);
+    }
+    if spec.aggs.len() > 1 {
+        for i in 0..spec.aggs.len() {
+            let mut s = spec.clone();
+            s.aggs.remove(i);
+            out.push(s);
+        }
+    }
+    if spec.group_by.len() > 1 {
+        for i in 0..spec.group_by.len() {
+            let mut s = spec.clone();
+            s.group_by.remove(i);
+            out.push(s);
+        }
+    }
+    if spec.projection.len() > 1 {
+        for i in 0..spec.projection.len() {
+            let mut s = spec.clone();
+            s.projection.remove(i);
+            out.push(s);
+        }
+    }
+
+    out
+}
+
+/// Shrinks a failing spec to a locally minimal reproducer using the
+/// generic `still_fails` predicate. Exposed for unit-testing the search
+/// itself without a database.
+pub fn shrink_with(spec: &QuerySpec, mut still_fails: impl FnMut(&QuerySpec) -> bool) -> QuerySpec {
+    let mut best = spec.clone();
+    let mut attempts = 0usize;
+    'outer: loop {
+        for cand in candidates(&best) {
+            if attempts >= MAX_ATTEMPTS {
+                break 'outer;
+            }
+            attempts += 1;
+            if size(&cand) < size(&best) && still_fails(&cand) {
+                best = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    best
+}
+
+/// Shrinks a spec whose differential check fails against `snap` to a
+/// locally minimal spec that still fails. If the input does not actually
+/// fail, it is returned unchanged.
+pub fn shrink(db: &Database, snap: &Arc<DbSnapshot>, spec: &QuerySpec) -> QuerySpec {
+    shrink_with(spec, |cand| {
+        matches!(
+            run_differential(db, snap, &cand.sql()),
+            Err(ref e) if e.is_mismatch()
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Item, JoinEdge, OnMode, ShapeClass};
+
+    fn wide_spec() -> QuerySpec {
+        let mut s = QuerySpec::new(ShapeClass::JoinAgg, "store_sales");
+        s.joins.push(JoinEdge {
+            table: "date_dim".into(),
+            fk_table: "store_sales".into(),
+            fk_col: "ss_sold_date_sk".into(),
+            pk_col: "d_date_sk".into(),
+            left: false,
+            on: OnMode::Plain,
+        });
+        s.joins.push(JoinEdge {
+            table: "item".into(),
+            fk_table: "store_sales".into(),
+            fk_col: "ss_item_sk".into(),
+            pk_col: "i_item_sk".into(),
+            left: true,
+            on: OnMode::Plain,
+        });
+        s.predicates.push(Item::on("date_dim", "d_year = 2000"));
+        s.predicates.push(Item::on("item", "i_color is not null"));
+        s.group_by.push(Item::on("date_dim", "d_moy"));
+        s.aggs.push(Item::free("count(*)"));
+        s.aggs.push(Item::on("store_sales", "sum(ss_quantity)"));
+        s.having = Some("count(*) > 0".into());
+        s.order_by = vec![1];
+        s.limit = Some(10);
+        s
+    }
+
+    #[test]
+    fn shrinks_to_the_failing_kernel() {
+        // Pretend the failure needs exactly the item join and nothing
+        // else: the shrinker should strip everything orthogonal.
+        let spec = wide_spec();
+        let min = shrink_with(&spec, |s| s.joins.iter().any(|j| j.table == "item"));
+        assert!(min.joins.iter().any(|j| j.table == "item"));
+        assert!(min.predicates.is_empty());
+        assert!(min.having.is_none());
+        assert!(min.limit.is_none());
+        assert!(min.order_by.is_empty());
+        assert!(size(&min) < size(&spec));
+    }
+
+    #[test]
+    fn dropping_a_join_drops_its_dependents() {
+        let spec = wide_spec();
+        // The item join owns one predicate; everything else survives.
+        let dropped = drop_join(&spec, 1).expect("item is droppable");
+        assert!(dropped.predicates.iter().all(|p| p.table != "item"));
+        assert_eq!(dropped.group_by.len(), 1);
+        assert!(!dropped.select_items().is_empty());
+    }
+
+    #[test]
+    fn dropping_the_grouping_join_degrades_to_global_aggregate() {
+        let spec = wide_spec();
+        // date_dim owns the only group key; the drop must fall back to a
+        // global aggregate rather than an empty select list.
+        let dropped = drop_join(&spec, 0).expect("date_dim is droppable");
+        assert!(dropped.group_by.is_empty());
+        assert!(dropped.having.is_none());
+        assert!(dropped
+            .sql()
+            .starts_with("select count(*), sum(ss_quantity)"));
+    }
+
+    #[test]
+    fn never_orphans_a_chained_join() {
+        // Re-hang the item edge off date_dim: date_dim then cannot be
+        // dropped while the chained edge needs it.
+        let mut spec = wide_spec();
+        spec.joins[1].fk_table = "date_dim".into();
+        assert!(drop_join(&spec, 0).is_none());
+    }
+
+    #[test]
+    fn non_failing_spec_survives_unchanged() {
+        let spec = wide_spec();
+        let same = shrink_with(&spec, |_| false);
+        assert_eq!(same.sql(), spec.sql());
+    }
+}

@@ -125,6 +125,56 @@ pub fn table_stream(table_idx: usize) -> u64 {
     (table_idx as u64 + 1) << 16
 }
 
+/// The classic sequential splitmix64 generator — the shared seeded RNG
+/// for every differential / synthesized test harness, so a failure
+/// reproduces from one printed seed.
+///
+/// Each step advances the state by the splitmix increment and returns the
+/// finalized ([`mix64`]) old state; the emitted sequence is therefore
+/// `mix64(s0), mix64(s0 + γ), …` for seed `s0`. Column generators keep
+/// using the random-access [`ColumnRng`]; this type is for test drivers
+/// that want a cheap *sequential* stream.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let v = mix64(self.0);
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        v
+    }
+
+    /// Uniform draw in `0..n` (modulo mapping; fine for test harnesses).
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+
+    /// Bernoulli draw: true with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+}
+
+/// The seed a test harness should use: `TPCDS_TEST_SEED` from the
+/// environment when set (so a CI failure replays locally by exporting the
+/// printed seed), else the given default. Invalid values fall back to the
+/// default rather than panicking inside a test binary.
+pub fn test_seed(default: u64) -> u64 {
+    match std::env::var("TPCDS_TEST_SEED") {
+        Ok(s) => s.trim().parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +265,31 @@ mod tests {
         let p1 = ColumnRng::at(5, 10, 0).permutation(99);
         let p2 = ColumnRng::at(5, 11, 0).permutation(99);
         assert_ne!(p1, p2);
+    }
+
+    /// Pins the emitted sequence to the classic increment-then-finalize
+    /// splitmix64 — the exact stream the differential tests were seeded
+    /// with before the helper was shared, so routing floors there hold.
+    #[test]
+    fn splitmix_matches_inline_form() {
+        let mut shared = SplitMix64(0xDEAD_BEEF);
+        let mut state: u64 = 0xDEAD_BEEF;
+        for _ in 0..64 {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            assert_eq!(shared.next_u64(), z);
+        }
+    }
+
+    #[test]
+    fn splitmix_chance_extremes() {
+        let mut r = SplitMix64(7);
+        for _ in 0..100 {
+            assert!(!r.chance(0.0));
+            assert!(r.chance(1.0));
+        }
     }
 }

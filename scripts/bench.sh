@@ -19,7 +19,14 @@
 #    clients querying a live tpcds-server while data maintenance commits
 #    snapshot versions mid-run: queries/s, a QphDS-style proxy,
 #    per-stream latency histograms and snapshot-version churn
-#    (tpcds-bench serve).
+#    (tpcds-bench serve);
+#  - COVERAGE_8.json: the synthesized-workload soak — SYNTH_BUDGET seeded
+#    grammar-driven queries (FK-walked joins, histogram-steered
+#    predicates, adversarial NULL-key / skew / empty / 64k-LIMIT shapes)
+#    run concurrently against the four-way row-vs-columnar differential
+#    while data maintenance commits mid-run, with per-shape-class routing
+#    tallies (tpcds-bench synth). Any differential mismatch fails the
+#    script and writes minimized reproducers under synth_failures/.
 # After regenerating, each fresh perf report is gated against the
 # committed baseline with `tpcds-bench compare` — a throughput drop (or
 # latency rise) past BENCH_TOLERANCE fails the script — and the coverage
@@ -38,6 +45,10 @@
 #   BENCH_SORT_OUT     BENCH_5 output path (default BENCH_5.json)
 #   BENCH_COVERAGE_OUT COVERAGE_6 output path (default COVERAGE_6.json)
 #   BENCH_SERVE_OUT    BENCH_7 output path (default BENCH_7.json)
+#   BENCH_SYNTH_OUT    COVERAGE_8 output path (default COVERAGE_8.json)
+#   SYNTH_BUDGET       synthesized queries per soak (default 500)
+#   SYNTH_TOLERANCE    columnar_frac slack for the COVERAGE_8 gate
+#                      (default 0.05; mismatches are never tolerated)
 #   BENCH_TOLERANCE    relative regression slack for the gate (default 0.5 —
 #                      generous, CI machines are noisy; tighten locally)
 #   BENCH_SERVE_TOLERANCE  slack for the BENCH_7 gate (default 1.0 — tail
@@ -54,13 +65,15 @@ OUT4="${BENCH_PROFILE_OUT:-BENCH_4.json}"
 OUT5="${BENCH_SORT_OUT:-BENCH_5.json}"
 OUT6="${BENCH_COVERAGE_OUT:-COVERAGE_6.json}"
 OUT7="${BENCH_SERVE_OUT:-BENCH_7.json}"
+OUT8="${BENCH_SYNTH_OUT:-COVERAGE_8.json}"
 SERVE_TOLERANCE="${BENCH_SERVE_TOLERANCE:-1.0}"
+SYNTH_TOLERANCE="${SYNTH_TOLERANCE:-0.05}"
 
 cargo build --release -p tpcds-bench \
     --bin storage_bench --bin join_bench --bin tpcds-bench
 
 # Snapshot committed baselines before the fresh runs overwrite them.
-for f in "$OUT2" "$OUT3" "$OUT4" "$OUT5" "$OUT6" "$OUT7"; do
+for f in "$OUT2" "$OUT3" "$OUT4" "$OUT5" "$OUT6" "$OUT7" "$OUT8"; do
     if [ -f "$f" ]; then
         cp "$f" "$f.baseline"
     fi
@@ -107,5 +120,26 @@ else
     ./target/release/tpcds-bench coverage \
         --scale "${BENCH_JOIN_SCALE:-0.01}" \
         --out "$OUT6" || status=1
+fi
+
+# Synthesized-workload soak + per-shape-class coverage gate: a fixed
+# default seed keeps the generated queries (and so the routing report)
+# stable across runs; export TPCDS_TEST_SEED to explore, or replay a CI
+# failure. Mismatches always fail; the baseline gate additionally fails
+# on a class vanishing or its columnar fraction regressing.
+if [ -f "$OUT8.baseline" ]; then
+    ./target/release/tpcds-bench synth \
+        --scale "${BENCH_JOIN_SCALE:-0.01}" \
+        --queries "${SYNTH_BUDGET:-500}" \
+        --out "$OUT8" --baseline "$OUT8.baseline" \
+        --tolerance "$SYNTH_TOLERANCE" \
+        --fail-dir synth_failures || status=1
+    rm -f "$OUT8.baseline"
+else
+    ./target/release/tpcds-bench synth \
+        --scale "${BENCH_JOIN_SCALE:-0.01}" \
+        --queries "${SYNTH_BUDGET:-500}" \
+        --out "$OUT8" \
+        --fail-dir synth_failures || status=1
 fi
 exit "$status"

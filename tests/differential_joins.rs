@@ -8,29 +8,9 @@
 //! guarantee of the partitioned join).
 
 use tpcds_repro::engine::{ColumnMeta, ColumnarMode, ExecOptions};
+use tpcds_repro::types::rng::{test_seed, SplitMix64};
 use tpcds_repro::types::{DataType, Decimal, Row, Value};
 use tpcds_repro::Database;
-
-/// splitmix64: a tiny seeded generator so the suite is reproducible.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-
-    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
-        &xs[self.below(xs.len() as u64) as usize]
-    }
-}
 
 fn int_meta(name: &str) -> ColumnMeta {
     ColumnMeta {
@@ -42,7 +22,7 @@ fn int_meta(name: &str) -> ColumnMeta {
 /// One fact table (large enough to exceed the inline threshold, so forced
 /// runs really go parallel) and two dimension tables, all with NULL-able,
 /// duplicate-heavy join keys.
-fn build_db(rng: &mut Rng) -> Database {
+fn build_db(rng: &mut SplitMix64) -> Database {
     let db = Database::new();
 
     let fact_meta = vec![
@@ -123,7 +103,7 @@ fn build_db(rng: &mut Rng) -> Database {
 /// Random single-table filters. Most compile to the vectorized kernels;
 /// the arithmetic ones deliberately do not, so the differential run also
 /// covers the row-path fallback under Force.
-fn fact_filter(rng: &mut Rng) -> String {
+fn fact_filter(rng: &mut SplitMix64) -> String {
     let n = rng.below(1_000);
     let pk = rng.below(20_000);
     match rng.below(6) {
@@ -136,7 +116,7 @@ fn fact_filter(rng: &mut Rng) -> String {
     }
 }
 
-fn dim1_filter(rng: &mut Rng) -> String {
+fn dim1_filter(rng: &mut SplitMix64) -> String {
     match rng.below(4) {
         0 => format!("b_val >= {}", rng.below(400)),
         1 => "b_name like 'name1%'".to_string(),
@@ -145,7 +125,7 @@ fn dim1_filter(rng: &mut Rng) -> String {
     }
 }
 
-fn projection(rng: &mut Rng, three_tables: bool) -> String {
+fn projection(rng: &mut SplitMix64, three_tables: bool) -> String {
     let mut pool = vec!["a_pk", "a_k1", "a_val", "a_amt", "b_k", "b_val", "b_name"];
     if three_tables {
         pool.push("c_k");
@@ -165,7 +145,7 @@ fn projection(rng: &mut Rng, three_tables: bool) -> String {
 /// One random join query. Shapes: comma inner joins, explicit
 /// INNER/LEFT JOIN ... ON, a 3-table star, and grouped aggregates over a
 /// join.
-fn gen_query(rng: &mut Rng) -> String {
+fn gen_query(rng: &mut SplitMix64) -> String {
     match rng.below(5) {
         0 => {
             // Comma inner join with pushed-down filters.
@@ -260,7 +240,9 @@ fn opts(mode: ColumnarMode, threads: usize) -> ExecOptions {
 
 #[test]
 fn random_join_queries_agree_across_paths_and_worker_counts() {
-    let mut rng = Rng(0x7C05_D511);
+    let seed = test_seed(0x7C05_D511);
+    eprintln!("differential_joins seed: {seed} (override with TPCDS_TEST_SEED)");
+    let mut rng = SplitMix64(seed);
     let db = build_db(&mut rng);
 
     let mut columnar_joins = 0usize;

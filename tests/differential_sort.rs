@@ -10,25 +10,9 @@
 //! at any worker count.
 
 use tpcds_repro::engine::{ColumnMeta, ColumnarMode, ExecOptions};
+use tpcds_repro::types::rng::{test_seed, SplitMix64};
 use tpcds_repro::types::{DataType, Decimal, Row, Value};
 use tpcds_repro::Database;
-
-/// splitmix64: a tiny seeded generator so the suite is reproducible.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
 
 fn int_meta(name: &str) -> ColumnMeta {
     ColumnMeta {
@@ -41,7 +25,7 @@ fn int_meta(name: &str) -> ColumnMeta {
 /// runs really go parallel: a unique pk, two duplicate-heavy NULL-able
 /// int keys (many ties — the stability stressor), a decimal and a string
 /// (both outside the encoded-key fast path), and a date (inside it).
-fn build_db(rng: &mut Rng, rows: usize) -> Database {
+fn build_db(rng: &mut SplitMix64, rows: usize) -> Database {
     let db = Database::new();
     let meta = vec![
         int_meta("s_pk"),
@@ -92,7 +76,7 @@ fn build_db(rng: &mut Rng, rows: usize) -> Database {
 /// a random direction. `s_pk` is appended as the last key half the time;
 /// when it is absent the query has massive ties and the byte-for-byte
 /// comparison is exercising stability, not just ordering.
-fn order_clause(rng: &mut Rng) -> String {
+fn order_clause(rng: &mut SplitMix64) -> String {
     let pool = ["s_k1", "s_k2", "s_amt", "s_name", "s_d"];
     let n = 1 + rng.below(3) as usize;
     let mut keys = Vec::with_capacity(n + 1);
@@ -111,7 +95,7 @@ fn order_clause(rng: &mut Rng) -> String {
     keys.join(", ")
 }
 
-fn gen_query(rng: &mut Rng, table_rows: usize) -> String {
+fn gen_query(rng: &mut SplitMix64, table_rows: usize) -> String {
     let proj = match rng.below(3) {
         0 => "s_pk, s_k1, s_amt",
         1 => "s_k1, s_k2, s_name, s_pk",
@@ -174,7 +158,9 @@ fn check(db: &Database, sql: &str, tag: &str) -> String {
 
 #[test]
 fn random_order_by_queries_agree_across_paths_and_worker_counts() {
-    let mut rng = Rng(0x5EED_5027);
+    let seed = test_seed(0x5EED_5027);
+    eprintln!("differential_sort seed: {seed} (override with TPCDS_TEST_SEED)");
+    let mut rng = SplitMix64(seed);
     let db = build_db(&mut rng, 20_000);
 
     let mut topn_routed = 0usize;
@@ -208,7 +194,7 @@ fn random_order_by_queries_agree_across_paths_and_worker_counts() {
 #[test]
 fn segment_boundary_row_counts_sort_identically() {
     for rows in [65_535usize, 65_536, 65_537] {
-        let mut rng = Rng(rows as u64);
+        let mut rng = SplitMix64(rows as u64);
         let db = build_db(&mut rng, rows);
         for sql in [
             "select s_pk, s_k1 from s order by s_k1, s_pk desc limit 50",
@@ -225,7 +211,7 @@ fn segment_boundary_row_counts_sort_identically() {
 /// mixed-direction multi-key sort with massive ties.
 #[test]
 fn pinned_sort_shapes_agree() {
-    let mut rng = Rng(0xDEAD_BEEF);
+    let mut rng = SplitMix64(0xDEAD_BEEF);
     let db = build_db(&mut rng, 20_000);
     for sql in [
         "select s_k1, s_pk from s order by s_k1, s_pk",
