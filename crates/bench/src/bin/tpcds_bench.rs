@@ -6,7 +6,10 @@
 //!   histogram-derived per-query-class latencies and process memory,
 //!   writing one JSON report; the sort/Top-N microbench (the
 //!   `ORDER BY … LIMIT 100` template tail vs the serial row sort) is
-//!   written separately to the `--sort-out` report;
+//!   written separately to the `--sort-out` report, and the observer
+//!   overhead (the same query mix with the per-query log + metrics
+//!   registry on vs off) to the `--obs-out` report, gated inline at
+//!   `--obs-tolerance` (default 5%);
 //! * `tpcds-bench compare OLD.json NEW.json [--tolerance 0.15]` — diffs
 //!   two reports over their intersecting metrics and exits non-zero when
 //!   any throughput dropped (or latency rose) past the tolerance — the
@@ -33,7 +36,8 @@ use tpcds_core::{TpcDs, Workload};
 static ALLOC: tpcds_core::obs::mem::CountingAlloc = tpcds_core::obs::mem::CountingAlloc;
 
 const USAGE: &str = "usage:
-  tpcds-bench profile [--scale SF] [--out BENCH_4.json] [--sort-out BENCH_5.json] [--queries-per-class N]
+  tpcds-bench profile [--scale SF] [--out BENCH_4.json] [--sort-out BENCH_5.json]
+                      [--obs-out BENCH_9.json] [--obs-tolerance 0.05] [--queries-per-class N]
   tpcds-bench compare OLD.json NEW.json [--tolerance 0.15]
   tpcds-bench coverage [--scale SF] [--out COVERAGE_6.json] [--baseline FILE]
   tpcds-bench serve [--scale SF] [--queries N] [--out BENCH_7.json]
@@ -285,6 +289,84 @@ fn cmd_profile(args: &[String]) -> i32 {
         ));
     }
 
+    // ---- Observer overhead (BENCH_9): query log + metrics on vs off ----
+    // The introspection subsystem must be cheap enough to leave on: run
+    // the same short query mix with the per-query log and the metrics
+    // registry enabled and disabled, and gate the throughput delta.
+    let obs_out = flag(args, "--obs-out").unwrap_or_else(|| "BENCH_9.json".to_string());
+    let obs_tolerance: f64 = flag(args, "--obs-tolerance")
+        .map(|v| v.parse().expect("bad --obs-tolerance"))
+        .unwrap_or(0.05);
+    let obs_sqls = [
+        "select d_year from date_dim where d_date_sk = 2450815",
+        "select count(*) from date_dim where d_year = 1999",
+        "select d_dow, count(*) from date_dim group by d_dow order by d_dow",
+    ];
+    let obs_iters = 40usize;
+    let obs_round = |on: bool| -> f64 {
+        db.query_log().set_enabled(on);
+        if on {
+            tpcds_core::obs::metrics::enable();
+        } else {
+            tpcds_core::obs::metrics::disable();
+        }
+        let t = Instant::now();
+        for _ in 0..obs_iters {
+            for sql in obs_sqls {
+                let r = engine::query(db, sql).expect("obs query");
+                std::hint::black_box(r.rows.len());
+            }
+        }
+        (obs_iters * obs_sqls.len()) as f64 / t.elapsed().as_secs_f64().max(1e-9)
+    };
+    // Warm both paths, then alternate rounds and keep medians so a cache
+    // or frequency wobble can't land entirely on one side.
+    let _ = (obs_round(false), obs_round(true));
+    let rounds = 5;
+    let mut off_qps: Vec<f64> = Vec::new();
+    let mut on_qps: Vec<f64> = Vec::new();
+    for _ in 0..rounds {
+        off_qps.push(obs_round(false));
+        on_qps.push(obs_round(true));
+    }
+    tpcds_core::obs::metrics::disable();
+    db.query_log().set_enabled(true);
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    let (off, on) = (median(&mut off_qps), median(&mut on_qps));
+    let overhead = (off - on) / off.max(1e-9);
+    eprintln!(
+        "observers: {off:.0} qps off, {on:.0} qps on ({:.2}% overhead)",
+        overhead * 100.0
+    );
+    let obs_report = Json::Obj(vec![
+        ("bench".into(), Json::Str("observer_overhead".into())),
+        ("scale_factor".into(), Json::Float(sf)),
+        (
+            "queries_per_round".into(),
+            Json::Int((obs_iters * obs_sqls.len()) as i64),
+        ),
+        ("rounds".into(), Json::Int(rounds as i64)),
+        ("off_qps".into(), Json::Float(off)),
+        ("on_qps".into(), Json::Float(on)),
+        ("overhead_frac".into(), Json::Float(overhead)),
+        ("tolerance".into(), Json::Float(obs_tolerance)),
+    ]);
+    std::fs::write(&obs_out, format!("{obs_report}\n")).expect("write observer report");
+    println!("wrote {obs_out}");
+    // The on-vs-off comparison happens within one run, so the gate lives
+    // here rather than in a `compare` pass against a committed baseline.
+    let obs_failed = overhead > obs_tolerance;
+    if obs_failed {
+        eprintln!(
+            "observer overhead {:.2}% exceeds the {:.1}% budget",
+            overhead * 100.0,
+            obs_tolerance * 100.0
+        );
+    }
+
     let mem = Json::Obj(vec![
         (
             "peak_bytes".into(),
@@ -313,7 +395,11 @@ fn cmd_profile(args: &[String]) -> i32 {
     ]);
     std::fs::write(&out_path, format!("{report}\n")).expect("write report");
     println!("wrote {out_path}");
-    0
+    if obs_failed {
+        1
+    } else {
+        0
+    }
 }
 
 /// Paths ordered worst-to-best, matching `RoutePath`'s derive order. A

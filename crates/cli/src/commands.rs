@@ -459,6 +459,13 @@ pub fn serve(args: &[String]) -> Result<()> {
         .to_string();
     let max_queries: usize = flags.parse("--max-queries", 0usize)?;
     let idle_secs: u64 = flags.parse("--idle-timeout", 300u64)?;
+    let slow_query_ms: Option<u64> = match flags.value("--slow-query-ms") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("bad value for --slow-query-ms: {v:?}"))?,
+        ),
+    };
 
     eprintln!("loading TPC-DS at SF {sf}...");
     let db = std::sync::Arc::new(tpcds_core::Database::new());
@@ -475,6 +482,10 @@ pub fn serve(args: &[String]) -> Result<()> {
     };
     if max_queries > 0 {
         config.max_concurrent_queries = max_queries;
+    }
+    // Flag wins over the TPCDS_SLOW_QUERY_MS default baked into the config.
+    if let Some(ms) = slow_query_ms {
+        config.slow_query_ms = ms;
     }
     let server = tpcds_core::server::Server::start(std::sync::Arc::clone(&db), config)
         .map_err(|e| format!("cannot start server: {e}"))?;
@@ -602,6 +613,9 @@ pub fn client(args: &[String]) -> Result<()> {
     if let Some(pin) = flags.value("--pin") {
         opts.pin = Some(pin.parse().map_err(|_| format!("bad --pin {pin:?}"))?);
     }
+    if let Some(qid) = flags.value("--query-id") {
+        opts.query_id = Some(qid.to_string());
+    }
     let started = std::time::Instant::now();
     let result = client.query_with(sql, &opts).map_err(|e| e.to_string())?;
     let qr = tpcds_core::QueryResult {
@@ -610,11 +624,84 @@ pub fn client(args: &[String]) -> Result<()> {
     };
     println!("{}", qr.to_table(40));
     println!(
-        "({} rows from snapshot v{} in {:.2?}; server time {:.3}ms)",
+        "({} rows from snapshot v{} in {:.2?}; server time {:.3}ms{})",
         qr.rows.len(),
         result.version,
         started.elapsed(),
-        result.elapsed_us as f64 / 1e3
+        result.elapsed_us as f64 / 1e3,
+        result
+            .query_id
+            .map(|q| format!("; query_id {q}"))
+            .unwrap_or_default()
     );
     Ok(())
+}
+
+/// `tpcds top` — live view of a running server: its sessions, in-flight
+/// queries and the tail of the query log, polled over one ordinary
+/// client connection (everything shown comes from the `sys.*` virtual
+/// tables, so `tpcds client --sql` can reproduce any pane by hand).
+pub fn top(args: &[String]) -> Result<()> {
+    let flags = Flags::new(args);
+    let addr = flags.value("--addr").unwrap_or("127.0.0.1:9955");
+    let interval_ms: u64 = flags.parse("--interval-ms", 2000u64)?;
+    let once = flags.has("--once");
+    let mut client = tpcds_core::server::Client::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    loop {
+        let sessions = client
+            .query(
+                "select session, peer, state, queries, bytes_in, bytes_out \
+                 from sys.sessions order by session",
+            )
+            .map_err(|e| e.to_string())?;
+        let inflight = client
+            .query(
+                "select session, query_id, state, elapsed_us, snapshot_version, mode, sql \
+                 from sys.queries order by elapsed_us desc",
+            )
+            .map_err(|e| e.to_string())?;
+        let recent = client
+            .query(
+                "select query_id, session, wall_us, rows, best_route, error \
+                 from sys.query_log order by seq desc limit 10",
+            )
+            .map_err(|e| e.to_string())?;
+        let stats = client.stats().map_err(|e| e.to_string())?;
+
+        if !once {
+            // Clear and home, like top(1); --once stays script-friendly.
+            print!("\x1b[2J\x1b[H");
+        }
+        println!(
+            "tpcds top — {addr}  snapshot v{}  sessions {}  inflight {}",
+            stats.get("version").and_then(|j| j.as_i64()).unwrap_or(0),
+            stats
+                .get("sessions_active")
+                .and_then(|j| j.as_i64())
+                .unwrap_or(0),
+            stats
+                .get("queries_inflight")
+                .and_then(|j| j.as_i64())
+                .unwrap_or(0),
+        );
+        let render = |title: &str, r: &tpcds_core::server::RemoteResult| {
+            let qr = tpcds_core::QueryResult {
+                columns: r.columns.clone(),
+                rows: r.rows.clone(),
+            };
+            println!("\n{title}");
+            print!("{}", qr.to_table(20));
+        };
+        render("SESSIONS", &sessions);
+        render("IN-FLIGHT QUERIES", &inflight);
+        render("RECENT QUERIES (sys.query_log, newest first)", &recent);
+
+        if once {
+            return Ok(());
+        }
+        std::io::stdout().flush().ok();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(100)));
+    }
 }

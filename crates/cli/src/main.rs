@@ -12,6 +12,7 @@
 //! * `tpcds schema`  — print the schema (DDL-ish) and statistics
 //! * `tpcds serve`   — serve a loaded data set over TCP
 //! * `tpcds client`  — query a running `tpcds serve`
+//! * `tpcds top`     — live sessions/queries view of a running server
 //! * `tpcds synth`   — soak a synthesized workload through the differential
 
 mod commands;
@@ -46,6 +47,7 @@ fn main() -> ExitCode {
         "profile" => commands::profile(rest),
         "serve" => commands::serve(rest),
         "client" => commands::client(rest),
+        "top" => commands::top(rest),
         "synth" => commands::synth(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -76,8 +78,9 @@ USAGE:
     tpcds shell   [--scale SF]
     tpcds schema  [--stats | --dot | --ddl]
     tpcds profile [--scale SF] [--table NAME] [--limit N]
-    tpcds serve   [--scale SF] [--addr HOST:PORT] [--max-queries N] [--idle-timeout SECS] [--no-aux] [--trace FILE] [--metrics-addr HOST:PORT]
-    tpcds client  [--addr HOST:PORT] (--sql 'SELECT ...' [--pin VERSION] [--explain] | --ping | --stats | --shutdown)
+    tpcds serve   [--scale SF] [--addr HOST:PORT] [--max-queries N] [--idle-timeout SECS] [--slow-query-ms MS] [--no-aux] [--trace FILE] [--metrics-addr HOST:PORT]
+    tpcds client  [--addr HOST:PORT] (--sql 'SELECT ...' [--pin VERSION] [--query-id ID] [--explain] | --ping | --stats | --shutdown)
+    tpcds top     [--addr HOST:PORT] [--interval-ms MS] [--once]
     tpcds synth   [--scale SF] [--queries N] [--streams N] [--seed S] [--dm N] [--via-server] [--out COVERAGE_8.json]
 
 Scale factors are GB of raw data; fractional values (default 0.01)
@@ -93,6 +96,14 @@ additionally records one span per 8k-row morsel.
 --metrics-addr HOST:PORT serves live Prometheus metrics (counters and
 latency histograms) at http://HOST:PORT/metrics for the life of the
 run.
+
+The server exposes its own state as SQL: `sys.sessions`, `sys.queries`,
+`sys.query_log`, `sys.counters`, `sys.gauges`, `sys.histograms` and
+`sys.snapshots` answer to ordinary queries in-process and over the wire
+(`tpcds client --sql 'select * from sys.query_log order by wall_us desc
+limit 5'`); `tpcds top` polls them. --slow-query-ms MS (also
+TPCDS_SLOW_QUERY_MS) re-describes queries at or over the threshold on
+stderr at EXPLAIN ANALYZE detail. See docs/OBSERVABILITY.md.
 
 --threads N sets the morsel worker count for columnar scans (also via
 the TPCDS_THREADS environment variable; default available_parallelism).

@@ -274,7 +274,13 @@ impl<'a> Binder<'a> {
                         ));
                     }
                 }
-                let cols = self.db.columns(name)?;
+                // Virtual `sys.*` tables have fixed schemas and resolve
+                // ahead of the stored catalog; the executor materializes
+                // their rows at scan time.
+                let cols = match crate::sys::columns(name) {
+                    Some(cols) => cols,
+                    None => self.db.columns(name)?,
+                };
                 let q = alias.clone().unwrap_or_else(|| name.clone());
                 let mut scope = Scope::default();
                 for c in &cols {

@@ -22,8 +22,14 @@ use crate::error::{EngineError, Result};
 use crate::sync::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use tpcds_obs::qlog::QueryLog;
 use tpcds_storage::{ColumnTable, TableStats};
 use tpcds_types::{DataType, Row, Value};
+
+/// A row producer for a server-owned `sys.*` virtual table
+/// (`sys.sessions`, `sys.queries`): the server registers a closure over
+/// its live session registry, the engine calls it at scan time.
+type SysProvider = Box<dyn Fn() -> Vec<Row> + Send + Sync>;
 
 /// Schema of one stored column.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -346,6 +352,20 @@ impl DbSnapshot {
     }
 }
 
+/// One retained snapshot as reported by [`Database::snapshot_history`]
+/// (a `sys.snapshots` row).
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotInfo {
+    /// The published version number.
+    pub version: u64,
+    /// Tables in the snapshot.
+    pub tables: usize,
+    /// Total stored rows across the snapshot.
+    pub rows: usize,
+    /// True for the currently published head.
+    pub is_head: bool,
+}
+
 /// What a committed transaction changed.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Commit {
@@ -507,6 +527,11 @@ impl<'a> WriteTxn<'a> {
 pub struct Database {
     head: RwLock<Arc<DbSnapshot>>,
     writer: Mutex<WriterState>,
+    /// Per-database finished-query ring, served as `sys.query_log`.
+    query_log: Arc<QueryLog>,
+    /// Server-registered row producers for `sys.sessions`/`sys.queries`
+    /// (empty tables until a server registers them).
+    sys_providers: RwLock<HashMap<String, SysProvider>>,
 }
 
 impl Default for Database {
@@ -520,6 +545,8 @@ impl Default for Database {
         Database {
             head: RwLock::new(v0),
             writer: Mutex::new(WriterState { history, retain: 8 }),
+            query_log: Arc::new(QueryLog::from_env()),
+            sys_providers: RwLock::new(HashMap::new()),
         }
     }
 }
@@ -577,6 +604,51 @@ impl Database {
         while state.history.len() > state.retain {
             state.history.pop_front();
         }
+    }
+
+    /// The per-database finished-query log backing `sys.query_log`.
+    /// Enabled by default; `TPCDS_QUERY_LOG=off` starts it disabled and
+    /// `TPCDS_QUERY_LOG_CAP` sizes the ring (default 1024).
+    pub fn query_log(&self) -> &Arc<QueryLog> {
+        &self.query_log
+    }
+
+    /// Registers (or replaces) the row producer behind a server-owned
+    /// virtual table (`sys.sessions`, `sys.queries`). The closure runs at
+    /// scan time on the querying thread — it must not call back into the
+    /// engine.
+    pub fn register_sys_provider(
+        &self,
+        name: &str,
+        f: impl Fn() -> Vec<Row> + Send + Sync + 'static,
+    ) {
+        self.sys_providers
+            .write()
+            .insert(name.to_string(), Box::new(f));
+    }
+
+    /// Rows from a registered provider, or `None` when nothing is
+    /// registered under `name`.
+    pub fn sys_provider_rows(&self, name: &str) -> Option<Vec<Row>> {
+        self.sys_providers.read().get(name).map(|f| f())
+    }
+
+    /// Every retained snapshot (oldest first) plus the retention limit —
+    /// the rows of `sys.snapshots`.
+    pub fn snapshot_history(&self) -> (Vec<SnapshotInfo>, usize) {
+        let head = self.version();
+        let state = self.writer.lock();
+        let infos = state
+            .history
+            .iter()
+            .map(|s| SnapshotInfo {
+                version: s.version,
+                tables: s.tables.len(),
+                rows: s.total_rows(),
+                is_head: s.version == head,
+            })
+            .collect();
+        (infos, state.retain)
     }
 
     /// Opens a write transaction. Writers serialize on an internal mutex;

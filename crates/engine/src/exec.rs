@@ -72,6 +72,9 @@ pub mod reason {
     /// The operator has no columnar kernel at all (Filter, Project,
     /// Window, Distinct, SetOp, NestedLoopJoin, CteRef, Prefix).
     pub const NO_KERNEL: &str = "no-kernel";
+    /// A `sys.*` virtual table: rows materialize at scan time, so there
+    /// is never a shadow to route through.
+    pub const SYS_VIRTUAL: &str = "sys-virtual";
 }
 
 /// `Err(reason)` = the accelerated path was not taken, and why.
@@ -266,6 +269,24 @@ impl<'a> ExecCtx<'a> {
     /// (empty if stats were not enabled).
     pub fn take_stats(self) -> StatsMap {
         self.stats.map(Mutex::into_inner).unwrap_or_default()
+    }
+
+    /// The best route any operator took this statement plus the sorted,
+    /// deduplicated fallback reason codes — the query log's `best_route`
+    /// and `fallbacks` columns. Unlike per-node reports this needs no
+    /// stats collection: it reads the routing-decision set every
+    /// statement maintains.
+    pub fn route_summary(&self) -> (RoutePath, Vec<&'static str>) {
+        let seen = self.route_seen.lock();
+        let best = seen
+            .iter()
+            .map(|&(_, route, _)| route)
+            .max()
+            .unwrap_or(RoutePath::Unset);
+        let mut reasons: Vec<&'static str> = seen.iter().filter_map(|&(_, _, f)| f).collect();
+        reasons.sort_unstable();
+        reasons.dedup();
+        (best, reasons)
     }
 
     /// The morsel worker count this statement runs with.
@@ -727,6 +748,25 @@ fn scan(
     ctx: &ExecCtx<'_>,
     outer: Option<&[Value]>,
 ) -> Result<(Vec<Row>, Option<tpcds_storage::ScanStats>)> {
+    // Virtual `sys.*` tables materialize live state at scan time; they
+    // bypass the snapshot (introspection reads the present, not the
+    // pinned version) and always run serially — the row sets are small.
+    if let Some(rows) = crate::sys::rows(ctx.db, table) {
+        ctx.record_route(node, "Scan", RoutePath::Serial, Some(reason::SYS_VIRTUAL));
+        let out = match filter {
+            None => rows,
+            Some(f) => {
+                let mut out = Vec::new();
+                for row in rows {
+                    if f.matches(&row, ctx, outer)? {
+                        out.push(row);
+                    }
+                }
+                out
+            }
+        };
+        return Ok((out, None));
+    }
     let t = ctx.table(table)?;
     let mode = ctx.opts.columnar;
     if let Some(f) = filter {
@@ -914,6 +954,9 @@ fn try_columnar_aggregate(
         },
         _ => return Ok(Err(reason::INPUT_SHAPE)),
     };
+    if crate::sys::is_sys_table(table) {
+        return Ok(Err(reason::SYS_VIRTUAL));
+    }
     let t = ctx.table(table)?;
     let Some(ct) = t.columnar() else {
         return Ok(Err(reason::NO_SHADOW));
@@ -1027,6 +1070,9 @@ fn compile_join_side(
             BExpr::Col(i) => key_cols.push(*i),
             _ => return Ok(Err(reason::KEY_SHAPE)),
         }
+    }
+    if crate::sys::is_sys_table(table) {
+        return Ok(Err(reason::SYS_VIRTUAL));
     }
     let t = ctx.table(table)?;
     let Some(ct) = t.columnar() else {
@@ -1226,6 +1272,9 @@ fn compile_sort_source(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Routed<ColSortS
         },
         _ => return Ok(Err(reason::INPUT_SHAPE)),
     };
+    if crate::sys::is_sys_table(table) {
+        return Ok(Err(reason::SYS_VIRTUAL));
+    }
     let t = ctx.table(table)?;
     if ctx.opts.columnar != ColumnarMode::Force {
         if let Some(f) = scan_filter {
@@ -1291,6 +1340,9 @@ fn try_limited_input(
         },
         _ => return Ok(Err(reason::INPUT_SHAPE)),
     };
+    if crate::sys::is_sys_table(table) {
+        return Ok(Err(reason::SYS_VIRTUAL));
+    }
     let t = ctx.table(table)?;
     let mode = ctx.opts.columnar;
     if mode != ColumnarMode::Force {

@@ -22,9 +22,10 @@ pub mod optimizer;
 pub mod parser;
 pub mod plan;
 pub mod sync;
+pub mod sys;
 
 pub use binder::{Binder, Bound};
-pub use catalog::{ColumnMeta, Commit, Database, DbSnapshot, Table, WriteTxn};
+pub use catalog::{ColumnMeta, Commit, Database, DbSnapshot, SnapshotInfo, Table, WriteTxn};
 pub use error::{EngineError, Result};
 pub use exec::{ColumnarMode, ExecCtx, ExecOptions, RoutePath};
 pub use plan::{NodeReport, Plan};
@@ -73,6 +74,68 @@ impl QueryResult {
     }
 }
 
+/// Everything the query log needs that must be captured *before* a query
+/// runs: wall-clock start, the dispatching thread's CPU clock, a scoped
+/// memory watermark, and the cross-layer identity the server stamped (if
+/// any). `None` when the database's log is disabled — the entry points
+/// then pay a single atomic load.
+struct LogScope {
+    started: std::time::Instant,
+    cpu0: u64,
+    watermark: tpcds_obs::mem::Watermark,
+    meta: tpcds_obs::qlog::QueryMeta,
+}
+
+fn log_begin(db: &Database) -> Option<LogScope> {
+    // Always consume the thread-local stamp so a disabled log never
+    // leaks one query's identity into the next on the same thread.
+    let meta = tpcds_obs::qlog::take_meta();
+    if !db.query_log().is_enabled() {
+        return None;
+    }
+    Some(LogScope {
+        started: std::time::Instant::now(),
+        cpu0: tpcds_obs::qlog::thread_cpu_us(),
+        watermark: tpcds_obs::mem::Watermark::start(),
+        meta: meta.unwrap_or_default(),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn log_finish(
+    db: &Database,
+    scope: Option<LogScope>,
+    sql: &str,
+    snapshot_version: u64,
+    rows: u64,
+    best_route: RoutePath,
+    fallbacks: &[&'static str],
+    error: Option<String>,
+) {
+    let Some(s) = scope else { return };
+    db.query_log().push(tpcds_obs::qlog::QueryRecord {
+        seq: 0, // assigned at push
+        query_id: s
+            .meta
+            .query_id
+            .unwrap_or_else(tpcds_obs::qlog::next_query_id),
+        session: s.meta.session,
+        sql: sql.to_string(),
+        wall_us: s.started.elapsed().as_micros() as u64,
+        cpu_us: tpcds_obs::qlog::thread_cpu_us().saturating_sub(s.cpu0),
+        rows,
+        mem_peak: s.watermark.peak_delta(),
+        admission_wait_us: s.meta.admission_wait_us,
+        best_route: match best_route {
+            RoutePath::Unset => "",
+            r => r.as_str(),
+        },
+        fallbacks: fallbacks.join(","),
+        snapshot_version,
+        error,
+    });
+}
+
 /// Parses, binds, optimizes and executes one SQL statement.
 pub fn query(db: &Database, sql: &str) -> Result<QueryResult> {
     query_with(db, sql, ExecOptions::default())
@@ -80,16 +143,58 @@ pub fn query(db: &Database, sql: &str) -> Result<QueryResult> {
 
 /// [`query`] with explicit execution options (columnar routing policy and
 /// morsel worker count).
+///
+/// Like every top-level entry point, records the finished query — wall
+/// and CPU time, rows, memory peak, route, snapshot version, error —
+/// into [`Database::query_log`] (the `sys.query_log` virtual table).
 pub fn query_with(db: &Database, sql: &str, opts: ExecOptions) -> Result<QueryResult> {
+    let scope = log_begin(db);
     let span = tpcds_obs::span("engine", "query");
-    let bound = plan_sql(db, sql)?;
-    let ctx = ExecCtx::with_options(db, opts);
-    let rows = exec::execute(&bound.plan, &ctx, None)?;
-    span.field("rows", rows.len() as i64).finish();
-    Ok(QueryResult {
-        columns: bound.names,
-        rows,
-    })
+    let mut version = db.version();
+    let out: Result<(QueryResult, RoutePath, Vec<&'static str>)> = (|| {
+        let bound = plan_sql(db, sql)?;
+        let ctx = ExecCtx::with_options(db, opts);
+        version = ctx.snapshot().version();
+        let rows = exec::execute(&bound.plan, &ctx, None)?;
+        let (route, fallbacks) = ctx.route_summary();
+        Ok((
+            QueryResult {
+                columns: bound.names,
+                rows,
+            },
+            route,
+            fallbacks,
+        ))
+    })();
+    match out {
+        Ok((result, route, fallbacks)) => {
+            span.field("rows", result.rows.len() as i64).finish();
+            log_finish(
+                db,
+                scope,
+                sql,
+                version,
+                result.rows.len() as u64,
+                route,
+                &fallbacks,
+                None,
+            );
+            Ok(result)
+        }
+        Err(e) => {
+            log_finish(
+                db,
+                scope,
+                sql,
+                version,
+                0,
+                RoutePath::Unset,
+                &[],
+                Some(e.to_string()),
+            );
+            Err(e)
+        }
+    }
 }
 
 /// [`query_with`] against a caller-pinned snapshot: the statement reads
@@ -106,15 +211,51 @@ pub fn query_pinned(
     sql: &str,
     opts: ExecOptions,
 ) -> Result<QueryResult> {
+    let scope = log_begin(db);
     let span = tpcds_obs::span("engine", "query").field("version", snap.version() as i64);
-    let bound = plan_sql(db, sql)?;
-    let ctx = ExecCtx::pinned(db, std::sync::Arc::clone(snap), opts);
-    let rows = exec::execute(&bound.plan, &ctx, None)?;
-    span.field("rows", rows.len() as i64).finish();
-    Ok(QueryResult {
-        columns: bound.names,
-        rows,
-    })
+    let out: Result<(QueryResult, RoutePath, Vec<&'static str>)> = (|| {
+        let bound = plan_sql(db, sql)?;
+        let ctx = ExecCtx::pinned(db, std::sync::Arc::clone(snap), opts);
+        let rows = exec::execute(&bound.plan, &ctx, None)?;
+        let (route, fallbacks) = ctx.route_summary();
+        Ok((
+            QueryResult {
+                columns: bound.names,
+                rows,
+            },
+            route,
+            fallbacks,
+        ))
+    })();
+    match out {
+        Ok((result, route, fallbacks)) => {
+            span.field("rows", result.rows.len() as i64).finish();
+            log_finish(
+                db,
+                scope,
+                sql,
+                snap.version(),
+                result.rows.len() as u64,
+                route,
+                &fallbacks,
+                None,
+            );
+            Ok(result)
+        }
+        Err(e) => {
+            log_finish(
+                db,
+                scope,
+                sql,
+                snap.version(),
+                0,
+                RoutePath::Unset,
+                &[],
+                Some(e.to_string()),
+            );
+            Err(e)
+        }
+    }
 }
 
 /// A query result paired with its EXPLAIN ANALYZE rendering.
@@ -168,21 +309,60 @@ pub fn query_analyze(db: &Database, sql: &str) -> Result<AnalyzedResult> {
 /// [`query_analyze`] with explicit execution options. Columnar scans add
 /// `morsels=`/`workers=` to their plan lines.
 pub fn query_analyze_with(db: &Database, sql: &str, opts: ExecOptions) -> Result<AnalyzedResult> {
+    let scope = log_begin(db);
     let span = tpcds_obs::span("engine", "query_analyze");
-    let bound = plan_sql(db, sql)?;
-    let est = estimate::estimate_plan(&bound.plan, db);
-    let ctx = ExecCtx::with_stats_options(db, opts);
-    let rows = exec::execute(&bound.plan, &ctx, None)?;
-    let stats = ctx.take_stats();
-    span.field("rows", rows.len() as i64).finish();
-    Ok(AnalyzedResult {
-        result: QueryResult {
-            columns: bound.names,
-            rows,
-        },
-        plan_text: bound.plan.explain_analyze_with_estimates(&stats, &est),
-        nodes: bound.plan.node_reports(&stats, &est),
-    })
+    let mut version = db.version();
+    let out: Result<(AnalyzedResult, RoutePath, Vec<&'static str>)> = (|| {
+        let bound = plan_sql(db, sql)?;
+        let est = estimate::estimate_plan(&bound.plan, db);
+        let ctx = ExecCtx::with_stats_options(db, opts);
+        version = ctx.snapshot().version();
+        let rows = exec::execute(&bound.plan, &ctx, None)?;
+        let (route, fallbacks) = ctx.route_summary();
+        let stats = ctx.take_stats();
+        Ok((
+            AnalyzedResult {
+                result: QueryResult {
+                    columns: bound.names,
+                    rows,
+                },
+                plan_text: bound.plan.explain_analyze_with_estimates(&stats, &est),
+                nodes: bound.plan.node_reports(&stats, &est),
+            },
+            route,
+            fallbacks,
+        ))
+    })();
+    match out {
+        Ok((analyzed, route, fallbacks)) => {
+            span.field("rows", analyzed.result.rows.len() as i64)
+                .finish();
+            log_finish(
+                db,
+                scope,
+                sql,
+                version,
+                analyzed.result.rows.len() as u64,
+                route,
+                &fallbacks,
+                None,
+            );
+            Ok(analyzed)
+        }
+        Err(e) => {
+            log_finish(
+                db,
+                scope,
+                sql,
+                version,
+                0,
+                RoutePath::Unset,
+                &[],
+                Some(e.to_string()),
+            );
+            Err(e)
+        }
+    }
 }
 
 /// [`query_analyze_with`] against a caller-pinned snapshot: instrumented
@@ -196,21 +376,58 @@ pub fn query_analyze_pinned(
     sql: &str,
     opts: ExecOptions,
 ) -> Result<AnalyzedResult> {
+    let scope = log_begin(db);
     let span = tpcds_obs::span("engine", "query_analyze").field("version", snap.version() as i64);
-    let bound = plan_sql(db, sql)?;
-    let est = estimate::estimate_plan(&bound.plan, db);
-    let ctx = ExecCtx::pinned_with_stats(db, std::sync::Arc::clone(snap), opts);
-    let rows = exec::execute(&bound.plan, &ctx, None)?;
-    let stats = ctx.take_stats();
-    span.field("rows", rows.len() as i64).finish();
-    Ok(AnalyzedResult {
-        result: QueryResult {
-            columns: bound.names,
-            rows,
-        },
-        plan_text: bound.plan.explain_analyze_with_estimates(&stats, &est),
-        nodes: bound.plan.node_reports(&stats, &est),
-    })
+    let out: Result<(AnalyzedResult, RoutePath, Vec<&'static str>)> = (|| {
+        let bound = plan_sql(db, sql)?;
+        let est = estimate::estimate_plan(&bound.plan, db);
+        let ctx = ExecCtx::pinned_with_stats(db, std::sync::Arc::clone(snap), opts);
+        let rows = exec::execute(&bound.plan, &ctx, None)?;
+        let (route, fallbacks) = ctx.route_summary();
+        let stats = ctx.take_stats();
+        Ok((
+            AnalyzedResult {
+                result: QueryResult {
+                    columns: bound.names,
+                    rows,
+                },
+                plan_text: bound.plan.explain_analyze_with_estimates(&stats, &est),
+                nodes: bound.plan.node_reports(&stats, &est),
+            },
+            route,
+            fallbacks,
+        ))
+    })();
+    match out {
+        Ok((analyzed, route, fallbacks)) => {
+            span.field("rows", analyzed.result.rows.len() as i64)
+                .finish();
+            log_finish(
+                db,
+                scope,
+                sql,
+                snap.version(),
+                analyzed.result.rows.len() as u64,
+                route,
+                &fallbacks,
+                None,
+            );
+            Ok(analyzed)
+        }
+        Err(e) => {
+            log_finish(
+                db,
+                scope,
+                sql,
+                snap.version(),
+                0,
+                RoutePath::Unset,
+                &[],
+                Some(e.to_string()),
+            );
+            Err(e)
+        }
+    }
 }
 
 /// Parses and binds one SQL statement without executing (EXPLAIN support).

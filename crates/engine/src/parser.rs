@@ -381,7 +381,14 @@ impl Parser {
                 alias,
             });
         }
-        let name = self.ident()?;
+        let mut name = self.ident()?;
+        // Dotted table names (`sys.query_log`): fold the qualifier into
+        // one catalog name. Column references never reach here, so a dot
+        // after a table primary is unambiguous.
+        while self.eat_sym(Sym::Dot) {
+            name.push('.');
+            name.push_str(&self.ident()?);
+        }
         let alias = if self.eat_kw("as") {
             Some(self.ident()?)
         } else if let Some(Token::Ident(s)) = self.peek() {

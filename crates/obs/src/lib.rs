@@ -33,7 +33,11 @@
 //!   Prometheus text over a std-only HTTP endpoint. While the registry is
 //!   enabled, every [`counter`] feeds it under `layer.name`, and every
 //!   finished span records its duration into the `layer.name_us`
-//!   histogram.
+//!   histogram;
+//! * [`qlog`] — a fixed-capacity concurrent ring buffer of per-query
+//!   records (the backing store of the engine's `sys.query_log` virtual
+//!   table), plus the thread-local query identity the server stamps
+//!   before dispatching into the engine.
 //!
 //! ## Counter naming
 //!
@@ -56,6 +60,7 @@ pub mod json;
 pub mod mem;
 pub mod metrics;
 pub mod ndv;
+pub mod qlog;
 pub mod report;
 
 use json::Json;

@@ -43,6 +43,12 @@ pub fn enable() {
     ENABLED.store(true, Ordering::Relaxed);
 }
 
+/// Turns accumulation back off, keeping registered metrics (unlike
+/// [`reset`]) — the observer-overhead benchmark toggles this.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
 /// Whether the registry is accumulating.
 pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
@@ -155,53 +161,76 @@ fn prom_name(name: &str) -> String {
     out
 }
 
-/// Renders every registered metric in Prometheus text exposition format
-/// (version 0.0.4): counters as `*_total`, histograms with cumulative
-/// `_bucket{le=...}` series plus `_sum`/`_count`.
-pub fn render_prometheus() -> String {
-    let r = registry();
-    let mut out = String::new();
-    for (name, cell) in r
+/// Every registered counter as `(name, value)`, sorted by name.
+pub fn counters_snapshot() -> Vec<(String, u64)> {
+    registry()
         .counters
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .iter()
-    {
-        let p = prom_name(name);
-        out.push_str(&format!("# TYPE {p}_total counter\n"));
-        out.push_str(&format!("{p}_total {}\n", cell.load(Ordering::Relaxed)));
-    }
-    for (name, cell) in r
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// Every registered gauge as `(name, value)`, sorted by name.
+pub fn gauges_snapshot() -> Vec<(String, i64)> {
+    registry()
         .gauges
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .iter()
-    {
-        let p = prom_name(name);
-        out.push_str(&format!("# TYPE {p} gauge\n"));
-        out.push_str(&format!("{p} {}\n", cell.load(Ordering::Relaxed)));
-    }
-    let hists: Vec<(String, Arc<Histogram>)> = r
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// A point-in-time snapshot of every registered histogram, sorted by
+/// name.
+pub fn histograms_snapshot() -> Vec<(String, crate::hist::HistSnapshot)> {
+    let hists: Vec<(String, Arc<Histogram>)> = registry()
         .hists
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .iter()
         .map(|(k, v)| (k.clone(), v.clone()))
         .collect();
-    for (name, hist) in hists {
+    hists.into_iter().map(|(k, h)| (k, h.snapshot())).collect()
+}
+
+/// Renders every registered metric in Prometheus text exposition format
+/// (version 0.0.4): counters as `*_total`, histograms with cumulative
+/// `_bucket{le=...}` series plus `_sum`/`_count`. Series are sorted by
+/// metric name across all three kinds — not grouped by kind — so
+/// successive scrapes diff cleanly line-by-line.
+pub fn render_prometheus() -> String {
+    // (sort key, rendered block) per metric; the per-kind snapshots are
+    // each name-sorted already, so one merge-by-key sort is stable.
+    let mut blocks: Vec<(String, String)> = Vec::new();
+    for (name, v) in counters_snapshot() {
         let p = prom_name(&name);
-        let snap = hist.snapshot();
-        out.push_str(&format!("# TYPE {p} histogram\n"));
+        blocks.push((
+            p.clone(),
+            format!("# TYPE {p}_total counter\n{p}_total {v}\n"),
+        ));
+    }
+    for (name, v) in gauges_snapshot() {
+        let p = prom_name(&name);
+        blocks.push((p.clone(), format!("# TYPE {p} gauge\n{p} {v}\n")));
+    }
+    for (name, snap) in histograms_snapshot() {
+        let p = prom_name(&name);
+        let mut b = format!("# TYPE {p} histogram\n");
         let mut cum = 0u64;
         for (bound, count) in snap.nonzero_buckets() {
             cum += count;
-            out.push_str(&format!("{p}_bucket{{le=\"{bound}\"}} {cum}\n"));
+            b.push_str(&format!("{p}_bucket{{le=\"{bound}\"}} {cum}\n"));
         }
-        out.push_str(&format!("{p}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
-        out.push_str(&format!("{p}_sum {}\n", snap.sum));
-        out.push_str(&format!("{p}_count {}\n", snap.count));
+        b.push_str(&format!("{p}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
+        b.push_str(&format!("{p}_sum {}\n", snap.sum));
+        b.push_str(&format!("{p}_count {}\n", snap.count));
+        blocks.push((p, b));
     }
-    out
+    blocks.sort_by(|a, b| a.0.cmp(&b.0));
+    blocks.into_iter().map(|(_, b)| b).collect()
 }
 
 /// Serializes every registered metric as one JSON object (counters as
@@ -332,6 +361,43 @@ mod tests {
         assert!(text.contains("tpcds_server_sessions_active 1"), "{text}");
         let json = to_json().to_string();
         assert!(json.contains("\"server.sessions_active\":1"), "{json}");
+        reset();
+    }
+
+    #[test]
+    fn prometheus_output_is_globally_name_sorted() {
+        let _guard = crate::test_lock();
+        reset();
+        enable();
+        // Registration order deliberately scrambled and interleaved
+        // across kinds: a gauge that sorts first, a histogram in the
+        // middle, counters either side.
+        counter_add("zz.last_total_ever", 1.0);
+        gauge_set("aa.first_gauge", 5);
+        observe("mm.middle_hist_us", 42);
+        counter_add("mm.aaa_counter", 2.0);
+        let text = render_prometheus();
+        let heads: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE "))
+            .map(|l| l.split_whitespace().nth(2).unwrap())
+            .collect();
+        // One block per metric, in one global name order — counters,
+        // gauges and histograms interleaved, not grouped by kind.
+        let expected = [
+            "tpcds_aa_first_gauge",
+            "tpcds_mm_aaa_counter_total",
+            "tpcds_mm_middle_hist_us",
+            "tpcds_zz_last_total_ever_total",
+        ];
+        assert_eq!(heads, expected, "{text}");
+        // Rendering twice diffs clean.
+        assert_eq!(text, render_prometheus());
+        // The snapshot accessors are name-sorted too.
+        let names: Vec<String> = counters_snapshot().into_iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
         reset();
     }
 

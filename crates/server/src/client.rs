@@ -50,6 +50,9 @@ pub struct RemoteResult {
     pub rows: Vec<Vec<Value>>,
     /// Server-side wall time (admission wait + execution).
     pub elapsed_us: u64,
+    /// The identity the server logged the query under — the client's
+    /// `query_id` when one was sent, else a server-minted `q-N`.
+    pub query_id: Option<String>,
 }
 
 /// Per-query knobs mirrored onto the wire.
@@ -61,6 +64,10 @@ pub struct QueryOpts {
     pub mode: Option<&'static str>,
     /// Morsel worker count for this query.
     pub threads: Option<usize>,
+    /// Client-assigned identity: shows up verbatim in the server's
+    /// `server/query` span, `sys.queries` and `sys.query_log`. The
+    /// server mints one (`q-N`) when absent.
+    pub query_id: Option<String>,
 }
 
 /// One connection to a [`crate::Server`]; not thread-safe — open one per
@@ -145,6 +152,9 @@ impl Client {
         if let Some(t) = opts.threads {
             fields.push(("threads".to_string(), Json::Int(t as i64)));
         }
+        if let Some(qid) = &opts.query_id {
+            fields.push(("query_id".to_string(), Json::Str(qid.clone())));
+        }
         let resp = self.roundtrip(Json::Obj(fields))?;
         let version = Self::version_of(&resp)?;
         let columns = resp
@@ -166,11 +176,16 @@ impl Client {
             .map(|r| protocol::decode_row(r).map_err(ClientError::Protocol))
             .collect::<Result<Vec<_>, _>>()?;
         let elapsed_us = resp.get("elapsed_us").and_then(Json::as_i64).unwrap_or(0) as u64;
+        let query_id = resp
+            .get("query_id")
+            .and_then(Json::as_str)
+            .map(str::to_string);
         Ok(RemoteResult {
             version,
             columns,
             rows,
             elapsed_us,
+            query_id,
         })
     }
 

@@ -26,14 +26,16 @@ mod client;
 pub use admission::Admission;
 pub use client::{Client, ClientError, QueryOpts, RemoteResult};
 
+use std::collections::HashMap;
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
 
 use tpcds_engine::{ColumnarMode, Database, ExecOptions};
 use tpcds_obs::json::Json;
+use tpcds_types::{Row, Value};
 
 /// How a [`Server`] listens and admits work.
 #[derive(Clone, Debug)]
@@ -45,6 +47,11 @@ pub struct ServerConfig {
     pub max_concurrent_queries: usize,
     /// Sessions idle longer than this are closed by the server.
     pub idle_timeout: Duration,
+    /// Queries whose wall time meets this threshold are re-described at
+    /// EXPLAIN-ANALYZE detail on stderr and counted under
+    /// `server.slow_queries`. Zero disables. Defaults from
+    /// `TPCDS_SLOW_QUERY_MS`.
+    pub slow_query_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -55,8 +62,52 @@ impl Default for ServerConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             idle_timeout: Duration::from_secs(30),
+            slow_query_ms: std::env::var("TPCDS_SLOW_QUERY_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
         }
     }
+}
+
+/// Live per-connection state backing one `sys.sessions` row (and, while
+/// a query runs, one `sys.queries` row).
+struct SessionInfo {
+    id: u64,
+    peer: String,
+    state: Mutex<&'static str>,
+    queries: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    current: Mutex<Option<InflightQuery>>,
+}
+
+impl SessionInfo {
+    fn new(id: u64, peer: String) -> SessionInfo {
+        SessionInfo {
+            id,
+            peer,
+            state: Mutex::new("idle"),
+            queries: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            current: Mutex::new(None),
+        }
+    }
+
+    fn set_state(&self, s: &'static str) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = s;
+    }
+}
+
+/// One in-flight query as `sys.queries` reports it.
+struct InflightQuery {
+    query_id: String,
+    sql: String,
+    started: Instant,
+    snapshot_version: u64,
+    mode: &'static str,
+    state: &'static str,
 }
 
 /// State shared by the accept loop and every session thread.
@@ -64,22 +115,129 @@ struct Shared {
     db: Arc<Database>,
     admission: Admission,
     idle_timeout: Duration,
+    slow_query_us: u64,
     shutdown: AtomicBool,
     sessions_active: AtomicI64,
     queries_inflight: AtomicI64,
     next_session: AtomicU64,
+    sessions: Mutex<HashMap<u64, Arc<SessionInfo>>>,
 }
 
 impl Shared {
-    fn session_opened(&self) {
+    fn session_opened(&self, info: &Arc<SessionInfo>) {
         let n = self.sessions_active.fetch_add(1, Ordering::SeqCst) + 1;
         tpcds_obs::metrics::gauge_set("server.sessions_active", n);
         tpcds_obs::counter("server", "connections", 1.0, &[]);
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(info.id, Arc::clone(info));
     }
 
-    fn session_closed(&self) {
+    fn session_closed(&self, id: u64) {
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id);
         let n = self.sessions_active.fetch_sub(1, Ordering::SeqCst) - 1;
         tpcds_obs::metrics::gauge_set("server.sessions_active", n);
+    }
+
+    /// Sessions sorted by id — the `sys.sessions` provider.
+    fn sessions_rows(&self) -> Vec<Row> {
+        let mut infos: Vec<Arc<SessionInfo>> = self
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect();
+        infos.sort_by_key(|s| s.id);
+        infos
+            .iter()
+            .map(|s| {
+                vec![
+                    Value::Int(s.id as i64),
+                    Value::str(&s.peer),
+                    Value::str(*s.state.lock().unwrap_or_else(|e| e.into_inner())),
+                    Value::Int(s.queries.load(Ordering::SeqCst) as i64),
+                    Value::Int(s.bytes_in.load(Ordering::SeqCst) as i64),
+                    Value::Int(s.bytes_out.load(Ordering::SeqCst) as i64),
+                ]
+            })
+            .collect()
+    }
+
+    /// In-flight queries sorted by session — the `sys.queries` provider.
+    fn queries_rows(&self) -> Vec<Row> {
+        let mut infos: Vec<Arc<SessionInfo>> = self
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect();
+        infos.sort_by_key(|s| s.id);
+        let mut rows = Vec::new();
+        for s in infos {
+            let current = s.current.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(q) = current.as_ref() {
+                rows.push(vec![
+                    Value::Int(s.id as i64),
+                    Value::str(&q.query_id),
+                    Value::str(&q.sql),
+                    Value::Int(q.started.elapsed().as_micros() as i64),
+                    Value::Int(q.snapshot_version as i64),
+                    Value::str(q.mode),
+                    Value::str(q.state),
+                ]);
+            }
+        }
+        rows
+    }
+}
+
+/// Decrements `sessions_active` (gauge and counter) and deregisters the
+/// session on *every* exit path — clean EOF, idle timeout, protocol
+/// error, or a panic unwinding out of query dispatch.
+struct SessionGuard<'a> {
+    shared: &'a Shared,
+    id: u64,
+}
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.session_closed(self.id);
+    }
+}
+
+/// Holds a `queries_inflight` increment and the session's `sys.queries`
+/// row; drop (including panic unwind) decrements the gauge and clears
+/// the row so a killed connection can never leak either.
+struct InflightGuard<'a> {
+    shared: &'a Shared,
+    session: &'a SessionInfo,
+}
+
+impl<'a> InflightGuard<'a> {
+    fn new(shared: &'a Shared, session: &'a SessionInfo) -> InflightGuard<'a> {
+        let n = shared.queries_inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        tpcds_obs::metrics::gauge_set("server.queries_inflight", n);
+        session.set_state("query");
+        InflightGuard { shared, session }
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let n = self.shared.queries_inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+        tpcds_obs::metrics::gauge_set("server.queries_inflight", n);
+        *self
+            .session
+            .current
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = None;
+        self.session.set_state("idle");
     }
 }
 
@@ -103,10 +261,25 @@ impl Server {
             db,
             admission: Admission::new(config.max_concurrent_queries),
             idle_timeout: config.idle_timeout,
+            slow_query_us: config.slow_query_ms.saturating_mul(1000),
             shutdown: AtomicBool::new(false),
             sessions_active: AtomicI64::new(0),
             queries_inflight: AtomicI64::new(0),
             next_session: AtomicU64::new(0),
+            sessions: Mutex::new(HashMap::new()),
+        });
+        // `sys.sessions` / `sys.queries` read through a Weak so a stopped
+        // server leaves empty tables behind (and a later server on the
+        // same Database simply re-registers over it).
+        let weak: Weak<Shared> = Arc::downgrade(&shared);
+        shared.db.register_sys_provider("sys.sessions", move || {
+            weak.upgrade()
+                .map(|s| s.sessions_rows())
+                .unwrap_or_default()
+        });
+        let weak: Weak<Shared> = Arc::downgrade(&shared);
+        shared.db.register_sys_provider("sys.queries", move || {
+            weak.upgrade().map(|s| s.queries_rows()).unwrap_or_default()
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -132,6 +305,11 @@ impl Server {
     /// Sessions currently connected.
     pub fn sessions_active(&self) -> usize {
         self.shared.sessions_active.load(Ordering::SeqCst).max(0) as usize
+    }
+
+    /// Queries executing (or queued past admission) right now.
+    pub fn queries_inflight(&self) -> usize {
+        self.shared.queries_inflight.load(Ordering::SeqCst).max(0) as usize
     }
 
     /// Whether shutdown has been requested (by [`Server::shutdown`] or a
@@ -206,7 +384,18 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 /// One connection: framed request/response until EOF, idle timeout,
 /// server shutdown or a fatal protocol error.
 fn run_session(mut stream: TcpStream, id: u64, shared: Arc<Shared>) {
-    shared.session_opened();
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".to_string());
+    let info = Arc::new(SessionInfo::new(id, peer));
+    shared.session_opened(&info);
+    // From here on, every exit — return, break, or panic unwinding out of
+    // dispatch — runs the guard: gauge decremented, registry row gone.
+    let _guard = SessionGuard {
+        shared: &shared,
+        id,
+    };
     let span = tpcds_obs::span("server", "session").field("session", id as i64);
     let mut queries = 0u64;
     // Short read slices let the session poll the shutdown flag and its
@@ -218,11 +407,18 @@ fn run_session(mut stream: TcpStream, id: u64, shared: Arc<Shared>) {
             break;
         }
         match read_request(&mut stream, &shared) {
-            Ok(Some(req)) => {
+            Ok(Some((req, nread))) => {
                 last_activity = Instant::now();
-                let (resp, close) = handle_request(&shared, id, &req, &mut queries);
-                if protocol::write_frame(&mut stream, &resp).is_err() || close {
-                    break;
+                info.bytes_in.fetch_add(nread, Ordering::SeqCst);
+                let (resp, close) = handle_request(&shared, &info, &req, &mut queries);
+                match protocol::write_frame(&mut stream, &resp) {
+                    Ok(nwritten) => {
+                        info.bytes_out.fetch_add(nwritten as u64, Ordering::SeqCst);
+                        if close {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
                 }
             }
             Ok(None) => break, // clean EOF or shutdown observed
@@ -241,7 +437,6 @@ fn run_session(mut stream: TcpStream, id: u64, shared: Arc<Shared>) {
     }
     let _ = stream.shutdown(Shutdown::Both);
     span.field("queries", queries).finish();
-    shared.session_closed();
 }
 
 enum Idle {
@@ -260,8 +455,9 @@ fn is_timeout(e: &std::io::Error) -> bool {
 
 /// Reads one frame without losing sync across poll timeouts: the timeout
 /// only counts as "idle" before the first byte of a frame; once a frame
-/// has started, the rest must arrive within a bounded window.
-fn read_request(stream: &mut TcpStream, shared: &Shared) -> Result<Option<Json>, Idle> {
+/// has started, the rest must arrive within a bounded window. Returns
+/// the parsed request and its on-wire size (prefix + body).
+fn read_request(stream: &mut TcpStream, shared: &Shared) -> Result<Option<(Json, u64)>, Idle> {
     let mut prefix = [0u8; 4];
     // First byte: this is where the session idles.
     match stream.read(&mut prefix[..1]) {
@@ -285,7 +481,7 @@ fn read_request(stream: &mut TcpStream, shared: &Shared) -> Result<Option<Json>,
     let text =
         String::from_utf8(body).map_err(|_| Idle::Fatal("frame is not UTF-8".to_string()))?;
     Json::parse(&text)
-        .map(Some)
+        .map(|j| Some((j, 4 + len as u64)))
         .map_err(|e| Idle::Fatal(format!("frame is not JSON: {e}")))
 }
 
@@ -330,17 +526,23 @@ fn error_response(msg: String) -> Json {
 
 /// Dispatches one request; returns the response and whether to close the
 /// connection afterwards.
-fn handle_request(shared: &Shared, session: u64, req: &Json, queries: &mut u64) -> (Json, bool) {
+fn handle_request(
+    shared: &Shared,
+    session: &SessionInfo,
+    req: &Json,
+    queries: &mut u64,
+) -> (Json, bool) {
     let kind = req.get("type").and_then(Json::as_str).unwrap_or("");
     match kind {
         "ping" => {
             let mut fields = ok_base(shared.db.version());
             fields.push(("pong".to_string(), Json::Bool(true)));
-            fields.push(("session".to_string(), Json::Int(session as i64)));
+            fields.push(("session".to_string(), Json::Int(session.id as i64)));
             (Json::Obj(fields), false)
         }
         "query" => {
             *queries += 1;
+            session.queries.fetch_add(1, Ordering::SeqCst);
             (run_query(shared, session, req), false)
         }
         "explain" => {
@@ -384,7 +586,7 @@ fn handle_request(shared: &Shared, session: u64, req: &Json, queries: &mut u64) 
             tpcds_obs::point(
                 "server",
                 "shutdown_requested",
-                &[("session", (session as i64).into())],
+                &[("session", (session.id as i64).into())],
             );
             let mut fields = ok_base(shared.db.version());
             fields.push(("shutting_down".to_string(), Json::Bool(true)));
@@ -397,25 +599,56 @@ fn handle_request(shared: &Shared, session: u64, req: &Json, queries: &mut u64) 
     }
 }
 
-fn run_query(shared: &Shared, session: u64, req: &Json) -> Json {
+fn run_query(shared: &Shared, session: &SessionInfo, req: &Json) -> Json {
     let Some(sql) = req.get("sql").and_then(Json::as_str) else {
         return error_response("query without sql".to_string());
     };
     let mut opts = ExecOptions::default();
-    match req.get("mode").and_then(Json::as_str) {
-        None => {}
-        Some("off") => opts.columnar = ColumnarMode::Off,
-        Some("auto") => opts.columnar = ColumnarMode::Auto,
-        Some("force") => opts.columnar = ColumnarMode::Force,
+    let mode = match req.get("mode").and_then(Json::as_str) {
+        None => "auto",
+        Some("off") => {
+            opts.columnar = ColumnarMode::Off;
+            "off"
+        }
+        Some("auto") => {
+            opts.columnar = ColumnarMode::Auto;
+            "auto"
+        }
+        Some("force") => {
+            opts.columnar = ColumnarMode::Force;
+            "force"
+        }
         Some(m) => return error_response(format!("unknown columnar mode {m:?}")),
-    }
+    };
     if let Some(t) = req.get("threads").and_then(Json::as_i64) {
         opts.threads = Some(t.max(1) as usize);
     }
+    // End-to-end identity: the client's query_id when sent, else one
+    // minted here — either way the same id appears in the `server/query`
+    // span, `sys.queries` while running, and `sys.query_log` after.
+    let query_id = req
+        .get("query_id")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .unwrap_or_else(tpcds_obs::qlog::next_query_id);
 
     let started = Instant::now();
-    let span = tpcds_obs::span("server", "query").field("session", session as i64);
+    let span = tpcds_obs::span("server", "query")
+        .field("session", session.id as i64)
+        .field("query_id", query_id.clone());
+    *session.current.lock().unwrap_or_else(|e| e.into_inner()) = Some(InflightQuery {
+        query_id: query_id.clone(),
+        sql: sql.to_string(),
+        started,
+        snapshot_version: 0,
+        mode,
+        state: "queued",
+    });
+    // Guard from here: any exit (including a panic in the engine)
+    // restores the gauge and clears this session's `sys.queries` row.
+    let _inflight = InflightGuard::new(shared, session);
     let _permit = shared.admission.acquire();
+    let admission_wait_us = started.elapsed().as_micros() as u64;
 
     // Pin the snapshot only once admitted: a queued query should see the
     // freshest published version, and an explicitly pinned one must fail
@@ -429,12 +662,46 @@ fn run_query(shared: &Shared, session: u64, req: &Json) -> Json {
         },
         None => shared.db.snapshot(),
     };
+    if let Some(q) = session
+        .current
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_mut()
+    {
+        q.snapshot_version = snap.version();
+        q.state = "running";
+    }
 
-    let inflight = shared.queries_inflight.fetch_add(1, Ordering::SeqCst) + 1;
-    tpcds_obs::metrics::gauge_set("server.queries_inflight", inflight);
-    let result = tpcds_engine::query_pinned(&shared.db, &snap, sql, opts);
-    let inflight = shared.queries_inflight.fetch_sub(1, Ordering::SeqCst) - 1;
-    tpcds_obs::metrics::gauge_set("server.queries_inflight", inflight);
+    // Stamp the dispatching thread so the engine's query log records the
+    // same identity and the admission wait this query actually paid.
+    tpcds_obs::qlog::set_meta(tpcds_obs::qlog::QueryMeta {
+        query_id: Some(query_id.clone()),
+        session: session.id,
+        admission_wait_us,
+    });
+    let result = if shared.slow_query_us > 0 {
+        // Slow-query mode runs through EXPLAIN ANALYZE so a threshold hit
+        // can report per-operator actuals, not just a total.
+        tpcds_engine::query_analyze_pinned(&shared.db, &snap, sql, opts).map(|a| {
+            let wall_us = started.elapsed().as_micros() as u64;
+            if wall_us >= shared.slow_query_us {
+                tpcds_obs::counter("server", "slow_queries", 1.0, &[]);
+                eprintln!(
+                    "[slow-query] session={} query_id={} wall_us={} rows={} version={}\n  sql: {}\n{}",
+                    session.id,
+                    query_id,
+                    wall_us,
+                    a.result.rows.len(),
+                    snap.version(),
+                    sql,
+                    a.plan_text,
+                );
+            }
+            a.result
+        })
+    } else {
+        tpcds_engine::query_pinned(&shared.db, &snap, sql, opts)
+    };
 
     match result {
         Ok(res) => {
@@ -453,6 +720,7 @@ fn run_query(shared: &Shared, session: u64, req: &Json) -> Json {
                 Json::Arr(res.rows.iter().map(|r| protocol::encode_row(r)).collect()),
             ));
             fields.push(("elapsed_us".to_string(), Json::Int(elapsed_us as i64)));
+            fields.push(("query_id".to_string(), Json::Str(query_id)));
             Json::Obj(fields)
         }
         Err(e) => {

@@ -28,7 +28,9 @@ fn bad_data(msg: impl Into<String>) -> std::io::Error {
 }
 
 /// Writes one frame: length prefix, then the serialized document.
-pub fn write_frame(w: &mut impl Write, doc: &Json) -> std::io::Result<()> {
+/// Returns the total bytes put on the wire (prefix + body) so the
+/// server can account per-session traffic for `sys.sessions`.
+pub fn write_frame(w: &mut impl Write, doc: &Json) -> std::io::Result<usize> {
     let body = doc.to_string();
     let len = u32::try_from(body.len()).map_err(|_| bad_data("frame over 4 GiB"))?;
     if len > MAX_FRAME {
@@ -36,7 +38,8 @@ pub fn write_frame(w: &mut impl Write, doc: &Json) -> std::io::Result<()> {
     }
     w.write_all(&len.to_be_bytes())?;
     w.write_all(body.as_bytes())?;
-    w.flush()
+    w.flush()?;
+    Ok(4 + body.len())
 }
 
 /// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame

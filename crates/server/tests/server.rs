@@ -181,6 +181,165 @@ fn client_shutdown_frame_stops_the_server() {
 }
 
 #[test]
+fn sys_tables_answer_over_the_wire_with_client_identity() {
+    let db = tiny_db();
+    let server = start(&db);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    // A client-assigned query_id rides the request, comes back in the
+    // response, and lands verbatim in sys.query_log.
+    let r = c
+        .query_with(
+            "select a from t order by a",
+            &QueryOpts {
+                query_id: Some("wire-q1".to_string()),
+                ..QueryOpts::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 3);
+    assert_eq!(r.query_id.as_deref(), Some("wire-q1"));
+
+    // sys.sessions shows this connection with its traffic counters.
+    let sessions = c
+        .query("select session, state, queries, bytes_in, bytes_out from sys.sessions")
+        .unwrap();
+    assert_eq!(sessions.rows.len(), 1, "exactly this connection");
+    assert!(sessions.rows[0][0].as_int().unwrap() > 0);
+    // The sys.sessions query itself is in-flight, so state is "query".
+    assert_eq!(sessions.rows[0][1].as_str(), Some("query"));
+    assert!(sessions.rows[0][2].as_int().unwrap() >= 1);
+    assert!(
+        sessions.rows[0][3].as_int().unwrap() > 0,
+        "bytes_in counted"
+    );
+    assert!(
+        sessions.rows[0][4].as_int().unwrap() > 0,
+        "bytes_out counted"
+    );
+
+    // The scanning query sees itself in sys.queries, same identity.
+    let inflight = c
+        .query_with(
+            "select query_id, state from sys.queries",
+            &QueryOpts {
+                query_id: Some("wire-q2".to_string()),
+                ..QueryOpts::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(inflight.rows.len(), 1);
+    assert_eq!(inflight.rows[0][0].as_str(), Some("wire-q2"));
+    assert_eq!(inflight.rows[0][1].as_str(), Some("running"));
+
+    // The log tied the work to the wire identity, with real timings and
+    // the session id (> 0 distinguishes server-side from in-process).
+    let logged = c
+        .query("select wall_us, session, rows from sys.query_log where query_id = 'wire-q1'")
+        .unwrap();
+    assert_eq!(logged.rows.len(), 1);
+    assert!(
+        logged.rows[0][0].as_int().unwrap() > 0,
+        "non-zero wall time"
+    );
+    assert!(logged.rows[0][1].as_int().unwrap() > 0, "server session id");
+    assert_eq!(logged.rows[0][2].as_int(), Some(3));
+
+    // The acceptance query shape works end to end over TCP.
+    let top = c
+        .query("select query_id, wall_us from sys.query_log order by wall_us desc limit 5")
+        .unwrap();
+    assert!(!top.rows.is_empty());
+    let walls: Vec<i64> = top.rows.iter().map(|r| r[1].as_int().unwrap()).collect();
+    assert!(walls.windows(2).all(|w| w[0] >= w[1]), "{walls:?}");
+
+    server.shutdown();
+}
+
+#[test]
+fn killed_mid_query_connection_restores_gauges() {
+    let db = Arc::new(Database::new());
+    let meta = vec![ColumnMeta {
+        name: "a".to_string(),
+        dtype: DataType::Int,
+    }];
+    let rows: Vec<Vec<Value>> = (0..120).map(|i| vec![Value::Int(i)]).collect();
+    db.create_table_with_rows("big", meta, rows).unwrap();
+    let server = start(&db);
+
+    // Hand-roll the frame so we can vanish without reading the response.
+    {
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let req = tpcds_obs::json::Json::Obj(vec![
+            (
+                "type".to_string(),
+                tpcds_obs::json::Json::Str("query".to_string()),
+            ),
+            (
+                "sql".to_string(),
+                tpcds_obs::json::Json::Str(
+                    // ~1.7M-tuple cross join: long enough to still be
+                    // running when the socket dies under it.
+                    "select count(*) from big x, big y, big z".to_string(),
+                ),
+            ),
+        ]);
+        tpcds_server::protocol::write_frame(&mut raw, &req).unwrap();
+        // Let the server pick the query up, then hang up mid-execution.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.queries_inflight() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(server.queries_inflight() > 0, "query never started");
+    } // drop = RST/FIN while the query runs
+
+    // The RAII guards must walk both gauges back to zero even though the
+    // session died on an error path, not a clean request/response cycle.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while (server.queries_inflight() > 0 || server.sessions_active() > 0)
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(server.queries_inflight(), 0, "queries_inflight leaked");
+    assert_eq!(server.sessions_active(), 0, "sessions_active leaked");
+    // And the registry-backed sys tables agree (queried in-process).
+    let r = tpcds_engine::query(&db, "select count(*) from sys.queries").unwrap();
+    assert_eq!(r.rows[0][0].as_int(), Some(0));
+    let r = tpcds_engine::query(&db, "select count(*) from sys.sessions").unwrap();
+    assert_eq!(r.rows[0][0].as_int(), Some(0));
+    server.shutdown();
+}
+
+#[test]
+fn slow_queries_run_through_analyze_and_are_counted() {
+    let db = tiny_db();
+    let server = Server::start(
+        Arc::clone(&db),
+        ServerConfig {
+            slow_query_ms: 1, // every non-trivial query trips it
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    tpcds_obs::metrics::enable();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    // Heavy enough to clear 1ms; results must be unaffected by the
+    // slow-query path routing execution through EXPLAIN ANALYZE.
+    let r = c
+        .query("select count(*) from t a, t b, t c, t d, t e, t f, t g, t h")
+        .unwrap();
+    assert_eq!(r.rows[0][0].as_int(), Some(3i64.pow(8)));
+    let slow = tpcds_obs::metrics::counters_snapshot()
+        .into_iter()
+        .find(|(name, _)| name == "server.slow_queries")
+        .map(|(_, v)| v)
+        .unwrap_or(0);
+    assert!(slow >= 1, "slow query was not counted");
+    server.shutdown();
+}
+
+#[test]
 fn query_options_cross_the_wire() {
     let db = tiny_db();
     let server = start(&db);

@@ -112,6 +112,9 @@ pub struct SoakOutcome {
     pub versions_observed: Vec<u64>,
     /// Rows touched by the data-maintenance writer.
     pub dm_rows: usize,
+    /// Query-log records appended during the run (delta of the ring's
+    /// cumulative counter) — zero when the log is disabled.
+    pub log_records: u64,
 }
 
 fn auto_opts() -> ExecOptions {
@@ -156,6 +159,7 @@ fn run_one_local(
 fn run_one_remote(
     client: &mut Client,
     db: &Database,
+    qid: u64,
     spec: &QuerySpec,
     sql: &str,
     do_shrink: bool,
@@ -166,6 +170,9 @@ fn run_one_remote(
             pin: None,
             mode: Some("off"),
             threads: Some(1),
+            // End-to-end identity: this exact id must come back out of
+            // `sys.query_log` (the outcome cross-check counts on it).
+            query_id: Some(format!("soak-{qid}")),
         },
     ) {
         Ok(r) => r,
@@ -189,6 +196,7 @@ fn run_one_remote(
                 pin: Some(version),
                 mode: Some("force"),
                 threads: Some(workers),
+                query_id: Some(format!("soak-{qid}-force{workers}")),
             },
         ) {
             Ok(r) => r,
@@ -258,6 +266,7 @@ pub fn run_soak(
         None
     };
     let addr = server.as_ref().map(|s| s.local_addr());
+    let log_before = db.query_log().total_recorded();
 
     let outcome = Mutex::new(SoakOutcome::default());
     let dm_rows = std::thread::scope(|scope| {
@@ -288,7 +297,7 @@ pub fn run_soak(
                         let (version, snap, oracle_rows, failure) = match client.as_mut() {
                             Some(c) => {
                                 let (version, rows, failure) =
-                                    run_one_remote(c, db, &spec, &sql, cfg.shrink);
+                                    run_one_remote(c, db, qid, &spec, &sql, cfg.shrink);
                                 let snap = db.snapshot_at(version).unwrap_or_else(|| db.snapshot());
                                 (version, snap, rows, failure)
                             }
@@ -344,6 +353,29 @@ pub fn run_soak(
     out.dm_rows = dm_rows;
     out.versions_observed.sort_unstable();
     out.versions_observed.dedup();
+
+    // Cross-check the query log against queries actually issued: every
+    // soak query runs the differential (≥1 logged engine call, errors
+    // included) plus one pinned analyze — so the ring's cumulative
+    // counter must have advanced by at least 2× queries_run. An
+    // undercount means an engine entry point stopped recording.
+    if db.query_log().is_enabled() {
+        out.log_records = db.query_log().total_recorded().saturating_sub(log_before);
+        let expected = 2 * out.queries_run;
+        if out.log_records < expected {
+            out.failures.push(Failure {
+                qid: 0,
+                class: "query-log-undercount",
+                sql: "select count(*) from sys.query_log".to_string(),
+                minimized: String::new(),
+                detail: format!(
+                    "query log recorded {} entries for {} soak queries (expected >= {expected})",
+                    out.log_records, out.queries_run
+                ),
+            });
+        }
+    }
+
     out.failures.sort_by_key(|f| f.qid);
     span.field("failures", out.failures.len() as i64).finish();
     out

@@ -27,6 +27,9 @@
 #    while data maintenance commits mid-run, with per-shape-class routing
 #    tallies (tpcds-bench synth). Any differential mismatch fails the
 #    script and writes minimized reproducers under synth_failures/.
+#  - BENCH_9.json: observer overhead — the same short query mix with the
+#    per-query log + metrics registry enabled vs disabled, gated inline
+#    by the profile run at OBS_TOLERANCE (default 5%).
 # After regenerating, each fresh perf report is gated against the
 # committed baseline with `tpcds-bench compare` — a throughput drop (or
 # latency rise) past BENCH_TOLERANCE fails the script — and the coverage
@@ -46,6 +49,8 @@
 #   BENCH_COVERAGE_OUT COVERAGE_6 output path (default COVERAGE_6.json)
 #   BENCH_SERVE_OUT    BENCH_7 output path (default BENCH_7.json)
 #   BENCH_SYNTH_OUT    COVERAGE_8 output path (default COVERAGE_8.json)
+#   BENCH_OBS_OUT      BENCH_9 output path (default BENCH_9.json)
+#   OBS_TOLERANCE      observer-overhead budget (default 0.05)
 #   SYNTH_BUDGET       synthesized queries per soak (default 500)
 #   SYNTH_TOLERANCE    columnar_frac slack for the COVERAGE_8 gate
 #                      (default 0.05; mismatches are never tolerated)
@@ -66,6 +71,7 @@ OUT5="${BENCH_SORT_OUT:-BENCH_5.json}"
 OUT6="${BENCH_COVERAGE_OUT:-COVERAGE_6.json}"
 OUT7="${BENCH_SERVE_OUT:-BENCH_7.json}"
 OUT8="${BENCH_SYNTH_OUT:-COVERAGE_8.json}"
+OUT9="${BENCH_OBS_OUT:-BENCH_9.json}"
 SERVE_TOLERANCE="${BENCH_SERVE_TOLERANCE:-1.0}"
 SYNTH_TOLERANCE="${SYNTH_TOLERANCE:-0.05}"
 
@@ -85,10 +91,14 @@ done
 ./target/release/join_bench \
     --scale "${BENCH_JOIN_SCALE:-0.01}" \
     --out "$OUT3"
+# profile also measures observer overhead (BENCH_9) and fails inline
+# when the query log + metrics cost more than OBS_TOLERANCE.
 ./target/release/tpcds-bench profile \
     --scale "${BENCH_JOIN_SCALE:-0.01}" \
     --out "$OUT4" \
-    --sort-out "$OUT5"
+    --sort-out "$OUT5" \
+    --obs-out "$OUT9" \
+    --obs-tolerance "${OBS_TOLERANCE:-0.05}"
 ./target/release/tpcds-bench serve \
     --scale "${BENCH_JOIN_SCALE:-0.01}" \
     --out "$OUT7"

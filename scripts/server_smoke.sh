@@ -50,6 +50,27 @@ VERSION=$("$TPCDS" client --addr "$ADDR" --sql 'select 1' \
     | grep -q 'Scan date_dim'
 "$TPCDS" client --addr "$ADDR" --stats | grep -q '"sessions_active"'
 
+# Introspection over the wire: a client-assigned query_id must round-trip
+# through the server and come back out of sys.query_log with a real
+# (non-zero) wall time, and sys.sessions must show live connections.
+"$TPCDS" client --addr "$ADDR" --query-id smoke-q1 \
+    --sql 'select count(*) c from store_sales' \
+    | grep -q 'query_id smoke-q1'
+SESSIONS=$("$TPCDS" client --addr "$ADDR" \
+    --sql 'select count(*) c from sys.sessions' \
+    | sed -n '3s/^ *\([0-9][0-9]*\).*/\1/p')
+test "$SESSIONS" -ge 1
+LOGGED=$("$TPCDS" client --addr "$ADDR" \
+    --sql "select wall_us from sys.query_log where query_id = 'smoke-q1'" \
+    | sed -n '3s/^ *\([0-9][0-9]*\).*/\1/p')
+test "$LOGGED" -gt 0
+# The acceptance query shape, and the live-view CLI built on the same
+# tables.
+"$TPCDS" client --addr "$ADDR" \
+    --sql 'select * from sys.query_log order by wall_us desc limit 5' \
+    | grep -q 'smoke-q1'
+"$TPCDS" top --addr "$ADDR" --once | grep -q 'SESSIONS'
+
 # The Prometheus endpoint exports the server and snapshot series
 # (names are prefixed `tpcds_` and dots become underscores).
 METRICS_OUT=$(curl -sf "http://$METRICS/metrics")
