@@ -14,13 +14,17 @@
 //!   two reports over their intersecting metrics and exits non-zero when
 //!   any throughput dropped (or latency rose) past the tolerance — the
 //!   CI perf-regression gate;
-//! * `tpcds-bench coverage [--scale SF] [--out COVERAGE_6.json]
-//!   [--baseline FILE]` — runs all 99 templates under pinned default
-//!   options and writes each template's routing path (best path any
-//!   operator took), every fallback reason code, and cardinality q-error
-//!   quantiles; with `--baseline` it exits non-zero when any template's
-//!   routing path regressed (e.g. columnar → serial) vs the committed
-//!   report — the CI routing-coverage gate.
+//! * `tpcds-bench coverage [--scale SF] [--out COVERAGE_10.json]
+//!   [--baseline FILE] [--min-columnar N]` — runs all 99 templates under
+//!   pinned default options and writes each template's routing path (best
+//!   path any operator took), every fallback reason code, and cardinality
+//!   q-error quantiles; with `--baseline` it exits non-zero when any
+//!   template's routing path regressed (e.g. columnar → serial) vs the
+//!   committed report, and `--min-columnar` adds an absolute floor on the
+//!   columnar template count — the CI routing-coverage gate. The profile
+//!   run additionally writes the expression-kernel microbench (computed
+//!   projection / expression sort key / residual join vs the interpreted
+//!   row path) to `--expr-out`, gated inline at `--expr-min-speedup`.
 
 use std::time::Instant;
 use tpcds_bench::compare;
@@ -38,8 +42,10 @@ static ALLOC: tpcds_core::obs::mem::CountingAlloc = tpcds_core::obs::mem::Counti
 const USAGE: &str = "usage:
   tpcds-bench profile [--scale SF] [--out BENCH_4.json] [--sort-out BENCH_5.json]
                       [--obs-out BENCH_9.json] [--obs-tolerance 0.05] [--queries-per-class N]
+                      [--expr-out BENCH_10.json] [--expr-min-speedup 3.0]
   tpcds-bench compare OLD.json NEW.json [--tolerance 0.15]
-  tpcds-bench coverage [--scale SF] [--out COVERAGE_6.json] [--baseline FILE]
+  tpcds-bench coverage [--scale SF] [--out COVERAGE_10.json] [--baseline FILE]
+                       [--min-columnar N]
   tpcds-bench serve [--scale SF] [--queries N] [--out BENCH_7.json]
   tpcds-bench synth [--scale SF] [--queries N] [--streams N] [--seed S] [--dm N]
                     [--via-server] [--out COVERAGE_8.json] [--baseline FILE]
@@ -61,6 +67,25 @@ const TOPN_SQL: &str = "select ss_item_sk, ss_ticket_number, ss_net_paid from st
 /// on the encoded-key fast path end to end.
 const SORT_SQL: &str = "select ss_sold_date_sk, ss_item_sk, ss_ticket_number from store_sales \
      order by ss_sold_date_sk, ss_item_sk, ss_ticket_number";
+
+/// Computed SELECT list (arithmetic + CASE) fused into the scan — the
+/// shape that used to drop the whole query to the serial row projector.
+/// Runs over `date_dim` (73049 static rows at every scale factor), so the
+/// per-row interpreter cost being vectorized away dominates the timing
+/// instead of fixed query overhead.
+const PROJECT_EXPR_SQL: &str = "select d_date_sk, \
+     d_year * 100 + d_moy, \
+     case when d_dow < 3 then d_year + 1 else d_year - 1 end \
+     from date_dim";
+/// Expression ORDER BY key (a hidden computed projection under the TopN);
+/// the primary-key tie-break pins the answer byte-for-byte.
+const SORT_EXPR_SQL: &str = "select d_date_sk from date_dim \
+     order by case when d_dow < 3 then d_year * 12 + d_moy \
+     else -(d_year * 12 + d_moy) end desc, d_date_sk limit 100";
+/// Non-equi residual over both sides, evaluated inside the partitioned
+/// hash-join probe loop (used to be the `residual` serial fallback).
+const RESIDUAL_JOIN_SQL: &str = "select ss_item_sk, d_year from store_sales \
+     join date_dim on ss_sold_date_sk = d_date_sk and ss_quantity + d_dow > 10";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -252,6 +277,82 @@ fn cmd_profile(args: &[String]) -> i32 {
         return 1;
     }
 
+    // ---- Expression-kernel microbench (BENCH_10) ----
+    // The three consumer shapes this vectorization retired from the
+    // serial fallback: computed projections, expression ORDER BY keys and
+    // residual join predicates. Same discipline as BENCH_5: each query
+    // must show its kernel markers under Force and agree byte-for-byte
+    // with the row path, and the 8-worker speedup over the interpreted
+    // row path is gated inline.
+    let expr_out = flag(args, "--expr-out").unwrap_or_else(|| "BENCH_10.json".to_string());
+    let expr_min_speedup: f64 = flag(args, "--expr-min-speedup")
+        .map(|v| v.parse().expect("bad --expr-min-speedup"))
+        .unwrap_or(3.0);
+    let expr_workers = 8usize;
+    let mut expr_failed = false;
+    let mut expr_sections: Vec<(String, Json)> = Vec::new();
+    for (name, sql, basis, markers) in [
+        (
+            "computed_project",
+            PROJECT_EXPR_SQL,
+            dim_rows,
+            &["expr_kernels=", "morsels="][..],
+        ),
+        (
+            "expr_sort",
+            SORT_EXPR_SQL,
+            dim_rows,
+            &["expr_kernels=", "heap_rows="],
+        ),
+        (
+            "residual_join",
+            RESIDUAL_JOIN_SQL,
+            fact_rows,
+            &["build_rows="],
+        ),
+    ] {
+        let analyzed =
+            engine::query_analyze_with(db, sql, o(ColumnarMode::Force, expr_workers)).expect(name);
+        for m in markers {
+            if !analyzed.plan_text.contains(m) {
+                eprintln!(
+                    "{name}: missing {m} — fell off the kernel path:\n{}",
+                    analyzed.plan_text
+                );
+                expr_failed = true;
+            }
+        }
+        let row = engine::query_with(db, sql, o(ColumnarMode::Off, 1)).expect(name);
+        if row.rows != analyzed.result.rows {
+            eprintln!("{name}: kernel answer diverges from the row path");
+            expr_failed = true;
+        }
+        let rates = rate_obj(db, sql, basis, expr_workers);
+        let speedup = rates
+            .get("speedup_nt_vs_row")
+            .and_then(|s| s.as_f64())
+            .unwrap_or(0.0);
+        eprintln!("{name:<17} {speedup:>6.2}x vs serial row path ({expr_workers} workers)");
+        if speedup < expr_min_speedup {
+            eprintln!("{name}: speedup {speedup:.2}x below the {expr_min_speedup:.1}x floor");
+            expr_failed = true;
+        }
+        expr_sections.push((name.to_string(), rates));
+    }
+    let mut expr_fields = vec![
+        ("scale_factor".into(), Json::Float(sf)),
+        ("threads".into(), Json::Int(expr_workers as i64)),
+        ("store_sales_rows".into(), Json::Int(fact_rows as i64)),
+        ("min_speedup".into(), Json::Float(expr_min_speedup)),
+    ];
+    expr_fields.extend(expr_sections);
+    let expr_report = Json::Obj(expr_fields);
+    std::fs::write(&expr_out, format!("{expr_report}\n")).expect("write expr report");
+    println!("wrote {expr_out}");
+    if expr_failed {
+        return 1;
+    }
+
     // ---- Per-class latency histograms ----
     let seed = tpcds_types::rng::DEFAULT_SEED;
     let mut classes: Vec<(String, Json)> = Vec::new();
@@ -418,8 +519,10 @@ fn cmd_coverage(args: &[String]) -> i32 {
     let sf: f64 = flag(args, "--scale")
         .map(|v| v.parse().expect("bad --scale"))
         .unwrap_or(0.01);
-    let out_path = flag(args, "--out").unwrap_or_else(|| "COVERAGE_6.json".to_string());
+    let out_path = flag(args, "--out").unwrap_or_else(|| "COVERAGE_10.json".to_string());
     let baseline_path = flag(args, "--baseline");
+    let min_columnar: Option<i64> =
+        flag(args, "--min-columnar").map(|v| v.parse().expect("bad --min-columnar"));
     // Pinned options: the report is a routing contract. Auto mode and the
     // machine-default worker count are what production queries run with,
     // and routing decisions don't depend on the worker count — so the
@@ -515,6 +618,24 @@ fn cmd_coverage(args: &[String]) -> i32 {
     ]);
     std::fs::write(&out_path, format!("{report}\n")).expect("write coverage report");
     println!("wrote {out_path}");
+
+    // ---- Columnar-count floor ----
+    // An absolute contract independent of any baseline file: at least
+    // this many of the 99 templates must take the columnar path
+    // end-to-end. Catches a whole retired fallback class creeping back
+    // even when the committed baseline was itself regressed.
+    if let Some(floor) = min_columnar {
+        let columnar = report
+            .get("paths")
+            .and_then(|p| p.get("columnar"))
+            .and_then(|c| c.as_i64())
+            .unwrap_or(0);
+        if columnar < floor {
+            eprintln!("only {columnar}/99 templates routed columnar (floor {floor})");
+            return 1;
+        }
+        println!("{columnar}/99 templates columnar (floor {floor})");
+    }
 
     // ---- Routing regression gate ----
     let Some(base_path) = baseline_path else {

@@ -361,7 +361,19 @@ fn cmp_selectivity(op: CmpOp, a: &BExpr, b: &BExpr, stats: Option<&TableStats>) 
     let (col, lit, op) = match (col_of(a), lit_of(b), col_of(b), lit_of(a)) {
         (Some(c), Some(l), _, _) => (Some(c), Some(l), op),
         (_, _, Some(c), Some(l)) => (Some(c), Some(l), flip(op)),
-        _ => (None, None, op),
+        _ => {
+            // `col ± k <op> v` estimates like the shifted range
+            // `col <op> v ∓ k` — arithmetic-wrapped comparisons would
+            // otherwise all fall to the SEL_OTHER guess even though the
+            // histogram answers them exactly.
+            if let Some((c, shifted)) = shifted_int_cmp(a, b) {
+                return cmp_selectivity(op, &BExpr::Col(c), &BExpr::Lit(shifted), stats);
+            }
+            if let Some((c, shifted)) = shifted_int_cmp(b, a) {
+                return cmp_selectivity(flip(op), &BExpr::Col(c), &BExpr::Lit(shifted), stats);
+            }
+            (None, None, op)
+        }
     };
     match (col, lit, stats) {
         (Some(c), Some(l), Some(s)) => match op {
@@ -374,6 +386,37 @@ fn cmp_selectivity(op: CmpOp, a: &BExpr, b: &BExpr, stats: Option<&TableStats>) 
             CmpOp::Ne => 1.0 - SEL_EQ,
             _ => SEL_RANGE,
         },
+    }
+}
+
+/// Matches `Col ± IntLit` (or `IntLit + Col`) compared against an integer
+/// literal `other`, returning the column and the literal translated to the
+/// column's own scale, so `qty + 1 = 3` estimates exactly like `qty = 2`.
+fn shifted_int_cmp(arith_side: &BExpr, other: &BExpr) -> Option<(usize, Value)> {
+    let BExpr::Arith(aop, l, r) = arith_side else {
+        return None;
+    };
+    let Some(Value::Int(v)) = lit_of(other) else {
+        return None;
+    };
+    let int_lit = |e: &BExpr| match lit_of(e) {
+        Some(Value::Int(k)) => Some(*k),
+        _ => None,
+    };
+    match aop {
+        tpcds_types::scalar::ArithOp::Add => match (col_of(l), int_lit(r), col_of(r), int_lit(l)) {
+            (Some(c), Some(k), _, _) | (_, _, Some(c), Some(k)) => {
+                Some((c, Value::Int(v.checked_sub(k)?)))
+            }
+            _ => None,
+        },
+        tpcds_types::scalar::ArithOp::Sub => match (col_of(l), int_lit(r)) {
+            // Only `col - k`: `k - col` flips monotonicity, which a pure
+            // literal shift cannot express.
+            (Some(c), Some(k)) => Some((c, Value::Int(v.checked_add(k)?))),
+            _ => None,
+        },
+        _ => None,
     }
 }
 
@@ -615,6 +658,72 @@ mod tests {
         };
         let est = est_of(&p, &db);
         assert!((est - 1000.0).abs() / 1000.0 < 0.1, "est {est}");
+    }
+
+    #[test]
+    fn shifted_arithmetic_cmp_matches_plain_range() {
+        let db = db_with("t", "a", (0..10_000).map(Value::Int).collect());
+        let arith = |aop, k: i64, op, v: i64| {
+            BExpr::Cmp(
+                op,
+                Box::new(BExpr::Arith(
+                    aop,
+                    Box::new(BExpr::Col(0)),
+                    Box::new(BExpr::Lit(Value::Int(k))),
+                )),
+                Box::new(BExpr::Lit(Value::Int(v))),
+            )
+        };
+        use tpcds_types::scalar::ArithOp;
+        // a + 500 < 3000 ≡ a < 2500; a - 500 < 2000 ≡ a < 2500.
+        let plain = scan(
+            &db,
+            "t",
+            Some(BExpr::Cmp(
+                CmpOp::Lt,
+                Box::new(BExpr::Col(0)),
+                Box::new(BExpr::Lit(Value::Int(2_500))),
+            )),
+        );
+        let want = est_of(&plain, &db);
+        for pred in [
+            arith(ArithOp::Add, 500, CmpOp::Lt, 3_000),
+            arith(ArithOp::Sub, 500, CmpOp::Lt, 2_000),
+        ] {
+            let p = scan(&db, "t", Some(pred));
+            let est = est_of(&p, &db);
+            assert!((est - want).abs() < 1e-9, "est {est}, want {want}");
+        }
+        // Literal-on-left variant: 3000 > a + 500 ≡ a < 2500.
+        let flipped = BExpr::Cmp(
+            CmpOp::Gt,
+            Box::new(BExpr::Lit(Value::Int(3_000))),
+            Box::new(BExpr::Arith(
+                ArithOp::Add,
+                Box::new(BExpr::Col(0)),
+                Box::new(BExpr::Lit(Value::Int(500))),
+            )),
+        );
+        let p = scan(&db, "t", Some(flipped));
+        let est = est_of(&p, &db);
+        assert!((est - want).abs() < 1e-9, "est {est}, want {want}");
+        // `k - col` must NOT shift (monotonicity flips): it stays at the
+        // generic range guess rather than producing a wrong exact number.
+        let ksub = BExpr::Cmp(
+            CmpOp::Lt,
+            Box::new(BExpr::Arith(
+                ArithOp::Sub,
+                Box::new(BExpr::Lit(Value::Int(500))),
+                Box::new(BExpr::Col(0)),
+            )),
+            Box::new(BExpr::Lit(Value::Int(100))),
+        );
+        let p = scan(&db, "t", Some(ksub));
+        let est = est_of(&p, &db);
+        assert!(
+            (est - 10_000.0 * SEL_RANGE).abs() < 1e-9,
+            "k - col must use the generic guess, got {est}"
+        );
     }
 
     #[test]

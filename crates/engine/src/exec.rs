@@ -51,19 +51,18 @@ pub mod reason {
     pub const COLUMNAR_OFF: &str = "columnar-off";
     /// The table has no columnar shadow (not built, or invalidated).
     pub const NO_SHADOW: &str = "no-shadow";
-    /// A predicate does not compile to the kernel subset.
-    pub const PRED_SHAPE: &str = "pred-shape";
+    /// An expression contains a shape no kernel can evaluate (subqueries,
+    /// outer-column references). The only reason an expression ever
+    /// falls off the vectorized path — simple shape mismatches
+    /// (`pred-shape`, `sort-key-shape`, `residual`) are retired.
+    pub const EXPR_UNSUPPORTED: &str = "expr-unsupported";
     /// Aggregate shape outside the kernel subset (DISTINCT, ROLLUP,
     /// expression keys, STDDEV_SAMP, GROUPING).
     pub const AGG_SHAPE: &str = "agg-shape";
     /// The operator's input is not a (possibly filtered) base-table scan.
     pub const INPUT_SHAPE: &str = "input-shape";
-    /// A join key / sort key is not a plain column reference.
+    /// A join key is not a plain column reference.
     pub const KEY_SHAPE: &str = "key-shape";
-    /// Sort key is not a plain column reference.
-    pub const SORT_KEY_SHAPE: &str = "sort-key-shape";
-    /// The join carries a residual predicate over combined rows.
-    pub const RESIDUAL: &str = "residual";
     /// An eligible hash-index probe outranks the columnar kernel.
     pub const INDEX_PREFERRED: &str = "index-preferred";
     /// Unfiltered row scan: cloning row storage beats re-materializing
@@ -121,6 +120,11 @@ pub struct OpStats {
     /// Qualifying rows discarded by Top-N heap bounds without ever being
     /// materialized, across all calls.
     pub pruned_rows: u64,
+    /// Vectorized expression kernel invocations (one per morsel per
+    /// expression), when the node evaluated compiled expressions.
+    pub expr_kernels: u64,
+    /// Rows processed by those expression kernels across all calls.
+    pub expr_rows: u64,
 }
 
 /// Per-node actuals keyed by plan-node address — stable for the lifetime
@@ -322,6 +326,14 @@ impl<'a> ExecCtx<'a> {
                     1.0,
                     &[("op", tpcds_obs::FieldValue::Str(op.to_string()))],
                 );
+                if r == reason::EXPR_UNSUPPORTED {
+                    tpcds_obs::counter(
+                        "engine",
+                        "expr.fallback",
+                        1.0,
+                        &[("op", tpcds_obs::FieldValue::Str(op.to_string()))],
+                    );
+                }
             }
             let mut span = tpcds_obs::span("engine", "route")
                 .field("op", op)
@@ -363,6 +375,20 @@ impl<'a> ExecCtx<'a> {
             s.merge_ways = s.merge_ways.max(ss.merge_ways);
             s.heap_rows = s.heap_rows.max(ss.heap_rows);
             s.pruned_rows += ss.pruned_rows;
+        }
+    }
+
+    /// Folds a vectorized expression kernel's invocation/row counts into
+    /// the node's EXPLAIN ANALYZE entry and emits the `expr.compiled` /
+    /// `expr.rows` counters.
+    fn record_expr(&self, node: usize, es: &tpcds_storage::ExprStats) {
+        tpcds_obs::counter("engine", "expr.compiled", 1.0, &[]);
+        tpcds_obs::counter("engine", "expr.rows", es.rows as f64, &[]);
+        if let Some(stats) = &self.stats {
+            let mut map = stats.lock();
+            let s = map.entry(node).or_default();
+            s.expr_kernels += es.kernels;
+            s.expr_rows += es.rows;
         }
     }
 
@@ -416,12 +442,32 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
             Ok(rows)
         }
         Plan::Filter { input, predicate } => {
-            ctx.record_route(
-                plan as *const Plan as usize,
-                "Filter",
-                RoutePath::Serial,
-                Some(reason::NO_KERNEL),
-            );
+            let node = plan as *const Plan as usize;
+            if ctx.opts.columnar != ColumnarMode::Off {
+                if let Some(cexpr) = compile_expr(predicate) {
+                    // Vectorized filter over the materialized input —
+                    // this is how grouped HAVING tails run morsel-parallel.
+                    ctx.record_route(node, "Filter", RoutePath::RowsPar, None);
+                    let rows = execute(input, ctx, outer)?;
+                    let (out, es) = tpcds_storage::par_filter_rows(rows, &cexpr, ctx.threads())
+                        .map_err(|e| EngineError::exec(e.0))?;
+                    ctx.record_expr(node, &es);
+                    return Ok(out);
+                }
+                ctx.record_route(
+                    node,
+                    "Filter",
+                    RoutePath::Serial,
+                    Some(reason::EXPR_UNSUPPORTED),
+                );
+            } else {
+                ctx.record_route(
+                    node,
+                    "Filter",
+                    RoutePath::Serial,
+                    Some(reason::COLUMNAR_OFF),
+                );
+            }
             let rows = execute(input, ctx, outer)?;
             let mut out = Vec::new();
             for row in rows {
@@ -432,12 +478,43 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
             Ok(out)
         }
         Plan::Project { input, exprs } => {
-            ctx.record_route(
-                plan as *const Plan as usize,
-                "Project",
-                RoutePath::Serial,
-                Some(reason::NO_KERNEL),
-            );
+            let node = plan as *const Plan as usize;
+            let why = if ctx.opts.columnar == ColumnarMode::Off {
+                reason::COLUMNAR_OFF
+            } else if let Some(cexprs) = compile_exprs(exprs) {
+                match compile_scan_source(input, ctx)? {
+                    Ok(src) => {
+                        // Fused columnar scan + computed projection: the
+                        // output never round-trips through row storage.
+                        ctx.record_route(node, "Project", RoutePath::Columnar, None);
+                        let res = tpcds_storage::par_project(
+                            &src.table,
+                            src.pred.as_ref(),
+                            &cexprs,
+                            ctx.threads(),
+                        );
+                        check_pred_err(src.pred.as_ref())?;
+                        let (rows, cs, es) = res.map_err(|e| EngineError::exec(e.0))?;
+                        ctx.record_columnar(node, &cs);
+                        ctx.record_expr(node, &es);
+                        return Ok(rows);
+                    }
+                    Err(why) => {
+                        // Vectorized projection over the materialized
+                        // input rows.
+                        ctx.record_route(node, "Project", RoutePath::RowsPar, Some(why));
+                        let rows = execute(input, ctx, outer)?;
+                        let (out, es) =
+                            tpcds_storage::par_project_rows(&rows, &cexprs, ctx.threads())
+                                .map_err(|e| EngineError::exec(e.0))?;
+                        ctx.record_expr(node, &es);
+                        return Ok(out);
+                    }
+                }
+            } else {
+                reason::EXPR_UNSUPPORTED
+            };
+            ctx.record_route(node, "Project", RoutePath::Serial, Some(why));
             let rows = execute(input, ctx, outer)?;
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
@@ -549,13 +626,26 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
                     match compile_sort_source(input, ctx)? {
                         Ok(src) => {
                             ctx.record_route(node, "Sort", RoutePath::Columnar, None);
-                            let (rows, ss) = tpcds_storage::par_sort(
-                                &src.table,
-                                src.pred.as_ref(),
-                                &skeys,
-                                src.proj.as_deref(),
-                                ctx.threads(),
-                            );
+                            let (rows, ss) = match columnar_sort_input(&src, node, ctx)? {
+                                SortInput::Table(ptab) => tpcds_storage::par_sort(
+                                    &ptab,
+                                    None,
+                                    &skeys,
+                                    None,
+                                    ctx.threads(),
+                                ),
+                                SortInput::Source => {
+                                    let r = tpcds_storage::par_sort(
+                                        &src.table,
+                                        src.pred.as_ref(),
+                                        &skeys,
+                                        src.proj.as_deref(),
+                                        ctx.threads(),
+                                    );
+                                    check_pred_err(src.pred.as_ref())?;
+                                    r
+                                }
+                            };
                             ctx.record_sort(node, &ss);
                             return Ok(rows);
                         }
@@ -564,7 +654,22 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
                         }
                     }
                     let rows = execute(input, ctx, outer)?;
-                    let (rows, ss) = tpcds_storage::par_sort_rows(rows, &skeys, ctx.threads());
+                    let (rows, ss) =
+                        tpcds_storage::par_sort_rows(rows, &skeys, None, ctx.threads());
+                    ctx.record_sort(node, &ss);
+                    return Ok(rows);
+                }
+                // Expression sort keys: evaluate each key vectorized into
+                // hidden columns appended to every row, sort on those, and
+                // drop them when the winners materialize.
+                if let Some((kexprs, descs)) = compile_key_exprs(keys) {
+                    ctx.record_route(node, "Sort", RoutePath::RowsPar, None);
+                    let rows = execute(input, ctx, outer)?;
+                    let (rows, skeys, width) =
+                        append_key_columns(rows, &kexprs, &descs, node, ctx)?;
+                    let visible: Vec<usize> = (0..width).collect();
+                    let (rows, ss) =
+                        tpcds_storage::par_sort_rows(rows, &skeys, Some(&visible), ctx.threads());
                     ctx.record_sort(node, &ss);
                     return Ok(rows);
                 }
@@ -572,7 +677,7 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
                     node,
                     "Sort",
                     RoutePath::Serial,
-                    Some(reason::SORT_KEY_SHAPE),
+                    Some(reason::EXPR_UNSUPPORTED),
                 );
             } else {
                 ctx.record_route(node, "Sort", RoutePath::Serial, Some(reason::COLUMNAR_OFF));
@@ -588,14 +693,28 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
                     match compile_sort_source(input, ctx)? {
                         Ok(src) => {
                             ctx.record_route(node, "TopN", RoutePath::Columnar, None);
-                            let (rows, ss) = tpcds_storage::par_topn(
-                                &src.table,
-                                src.pred.as_ref(),
-                                &skeys,
-                                src.proj.as_deref(),
-                                limit,
-                                ctx.threads(),
-                            );
+                            let (rows, ss) = match columnar_sort_input(&src, node, ctx)? {
+                                SortInput::Table(ptab) => tpcds_storage::par_topn(
+                                    &ptab,
+                                    None,
+                                    &skeys,
+                                    None,
+                                    limit,
+                                    ctx.threads(),
+                                ),
+                                SortInput::Source => {
+                                    let r = tpcds_storage::par_topn(
+                                        &src.table,
+                                        src.pred.as_ref(),
+                                        &skeys,
+                                        src.proj.as_deref(),
+                                        limit,
+                                        ctx.threads(),
+                                    );
+                                    check_pred_err(src.pred.as_ref())?;
+                                    r
+                                }
+                            };
                             ctx.record_sort(node, &ss);
                             return Ok(rows);
                         }
@@ -605,7 +724,23 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
                     }
                     let rows = execute(input, ctx, outer)?;
                     let (rows, ss) =
-                        tpcds_storage::par_topn_rows(rows, &skeys, limit, ctx.threads());
+                        tpcds_storage::par_topn_rows(rows, &skeys, None, limit, ctx.threads());
+                    ctx.record_sort(node, &ss);
+                    return Ok(rows);
+                }
+                if let Some((kexprs, descs)) = compile_key_exprs(keys) {
+                    ctx.record_route(node, "TopN", RoutePath::RowsPar, None);
+                    let rows = execute(input, ctx, outer)?;
+                    let (rows, skeys, width) =
+                        append_key_columns(rows, &kexprs, &descs, node, ctx)?;
+                    let visible: Vec<usize> = (0..width).collect();
+                    let (rows, ss) = tpcds_storage::par_topn_rows(
+                        rows,
+                        &skeys,
+                        Some(&visible),
+                        limit,
+                        ctx.threads(),
+                    );
                     ctx.record_sort(node, &ss);
                     return Ok(rows);
                 }
@@ -613,7 +748,7 @@ fn execute_node(plan: &Plan, ctx: &ExecCtx<'_>, outer: Option<&[Value]>) -> Resu
                     node,
                     "TopN",
                     RoutePath::Serial,
-                    Some(reason::SORT_KEY_SHAPE),
+                    Some(reason::EXPR_UNSUPPORTED),
                 );
             } else {
                 ctx.record_route(node, "TopN", RoutePath::Serial, Some(reason::COLUMNAR_OFF));
@@ -795,9 +930,10 @@ fn scan(
         }
         if mode != ColumnarMode::Off {
             if let Some(ct) = t.columnar() {
-                if let Some(pred) = compile_pred(f) {
+                if let Some(pred) = compile_any_pred(f) {
                     ctx.record_route(node, "Scan", RoutePath::Columnar, None);
                     let (rows, cs) = tpcds_storage::par_filter(&ct, Some(&pred), ctx.threads());
+                    check_pred_err(Some(&pred))?;
                     return Ok((rows, Some(cs)));
                 }
             }
@@ -807,7 +943,7 @@ fn scan(
         } else if t.columnar().is_none() {
             reason::NO_SHADOW
         } else {
-            reason::PRED_SHAPE
+            reason::EXPR_UNSUPPORTED
         };
         ctx.record_route(node, "Scan", RoutePath::Serial, Some(why));
         let mut out = Vec::new();
@@ -839,22 +975,111 @@ fn scan(
     }
 }
 
-/// Compiles a bound predicate to the columnar kernel subset: comparisons,
-/// BETWEEN/IN/LIKE/IS NULL of a *column against literals*, combined with
-/// AND/OR/NOT. Anything else (arithmetic, casts, functions, subqueries,
-/// outer references) returns `None` and stays on the row path.
-fn compile_pred(e: &BExpr) -> Option<tpcds_storage::Pred> {
-    use tpcds_storage::{CmpKind, Pred};
-    fn cmp_kind(op: crate::expr::CmpOp) -> CmpKind {
-        match op {
-            crate::expr::CmpOp::Eq => CmpKind::Eq,
-            crate::expr::CmpOp::Ne => CmpKind::Ne,
-            crate::expr::CmpOp::Lt => CmpKind::Lt,
-            crate::expr::CmpOp::Le => CmpKind::Le,
-            crate::expr::CmpOp::Gt => CmpKind::Gt,
-            crate::expr::CmpOp::Ge => CmpKind::Ge,
+/// Maps the engine's comparison operator onto the kernel vocabulary.
+fn cmp_kind(op: crate::expr::CmpOp) -> tpcds_storage::CmpKind {
+    use tpcds_storage::CmpKind;
+    match op {
+        crate::expr::CmpOp::Eq => CmpKind::Eq,
+        crate::expr::CmpOp::Ne => CmpKind::Ne,
+        crate::expr::CmpOp::Lt => CmpKind::Lt,
+        crate::expr::CmpOp::Le => CmpKind::Le,
+        crate::expr::CmpOp::Gt => CmpKind::Gt,
+        crate::expr::CmpOp::Ge => CmpKind::Ge,
+    }
+}
+
+/// Compiles a bound scalar expression to the vectorized kernel AST
+/// ([`tpcds_storage::Expr`]). The kernels share the row path's scalar
+/// semantics ([`tpcds_types::scalar`]), so everything compiles except the
+/// shapes that need engine context at evaluation time: subqueries and
+/// outer-column references. `None` = stay on the row path.
+fn compile_expr(e: &BExpr) -> Option<tpcds_storage::Expr> {
+    use tpcds_storage::Expr as X;
+    let c = |x: &BExpr| compile_expr(x).map(Box::new);
+    Some(match e {
+        BExpr::Col(i) => X::Col(*i),
+        BExpr::Lit(v) => X::Lit(v.clone()),
+        BExpr::Cmp(op, l, r) => X::Cmp(cmp_kind(*op), c(l)?, c(r)?),
+        BExpr::And(l, r) => X::And(c(l)?, c(r)?),
+        BExpr::Or(l, r) => X::Or(c(l)?, c(r)?),
+        BExpr::Not(x) => X::Not(c(x)?),
+        BExpr::Arith(op, l, r) => X::Arith(*op, c(l)?, c(r)?),
+        BExpr::Neg(x) => X::Neg(c(x)?),
+        BExpr::IsNull(x, negated) => X::IsNull(c(x)?, *negated),
+        BExpr::Like(x, p, negated) => X::Like(c(x)?, c(p)?, *negated),
+        BExpr::InList(x, list, negated) => X::InList(
+            c(x)?,
+            list.iter().map(compile_expr).collect::<Option<Vec<_>>>()?,
+            *negated,
+        ),
+        BExpr::Between(x, lo, hi, negated) => X::Between(c(x)?, c(lo)?, c(hi)?, *negated),
+        BExpr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => X::Case {
+            operand: match operand {
+                Some(o) => Some(c(o)?),
+                None => None,
+            },
+            branches: branches
+                .iter()
+                .map(|(w, t)| Some((compile_expr(w)?, compile_expr(t)?)))
+                .collect::<Option<Vec<_>>>()?,
+            else_branch: match else_branch {
+                Some(eb) => Some(c(eb)?),
+                None => None,
+            },
+        },
+        BExpr::Cast(x, ty) => X::Cast(c(x)?, *ty),
+        BExpr::Func(f, args) => X::Func(
+            *f,
+            args.iter().map(compile_expr).collect::<Option<Vec<_>>>()?,
+        ),
+        BExpr::Concat(l, r) => X::Concat(c(l)?, c(r)?),
+        BExpr::OuterCol(_)
+        | BExpr::ScalarSubquery(..)
+        | BExpr::InSubquery(..)
+        | BExpr::Exists(..) => return None,
+    })
+}
+
+/// Compiles every projection expression or none ([`compile_expr`]).
+fn compile_exprs(exprs: &[BExpr]) -> Option<Vec<tpcds_storage::Expr>> {
+    exprs.iter().map(compile_expr).collect()
+}
+
+/// Compiles a predicate for the segment kernels: the specialized
+/// column-vs-literal [`tpcds_storage::Pred`] forms when the shape fits
+/// (they skip per-row `Value` materialization), else a general compiled
+/// expression wrapped in [`tpcds_storage::ExprPred`] with its deferred
+/// per-row error cell. `None` only for subqueries / outer references.
+fn compile_any_pred(e: &BExpr) -> Option<tpcds_storage::Pred> {
+    if let Some(p) = compile_pred(e) {
+        return Some(p);
+    }
+    let x = compile_expr(e)?;
+    Some(tpcds_storage::Pred::Expr(tpcds_storage::ExprPred::new(x)))
+}
+
+/// Surfaces a deferred per-row error left behind by an expression
+/// predicate after its kernel ran. Must be called after every kernel
+/// invocation that evaluated the predicate, before trusting the output.
+fn check_pred_err(pred: Option<&tpcds_storage::Pred>) -> Result<()> {
+    if let Some(p) = pred {
+        if let Some(msg) = p.take_err() {
+            return Err(EngineError::exec(msg));
         }
     }
+    Ok(())
+}
+
+/// Compiles a bound predicate to the columnar kernel subset: comparisons,
+/// BETWEEN/IN/LIKE/IS NULL of a *column against literals*, combined with
+/// AND/OR/NOT. Anything else falls through to [`compile_any_pred`]'s
+/// expression path.
+fn compile_pred(e: &BExpr) -> Option<tpcds_storage::Pred> {
+    use tpcds_storage::{CmpKind, Pred};
     /// Mirror of `lit <op> col` as `col <flipped op> lit`.
     fn flip(k: CmpKind) -> CmpKind {
         match k {
@@ -962,12 +1187,16 @@ fn try_columnar_aggregate(
         return Ok(Err(reason::NO_SHADOW));
     };
     let Some(pred) = compile_side_pred(scan_filter, extra_filter) else {
-        return Ok(Err(reason::PRED_SHAPE));
+        return Ok(Err(reason::EXPR_UNSUPPORTED));
     };
     // The shadow is an immutable Arc snapshot; no need to hold the table
     // lock while the kernel runs.
     drop(t);
-    match tpcds_storage::par_aggregate(&ct, pred.as_ref(), &group_cols, &specs, ctx.threads()) {
+    let res = tpcds_storage::par_aggregate(&ct, pred.as_ref(), &group_cols, &specs, ctx.threads());
+    // Deferred predicate errors outrank aggregate errors: the row path
+    // filters before it folds.
+    check_pred_err(pred.as_ref())?;
+    match res {
         Ok((rows, cs)) => Ok(Ok((rows, cs))),
         Err(e) => Err(EngineError::exec(e.0)),
     }
@@ -1020,8 +1249,10 @@ fn compile_agg_shape(
 }
 
 /// Combines a scan's pushed-down filter with a residual Filter predicate
-/// into one compiled columnar predicate. `Some(None)` = no filtering;
-/// `None` = at least one predicate is outside the kernel subset.
+/// into one compiled columnar predicate ([`compile_any_pred`], so
+/// arbitrary expression predicates compile). `Some(None)` = no filtering;
+/// `None` = at least one predicate needs engine context (subqueries,
+/// outer references).
 #[allow(clippy::option_option)]
 fn compile_side_pred(
     scan_filter: Option<&BExpr>,
@@ -1029,8 +1260,8 @@ fn compile_side_pred(
 ) -> Option<Option<tpcds_storage::Pred>> {
     match (scan_filter, extra_filter) {
         (None, None) => Some(None),
-        (Some(f), None) | (None, Some(f)) => compile_pred(f).map(Some),
-        (Some(a), Some(b)) => match (compile_pred(a), compile_pred(b)) {
+        (Some(f), None) | (None, Some(f)) => compile_any_pred(f).map(Some),
+        (Some(a), Some(b)) => match (compile_any_pred(a), compile_any_pred(b)) {
             (Some(pa), Some(pb)) => {
                 Some(Some(tpcds_storage::Pred::And(Box::new(pa), Box::new(pb))))
             }
@@ -1079,7 +1310,7 @@ fn compile_join_side(
         return Ok(Err(reason::NO_SHADOW));
     };
     let Some(pred) = compile_side_pred(scan_filter, extra_filter) else {
-        return Ok(Err(reason::PRED_SHAPE));
+        return Ok(Err(reason::EXPR_UNSUPPORTED));
     };
     // Arc snapshot: the kernel runs without the table lock.
     drop(t);
@@ -1090,11 +1321,23 @@ fn compile_join_side(
     }))
 }
 
+/// Compiles a join's residual predicate (over the combined
+/// `probe ++ build` row) for the probe-loop expression kernel.
+/// `Ok(None)` = no residual; `Err` = the residual needs engine context.
+fn compile_residual(
+    residual: Option<&BExpr>,
+) -> std::result::Result<Option<tpcds_storage::Expr>, &'static str> {
+    match residual {
+        None => Ok(None),
+        Some(r) => compile_expr(r).map(Some).ok_or(reason::EXPR_UNSUPPORTED),
+    }
+}
+
 /// Routes a `HashJoin` over (possibly filtered) base-table scans through
-/// the partitioned columnar join kernel when both sides compile and there
-/// is no residual predicate (the kernel's predicates evaluate over one
-/// segment, never over joined rows). `Err(reason)` = fall back to the
-/// serial row-path join.
+/// the partitioned columnar join kernel when both sides compile. A
+/// residual (non-equi) predicate compiles to an expression kernel that
+/// runs over candidate combined rows inside the probe loop.
+/// `Err(reason)` = fall back to the serial row-path join.
 fn try_columnar_join(
     left: &Plan,
     right: &Plan,
@@ -1107,9 +1350,10 @@ fn try_columnar_join(
     if ctx.opts.columnar == ColumnarMode::Off {
         return Ok(Err(reason::COLUMNAR_OFF));
     }
-    if residual.is_some() {
-        return Ok(Err(reason::RESIDUAL));
-    }
+    let cres = match compile_residual(residual) {
+        Ok(r) => r,
+        Err(why) => return Ok(Err(why)),
+    };
     let probe = match compile_join_side(left, left_keys, ctx)? {
         Ok(s) => s,
         Err(why) => return Ok(Err(why)),
@@ -1122,7 +1366,7 @@ fn try_columnar_join(
         JoinKind::Inner => tpcds_storage::JoinType::Inner,
         JoinKind::Left => tpcds_storage::JoinType::Left,
     };
-    let (rows, js) = tpcds_storage::par_hash_join(
+    let res = tpcds_storage::par_hash_join(
         &probe.table,
         probe.pred.as_ref(),
         &probe.keys,
@@ -1130,9 +1374,18 @@ fn try_columnar_join(
         build.pred.as_ref(),
         &build.keys,
         jt,
+        cres.as_ref(),
         ctx.threads(),
     );
-    Ok(Ok((rows, js)))
+    // Error precedence mirrors the row path's evaluation order: the probe
+    // side materializes first, then the build side, then the residual
+    // runs during the probe.
+    check_pred_err(probe.pred.as_ref())?;
+    check_pred_err(build.pred.as_ref())?;
+    match res {
+        Ok((rows, js)) => Ok(Ok((rows, js))),
+        Err(e) => Err(EngineError::exec(e.0)),
+    }
 }
 
 /// Routes `Aggregate` directly over an eligible `HashJoin` through the
@@ -1161,9 +1414,10 @@ fn try_columnar_join_aggregate(
     else {
         return Ok(Err(reason::INPUT_SHAPE));
     };
-    if residual.is_some() {
-        return Ok(Err(reason::RESIDUAL));
-    }
+    let cres = match compile_residual(residual.as_ref()) {
+        Ok(r) => r,
+        Err(why) => return Ok(Err(why)),
+    };
     let Some((group_cols, specs)) = compile_agg_shape(groups, sets, aggs) else {
         return Ok(Err(reason::AGG_SHAPE));
     };
@@ -1179,7 +1433,7 @@ fn try_columnar_join_aggregate(
         JoinKind::Inner => tpcds_storage::JoinType::Inner,
         JoinKind::Left => tpcds_storage::JoinType::Left,
     };
-    match tpcds_storage::par_hash_join_agg(
+    let res = tpcds_storage::par_hash_join_agg(
         &probe.table,
         probe.pred.as_ref(),
         &probe.keys,
@@ -1187,10 +1441,16 @@ fn try_columnar_join_aggregate(
         build.pred.as_ref(),
         &build.keys,
         jt,
+        cres.as_ref(),
         &group_cols,
         &specs,
         ctx.threads(),
-    ) {
+    );
+    // Same precedence as `try_columnar_join`; the kernel itself reports
+    // residual errors ahead of aggregate errors.
+    check_pred_err(probe.pred.as_ref())?;
+    check_pred_err(build.pred.as_ref())?;
+    match res {
         Ok((rows, js)) => Ok(Ok((rows, js))),
         Err(e) => Err(EngineError::exec(e.0)),
     }
@@ -1234,37 +1494,22 @@ fn compile_sort_keys(keys: &[(BExpr, bool)]) -> Option<Vec<tpcds_storage::SortKe
         .collect()
 }
 
-/// A sort/Top-N input that compiled to a direct columnar pipeline: the
-/// shadow snapshot, the combined scan+residual predicate, and the
-/// projection column list when a plain-column `Project` sat between the
-/// sort and the scan (the binder always emits one).
-struct ColSortSource {
+/// A (possibly filtered) base-table scan that compiled to a direct
+/// columnar pipeline: the shadow snapshot plus the combined
+/// scan+residual predicate. The shared front end of the fused
+/// projection, sort and Top-N routes.
+struct ColScanSource {
     table: Arc<tpcds_storage::ColumnTable>,
     pred: Option<tpcds_storage::Pred>,
-    proj: Option<Vec<usize>>,
 }
 
-/// Compiles a sort/Top-N input for the fused columnar kernels: an
-/// optional all-column `Project` over a base-table scan (possibly under a
-/// residual `Filter`) whose table has a shadow and whose predicates
-/// compile. Under Auto mode an index-probe-shaped filter on an indexed
-/// column falls back, preserving the probe path (the kernel would rescan
-/// the whole table). `Err(reason)` = fall back.
-fn compile_sort_source(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Routed<ColSortSource>> {
-    let (inner, proj) = match plan {
-        Plan::Project { input, exprs } => {
-            let mut cols = Vec::with_capacity(exprs.len());
-            for e in exprs {
-                match e {
-                    BExpr::Col(i) => cols.push(*i),
-                    _ => return Ok(Err(reason::INPUT_SHAPE)),
-                }
-            }
-            (input.as_ref(), Some(cols))
-        }
-        _ => (plan, None),
-    };
-    let (table, scan_filter, extra_filter) = match inner {
+/// Compiles a base-table scan (possibly under a residual `Filter`) whose
+/// table has a shadow and whose predicates compile. Under Auto mode an
+/// index-probe-shaped filter on an indexed column falls back, preserving
+/// the probe path (the kernel would rescan the whole table).
+/// `Err(reason)` = fall back.
+fn compile_scan_source(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Routed<ColScanSource>> {
+    let (table, scan_filter, extra_filter) = match plan {
         Plan::Scan { table, filter, .. } => (table, filter.as_ref(), None),
         Plan::Filter { input, predicate } => match input.as_ref() {
             Plan::Scan { table, filter, .. } => (table, filter.as_ref(), Some(predicate)),
@@ -1289,15 +1534,130 @@ fn compile_sort_source(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Routed<ColSortS
         return Ok(Err(reason::NO_SHADOW));
     };
     let Some(pred) = compile_side_pred(scan_filter, extra_filter) else {
-        return Ok(Err(reason::PRED_SHAPE));
+        return Ok(Err(reason::EXPR_UNSUPPORTED));
     };
     // Arc snapshot: the kernel runs without the table lock.
     drop(t);
+    Ok(Ok(ColScanSource { table: ct, pred }))
+}
+
+/// A sort/Top-N input that compiled to a direct columnar pipeline: the
+/// scan source plus what sat between the sort and the scan — a
+/// plain-column `Project` becomes `proj` (applied to the winners only),
+/// a computed `Project` becomes `exprs` (materialized columnar through
+/// [`tpcds_storage::par_project_table`] before the sort, keeping the u64
+/// key encoding for typed key columns).
+struct ColSortSource {
+    table: Arc<tpcds_storage::ColumnTable>,
+    pred: Option<tpcds_storage::Pred>,
+    proj: Option<Vec<usize>>,
+    exprs: Option<Vec<tpcds_storage::Expr>>,
+}
+
+/// Compiles a sort/Top-N input for the fused columnar kernels: an
+/// optional `Project` — all-column or computed — over a base-table scan
+/// (possibly under a residual `Filter`) whose table has a shadow and
+/// whose predicates and projection expressions compile.
+/// `Err(reason)` = fall back.
+fn compile_sort_source(plan: &Plan, ctx: &ExecCtx<'_>) -> Result<Routed<ColSortSource>> {
+    let (inner, proj, cexprs) = match plan {
+        Plan::Project { input, exprs } => {
+            let plain: Option<Vec<usize>> = exprs
+                .iter()
+                .map(|e| match e {
+                    BExpr::Col(i) => Some(*i),
+                    _ => None,
+                })
+                .collect();
+            match plain {
+                Some(cols) => (input.as_ref(), Some(cols), None),
+                None => match compile_exprs(exprs) {
+                    Some(cx) => (input.as_ref(), None, Some(cx)),
+                    None => return Ok(Err(reason::EXPR_UNSUPPORTED)),
+                },
+            }
+        }
+        _ => (plan, None, None),
+    };
+    let src = match compile_scan_source(inner, ctx)? {
+        Ok(s) => s,
+        Err(why) => return Ok(Err(why)),
+    };
     Ok(Ok(ColSortSource {
-        table: ct,
-        pred,
+        table: src.table,
+        pred: src.pred,
         proj,
+        exprs: cexprs,
     }))
+}
+
+/// What a fused sort/Top-N kernel should run over.
+enum SortInput {
+    /// A computed projection materialized columnar; sort it unfiltered
+    /// (the predicate already ran inside the projection).
+    Table(tpcds_storage::ColumnTable),
+    /// The scan source directly (plain-column or absent projection).
+    Source,
+}
+
+/// Materializes a computed-projection sort input columnar, folding the
+/// projection's scan and expression numbers into the node. For
+/// plain-column sources this is a no-op ([`SortInput::Source`]).
+fn columnar_sort_input(src: &ColSortSource, node: usize, ctx: &ExecCtx<'_>) -> Result<SortInput> {
+    let Some(pexprs) = &src.exprs else {
+        return Ok(SortInput::Source);
+    };
+    let res =
+        tpcds_storage::par_project_table(&src.table, src.pred.as_ref(), pexprs, ctx.threads());
+    check_pred_err(src.pred.as_ref())?;
+    let (ptab, cs, es) = res.map_err(|e| EngineError::exec(e.0))?;
+    ctx.record_columnar(node, &cs);
+    ctx.record_expr(node, &es);
+    Ok(SortInput::Table(ptab))
+}
+
+/// Compiles expression sort keys for the rows kernels. `None` when any
+/// key needs engine context (subqueries, outer references).
+fn compile_key_exprs(keys: &[(BExpr, bool)]) -> Option<(Vec<tpcds_storage::Expr>, Vec<bool>)> {
+    let exprs = keys
+        .iter()
+        .map(|(e, _)| compile_expr(e))
+        .collect::<Option<Vec<_>>>()?;
+    Some((exprs, keys.iter().map(|(_, desc)| *desc).collect()))
+}
+
+/// Evaluates compiled sort-key expressions vectorized and appends the
+/// results as hidden columns on every row, returning the extended rows,
+/// the sort keys over the hidden positions, and the visible width (the
+/// rows kernels' `proj` drops the hidden tail from the winners).
+fn append_key_columns(
+    rows: Vec<Row>,
+    kexprs: &[tpcds_storage::Expr],
+    descs: &[bool],
+    node: usize,
+    ctx: &ExecCtx<'_>,
+) -> Result<(Vec<Row>, Vec<tpcds_storage::SortKey>, usize)> {
+    let width = rows.first().map(|r| r.len()).unwrap_or(0);
+    let (keyed, es) = tpcds_storage::par_project_rows(&rows, kexprs, ctx.threads())
+        .map_err(|e| EngineError::exec(e.0))?;
+    ctx.record_expr(node, &es);
+    let rows: Vec<Row> = rows
+        .into_iter()
+        .zip(keyed)
+        .map(|(mut r, k)| {
+            r.extend(k);
+            r
+        })
+        .collect();
+    let skeys = descs
+        .iter()
+        .enumerate()
+        .map(|(i, &desc)| tpcds_storage::SortKey {
+            col: width + i,
+            desc,
+        })
+        .collect();
+    Ok((rows, skeys, width))
 }
 
 /// Short-circuits `Limit` directly over a (possibly filtered) base-table
@@ -1370,6 +1730,9 @@ fn try_limited_input(
                 ctx.record_route(node, "Limit", RoutePath::Columnar, None);
                 let (rows, cs) =
                     tpcds_storage::par_filter_limit(&ct, pred.as_ref(), n, ctx.threads());
+                // Errors past the consumed prefix were cleared by the
+                // kernel; anything left would surface on the row path too.
+                check_pred_err(pred.as_ref())?;
                 ctx.record_columnar(node, &cs);
                 return Ok(Ok(project(rows)));
             }
@@ -1380,7 +1743,7 @@ fn try_limited_input(
     } else if t.columnar().is_none() {
         reason::NO_SHADOW
     } else {
-        reason::PRED_SHAPE
+        reason::EXPR_UNSUPPORTED
     };
     ctx.record_route(node, "Limit", RoutePath::Serial, Some(why));
     let mut out = Vec::new();

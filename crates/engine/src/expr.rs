@@ -11,7 +11,7 @@ use crate::sync::Mutex;
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use tpcds_types::{DataType, Date, Decimal, Value};
+use tpcds_types::{DataType, Value};
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,41 +43,11 @@ impl CmpOp {
     }
 }
 
-/// Arithmetic operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ArithOp {
-    /// `+`
-    Add,
-    /// `-`
-    Sub,
-    /// `*`
-    Mul,
-    /// `/`
-    Div,
-    /// `%`
-    Mod,
-}
-
-/// Scalar functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ScalarFunc {
-    /// `substr(s, start [, len])`, 1-based.
-    Substr,
-    /// `coalesce(a, b, ...)`.
-    Coalesce,
-    /// `nullif(a, b)`.
-    Nullif,
-    /// `abs(x)`.
-    Abs,
-    /// `round(x [, digits])`.
-    Round,
-    /// `lower(s)`.
-    Lower,
-    /// `upper(s)`.
-    Upper,
-    /// `char_length(s)` / `length(s)`.
-    Length,
-}
+// Arithmetic operators and scalar functions are defined in `tpcds-types`
+// so the columnar expression kernels share the exact same semantics
+// (checked overflow, decimal rescale, NULL-on-zero-divide); re-exported
+// here for existing callers.
+pub use tpcds_types::scalar::{ArithOp, ScalarFunc};
 
 /// A correlated or uncorrelated subplan embedded in an expression.
 #[derive(Clone)]
@@ -215,12 +185,9 @@ impl BExpr {
                 let rv = r.eval(row, ctx, outer)?;
                 arith(*op, &lv, &rv)
             }
-            BExpr::Neg(e) => match e.eval(row, ctx, outer)? {
-                Value::Null => Ok(Value::Null),
-                Value::Int(v) => Ok(Value::Int(-v)),
-                Value::Decimal(d) => Ok(Value::Decimal(d.neg())),
-                other => Err(EngineError::exec(format!("cannot negate {other}"))),
-            },
+            BExpr::Neg(e) => {
+                tpcds_types::scalar::neg(&e.eval(row, ctx, outer)?).map_err(EngineError::exec)
+            }
             BExpr::IsNull(e, negated) => {
                 let v = e.eval(row, ctx, outer)?;
                 Ok(Value::Bool(v.is_null() != *negated))
@@ -300,10 +267,7 @@ impl BExpr {
             BExpr::Concat(l, r) => {
                 let lv = l.eval(row, ctx, outer)?;
                 let rv = r.eval(row, ctx, outer)?;
-                if lv.is_null() || rv.is_null() {
-                    return Ok(Value::Null);
-                }
-                Ok(Value::str(format!("{}{}", lv.to_flat(), rv.to_flat())))
+                Ok(tpcds_types::scalar::concat(&lv, &rv))
             }
             BExpr::ScalarSubquery(sub, cache) => {
                 let key = memo_key(sub, row);
@@ -564,104 +528,15 @@ fn memo_key(sub: &SubPlan, row: &[Value]) -> Vec<Value> {
     sub.outer_refs.iter().map(|&i| row[i].clone()).collect()
 }
 
-/// Arithmetic with numeric widening, date arithmetic and NULL propagation.
+/// Arithmetic with numeric widening, date arithmetic and NULL propagation
+/// (shared implementation in [`tpcds_types::scalar`]).
 pub fn arith(op: ArithOp, l: &Value, r: &Value) -> Result<Value> {
-    use Value::*;
-    if l.is_null() || r.is_null() {
-        return Ok(Null);
-    }
-    // Date arithmetic: date ± int days, date - date.
-    match (l, r, op) {
-        (Date(d), Int(n), ArithOp::Add) => return Ok(Date(d.add_days(*n as i32))),
-        (Date(d), Int(n), ArithOp::Sub) => return Ok(Date(d.add_days(-*n as i32))),
-        (Int(n), Date(d), ArithOp::Add) => return Ok(Date(d.add_days(*n as i32))),
-        (Date(a), Date(b), ArithOp::Sub) => return Ok(Int(a.days_since(b) as i64)),
-        _ => {}
-    }
-    match (l, r) {
-        (Int(a), Int(b)) => match op {
-            ArithOp::Add => a
-                .checked_add(*b)
-                .map(Int)
-                .ok_or_else(|| EngineError::exec("integer overflow in +")),
-            ArithOp::Sub => a
-                .checked_sub(*b)
-                .map(Int)
-                .ok_or_else(|| EngineError::exec("integer overflow in -")),
-            ArithOp::Mul => a
-                .checked_mul(*b)
-                .map(Int)
-                .ok_or_else(|| EngineError::exec("integer overflow in *")),
-            ArithOp::Div => {
-                // Exact rational results at decimal scale (the TPC-DS
-                // ratio queries rely on this); division by zero yields
-                // NULL so predicate guards need not dominate evaluation
-                // order.
-                let ld = tpcds_types::Decimal::from_int(*a);
-                let rd = tpcds_types::Decimal::from_int(*b);
-                Ok(ld.checked_div(&rd).map(Value::Decimal).unwrap_or(Null))
-            }
-            ArithOp::Mod => {
-                if *b == 0 {
-                    Ok(Null)
-                } else {
-                    Ok(Int(a % b))
-                }
-            }
-        },
-        _ => {
-            let a = l
-                .as_decimal()
-                .ok_or_else(|| EngineError::exec(format!("non-numeric operand {l}")))?;
-            let b = r
-                .as_decimal()
-                .ok_or_else(|| EngineError::exec(format!("non-numeric operand {r}")))?;
-            if op == ArithOp::Div {
-                // NULL on division by zero, matching the integer path.
-                return Ok(a.checked_div(&b).map(Value::Decimal).unwrap_or(Null));
-            }
-            let res = match op {
-                ArithOp::Add => a.checked_add(&b),
-                ArithOp::Sub => a.checked_sub(&b),
-                ArithOp::Mul => a.checked_mul(&b),
-                ArithOp::Div | ArithOp::Mod => None,
-            };
-            res.map(Value::Decimal).ok_or_else(|| {
-                EngineError::exec(format!("decimal arithmetic failed: {l} {op:?} {r}"))
-            })
-        }
-    }
+    tpcds_types::scalar::arith(op, l, r).map_err(EngineError::exec)
 }
 
-/// CAST implementation.
+/// CAST implementation (shared implementation in [`tpcds_types::scalar`]).
 pub fn cast(v: Value, ty: DataType) -> Result<Value> {
-    if v.is_null() {
-        return Ok(Value::Null);
-    }
-    match (ty, &v) {
-        (DataType::Int, Value::Int(_)) => Ok(v),
-        (DataType::Int, Value::Decimal(d)) => Ok(Value::Int(d.rescale(0).mantissa() as i64)),
-        (DataType::Int, Value::Str(s)) => s
-            .trim()
-            .parse::<i64>()
-            .map(Value::Int)
-            .map_err(|e| EngineError::exec(format!("cannot cast {s:?} to integer: {e}"))),
-        (DataType::Decimal, Value::Decimal(_)) => Ok(v),
-        (DataType::Decimal, Value::Int(i)) => Ok(Value::Decimal(Decimal::from_int(*i))),
-        (DataType::Decimal, Value::Str(s)) => s
-            .trim()
-            .parse::<Decimal>()
-            .map(Value::Decimal)
-            .map_err(|e| EngineError::exec(format!("cannot cast {s:?} to decimal: {e}"))),
-        (DataType::Date, Value::Date(_)) => Ok(v),
-        (DataType::Date, Value::Str(s)) => s
-            .trim()
-            .parse::<Date>()
-            .map(Value::Date)
-            .map_err(|e| EngineError::exec(format!("cannot cast {s:?} to date: {e}"))),
-        (DataType::Str, other) => Ok(Value::str(other.to_flat())),
-        (want, have) => Err(EngineError::exec(format!("cannot cast {have} to {want}"))),
-    }
+    tpcds_types::scalar::cast(v, ty).map_err(EngineError::exec)
 }
 
 // SQL LIKE with `%` and `_` wildcards. The implementation lives in
@@ -670,86 +545,13 @@ pub fn cast(v: Value, ty: DataType) -> Result<Value> {
 pub use tpcds_types::like_match;
 
 fn scalar_func(f: ScalarFunc, args: &[Value]) -> Result<Value> {
-    match f {
-        ScalarFunc::Coalesce => {
-            for a in args {
-                if !a.is_null() {
-                    return Ok(a.clone());
-                }
-            }
-            Ok(Value::Null)
-        }
-        ScalarFunc::Nullif => {
-            if args.len() != 2 {
-                return Err(EngineError::exec("nullif takes 2 arguments"));
-            }
-            if args[0].sql_cmp(&args[1]) == Some(Ordering::Equal) {
-                Ok(Value::Null)
-            } else {
-                Ok(args[0].clone())
-            }
-        }
-        _ if args.iter().any(|a| a.is_null()) => Ok(Value::Null),
-        ScalarFunc::Substr => {
-            let s = args[0]
-                .as_str()
-                .ok_or_else(|| EngineError::exec("substr needs a string"))?;
-            let start = args
-                .get(1)
-                .and_then(|v| v.as_int())
-                .ok_or_else(|| EngineError::exec("substr needs a start"))?;
-            let chars: Vec<char> = s.chars().collect();
-            let from = (start.max(1) as usize - 1).min(chars.len());
-            let to = match args.get(2).and_then(|v| v.as_int()) {
-                Some(len) => (from + len.max(0) as usize).min(chars.len()),
-                None => chars.len(),
-            };
-            Ok(Value::str(chars[from..to].iter().collect::<String>()))
-        }
-        ScalarFunc::Abs => match &args[0] {
-            Value::Int(v) => Ok(Value::Int(v.abs())),
-            Value::Decimal(d) => Ok(Value::Decimal(d.abs())),
-            other => Err(EngineError::exec(format!("abs of non-number {other}"))),
-        },
-        ScalarFunc::Round => {
-            let digits = args.get(1).and_then(|v| v.as_int()).unwrap_or(0).max(0) as u8;
-            match &args[0] {
-                Value::Int(v) => Ok(Value::Int(*v)),
-                Value::Decimal(d) => {
-                    // rescale with rounding: add half an ulp then truncate
-                    let target = d.rescale(digits + 1);
-                    let m = target.mantissa();
-                    let rounded = if m >= 0 { (m + 5) / 10 } else { (m - 5) / 10 };
-                    Ok(Value::Decimal(Decimal::new(rounded, digits)))
-                }
-                other => Err(EngineError::exec(format!("round of non-number {other}"))),
-            }
-        }
-        ScalarFunc::Lower => Ok(Value::str(
-            args[0]
-                .as_str()
-                .ok_or_else(|| EngineError::exec("lower needs a string"))?
-                .to_lowercase(),
-        )),
-        ScalarFunc::Upper => Ok(Value::str(
-            args[0]
-                .as_str()
-                .ok_or_else(|| EngineError::exec("upper needs a string"))?
-                .to_uppercase(),
-        )),
-        ScalarFunc::Length => Ok(Value::Int(
-            args[0]
-                .as_str()
-                .ok_or_else(|| EngineError::exec("length needs a string"))?
-                .chars()
-                .count() as i64,
-        )),
-    }
+    tpcds_types::scalar::scalar_func(f, args).map_err(EngineError::exec)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tpcds_types::Date;
 
     #[test]
     fn like_semantics() {

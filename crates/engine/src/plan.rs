@@ -411,6 +411,15 @@ impl Plan {
                             s.heap_rows, s.pruned_rows
                         ));
                     }
+                    // Vectorized expression kernel actuals: invocation
+                    // count (one per morsel per expression) and rows fed
+                    // through those kernels.
+                    if s.expr_kernels > 0 {
+                        columnar.push_str(&format!(
+                            " expr_kernels={} expr_rows={}",
+                            s.expr_kernels, s.expr_rows
+                        ));
+                    }
                     // mem_peak needs the counting allocator installed in
                     // the running binary; without it the delta is 0 and
                     // the annotation is omitted.

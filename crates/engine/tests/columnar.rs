@@ -121,16 +121,46 @@ fn compiled_predicates_cover_the_filter_grammar() {
 }
 
 #[test]
-fn uncompilable_predicates_fall_back_to_rows() {
+fn expression_predicates_route_columnar() {
     let db = sales_db();
-    // Arithmetic and column-to-column comparisons are outside the
-    // vectorized grammar: results must still match via the row fallback.
+    // Arithmetic, column-to-column comparisons, CASE and scalar functions
+    // compile through the expression kernels now — the forced run must
+    // stay on the columnar path and agree with the row oracle.
     for sql in [
         "select id from sales where qty + 1 = 3",
         "select id from sales where id = qty",
+        "select id from sales where qty * 2 - 1 > id / 10",
+        "select id from sales where price * 2 >= 14.82",
+        "select id from sales where coalesce(qty, 9) = 9",
+        "select id from sales where nullif(qty, 3) is null",
+        "select id from sales where case when qty > 3 then 'hi' else 'lo' end = 'hi'",
+        "select id from sales where -qty < -4",
+        "select id from sales where abs(qty - 4) <= 1",
     ] {
-        assert!(!check(&db, sql), "unexpected columnar route for: {sql}");
+        assert!(check(&db, sql), "expected columnar route for: {sql}");
     }
+}
+
+#[test]
+fn computed_projections_route_columnar() {
+    let db = sales_db();
+    // Computed SELECT lists fuse the Project into the scan: the forced
+    // plan carries morsel actuals and expression-kernel counters.
+    let sql = "select id + 1, qty * 2, price * 3, \
+               case when qty is null then 'none' else city end from sales where id < 200";
+    let row = tpcds_engine::query_with(&db, sql, OFF).unwrap();
+    let col = tpcds_engine::query_analyze_with(&db, sql, FORCE).unwrap();
+    assert_eq!(canon(&row.rows), canon(&col.result.rows), "{sql}");
+    assert!(
+        col.plan_text.contains("morsels="),
+        "expected fused computed project:\n{}",
+        col.plan_text
+    );
+    assert!(
+        col.plan_text.contains("expr_kernels="),
+        "expected expr kernel actuals:\n{}",
+        col.plan_text
+    );
 }
 
 #[test]
@@ -274,17 +304,21 @@ fn hash_join_over_scans_takes_columnar_path() {
 }
 
 #[test]
-fn join_with_residual_falls_back_to_rows() {
+fn join_with_residual_routes_columnar() {
     let db = join_db();
-    // The residual compares columns across the two sides: the kernel's
-    // predicates evaluate over one segment, so the join must fall back —
-    // and still agree with the row path.
-    let sql = "select s.id, d.name from sales s join dims d on s.qty = d.k and s.id > d.k";
-    let plan = check_join(&db, sql);
-    assert!(
-        !plan.contains("build_rows="),
-        "residual join must not route columnar:\n{plan}"
-    );
+    // The residual compares columns across the two sides: it now runs as a
+    // compiled expression inside the partitioned probe loop, byte-identical
+    // to the row path at every worker count.
+    for sql in [
+        "select s.id, d.name from sales s join dims d on s.qty = d.k and s.id > d.k",
+        "select s.id, d.name from sales s left join dims d on s.qty = d.k and s.id + d.k > 7",
+    ] {
+        let plan = check_join(&db, sql);
+        assert!(
+            plan.contains("build_rows=") && plan.contains("partitions="),
+            "expected columnar residual join for: {sql}\n{plan}"
+        );
+    }
 }
 
 #[test]

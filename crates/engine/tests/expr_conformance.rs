@@ -1,0 +1,190 @@
+//! Row-path vs expression-kernel conformance: the interpreted row path is
+//! the correctness oracle, and every compiled kernel must reproduce its
+//! results — and its *errors* — bit for bit, at every worker count.
+//!
+//! The cases here pin the arithmetic edge semantics the kernels share with
+//! `tpcds_types::scalar`: checked i64 overflow (same message, first-row-wins
+//! precedence), Decimal rescale through mixed-scale arithmetic, division and
+//! modulo by zero yielding NULL (never an error), and NULL propagation
+//! through CASE / COALESCE / NULLIF.
+
+use tpcds_engine::{ColumnMeta, ColumnarMode, Database, ExecOptions};
+use tpcds_types::{DataType, Decimal, Row, Value};
+
+const OFF: ExecOptions = ExecOptions {
+    columnar: ColumnarMode::Off,
+    threads: None,
+};
+
+fn force(threads: usize) -> ExecOptions {
+    ExecOptions {
+        columnar: ColumnarMode::Force,
+        threads: Some(threads),
+    }
+}
+
+/// 300 well-behaved rows; `edge_db` swaps in poisoned values near the i64
+/// boundaries when a test needs overflow to actually fire.
+fn db_with(big: impl Fn(i64) -> Value) -> Database {
+    let db = Database::new();
+    let meta = vec![
+        ColumnMeta {
+            name: "id".into(),
+            dtype: DataType::Int,
+        },
+        ColumnMeta {
+            name: "n".into(),
+            dtype: DataType::Int,
+        },
+        ColumnMeta {
+            name: "big".into(),
+            dtype: DataType::Int,
+        },
+        ColumnMeta {
+            name: "amt".into(),
+            dtype: DataType::Decimal,
+        },
+    ];
+    let rows: Vec<Row> = (0..300i64)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 5 - 2) // includes zeros for div-by-zero
+                },
+                big(i),
+                Value::Decimal(Decimal::from_cents(i * 17 - 400)),
+            ]
+        })
+        .collect();
+    db.create_table_with_rows("t", meta, rows).unwrap();
+    db.build_columnar_shadows();
+    db
+}
+
+fn plain_db() -> Database {
+    db_with(|i| Value::Int(i * 1000))
+}
+
+/// Rows 100 and 200 carry i64::MAX / i64::MIN: any +/-/* over them traps.
+fn edge_db() -> Database {
+    db_with(|i| match i {
+        100 => Value::Int(i64::MAX),
+        200 => Value::Int(i64::MIN),
+        _ => Value::Int(i),
+    })
+}
+
+/// Oracle run (row path, single thread) vs kernels at 1/2/8 workers: all
+/// four runs must agree byte-for-byte.
+fn assert_parity(db: &Database, sql: &str) {
+    let oracle = tpcds_engine::query_with(db, sql, OFF).unwrap();
+    for threads in [1, 2, 8] {
+        let k = tpcds_engine::query_with(db, sql, force(threads)).unwrap();
+        assert_eq!(
+            oracle.rows, k.rows,
+            "kernel diverges from row path for: {sql} (threads={threads})"
+        );
+    }
+}
+
+/// Both paths must fail, with the *same* message, at every worker count —
+/// the deferred-error cell keeps the lowest row key so parallel kernels
+/// report the same first error the serial row loop hits.
+fn assert_error_parity(db: &Database, sql: &str) {
+    let oracle = tpcds_engine::query_with(db, sql, OFF)
+        .unwrap_err()
+        .to_string();
+    for threads in [1, 2, 8] {
+        let k = tpcds_engine::query_with(db, sql, force(threads))
+            .unwrap_err()
+            .to_string();
+        assert_eq!(
+            oracle, k,
+            "error message diverges for: {sql} (threads={threads})"
+        );
+    }
+}
+
+#[test]
+fn integer_overflow_messages_match_the_row_path() {
+    let db = edge_db();
+    for sql in [
+        "select big + 1 from t",
+        "select big - 1 from t where id >= 150", // only the MIN row traps
+        "select big * 3 from t",
+        "select id from t where big + 1 > 0",
+        "select id from t order by big * 2",
+    ] {
+        assert_error_parity(&db, sql);
+    }
+    // The overflow messages themselves are pinned to the shared scalar
+    // vocabulary, not some kernel-specific wording.
+    let e = tpcds_engine::query_with(&db, "select big + 1 from t", force(8)).unwrap_err();
+    assert!(
+        e.to_string().contains("integer overflow in +"),
+        "unexpected message: {e}"
+    );
+}
+
+#[test]
+fn division_and_modulo_by_zero_yield_null_not_errors() {
+    let db = plain_db();
+    // n cycles through -2..=2, so zero divisors occur mid-segment.
+    for sql in [
+        "select id, id / n from t",
+        "select id, id % n from t",
+        "select id, amt / n from t",
+        "select id from t where id / n > 10",
+        "select id from t where id % n = 0",
+    ] {
+        assert_parity(&db, sql);
+    }
+    // And the NULL actually lands where the divisor is zero.
+    let r = tpcds_engine::query_with(&db, "select id / n from t where n = 0", force(8)).unwrap();
+    assert!(r.rows.iter().all(|row| row[0] == Value::Null));
+}
+
+#[test]
+fn decimal_rescale_is_identical_across_paths() {
+    let db = plain_db();
+    for sql in [
+        "select amt * 3, amt + 0.005, amt - 1.25 from t",
+        "select amt * 1.5 from t where amt * 1.5 > 2.00",
+        "select id / 4, amt / 7 from t", // Int / Int widens to Decimal too
+        "select id from t order by amt * -1.01, id",
+    ] {
+        assert_parity(&db, sql);
+    }
+}
+
+#[test]
+fn null_propagation_through_case_coalesce_nullif() {
+    let db = plain_db();
+    for sql in [
+        "select case when n > 0 then id else -id end from t",
+        "select case when n + 1 > 0 then 'pos' end from t", // NULL arm via missing ELSE
+        "select coalesce(n, id, 0) from t",
+        "select nullif(n, 0), nullif(id, 5) from t",
+        "select case when n is null then coalesce(n, -1) else nullif(n, 2) end from t",
+        "select id from t where case when n = 0 then null else n end > 0",
+    ] {
+        assert_parity(&db, sql);
+    }
+}
+
+#[test]
+fn mixed_expression_shapes_agree_everywhere() {
+    let db = plain_db();
+    for sql in [
+        "select id + n * 2 - 1 from t",
+        "select -n, abs(n), abs(amt) from t",
+        "select id from t where id + 1 between 50 and 60",
+        "select id, n from t where n * n >= 4 order by id desc limit 25",
+        "select id from t where coalesce(n, 0) * id < 100 and id > 10",
+    ] {
+        assert_parity(&db, sql);
+    }
+}

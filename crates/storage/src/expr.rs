@@ -1,0 +1,1472 @@
+//! Vectorized scalar-expression kernels over 64k-row segments.
+//!
+//! [`Expr`] is the compiled, subquery-free form of the engine's scalar
+//! expression AST: checked-i64 / exact-decimal arithmetic, CASE,
+//! COALESCE/NULLIF and friends, string ops, and comparisons nested in
+//! boolean trees. Evaluation is batch-at-a-time over one morsel of a
+//! [`Segment`] (or a slice of materialized rows), producing typed output
+//! vectors with null bitmaps.
+//!
+//! The engine's row-at-a-time evaluator is the correctness oracle; both
+//! paths call the *same* scalar functions (`tpcds_types::scalar`), so
+//! arithmetic edge cases agree by construction. The one batch-specific
+//! subtlety is error timing: the row path stops at the first row whose
+//! expression errors, while a kernel evaluates whole vectors eagerly.
+//! Kernels therefore **defer** per-row errors ([`Evaled`]) and mask them
+//! wherever the row path would never have evaluated that subexpression
+//! (short-circuit AND/OR, untaken CASE arms, IN-list items after a hit,
+//! rows a filter rejects) — then surface the first surviving error in
+//! row order, which is exactly the error the row path raises.
+
+use crate::column::{Bitmap, ColumnData};
+use crate::morsel::{emit_counters, morsels_of, worker_count, ScanStats, MORSEL_ROWS};
+use crate::pred::{CmpKind, Pred, P_FALSE, P_NULL, P_TRUE};
+use crate::segment::{ColumnTable, ColumnTableBuilder, Segment, SEGMENT_ROWS};
+use crate::StorageError;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
+use tpcds_types::scalar;
+use tpcds_types::{like_match, ArithOp, DataType, Date, Decimal, Row, ScalarFunc, Value};
+
+/// A compiled scalar expression over the columns of one input relation.
+///
+/// Mirrors the engine's expression AST minus subqueries and outer-column
+/// references (the engine refuses to compile those shapes).
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Input column by index.
+    Col(usize),
+    /// A literal constant.
+    Lit(Value),
+    /// `l <op> r` under `Value::sql_cmp` semantics.
+    Cmp(CmpKind, Box<Expr>, Box<Expr>),
+    /// Kleene AND (short-circuit masking matches the row path).
+    And(Box<Expr>, Box<Expr>),
+    /// Kleene OR (short-circuit masking matches the row path).
+    Or(Box<Expr>, Box<Expr>),
+    /// Kleene NOT.
+    Not(Box<Expr>),
+    /// Arithmetic via [`tpcds_types::scalar::arith`].
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Unary minus via [`tpcds_types::scalar::neg`].
+    Neg(Box<Expr>),
+    /// `e IS [NOT] NULL`; the bool is the NOT.
+    IsNull(Box<Expr>, bool),
+    /// `e [NOT] LIKE pattern`; the bool is the NOT.
+    Like(Box<Expr>, Box<Expr>, bool),
+    /// `e [NOT] IN (items…)`; the bool is the NOT. Items are consumed
+    /// lazily per row, like the row path.
+    InList(Box<Expr>, Vec<Expr>, bool),
+    /// `e [NOT] BETWEEN lo AND hi`; the bool is the NOT.
+    Between(Box<Expr>, Box<Expr>, Box<Expr>, bool),
+    /// Simple or searched CASE.
+    Case {
+        /// Simple-CASE operand (`CASE x WHEN …`); `None` for searched.
+        operand: Option<Box<Expr>>,
+        /// `(WHEN condition, THEN result)` pairs in order.
+        branches: Vec<(Expr, Expr)>,
+        /// `ELSE` result; missing means NULL.
+        else_branch: Option<Box<Expr>>,
+    },
+    /// `CAST(e AS ty)` via [`tpcds_types::scalar::cast`].
+    Cast(Box<Expr>, DataType),
+    /// Scalar function call via [`tpcds_types::scalar::scalar_func`].
+    Func(ScalarFunc, Vec<Expr>),
+    /// `l || r` via [`tpcds_types::scalar::concat`].
+    Concat(Box<Expr>, Box<Expr>),
+}
+
+/// The relation a kernel evaluates over: a columnar segment or a slice of
+/// already-materialized rows (join output, grouped HAVING input).
+#[derive(Clone, Copy, Debug)]
+pub enum ExprInput<'a> {
+    /// One segment of a columnar shadow.
+    Seg(&'a Segment),
+    /// Materialized rows (column index = position in each row).
+    Rows(&'a [Row]),
+}
+
+impl ExprInput<'_> {
+    /// Loads column `ci` over rows `start .. start+len` as a vector.
+    fn col_vect(&self, ci: usize, start: usize, len: usize) -> Vect {
+        match self {
+            ExprInput::Seg(seg) => {
+                let col = &seg.columns[ci];
+                let nulls = slice_bits(&col.nulls, start, len);
+                match &col.data {
+                    ColumnData::I64(buf) => Vect::I64(buf[start..start + len].to_vec(), nulls),
+                    ColumnData::Decimal(buf) => Vect::Dec(buf[start..start + len].to_vec(), nulls),
+                    ColumnData::Date(buf) => Vect::Date(buf[start..start + len].to_vec(), nulls),
+                    ColumnData::Str(buf) => Vect::Str(buf[start..start + len].to_vec(), nulls),
+                    // Other buffers store real `Value`s (NULL slots included).
+                    ColumnData::Other(buf) => Vect::Val(buf[start..start + len].to_vec()),
+                }
+            }
+            ExprInput::Rows(rows) => Vect::Val(
+                rows[start..start + len]
+                    .iter()
+                    .map(|r| r.get(ci).cloned().unwrap_or(Value::Null))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Copies `len` bits starting at `start` out of a null bitmap.
+fn slice_bits(src: &Bitmap, start: usize, len: usize) -> Bitmap {
+    let mut out = Bitmap::new();
+    for i in start..start + len {
+        out.push(src.get(i));
+    }
+    out
+}
+
+/// A typed batch of values: dense native buffers with a null bitmap for
+/// the common types, a tri-state byte vector for boolean subtrees, a
+/// single constant for literals, and boxed values as the fallback.
+enum Vect {
+    I64(Vec<i64>, Bitmap),
+    Dec(Vec<Decimal>, Bitmap),
+    Date(Vec<Date>, Bitmap),
+    Str(Vec<Arc<str>>, Bitmap),
+    Tri(Vec<u8>),
+    Const(Value),
+    Val(Vec<Value>),
+}
+
+impl Vect {
+    /// Materializes element `i` as a [`Value`].
+    fn get(&self, i: usize) -> Value {
+        match self {
+            Vect::I64(buf, n) => tern(n.get(i), Value::Int(buf[i])),
+            Vect::Dec(buf, n) => tern(n.get(i), Value::Decimal(buf[i])),
+            Vect::Date(buf, n) => tern(n.get(i), Value::Date(buf[i])),
+            Vect::Str(buf, n) => tern(n.get(i), Value::Str(Arc::clone(&buf[i]))),
+            Vect::Tri(t) => match t[i] {
+                P_TRUE => Value::Bool(true),
+                P_FALSE => Value::Bool(false),
+                _ => Value::Null,
+            },
+            Vect::Const(v) => v.clone(),
+            Vect::Val(vs) => vs[i].clone(),
+        }
+    }
+
+    /// Whether element `i` is NULL, without materializing it.
+    fn is_null_at(&self, i: usize) -> bool {
+        match self {
+            Vect::I64(_, n) | Vect::Dec(_, n) | Vect::Date(_, n) | Vect::Str(_, n) => n.get(i),
+            Vect::Tri(t) => t[i] == P_NULL,
+            Vect::Const(v) => v.is_null(),
+            Vect::Val(vs) => vs[i].is_null(),
+        }
+    }
+}
+
+#[inline]
+fn tern(null: bool, v: Value) -> Value {
+    if null {
+        Value::Null
+    } else {
+        v
+    }
+}
+
+#[inline]
+fn tri_u8(b: bool) -> u8 {
+    if b {
+        P_TRUE
+    } else {
+        P_FALSE
+    }
+}
+
+/// The tri-state a value has when used as a condition: exactly the row
+/// path's `as_bool()` plus its `== Bool(false)` / `== Bool(true)`
+/// short-circuit tests (non-boolean, non-NULL values act as UNKNOWN).
+#[inline]
+fn value_tri(v: &Value) -> u8 {
+    match v {
+        Value::Bool(true) => P_TRUE,
+        Value::Bool(false) => P_FALSE,
+        _ => P_NULL,
+    }
+}
+
+/// Renders any vector as tri-state condition bytes.
+fn to_tri(v: &Vect, len: usize) -> Vec<u8> {
+    match v {
+        Vect::Tri(t) => t.clone(),
+        Vect::Const(c) => vec![value_tri(c); len],
+        _ => (0..len).map(|i| value_tri(&v.get(i))).collect(),
+    }
+}
+
+/// A batch result: the value vector plus **deferred** per-row errors
+/// (local row index → message). An errored row holds a NULL placeholder
+/// in `v`; consumers must either propagate the error or be a context in
+/// which the row path provably never evaluates this subexpression.
+struct Evaled {
+    v: Vect,
+    errs: BTreeMap<usize, String>,
+}
+
+impl Evaled {
+    fn ok(v: Vect) -> Evaled {
+        Evaled {
+            v,
+            errs: BTreeMap::new(),
+        }
+    }
+}
+
+/// Merges `src` errors into `dst`, keeping `dst`'s message on conflict
+/// (callers merge in row-path evaluation order, so first-in wins).
+fn merge_errs(dst: &mut BTreeMap<usize, String>, src: BTreeMap<usize, String>) {
+    for (k, v) in src {
+        dst.entry(k).or_insert(v);
+    }
+}
+
+/// Pre-resolved i64 access for the arithmetic/comparison fast paths:
+/// either a dense buffer with its bitmap or a constant.
+enum I64Src<'a> {
+    Buf(&'a [i64], &'a Bitmap),
+    Cst(Option<i64>),
+}
+
+impl I64Src<'_> {
+    #[inline]
+    fn at(&self, i: usize) -> Option<i64> {
+        match self {
+            I64Src::Buf(buf, n) => {
+                if n.get(i) {
+                    None
+                } else {
+                    Some(buf[i])
+                }
+            }
+            I64Src::Cst(o) => *o,
+        }
+    }
+}
+
+fn i64_src(v: &Vect) -> Option<I64Src<'_>> {
+    match v {
+        Vect::I64(buf, n) => Some(I64Src::Buf(buf, n)),
+        Vect::Const(Value::Int(x)) => Some(I64Src::Cst(Some(*x))),
+        Vect::Const(Value::Null) => Some(I64Src::Cst(None)),
+        _ => None,
+    }
+}
+
+impl Expr {
+    /// Evaluates the expression over rows `start .. start+len`, returning
+    /// the batch with deferred errors.
+    fn eval_vect(&self, input: &ExprInput<'_>, start: usize, len: usize) -> Evaled {
+        match self {
+            Expr::Col(ci) => Evaled::ok(input.col_vect(*ci, start, len)),
+            Expr::Lit(v) => Evaled::ok(Vect::Const(v.clone())),
+            Expr::Cmp(op, l, r) => {
+                let le = l.eval_vect(input, start, len);
+                let re = r.eval_vect(input, start, len);
+                let mut errs = le.errs;
+                merge_errs(&mut errs, re.errs);
+                let mut t = vec![P_NULL; len];
+                if let (Some(x), Some(y)) = (i64_src(&le.v), i64_src(&re.v)) {
+                    for (i, o) in t.iter_mut().enumerate() {
+                        if let (Some(a), Some(b)) = (x.at(i), y.at(i)) {
+                            *o = tri_u8(op.test(a.cmp(&b)));
+                        }
+                    }
+                } else {
+                    for (i, o) in t.iter_mut().enumerate() {
+                        if let Some(ord) = le.v.get(i).sql_cmp(&re.v.get(i)) {
+                            *o = tri_u8(op.test(ord));
+                        }
+                    }
+                }
+                Evaled {
+                    v: Vect::Tri(t),
+                    errs,
+                }
+            }
+            Expr::And(l, r) => {
+                let le = l.eval_vect(input, start, len);
+                let re = r.eval_vect(input, start, len);
+                let lt = to_tri(&le.v, len);
+                let rt = to_tri(&re.v, len);
+                let mut errs = le.errs;
+                // The row path only evaluates the rhs when the lhs is not
+                // FALSE — rhs errors on FALSE-lhs rows never fire.
+                for (j, m) in re.errs {
+                    if lt[j] != P_FALSE {
+                        errs.entry(j).or_insert(m);
+                    }
+                }
+                let t = lt
+                    .iter()
+                    .zip(&rt)
+                    .map(|(&a, &b)| match (a, b) {
+                        (P_FALSE, _) | (_, P_FALSE) => P_FALSE,
+                        (P_TRUE, P_TRUE) => P_TRUE,
+                        _ => P_NULL,
+                    })
+                    .collect();
+                Evaled {
+                    v: Vect::Tri(t),
+                    errs,
+                }
+            }
+            Expr::Or(l, r) => {
+                let le = l.eval_vect(input, start, len);
+                let re = r.eval_vect(input, start, len);
+                let lt = to_tri(&le.v, len);
+                let rt = to_tri(&re.v, len);
+                let mut errs = le.errs;
+                // Row path short-circuits on a TRUE lhs.
+                for (j, m) in re.errs {
+                    if lt[j] != P_TRUE {
+                        errs.entry(j).or_insert(m);
+                    }
+                }
+                let t = lt
+                    .iter()
+                    .zip(&rt)
+                    .map(|(&a, &b)| match (a, b) {
+                        (P_TRUE, _) | (_, P_TRUE) => P_TRUE,
+                        (P_FALSE, P_FALSE) => P_FALSE,
+                        _ => P_NULL,
+                    })
+                    .collect();
+                Evaled {
+                    v: Vect::Tri(t),
+                    errs,
+                }
+            }
+            Expr::Not(c) => {
+                let ce = c.eval_vect(input, start, len);
+                let mut t = to_tri(&ce.v, len);
+                for o in t.iter_mut() {
+                    *o = match *o {
+                        P_TRUE => P_FALSE,
+                        P_FALSE => P_TRUE,
+                        _ => P_NULL,
+                    };
+                }
+                Evaled {
+                    v: Vect::Tri(t),
+                    errs: ce.errs,
+                }
+            }
+            Expr::Arith(op, l, r) => {
+                let le = l.eval_vect(input, start, len);
+                let re = r.eval_vect(input, start, len);
+                let mut errs = le.errs;
+                merge_errs(&mut errs, re.errs);
+                if let (Some(x), Some(y)) = (i64_src(&le.v), i64_src(&re.v)) {
+                    return arith_i64(*op, &x, &y, len, errs);
+                }
+                let mut vals = Vec::with_capacity(len);
+                for i in 0..len {
+                    if errs.contains_key(&i) {
+                        vals.push(Value::Null);
+                        continue;
+                    }
+                    match scalar::arith(*op, &le.v.get(i), &re.v.get(i)) {
+                        Ok(v) => vals.push(v),
+                        Err(m) => {
+                            errs.insert(i, m);
+                            vals.push(Value::Null);
+                        }
+                    }
+                }
+                Evaled {
+                    v: Vect::Val(vals),
+                    errs,
+                }
+            }
+            Expr::Neg(c) => {
+                let ce = c.eval_vect(input, start, len);
+                let mut errs = ce.errs;
+                let mut vals = Vec::with_capacity(len);
+                for i in 0..len {
+                    if errs.contains_key(&i) {
+                        vals.push(Value::Null);
+                        continue;
+                    }
+                    match scalar::neg(&ce.v.get(i)) {
+                        Ok(v) => vals.push(v),
+                        Err(m) => {
+                            errs.insert(i, m);
+                            vals.push(Value::Null);
+                        }
+                    }
+                }
+                Evaled {
+                    v: Vect::Val(vals),
+                    errs,
+                }
+            }
+            Expr::IsNull(c, negated) => {
+                let ce = c.eval_vect(input, start, len);
+                let t = (0..len)
+                    .map(|i| tri_u8(ce.v.is_null_at(i) != *negated))
+                    .collect();
+                Evaled {
+                    v: Vect::Tri(t),
+                    errs: ce.errs,
+                }
+            }
+            Expr::Like(l, p, negated) => {
+                let le = l.eval_vect(input, start, len);
+                let pe = p.eval_vect(input, start, len);
+                let mut errs = le.errs;
+                merge_errs(&mut errs, pe.errs);
+                let mut t = vec![P_NULL; len];
+                for (i, o) in t.iter_mut().enumerate() {
+                    let lv = le.v.get(i);
+                    let pv = pe.v.get(i);
+                    if let (Some(s), Some(pat)) = (lv.as_str(), pv.as_str()) {
+                        *o = tri_u8(like_match(s, pat) != *negated);
+                    }
+                }
+                Evaled {
+                    v: Vect::Tri(t),
+                    errs,
+                }
+            }
+            Expr::InList(op_e, items, negated) => {
+                let oe = op_e.eval_vect(input, start, len);
+                let mut errs = oe.errs;
+                // Items are batch-evaluated eagerly but *consumed* lazily
+                // per row below, so an item error past a hit — or past a
+                // NULL operand — is dropped exactly like the row path,
+                // which never evaluates that item.
+                let its: Vec<Evaled> = items
+                    .iter()
+                    .map(|it| it.eval_vect(input, start, len))
+                    .collect();
+                let mut t = vec![P_NULL; len];
+                for (j, o) in t.iter_mut().enumerate() {
+                    if errs.contains_key(&j) {
+                        continue; // operand errored: stays UNKNOWN, error kept
+                    }
+                    let v = oe.v.get(j);
+                    if v.is_null() {
+                        continue; // NULL operand: items never consumed
+                    }
+                    let mut saw_null = false;
+                    let mut res: Option<u8> = None;
+                    for it in &its {
+                        if let Some(m) = it.errs.get(&j) {
+                            errs.entry(j).or_insert_with(|| m.clone());
+                            res = Some(P_NULL);
+                            break;
+                        }
+                        let iv = it.v.get(j);
+                        match v.sql_cmp(&iv) {
+                            Some(std::cmp::Ordering::Equal) => {
+                                res = Some(tri_u8(!*negated));
+                                break;
+                            }
+                            None if iv.is_null() => saw_null = true,
+                            _ => {}
+                        }
+                    }
+                    *o = res.unwrap_or(if saw_null { P_NULL } else { tri_u8(*negated) });
+                }
+                Evaled {
+                    v: Vect::Tri(t),
+                    errs,
+                }
+            }
+            Expr::Between(v_e, lo_e, hi_e, negated) => {
+                let ve = v_e.eval_vect(input, start, len);
+                let le = lo_e.eval_vect(input, start, len);
+                let he = hi_e.eval_vect(input, start, len);
+                let mut errs = ve.errs;
+                merge_errs(&mut errs, le.errs);
+                merge_errs(&mut errs, he.errs);
+                let mut t = vec![P_NULL; len];
+                for (i, o) in t.iter_mut().enumerate() {
+                    let v = ve.v.get(i);
+                    if let (Some(a), Some(b)) = (v.sql_cmp(&le.v.get(i)), v.sql_cmp(&he.v.get(i))) {
+                        let inside =
+                            a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater;
+                        *o = tri_u8(inside != *negated);
+                    }
+                }
+                Evaled {
+                    v: Vect::Tri(t),
+                    errs,
+                }
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => {
+                let mut errs: BTreeMap<usize, String> = BTreeMap::new();
+                let mut decided = vec![false; len];
+                let mut vals = vec![Value::Null; len];
+                let op_ev = operand.as_ref().map(|o| o.eval_vect(input, start, len));
+                if let Some(oe) = &op_ev {
+                    for (&j, m) in &oe.errs {
+                        errs.entry(j).or_insert_with(|| m.clone());
+                        decided[j] = true;
+                    }
+                }
+                for (cond, res) in branches {
+                    if decided.iter().all(|d| *d) {
+                        break;
+                    }
+                    let ce = cond.eval_vect(input, start, len);
+                    let mut hits = Vec::new();
+                    for (j, d) in decided.iter_mut().enumerate() {
+                        if *d {
+                            continue; // earlier branch took this row:
+                                      // this condition never runs there
+                        }
+                        if let Some(m) = ce.errs.get(&j) {
+                            errs.entry(j).or_insert_with(|| m.clone());
+                            *d = true;
+                            continue;
+                        }
+                        let hit = match &op_ev {
+                            Some(oe) => {
+                                oe.v.get(j).sql_cmp(&ce.v.get(j)) == Some(std::cmp::Ordering::Equal)
+                            }
+                            None => ce.v.get(j) == Value::Bool(true),
+                        };
+                        if hit {
+                            hits.push(j);
+                        }
+                    }
+                    if hits.is_empty() {
+                        continue;
+                    }
+                    // Only the taken branch's result is consumed per row.
+                    let re = res.eval_vect(input, start, len);
+                    for j in hits {
+                        if let Some(m) = re.errs.get(&j) {
+                            errs.entry(j).or_insert_with(|| m.clone());
+                        } else {
+                            vals[j] = re.v.get(j);
+                        }
+                        decided[j] = true;
+                    }
+                }
+                if let Some(eb) = else_branch {
+                    if !decided.iter().all(|d| *d) {
+                        let ee = eb.eval_vect(input, start, len);
+                        for (j, d) in decided.iter_mut().enumerate() {
+                            if *d {
+                                continue;
+                            }
+                            if let Some(m) = ee.errs.get(&j) {
+                                errs.entry(j).or_insert_with(|| m.clone());
+                            } else {
+                                vals[j] = ee.v.get(j);
+                            }
+                            *d = true;
+                        }
+                    }
+                }
+                Evaled {
+                    v: Vect::Val(vals),
+                    errs,
+                }
+            }
+            Expr::Cast(c, ty) => {
+                let ce = c.eval_vect(input, start, len);
+                let mut errs = ce.errs;
+                let mut vals = Vec::with_capacity(len);
+                for i in 0..len {
+                    if errs.contains_key(&i) {
+                        vals.push(Value::Null);
+                        continue;
+                    }
+                    match scalar::cast(ce.v.get(i), *ty) {
+                        Ok(v) => vals.push(v),
+                        Err(m) => {
+                            errs.insert(i, m);
+                            vals.push(Value::Null);
+                        }
+                    }
+                }
+                Evaled {
+                    v: Vect::Val(vals),
+                    errs,
+                }
+            }
+            Expr::Func(f, args) => {
+                let evs: Vec<Evaled> = args
+                    .iter()
+                    .map(|a| a.eval_vect(input, start, len))
+                    .collect();
+                let mut errs: BTreeMap<usize, String> = BTreeMap::new();
+                for e in &evs {
+                    for (&j, m) in &e.errs {
+                        errs.entry(j).or_insert_with(|| m.clone());
+                    }
+                }
+                let mut vals = Vec::with_capacity(len);
+                let mut argv: Vec<Value> = Vec::with_capacity(evs.len());
+                for j in 0..len {
+                    if errs.contains_key(&j) {
+                        vals.push(Value::Null);
+                        continue;
+                    }
+                    argv.clear();
+                    argv.extend(evs.iter().map(|e| e.v.get(j)));
+                    match scalar::scalar_func(*f, &argv) {
+                        Ok(v) => vals.push(v),
+                        Err(m) => {
+                            errs.insert(j, m);
+                            vals.push(Value::Null);
+                        }
+                    }
+                }
+                Evaled {
+                    v: Vect::Val(vals),
+                    errs,
+                }
+            }
+            Expr::Concat(l, r) => {
+                let le = l.eval_vect(input, start, len);
+                let re = r.eval_vect(input, start, len);
+                let mut errs = le.errs;
+                merge_errs(&mut errs, re.errs);
+                let mut vals = Vec::with_capacity(len);
+                for i in 0..len {
+                    if errs.contains_key(&i) {
+                        vals.push(Value::Null);
+                        continue;
+                    }
+                    vals.push(scalar::concat(&le.v.get(i), &re.v.get(i)));
+                }
+                Evaled {
+                    v: Vect::Val(vals),
+                    errs,
+                }
+            }
+        }
+    }
+
+    /// Evaluates to one [`Value`] per row, or the first error in row
+    /// order as `(local row index, message)` — the error the row path
+    /// raises.
+    pub fn eval_values(
+        &self,
+        input: &ExprInput<'_>,
+        start: usize,
+        len: usize,
+    ) -> Result<Vec<Value>, (usize, String)> {
+        let Evaled { v, errs } = self.eval_vect(input, start, len);
+        if let Some((j, msg)) = errs.into_iter().next() {
+            return Err((j, msg));
+        }
+        Ok((0..len).map(|i| v.get(i)).collect())
+    }
+
+    /// Evaluates as a predicate into tri-state bytes (strict-TRUE admits,
+    /// like the row path's `== Bool(true)` match test). `out` is always
+    /// fully filled — errored rows read FALSE — and the first error in
+    /// row order is returned so callers can decide whether it survives
+    /// (e.g. a LIMIT that stops before the erroring row).
+    pub fn eval_tri(
+        &self,
+        input: &ExprInput<'_>,
+        start: usize,
+        len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), (usize, String)> {
+        let Evaled { v, errs } = self.eval_vect(input, start, len);
+        *out = to_tri(&v, len);
+        for &j in errs.keys() {
+            out[j] = P_FALSE;
+        }
+        match errs.into_iter().next() {
+            Some((j, msg)) => Err((j, msg)),
+            None => Ok(()),
+        }
+    }
+
+    /// Best-effort output type, used to pick column buffers when a
+    /// computed projection feeds [`par_project_table`]. A wrong hint is
+    /// safe (the column promotes to a boxed buffer); a right `Int`/`Date`
+    /// hint is what keeps computed sort keys u64-encodable.
+    pub fn dtype_hint(&self, input: &[DataType]) -> DataType {
+        match self {
+            Expr::Col(ci) => input.get(*ci).copied().unwrap_or(DataType::Int),
+            Expr::Lit(v) => v.data_type().unwrap_or(DataType::Int),
+            Expr::Cmp(..)
+            | Expr::And(..)
+            | Expr::Or(..)
+            | Expr::Not(..)
+            | Expr::IsNull(..)
+            | Expr::Like(..)
+            | Expr::InList(..)
+            | Expr::Between(..) => DataType::Bool,
+            Expr::Arith(op, l, r) => {
+                if *op == ArithOp::Div {
+                    return DataType::Decimal;
+                }
+                match (l.dtype_hint(input), r.dtype_hint(input)) {
+                    (DataType::Date, DataType::Date) => DataType::Int,
+                    (DataType::Date, _) | (_, DataType::Date) => DataType::Date,
+                    (DataType::Decimal, _) | (_, DataType::Decimal) => DataType::Decimal,
+                    _ => DataType::Int,
+                }
+            }
+            Expr::Neg(c) => c.dtype_hint(input),
+            Expr::Case {
+                branches,
+                else_branch,
+                ..
+            } => branches
+                .first()
+                .map(|(_, r)| r.dtype_hint(input))
+                .or_else(|| else_branch.as_ref().map(|e| e.dtype_hint(input)))
+                .unwrap_or(DataType::Int),
+            Expr::Cast(_, ty) => *ty,
+            Expr::Func(f, args) => match f {
+                ScalarFunc::Substr | ScalarFunc::Lower | ScalarFunc::Upper => DataType::Str,
+                ScalarFunc::Length => DataType::Int,
+                _ => args
+                    .first()
+                    .map(|a| a.dtype_hint(input))
+                    .unwrap_or(DataType::Int),
+            },
+            Expr::Concat(..) => DataType::Str,
+        }
+    }
+}
+
+/// The i64 arithmetic fast path: dense checked loops, no `Value` boxing.
+fn arith_i64(
+    op: ArithOp,
+    x: &I64Src<'_>,
+    y: &I64Src<'_>,
+    len: usize,
+    mut errs: BTreeMap<usize, String>,
+) -> Evaled {
+    match op {
+        ArithOp::Add | ArithOp::Sub | ArithOp::Mul => {
+            let sym = match op {
+                ArithOp::Add => "+",
+                ArithOp::Sub => "-",
+                _ => "*",
+            };
+            let mut buf = Vec::with_capacity(len);
+            let mut nulls = Bitmap::new();
+            for i in 0..len {
+                match (x.at(i), y.at(i)) {
+                    (Some(a), Some(b)) => {
+                        let res = match op {
+                            ArithOp::Add => a.checked_add(b),
+                            ArithOp::Sub => a.checked_sub(b),
+                            _ => a.checked_mul(b),
+                        };
+                        match res {
+                            Some(v) => {
+                                buf.push(v);
+                                nulls.push(false);
+                            }
+                            None => {
+                                errs.entry(i)
+                                    .or_insert_with(|| format!("integer overflow in {sym}"));
+                                buf.push(0);
+                                nulls.push(true);
+                            }
+                        }
+                    }
+                    _ => {
+                        buf.push(0);
+                        nulls.push(true);
+                    }
+                }
+            }
+            Evaled {
+                v: Vect::I64(buf, nulls),
+                errs,
+            }
+        }
+        ArithOp::Div => {
+            // Integer division widens to exact decimals; /0 is NULL.
+            let mut buf = Vec::with_capacity(len);
+            let mut nulls = Bitmap::new();
+            for i in 0..len {
+                let d = match (x.at(i), y.at(i)) {
+                    (Some(a), Some(b)) => Decimal::from_int(a).checked_div(&Decimal::from_int(b)),
+                    _ => None,
+                };
+                match d {
+                    Some(d) => {
+                        buf.push(d);
+                        nulls.push(false);
+                    }
+                    None => {
+                        buf.push(Decimal::ZERO);
+                        nulls.push(true);
+                    }
+                }
+            }
+            Evaled {
+                v: Vect::Dec(buf, nulls),
+                errs,
+            }
+        }
+        ArithOp::Mod => {
+            let mut buf = Vec::with_capacity(len);
+            let mut nulls = Bitmap::new();
+            for i in 0..len {
+                match (x.at(i), y.at(i)) {
+                    (Some(a), Some(b)) if b != 0 => {
+                        buf.push(a % b);
+                        nulls.push(false);
+                    }
+                    _ => {
+                        buf.push(0);
+                        nulls.push(true);
+                    }
+                }
+            }
+            Evaled {
+                v: Vect::I64(buf, nulls),
+                errs,
+            }
+        }
+    }
+}
+
+/// A first-error cell shared across kernel workers: keeps the error with
+/// the **lowest key** (global row order), which is the error a serial
+/// row-at-a-time run would raise first.
+#[derive(Debug, Default)]
+pub struct ErrCell(Mutex<Option<(u64, String)>>);
+
+impl ErrCell {
+    /// An empty cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers an error; kept only if its key is lower than the stored one.
+    pub fn offer(&self, key: u64, msg: String) {
+        let mut g = self.0.lock().unwrap();
+        match &*g {
+            Some((k, _)) if *k <= key => {}
+            _ => *g = Some((key, msg)),
+        }
+    }
+
+    /// Takes the stored error message, leaving the cell empty.
+    pub fn take(&self) -> Option<String> {
+        self.0.lock().unwrap().take().map(|(_, m)| m)
+    }
+
+    /// Drops the stored error if its key is `>= key` — used when an
+    /// ordered early exit (LIMIT) stops before the erroring row, which
+    /// the row path would therefore never have evaluated.
+    pub fn clear_from(&self, key: u64) {
+        let mut g = self.0.lock().unwrap();
+        if let Some((k, _)) = &*g {
+            if *k >= key {
+                *g = None;
+            }
+        }
+    }
+}
+
+/// What the expression kernels of one operator did — surfaced in EXPLAIN
+/// ANALYZE (`expr_kernels=`/`expr_rows=`) and obs counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExprStats {
+    /// Kernel launches: one per (expression, morsel) pair.
+    pub kernels: u64,
+    /// Total row-evaluations across kernels.
+    pub rows: u64,
+}
+
+impl ExprStats {
+    /// Accumulates another operator's kernel stats into this one.
+    pub fn absorb(&mut self, other: ExprStats) {
+        self.kernels += other.kernels;
+        self.rows += other.rows;
+    }
+}
+
+/// Runs `f(chunk_index)` for chunks `0..n` on `workers` scoped threads
+/// pulling from a shared cursor, returning results in chunk order
+/// (inline on the calling thread when one worker suffices).
+fn run_chunks<T: Send, F: Fn(usize) -> T + Sync>(n: usize, workers: usize, f: F) -> Vec<T> {
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let cursor = &cursor;
+            let slots = &slots;
+            let f = &f;
+            s.spawn(move || {
+                let mut span = tpcds_obs::span("storage", "expr_worker").field("worker", w);
+                let mut done = 0usize;
+                loop {
+                    let m = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                    if m >= n {
+                        break;
+                    }
+                    *slots[m].lock().unwrap() = Some(f(m));
+                    done += 1;
+                }
+                span.add_field("chunks", done);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().unwrap())
+        .collect()
+}
+
+/// Shared core of [`par_project`]/[`par_project_table`]: per-morsel output
+/// rows (survivors of `pred`, one value per expression), morsel order.
+fn project_parts(
+    table: &ColumnTable,
+    pred: Option<&Pred>,
+    exprs: &[Expr],
+    threads: usize,
+) -> Result<(Vec<Vec<Row>>, ScanStats, ExprStats), StorageError> {
+    let morsels = morsels_of(table);
+    let workers = worker_count(table.rows, threads, morsels.len());
+    let cell = ErrCell::new();
+    let parts = run_chunks(morsels.len(), workers, |m| {
+        let (si, off, len) = morsels[m];
+        let seg = &table.segments[si];
+        let base = (si * SEGMENT_ROWS + off) as u64;
+        let mut sel = Vec::new();
+        let sel_slice: Option<&[u8]> = match pred {
+            None => None,
+            Some(p) => {
+                p.eval(seg, off, len, base, &mut sel);
+                Some(sel.as_slice())
+            }
+        };
+        let input = ExprInput::Seg(seg);
+        let evaled: Vec<Evaled> = exprs
+            .iter()
+            .map(|e| e.eval_vect(&input, off, len))
+            .collect();
+        // The row path projects only surviving rows, left to right: the
+        // first *surviving* deferred error in (row, expression) order is
+        // the one it would raise. Filtered-out rows' errors never fire.
+        let live = |j: usize| sel_slice.is_none_or(|s| s[j] == P_TRUE);
+        let mut first: Option<(usize, &str)> = None;
+        for ev in &evaled {
+            for (&j, msg) in &ev.errs {
+                if live(j) {
+                    if first.is_none_or(|(fj, _)| j < fj) {
+                        first = Some((j, msg));
+                    }
+                    break; // keys ascend: later errors in this expr are later rows
+                }
+            }
+        }
+        if let Some((j, msg)) = first {
+            cell.offer(base + j as u64, msg.to_string());
+        }
+        let mut rows: Vec<Row> = Vec::new();
+        for j in 0..len {
+            if live(j) {
+                rows.push(evaled.iter().map(|ev| ev.v.get(j)).collect());
+            }
+        }
+        rows
+    });
+    if let Some(msg) = cell.take() {
+        return Err(StorageError(msg));
+    }
+    let rows_out: usize = parts.iter().map(|p| p.len()).sum();
+    let stats = ScanStats {
+        morsels: morsels.len() as u64,
+        workers: workers as u64,
+        rows_scanned: table.rows as u64,
+        rows_out: rows_out as u64,
+        bytes: table.bytes() as u64,
+    };
+    let estats = ExprStats {
+        kernels: (morsels.len() * exprs.len()) as u64,
+        rows: (table.rows * exprs.len()) as u64,
+    };
+    emit_counters(&stats);
+    Ok((parts, stats, estats))
+}
+
+/// Computed projection over an optionally-filtered columnar scan: each
+/// output row is one value per expression, in table order. Errors follow
+/// row-path timing (first surviving row in table order).
+pub fn par_project(
+    table: &ColumnTable,
+    pred: Option<&Pred>,
+    exprs: &[Expr],
+    threads: usize,
+) -> Result<(Vec<Row>, ScanStats, ExprStats), StorageError> {
+    let (parts, stats, estats) = project_parts(table, pred, exprs, threads)?;
+    let mut out = Vec::with_capacity(stats.rows_out as usize);
+    for p in parts {
+        out.extend(p);
+    }
+    Ok((out, stats, estats))
+}
+
+/// Like [`par_project`], but the output stays columnar: a fresh
+/// [`ColumnTable`] whose column types come from [`Expr::dtype_hint`].
+/// This is what lets an expression `ORDER BY` feed [`crate::par_sort`] /
+/// [`crate::par_topn`] with the u64 key encoding intact.
+pub fn par_project_table(
+    table: &ColumnTable,
+    pred: Option<&Pred>,
+    exprs: &[Expr],
+    threads: usize,
+) -> Result<(ColumnTable, ScanStats, ExprStats), StorageError> {
+    let (parts, stats, estats) = project_parts(table, pred, exprs, threads)?;
+    let dtypes = exprs.iter().map(|e| e.dtype_hint(&table.dtypes)).collect();
+    let mut b = ColumnTableBuilder::new(dtypes);
+    for part in &parts {
+        for r in part {
+            b.push_row(r);
+        }
+    }
+    Ok((b.finish(), stats, estats))
+}
+
+/// Computed projection over materialized rows (join output, group rows):
+/// one output row per input row, chunked [`MORSEL_ROWS`] at a time.
+pub fn par_project_rows(
+    rows: &[Row],
+    exprs: &[Expr],
+    threads: usize,
+) -> Result<(Vec<Row>, ExprStats), StorageError> {
+    let n = rows.len().div_ceil(MORSEL_ROWS);
+    let workers = worker_count(rows.len(), threads, n);
+    let cell = ErrCell::new();
+    let input = ExprInput::Rows(rows);
+    let parts = run_chunks(n, workers, |m| {
+        let start = m * MORSEL_ROWS;
+        let len = MORSEL_ROWS.min(rows.len() - start);
+        let evaled: Vec<Evaled> = exprs
+            .iter()
+            .map(|e| e.eval_vect(&input, start, len))
+            .collect();
+        let mut first: Option<(usize, &str)> = None;
+        for ev in &evaled {
+            if let Some((&j, msg)) = ev.errs.iter().next() {
+                if first.is_none_or(|(fj, _)| j < fj) {
+                    first = Some((j, msg));
+                }
+            }
+        }
+        if let Some((j, msg)) = first {
+            cell.offer((start + j) as u64, msg.to_string());
+        }
+        (0..len)
+            .map(|j| evaled.iter().map(|ev| ev.v.get(j)).collect::<Row>())
+            .collect::<Vec<Row>>()
+    });
+    if let Some(msg) = cell.take() {
+        return Err(StorageError(msg));
+    }
+    let out: Vec<Row> = parts.into_iter().flatten().collect();
+    let estats = ExprStats {
+        kernels: (n * exprs.len()) as u64,
+        rows: (rows.len() * exprs.len()) as u64,
+    };
+    Ok((out, estats))
+}
+
+/// Filters materialized rows through a compiled predicate expression
+/// (strict-TRUE admits), preserving order — the kernel behind expression
+/// `WHERE` tails over non-scan inputs and grouped `HAVING`.
+pub fn par_filter_rows(
+    rows: Vec<Row>,
+    expr: &Expr,
+    threads: usize,
+) -> Result<(Vec<Row>, ExprStats), StorageError> {
+    let n = rows.len().div_ceil(MORSEL_ROWS);
+    let workers = worker_count(rows.len(), threads, n);
+    let cell = ErrCell::new();
+    let keep: Vec<Vec<usize>> = {
+        let input = ExprInput::Rows(&rows);
+        run_chunks(n, workers, |m| {
+            let start = m * MORSEL_ROWS;
+            let len = MORSEL_ROWS.min(rows.len() - start);
+            let mut sel = Vec::new();
+            if let Err((j, msg)) = expr.eval_tri(&input, start, len, &mut sel) {
+                cell.offer((start + j) as u64, msg);
+            }
+            sel.iter()
+                .enumerate()
+                .filter(|&(_, &s)| s == P_TRUE)
+                .map(|(j, _)| start + j)
+                .collect()
+        })
+    };
+    if let Some(msg) = cell.take() {
+        return Err(StorageError(msg));
+    }
+    let total = rows.len();
+    let mut slots: Vec<Option<Row>> = rows.into_iter().map(Some).collect();
+    let mut out = Vec::new();
+    for part in keep {
+        for j in part {
+            out.push(slots[j].take().unwrap());
+        }
+    }
+    let estats = ExprStats {
+        kernels: n as u64,
+        rows: total as u64,
+    };
+    Ok((out, estats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcds_types::Row;
+
+    fn table_of(dtypes: Vec<DataType>, rows: &[Row]) -> ColumnTable {
+        ColumnTable::from_rows(dtypes, rows)
+    }
+
+    fn col(i: usize) -> Box<Expr> {
+        Box::new(Expr::Col(i))
+    }
+
+    fn lit(v: Value) -> Box<Expr> {
+        Box::new(Expr::Lit(v))
+    }
+
+    fn int(x: i64) -> Value {
+        Value::Int(x)
+    }
+
+    /// Evaluating over the segment (typed fast paths) and over the
+    /// materialized rows (generic Value path) must agree value-for-value.
+    #[test]
+    fn segment_and_row_inputs_agree() {
+        let rows: Vec<Row> = vec![
+            vec![
+                int(3),
+                Value::Decimal("1.50".parse().unwrap()),
+                Value::str("abc"),
+            ],
+            vec![Value::Null, Value::Null, Value::Null],
+            vec![
+                int(-4),
+                Value::Decimal("2.25".parse().unwrap()),
+                Value::str("xyz"),
+            ],
+        ];
+        let t = table_of(vec![DataType::Int, DataType::Decimal, DataType::Str], &rows);
+        let seg = &t.segments[0];
+        let exprs = vec![
+            Expr::Arith(
+                ArithOp::Add,
+                Box::new(Expr::Arith(ArithOp::Mul, col(0), lit(int(2)))),
+                lit(int(1)),
+            ),
+            Expr::Arith(ArithOp::Div, col(0), lit(int(2))),
+            Expr::Arith(ArithOp::Mul, col(1), lit(int(3))),
+            Expr::Cmp(CmpKind::Gt, col(0), lit(int(0))),
+            Expr::Concat(
+                Box::new(Expr::Func(ScalarFunc::Upper, vec![Expr::Col(2)])),
+                lit(Value::str("!")),
+            ),
+            Expr::Func(ScalarFunc::Coalesce, vec![Expr::Col(0), Expr::Lit(int(99))]),
+            Expr::Neg(col(0)),
+            Expr::Cast(col(0), DataType::Str),
+        ];
+        for e in &exprs {
+            let a = e.eval_values(&ExprInput::Seg(seg), 0, rows.len()).unwrap();
+            let b = e
+                .eval_values(&ExprInput::Rows(&rows), 0, rows.len())
+                .unwrap();
+            assert_eq!(a, b, "expr {e:?}");
+        }
+        // Spot-check one value against hand arithmetic.
+        let doubled = exprs[0].eval_values(&ExprInput::Seg(seg), 0, 3).unwrap();
+        assert_eq!(doubled, vec![int(7), Value::Null, int(-7)]);
+    }
+
+    #[test]
+    fn overflow_is_deferred_and_positional() {
+        let rows: Vec<Row> = vec![vec![int(1)], vec![int(i64::MAX)], vec![int(5)]];
+        let t = table_of(vec![DataType::Int], &rows);
+        let e = Expr::Arith(ArithOp::Add, col(0), lit(int(1)));
+        let err = e
+            .eval_values(&ExprInput::Seg(&t.segments[0]), 0, 3)
+            .unwrap_err();
+        assert_eq!(err, (1, "integer overflow in +".to_string()));
+        // A pred that filters out the overflowing row masks its error.
+        let pred = Pred::Cmp(CmpKind::Lt, 0, int(100));
+        let (out, _, estats) = par_project(&t, Some(&pred), std::slice::from_ref(&e), 1).unwrap();
+        assert_eq!(out, vec![vec![int(2)], vec![int(6)]]);
+        assert_eq!(estats.kernels, 1);
+        assert_eq!(estats.rows, 3);
+        // Without the filter the kernel surfaces the row-path error.
+        let err = par_project(&t, None, &[e], 1).unwrap_err();
+        assert_eq!(err.0, "integer overflow in +");
+    }
+
+    #[test]
+    fn division_and_modulo_by_zero_are_null() {
+        let rows: Vec<Row> = vec![vec![int(7), int(0)], vec![int(7), int(2)]];
+        let t = table_of(vec![DataType::Int, DataType::Int], &rows);
+        let seg = &t.segments[0];
+        let div = Expr::Arith(ArithOp::Div, col(0), col(1));
+        let got = div.eval_values(&ExprInput::Seg(seg), 0, 2).unwrap();
+        assert!(got[0].is_null());
+        assert_eq!(
+            got[1],
+            scalar::arith(ArithOp::Div, &int(7), &int(2)).unwrap()
+        );
+        let md = Expr::Arith(ArithOp::Mod, col(0), col(1));
+        let got = md.eval_values(&ExprInput::Seg(seg), 0, 2).unwrap();
+        assert_eq!(got, vec![Value::Null, int(1)]);
+    }
+
+    #[test]
+    fn short_circuit_masks_errors_like_the_row_path() {
+        let rows: Vec<Row> = vec![vec![int(-5)], vec![int(1)]];
+        let t = table_of(vec![DataType::Int], &rows);
+        let seg = &t.segments[0];
+        let boom = || {
+            Box::new(Expr::Cmp(
+                CmpKind::Gt,
+                Box::new(Expr::Arith(ArithOp::Add, col(0), lit(int(i64::MAX)))),
+                lit(int(0)),
+            ))
+        };
+        // AND: FALSE lhs short-circuits, so only row 1 errors.
+        let e = Expr::And(
+            Box::new(Expr::Cmp(CmpKind::Gt, col(0), lit(int(0)))),
+            boom(),
+        );
+        let mut out = Vec::new();
+        let err = e
+            .eval_tri(&ExprInput::Seg(seg), 0, 2, &mut out)
+            .unwrap_err();
+        assert_eq!(err.0, 1);
+        assert_eq!(out[0], P_FALSE);
+        // OR: TRUE lhs short-circuits; row 0 (-5 < 0 TRUE) masks, row 1 errors.
+        let e = Expr::Or(
+            Box::new(Expr::Cmp(CmpKind::Lt, col(0), lit(int(0)))),
+            boom(),
+        );
+        let err = e
+            .eval_tri(&ExprInput::Seg(seg), 0, 2, &mut out)
+            .unwrap_err();
+        assert_eq!(err.0, 1);
+        assert_eq!(out[0], P_TRUE);
+    }
+
+    #[test]
+    fn case_consumes_only_taken_arms() {
+        let rows: Vec<Row> = vec![vec![int(5)], vec![int(-1)], vec![int(i64::MAX)]];
+        let t = table_of(vec![DataType::Int], &rows);
+        let seg = &t.segments[0];
+        // ELSE overflows for row 0 and row 2, but both take the WHEN arm.
+        let e = Expr::Case {
+            operand: None,
+            branches: vec![(
+                Expr::Cmp(CmpKind::Gt, col(0), lit(int(0))),
+                Expr::Lit(int(1)),
+            )],
+            else_branch: Some(Box::new(Expr::Arith(
+                ArithOp::Add,
+                col(0),
+                lit(int(i64::MAX)),
+            ))),
+        };
+        let got = e.eval_values(&ExprInput::Seg(seg), 0, 3).unwrap();
+        assert_eq!(got, vec![int(1), int(i64::MAX - 1), int(1)]);
+        // Simple CASE with operand, no else: misses yield NULL.
+        let e = Expr::Case {
+            operand: Some(col(0)),
+            branches: vec![(Expr::Lit(int(5)), Expr::Lit(Value::str("five")))],
+            else_branch: None,
+        };
+        let got = e.eval_values(&ExprInput::Seg(seg), 0, 3).unwrap();
+        assert_eq!(got, vec![Value::str("five"), Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn in_list_consumes_items_lazily() {
+        let rows: Vec<Row> = vec![vec![int(1)], vec![Value::Null], vec![int(3)]];
+        let t = table_of(vec![DataType::Int], &rows);
+        let seg = &t.segments[0];
+        let boom = Expr::Arith(ArithOp::Add, col(0), lit(int(i64::MAX)));
+        // Row 0 hits item 1 before the overflowing item; row 1's NULL
+        // operand never consumes items; row 2 reaches the overflow.
+        let e = Expr::InList(col(0), vec![Expr::Lit(int(1)), boom], false);
+        let mut out = Vec::new();
+        let err = e
+            .eval_tri(&ExprInput::Seg(seg), 0, 3, &mut out)
+            .unwrap_err();
+        assert_eq!(err.0, 2);
+        assert_eq!(&out[..2], &[P_TRUE, P_NULL]);
+        // Pure-literal lists follow SQL NULL semantics.
+        let e = Expr::InList(
+            col(0),
+            vec![Expr::Lit(int(1)), Expr::Lit(Value::Null)],
+            true,
+        );
+        e.eval_tri(&ExprInput::Seg(seg), 0, 3, &mut out).unwrap();
+        assert_eq!(out, vec![P_FALSE, P_NULL, P_NULL]);
+    }
+
+    #[test]
+    fn boolean_tails_between_like_isnull() {
+        let rows: Vec<Row> = vec![
+            vec![int(4), Value::str("widget")],
+            vec![Value::Null, Value::Null],
+            vec![int(9), Value::str("gadget")],
+        ];
+        let t = table_of(vec![DataType::Int, DataType::Str], &rows);
+        let seg = &t.segments[0];
+        let mut out = Vec::new();
+        let e = Expr::Between(col(0), lit(int(2)), lit(int(6)), false);
+        e.eval_tri(&ExprInput::Seg(seg), 0, 3, &mut out).unwrap();
+        assert_eq!(out, vec![P_TRUE, P_NULL, P_FALSE]);
+        let e = Expr::Like(col(1), lit(Value::str("%dget")), false);
+        e.eval_tri(&ExprInput::Seg(seg), 0, 3, &mut out).unwrap();
+        assert_eq!(out, vec![P_TRUE, P_NULL, P_TRUE]);
+        let e = Expr::Not(Box::new(Expr::IsNull(col(0), false)));
+        e.eval_tri(&ExprInput::Seg(seg), 0, 3, &mut out).unwrap();
+        assert_eq!(out, vec![P_TRUE, P_FALSE, P_TRUE]);
+    }
+
+    /// ~1.5 segments so kernels cross a segment boundary; every worker
+    /// count must produce byte-identical output.
+    #[test]
+    fn par_project_is_thread_invariant_across_segments() {
+        let n = SEGMENT_ROWS + SEGMENT_ROWS / 2 + 3;
+        let rows: Vec<Row> = (0..n as i64)
+            .map(|i| {
+                let v = if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    int(i % 100)
+                };
+                vec![int(i), v]
+            })
+            .collect();
+        let t = table_of(vec![DataType::Int, DataType::Int], &rows);
+        let pred = Pred::Cmp(CmpKind::Lt, 1, int(50));
+        let exprs = vec![
+            Expr::Col(0),
+            Expr::Arith(ArithOp::Mul, col(1), lit(int(3))),
+            Expr::Case {
+                operand: None,
+                branches: vec![(
+                    Expr::Cmp(CmpKind::Ge, col(1), lit(int(25))),
+                    Expr::Lit(Value::str("hi")),
+                )],
+                else_branch: Some(Box::new(Expr::Lit(Value::str("lo")))),
+            },
+        ];
+        let (serial, s1, e1) = par_project(&t, Some(&pred), &exprs, 1).unwrap();
+        assert_eq!(e1.kernels, s1.morsels * exprs.len() as u64);
+        for threads in [2, 8] {
+            let (par, _, _) = par_project(&t, Some(&pred), &exprs, threads).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+        // Columnar output round-trips the same rows with Int hints kept.
+        let (ct, _, _) = par_project_table(&t, Some(&pred), &exprs, 8).unwrap();
+        assert_eq!(ct.dtypes[0], DataType::Int);
+        assert_eq!(ct.dtypes[1], DataType::Int);
+        assert_eq!(ct.rows, serial.len());
+        for (i, r) in serial.iter().enumerate().step_by(4097) {
+            assert_eq!(&ct.row(i), r);
+        }
+    }
+
+    #[test]
+    fn row_kernels_match_filter_and_project_semantics() {
+        let rows: Vec<Row> = (0..20_000i64)
+            .map(|i| {
+                let v = if i % 5 == 0 { Value::Null } else { int(i) };
+                vec![int(i), v]
+            })
+            .collect();
+        let keep = Expr::Cmp(
+            CmpKind::Eq,
+            Box::new(Expr::Arith(ArithOp::Mod, col(1), lit(int(2)))),
+            lit(int(0)),
+        );
+        let (serial, e1) = par_filter_rows(rows.clone(), &keep, 1).unwrap();
+        assert!(e1.kernels >= 2);
+        let expected: Vec<Row> = rows
+            .iter()
+            .filter(|r| r[1].as_int().is_some_and(|v| v % 2 == 0))
+            .cloned()
+            .collect();
+        assert_eq!(serial, expected);
+        let (par, _) = par_filter_rows(rows.clone(), &keep, 8).unwrap();
+        assert_eq!(par, serial);
+        // Projection over rows: same values at any worker count, and the
+        // first erroring row wins across chunks.
+        let exprs = vec![Expr::Arith(ArithOp::Add, col(0), lit(int(1)))];
+        let (a, _) = par_project_rows(&rows, &exprs, 1).unwrap();
+        let (b, _) = par_project_rows(&rows, &exprs, 8).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a[7], vec![int(8)]);
+        let mut bad = rows.clone();
+        bad[9_000][0] = int(i64::MAX);
+        bad[15_000][0] = int(i64::MAX);
+        let err = par_project_rows(&bad, &exprs, 8).unwrap_err();
+        assert_eq!(err.0, "integer overflow in +");
+    }
+
+    #[test]
+    fn err_cell_keeps_lowest_key() {
+        let c = ErrCell::new();
+        c.offer(40, "later".into());
+        c.offer(7, "first".into());
+        c.offer(12, "middle".into());
+        c.clear_from(8); // stored key 7 < 8: survives
+        assert_eq!(c.take(), Some("first".into()));
+        c.offer(9, "gone".into());
+        c.clear_from(9);
+        assert_eq!(c.take(), None);
+    }
+
+    #[test]
+    fn dtype_hints_keep_sort_keys_encodable() {
+        let input = [
+            DataType::Int,
+            DataType::Decimal,
+            DataType::Date,
+            DataType::Str,
+        ];
+        let e = Expr::Arith(ArithOp::Add, col(0), lit(int(30)));
+        assert_eq!(e.dtype_hint(&input), DataType::Int);
+        let e = Expr::Arith(ArithOp::Add, Box::new(Expr::Col(2)), lit(int(30)));
+        assert_eq!(e.dtype_hint(&input), DataType::Date);
+        let e = Expr::Arith(ArithOp::Sub, Box::new(Expr::Col(2)), Box::new(Expr::Col(2)));
+        assert_eq!(e.dtype_hint(&input), DataType::Int);
+        let e = Expr::Arith(ArithOp::Div, col(0), lit(int(2)));
+        assert_eq!(e.dtype_hint(&input), DataType::Decimal);
+        let e = Expr::Func(ScalarFunc::Length, vec![Expr::Col(3)]);
+        assert_eq!(e.dtype_hint(&input), DataType::Int);
+        assert_eq!(
+            Expr::Concat(col(0), col(3)).dtype_hint(&input),
+            DataType::Str
+        );
+    }
+}

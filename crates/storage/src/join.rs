@@ -28,6 +28,7 @@
 
 use crate::agg::{AggSpec, PAcc};
 use crate::column::ColumnData;
+use crate::expr::{ErrCell, Expr, ExprInput};
 use crate::morsel::{finish_groups, merge_partials, morsels_of, worker_count, GroupMap};
 use crate::pred::{Pred, P_TRUE};
 use crate::segment::{ColumnTable, Segment, SEGMENT_ROWS};
@@ -137,7 +138,7 @@ fn build_phase(
         let sel_slice: Option<&[u8]> = match pred {
             None => None,
             Some(p) => {
-                p.eval(seg, off, len, sel);
+                p.eval(seg, off, len, (si * SEGMENT_ROWS + off) as u64, sel);
                 Some(sel.as_slice())
             }
         };
@@ -311,7 +312,8 @@ fn run_per_partition<T: Send, F: Fn(&[u32]) -> T + Sync>(
 /// Streams one probe morsel against the build tables, calling
 /// `emit(row_in_segment, matches)` for every output-producing probe row:
 /// `Some(bucket)` carries the matching build rows (ascending global ids),
-/// `None` means a left-outer NULL pad.
+/// `None` means a left-outer NULL pad. `base` is the morsel's global row
+/// id offset, threaded into deferred predicate errors.
 #[allow(clippy::too_many_arguments)]
 fn probe_rows_morsel<F: FnMut(usize, Option<&[u32]>)>(
     seg: &Segment,
@@ -322,13 +324,14 @@ fn probe_rows_morsel<F: FnMut(usize, Option<&[u32]>)>(
     tables: &BuildTables,
     mask: u64,
     kind: JoinType,
+    base: u64,
     sel: &mut Vec<u8>,
     mut emit: F,
 ) {
     let sel_slice: Option<&[u8]> = match pred {
         None => None,
         Some(p) => {
-            p.eval(seg, off, len, sel);
+            p.eval(seg, off, len, base, sel);
             Some(sel.as_slice())
         }
     };
@@ -394,6 +397,78 @@ fn probe_rows_morsel<F: FnMut(usize, Option<&[u32]>)>(
     }
 }
 
+/// One probe row's contribution to a residual-carrying morsel: either a
+/// span `[start, end)` of candidate combined rows in the morsel's
+/// candidate buffer, or an already-padded left-outer row (NULL equi key or
+/// empty bucket — the row path never evaluates the residual on these).
+enum CandItem {
+    Span(usize, usize),
+    Pad(Row),
+}
+
+/// Materializes one probe morsel's candidate combined rows (`probe row ++
+/// build row`, probe order with build matches ascending) for batched
+/// residual evaluation.
+#[allow(clippy::too_many_arguments)]
+fn collect_candidates(
+    probe: &ColumnTable,
+    build: &ColumnTable,
+    si: usize,
+    off: usize,
+    len: usize,
+    pred: Option<&Pred>,
+    keys: &[usize],
+    tables: &BuildTables,
+    mask: u64,
+    kind: JoinType,
+    sel: &mut Vec<u8>,
+) -> (Vec<Row>, Vec<CandItem>) {
+    let seg = &probe.segments[si];
+    let base = (si * SEGMENT_ROWS + off) as u64;
+    let pw = seg.columns.len();
+    let bw = build.width();
+    let mut cands: Vec<Row> = Vec::new();
+    let mut items: Vec<CandItem> = Vec::new();
+    probe_rows_morsel(
+        seg,
+        off,
+        len,
+        pred,
+        keys,
+        tables,
+        mask,
+        kind,
+        base,
+        sel,
+        |i, bucket| {
+            let prow = seg.row(i);
+            match bucket {
+                Some(bucket) => {
+                    let start = cands.len();
+                    for &bid in bucket {
+                        let (bsi, bi) =
+                            ((bid as usize) / SEGMENT_ROWS, (bid as usize) % SEGMENT_ROWS);
+                        let bseg = &build.segments[bsi];
+                        let mut row = Vec::with_capacity(pw + bw);
+                        row.extend(prow.iter().cloned());
+                        for c in &bseg.columns {
+                            row.push(c.value_at(bi));
+                        }
+                        cands.push(row);
+                    }
+                    items.push(CandItem::Span(start, cands.len()));
+                }
+                None => {
+                    let mut row = prow;
+                    row.extend(std::iter::repeat_n(Value::Null, bw));
+                    items.push(CandItem::Pad(row));
+                }
+            }
+        },
+    );
+    (cands, items)
+}
+
 fn emit_counters(stats: &JoinStats) {
     if !tpcds_obs::is_enabled() {
         return;
@@ -416,6 +491,14 @@ fn emit_counters(stats: &JoinStats) {
 /// (optional) predicate. Output rows are `probe row ++ build row`, in
 /// probe-table order with each probe row's matches in build-table order —
 /// byte-identical to the engine's serial row-path join at any `threads`.
+///
+/// `residual` is an optional non-equi tail over the **combined** row,
+/// evaluated batched inside the probe loop (this retires the engine's
+/// `route=serial[residual]` fallback): an equi match survives only where
+/// the residual is strictly TRUE, and a left-outer probe row whose every
+/// candidate fails it pads with NULLs — the row path's ON-clause
+/// semantics. Residual errors are deferred per candidate and surface in
+/// row-path order as `Err`.
 #[allow(clippy::too_many_arguments)]
 pub fn par_hash_join(
     probe: &ColumnTable,
@@ -425,8 +508,9 @@ pub fn par_hash_join(
     build_pred: Option<&Pred>,
     build_keys: &[usize],
     kind: JoinType,
+    residual: Option<&Expr>,
     threads: usize,
-) -> (Vec<Row>, JoinStats) {
+) -> Result<(Vec<Row>, JoinStats), StorageError> {
     let int_path = probe_keys.len() == 1
         && build_keys.len() == 1
         && all_i64(probe, probe_keys[0])
@@ -437,48 +521,92 @@ pub fn par_hash_join(
     let build_bytes = tpcds_obs::mem::live_bytes().saturating_sub(build_live0);
     let mask = (npart - 1) as u64;
     let bw = build.width();
+    let rerr = ErrCell::new();
 
     let morsels = morsels_of(probe);
     let workers = worker_count(probe.rows + build.rows, threads, morsels.len());
 
-    let probe_morsel = |si: usize, off: usize, len: usize, sel: &mut Vec<u8>| -> Vec<Row> {
+    let probe_morsel = |m: usize,
+                        si: usize,
+                        off: usize,
+                        len: usize,
+                        sel: &mut Vec<u8>|
+     -> Vec<Row> {
         let seg = &probe.segments[si];
+        let base = (si * SEGMENT_ROWS + off) as u64;
         let mut rows: Vec<Row> = Vec::new();
         let pw = seg.columns.len();
-        probe_rows_morsel(
-            seg,
-            off,
-            len,
-            probe_pred,
-            probe_keys,
-            &tables,
-            mask,
-            kind,
-            sel,
-            |i, bucket| {
-                let prow = seg.row(i);
-                match bucket {
-                    Some(bucket) => {
-                        for &bid in bucket {
-                            let (bsi, bi) =
-                                ((bid as usize) / SEGMENT_ROWS, (bid as usize) % SEGMENT_ROWS);
-                            let bseg = &build.segments[bsi];
-                            let mut row = Vec::with_capacity(pw + bw);
-                            row.extend(prow.iter().cloned());
-                            for c in &bseg.columns {
-                                row.push(c.value_at(bi));
+        let Some(rexpr) = residual else {
+            probe_rows_morsel(
+                seg,
+                off,
+                len,
+                probe_pred,
+                probe_keys,
+                &tables,
+                mask,
+                kind,
+                base,
+                sel,
+                |i, bucket| {
+                    let prow = seg.row(i);
+                    match bucket {
+                        Some(bucket) => {
+                            for &bid in bucket {
+                                let (bsi, bi) =
+                                    ((bid as usize) / SEGMENT_ROWS, (bid as usize) % SEGMENT_ROWS);
+                                let bseg = &build.segments[bsi];
+                                let mut row = Vec::with_capacity(pw + bw);
+                                row.extend(prow.iter().cloned());
+                                for c in &bseg.columns {
+                                    row.push(c.value_at(bi));
+                                }
+                                rows.push(row);
                             }
+                        }
+                        None => {
+                            let mut row = prow;
+                            row.extend(std::iter::repeat_n(Value::Null, bw));
                             rows.push(row);
                         }
                     }
-                    None => {
-                        let mut row = prow;
+                },
+            );
+            return rows;
+        };
+        // Residual tail: materialize this morsel's candidate pairs, run
+        // the residual as one batched kernel, keep strict-TRUE survivors.
+        let (cands, items) = collect_candidates(
+            probe, build, si, off, len, probe_pred, probe_keys, &tables, mask, kind, sel,
+        );
+        let mut tri = Vec::new();
+        if let Err((j, msg)) = rexpr.eval_tri(&ExprInput::Rows(&cands), 0, cands.len(), &mut tri) {
+            // Morsels are probe-ordered and candidates probe-ordered
+            // within, so this key ranks errors exactly as the row path
+            // visits combined rows.
+            rerr.offer(((m as u64) << 40) | j as u64, msg);
+        }
+        let mut slots: Vec<Option<Row>> = cands.into_iter().map(Some).collect();
+        for item in items {
+            match item {
+                CandItem::Span(s0, s1) => {
+                    let mut matched = false;
+                    for j in s0..s1 {
+                        if tri[j] == P_TRUE {
+                            matched = true;
+                            rows.push(slots[j].take().expect("unique candidate"));
+                        }
+                    }
+                    if !matched && kind == JoinType::Left {
+                        let mut row = slots[s0].take().expect("unique candidate");
+                        row.truncate(pw);
                         row.extend(std::iter::repeat_n(Value::Null, bw));
                         rows.push(row);
                     }
                 }
-            },
-        );
+                CandItem::Pad(row) => rows.push(row),
+            }
+        }
         rows
     };
 
@@ -490,7 +618,8 @@ pub fn par_hash_join(
         let mut sel = Vec::new();
         morsels
             .iter()
-            .map(|&(si, off, len)| probe_morsel(si, off, len, &mut sel))
+            .enumerate()
+            .map(|(m, &(si, off, len))| probe_morsel(m, si, off, len, &mut sel))
             .collect()
     } else {
         let cursor = AtomicUsize::new(0);
@@ -514,7 +643,7 @@ pub fn par_hash_join(
                             break;
                         }
                         let (si, off, len) = morsels[m];
-                        *slots[m].lock().unwrap() = probe_morsel(si, off, len, &mut sel);
+                        *slots[m].lock().unwrap() = probe_morsel(m, si, off, len, &mut sel);
                         done += 1;
                     }
                     span.add_field("morsels", done);
@@ -524,6 +653,9 @@ pub fn par_hash_join(
         slots.into_iter().map(|m| m.into_inner().unwrap()).collect()
     };
 
+    if let Some(msg) = rerr.take() {
+        return Err(StorageError(msg));
+    }
     let rows_out: usize = parts.iter().map(|p| p.len()).sum();
     let mut out = Vec::with_capacity(rows_out);
     for p in parts {
@@ -538,7 +670,7 @@ pub fn par_hash_join(
         build_bytes,
     };
     emit_counters(&stats);
-    (out, stats)
+    Ok((out, stats))
 }
 
 /// Fused join + grouped aggregation: like [`par_hash_join`] but instead of
@@ -548,7 +680,11 @@ pub fn par_hash_join(
 /// left-outer pad every build-side column reads as NULL. Output rows are
 /// `key columns ++ aggregate values`, sorted by key, and a global
 /// aggregate over zero joined rows still yields one default row —
-/// mirroring the engine's aggregate over the row-path join.
+/// mirroring the engine's aggregate over the row-path join. `residual` is
+/// the optional non-equi tail of [`par_hash_join`]: only combined rows
+/// where it is strictly TRUE are folded (left-outer rows with every
+/// candidate failing fold as NULL pads), and its deferred errors outrank
+/// aggregate errors.
 #[allow(clippy::too_many_arguments)]
 pub fn par_hash_join_agg(
     probe: &ColumnTable,
@@ -558,6 +694,7 @@ pub fn par_hash_join_agg(
     build_pred: Option<&Pred>,
     build_keys: &[usize],
     kind: JoinType,
+    residual: Option<&Expr>,
     groups: &[usize],
     aggs: &[AggSpec],
     threads: usize,
@@ -592,11 +729,18 @@ pub fn par_hash_join_agg(
         }
     };
 
+    let rerr = ErrCell::new();
     let run_worker = |w: usize, cursor: &AtomicUsize| -> Result<GroupMap, StorageError> {
         let mut span = tpcds_obs::span("storage", "join_agg_worker").field("worker", w);
         let mut map: GroupMap = HashMap::new();
         let mut sel = Vec::new();
+        let mut tri = Vec::new();
         let mut done = 0usize;
+        // The first aggregate failure stops folding, but the worker keeps
+        // draining morsels so predicate and residual kernels still see
+        // every row — their deferred-error cells stay complete and
+        // deterministic, and the engine reports them ahead of agg errors.
+        let mut failed: Option<StorageError> = None;
         loop {
             let m = cursor.fetch_add(1, Ordering::Relaxed);
             if m >= morsels.len() {
@@ -604,50 +748,102 @@ pub fn par_hash_join_agg(
             }
             let (si, off, len) = morsels[m];
             let seg = &probe.segments[si];
-            let mut err = None;
-            probe_rows_morsel(
-                seg,
-                off,
-                len,
-                probe_pred,
-                probe_keys,
-                &tables,
-                mask,
-                kind,
-                &mut sel,
-                |i, bucket| {
-                    if err.is_some() {
-                        return;
-                    }
-                    match bucket {
-                        Some(b) => {
-                            // One update per matched build row.
-                            for &bid in b {
+            let base = (si * SEGMENT_ROWS + off) as u64;
+            let Some(rexpr) = residual else {
+                probe_rows_morsel(
+                    seg,
+                    off,
+                    len,
+                    probe_pred,
+                    probe_keys,
+                    &tables,
+                    mask,
+                    kind,
+                    base,
+                    &mut sel,
+                    |i, bucket| {
+                        if failed.is_some() {
+                            return;
+                        }
+                        match bucket {
+                            Some(b) => {
+                                // One update per matched build row.
+                                for &bid in b {
+                                    if let Err(e) = fold_one(
+                                        seg,
+                                        i,
+                                        Some(bid),
+                                        groups,
+                                        aggs,
+                                        &combined,
+                                        &mut map,
+                                    ) {
+                                        failed = Some(e);
+                                        return;
+                                    }
+                                }
+                            }
+                            None => {
                                 if let Err(e) =
-                                    fold_one(seg, i, Some(bid), groups, aggs, &combined, &mut map)
+                                    fold_one(seg, i, None, groups, aggs, &combined, &mut map)
                                 {
-                                    err = Some(e);
-                                    return;
+                                    failed = Some(e);
                                 }
                             }
                         }
-                        None => {
-                            if let Err(e) =
-                                fold_one(seg, i, None, groups, aggs, &combined, &mut map)
-                            {
-                                err = Some(e);
+                    },
+                );
+                done += 1;
+                continue;
+            };
+            let (cands, items) = collect_candidates(
+                probe, build, si, off, len, probe_pred, probe_keys, &tables, mask, kind, &mut sel,
+            );
+            if let Err((j, msg)) =
+                rexpr.eval_tri(&ExprInput::Rows(&cands), 0, cands.len(), &mut tri)
+            {
+                rerr.offer(((m as u64) << 40) | j as u64, msg);
+            }
+            if failed.is_none() {
+                'fold: for item in &items {
+                    match item {
+                        CandItem::Span(s0, s1) => {
+                            let mut matched = false;
+                            for j in *s0..*s1 {
+                                if tri[j] == P_TRUE {
+                                    matched = true;
+                                    if let Err(e) = fold_row(&cands[j], groups, aggs, &mut map) {
+                                        failed = Some(e);
+                                        break 'fold;
+                                    }
+                                }
+                            }
+                            if !matched && kind == JoinType::Left {
+                                let mut row = cands[*s0].clone();
+                                row.truncate(pw);
+                                row.extend(std::iter::repeat_n(Value::Null, build.width()));
+                                if let Err(e) = fold_row(&row, groups, aggs, &mut map) {
+                                    failed = Some(e);
+                                    break 'fold;
+                                }
+                            }
+                        }
+                        CandItem::Pad(row) => {
+                            if let Err(e) = fold_row(row, groups, aggs, &mut map) {
+                                failed = Some(e);
+                                break 'fold;
                             }
                         }
                     }
-                },
-            );
-            if let Some(e) = err {
-                return Err(e);
+                }
             }
             done += 1;
         }
         span.add_field("morsels", done);
-        Ok(map)
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(map),
+        }
     };
 
     let cursor = AtomicUsize::new(0);
@@ -666,8 +862,11 @@ pub fn par_hash_join_agg(
         })
     };
 
-    let merged = merge_partials(partials)?;
-    let out = finish_groups(merged, groups.is_empty(), aggs);
+    let merged = merge_partials(partials);
+    if let Some(msg) = rerr.take() {
+        return Err(StorageError(msg));
+    }
+    let out = finish_groups(merged?, groups.is_empty(), aggs);
     let stats = JoinStats {
         build_rows,
         partitions: npart as u64,
@@ -678,6 +877,27 @@ pub fn par_hash_join_agg(
     };
     emit_counters(&stats);
     Ok((out, stats))
+}
+
+/// Folds one already-materialized combined row into the group map — the
+/// residual path, where candidate rows exist as `Vec<Value>` anyway.
+fn fold_row(
+    row: &Row,
+    groups: &[usize],
+    aggs: &[AggSpec],
+    map: &mut GroupMap,
+) -> Result<(), StorageError> {
+    let key: Vec<Value> = groups.iter().map(|&g| row[g].clone()).collect();
+    let accs = map
+        .entry(key)
+        .or_insert_with(|| aggs.iter().map(|a| PAcc::new(a.kind)).collect());
+    for (spec, acc) in aggs.iter().zip(accs.iter_mut()) {
+        match spec.col {
+            Some(c) => acc.update(Some(&row[c]))?,
+            None => acc.update(None)?,
+        }
+    }
+    Ok(())
 }
 
 /// Folds one joined (or padded) row into the group map.
@@ -805,8 +1025,10 @@ mod tests {
                     Some(&bpred),
                     &[0],
                     kind,
+                    None,
                     threads,
-                );
+                )
+                .unwrap();
                 assert_eq!(got, expect, "{kind:?} threads={threads}");
                 assert_eq!(stats.rows_out as usize, expect.len());
                 assert!(stats.partitions >= 1);
@@ -850,8 +1072,10 @@ mod tests {
             Some(&bpred),
             &[0],
             JoinType::Inner,
+            None,
             4,
-        );
+        )
+        .unwrap();
         assert_eq!(got, expect);
     }
 
@@ -876,7 +1100,8 @@ mod tests {
         ];
         for kind in [JoinType::Inner, JoinType::Left] {
             // Reference: materialize the join, then aggregate serially.
-            let (joined, _) = par_hash_join(&probe, None, &[1], &build, None, &[0], kind, 1);
+            let (joined, _) =
+                par_hash_join(&probe, None, &[1], &build, None, &[0], kind, None, 1).unwrap();
             let mut map: GroupMap = HashMap::new();
             for row in &joined {
                 let key = vec![row[groups[0]].clone()];
@@ -900,6 +1125,7 @@ mod tests {
                     None,
                     &[0],
                     kind,
+                    None,
                     &groups,
                     &aggs,
                     threads,
@@ -908,6 +1134,201 @@ mod tests {
                 assert_eq!(got, expect, "{kind:?} threads={threads}");
             }
         }
+    }
+
+    /// Serial residual reference: equi matches kept only where `keep`
+    /// holds on the combined row; left probe rows pad when nothing
+    /// survives (including NULL-key probe rows).
+    fn reference_residual(
+        probe: &ColumnTable,
+        pk: usize,
+        build: &ColumnTable,
+        bk: usize,
+        kind: JoinType,
+        keep: &dyn Fn(&Row) -> bool,
+    ) -> Vec<Row> {
+        let (prows, _) = crate::par_filter(probe, None, 1);
+        let (brows, _) = crate::par_filter(build, None, 1);
+        let mut table: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (i, r) in brows.iter().enumerate() {
+            if !r[bk].is_null() {
+                table.entry(r[bk].clone()).or_default().push(i);
+            }
+        }
+        let bw = build.width();
+        let mut out = Vec::new();
+        for pr in &prows {
+            let mut matched = false;
+            if !pr[pk].is_null() {
+                if let Some(ids) = table.get(&pr[pk]) {
+                    for &i in ids {
+                        let mut row = pr.clone();
+                        row.extend(brows[i].iter().cloned());
+                        if keep(&row) {
+                            matched = true;
+                            out.push(row);
+                        }
+                    }
+                }
+            }
+            if !matched && kind == JoinType::Left {
+                let mut row = pr.clone();
+                row.extend(std::iter::repeat_n(Value::Null, bw));
+                out.push(row);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn residual_filters_matches_and_pads_left_rows() {
+        use crate::expr::Expr;
+        use std::cmp::Ordering;
+        let probe = probe_table(40_000);
+        let build = build_table(400);
+        // Combined row: probe (id, key, val) ++ build (key, payload);
+        // residual keeps pairs where probe.val > build.payload.
+        let residual = Expr::Cmp(CmpKind::Gt, Box::new(Expr::Col(2)), Box::new(Expr::Col(4)));
+        let keep = |row: &Row| row[2].sql_cmp(&row[4]) == Some(Ordering::Greater);
+        for kind in [JoinType::Inner, JoinType::Left] {
+            let expect = reference_residual(&probe, 1, &build, 0, kind, &keep);
+            for threads in [1, 2, 8] {
+                let (got, stats) = par_hash_join(
+                    &probe,
+                    None,
+                    &[1],
+                    &build,
+                    None,
+                    &[0],
+                    kind,
+                    Some(&residual),
+                    threads,
+                )
+                .unwrap();
+                assert_eq!(got, expect, "{kind:?} threads={threads}");
+                assert_eq!(stats.rows_out as usize, expect.len());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_aggregate_honors_residual() {
+        use crate::expr::Expr;
+        let probe = probe_table(40_000);
+        let build = build_table(300);
+        let residual = Expr::Cmp(CmpKind::Gt, Box::new(Expr::Col(2)), Box::new(Expr::Col(4)));
+        let groups = [3usize];
+        let aggs = [
+            AggSpec {
+                kind: AggKind::CountStar,
+                col: None,
+            },
+            AggSpec {
+                kind: AggKind::Sum,
+                col: Some(2),
+            },
+        ];
+        for kind in [JoinType::Inner, JoinType::Left] {
+            let (joined, _) = par_hash_join(
+                &probe,
+                None,
+                &[1],
+                &build,
+                None,
+                &[0],
+                kind,
+                Some(&residual),
+                1,
+            )
+            .unwrap();
+            let mut map: GroupMap = HashMap::new();
+            for row in &joined {
+                let key = vec![row[groups[0]].clone()];
+                let accs = map
+                    .entry(key)
+                    .or_insert_with(|| aggs.iter().map(|a| PAcc::new(a.kind)).collect());
+                for (spec, acc) in aggs.iter().zip(accs.iter_mut()) {
+                    match spec.col {
+                        Some(c) => acc.update(Some(&row[c])).unwrap(),
+                        None => acc.update(None).unwrap(),
+                    }
+                }
+            }
+            let expect = finish_groups(map, false, &aggs);
+            for threads in [1, 2, 8] {
+                let (got, _) = par_hash_join_agg(
+                    &probe,
+                    None,
+                    &[1],
+                    &build,
+                    None,
+                    &[0],
+                    kind,
+                    Some(&residual),
+                    &groups,
+                    &aggs,
+                    threads,
+                )
+                .unwrap();
+                assert_eq!(got, expect, "{kind:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_errors_are_deferred_and_deterministic() {
+        use crate::expr::Expr;
+        use tpcds_types::scalar::ArithOp;
+        let probe = probe_table(40_000);
+        let build = build_table(300);
+        // probe.val + i64::MAX overflows for every probe row with val > 0;
+        // the surviving error must be the first combined row the serial
+        // row path would evaluate, at any worker count.
+        let residual = Expr::Cmp(
+            CmpKind::Gt,
+            Box::new(Expr::Arith(
+                ArithOp::Add,
+                Box::new(Expr::Col(2)),
+                Box::new(Expr::Lit(Value::Int(i64::MAX))),
+            )),
+            Box::new(Expr::Col(4)),
+        );
+        let mut msgs = Vec::new();
+        for threads in [1, 2, 8] {
+            let err = par_hash_join(
+                &probe,
+                None,
+                &[1],
+                &build,
+                None,
+                &[0],
+                JoinType::Inner,
+                Some(&residual),
+                threads,
+            )
+            .unwrap_err();
+            msgs.push(err.0);
+        }
+        assert_eq!(msgs[0], "integer overflow in +");
+        assert!(msgs.iter().all(|m| *m == msgs[0]));
+        let err = par_hash_join_agg(
+            &probe,
+            None,
+            &[1],
+            &build,
+            None,
+            &[0],
+            JoinType::Inner,
+            Some(&residual),
+            &[3],
+            &[AggSpec {
+                kind: AggKind::CountStar,
+                col: None,
+            }],
+            8,
+        )
+        .unwrap_err();
+        assert_eq!(err.0, "integer overflow in +");
     }
 
     #[test]
@@ -934,6 +1355,7 @@ mod tests {
             None,
             &[0],
             JoinType::Inner,
+            None,
             &[],
             &aggs,
             4,

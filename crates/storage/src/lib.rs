@@ -20,6 +20,7 @@
 
 pub mod agg;
 pub mod column;
+pub mod expr;
 pub mod join;
 pub mod morsel;
 pub mod pred;
@@ -29,9 +30,13 @@ pub mod stats;
 
 pub use agg::{AggKind, AggSpec};
 pub use column::{Bitmap, Column, ColumnData};
+pub use expr::{
+    par_filter_rows, par_project, par_project_rows, par_project_table, ErrCell, Expr, ExprInput,
+    ExprStats,
+};
 pub use join::{par_hash_join, par_hash_join_agg, JoinStats, JoinType};
 pub use morsel::{par_aggregate, par_filter, par_filter_limit, ScanStats, MORSEL_ROWS};
-pub use pred::{CmpKind, Pred};
+pub use pred::{CmpKind, ExprPred, Pred};
 pub use segment::{ColumnTable, ColumnTableBuilder, Segment, SEGMENT_ROWS};
 pub use sort::{par_sort, par_sort_rows, par_topn, par_topn_rows, SortKey, SortStats};
 pub use stats::{collect_stats, ColumnStats, TableStats};

@@ -13,7 +13,7 @@
 
 use crate::agg::{AggSpec, PAcc};
 use crate::pred::{Pred, P_TRUE};
-use crate::segment::ColumnTable;
+use crate::segment::{ColumnTable, SEGMENT_ROWS};
 use crate::StorageError;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -79,7 +79,7 @@ pub(crate) fn worker_count(rows: usize, threads: usize, n_morsels: usize) -> usi
     threads.max(1).min(n_morsels.max(1))
 }
 
-fn emit_counters(stats: &ScanStats) {
+pub(crate) fn emit_counters(stats: &ScanStats) {
     if !tpcds_obs::is_enabled() {
         return;
     }
@@ -202,11 +202,15 @@ pub fn par_filter_limit(
                 out.extend((off..off + take).map(|i| seg.row(i)));
             }
             Some(p) => {
-                p.eval(seg, off, len, &mut sel);
+                let base = (si * SEGMENT_ROWS + off) as u64;
+                p.eval(seg, off, len, base, &mut sel);
                 for (j, &s) in sel.iter().enumerate() {
                     if s == P_TRUE {
                         out.push(seg.row(off + j));
                         if out.len() >= limit {
+                            // The serial row path stops here: deferred
+                            // expression errors past this row never fire.
+                            p.clear_err_from(base + j as u64 + 1);
                             break;
                         }
                     }
@@ -237,7 +241,7 @@ fn filter_morsel(
     match pred {
         None => (off..off + len).map(|i| seg.row(i)).collect(),
         Some(p) => {
-            p.eval(seg, off, len, sel);
+            p.eval(seg, off, len, (si * SEGMENT_ROWS + off) as u64, sel);
             let mut rows = Vec::new();
             for (j, &s) in sel.iter().enumerate() {
                 if s == P_TRUE {
@@ -272,6 +276,7 @@ pub fn par_aggregate(
         let mut map: GroupMap = HashMap::new();
         let mut sel = Vec::new();
         let mut done = 0usize;
+        let mut failed: Option<StorageError> = None;
         loop {
             let m = cursor.fetch_add(1, Ordering::Relaxed);
             if m >= morsels.len() {
@@ -283,10 +288,28 @@ pub fn par_aggregate(
                     .field("morsel", m)
             });
             let (si, off, len) = morsels[m];
-            agg_morsel(table, si, off, len, pred, groups, aggs, &mut map, &mut sel)?;
+            if failed.is_some() {
+                // An aggregate already failed, but the caller reports a
+                // deferred *predicate* error first (the row path hits it
+                // earlier): keep evaluating preds so the error cell ends
+                // up complete, skipping the folds.
+                if let Some(p) = pred {
+                    let seg = &table.segments[si];
+                    p.eval(seg, off, len, (si * SEGMENT_ROWS + off) as u64, &mut sel);
+                }
+                continue;
+            }
+            if let Err(e) = agg_morsel(table, si, off, len, pred, groups, aggs, &mut map, &mut sel)
+            {
+                failed = Some(e);
+                continue;
+            }
             done += 1;
         }
         span.add_field("morsels", done);
+        if let Some(e) = failed {
+            return Err(e);
+        }
         Ok(map)
     };
 
@@ -392,7 +415,7 @@ fn agg_morsel(
     let sel_slice: Option<&[u8]> = match pred {
         None => None,
         Some(p) => {
-            p.eval(seg, off, len, sel);
+            p.eval(seg, off, len, (si * SEGMENT_ROWS + off) as u64, sel);
             Some(sel.as_slice())
         }
     };

@@ -9,8 +9,10 @@
 //! the oracle, and any divergence here is a bug.
 
 use crate::column::{Column, ColumnData};
+use crate::expr::{ErrCell, Expr, ExprInput};
 use crate::segment::Segment;
 use std::cmp::Ordering;
+use std::sync::Arc;
 use tpcds_types::{like_match, Date, Decimal, Value};
 
 /// Predicate evaluated to SQL FALSE for this row.
@@ -96,12 +98,40 @@ pub enum Pred {
         /// True for `NOT LIKE`.
         negated: bool,
     },
+    /// A full compiled scalar expression (arithmetic, CASE, functions…)
+    /// evaluated as a predicate — the shape that used to force the serial
+    /// `pred-shape` fallback. Runtime errors are deferred into the shared
+    /// cell keyed by global row id; callers drain it with
+    /// [`Pred::take_err`] after the scan.
+    Expr(ExprPred),
     /// Kleene AND.
     And(Box<Pred>, Box<Pred>),
     /// Kleene OR.
     Or(Box<Pred>, Box<Pred>),
     /// Kleene NOT.
     Not(Box<Pred>),
+}
+
+/// A compiled expression predicate plus its shared first-error cell.
+///
+/// Clones share the cell, so a predicate captured by several scan workers
+/// still reports the single lowest-row error.
+#[derive(Clone, Debug)]
+pub struct ExprPred {
+    /// The compiled expression (evaluated with strict-TRUE admits).
+    pub expr: Arc<Expr>,
+    /// First deferred runtime error, keyed by global row id.
+    pub err: Arc<ErrCell>,
+}
+
+impl ExprPred {
+    /// Wraps a compiled expression with a fresh error cell.
+    pub fn new(expr: Expr) -> ExprPred {
+        ExprPred {
+            expr: Arc::new(expr),
+            err: Arc::new(ErrCell::new()),
+        }
+    }
 }
 
 /// A comparison strategy pre-resolved from (column buffer variant, literal
@@ -182,8 +212,10 @@ fn tri(b: bool) -> u8 {
 impl Pred {
     /// Evaluates the predicate over rows `start .. start+len` of one
     /// segment, writing one tri-state byte per row into `out` (which is
-    /// resized to `len`).
-    pub fn eval(&self, seg: &Segment, start: usize, len: usize, out: &mut Vec<u8>) {
+    /// resized to `len`). `base` is the global row id of `start`, used
+    /// only to key deferred [`Pred::Expr`] errors; legacy variants are
+    /// infallible and ignore it.
+    pub fn eval(&self, seg: &Segment, start: usize, len: usize, base: u64, out: &mut Vec<u8>) {
         out.clear();
         out.resize(len, P_NULL);
         match self {
@@ -321,10 +353,15 @@ impl Pred {
                     _ => {}
                 }
             }
+            Pred::Expr(ep) => {
+                if let Err((j, msg)) = ep.expr.eval_tri(&ExprInput::Seg(seg), start, len, out) {
+                    ep.err.offer(base + j as u64, msg);
+                }
+            }
             Pred::And(l, r) => {
-                l.eval(seg, start, len, out);
+                l.eval(seg, start, len, base, out);
                 let mut rhs = Vec::new();
-                r.eval(seg, start, len, &mut rhs);
+                r.eval(seg, start, len, base, &mut rhs);
                 for (o, b) in out.iter_mut().zip(&rhs) {
                     *o = match (*o, *b) {
                         (P_FALSE, _) | (_, P_FALSE) => P_FALSE,
@@ -334,9 +371,9 @@ impl Pred {
                 }
             }
             Pred::Or(l, r) => {
-                l.eval(seg, start, len, out);
+                l.eval(seg, start, len, base, out);
                 let mut rhs = Vec::new();
-                r.eval(seg, start, len, &mut rhs);
+                r.eval(seg, start, len, base, &mut rhs);
                 for (o, b) in out.iter_mut().zip(&rhs) {
                     *o = match (*o, *b) {
                         (P_TRUE, _) | (_, P_TRUE) => P_TRUE,
@@ -346,7 +383,7 @@ impl Pred {
                 }
             }
             Pred::Not(e) => {
-                e.eval(seg, start, len, out);
+                e.eval(seg, start, len, base, out);
                 for o in out.iter_mut() {
                     *o = match *o {
                         P_TRUE => P_FALSE,
@@ -355,6 +392,34 @@ impl Pred {
                     };
                 }
             }
+        }
+    }
+
+    /// Drains the first deferred runtime error (lowest global row id)
+    /// from any [`Pred::Expr`] nodes. Callers check this after a scan:
+    /// a present error is exactly what the serial row path would have
+    /// raised. Legacy predicate shapes are infallible.
+    pub fn take_err(&self) -> Option<String> {
+        match self {
+            Pred::Expr(ep) => ep.err.take(),
+            Pred::And(l, r) | Pred::Or(l, r) => l.take_err().or_else(|| r.take_err()),
+            Pred::Not(p) => p.take_err(),
+            _ => None,
+        }
+    }
+
+    /// Drops deferred errors at global row id `>= gid` — for ordered
+    /// early exits (LIMIT) that stop before the erroring row, which the
+    /// row path would therefore never have evaluated.
+    pub fn clear_err_from(&self, gid: u64) {
+        match self {
+            Pred::Expr(ep) => ep.err.clear_from(gid),
+            Pred::And(l, r) | Pred::Or(l, r) => {
+                l.clear_err_from(gid);
+                r.clear_err_from(gid);
+            }
+            Pred::Not(p) => p.clear_err_from(gid),
+            _ => {}
         }
     }
 }
@@ -375,7 +440,7 @@ mod tests {
 
     fn run(p: &Pred, seg: &Segment) -> Vec<u8> {
         let mut out = Vec::new();
-        p.eval(seg, 0, seg.rows, &mut out);
+        p.eval(seg, 0, seg.rows, 0, &mut out);
         out
     }
 

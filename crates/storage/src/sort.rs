@@ -343,7 +343,7 @@ fn topn_worker(
         let sel_slice: Option<&[u8]> = match pred {
             None => None,
             Some(p) => {
-                p.eval(seg, off, len, &mut sel);
+                p.eval(seg, off, len, (si * SEGMENT_ROWS + off) as u64, &mut sel);
                 Some(sel.as_slice())
             }
         };
@@ -474,7 +474,7 @@ fn sort_run_worker(
         let sel_slice: Option<&[u8]> = match pred {
             None => None,
             Some(p) => {
-                p.eval(seg, off, len, &mut sel);
+                p.eval(seg, off, len, (si * SEGMENT_ROWS + off) as u64, &mut sel);
                 Some(sel.as_slice())
             }
         };
@@ -584,9 +584,15 @@ fn chunks_of(n: usize) -> Vec<(usize, usize)> {
 /// Parallel Top-N over already-materialized rows (the tail of a fused
 /// join/aggregate pipeline). Equivalent to a stable sort by `keys`
 /// followed by `truncate(limit)`, at any worker count.
+///
+/// Unlike [`par_topn`], `keys` here index the **input** row; `proj`, when
+/// given, selects the output columns of the winners only — so a hidden
+/// computed sort key column can be appended for ordering and dropped from
+/// the result without materializing a projected copy of every input row.
 pub fn par_topn_rows(
     rows: Vec<Row>,
     keys: &[SortKey],
+    proj: Option<&[usize]>,
     limit: usize,
     threads: usize,
 ) -> (Vec<Row>, SortStats) {
@@ -651,7 +657,7 @@ pub fn par_topn_rows(
     let mut slots: Vec<Option<Row>> = rows.into_iter().map(Some).collect();
     let out: Vec<Row> = entries
         .iter()
-        .map(|e| slots[e.gid].take().expect("unique gid"))
+        .map(|e| project_row(slots[e.gid].take().expect("unique gid"), proj))
         .collect();
     let stats = SortStats {
         morsels: chunks.len() as u64,
@@ -666,10 +672,25 @@ pub fn par_topn_rows(
     (out, stats)
 }
 
+/// Applies the output projection to one winning row.
+fn project_row(row: Row, proj: Option<&[usize]>) -> Row {
+    match proj {
+        None => row,
+        Some(cols) => cols.iter().map(|&c| row[c].clone()).collect(),
+    }
+}
+
 /// Parallel full sort over already-materialized rows: per-chunk sorted
 /// runs in parallel, then a serial k-way merge. Equivalent to a stable
-/// sort by `keys`, at any worker count.
-pub fn par_sort_rows(rows: Vec<Row>, keys: &[SortKey], threads: usize) -> (Vec<Row>, SortStats) {
+/// sort by `keys`, at any worker count. `keys` index the **input** row;
+/// `proj` selects output columns of the sorted rows (see
+/// [`par_topn_rows`]).
+pub fn par_sort_rows(
+    rows: Vec<Row>,
+    keys: &[SortKey],
+    proj: Option<&[usize]>,
+    threads: usize,
+) -> (Vec<Row>, SortStats) {
     let chunks = chunks_of(rows.len());
     let workers = worker_count(rows.len(), threads, chunks.len());
     let rows_in = rows.len() as u64;
@@ -716,7 +737,7 @@ pub fn par_sort_rows(rows: Vec<Row>, keys: &[SortKey], threads: usize) -> (Vec<R
     let mut slots: Vec<Option<Row>> = rows.into_iter().map(Some).collect();
     let out: Vec<Row> = merged
         .iter()
-        .map(|e| slots[e.gid].take().expect("unique gid"))
+        .map(|e| project_row(slots[e.gid].take().expect("unique gid"), proj))
         .collect();
     let stats = SortStats {
         morsels: chunks.len() as u64,
@@ -954,10 +975,10 @@ mod tests {
                 .unwrap_or(Ordering::Equal)
         });
         for threads in [1, 2, 8] {
-            let (sorted, stats) = par_sort_rows(rows.clone(), &keys, threads);
+            let (sorted, stats) = par_sort_rows(rows.clone(), &keys, None, threads);
             assert_eq!(sorted, expect, "threads={threads}");
             assert!(stats.merge_ways >= 1);
-            let (top, stats) = par_topn_rows(rows.clone(), &keys, 123, threads);
+            let (top, stats) = par_topn_rows(rows.clone(), &keys, None, 123, threads);
             assert_eq!(top, expect[..123], "threads={threads}");
             assert_eq!(stats.rows_out, 123);
         }

@@ -119,7 +119,18 @@ fn join_probe_spanning_boundary_matches_serial() {
     };
     for n in BOUNDARY_SIZES {
         let probe = table(n);
-        let (serial, s1) = par_hash_join(&probe, None, &[1], &build, None, &[0], JoinType::Left, 1);
+        let (serial, s1) = par_hash_join(
+            &probe,
+            None,
+            &[1],
+            &build,
+            None,
+            &[0],
+            JoinType::Left,
+            None,
+            1,
+        )
+        .unwrap();
         // Every probe row appears exactly once (unique build keys; NULL
         // keys pad).
         assert_eq!(serial.len(), n, "n={n}");
@@ -133,8 +144,10 @@ fn join_probe_spanning_boundary_matches_serial() {
                 None,
                 &[0],
                 JoinType::Left,
+                None,
                 threads,
-            );
+            )
+            .unwrap();
             assert_eq!(par, serial, "n={n} threads={threads}");
         }
     }
@@ -145,11 +158,33 @@ fn empty_build_side_joins() {
     let probe = table(1_000);
     let empty = ColumnTableBuilder::new(vec![DataType::Int, DataType::Int]).finish();
     // Inner: nothing matches, nothing out.
-    let (rows, stats) = par_hash_join(&probe, None, &[1], &empty, None, &[0], JoinType::Inner, 4);
+    let (rows, stats) = par_hash_join(
+        &probe,
+        None,
+        &[1],
+        &empty,
+        None,
+        &[0],
+        JoinType::Inner,
+        None,
+        4,
+    )
+    .unwrap();
     assert!(rows.is_empty());
     assert_eq!(stats.build_rows, 0);
     // Left: every probe row padded with build-width NULLs.
-    let (rows, _) = par_hash_join(&probe, None, &[1], &empty, None, &[0], JoinType::Left, 4);
+    let (rows, _) = par_hash_join(
+        &probe,
+        None,
+        &[1],
+        &empty,
+        None,
+        &[0],
+        JoinType::Left,
+        None,
+        4,
+    )
+    .unwrap();
     assert_eq!(rows.len(), probe.rows);
     assert!(rows
         .iter()
@@ -165,8 +200,10 @@ fn empty_build_side_joins() {
         Some(&none),
         &[0],
         JoinType::Inner,
+        None,
         4,
-    );
+    )
+    .unwrap();
     assert!(rows.is_empty());
     assert_eq!(stats.build_rows, 0);
 }
@@ -176,7 +213,8 @@ fn empty_probe_side_joins() {
     let build = table(100);
     let empty = ColumnTableBuilder::new(vec![DataType::Int, DataType::Int, DataType::Int]).finish();
     for kind in [JoinType::Inner, JoinType::Left] {
-        let (rows, stats) = par_hash_join(&empty, None, &[1], &build, None, &[0], kind, 4);
+        let (rows, stats) =
+            par_hash_join(&empty, None, &[1], &build, None, &[0], kind, None, 4).unwrap();
         assert!(rows.is_empty(), "{kind:?}");
         assert_eq!(stats.probe_morsels, 0);
         assert_eq!(stats.rows_out, 0);
@@ -192,7 +230,9 @@ fn empty_probe_side_joins() {
         None,
         &[0],
         JoinType::Left,
+        None,
         4,
-    );
+    )
+    .unwrap();
     assert!(rows.is_empty());
 }

@@ -1,7 +1,7 @@
 //! `COVERAGE_8.json` — per-shape-class routing coverage of synthesized
 //! workloads, and the regression gate over it.
 //!
-//! Where `COVERAGE_6.json` tracks the 99 fixed templates, this report
+//! Where `COVERAGE_10.json` tracks the 99 fixed templates, this report
 //! tracks the synthesizer's shape classes: for each class, how many
 //! queries were generated, which best route they took under
 //! `ColumnarMode::Auto`, and the fallback reason codes that kept plan

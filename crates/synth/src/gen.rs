@@ -129,6 +129,7 @@ impl Synthesizer {
             ShapeClass::Window => self.gen_window(&mut rng),
             ShapeClass::SetOp => self.gen_set_op(&mut rng),
             ShapeClass::DistinctTail => self.gen_distinct(&mut rng),
+            ShapeClass::ExprCompute => self.gen_expr_compute(&mut rng),
             ShapeClass::EmptyResult => self.gen_empty_result(&mut rng),
             ShapeClass::NullKeyJoin => self.gen_null_key_join(&mut rng),
             ShapeClass::SkewJoin => self.gen_skew_join(&mut rng),
@@ -148,7 +149,7 @@ impl Synthesizer {
         } else {
             // Join-bearing shapes get most of the weight: they are where
             // routing and differential bugs live.
-            let weights = [1.0, 2.0, 3.0, 1.5, 1.5, 1.0, 1.0];
+            let weights = [1.0, 2.0, 3.0, 1.5, 1.5, 1.0, 1.0, 2.0];
             let organic = [
                 ShapeClass::ScanFilter,
                 ShapeClass::JoinChain,
@@ -157,6 +158,7 @@ impl Synthesizer {
                 ShapeClass::Window,
                 ShapeClass::SetOp,
                 ShapeClass::DistinctTail,
+                ShapeClass::ExprCompute,
             ];
             organic[rng.weighted_index(&weights)]
         }
@@ -606,6 +608,81 @@ impl Synthesizer {
         }
         if rng.chance(0.6) {
             s.predicates.push(self.steered_predicate(rng, base));
+        }
+        s
+    }
+
+    /// Computed projections, expression predicates and an expression sort
+    /// key, all inside the compiled-kernel grammar. Constants stay small
+    /// and products only pair a column with a constant, so i64 arithmetic
+    /// cannot overflow at any scale factor (error parity has its own
+    /// pinned suites); division keeps possibly-zero divisors on purpose —
+    /// `x / 0` is NULL, identically, on both paths.
+    fn gen_expr_compute(&self, rng: &mut ColumnRng) -> QuerySpec {
+        let base = self.pick_table(rng);
+        let mut s = QuerySpec::new(ShapeClass::ExprCompute, base);
+        let def = self.def(base);
+        let nums = self.numeric_columns(base);
+        if nums.is_empty() {
+            s.projection = self.pick_projection(rng, &[base]);
+            s.predicates.push(self.steered_predicate(rng, base));
+            return s;
+        }
+        // The primary key anchors every output row.
+        for pk in &def.primary_key {
+            s.projection.push(Item::on(base, *pk));
+        }
+        let pick = |rng: &mut ColumnRng| nums[rng.uniform_i64(0, nums.len() as i64 - 1) as usize];
+        for _ in 0..rng.uniform_i64(1, 2) {
+            let a = pick(rng);
+            let b = pick(rng);
+            let k = rng.uniform_i64(1, 9);
+            let text = match rng.uniform_i64(0, 6) {
+                0 => format!("{a} + {k}"),
+                1 => format!("{a} * {k} - {b}"),
+                2 => format!("case when {a} > {k} then {a} else -{a} end"),
+                3 => format!("coalesce({a}, {k})"),
+                4 => format!("nullif({a}, {b})"),
+                5 => format!("{a} / {k}"),
+                _ => format!("abs({a} - {k})"),
+            };
+            if !s.projection.iter().any(|i| i.text == text) {
+                s.projection.push(Item::on(base, text));
+            }
+        }
+        // An expression predicate — arithmetic-wrapped comparisons that
+        // used to be the `pred-shape` serial fallback. Modulo stays on
+        // integer columns: `decimal % int` is an error on both paths.
+        if rng.chance(0.8) {
+            let a = pick(rng);
+            let b = pick(rng);
+            let k = rng.uniform_i64(1, 9);
+            let ints: Vec<&'static str> = self
+                .def(base)
+                .columns
+                .iter()
+                .filter(|c| matches!(c.ctype, ColumnType::Id | ColumnType::Int))
+                .map(|c| c.name)
+                .collect();
+            let pred = match rng.uniform_i64(0, 3) {
+                0 => format!("{a} + {k} > {b}"),
+                1 if !ints.is_empty() => {
+                    let m = ints[rng.uniform_i64(0, ints.len() as i64 - 1) as usize];
+                    format!("{m} % {k} = 0")
+                }
+                2 => format!("coalesce({a}, 0) <= {b} * {k}"),
+                _ => format!("case when {a} is null then 1 else 0 end = 0"),
+            };
+            s.predicates.push(Item::on(base, pred));
+        }
+        // Ordering by every output ordinal (computed items included, the
+        // old `sort-key-shape` fallback) pins the answer byte-for-byte:
+        // rows that compare equal on all columns are indistinguishable.
+        if rng.chance(0.7) {
+            s.order_by = (1..=s.select_items().len()).collect();
+            if rng.chance(0.5) {
+                s.limit = Some(rng.uniform_i64(1, 500) as u64);
+            }
         }
         s
     }

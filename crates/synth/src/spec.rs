@@ -9,7 +9,7 @@
 
 use std::fmt::Write as _;
 
-/// The shape taxonomy a synthesized query is drawn from. The first seven
+/// The shape taxonomy a synthesized query is drawn from. The first eight
 /// are the "organic" mix; the last four are explicit adversarial
 /// generators. Class names are the keys of `COVERAGE_8.json`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -28,6 +28,9 @@ pub enum ShapeClass {
     SetOp,
     /// SELECT DISTINCT over low-NDV columns.
     DistinctTail,
+    /// Computed projections, expression predicates and expression sort
+    /// keys routed through the compiled expression kernels.
+    ExprCompute,
     /// Predicates built from stats to select zero rows.
     EmptyResult,
     /// Join keys wrapped in `NULLIF(k, k)` — every key NULL.
@@ -40,7 +43,7 @@ pub enum ShapeClass {
 
 impl ShapeClass {
     /// Every class, in a fixed reporting order.
-    pub const ALL: [ShapeClass; 11] = [
+    pub const ALL: [ShapeClass; 12] = [
         ShapeClass::ScanFilter,
         ShapeClass::JoinChain,
         ShapeClass::JoinAgg,
@@ -48,6 +51,7 @@ impl ShapeClass {
         ShapeClass::Window,
         ShapeClass::SetOp,
         ShapeClass::DistinctTail,
+        ShapeClass::ExprCompute,
         ShapeClass::EmptyResult,
         ShapeClass::NullKeyJoin,
         ShapeClass::SkewJoin,
@@ -64,6 +68,7 @@ impl ShapeClass {
             ShapeClass::Window => "window",
             ShapeClass::SetOp => "set_op",
             ShapeClass::DistinctTail => "distinct_tail",
+            ShapeClass::ExprCompute => "expr_compute",
             ShapeClass::EmptyResult => "empty_result",
             ShapeClass::NullKeyJoin => "null_key_join",
             ShapeClass::SkewJoin => "skew_join",

@@ -11,10 +11,12 @@ pub mod date;
 pub mod decimal;
 pub mod like;
 pub mod rng;
+pub mod scalar;
 pub mod value;
 
 pub use date::{Date, Time};
 pub use decimal::Decimal;
 pub use like::like_match;
 pub use rng::ColumnRng;
+pub use scalar::{ArithOp, ScalarFunc};
 pub use value::{DataType, Row, Value};

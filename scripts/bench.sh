@@ -12,9 +12,10 @@
 #  - BENCH_5.json: parallel sort / Top-N throughput (the ORDER BY ...
 #    LIMIT 100 template tail) for the serial row sort vs the morsel-driven
 #    kernels at 1 and N workers (written by the same profile run);
-#  - COVERAGE_6.json: per-template routing paths, fallback reason codes
+#  - COVERAGE_10.json: per-template routing paths, fallback reason codes
 #    and cardinality q-error quantiles over all 99 templates
-#    (tpcds-bench coverage);
+#    (tpcds-bench coverage), gated on an absolute columnar-count floor
+#    (MIN_COLUMNAR, default 95 of 99) on top of the baseline path gate;
 #  - BENCH_7.json: the client/server multi-stream report — 1/4/16 TCP
 #    clients querying a live tpcds-server while data maintenance commits
 #    snapshot versions mid-run: queries/s, a QphDS-style proxy,
@@ -29,12 +30,20 @@
 #    script and writes minimized reproducers under synth_failures/.
 #  - BENCH_9.json: observer overhead — the same short query mix with the
 #    per-query log + metrics registry enabled vs disabled, gated inline
-#    by the profile run at OBS_TOLERANCE (default 5%).
+#    by the profile run at OBS_TOLERANCE (default 5%);
+#  - BENCH_10.json: expression-kernel throughput — computed projection,
+#    expression ORDER BY key and residual-join microbenches for the
+#    interpreted row path vs the compiled kernels at 1 and 8 workers,
+#    gated inline at EXPR_MIN_SPEEDUP (default 3.0x, written by the same
+#    profile run).
+# The same script regenerates COVERAGE_10.json (which replaced the
+# pre-expression-kernel COVERAGE_6.json report).
 # After regenerating, each fresh perf report is gated against the
 # committed baseline with `tpcds-bench compare` — a throughput drop (or
 # latency rise) past BENCH_TOLERANCE fails the script — and the coverage
 # report is gated on routing paths: any template falling off its
-# committed path (e.g. columnar -> serial) fails the script. Exits
+# committed path (e.g. columnar -> serial) fails the script, as does
+# the columnar template count dropping under MIN_COLUMNAR. Exits
 # non-zero on any answer mismatch, columnar-routing fallback, perf
 # regression, or routing-path regression.
 #
@@ -46,11 +55,14 @@
 #   BENCH_JOIN_OUT     BENCH_3 output path (default BENCH_3.json)
 #   BENCH_PROFILE_OUT  BENCH_4 output path (default BENCH_4.json)
 #   BENCH_SORT_OUT     BENCH_5 output path (default BENCH_5.json)
-#   BENCH_COVERAGE_OUT COVERAGE_6 output path (default COVERAGE_6.json)
+#   BENCH_COVERAGE_OUT COVERAGE_10 output path (default COVERAGE_10.json)
+#   MIN_COLUMNAR       columnar-count floor for the coverage gate (default 95)
 #   BENCH_SERVE_OUT    BENCH_7 output path (default BENCH_7.json)
 #   BENCH_SYNTH_OUT    COVERAGE_8 output path (default COVERAGE_8.json)
 #   BENCH_OBS_OUT      BENCH_9 output path (default BENCH_9.json)
 #   OBS_TOLERANCE      observer-overhead budget (default 0.05)
+#   BENCH_EXPR_OUT     BENCH_10 output path (default BENCH_10.json)
+#   EXPR_MIN_SPEEDUP   expression-kernel speedup floor (default 3.0)
 #   SYNTH_BUDGET       synthesized queries per soak (default 500)
 #   SYNTH_TOLERANCE    columnar_frac slack for the COVERAGE_8 gate
 #                      (default 0.05; mismatches are never tolerated)
@@ -68,10 +80,11 @@ OUT2="${BENCH_OUT:-BENCH_2.json}"
 OUT3="${BENCH_JOIN_OUT:-BENCH_3.json}"
 OUT4="${BENCH_PROFILE_OUT:-BENCH_4.json}"
 OUT5="${BENCH_SORT_OUT:-BENCH_5.json}"
-OUT6="${BENCH_COVERAGE_OUT:-COVERAGE_6.json}"
+OUT6="${BENCH_COVERAGE_OUT:-COVERAGE_10.json}"
 OUT7="${BENCH_SERVE_OUT:-BENCH_7.json}"
 OUT8="${BENCH_SYNTH_OUT:-COVERAGE_8.json}"
 OUT9="${BENCH_OBS_OUT:-BENCH_9.json}"
+OUT10="${BENCH_EXPR_OUT:-BENCH_10.json}"
 SERVE_TOLERANCE="${BENCH_SERVE_TOLERANCE:-1.0}"
 SYNTH_TOLERANCE="${SYNTH_TOLERANCE:-0.05}"
 
@@ -79,7 +92,7 @@ cargo build --release -p tpcds-bench \
     --bin storage_bench --bin join_bench --bin tpcds-bench
 
 # Snapshot committed baselines before the fresh runs overwrite them.
-for f in "$OUT2" "$OUT3" "$OUT4" "$OUT5" "$OUT6" "$OUT7" "$OUT8"; do
+for f in "$OUT2" "$OUT3" "$OUT4" "$OUT5" "$OUT6" "$OUT7" "$OUT8" "$OUT10"; do
     if [ -f "$f" ]; then
         cp "$f" "$f.baseline"
     fi
@@ -91,21 +104,24 @@ done
 ./target/release/join_bench \
     --scale "${BENCH_JOIN_SCALE:-0.01}" \
     --out "$OUT3"
-# profile also measures observer overhead (BENCH_9) and fails inline
-# when the query log + metrics cost more than OBS_TOLERANCE.
+# profile also measures observer overhead (BENCH_9, gated inline at
+# OBS_TOLERANCE) and the expression-kernel microbench (BENCH_10, gated
+# inline at EXPR_MIN_SPEEDUP vs the interpreted row path).
 ./target/release/tpcds-bench profile \
     --scale "${BENCH_JOIN_SCALE:-0.01}" \
     --out "$OUT4" \
     --sort-out "$OUT5" \
     --obs-out "$OUT9" \
-    --obs-tolerance "${OBS_TOLERANCE:-0.05}"
+    --obs-tolerance "${OBS_TOLERANCE:-0.05}" \
+    --expr-out "$OUT10" \
+    --expr-min-speedup "${EXPR_MIN_SPEEDUP:-3.0}"
 ./target/release/tpcds-bench serve \
     --scale "${BENCH_JOIN_SCALE:-0.01}" \
     --out "$OUT7"
 
 # Regression gate: fresh numbers vs the committed baselines.
 status=0
-for f in "$OUT2" "$OUT3" "$OUT4" "$OUT5"; do
+for f in "$OUT2" "$OUT3" "$OUT4" "$OUT5" "$OUT10"; do
     if [ -f "$f.baseline" ]; then
         ./target/release/tpcds-bench compare "$f.baseline" "$f" \
             --tolerance "$TOLERANCE" || status=1
@@ -124,12 +140,14 @@ fi
 if [ -f "$OUT6.baseline" ]; then
     ./target/release/tpcds-bench coverage \
         --scale "${BENCH_JOIN_SCALE:-0.01}" \
-        --out "$OUT6" --baseline "$OUT6.baseline" || status=1
+        --out "$OUT6" --baseline "$OUT6.baseline" \
+        --min-columnar "${MIN_COLUMNAR:-95}" || status=1
     rm -f "$OUT6.baseline"
 else
     ./target/release/tpcds-bench coverage \
         --scale "${BENCH_JOIN_SCALE:-0.01}" \
-        --out "$OUT6" || status=1
+        --out "$OUT6" \
+        --min-columnar "${MIN_COLUMNAR:-95}" || status=1
 fi
 
 # Synthesized-workload soak + per-shape-class coverage gate: a fixed

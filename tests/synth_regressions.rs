@@ -104,6 +104,37 @@ const CORPUS: &[(&str, &str)] = &[
          left join promotion on ss_promo_sk = p_promo_sk \
          where p_promo_sk is null",
     ),
+    // --- compiled expression kernels (PR 10 minimized shapes) --------
+    (
+        "expr_pred_arithmetic_on_nullable_key",
+        "select ss_item_sk, ss_ticket_number from store_sales \
+         where ss_quantity + 1 = 3 and ss_store_sk * 2 > ss_promo_sk",
+    ),
+    (
+        "expr_divide_by_zero_column_is_null",
+        "select ss_item_sk, ss_quantity / (ss_quantity - ss_quantity) \
+         from store_sales where ss_quantity <= 3",
+    ),
+    (
+        "expr_case_projection_over_segment_boundary",
+        "select d_date_sk, case when d_date_sk % 2 = 0 then d_year else -d_year end \
+         from date_dim order by 1 limit 65537",
+    ),
+    (
+        "expr_sort_key_shifts_null_ordering",
+        "select ss_store_sk, ss_item_sk, ss_ticket_number from store_sales \
+         where ss_quantity <= 2 order by coalesce(ss_promo_sk, 0) desc, 2, 3",
+    ),
+    (
+        "residual_join_cross_side_arithmetic",
+        "select count(*) from store_sales \
+         join store on ss_store_sk = s_store_sk and ss_quantity + s_store_sk > 5",
+    ),
+    (
+        "expr_having_tail_on_computed_group",
+        "select ss_store_sk, sum(ss_quantity) from store_sales group by ss_store_sk \
+         having sum(ss_quantity) * 2 > 100 order by 1",
+    ),
     // --- window tails over columnar children -------------------------
     (
         "rank_with_null_partition_keys",
